@@ -1,0 +1,73 @@
+// S2 (§3.4): the four design approaches.
+//
+// Claim checked: goal-, tool-, data- and plan-based entry points all
+// resolve onto the same flow mechanism at interactive cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herc;
+
+struct ApproachFixture {
+  std::unique_ptr<core::DesignSession> session;
+  bench::Basics basics;
+
+  ApproachFixture() {
+    session = bench::make_session();
+    basics = bench::import_basics(*session);
+    graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+    flow.set_name("simulate-plan");
+    session->flows().save(flow);
+  }
+};
+
+void BM_GoalBasedStart(benchmark::State& state) {
+  ApproachFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.session->task_from_goal("Performance"));
+  }
+}
+BENCHMARK(BM_GoalBasedStart);
+
+void BM_ToolBasedStart(benchmark::State& state) {
+  // Includes the "what can this tool produce?" sweep over the schema.
+  ApproachFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.session->task_from_tool("Simulator"));
+  }
+}
+BENCHMARK(BM_ToolBasedStart);
+
+void BM_DataBasedStart(benchmark::State& state) {
+  // Includes the "what consumes this data?" sweep.
+  ApproachFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.session->task_from_data(fx.basics.netlist));
+  }
+}
+BENCHMARK(BM_DataBasedStart);
+
+void BM_PlanBasedStart(benchmark::State& state) {
+  // Instantiating a saved flow (parse + schema re-validation).
+  ApproachFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.session->task_from_plan("simulate-plan"));
+  }
+}
+BENCHMARK(BM_PlanBasedStart);
+
+void BM_PlanSave(benchmark::State& state) {
+  ApproachFixture fx;
+  graph::TaskGraph flow = bench::make_simulate_flow(*fx.session, fx.basics);
+  flow.set_name("resave");
+  for (auto _ : state) {
+    fx.session->flows().save_or_replace(flow);
+  }
+}
+BENCHMARK(BM_PlanSave);
+
+}  // namespace
+
+BENCHMARK_MAIN();

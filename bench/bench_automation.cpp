@@ -1,0 +1,58 @@
+// S6 (§3.3): flow automation ("automatic task sequencing").
+//
+// Claim checked: because dependencies live in the task schema, a complete
+// runnable flow for a goal entity can be constructed automatically; the
+// construction cost is proportional to the flow, and combined with
+// memoized execution an auto-flow re-run collapses to history lookups.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "exec/automation.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_AutoFlowConstruction(benchmark::State& state) {
+  auto session = bench::make_session();
+  (void)bench::import_basics(*session);
+  const auto goal = session->schema().require("Performance");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::auto_flow(session->db(), goal));
+  }
+}
+BENCHMARK(BM_AutoFlowConstruction);
+
+void BM_AutoFlowDeepGoal(benchmark::State& state) {
+  // Verification needs layout + netlist branches: a deeper construction.
+  auto session = bench::make_session();
+  (void)bench::import_basics(*session);
+  session->import_data("Placer", "pl", "");
+  session->import_data("Verifier", "lvs", "");
+  const auto goal = session->schema().require("Verification");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::auto_flow(session->db(), goal));
+  }
+}
+BENCHMARK(BM_AutoFlowDeepGoal);
+
+void BM_AutoFlowRunMemoized(benchmark::State& state) {
+  // Construct + run with reuse: after the first run everything is a
+  // history lookup.
+  auto session = bench::make_session();
+  (void)bench::import_basics(*session);
+  const auto goal = session->schema().require("Performance");
+  exec::ExecOptions options;
+  options.reuse_existing = true;
+  (void)session->run(exec::auto_flow(session->db(), goal), options);
+  for (auto _ : state) {
+    const auto flow = exec::auto_flow(session->db(), goal);
+    benchmark::DoNotOptimize(session->run(flow, options));
+  }
+  state.SetLabel("construct + memoized run");
+}
+BENCHMARK(BM_AutoFlowRunMemoized);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Shared fixtures for the figure benchmarks.
+//
+// The paper has no quantitative tables; each benchmark measures the
+// scaling of the mechanism one figure illustrates (see EXPERIMENTS.md for
+// the qualitative claims being checked).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/stimuli.hpp"
+#include "core/session.hpp"
+#include "exec/executor.hpp"
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/clock.hpp"
+
+namespace herc::bench {
+
+/// A deterministic session over the full schema.
+inline std::unique_ptr<core::DesignSession> make_session() {
+  return std::make_unique<core::DesignSession>(
+      schema::make_full_schema(), "bench",
+      std::make_unique<support::ManualClock>(718000000000000LL, 1000));
+}
+
+/// Standard source instances for simulation flows.
+struct Basics {
+  data::InstanceId netlist;
+  data::InstanceId models;
+  data::InstanceId stimuli;
+  data::InstanceId simulator;
+  data::InstanceId editor;  ///< CircuitEditor instance with a trivial script
+};
+
+inline Basics import_basics(core::DesignSession& session,
+                            std::size_t chain_stages = 4) {
+  Basics basics;
+  basics.netlist = session.import_data(
+      "EditedNetlist", "chain",
+      circuit::inverter_chain(chain_stages).to_text());
+  basics.models = session.import_data(
+      "DeviceModels", "models",
+      circuit::DeviceModelLibrary::standard().to_text());
+  basics.stimuli = session.import_data(
+      "Stimuli", "steps",
+      circuit::Stimuli::random({"in"}, 2000, 8, 5).to_text());
+  basics.simulator = session.import_data("Simulator", "switchsim", "");
+  basics.editor = session.import_data("CircuitEditor", "touch",
+                                      "set s0.mn value=1.5\n");
+  return basics;
+}
+
+/// Builds the canonical simulate flow (Performance over a composed
+/// circuit) with everything bound.
+inline graph::TaskGraph make_simulate_flow(core::DesignSession& session,
+                                           const Basics& basics) {
+  graph::TaskGraph flow(session.schema(), "simulate");
+  const graph::NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+  flow.bind(flow.tool_of(perf), basics.simulator);
+  flow.bind(flow.inputs_of(perf)[1], basics.stimuli);
+  flow.bind(circuit_inputs[0], basics.models);
+  flow.bind(circuit_inputs[1], basics.netlist);
+  return flow;
+}
+
+/// Grows an edit chain of `versions` successive netlist versions and
+/// returns them (index 0 = the imported original).
+inline std::vector<data::InstanceId> grow_edit_chain(
+    core::DesignSession& session, const Basics& basics,
+    std::size_t versions) {
+  std::vector<data::InstanceId> chain{basics.netlist};
+  for (std::size_t v = 1; v < versions; ++v) {
+    graph::TaskGraph edit(session.schema(), "edit");
+    const graph::NodeId goal = edit.add_node("EditedNetlist");
+    edit.expand(goal, graph::ExpandOptions{.include_optional = true});
+    edit.bind(edit.tool_of(goal), basics.editor);
+    edit.bind(edit.inputs_of(goal)[0], chain.back());
+    chain.push_back(session.run(edit).single(goal));
+  }
+  return chain;
+}
+
+/// A synthetic layered schema: `layers` levels of `width` data entities,
+/// each produced by a tool from two entities of the previous layer —
+/// for measuring schema-operation scaling (Fig. 1 benchmark).
+inline schema::TaskSchema make_layered_schema(std::size_t layers,
+                                              std::size_t width) {
+  schema::TaskSchema s("layered");
+  std::vector<schema::EntityTypeId> prev;
+  for (std::size_t w = 0; w < width; ++w) {
+    prev.push_back(s.add_data("src" + std::to_string(w)));
+  }
+  for (std::size_t l = 1; l <= layers; ++l) {
+    std::vector<schema::EntityTypeId> cur;
+    for (std::size_t w = 0; w < width; ++w) {
+      const std::string suffix =
+          std::to_string(l) + "_" + std::to_string(w);
+      const auto tool = s.add_tool("tool" + suffix);
+      const auto entity = s.add_data("ent" + suffix);
+      s.set_functional_dependency(entity, tool);
+      s.add_data_dependency(entity, prev[w]);
+      s.add_data_dependency(entity, prev[(w + 1) % width]);
+      cur.push_back(entity);
+    }
+    prev = std::move(cur);
+  }
+  return s;
+}
+
+}  // namespace herc::bench

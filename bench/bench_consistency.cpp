@@ -1,0 +1,78 @@
+// S1 (§3.3): design-consistency maintenance.
+//
+// Claim checked: "queries into the design history can quickly determine
+// whether such retracing need occur" — the staleness check costs a trace
+// walk, memoization turns redundant re-runs into history lookups, and
+// retracing re-runs only what changed.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "exec/consistency.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_StalenessCheck(benchmark::State& state) {
+  // Performance over an edit chain of the given depth.
+  auto session = bench::make_session();
+  const auto basics = bench::import_basics(*session);
+  const auto chain = bench::grow_edit_chain(
+      *session, basics, static_cast<std::size_t>(state.range(0)));
+  bench::Basics latest = basics;
+  latest.netlist = chain.back();
+  graph::TaskGraph flow = bench::make_simulate_flow(*session, latest);
+  const auto perf = session->run(flow).single(flow.goals().front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->db().is_stale(perf));
+  }
+  state.SetLabel("ancestry depth " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_StalenessCheck)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MemoizedRerun(benchmark::State& state) {
+  // Re-running an up-to-date flow with reuse: pure history lookups.
+  auto session = bench::make_session();
+  const auto basics = bench::import_basics(*session);
+  graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+  exec::ExecOptions options;
+  options.reuse_existing = true;
+  (void)session->run(flow, options);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->run(flow, options));
+  }
+  state.SetLabel("all tasks reused");
+}
+BENCHMARK(BM_MemoizedRerun);
+
+void BM_UnmemoizedRerun(benchmark::State& state) {
+  // The same flow with reuse disabled: full tool cost every time.
+  auto session = bench::make_session();
+  const auto basics = bench::import_basics(*session);
+  graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->run(flow));
+  }
+  state.SetLabel("all tasks re-run");
+}
+BENCHMARK(BM_UnmemoizedRerun);
+
+void BM_Retrace(benchmark::State& state) {
+  // Freshen a stale performance after one new netlist version.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = bench::make_session();
+    const auto basics = bench::import_basics(*session);
+    graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+    const auto perf = session->run(flow).single(flow.goals().front());
+    (void)bench::grow_edit_chain(*session, basics, 2);  // creates v2
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        exec::retrace(session->db(), session->tools(), perf));
+  }
+}
+BENCHMARK(BM_Retrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

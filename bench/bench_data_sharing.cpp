@@ -1,0 +1,68 @@
+// S4 (footnote 5): shared physical data under content addressing.
+//
+// Claim checked: "several design history instances could point to the
+// same RCS file" — meta-data instances are cheap because unchanged
+// payloads are stored once.  We measure the blob store's dedup ratio on a
+// realistic history (edit chains where most tool outputs repeat) and the
+// cost of content-addressed writes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_BlobPutDistinct(benchmark::State& state) {
+  const std::string base(static_cast<std::size_t>(state.range(0)), 'x');
+  data::BlobStore store;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.put(base + std::to_string(i++)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BlobPutDistinct)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BlobPutRepeated(benchmark::State& state) {
+  // The sharing case: the same payload written again and again.
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'y');
+  data::BlobStore store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.put(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BlobPutRepeated)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HistorySharingRatio(benchmark::State& state) {
+  // Re-running the same simulate flow N times: identical payloads, new
+  // meta-data instances.  The label reports physical vs logical bytes.
+  const auto reruns = static_cast<std::size_t>(state.range(0));
+  double ratio = 1.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = bench::make_session();
+    const auto basics = bench::import_basics(*session);
+    graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+    state.ResumeTiming();
+    for (std::size_t r = 0; r < reruns; ++r) {
+      benchmark::DoNotOptimize(session->run(flow));
+    }
+    state.PauseTiming();
+    const auto& blobs = session->db().blobs();
+    ratio = static_cast<double>(blobs.bytes_logical()) /
+            static_cast<double>(std::max<std::uint64_t>(
+                blobs.bytes_stored(), 1));
+    state.ResumeTiming();
+  }
+  state.SetLabel("logical/stored = " + std::to_string(ratio));
+}
+BENCHMARK(BM_HistorySharingRatio)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

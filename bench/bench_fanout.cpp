@@ -1,0 +1,67 @@
+// S3 (§4.1): multi-instance selection fan-out.
+//
+// Claim checked: selecting a set of instances "causes the task to be run
+// for each data instance specified" — cost scales with the selected set,
+// and a set-accepting encapsulation collapses it back to one call.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_FanOutOverStimuli(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  auto session = bench::make_session();
+  const auto basics = bench::import_basics(*session);
+  std::vector<data::InstanceId> stimuli;
+  for (std::size_t i = 0; i < count; ++i) {
+    stimuli.push_back(session->import_data(
+        "Stimuli", "st" + std::to_string(i),
+        circuit::Stimuli::random({"in"}, 2000, 8, i + 1).to_text()));
+  }
+  for (auto _ : state) {
+    graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+    flow.bind_set(flow.inputs_of(flow.goals().front())[1], stimuli);
+    const auto result = session->run(flow);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(count) + " simulations per run");
+}
+BENCHMARK(BM_FanOutOverStimuli)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CartesianFanOut(benchmark::State& state) {
+  // Sets on two inputs: the runs form the cartesian product.
+  const auto per_input = static_cast<std::size_t>(state.range(0));
+  auto session = bench::make_session();
+  const auto basics = bench::import_basics(*session);
+  std::vector<data::InstanceId> stimuli;
+  std::vector<data::InstanceId> netlists;
+  for (std::size_t i = 0; i < per_input; ++i) {
+    stimuli.push_back(session->import_data(
+        "Stimuli", "st" + std::to_string(i),
+        circuit::Stimuli::random({"in"}, 2000, 8, i + 1).to_text()));
+    netlists.push_back(session->import_data(
+        "EditedNetlist", "nl" + std::to_string(i),
+        circuit::inverter_chain(2 + i).to_text()));
+  }
+  for (auto _ : state) {
+    graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+    const graph::NodeId perf = flow.goals().front();
+    flow.bind_set(flow.inputs_of(perf)[1], stimuli);
+    const graph::NodeId circuit_node = flow.inputs_of(perf)[0];
+    flow.bind_set(flow.inputs_of(circuit_node)[1], netlists);
+    const auto result = session->run(flow);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(per_input) + "x" +
+                 std::to_string(per_input) + " combinations");
+}
+BENCHMARK(BM_CartesianFanOut)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// F10 (Fig. 10): chaining queries into the design history.
+//
+// Claim checked: backward- and forward-chaining answer in time
+// proportional to the *trace* being revealed, not to the size of the
+// whole database — the property that makes "queries into the derivation
+// history obviate the need for additional version management" tenable.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "history/flow_trace.hpp"
+
+namespace {
+
+using namespace herc;
+
+/// History with `chains` independent edit chains of length `depth` — total
+/// database size grows with chains, each trace only with depth.
+struct HistoryFixture {
+  std::unique_ptr<core::DesignSession> session;
+  std::vector<std::vector<data::InstanceId>> chains;
+
+  HistoryFixture(std::size_t n_chains, std::size_t depth) {
+    session = bench::make_session();
+    for (std::size_t c = 0; c < n_chains; ++c) {
+      auto basics = bench::import_basics(*session);
+      chains.push_back(bench::grow_edit_chain(*session, basics, depth));
+    }
+  }
+};
+
+void BM_BackwardClosure_VsDepth(benchmark::State& state) {
+  HistoryFixture fx(1, static_cast<std::size_t>(state.range(0)));
+  const auto target = fx.chains[0].back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.session->db().derivation_closure(target));
+  }
+  state.SetLabel("depth " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BackwardClosure_VsDepth)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_BackwardClosure_VsDbSize(benchmark::State& state) {
+  // Fixed trace depth, growing unrelated database: cost must stay flat.
+  HistoryFixture fx(static_cast<std::size_t>(state.range(0)), 8);
+  const auto target = fx.chains[0].back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.session->db().derivation_closure(target));
+  }
+  state.SetLabel(std::to_string(fx.session->db().size()) +
+                 " instances total");
+}
+BENCHMARK(BM_BackwardClosure_VsDbSize)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ForwardClosure(benchmark::State& state) {
+  HistoryFixture fx(1, static_cast<std::size_t>(state.range(0)));
+  const auto root = fx.chains[0].front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.session->db().dependent_closure(root));
+  }
+}
+BENCHMARK(BM_ForwardClosure)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_BackwardTraceGraph(benchmark::State& state) {
+  // Building the Fig. 10 display structure (a bound task graph).
+  HistoryFixture fx(1, static_cast<std::size_t>(state.range(0)));
+  const auto target = fx.chains[0].back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        history::backward_trace(fx.session->db(), target));
+  }
+}
+BENCHMARK(BM_BackwardTraceGraph)->Arg(8)->Arg(64);
+
+void BM_TemplateQuery(benchmark::State& state) {
+  // "Find the edits applied to this netlist" as a task-graph template.
+  HistoryFixture fx(1, static_cast<std::size_t>(state.range(0)));
+  auto& session = *fx.session;
+  graph::TaskGraph pattern(session.schema(), "query");
+  const graph::NodeId goal = pattern.add_node("EditedNetlist");
+  pattern.expand(goal, graph::ExpandOptions{.include_optional = true});
+  pattern.bind(pattern.inputs_of(goal)[0], fx.chains[0][1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        history::query_template(session.db(), pattern, goal));
+  }
+}
+BENCHMARK(BM_TemplateQuery)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

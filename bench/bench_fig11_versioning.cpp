@@ -1,0 +1,70 @@
+// F11 (Fig. 11): version trees subsumed by flow traces.
+//
+// Claim checked: the flow trace is a "semantically richer superset of a
+// version tree" at comparable cost — extracting either scales with the
+// lineage, and no separate version-management bookkeeping exists to pay
+// for.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "exec/consistency.hpp"
+#include "history/flow_trace.hpp"
+
+namespace {
+
+using namespace herc;
+
+struct LineageFixture {
+  std::unique_ptr<core::DesignSession> session;
+  std::vector<data::InstanceId> chain;
+
+  explicit LineageFixture(std::size_t versions) {
+    session = bench::make_session();
+    auto basics = bench::import_basics(*session);
+    chain = bench::grow_edit_chain(*session, basics, versions);
+  }
+};
+
+void BM_VersionTreeExtraction(benchmark::State& state) {
+  LineageFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto member = fx.chain[fx.chain.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history::version_tree(fx.session->db(), member));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " versions");
+}
+BENCHMARK(BM_VersionTreeExtraction)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_LineageTrace(benchmark::State& state) {
+  // The Fig. 11b form: same lineage plus the tools used per edit.
+  LineageFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto member = fx.chain[fx.chain.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        history::lineage_trace(fx.session->db(), member));
+  }
+}
+BENCHMARK(BM_LineageTrace)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_LatestVersionWalk(benchmark::State& state) {
+  LineageFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto root = fx.chain.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::latest_version(fx.session->db(), root));
+  }
+}
+BENCHMARK(BM_LatestVersionWalk)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_SupersededCheck(benchmark::State& state) {
+  LineageFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.session->db().superseded(fx.chain[i++ % fx.chain.size()]));
+  }
+}
+BENCHMARK(BM_SupersededCheck)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// F1 (Fig. 1): task-schema operations.
+//
+// Claim checked: a site maintains only the task schema ("only the task
+// schema need be maintained"), so schema construction, validation and the
+// rule queries behind expansion must stay cheap as the schema grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "schema/schema_io.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_SchemaConstruction(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::make_layered_schema(layers, 8));
+  }
+  state.SetLabel(std::to_string(
+      bench::make_layered_schema(layers, 8).size()) + " entities");
+}
+BENCHMARK(BM_SchemaConstruction)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SchemaValidate(benchmark::State& state) {
+  const auto schema = bench::make_layered_schema(
+      static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    schema.validate();
+  }
+}
+BENCHMARK(BM_SchemaValidate)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ConstructionRuleLookup(benchmark::State& state) {
+  const auto schema = bench::make_layered_schema(
+      static_cast<std::size_t>(state.range(0)), 8);
+  const auto all = schema.all();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schema.construction(all[i % all.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ConstructionRuleLookup)->Arg(8)->Arg(32);
+
+void BM_ConsumersOfLookup(benchmark::State& state) {
+  // The consumer-direction expansion query over a growing schema.
+  const auto schema = bench::make_layered_schema(
+      static_cast<std::size_t>(state.range(0)), 8);
+  const auto all = schema.all();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schema.consumers_of(all[i % all.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ConsumersOfLookup)->Arg(8)->Arg(32);
+
+void BM_SchemaRoundTrip(benchmark::State& state) {
+  // The maintained artifact is a text file; parse+write round trips.
+  const std::string text =
+      schema::write_schema(schema::make_full_schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schema::write_schema(schema::parse_schema(text)));
+  }
+}
+BENCHMARK(BM_SchemaRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

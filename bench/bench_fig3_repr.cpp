@@ -1,0 +1,78 @@
+// F3 (Fig. 3): the two flow representations.
+//
+// Claim checked: the task graph carries the same information as the
+// traditional bipartite flow diagram — conversion is mechanical and cheap,
+// so choosing the richer representation costs nothing.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "graph/bipartite.hpp"
+
+namespace {
+
+using namespace herc;
+
+/// A deep flow: a chain of `depth` edit tasks under one simulate task.
+graph::TaskGraph make_deep_flow(const schema::TaskSchema& schema,
+                                std::size_t depth) {
+  graph::TaskGraph flow(schema, "deep");
+  const graph::NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  graph::NodeId circuit_node = flow.inputs_of(perf)[0];
+  const auto circuit_inputs = flow.expand(circuit_node);
+  graph::NodeId netlist = circuit_inputs[1];
+  for (std::size_t d = 0; d < depth; ++d) {
+    flow.specialize(netlist, schema.require("EditedNetlist"));
+    const auto created = flow.expand(
+        netlist, graph::ExpandOptions{.include_optional = true});
+    netlist = created[1];  // the optional seed input, again a Netlist
+  }
+  return flow;
+}
+
+void BM_ToBipartite(benchmark::State& state) {
+  const auto schema = schema::make_full_schema();
+  const auto flow = make_deep_flow(schema,
+                                   static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::to_bipartite(flow));
+  }
+  state.SetLabel(std::to_string(flow.node_count()) + " nodes");
+}
+BENCHMARK(BM_ToBipartite)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ToLisp(benchmark::State& state) {
+  const auto schema = schema::make_full_schema();
+  const auto flow = make_deep_flow(schema,
+                                   static_cast<std::size_t>(state.range(0)));
+  const graph::NodeId goal = flow.goals().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.to_lisp(goal));
+  }
+}
+BENCHMARK(BM_ToLisp)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ToDot(benchmark::State& state) {
+  const auto schema = schema::make_full_schema();
+  const auto flow = make_deep_flow(schema,
+                                   static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.to_dot());
+  }
+}
+BENCHMARK(BM_ToDot)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_FlowSaveLoad(benchmark::State& state) {
+  const auto schema = schema::make_full_schema();
+  const auto flow = make_deep_flow(schema,
+                                   static_cast<std::size_t>(state.range(0)));
+  const std::string text = flow.save();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::TaskGraph::load(schema, text));
+  }
+}
+BENCHMARK(BM_FlowSaveLoad)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

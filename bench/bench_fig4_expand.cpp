@@ -1,0 +1,102 @@
+// F4 (Fig. 4): expand and specialize operations.
+//
+// Claim checked: flows are built *on demand*, one interactive expand at a
+// time — so the operation must be O(rule size), independent of how large
+// the flow has already grown.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_ExpandOperation(benchmark::State& state) {
+  // Measure expand on a flow pre-grown to `range` nodes.
+  const auto schema = schema::make_full_schema();
+  const auto pregrow = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::TaskGraph flow(schema, "grow");
+    graph::NodeId netlist = flow.add_node("EditedNetlist");
+    for (std::size_t d = 0; flow.node_count() < pregrow; ++d) {
+      const auto created = flow.expand(
+          netlist, graph::ExpandOptions{.include_optional = true});
+      netlist = created[1];
+      flow.specialize(netlist, schema.require("EditedNetlist"));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow.expand(
+        netlist, graph::ExpandOptions{.include_optional = true}));
+  }
+}
+BENCHMARK(BM_ExpandOperation)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_SpecializeOperation(benchmark::State& state) {
+  const auto schema = schema::make_full_schema();
+  const auto extracted = schema.require("ExtractedNetlist");
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::TaskGraph flow(schema, "spec");
+    const graph::NodeId perf = flow.add_node("Performance");
+    flow.expand(perf);
+    const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+    state.ResumeTiming();
+    flow.specialize(circuit_inputs[1], extracted);
+    benchmark::DoNotOptimize(flow.node(circuit_inputs[1]));
+  }
+}
+BENCHMARK(BM_SpecializeOperation);
+
+void BM_UnexpandOperation(benchmark::State& state) {
+  // Unexpand garbage-collects the orphaned subtree (Fig. 9's Unexpand).
+  const auto schema = schema::make_full_schema();
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::TaskGraph flow(schema, "unexp");
+    const graph::NodeId perf = flow.add_node("Performance");
+    flow.expand(perf);
+    flow.expand(flow.inputs_of(perf)[0]);
+    state.ResumeTiming();
+    flow.unexpand(perf);
+    benchmark::DoNotOptimize(flow.node_count());
+  }
+}
+BENCHMARK(BM_UnexpandOperation);
+
+void BM_ExpandUpOperation(benchmark::State& state) {
+  // Consumer-direction expansion (data-based approach).
+  const auto schema = schema::make_full_schema();
+  const auto plot = schema.require("PerformancePlot");
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::TaskGraph flow(schema, "up");
+    const graph::NodeId perf = flow.add_node("Performance");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow.expand_up(perf, plot));
+  }
+}
+BENCHMARK(BM_ExpandUpOperation);
+
+void BM_FlowCheck(benchmark::State& state) {
+  // Full schema-conformance validation of a grown flow.
+  const auto schema = schema::make_full_schema();
+  graph::TaskGraph flow(schema, "check");
+  graph::NodeId netlist = flow.add_node("EditedNetlist");
+  const auto target = static_cast<std::size_t>(state.range(0));
+  while (flow.node_count() < target) {
+    const auto created = flow.expand(
+        netlist, graph::ExpandOptions{.include_optional = true});
+    netlist = created[1];
+    flow.specialize(netlist, schema.require("EditedNetlist"));
+  }
+  for (auto _ : state) {
+    flow.check();
+  }
+  state.SetLabel(std::to_string(flow.node_count()) + " nodes");
+}
+BENCHMARK(BM_FlowCheck)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

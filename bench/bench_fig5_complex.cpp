@@ -1,0 +1,89 @@
+// F5 (Fig. 5): complex flow structures — entity reuse and multi-output
+// tasks.
+//
+// Claim checked: reusing an entity across subtasks and attaching several
+// outputs to one task are constant-time graph operations, and a task with
+// two outputs executes once, not twice.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_BuildComplexFlow(benchmark::State& state) {
+  // The Fig. 5 flow: one Circuit reused by `range` simulate tasks, each
+  // with Performance + Statistics outputs sharing one tool node.
+  const auto schema = schema::make_full_schema();
+  const auto branches = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    graph::TaskGraph flow(schema, "fig5");
+    const graph::NodeId first = flow.add_node("Performance");
+    flow.expand(first);
+    const graph::NodeId circuit_node = flow.inputs_of(first)[0];
+    flow.expand(circuit_node);
+    flow.add_co_output(first, schema.require("Statistics"));
+    for (std::size_t b = 1; b < branches; ++b) {
+      const graph::NodeId perf = flow.add_node("Performance");
+      // Reuse the existing circuit; new simulator + stimuli per branch.
+      flow.connect(perf, circuit_node);
+      const graph::NodeId sim = flow.add_node("Simulator");
+      flow.connect(perf, sim);
+      const graph::NodeId st = flow.add_node("Stimuli");
+      flow.connect(perf, st);
+      flow.add_co_output(perf, schema.require("Statistics"));
+    }
+    benchmark::DoNotOptimize(flow.task_groups());
+  }
+}
+BENCHMARK(BM_BuildComplexFlow)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_TaskGrouping(benchmark::State& state) {
+  // Grouping shared-tool outputs into single invocations.
+  const auto schema = schema::make_full_schema();
+  const auto branches = static_cast<std::size_t>(state.range(0));
+  graph::TaskGraph flow(schema, "fig5");
+  const graph::NodeId first = flow.add_node("Performance");
+  flow.expand(first);
+  const graph::NodeId circuit_node = flow.inputs_of(first)[0];
+  flow.expand(circuit_node);
+  flow.add_co_output(first, schema.require("Statistics"));
+  for (std::size_t b = 1; b < branches; ++b) {
+    const graph::NodeId perf = flow.add_node("Performance");
+    flow.connect(perf, circuit_node);
+    flow.connect(perf, flow.add_node("Simulator"));
+    flow.connect(perf, flow.add_node("Stimuli"));
+    flow.add_co_output(perf, schema.require("Statistics"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.task_groups());
+  }
+  state.SetLabel(std::to_string(flow.node_count()) + " nodes, " +
+                 std::to_string(flow.task_groups().size()) + " tasks");
+}
+BENCHMARK(BM_TaskGrouping)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_MultiOutputExecution(benchmark::State& state) {
+  // A two-output task must cost one tool invocation, not two: compare
+  // executing Performance alone vs Performance+Statistics.
+  const bool with_stats = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = bench::make_session();
+    const auto basics = bench::import_basics(*session);
+    graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+    if (with_stats) {
+      flow.add_co_output(flow.goals().front(),
+                         session->schema().require("Statistics"));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(session->run(flow));
+  }
+  state.SetLabel(with_stats ? "two outputs" : "one output");
+}
+BENCHMARK(BM_MultiOutputExecution)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

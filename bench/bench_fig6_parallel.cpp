@@ -1,0 +1,86 @@
+// F6 (Fig. 6): parallel execution of disjoint flow branches.
+//
+// Claim checked: "disjoint branches in the flow can be executed in
+// parallel, possibly on different machines".  Tasks carry an artificial
+// latency standing in for slow external tools; wall-clock for N disjoint
+// branches should approach latency * ceil(N / threads) instead of
+// latency * N.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace herc;
+
+/// Builds a flow with `branches` disjoint simulate branches (each its own
+/// circuit compose + simulation) and runs it.
+void run_branches(benchmark::State& state, bool parallel) {
+  const auto branches = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = bench::make_session();
+    const auto basics = bench::import_basics(*session);
+    graph::TaskGraph flow(session->schema(), "branches");
+    for (std::size_t b = 0; b < branches; ++b) {
+      const graph::NodeId perf = flow.add_node("Performance");
+      flow.expand(perf);
+      const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+      flow.bind(flow.tool_of(perf), basics.simulator);
+      flow.bind(flow.inputs_of(perf)[1], basics.stimuli);
+      flow.bind(circuit_inputs[0], basics.models);
+      flow.bind(circuit_inputs[1], basics.netlist);
+    }
+    exec::ExecOptions options;
+    options.parallel = parallel;
+    options.max_threads = 4;
+    options.task_latency = std::chrono::milliseconds(2);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(session->run(flow, options));
+  }
+  state.SetLabel((parallel ? "parallel x4, " : "serial, ") +
+                 std::to_string(branches) + " branches, 2ms/task");
+}
+
+void BM_SerialBranches(benchmark::State& state) {
+  run_branches(state, /*parallel=*/false);
+}
+BENCHMARK(BM_SerialBranches)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ParallelBranches(benchmark::State& state) {
+  run_branches(state, /*parallel=*/true);
+}
+BENCHMARK(BM_ParallelBranches)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SchedulerOverhead(benchmark::State& state) {
+  // Parallel scheduling with zero task latency: the machinery itself.
+  const auto branches = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = bench::make_session();
+    const auto basics = bench::import_basics(*session);
+    graph::TaskGraph flow(session->schema(), "branches");
+    for (std::size_t b = 0; b < branches; ++b) {
+      const graph::NodeId perf = flow.add_node("Performance");
+      flow.expand(perf);
+      const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+      flow.bind(flow.tool_of(perf), basics.simulator);
+      flow.bind(flow.inputs_of(perf)[1], basics.stimuli);
+      flow.bind(circuit_inputs[0], basics.models);
+      flow.bind(circuit_inputs[1], basics.netlist);
+    }
+    exec::ExecOptions options;
+    options.parallel = true;
+    options.max_threads = 4;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(session->run(flow, options));
+  }
+}
+BENCHMARK(BM_SchedulerOverhead)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// F7 (Fig. 7): the three views of a cell.
+//
+// Claim checked: when views are entities and flows transform between
+// them, checking whether a cell's physical view is current is a history
+// query, not a data-management subsystem — and stays cheap as the cell
+// count grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "circuit/logic_view.hpp"
+#include "views/view_manager.hpp"
+
+namespace {
+
+using namespace herc;
+
+struct ViewFixture {
+  std::unique_ptr<core::DesignSession> session;
+  std::unique_ptr<views::ViewManager> manager;
+  data::InstanceId synthesizer;
+  data::InstanceId placer;
+
+  explicit ViewFixture(std::size_t cells) {
+    session = bench::make_session();
+    manager = std::make_unique<views::ViewManager>(session->db(),
+                                                   session->tools());
+    synthesizer = session->import_data("Synthesizer", "syn", "");
+    placer = session->import_data("Placer", "placer", "");
+    for (std::size_t c = 0; c < cells; ++c) {
+      const std::string cell = "cell" + std::to_string(c);
+      const auto logic = session->import_data(
+          "LogicView", cell, circuit::full_adder_logic().to_text());
+      manager->register_view(cell, views::ViewKind::kLogic, logic);
+      manager->synthesize_transistor(cell, synthesizer);
+      manager->synthesize_physical(cell, placer);
+    }
+  }
+};
+
+void BM_RegisterView(benchmark::State& state) {
+  ViewFixture fx(4);
+  const auto logic = fx.session->import_data(
+      "LogicView", "fresh", circuit::full_adder_logic().to_text());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    fx.manager->register_view("fresh" + std::to_string(i++),
+                              views::ViewKind::kLogic, logic);
+  }
+}
+BENCHMARK(BM_RegisterView);
+
+void BM_PhysicalUpToDate(benchmark::State& state) {
+  // The consistency question, over sessions with many cells.
+  ViewFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.manager->physical_up_to_date(
+        "cell" + std::to_string(i++ % cells)));
+  }
+  state.SetLabel(std::to_string(fx.session->db().size()) +
+                 " instances in history");
+}
+BENCHMARK(BM_PhysicalUpToDate)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SynthesizeTransistorView(benchmark::State& state) {
+  ViewFixture fx(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.manager->synthesize_transistor("cell0", fx.synthesizer));
+  }
+}
+BENCHMARK(BM_SynthesizeTransistorView)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

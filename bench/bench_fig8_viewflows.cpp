@@ -1,0 +1,85 @@
+// F8 (Fig. 8): the synthesis and verification flows between views.
+//
+// Claim checked: synthesis (physical from transistor) and verification
+// (physical against transistor) are ordinary flows, and their cost is the
+// tools', not the framework's — measured end to end over growing cells.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "circuit/extract.hpp"
+#include "circuit/layout.hpp"
+#include "circuit/place.hpp"
+#include "circuit/verify.hpp"
+
+namespace {
+
+using namespace herc;
+
+void BM_SynthesisFlow(benchmark::State& state) {
+  // Fig. 8a: PlacedLayout <- Placer <- Netlist, run through the executor.
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  auto session = bench::make_session();
+  const auto netlist = session->import_data(
+      "EditedNetlist", "adder",
+      circuit::ripple_adder_netlist(bits).to_text());
+  const auto placer = session->import_data("Placer", "placer", "");
+  for (auto _ : state) {
+    graph::TaskGraph flow(session->schema(), "fig8a");
+    const graph::NodeId goal = flow.add_node("PlacedLayout");
+    flow.expand(goal);
+    flow.bind(flow.tool_of(goal), placer);
+    flow.bind(flow.inputs_of(goal)[0], netlist);
+    benchmark::DoNotOptimize(session->run(flow));
+  }
+  state.SetLabel(std::to_string(
+      circuit::ripple_adder_netlist(bits).mos_count()) + " transistors");
+}
+BENCHMARK(BM_SynthesisFlow)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VerificationFlow(benchmark::State& state) {
+  // Fig. 8b: Verification <- Verifier <- (Layout, Netlist).
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  auto session = bench::make_session();
+  const auto netlist = session->import_data(
+      "EditedNetlist", "adder",
+      circuit::ripple_adder_netlist(bits).to_text());
+  const auto placer = session->import_data("Placer", "placer", "");
+  const auto verifier = session->import_data("Verifier", "lvs", "");
+  graph::TaskGraph synth(session->schema(), "fig8a");
+  const graph::NodeId layout_goal = synth.add_node("PlacedLayout");
+  synth.expand(layout_goal);
+  synth.bind(synth.tool_of(layout_goal), placer);
+  synth.bind(synth.inputs_of(layout_goal)[0], netlist);
+  const auto layout = session->run(synth).single(layout_goal);
+  for (auto _ : state) {
+    graph::TaskGraph flow(session->schema(), "fig8b");
+    const graph::NodeId goal = flow.add_node("Verification");
+    flow.expand(goal);
+    flow.bind(flow.tool_of(goal), verifier);
+    flow.bind(flow.inputs_of(goal)[0], layout);
+    flow.bind(flow.inputs_of(goal)[1], netlist);
+    benchmark::DoNotOptimize(session->run(flow));
+  }
+}
+BENCHMARK(BM_VerificationFlow)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RawPlaceExtractVerify(benchmark::State& state) {
+  // The substrate alone (no framework): place, extract, verify — for
+  // comparing framework overhead against tool cost.
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const circuit::Netlist nl = circuit::ripple_adder_netlist(bits);
+  for (auto _ : state) {
+    const circuit::Layout layout = circuit::place(nl);
+    const circuit::Netlist extracted = circuit::extract(layout);
+    benchmark::DoNotOptimize(circuit::verify_layout(layout, nl));
+    benchmark::DoNotOptimize(extracted);
+  }
+}
+BENCHMARK(BM_RawPlaceExtractVerify)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

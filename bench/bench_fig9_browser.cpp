@@ -1,0 +1,84 @@
+// F9 (Fig. 9): the instance browser and its filters.
+//
+// Claim checked: keyword / date / user filtering and the "Use
+// Dependencies" restriction stay interactive as the history database
+// grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/browser.hpp"
+
+namespace {
+
+using namespace herc;
+
+struct BrowserFixture {
+  std::unique_ptr<core::DesignSession> session;
+  bench::Basics basics;
+  std::vector<data::InstanceId> versions;
+
+  explicit BrowserFixture(std::size_t instances) {
+    session = bench::make_session();
+    basics = bench::import_basics(*session);
+    versions = bench::grow_edit_chain(*session, basics, instances);
+  }
+};
+
+void BM_BrowserUnfiltered(benchmark::State& state) {
+  BrowserFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto browser = fx.session->browse("Netlist");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(browser.rows({}));
+  }
+  state.SetLabel(std::to_string(fx.session->db().size()) + " instances");
+}
+BENCHMARK(BM_BrowserUnfiltered)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BrowserKeywordFilter(benchmark::State& state) {
+  BrowserFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto browser = fx.session->browse("Netlist");
+  core::BrowserFilter filter;
+  filter.keyword = "chain";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(browser.rows(filter));
+  }
+}
+BENCHMARK(BM_BrowserKeywordFilter)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BrowserDateAndUser(benchmark::State& state) {
+  BrowserFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto browser = fx.session->browse("Netlist");
+  core::BrowserFilter filter;
+  filter.user = "bench";
+  filter.from = support::Timestamp(718000000000000LL);
+  filter.to = support::Timestamp(718000000900000LL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(browser.rows(filter));
+  }
+}
+BENCHMARK(BM_BrowserDateAndUser)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BrowserUseDependencies(benchmark::State& state) {
+  // One-step forward chaining as a browser restriction.
+  BrowserFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto browser = fx.session->browse("EditedNetlist");
+  core::BrowserFilter filter;
+  filter.uses = fx.versions[fx.versions.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(browser.rows(filter));
+  }
+}
+BENCHMARK(BM_BrowserUseDependencies)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BrowserRender(benchmark::State& state) {
+  BrowserFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto browser = fx.session->browse("Netlist");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(browser.render({}));
+  }
+}
+BENCHMARK(BM_BrowserRender)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// S5 (§4.2): the textual query language.
+//
+// Claim checked: derivation-structured queries ("find the simulations
+// performed on this netlist") answer at interactive speed and scale with
+// the candidate set, not the database.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "history/query_language.hpp"
+
+namespace {
+
+using namespace herc;
+
+struct QueryFixture {
+  std::unique_ptr<core::DesignSession> session;
+  data::InstanceId netlist;
+
+  explicit QueryFixture(std::size_t simulations) {
+    session = bench::make_session();
+    const auto basics = bench::import_basics(*session);
+    netlist = basics.netlist;
+    // Many performances over the same netlist, different stimuli.
+    std::vector<data::InstanceId> stimuli;
+    for (std::size_t i = 0; i < simulations; ++i) {
+      stimuli.push_back(session->import_data(
+          "Stimuli", "st" + std::to_string(i),
+          circuit::Stimuli::random({"in"}, 2000, 6, i + 1).to_text()));
+    }
+    graph::TaskGraph flow = bench::make_simulate_flow(*session, basics);
+    flow.bind_set(flow.inputs_of(flow.goals().front())[1],
+                  std::move(stimuli));
+    (void)session->run(flow);
+  }
+};
+
+void BM_CompileQuery(benchmark::State& state) {
+  QueryFixture fx(4);
+  const std::string query = "find Performance where circuit.netlist = i" +
+                            std::to_string(fx.netlist.value()) +
+                            " and tool = i3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        history::compile_query(fx.session->db(), query));
+  }
+}
+BENCHMARK(BM_CompileQuery);
+
+void BM_RunStructuredQuery(benchmark::State& state) {
+  QueryFixture fx(static_cast<std::size_t>(state.range(0)));
+  const std::string query = "find Performance where circuit.netlist = i" +
+                            std::to_string(fx.netlist.value());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history::run_query(fx.session->db(), query));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " matching performances");
+}
+BENCHMARK(BM_RunStructuredQuery)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_RunNameQuery(benchmark::State& state) {
+  QueryFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history::run_query(
+        fx.session->db(),
+        "find Performance where circuit.netlist = \"chain\""));
+  }
+}
+BENCHMARK(BM_RunNameQuery)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+# A complete Hercules shell session (run with: hercules_shell demo.hcl).
+#
+# Builds the Fig. 1 simulate flow from the goal entity, executes it, then
+# walks the history — the quickstart example as a script.
+session new full sutton
+
+import EditedNetlist inverter <<NETLIST
+netlist inverter
+input in
+output out
+nmos mn g=in d=out s=GND model=nch value=1
+pmos mp g=in d=out s=VDD model=pch value=1
+NETLIST
+
+import DeviceModels standard <<MODELS
+models standard
+model nch type=nmos resistance=10 threshold=0.6
+model pch type=pmos resistance=20 threshold=0.6
+MODELS
+
+import Stimuli toggle <<WAVES
+stimuli toggle
+wave in 0:0 2000:1 4000:0
+WAVES
+
+import Simulator switchsim ""
+
+# Goal-based approach: grow the flow by expanding the goal entity.
+flow new sim goal Performance
+flow expand sim 0
+flow expand sim 2
+flow bind sim 1 i3
+flow bind sim 3 i2
+flow bind sim 4 i1
+flow bind sim 5 i0
+flow show sim
+flow lisp sim
+run sim
+
+# Query the design history.
+history i5
+uses i0
+find Performance where circuit.netlist = i0
+versions i0
+stale i5
+
+# Save the flow as a plan and the whole session to disk.
+flow save-plan sim
+plans
+echo done

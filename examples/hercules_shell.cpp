@@ -1,0 +1,50 @@
+// The Hercules shell: an interactive / scriptable front end to the whole
+// framework (the reproduction's stand-in for the Fig. 9 task window).
+//
+//   ./hercules_shell               # interactive REPL
+//   ./hercules_shell script.hcl    # run a script, exit non-zero on errors
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cli/interpreter.hpp"
+
+int main(int argc, char** argv) {
+  herc::cli::Interpreter interpreter(std::cout);
+  if (argc > 1) {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open script '" << argv[1] << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::size_t failures = interpreter.run_script(buffer.str());
+    return failures == 0 ? 0 : 1;
+  }
+
+  std::cout << "Hercules shell — 'help' lists commands, 'quit' exits.\n";
+  std::string line;
+  while (true) {
+    std::cout << "herc> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    // Interactive heredocs: read until the terminator line.
+    std::string payload;
+    const std::size_t marker = line.rfind("<<");
+    if (marker != std::string::npos) {
+      const std::string token = line.substr(marker + 2);
+      line = line.substr(0, marker);
+      std::string body_line;
+      while (std::getline(std::cin, body_line) && body_line != token) {
+        payload += body_line;
+        payload += '\n';
+      }
+    }
+    if (interpreter.execute(line, std::move(payload)) ==
+        herc::cli::CommandStatus::kQuit) {
+      break;
+    }
+  }
+  return 0;
+}

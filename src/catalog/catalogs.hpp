@@ -1,0 +1,132 @@
+// The four catalogs behind the Hercules "New Task..." dialog (§3.4, §4.1).
+//
+// A designer starts a task from any of four viewpoints, each backed by a
+// catalog:
+//   goal-based  — pick an entity type from the *entity catalog*;
+//   tool-based  — pick a tool (entity or encapsulation) from the
+//                 *tool catalog*;
+//   data-based  — pick an existing instance from the *data catalog*;
+//   plan-based  — pick a previously saved flow from the *flow catalog*.
+//
+// All four converge on the same mechanism: a task graph seeded with one
+// node (or a whole saved flow) that the designer grows with expand
+// operations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+#include "tools/registry.hpp"
+
+namespace herc::catalog {
+
+/// One row of the entity catalog.
+struct EntityEntry {
+  schema::EntityTypeId type;
+  std::string name;
+  bool is_tool = false;
+  bool is_abstract = false;
+  bool is_composite = false;
+  /// Source entities cannot be expanded, only bound.
+  bool is_source = false;
+};
+
+/// Lists every entity type of the schema (the entity-catalog pane).
+[[nodiscard]] std::vector<EntityEntry> entity_catalog(
+    const schema::TaskSchema& schema);
+
+/// One row of the tool catalog: a tool entity with its encapsulations.
+struct ToolEntry {
+  schema::EntityTypeId type;
+  std::string name;
+  std::vector<std::string> encapsulations;
+};
+
+/// Lists every tool entity with its registered encapsulations.
+[[nodiscard]] std::vector<ToolEntry> tool_catalog(
+    const tools::ToolRegistry& registry);
+
+/// One row of the data catalog: an instance grouped under its entity type.
+struct DataEntry {
+  data::InstanceId instance;
+  schema::EntityTypeId type;
+  std::string type_name;
+  std::string name;
+  std::string user;
+  support::Timestamp created;
+};
+
+/// Lists instances, optionally restricted to one entity type (with
+/// subtypes).
+[[nodiscard]] std::vector<DataEntry> data_catalog(
+    const history::HistoryDb& db,
+    std::optional<schema::EntityTypeId> type = std::nullopt);
+
+/// The flow catalog: a persistent library of saved flows (the plan-based
+/// approach; "normally used when repeating a common design activity").
+class FlowCatalog {
+ public:
+  explicit FlowCatalog(const schema::TaskSchema& schema);
+
+  /// Saves a flow under its own name.  Throws `FlowError` on a duplicate.
+  void save(const graph::TaskGraph& flow);
+  /// Replaces or adds.
+  void save_or_replace(const graph::TaskGraph& flow);
+  void remove(std::string_view name);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Instantiates a fresh copy of the saved flow (bindings cleared so the
+  /// designer selects instances for the new run).
+  [[nodiscard]] graph::TaskGraph instantiate(std::string_view name) const;
+  /// Instantiates with the saved bindings kept.
+  [[nodiscard]] graph::TaskGraph instantiate_with_bindings(
+      std::string_view name) const;
+
+  /// Whole-catalog persistence.
+  [[nodiscard]] std::string save_all() const;
+  [[nodiscard]] static FlowCatalog load_all(const schema::TaskSchema& schema,
+                                            std::string_view text);
+
+ private:
+  const schema::TaskSchema* schema_;
+  std::vector<std::pair<std::string, std::string>> flows_;  // name -> saved
+};
+
+// ---- the four approaches ----------------------------------------------------
+
+/// Goal-based: a flow seeded with the goal entity type.
+[[nodiscard]] graph::TaskGraph start_from_goal(
+    const schema::TaskSchema& schema, schema::EntityTypeId goal);
+
+/// Tool-based: a flow seeded with the tool entity; `producible` lists the
+/// entity types this tool can construct (so the designer can pick one and
+/// expand upward).
+struct ToolStart {
+  graph::TaskGraph flow;
+  graph::NodeId tool_node;
+  std::vector<schema::EntityTypeId> producible;
+};
+[[nodiscard]] ToolStart start_from_tool(const schema::TaskSchema& schema,
+                                        schema::EntityTypeId tool);
+
+/// Data-based: a flow seeded with (and bound to) an existing instance.
+struct DataStart {
+  graph::TaskGraph flow;
+  graph::NodeId data_node;
+  /// Entity types that can consume this instance (expansion targets).
+  std::vector<schema::EntityTypeId> consumers;
+};
+[[nodiscard]] DataStart start_from_data(const schema::TaskSchema& schema,
+                                        const history::HistoryDb& db,
+                                        data::InstanceId instance);
+
+/// Plan-based: a fresh copy of a saved flow.
+[[nodiscard]] graph::TaskGraph start_from_plan(const FlowCatalog& catalog,
+                                               std::string_view name);
+
+}  // namespace herc::catalog

@@ -1,0 +1,105 @@
+#include "circuit/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::circuit {
+
+std::string CompareReport::to_text() const {
+  std::string out = "comparison ";
+  out += match ? "MATCH" : "DIFFER";
+  out += "\n";
+  for (const std::string& d : differences) out += "diff " + d + "\n";
+  return out;
+}
+
+CompareReport CompareReport::from_text(std::string_view text) {
+  CompareReport report;
+  for (const std::string& raw : support::split(text, '\n')) {
+    const std::string_view body = support::trim(raw);
+    if (body.empty() || body[0] == '#') continue;
+    if (body.rfind("comparison", 0) == 0) {
+      report.match = body.find("MATCH") != std::string_view::npos;
+    } else if (body.rfind("diff ", 0) == 0) {
+      report.differences.emplace_back(body.substr(5));
+    } else {
+      throw support::ParseError("comparison: unknown line '" +
+                                std::string(body) + "'");
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Sample points: every transition time of either waveform, plus a sample
+/// just after each (so both the edge position and the settled value are
+/// covered).
+std::vector<std::int64_t> sample_times(const Waveform& a, const Waveform& b) {
+  std::vector<std::int64_t> times;
+  for (const Waveform* w : {&a, &b}) {
+    for (const WavePoint& p : w->points) {
+      times.push_back(p.time_ps);
+      times.push_back(p.time_ps + 1);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+}  // namespace
+
+CompareReport compare_performance(const SimResult& golden,
+                                  const SimResult& candidate,
+                                  const CompareOptions& options) {
+  CompareReport report;
+  for (const Waveform& gw : golden.waves) {
+    if (!candidate.has_wave(gw.net)) {
+      report.differences.push_back("net '" + gw.net +
+                                   "' missing from candidate");
+      continue;
+    }
+    const Waveform& cw = candidate.wave(gw.net);
+    // Value agreement, with edges allowed to shift within the tolerance:
+    // a disagreement at time t is forgiven when the other waveform holds
+    // the same value somewhere within +-tolerance.
+    std::size_t reported = 0;
+    for (const std::int64_t t : sample_times(gw, cw)) {
+      const Level g = gw.at(t);
+      const Level c = cw.at(t);
+      if (g == c) continue;
+      const std::int64_t tol = options.time_tolerance_ps;
+      const bool forgiven =
+          tol > 0 && (cw.at(t - tol) == g || cw.at(t + tol) == g) &&
+          (gw.at(t - tol) == c || gw.at(t + tol) == c);
+      if (forgiven) continue;
+      if (reported++ < 4) {  // cap the noise per net
+        std::string diff = "net '" + gw.net + "' at " + std::to_string(t) +
+                           " ps: golden=";
+        diff += to_char(g);
+        diff += " candidate=";
+        diff += to_char(c);
+        report.differences.push_back(std::move(diff));
+      }
+    }
+    if (reported > 4) {
+      report.differences.push_back(
+          "net '" + gw.net + "': " + std::to_string(reported - 4) +
+          " further mismatches suppressed");
+    }
+  }
+  for (const Waveform& cw : candidate.waves) {
+    if (!golden.has_wave(cw.net)) {
+      report.differences.push_back("net '" + cw.net +
+                                   "' missing from golden");
+    }
+  }
+  report.match = report.differences.empty();
+  return report;
+}
+
+}  // namespace herc::circuit

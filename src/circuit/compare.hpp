@@ -1,0 +1,38 @@
+// Performance comparison: regression-checking two simulation results.
+//
+// Consistency maintenance needs more than "is it stale?" — after retracing
+// a flow the designer wants to know whether the behaviour actually
+// changed.  The comparator diffs two `Performance` payloads waveform by
+// waveform: logic values sampled on the union of their event times, and
+// transition times within a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/sim.hpp"
+
+namespace herc::circuit {
+
+struct CompareOptions {
+  /// Transition-time slack (ps) tolerated between matching edges.
+  std::int64_t time_tolerance_ps = 0;
+};
+
+/// The `PerformanceDiff` entity payload.
+struct CompareReport {
+  bool match = false;
+  std::vector<std::string> differences;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static CompareReport from_text(std::string_view text);
+};
+
+/// Compares `candidate` against `golden`.
+[[nodiscard]] CompareReport compare_performance(
+    const SimResult& golden, const SimResult& candidate,
+    const CompareOptions& options = {});
+
+}  // namespace herc::circuit

@@ -1,0 +1,517 @@
+#include "circuit/cosmos.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::circuit {
+
+using support::ExecError;
+using support::ParseError;
+
+namespace {
+
+bool is_rail(const std::string& net) { return net == kVdd || net == kGnd; }
+
+/// Union-find over net names.
+class UnionFind {
+ public:
+  void add(const std::string& x) { parent_.try_emplace(x, x); }
+  const std::string& find(const std::string& x) {
+    std::string& p = parent_.at(x);
+    if (p == x) return p;
+    p = find(p);
+    return p;
+  }
+  void unite(const std::string& a, const std::string& b) {
+    const std::string ra = find(a);
+    const std::string rb = find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> parent_;
+};
+
+/// Steady-state solver over one channel-connected component.  `driven`
+/// maps boundary nets (gates resolved externally, primary inputs, rails)
+/// to fixed levels; `initial` seeds the charge state of internal nets.
+struct ComponentNetwork {
+  struct Channel {
+    DeviceType type;         // kNmos / kPmos / kResistor
+    std::size_t gate;        // index into `signals` for MOS; unused for R
+    std::size_t a;
+    std::size_t b;
+    bool weak = false;       // narrow device: loses against full channels
+  };
+  std::vector<std::string> nets;        // component nets incl. rails touched
+  std::vector<std::string> signals;     // gate-input signal names
+  std::vector<Channel> channels;
+  std::vector<char> net_is_driven;      // rails and primary inputs
+  std::vector<Level> driven_level_of;   // for driven nets (rails)
+};
+
+std::vector<Level> solve_component(const ComponentNetwork& cn,
+                                   const std::vector<Level>& signal_levels,
+                                   Level initial_internal) {
+  constexpr int kCharged = 1;
+  constexpr int kWeak = 2;
+  constexpr int kResistive = 3;
+  constexpr int kDriven = 4;
+  const std::size_t n = cn.nets.size();
+  std::vector<Level> val(n);
+  std::vector<int> str(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cn.net_is_driven[i] != 0) {
+      val[i] = cn.driven_level_of[i];
+      str[i] = kDriven;
+    } else {
+      val[i] = initial_internal;
+      str[i] = kCharged;
+    }
+  }
+  bool changed = true;
+  std::size_t iters = 0;
+  const std::size_t cap = 4 * n + 8;
+  while (changed && iters++ < cap) {
+    changed = false;
+    for (const ComponentNetwork::Channel& ch : cn.channels) {
+      bool on = true;
+      bool uncertain = false;
+      if (ch.type == DeviceType::kNmos) {
+        on = signal_levels[ch.gate] != Level::kLow;
+        uncertain = signal_levels[ch.gate] == Level::kX;
+      } else if (ch.type == DeviceType::kPmos) {
+        on = signal_levels[ch.gate] != Level::kHigh;
+        uncertain = signal_levels[ch.gate] == Level::kX;
+      }
+      if (!on) continue;
+      const int strength_limit = ch.weak ? kWeak : kResistive;
+      // Same merge rules as `simulate` (see sim.cpp): uncertain paths
+      // carry their source value and only differing possibilities go X.
+      const auto propagate = [&](std::size_t from, std::size_t to) {
+        if (cn.net_is_driven[to] != 0) return;  // driven nets never move
+        const int cand_str = std::min(str[from], strength_limit);
+        const Level cand_val = val[from];
+        if (cand_str > str[to]) {
+          const Level next =
+              (uncertain && val[to] != cand_val) ? Level::kX : cand_val;
+          str[to] = cand_str;
+          if (val[to] != next) val[to] = next;
+          changed = true;
+        } else if (cand_str == str[to] && cand_val != val[to] &&
+                   val[to] != Level::kX) {
+          val[to] = Level::kX;
+          changed = true;
+        }
+      };
+      propagate(ch.a, ch.b);
+      propagate(ch.b, ch.a);
+    }
+  }
+  return val;
+}
+
+}  // namespace
+
+std::size_t CompiledSim::table_rows() const {
+  std::size_t total = 0;
+  for (const CompiledComponent& c : components) total += c.rows.size();
+  return total;
+}
+
+CompiledSim compile_netlist(const Netlist& netlist,
+                            const DeviceModelLibrary& models,
+                            std::size_t max_component_inputs) {
+  netlist.validate();
+  for (const Device& d : netlist.devices()) {
+    if (d.is_mos() && !models.has_model(d.model)) {
+      throw ExecError("compile: netlist '" + netlist.name() +
+                      "' uses unknown model '" + d.model + "'");
+    }
+  }
+
+  const std::unordered_set<std::string> primary_inputs(
+      netlist.inputs().begin(), netlist.inputs().end());
+
+  // 1. Channel-connected components: union source/drain (and resistor
+  // terminals), with rails and primary inputs acting as boundaries that do
+  // not merge components.
+  UnionFind uf;
+  for (const std::string& n : netlist.nets()) uf.add(n);
+  const auto is_boundary = [&](const std::string& net) {
+    return is_rail(net) || primary_inputs.contains(net);
+  };
+  for (const Device& d : netlist.devices()) {
+    if (d.type == DeviceType::kCapacitor) continue;
+    const std::string& a = d.is_mos() ? d.terminals[1] : d.terminals[0];
+    const std::string& b = d.is_mos() ? d.terminals[2] : d.terminals[1];
+    if (!is_boundary(a) && !is_boundary(b)) uf.unite(a, b);
+  }
+
+  // Gather devices per component (a device belongs to the component of its
+  // non-boundary channel net; devices between two boundaries form their own
+  // singleton component keyed by the device name).
+  std::map<std::string, std::vector<const Device*>> comp_devices;
+  for (const Device& d : netlist.devices()) {
+    if (d.type == DeviceType::kCapacitor) continue;
+    const std::string& a = d.is_mos() ? d.terminals[1] : d.terminals[0];
+    const std::string& b = d.is_mos() ? d.terminals[2] : d.terminals[1];
+    std::string key;
+    if (!is_boundary(a)) {
+      key = uf.find(a);
+    } else if (!is_boundary(b)) {
+      key = uf.find(b);
+    } else {
+      key = "@dev:" + d.name;
+    }
+    comp_devices[key].push_back(&d);
+  }
+
+  // Nets observed by the rest of the circuit: primary outputs and MOS gates.
+  std::unordered_set<std::string> observed(netlist.outputs().begin(),
+                                           netlist.outputs().end());
+  for (const Device& d : netlist.devices()) {
+    if (d.is_mos() && !is_rail(d.terminals[0])) observed.insert(d.terminals[0]);
+  }
+
+  CompiledSim sim;
+  sim.source_netlist = netlist.name();
+  sim.inputs = netlist.inputs();
+  sim.outputs = netlist.outputs();
+
+  for (const auto& [key, devices] : comp_devices) {
+    ComponentNetwork cn;
+    std::unordered_map<std::string, std::size_t> net_index;
+    std::unordered_map<std::string, std::size_t> signal_index;
+    const auto net_of = [&](const std::string& name) {
+      const auto it = net_index.find(name);
+      if (it != net_index.end()) return it->second;
+      const std::size_t idx = cn.nets.size();
+      cn.nets.push_back(name);
+      net_index.emplace(name, idx);
+      const bool driven = is_rail(name) || primary_inputs.contains(name);
+      cn.net_is_driven.push_back(driven ? 1 : 0);
+      cn.driven_level_of.push_back(name == kVdd ? Level::kHigh : Level::kLow);
+      return idx;
+    };
+    const auto signal_of = [&](const std::string& name) {
+      const auto it = signal_index.find(name);
+      if (it != signal_index.end()) return it->second;
+      const std::size_t idx = cn.signals.size();
+      cn.signals.push_back(name);
+      signal_index.emplace(name, idx);
+      return idx;
+    };
+
+    for (const Device* d : devices) {
+      ComponentNetwork::Channel ch;
+      ch.type = d->type;
+      ch.weak = d->is_mos() && d->value < 0.5;
+      if (d->is_mos()) {
+        ch.gate = signal_of(d->terminals[0]);
+        ch.a = net_of(d->terminals[1]);
+        ch.b = net_of(d->terminals[2]);
+      } else {
+        ch.gate = 0;
+        ch.a = net_of(d->terminals[0]);
+        ch.b = net_of(d->terminals[1]);
+      }
+      cn.channels.push_back(ch);
+    }
+    // Primary inputs lying on the channel network are runtime signals too:
+    // their level comes from the stimuli, not from a table constant.
+    for (std::size_t i = 0; i < cn.nets.size(); ++i) {
+      if (primary_inputs.contains(cn.nets[i])) {
+        signal_of(cn.nets[i]);
+      }
+    }
+
+    CompiledComponent comp;
+    comp.input_signals = cn.signals;
+    for (const std::string& n : cn.nets) {
+      if (!is_rail(n) && !primary_inputs.contains(n) && observed.contains(n)) {
+        comp.output_nets.push_back(n);
+      }
+    }
+    if (comp.output_nets.empty()) continue;  // nothing the outside can see
+    if (cn.signals.size() > max_component_inputs) {
+      throw ExecError(
+          "compile: component around net '" + comp.output_nets.front() +
+          "' has " + std::to_string(cn.signals.size()) +
+          " inputs; refusing to build a 2^" +
+          std::to_string(cn.signals.size()) + "-row table (limit " +
+          std::to_string(max_component_inputs) + ")");
+    }
+
+    const std::size_t k = cn.signals.size();
+    const std::size_t n_rows = std::size_t{1} << k;
+    comp.rows.reserve(n_rows);
+    std::vector<Level> levels(k);
+    for (std::size_t row = 0; row < n_rows; ++row) {
+      for (std::size_t b = 0; b < k; ++b) {
+        levels[b] = ((row >> b) & 1U) != 0 ? Level::kHigh : Level::kLow;
+      }
+      // Primary-input signals that are also channel nets must drive the
+      // network with the row's level.
+      ComponentNetwork driven = cn;
+      for (std::size_t i = 0; i < cn.nets.size(); ++i) {
+        if (primary_inputs.contains(cn.nets[i])) {
+          driven.driven_level_of[i] = levels[signal_index.at(cn.nets[i])];
+        }
+      }
+      // Solve twice with opposite charge seeds: agreement means the value
+      // is combinational, disagreement means the component retains state.
+      const std::vector<Level> lo =
+          solve_component(driven, levels, Level::kLow);
+      const std::vector<Level> hi =
+          solve_component(driven, levels, Level::kHigh);
+      std::string codes;
+      for (const std::string& out : comp.output_nets) {
+        const std::size_t idx = net_index.at(out);
+        char code;
+        if (lo[idx] == hi[idx]) {
+          code = to_char(lo[idx]);
+        } else {
+          code = 'K';
+        }
+        codes += code;
+      }
+      comp.rows.push_back(std::move(codes));
+    }
+    sim.components.push_back(std::move(comp));
+  }
+
+  // 2. Topological order by signal dependency (Kahn; feedback stays in
+  // insertion order and is iterated at run time).
+  std::unordered_map<std::string, std::size_t> producer;
+  for (std::size_t c = 0; c < sim.components.size(); ++c) {
+    for (const std::string& out : sim.components[c].output_nets) {
+      producer.emplace(out, c);
+    }
+  }
+  const std::size_t n_comp = sim.components.size();
+  std::vector<std::vector<std::size_t>> succs(n_comp);
+  std::vector<std::size_t> indeg(n_comp, 0);
+  for (std::size_t c = 0; c < n_comp; ++c) {
+    std::set<std::size_t> preds;
+    for (const std::string& sig : sim.components[c].input_signals) {
+      const auto it = producer.find(sig);
+      if (it != producer.end() && it->second != c) preds.insert(it->second);
+    }
+    for (const std::size_t p : preds) {
+      succs[p].push_back(c);
+      ++indeg[c];
+    }
+  }
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> ready;
+  for (std::size_t c = 0; c < n_comp; ++c) {
+    if (indeg[c] == 0) ready.push_back(c);
+  }
+  while (!ready.empty()) {
+    const std::size_t c = ready.back();
+    ready.pop_back();
+    order.push_back(c);
+    for (const std::size_t s : succs[c]) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() == n_comp) {
+    std::vector<CompiledComponent> sorted;
+    sorted.reserve(n_comp);
+    for (const std::size_t c : order) sorted.push_back(sim.components[c]);
+    sim.components = std::move(sorted);
+  }
+  return sim;
+}
+
+SimResult run_compiled(const CompiledSim& sim, const Stimuli& stimuli) {
+  // Net state across events.
+  std::unordered_map<std::string, Level> state;
+  const auto level_of = [&](const std::string& net) {
+    if (net == kVdd) return Level::kHigh;
+    if (net == kGnd) return Level::kLow;
+    const auto it = state.find(net);
+    return it == state.end() ? Level::kX : it->second;
+  };
+
+  SimResult result;
+  SimStatistics& stats = result.stats;
+  std::vector<std::vector<WavePoint>> recs(sim.outputs.size());
+
+  std::vector<std::int64_t> times = stimuli.event_times();
+  if (times.empty()) times.push_back(0);
+  for (const std::int64_t t : times) {
+    ++stats.input_events;
+    for (const std::string& in : sim.inputs) {
+      state[in] = stimuli.has_wave(in) ? stimuli.wave(in).at(t) : Level::kX;
+    }
+    // Evaluate components to a fixpoint (feedback needs multiple passes).
+    bool changed = true;
+    std::size_t passes = 0;
+    const std::size_t cap = sim.components.size() + 4;
+    while (changed && passes++ < cap) {
+      changed = false;
+      for (const CompiledComponent& comp : sim.components) {
+        // X handling: enumerate every completion of the X inputs; outputs
+        // on which all completions agree take that value, the rest go X.
+        // This lets latches initialize even while their feedback signal is
+        // still unknown (a plain "any X in -> X out" rule never converges
+        // on cross-coupled structures).
+        std::size_t base_row = 0;
+        std::vector<std::size_t> x_bits;
+        for (std::size_t b = 0; b < comp.input_signals.size(); ++b) {
+          const Level l = level_of(comp.input_signals[b]);
+          if (l == Level::kX) {
+            x_bits.push_back(b);
+          } else {
+            base_row |= (l == Level::kHigh ? std::size_t{1} : 0U) << b;
+          }
+        }
+        ++stats.relax_iterations;
+        constexpr std::size_t kMaxEnumeratedXBits = 10;
+        const bool too_many_x = x_bits.size() > kMaxEnumeratedXBits;
+        const std::size_t completions =
+            too_many_x ? 0 : (std::size_t{1} << x_bits.size());
+        for (std::size_t o = 0; o < comp.output_nets.size(); ++o) {
+          const std::string& net = comp.output_nets[o];
+          Level next = Level::kX;
+          if (!too_many_x) {
+            bool first = true;
+            bool agree = true;
+            for (std::size_t c = 0; c < completions && agree; ++c) {
+              std::size_t row = base_row;
+              for (std::size_t x = 0; x < x_bits.size(); ++x) {
+                if (((c >> x) & 1U) != 0) {
+                  row |= std::size_t{1} << x_bits[x];
+                }
+              }
+              Level value;
+              switch (comp.rows[row][o]) {
+                case '0': value = Level::kLow; break;
+                case '1': value = Level::kHigh; break;
+                case 'K': value = level_of(net); break;
+                default: value = Level::kX; break;
+              }
+              if (first) {
+                next = value;
+                first = false;
+              } else if (value != next) {
+                agree = false;
+              }
+            }
+            if (!agree) next = Level::kX;
+          }
+          if (level_of(net) != next) {
+            state[net] = next;
+            ++stats.net_updates;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    for (std::size_t o = 0; o < sim.outputs.size(); ++o) {
+      const Level l = level_of(sim.outputs[o]);
+      if (!recs[o].empty() && recs[o].back().level == l) continue;
+      recs[o].push_back(WavePoint{t, l});
+    }
+  }
+
+  for (std::size_t o = 0; o < sim.outputs.size(); ++o) {
+    Waveform w;
+    w.net = sim.outputs[o];
+    w.points = std::move(recs[o]);
+    stats.output_toggles += w.transitions();
+    result.waves.push_back(std::move(w));
+  }
+  for (const auto& [net, level] : state) {
+    stats.x_nets += (level == Level::kX) ? 1 : 0;
+  }
+  result.max_delay_ps = 0;
+  return result;
+}
+
+std::string CompiledSim::to_text() const {
+  std::string out = "compiledsim " + source_netlist + "\n";
+  for (const std::string& in : inputs) out += "input " + in + "\n";
+  for (const std::string& o : outputs) out += "output " + o + "\n";
+  for (const CompiledComponent& c : components) {
+    out += "component in=" + support::join(c.input_signals, ",") +
+           " out=" + support::join(c.output_nets, ",") + " rows=";
+    for (std::size_t r = 0; r < c.rows.size(); ++r) {
+      if (r != 0) out += ',';
+      out += c.rows[r];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+CompiledSim CompiledSim::from_text(std::string_view text) {
+  CompiledSim sim;
+  int line_number = 0;
+  for (const std::string& raw : support::split(text, '\n')) {
+    ++line_number;
+    const std::string_view body = support::trim(raw);
+    if (body.empty() || body[0] == '#') continue;
+    const auto tokens = support::split_ws(body);
+    if (tokens[0] == "compiledsim") {
+      sim.source_netlist = tokens.size() > 1 ? tokens[1] : "";
+    } else if (tokens[0] == "input" && tokens.size() == 2) {
+      sim.inputs.push_back(tokens[1]);
+    } else if (tokens[0] == "output" && tokens.size() == 2) {
+      sim.outputs.push_back(tokens[1]);
+    } else if (tokens[0] == "component") {
+      CompiledComponent comp;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::size_t eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+          throw ParseError("compiledsim line " + std::to_string(line_number) +
+                           ": expected key=value");
+        }
+        const std::string key = tokens[i].substr(0, eq);
+        const std::string value = tokens[i].substr(eq + 1);
+        if (key == "in") {
+          if (!value.empty()) {
+            comp.input_signals = support::split(value, ',');
+          }
+        } else if (key == "out") {
+          comp.output_nets = support::split(value, ',');
+        } else if (key == "rows") {
+          comp.rows = support::split(value, ',');
+        } else {
+          throw ParseError("compiledsim line " + std::to_string(line_number) +
+                           ": unknown key '" + key + "'");
+        }
+      }
+      const std::size_t want_rows = std::size_t{1}
+                                    << comp.input_signals.size();
+      if (comp.rows.size() != want_rows) {
+        throw ParseError("compiledsim line " + std::to_string(line_number) +
+                         ": expected " + std::to_string(want_rows) +
+                         " rows, got " + std::to_string(comp.rows.size()));
+      }
+      for (const std::string& row : comp.rows) {
+        if (row.size() != comp.output_nets.size()) {
+          throw ParseError("compiledsim line " +
+                           std::to_string(line_number) +
+                           ": row width mismatches output count");
+        }
+      }
+      sim.components.push_back(std::move(comp));
+    } else {
+      throw ParseError("compiledsim line " + std::to_string(line_number) +
+                       ": unknown directive '" + tokens[0] + "'");
+    }
+  }
+  return sim;
+}
+
+}  // namespace herc::circuit

@@ -1,0 +1,66 @@
+// COSMOS-style compiled simulation (Fig. 2).
+//
+// The paper's example of a tool created *during* the design is the COSMOS
+// switch-level simulator, "compiled for a given netlist and then executed
+// on different stimuli".  This module reproduces that: `compile_netlist`
+// partitions a MOS netlist into channel-connected components, solves each
+// component's steady-state behaviour exhaustively over its gate inputs, and
+// emits a `CompiledSim` — a table-driven evaluator whose text form is the
+// payload of the `CompiledSimulator` *tool instance* in the history
+// database.  `run_compiled` then executes that instance on stimuli.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/models.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/stimuli.hpp"
+
+namespace herc::circuit {
+
+/// One channel-connected component, compiled to a truth table.
+///
+/// `rows[index]` holds one output code per output net for the input
+/// combination `index` (bit i of the index = level of `input_signals[i]`).
+/// Codes: '0', '1', 'X' (conflict / undriven-unknown), 'K' (state is
+/// retained — the component stores charge for this combination).
+struct CompiledComponent {
+  std::vector<std::string> input_signals;
+  std::vector<std::string> output_nets;
+  std::vector<std::string> rows;
+};
+
+/// A compiled simulator: the runnable artifact of Fig. 2.
+struct CompiledSim {
+  std::string source_netlist;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  /// Components in (best-effort) topological order; feedback loops are
+  /// resolved at run time by iterating to a fixpoint.
+  std::vector<CompiledComponent> components;
+
+  /// Total truth-table rows across components (a size metric).
+  [[nodiscard]] std::size_t table_rows() const;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static CompiledSim from_text(std::string_view text);
+};
+
+/// Compiles `netlist` for later execution.  Components with more than
+/// `max_component_inputs` gate inputs make the table blow up; compilation
+/// refuses them with `ExecError`.
+[[nodiscard]] CompiledSim compile_netlist(
+    const Netlist& netlist, const DeviceModelLibrary& models,
+    std::size_t max_component_inputs = 12);
+
+/// Executes a compiled simulator on stimuli.  Functionally equivalent to
+/// `simulate` on the source netlist (zero-delay: `max_delay_ps` is 0), but
+/// evaluation is table lookups instead of network relaxation.
+[[nodiscard]] SimResult run_compiled(const CompiledSim& sim,
+                                     const Stimuli& stimuli);
+
+}  // namespace herc::circuit

@@ -1,0 +1,39 @@
+// Interactive editing tools: `CircuitEditor`, `LayoutEditor`, `ModelEditor`.
+//
+// The paper's edit loops (`EditedNetlist --CircuitEditor--> Netlist?`) are
+// driven by *edit scripts* — the designer's interactive session captured as
+// text, which is exactly how a batch encapsulation of an editor behaves.
+// Each `apply_*` function takes the previous version (or nothing, for
+// editing from scratch) plus a script and returns the new version; applied
+// through the framework this is what grows version trees (Fig. 11).
+//
+// Netlist script:            Layout script:          Model script:
+//   name adder_v2              move m1 3 4             set nch resistance=12
+//   input cin                  unplace m2              model px type=pmos
+//   add nmos m9 g=a d=x s=GND  place m9 nmos x=1 ...   del pch
+//   del m3                     pin cin x=0 y=3 dir=in
+//   set m2 value=2             resize 8 8
+#pragma once
+
+#include <string_view>
+
+#include "circuit/layout.hpp"
+#include "circuit/models.hpp"
+#include "circuit/netlist.hpp"
+
+namespace herc::circuit {
+
+/// Applies a circuit-editor script to `base` (empty netlist = from scratch).
+/// Throws `ParseError` on bad scripts, `ExecError` on impossible edits.
+[[nodiscard]] Netlist apply_netlist_edits(const Netlist& base,
+                                          std::string_view script);
+
+/// Applies a layout-editor script.
+[[nodiscard]] Layout apply_layout_edits(const Layout& base,
+                                        std::string_view script);
+
+/// Applies a model-editor script.
+[[nodiscard]] DeviceModelLibrary apply_model_edits(
+    const DeviceModelLibrary& base, std::string_view script);
+
+}  // namespace herc::circuit

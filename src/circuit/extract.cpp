@@ -1,0 +1,77 @@
+#include "circuit/extract.hpp"
+
+#include <cstdio>
+
+namespace herc::circuit {
+
+std::string ExtractStatistics::to_text() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "extractstats\ndevices=%zu\nnets=%zu\nparasitics=%zu\n"
+                "total_parasitic_pf=%.9g\ntotal_hpwl=%.9g\n",
+                devices, nets, parasitics, total_parasitic_pf, total_hpwl);
+  return buf;
+}
+
+Netlist extract(const Layout& layout, const ExtractOptions& options,
+                ExtractStatistics* stats) {
+  Netlist netlist(layout.source_netlist().empty()
+                      ? layout.name() + "_extracted"
+                      : layout.source_netlist() + "_extracted");
+  for (const Pin& pin : layout.pins()) {
+    if (pin.is_output) {
+      netlist.add_output(pin.net);
+    } else {
+      netlist.add_input(pin.net);
+    }
+  }
+  for (const PlacedDevice& p : layout.placements()) {
+    Device copy = p.device;
+    // `add` via the device-specific entry points to reuse their checks.
+    switch (copy.type) {
+      case DeviceType::kNmos:
+        netlist.add_nmos(copy.name, copy.terminals[0], copy.terminals[1],
+                         copy.terminals[2], copy.model, copy.value);
+        break;
+      case DeviceType::kPmos:
+        netlist.add_pmos(copy.name, copy.terminals[0], copy.terminals[1],
+                         copy.terminals[2], copy.model, copy.value);
+        break;
+      case DeviceType::kResistor:
+        netlist.add_resistor(copy.name, copy.terminals[0], copy.terminals[1],
+                             copy.value);
+        break;
+      case DeviceType::kCapacitor:
+        netlist.add_capacitor(copy.name, copy.terminals[0], copy.terminals[1],
+                              copy.value);
+        break;
+    }
+  }
+  // Parasitics: one grounded capacitor per net with nonzero wirelength.
+  // Routed nets use their actual wire length; unrouted nets fall back to
+  // the half-perimeter estimate.
+  double total_pf = 0.0;
+  double total_hpwl = 0.0;
+  std::size_t parasitics = 0;
+  for (const std::string& net : layout.nets()) {
+    const double hpwl = layout.has_wires(net) ? layout.routed_length(net)
+                                              : layout.net_hpwl(net);
+    total_hpwl += hpwl;
+    if (hpwl <= 0.0) continue;
+    const double pf = hpwl * options.cap_per_unit_pf;
+    netlist.add_capacitor(std::string(options.parasitic_prefix) + net, net,
+                          kGnd, pf);
+    total_pf += pf;
+    ++parasitics;
+  }
+  if (stats != nullptr) {
+    stats->devices = layout.placements().size();
+    stats->nets = layout.nets().size();
+    stats->parasitics = parasitics;
+    stats->total_parasitic_pf = total_pf;
+    stats->total_hpwl = total_hpwl;
+  }
+  return netlist;
+}
+
+}  // namespace herc::circuit

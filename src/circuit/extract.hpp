@@ -1,0 +1,39 @@
+// Netlist extraction: the `Extractor` tool entity of Fig. 1.
+//
+// Recovers a netlist from a layout's labeled pins and adds lumped parasitic
+// capacitors sized by net wirelength — so an `ExtractedNetlist` simulates
+// slower than the schematic it came from, which is what makes the
+// framework's "is this performance up to date with that layout?" questions
+// meaningful.
+#pragma once
+
+#include "circuit/layout.hpp"
+#include "circuit/netlist.hpp"
+
+namespace herc::circuit {
+
+struct ExtractOptions {
+  /// Parasitic capacitance (pF) per grid unit of half-perimeter wirelength.
+  double cap_per_unit_pf = 0.02;
+  /// Prefix for generated parasitic capacitor names.
+  const char* parasitic_prefix = "cpar_";
+};
+
+/// Extraction by-products (the `ExtractionStatistics` idea of Fig. 2).
+struct ExtractStatistics {
+  std::size_t devices = 0;
+  std::size_t nets = 0;
+  std::size_t parasitics = 0;
+  double total_parasitic_pf = 0.0;
+  double total_hpwl = 0.0;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Extracts a netlist from `layout`.  When `stats` is non-null it receives
+/// the extraction summary.
+[[nodiscard]] Netlist extract(const Layout& layout,
+                              const ExtractOptions& options = {},
+                              ExtractStatistics* stats = nullptr);
+
+}  // namespace herc::circuit

@@ -1,0 +1,117 @@
+// Physical layouts: the physical view of a design (Fig. 7).
+//
+// A layout places every device of a circuit on an integer grid and labels
+// its terminals with net names (labeled pins).  Connectivity is therefore
+// recoverable from the layout alone — which is what the Extractor does —
+// while geometry (positions) determines the wirelength used for parasitic
+// estimation.  Text form:
+//
+//   layout inverter source=inverter rows=4 cols=4
+//   place m1 nmos x=0 y=0 g=in d=out s=GND model=nch value=1
+//   pin in x=0 y=1
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace herc::circuit {
+
+/// One placed device: a netlist device plus a grid position.
+struct PlacedDevice {
+  Device device;
+  int x = 0;
+  int y = 0;
+};
+
+/// A labeled I/O pin position.
+struct Pin {
+  std::string net;
+  int x = 0;
+  int y = 0;
+  bool is_output = false;
+};
+
+/// An axis-aligned wire segment.  By convention horizontal segments run on
+/// metal-1 and vertical segments on metal-2, so crossings are legal but
+/// collinear overlaps between different nets are not (see `drc`).
+struct WireSegment {
+  std::string net;
+  int x1 = 0;
+  int y1 = 0;
+  int x2 = 0;
+  int y2 = 0;
+
+  [[nodiscard]] bool horizontal() const { return y1 == y2; }
+  /// Manhattan length in grid units.
+  [[nodiscard]] int length() const;
+  /// True when the grid point (x, y) lies on the segment.
+  [[nodiscard]] bool covers(int x, int y) const;
+};
+
+class Layout {
+ public:
+  Layout() = default;
+  Layout(std::string name, std::string source_netlist, int rows, int cols);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& source_netlist() const { return source_; }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  void resize(int rows, int cols);
+
+  void place(const Device& device, int x, int y);
+  void move(std::string_view device, int x, int y);
+  void unplace(std::string_view device);
+  [[nodiscard]] bool has_placement(std::string_view device) const;
+  [[nodiscard]] const PlacedDevice& placement(std::string_view device) const;
+  [[nodiscard]] const std::vector<PlacedDevice>& placements() const {
+    return placed_;
+  }
+
+  void add_pin(std::string_view net, int x, int y, bool is_output);
+  [[nodiscard]] const std::vector<Pin>& pins() const { return pins_; }
+
+  /// Adds an axis-aligned wire segment; throws `ExecError` on a diagonal.
+  void add_wire(std::string_view net, int x1, int y1, int x2, int y2);
+  [[nodiscard]] const std::vector<WireSegment>& wires() const {
+    return wires_;
+  }
+  [[nodiscard]] bool has_wires(std::string_view net) const;
+  /// Total routed wirelength of `net` (0 when unrouted).
+  [[nodiscard]] double routed_length(std::string_view net) const;
+  /// All terminal positions (device placements and pins) of `net`.
+  [[nodiscard]] std::vector<std::pair<int, int>> terminals_of(
+      std::string_view net) const;
+  /// True when every terminal of `net` is connected through its wires
+  /// (trivially true for nets with fewer than two terminals).
+  [[nodiscard]] bool net_connected(std::string_view net) const;
+
+  /// Half-perimeter wirelength of `net` over device terminals and pins.
+  [[nodiscard]] double net_hpwl(std::string_view net) const;
+  /// Sum of HPWL over all nets (placement cost).
+  [[nodiscard]] double total_hpwl() const;
+  /// All nets referenced by placed devices and pins.
+  [[nodiscard]] std::vector<std::string> nets() const;
+
+  /// Design-rule check: placements inside the grid, no two devices on the
+  /// same cell.  Returns human-readable violations (empty = clean).
+  [[nodiscard]] std::vector<std::string> drc() const;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static Layout from_text(std::string_view text);
+
+ private:
+  std::string name_ = "layout";
+  std::string source_ = "";
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<PlacedDevice> placed_;
+  std::vector<Pin> pins_;
+  std::vector<WireSegment> wires_;
+};
+
+}  // namespace herc::circuit

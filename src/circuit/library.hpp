@@ -1,0 +1,59 @@
+// Canonical example circuits used by tests, benchmarks and examples.
+//
+// All are static CMOS built from the gate subcircuits below; the full adder
+// is the Fig. 9 browser's "CMOS Full adder" made real.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/netlist.hpp"
+
+namespace herc::circuit {
+
+/// CMOS inverter: in -> out (2 transistors).
+[[nodiscard]] Netlist inverter_netlist();
+
+/// 2-input NAND: a, b -> y (4 transistors).
+[[nodiscard]] Netlist nand2_netlist();
+
+/// 2-input NOR: a, b -> y (4 transistors).
+[[nodiscard]] Netlist nor2_netlist();
+
+/// XOR built from four NAND gates: a, b -> y (16 transistors).
+[[nodiscard]] Netlist xor2_netlist();
+
+/// Full adder from two XORs and NAND majority logic:
+/// a, b, cin -> sum, cout.
+[[nodiscard]] Netlist full_adder_netlist();
+
+/// A chain of `stages` inverters: in -> out.  Handy for size sweeps.
+[[nodiscard]] Netlist inverter_chain(std::size_t stages);
+
+/// A level-sensitive latch (pass transistor + forward inverter + weak
+/// feedback inverter): d, en -> q.  State is held by the ratioed feedback
+/// loop.
+[[nodiscard]] Netlist latch_netlist();
+
+/// A *dynamic* latch (pass transistor + inverter, no feedback): d, en -> q.
+/// The storage node floats when en=0, exercising charge retention and the
+/// compiled simulator's state-retaining ('K') table rows.
+[[nodiscard]] Netlist dynamic_latch_netlist();
+
+/// 2:1 pass-transistor multiplexer with output buffer:
+/// a, b, sel -> y  (y = sel ? b : a).
+[[nodiscard]] Netlist mux2_netlist();
+
+/// Cross-coupled-NAND set/reset latch: sn, rn -> q, qn (active-low
+/// inputs).
+[[nodiscard]] Netlist sr_latch_netlist();
+
+/// Positive-edge master/slave D flip-flop from two transparent latches:
+/// d, clk -> q.  The master samples while clk=0; q takes the sampled
+/// value at the rising edge and holds it while clk=1.
+[[nodiscard]] Netlist dff_netlist();
+
+/// `bits`-wide ripple-carry adder from full adders:
+/// a0..a{n-1}, b0..b{n-1}, cin -> s0..s{n-1}, cout.
+[[nodiscard]] Netlist ripple_adder_netlist(std::size_t bits);
+
+}  // namespace herc::circuit

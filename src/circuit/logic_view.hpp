@@ -1,0 +1,74 @@
+// Gate-level logic views and synthesis to the transistor view (Figs. 7–8).
+//
+// A `LogicView` is the designer's gate-level description of a cell; the
+// `Synthesizer` tool expands each gate into its static-CMOS subcircuit,
+// producing a `SynthesizedNetlist` (a transistor view).  Text form:
+//
+//   logic full_adder
+//   input a b cin
+//   output sum cout
+//   gate x1 xor2 a=a b=b y=p
+//   gate c3 nand2 a=g1 b=g2 y=cout
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace herc::circuit {
+
+/// Gate kinds the synthesizer knows.
+enum class GateKind { kInv, kNand2, kNor2, kAnd2, kOr2, kXor2 };
+
+[[nodiscard]] const char* to_string(GateKind k);
+[[nodiscard]] std::optional<GateKind> gate_kind_from(std::string_view s);
+
+struct LogicGate {
+  std::string name;
+  GateKind kind = GateKind::kInv;
+  /// Formal-pin -> net: `a`/`b` inputs (`a` only for inverters), `y` output.
+  std::unordered_map<std::string, std::string> pins;
+};
+
+class LogicView {
+ public:
+  LogicView() = default;
+  explicit LogicView(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void add_input(std::string_view net);
+  void add_output(std::string_view net);
+  void add_gate(LogicGate gate);
+
+  [[nodiscard]] const std::vector<std::string>& inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] const std::vector<LogicGate>& gates() const { return gates_; }
+
+  /// Checks pins are complete and reference consistent nets; throws
+  /// `ExecError` on the first problem.
+  void validate() const;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static LogicView from_text(std::string_view text);
+
+ private:
+  std::string name_ = "logic";
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<LogicGate> gates_;
+};
+
+/// The `Synthesizer` tool: expands gates into transistors.
+[[nodiscard]] Netlist synthesize(const LogicView& view);
+
+/// The logic view of the full adder (for the Fig. 7/8 examples).
+[[nodiscard]] LogicView full_adder_logic();
+
+}  // namespace herc::circuit

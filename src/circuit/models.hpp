@@ -1,0 +1,60 @@
+// Device-model library: the `DeviceModels` entity of Fig. 1.
+//
+// Models give MOS devices electrical strength for delay estimation.  The
+// library is itself design data (edited by the ModelEditor tool, grouped
+// with a netlist into the `Circuit` composite), so it round-trips through
+// text:
+//
+//   models default
+//   model nch type=nmos resistance=10 threshold=0.6
+//   model pch type=pmos resistance=20 threshold=0.6
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herc::circuit {
+
+/// Electrical parameters of one MOS model.
+struct DeviceModel {
+  std::string name;
+  bool is_pmos = false;
+  /// On-resistance (kilo-ohms) of a unit-width device; delay scales with it.
+  double resistance_kohm = 10.0;
+  /// Threshold voltage (volts) — recorded meta-data, also used by the
+  /// compose consistency check.
+  double threshold_v = 0.6;
+};
+
+class DeviceModelLibrary {
+ public:
+  DeviceModelLibrary() = default;
+  explicit DeviceModelLibrary(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Adds or replaces a model.
+  void set_model(DeviceModel model);
+  /// Removes a model; throws `ExecError` when absent.
+  void remove_model(std::string_view name);
+  [[nodiscard]] bool has_model(std::string_view name) const;
+  /// Throws `ExecError` when absent.
+  [[nodiscard]] const DeviceModel& model(std::string_view name) const;
+  [[nodiscard]] const std::vector<DeviceModel>& models() const {
+    return models_;
+  }
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static DeviceModelLibrary from_text(std::string_view text);
+
+  /// The library shipped with the framework: unit nch/pch models.
+  [[nodiscard]] static DeviceModelLibrary standard();
+
+ private:
+  std::string name_ = "models";
+  std::vector<DeviceModel> models_;
+};
+
+}  // namespace herc::circuit

@@ -1,0 +1,135 @@
+// MOS-network netlists: the transistor-level view of a design (Fig. 7).
+//
+// The substrate the framework's tools operate on is a small but real
+// switch-level circuit representation: named nets (with the implicit VDD
+// and GND rails), MOS transistors, and lumped resistors/capacitors.  All
+// design data in the blob store is text, so the netlist round-trips through
+// a line-oriented format:
+//
+//   netlist inverter
+//   input in
+//   output out
+//   nmos m1 g=in d=out s=GND model=nch
+//   pmos m2 g=in d=out s=VDD model=pch
+//   cap c1 a=out b=GND value=0.02
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace herc::circuit {
+
+/// The implicit supply rails present in every netlist.
+inline constexpr std::string_view kVdd = "VDD";
+inline constexpr std::string_view kGnd = "GND";
+
+enum class DeviceType {
+  kNmos,
+  kPmos,
+  kResistor,
+  kCapacitor,
+};
+
+[[nodiscard]] const char* to_string(DeviceType t);
+[[nodiscard]] std::optional<DeviceType> device_type_from(std::string_view s);
+
+/// One circuit element.  MOS devices use terminals {gate, drain, source};
+/// two-terminal devices use {a, b}.
+struct Device {
+  std::string name;
+  DeviceType type = DeviceType::kNmos;
+  /// For MOS: gate, drain, source nets.  For R/C: a, b nets.
+  std::vector<std::string> terminals;
+  /// Device-model name (MOS only); resolved against a DeviceModelLibrary.
+  std::string model;
+  /// Element value: width multiplier for MOS, ohms for R, pF for C.
+  double value = 1.0;
+
+  [[nodiscard]] bool is_mos() const {
+    return type == DeviceType::kNmos || type == DeviceType::kPmos;
+  }
+};
+
+/// A flat MOS netlist.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Declares a net; rails need not (but may) be declared.  Re-declaring
+  /// is a no-op.
+  void add_net(std::string_view net);
+  void add_input(std::string_view net);
+  void add_output(std::string_view net);
+
+  void add_nmos(std::string_view name, std::string_view gate,
+                std::string_view drain, std::string_view source,
+                std::string_view model = "nch", double width = 1.0);
+  void add_pmos(std::string_view name, std::string_view gate,
+                std::string_view drain, std::string_view source,
+                std::string_view model = "pch", double width = 1.0);
+  void add_resistor(std::string_view name, std::string_view a,
+                    std::string_view b, double ohms);
+  void add_capacitor(std::string_view name, std::string_view a,
+                     std::string_view b, double pf);
+
+  /// Removes a device by name; throws `ParseError`-free `HercError` family
+  /// (`ExecError`) when absent.
+  void remove_device(std::string_view name);
+  [[nodiscard]] bool has_device(std::string_view name) const;
+  [[nodiscard]] const Device& device(std::string_view name) const;
+  Device& device_mut(std::string_view name);
+
+  [[nodiscard]] const std::vector<Device>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] const std::vector<std::string>& nets() const { return nets_; }
+  [[nodiscard]] const std::vector<std::string>& inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] bool has_net(std::string_view net) const;
+
+  [[nodiscard]] std::size_t device_count(DeviceType t) const;
+  [[nodiscard]] std::size_t mos_count() const;
+
+  /// Total capacitance (pF) hanging on `net` from capacitor devices.
+  [[nodiscard]] double net_capacitance(std::string_view net) const;
+
+  /// Structural sanity: every terminal references a declared net (or a
+  /// rail), names are unique, MOS devices carry a model.  Throws
+  /// `ExecError` with a description on the first problem.
+  void validate() const;
+
+  /// Merges `other` into this netlist with every name (nets, devices)
+  /// prefixed by `prefix`, except connections listed in `port_map`, which
+  /// are rewired to existing nets.  Rails are never prefixed.  Used to
+  /// build large circuits from gate subcircuits.
+  void instantiate(const Netlist& other, std::string_view prefix,
+                   const std::unordered_map<std::string, std::string>&
+                       port_map);
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static Netlist from_text(std::string_view text);
+
+ private:
+  void add_device(Device device);
+
+  std::string name_ = "netlist";
+  std::vector<std::string> nets_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<Device> devices_;
+  std::unordered_map<std::string, std::size_t> device_index_;
+};
+
+}  // namespace herc::circuit

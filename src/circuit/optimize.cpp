@@ -1,0 +1,192 @@
+#include "circuit/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/sim.hpp"
+#include "support/error.hpp"
+
+namespace herc::circuit {
+
+const char* to_string(OptAlgorithm a) {
+  switch (a) {
+    case OptAlgorithm::kGradient: return "gradient";
+    case OptAlgorithm::kAnnealing: return "annealing";
+    case OptAlgorithm::kRandomSearch: return "random";
+  }
+  return "?";
+}
+
+std::optional<OptAlgorithm> opt_algorithm_from(std::string_view s) {
+  if (s == "gradient") return OptAlgorithm::kGradient;
+  if (s == "annealing") return OptAlgorithm::kAnnealing;
+  if (s == "random") return OptAlgorithm::kRandomSearch;
+  return std::nullopt;
+}
+
+std::string OptimizeResult::summary() const {
+  return "optimized " + netlist.name() + ": delay " +
+         std::to_string(initial_delay_ps) + " -> " +
+         std::to_string(final_delay_ps) + " ps in " +
+         std::to_string(evaluations) + " evaluations";
+}
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::size_t below(std::size_t n) { return next() % n; }
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Cost: worst-case delay with a small area tie-breaker so the search
+/// cannot wander among equal-delay sizings.
+struct Evaluator {
+  const DeviceModelLibrary& models;
+  const Stimuli& stimuli;
+  std::size_t evaluations = 0;
+
+  double cost(const Netlist& nl) {
+    ++evaluations;
+    const SimResult r = simulate(nl, models, stimuli);
+    double area = 0.0;
+    for (const Device& d : nl.devices()) {
+      if (d.is_mos()) area += d.value;
+    }
+    return static_cast<double>(r.max_delay_ps) + 0.01 * area;
+  }
+
+  std::int64_t delay(const Netlist& nl) {
+    return simulate(nl, models, stimuli).max_delay_ps;
+  }
+};
+
+std::vector<std::size_t> mos_indices(const Netlist& nl) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nl.devices().size(); ++i) {
+    if (nl.devices()[i].is_mos()) out.push_back(i);
+  }
+  return out;
+}
+
+void set_width(Netlist& nl, std::size_t device_index, double width) {
+  nl.device_mut(nl.devices()[device_index].name).value = width;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const Netlist& netlist,
+                        const DeviceModelLibrary& models,
+                        const Stimuli& stimuli,
+                        const OptimizeOptions& options) {
+  Evaluator eval{models, stimuli};
+  OptimizeResult result;
+  result.netlist = netlist;
+  result.netlist.set_name(netlist.name() + "_opt");
+  result.initial_delay_ps = eval.delay(netlist);
+
+  const std::vector<std::size_t> mos = mos_indices(netlist);
+  if (mos.empty()) {
+    result.final_delay_ps = result.initial_delay_ps;
+    result.evaluations = eval.evaluations;
+    return result;
+  }
+
+  Netlist best = result.netlist;
+  double best_cost = eval.cost(best);
+  Rng rng(options.seed);
+
+  switch (options.algorithm) {
+    case OptAlgorithm::kGradient: {
+      // Coordinate descent: try scaling each device up/down, keep any
+      // improvement, stop after `iterations` sweeps or a sweep without
+      // progress.
+      for (std::size_t sweep = 0; sweep < options.iterations; ++sweep) {
+        bool improved = false;
+        for (const std::size_t di : mos) {
+          const double w = best.devices()[di].value;
+          for (const double factor : {1.4, 0.7}) {
+            const double cand_w =
+                std::clamp(w * factor, options.min_width, options.max_width);
+            if (cand_w == w) continue;
+            Netlist cand = best;
+            set_width(cand, di, cand_w);
+            const double c = eval.cost(cand);
+            if (c < best_cost) {
+              best = std::move(cand);
+              best_cost = c;
+              improved = true;
+              break;
+            }
+          }
+        }
+        if (!improved) break;
+      }
+      break;
+    }
+    case OptAlgorithm::kAnnealing: {
+      Netlist current = best;
+      double current_cost = best_cost;
+      double temperature = std::max(1.0, best_cost * 0.1);
+      const double cooling =
+          std::pow(0.02, 1.0 / static_cast<double>(
+                               std::max<std::size_t>(options.iterations, 1)));
+      for (std::size_t it = 0; it < options.iterations; ++it) {
+        Netlist cand = current;
+        const std::size_t di = mos[rng.below(mos.size())];
+        const double w = cand.devices()[di].value;
+        const double factor = 0.5 + rng.unit() * 1.5;
+        set_width(cand, di,
+                  std::clamp(w * factor, options.min_width,
+                             options.max_width));
+        const double c = eval.cost(cand);
+        const double delta = c - current_cost;
+        if (delta <= 0 || rng.unit() < std::exp(-delta / temperature)) {
+          current = std::move(cand);
+          current_cost = c;
+          if (current_cost < best_cost) {
+            best = current;
+            best_cost = current_cost;
+          }
+        }
+        temperature *= cooling;
+      }
+      break;
+    }
+    case OptAlgorithm::kRandomSearch: {
+      for (std::size_t it = 0; it < options.iterations; ++it) {
+        Netlist cand = result.netlist;
+        for (const std::size_t di : mos) {
+          const double w = options.min_width +
+                           rng.unit() * (options.max_width -
+                                         options.min_width);
+          set_width(cand, di, w);
+        }
+        const double c = eval.cost(cand);
+        if (c < best_cost) {
+          best = std::move(cand);
+          best_cost = c;
+        }
+      }
+      break;
+    }
+  }
+
+  result.netlist = std::move(best);
+  result.final_delay_ps = eval.delay(result.netlist);
+  result.evaluations = eval.evaluations;
+  return result;
+}
+
+}  // namespace herc::circuit

@@ -1,0 +1,56 @@
+// Statistical circuit optimizers (paper §3.3).
+//
+// The paper mentions three statistical circuit-optimization tools that
+// "take exactly the same input arguments and produce the same type of
+// output", encapsulated once.  These are they: three search strategies over
+// MOS device widths minimizing the simulated worst-case delay, behind one
+// entry point — which is exactly what lets one encapsulation serve all
+// three tools.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "circuit/models.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/stimuli.hpp"
+
+namespace herc::circuit {
+
+enum class OptAlgorithm {
+  kGradient,      ///< coordinate descent on device widths
+  kAnnealing,     ///< simulated annealing over random width perturbations
+  kRandomSearch,  ///< pure random restarts, keep the best
+};
+
+[[nodiscard]] const char* to_string(OptAlgorithm a);
+[[nodiscard]] std::optional<OptAlgorithm> opt_algorithm_from(
+    std::string_view s);
+
+struct OptimizeOptions {
+  OptAlgorithm algorithm = OptAlgorithm::kGradient;
+  std::size_t iterations = 30;
+  std::uint64_t seed = 1;
+  double min_width = 0.5;
+  double max_width = 8.0;
+};
+
+struct OptimizeResult {
+  Netlist netlist;                    ///< the `OptimizedNetlist` payload
+  std::int64_t initial_delay_ps = 0;
+  std::int64_t final_delay_ps = 0;
+  std::size_t evaluations = 0;        ///< simulator invocations spent
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Optimizes MOS widths of `netlist` against the delay measured by
+/// simulating with `models` and `stimuli`.  Deterministic for a fixed seed.
+[[nodiscard]] OptimizeResult optimize(const Netlist& netlist,
+                                      const DeviceModelLibrary& models,
+                                      const Stimuli& stimuli,
+                                      const OptimizeOptions& options = {});
+
+}  // namespace herc::circuit

@@ -1,0 +1,100 @@
+#include "circuit/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace herc::circuit {
+
+namespace {
+
+/// xorshift64* — deterministic, seedable, and good enough for annealing.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  std::size_t below(std::size_t n) { return next() % n; }
+
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+Layout place(const Netlist& netlist, const PlaceOptions& options) {
+  netlist.validate();
+  const std::size_t n = netlist.devices().size();
+  const int side =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(
+                      static_cast<double>(std::max<std::size_t>(n, 1))))));
+  Layout layout(netlist.name() + "_placed", netlist.name(), side + 2, side);
+
+  // Row-major initial placement, rows 1..side (row 0 and the last row are
+  // kept free for pins).
+  int x = 0;
+  int y = 1;
+  for (const Device& d : netlist.devices()) {
+    layout.place(d, x, y);
+    if (++x == side) {
+      x = 0;
+      ++y;
+    }
+  }
+  // Pins: inputs on the top edge, outputs on the bottom edge.
+  int pin_x = 0;
+  for (const std::string& in : netlist.inputs()) {
+    layout.add_pin(in, pin_x++ % side, 0, /*is_output=*/false);
+  }
+  pin_x = 0;
+  for (const std::string& out : netlist.outputs()) {
+    layout.add_pin(out, pin_x++ % side, side + 1, /*is_output=*/true);
+  }
+
+  if (n < 2 || options.moves == 0) return layout;
+
+  // Simulated annealing over device-position swaps.
+  Rng rng(options.seed);
+  double cost = layout.total_hpwl();
+  double temperature = options.start_temperature;
+  const double cooling =
+      std::pow(0.01 / std::max(options.start_temperature, 0.011),
+               1.0 / static_cast<double>(options.moves));
+  const auto& devices = netlist.devices();
+  for (std::size_t move = 0; move < options.moves; ++move) {
+    const std::size_t i = rng.below(n);
+    std::size_t j = rng.below(n - 1);
+    if (j >= i) ++j;
+    const PlacedDevice& pi = layout.placement(devices[i].name);
+    const PlacedDevice& pj = layout.placement(devices[j].name);
+    const int xi = pi.x;
+    const int yi = pi.y;
+    const int xj = pj.x;
+    const int yj = pj.y;
+    layout.move(devices[i].name, xj, yj);
+    layout.move(devices[j].name, xi, yi);
+    const double new_cost = layout.total_hpwl();
+    const double delta = new_cost - cost;
+    if (delta <= 0 ||
+        (temperature > 1e-9 && rng.unit() < std::exp(-delta / temperature))) {
+      cost = new_cost;
+    } else {
+      layout.move(devices[i].name, xi, yi);
+      layout.move(devices[j].name, xj, yj);
+    }
+    temperature *= cooling;
+  }
+  return layout;
+}
+
+}  // namespace herc::circuit

@@ -1,0 +1,29 @@
+// Automatic placement: the `Placer` tool entity of Fig. 1.
+//
+// Produces a `PlacedLayout` from a netlist: devices go onto a near-square
+// grid, I/O pins onto the left/right edges, and a deterministic simulated-
+// annealing pass swaps cells to reduce total half-perimeter wirelength.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/layout.hpp"
+#include "circuit/netlist.hpp"
+
+namespace herc::circuit {
+
+struct PlaceOptions {
+  /// Annealing moves; 0 disables refinement (row-major initial placement
+  /// only).
+  std::size_t moves = 2000;
+  /// Seed for the deterministic move sequence.
+  std::uint64_t seed = 1;
+  /// Initial acceptance temperature (in HPWL units).
+  double start_temperature = 4.0;
+};
+
+/// Places every device of `netlist`.  The result passes `Layout::drc()`.
+[[nodiscard]] Layout place(const Netlist& netlist,
+                           const PlaceOptions& options = {});
+
+}  // namespace herc::circuit

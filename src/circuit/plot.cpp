@@ -1,0 +1,50 @@
+#include "circuit/plot.hpp"
+
+#include <algorithm>
+
+namespace herc::circuit {
+
+std::string ascii_plot(const SimResult& result, const PlotOptions& options) {
+  std::string out = options.title.empty() ? std::string("performance plot")
+                                          : options.title;
+  out += "\n";
+  // Common span across all waveforms.
+  std::int64_t horizon = 1;
+  std::size_t label_width = 4;
+  for (const Waveform& w : result.waves) {
+    if (!w.points.empty()) {
+      horizon = std::max(horizon, w.points.back().time_ps + 1);
+    }
+    label_width = std::max(label_width, w.net.size());
+  }
+  const int width = std::max(options.width, 8);
+  const double ps_per_col = static_cast<double>(horizon) /
+                            static_cast<double>(width);
+
+  for (const Waveform& w : result.waves) {
+    std::string line(w.net);
+    line.resize(label_width + 2, ' ');
+    Level prev = Level::kX;
+    for (int col = 0; col < width; ++col) {
+      const auto t = static_cast<std::int64_t>(col * ps_per_col);
+      const Level l = w.at(t);
+      char c;
+      if (l == Level::kX) {
+        c = '?';
+      } else if (prev != l && col != 0 && prev != Level::kX) {
+        c = (l == Level::kHigh) ? '/' : '\\';
+      } else {
+        c = (l == Level::kHigh) ? '~' : '_';
+      }
+      line += c;
+      prev = l;
+    }
+    out += line + "\n";
+  }
+  out += "scale: " + std::to_string(static_cast<std::int64_t>(ps_per_col)) +
+         " ps/col, horizon " + std::to_string(horizon) + " ps\n";
+  out += "max_delay_ps " + std::to_string(result.max_delay_ps) + "\n";
+  return out;
+}
+
+}  // namespace herc::circuit

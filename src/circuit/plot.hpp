@@ -1,0 +1,28 @@
+// Waveform plotting: the `Plotter` tool entity of Fig. 1.
+//
+// Renders a simulation result as an ASCII timing diagram — the
+// `PerformancePlot` entity payload.
+#pragma once
+
+#include <string>
+
+#include "circuit/sim.hpp"
+
+namespace herc::circuit {
+
+struct PlotOptions {
+  /// Characters available for the time axis.
+  int width = 72;
+  /// Title printed above the diagram; empty uses a default.
+  std::string title;
+};
+
+/// Renders every waveform of `result` over its full time span, e.g.:
+///
+///   out  ____/~~~~\____/~~~~
+///
+/// with `~` = high, `_` = low, `?` = X, `/`/`\` at transitions.
+[[nodiscard]] std::string ascii_plot(const SimResult& result,
+                                     const PlotOptions& options = {});
+
+}  // namespace herc::circuit

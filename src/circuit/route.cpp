@@ -1,0 +1,102 @@
+#include "circuit/route.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace herc::circuit {
+
+std::string RouteStatistics::to_text() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "routestats\nnets_routed=%zu\nsegments=%zu\n"
+                "total_wirelength=%.9g\nconflicts=%zu\n",
+                nets_routed, segments, total_wirelength, conflicts);
+  return buf;
+}
+
+namespace {
+
+/// Same-layer overlap test (mirrors Layout::drc's wire rule).
+bool overlaps(const WireSegment& a, const WireSegment& b) {
+  if (a.net == b.net) return false;
+  if (a.horizontal() != b.horizontal()) return false;
+  if (a.horizontal()) {
+    return a.y1 == b.y1 &&
+           std::max(std::min(a.x1, a.x2), std::min(b.x1, b.x2)) <
+               std::min(std::max(a.x1, a.x2), std::max(b.x1, b.x2));
+  }
+  return a.x1 == b.x1 &&
+         std::max(std::min(a.y1, a.y2), std::min(b.y1, b.y2)) <
+             std::min(std::max(a.y1, a.y2), std::max(b.y1, b.y2));
+}
+
+/// The two L-shaped candidates joining p0 to p1.
+std::vector<WireSegment> l_route(const std::string& net, int x0, int y0,
+                                 int x1, int y1, bool horizontal_first) {
+  std::vector<WireSegment> segs;
+  if (horizontal_first) {
+    if (x0 != x1) segs.push_back(WireSegment{net, x0, y0, x1, y0});
+    if (y0 != y1) segs.push_back(WireSegment{net, x1, y0, x1, y1});
+  } else {
+    if (y0 != y1) segs.push_back(WireSegment{net, x0, y0, x0, y1});
+    if (x0 != x1) segs.push_back(WireSegment{net, x0, y1, x1, y1});
+  }
+  return segs;
+}
+
+std::size_t conflict_count(const std::vector<WireSegment>& candidate,
+                           const std::vector<WireSegment>& existing) {
+  std::size_t count = 0;
+  for (const WireSegment& c : candidate) {
+    for (const WireSegment& e : existing) {
+      count += overlaps(c, e) ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Layout route(const Layout& layout, const RouteOptions& options,
+             RouteStatistics* stats) {
+  if (!layout.wires().empty()) {
+    throw support::ExecError("route: layout '" + layout.name() +
+                             "' already contains wires");
+  }
+  Layout routed = layout;
+  RouteStatistics local;
+  for (const std::string& net : layout.nets()) {
+    if (!options.route_rails && (net == kVdd || net == kGnd)) continue;
+    auto terminals = routed.terminals_of(net);
+    if (terminals.size() < 2) continue;
+    // Deterministic chain: sort by (x, y), join consecutive terminals
+    // with an L (horizontal first, then vertical).
+    std::sort(terminals.begin(), terminals.end());
+    for (std::size_t i = 1; i < terminals.size(); ++i) {
+      const auto [x0, y0] = terminals[i - 1];
+      const auto [x1, y1] = terminals[i];
+      // Try both L orientations and keep the one with fewer same-layer
+      // conflicts against wires already committed.
+      const auto h_first = l_route(net, x0, y0, x1, y1, true);
+      const auto v_first = l_route(net, x0, y0, x1, y1, false);
+      const std::size_t h_conflicts =
+          conflict_count(h_first, routed.wires());
+      const std::size_t v_conflicts =
+          conflict_count(v_first, routed.wires());
+      const auto& chosen = h_conflicts <= v_conflicts ? h_first : v_first;
+      local.conflicts += std::min(h_conflicts, v_conflicts);
+      for (const WireSegment& w : chosen) {
+        routed.add_wire(w.net, w.x1, w.y1, w.x2, w.y2);
+        ++local.segments;
+      }
+    }
+    ++local.nets_routed;
+    local.total_wirelength += routed.routed_length(net);
+  }
+  if (stats != nullptr) *stats = local;
+  return routed;
+}
+
+}  // namespace herc::circuit

@@ -1,0 +1,44 @@
+// Detail routing: the `Router` tool entity.
+//
+// Turns a placed layout into a routed one: each multi-terminal net gets a
+// rectilinear chain of L-shaped wires connecting its terminals (sorted by
+// position, so the tree is deterministic).  Horizontal segments live on
+// metal-1 and vertical segments on metal-2; the layout's DRC flags
+// same-layer overlaps between different nets, and its connectivity check
+// (`Layout::net_connected`) verifies the result.  Extraction then uses the
+// *routed* wirelength instead of the half-perimeter estimate, tying the
+// placement/routing quality to simulated performance.
+#pragma once
+
+#include <string>
+
+#include "circuit/layout.hpp"
+
+namespace herc::circuit {
+
+struct RouteOptions {
+  /// Also route the supply rails (off by default: power routing is
+  /// typically a separate grid).
+  bool route_rails = false;
+};
+
+/// Routing by-products.
+struct RouteStatistics {
+  std::size_t nets_routed = 0;
+  std::size_t segments = 0;
+  double total_wirelength = 0.0;
+  /// Same-layer overlaps the router could not avoid (these surface as DRC
+  /// violations on the result).
+  std::size_t conflicts = 0;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Routes every net of `layout` (which must not already contain wires).
+/// The result keeps all placements and pins; every routed net satisfies
+/// `net_connected`.  When `stats` is non-null it receives the summary.
+[[nodiscard]] Layout route(const Layout& layout,
+                           const RouteOptions& options = {},
+                           RouteStatistics* stats = nullptr);
+
+}  // namespace herc::circuit

@@ -1,0 +1,71 @@
+// Switch-level simulator: the `Simulator` tool entity of Fig. 1.
+//
+// An event-driven MOS-network simulator in the COSMOS tradition: at every
+// input event it relaxes the conduction network (rails and inputs drive;
+// values flow through ON transistors and resistors; undriven nets retain
+// charge; conflicts resolve to X) and annotates output transitions with an
+// RC delay estimated from device-model on-resistance and net capacitance —
+// which is why extracted netlists (with parasitics) simulate slower than
+// schematic ones, giving the framework's consistency checks something real
+// to talk about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/models.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/stimuli.hpp"
+
+namespace herc::circuit {
+
+/// Tool arguments — the `SimOptions` entity of Fig. 1.
+struct SimOptions {
+  /// Relaxation-iteration cap per event (0 = automatic: 4 * net count).
+  std::size_t max_relax_iters = 0;
+  /// Also record waveforms for internal nets, not just outputs.
+  bool record_internal = false;
+  /// Gate capacitance (pF) added per MOS terminal when estimating delay.
+  double gate_load_pf = 0.01;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static SimOptions from_text(std::string_view text);
+};
+
+/// Counters for the `Statistics` entity (multi-output simulation task).
+struct SimStatistics {
+  std::uint64_t input_events = 0;
+  std::uint64_t relax_iterations = 0;
+  std::uint64_t net_updates = 0;
+  std::uint64_t output_toggles = 0;
+  /// Nets left at X after the final event (0 for a healthy circuit).
+  std::uint64_t x_nets = 0;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static SimStatistics from_text(std::string_view text);
+};
+
+/// The `Performance` entity: observed waveforms plus summary metrics.
+struct SimResult {
+  std::vector<Waveform> waves;
+  /// Largest input-event-to-output-transition delay observed (ps).
+  std::int64_t max_delay_ps = 0;
+  SimStatistics stats;
+
+  [[nodiscard]] const Waveform& wave(std::string_view net) const;
+  [[nodiscard]] bool has_wave(std::string_view net) const;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static SimResult from_text(std::string_view text);
+};
+
+/// Runs the switch-level simulation.  Throws `ExecError` on an invalid
+/// netlist or missing device models.
+[[nodiscard]] SimResult simulate(const Netlist& netlist,
+                                 const DeviceModelLibrary& models,
+                                 const Stimuli& stimuli,
+                                 const SimOptions& options = {});
+
+}  // namespace herc::circuit

@@ -1,0 +1,88 @@
+// Input stimuli: waveforms driven onto circuit inputs during simulation.
+//
+// A stimulus set assigns each input net a piecewise-constant waveform of
+// logic levels.  Text form:
+//
+//   stimuli walk
+//   wave a 0:0 10:1 20:0
+//   wave b 0:1 15:0
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herc::circuit {
+
+/// Logic levels used throughout the simulators.
+enum class Level : std::uint8_t {
+  kLow = 0,
+  kHigh = 1,
+  kX = 2,  ///< unknown / conflict
+};
+
+[[nodiscard]] char to_char(Level l);
+
+/// One (time, level) step of a waveform; times are integer picoseconds.
+struct WavePoint {
+  std::int64_t time_ps = 0;
+  Level level = Level::kLow;
+};
+
+/// A named piecewise-constant waveform.
+struct Waveform {
+  std::string net;
+  std::vector<WavePoint> points;  ///< sorted by time, first at t=0
+
+  /// Level at `time_ps` (the last point at or before it; X before the
+  /// first point).
+  [[nodiscard]] Level at(std::int64_t time_ps) const;
+  /// Number of level changes.
+  [[nodiscard]] std::size_t transitions() const;
+};
+
+/// A stimulus set: one waveform per driven input.
+class Stimuli {
+ public:
+  Stimuli() = default;
+  explicit Stimuli(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Adds a waveform; points must be time-sorted (throws `ExecError`
+  /// otherwise).
+  void add_wave(Waveform wave);
+  [[nodiscard]] bool has_wave(std::string_view net) const;
+  [[nodiscard]] const Waveform& wave(std::string_view net) const;
+  [[nodiscard]] const std::vector<Waveform>& waves() const { return waves_; }
+
+  /// Latest time across all waveforms.
+  [[nodiscard]] std::int64_t horizon_ps() const;
+  /// All distinct times at which some input changes, sorted.
+  [[nodiscard]] std::vector<std::int64_t> event_times() const;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static Stimuli from_text(std::string_view text);
+
+  // ---- generators (deterministic; no global randomness) --------------------
+
+  /// A square clock on `net`: period `period_ps`, `cycles` full cycles.
+  [[nodiscard]] static Waveform clock(std::string_view net,
+                                      std::int64_t period_ps,
+                                      std::size_t cycles);
+  /// Exhaustive binary count over `nets` (LSB first), one code per
+  /// `step_ps` — drives all 2^n input combinations.
+  [[nodiscard]] static Stimuli counter(const std::vector<std::string>& nets,
+                                       std::int64_t step_ps);
+  /// Pseudo-random levels from `seed` (xorshift), `steps` changes per net.
+  [[nodiscard]] static Stimuli random(const std::vector<std::string>& nets,
+                                      std::int64_t step_ps, std::size_t steps,
+                                      std::uint64_t seed);
+
+ private:
+  std::string name_ = "stimuli";
+  std::vector<Waveform> waves_;
+};
+
+}  // namespace herc::circuit

@@ -1,0 +1,27 @@
+// Value-change-dump (VCD) export.
+//
+// Simulation results exported as IEEE-1364 VCD open in any waveform
+// viewer.  Registered as a second Plotter encapsulation ("Plotter.vcd"),
+// it is another instance of the paper's multiple-encapsulations-per-tool
+// mechanism: same tool entity, different output format.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "circuit/sim.hpp"
+
+namespace herc::circuit {
+
+struct VcdOptions {
+  /// `$timescale` unit; waveform times are picoseconds.
+  std::string timescale = "1ps";
+  /// Module name in the `$scope` section.
+  std::string module = "dut";
+};
+
+/// Renders every waveform of `result` as a VCD document.
+[[nodiscard]] std::string to_vcd(const SimResult& result,
+                                 const VcdOptions& options = {});
+
+}  // namespace herc::circuit

@@ -1,0 +1,100 @@
+#include "circuit/verify.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::circuit {
+
+std::string VerificationReport::to_text() const {
+  std::string out = "verification ";
+  out += pass ? "PASS" : "FAIL";
+  out += "\n";
+  for (const std::string& e : errors) out += "error " + e + "\n";
+  return out;
+}
+
+VerificationReport VerificationReport::from_text(std::string_view text) {
+  VerificationReport report;
+  for (const std::string& raw : support::split(text, '\n')) {
+    const std::string_view body = support::trim(raw);
+    if (body.empty() || body[0] == '#') continue;
+    if (body.rfind("verification", 0) == 0) {
+      report.pass = body.find("PASS") != std::string_view::npos;
+    } else if (body.rfind("error ", 0) == 0) {
+      report.errors.emplace_back(body.substr(6));
+    } else {
+      throw support::ParseError("verification: unknown line '" +
+                                std::string(body) + "'");
+    }
+  }
+  return report;
+}
+
+VerificationReport verify_layout(const Layout& layout,
+                                 const Netlist& reference,
+                                 std::string_view parasitic_prefix) {
+  VerificationReport report;
+  const auto is_parasitic = [&](const std::string& name) {
+    return !parasitic_prefix.empty() &&
+           name.rfind(parasitic_prefix, 0) == 0;
+  };
+
+  // Every schematic device must be placed, with matching connectivity.
+  for (const Device& want : reference.devices()) {
+    if (is_parasitic(want.name)) continue;
+    if (!layout.has_placement(want.name)) {
+      report.errors.push_back("schematic device '" + want.name +
+                              "' is not placed in the layout");
+      continue;
+    }
+    const Device& have = layout.placement(want.name).device;
+    if (have.type != want.type) {
+      report.errors.push_back("device '" + want.name + "' is a " +
+                              to_string(have.type) + " in the layout but a " +
+                              to_string(want.type) + " in the schematic");
+      continue;
+    }
+    for (std::size_t i = 0; i < want.terminals.size(); ++i) {
+      if (have.terminals[i] != want.terminals[i]) {
+        report.errors.push_back("device '" + want.name + "' terminal " +
+                                std::to_string(i) + " connects to '" +
+                                have.terminals[i] + "' in the layout but '" +
+                                want.terminals[i] + "' in the schematic");
+      }
+    }
+    if (want.is_mos() && have.model != want.model) {
+      report.errors.push_back("device '" + want.name + "' uses model '" +
+                              have.model + "' in the layout but '" +
+                              want.model + "' in the schematic");
+    }
+    if (std::fabs(have.value - want.value) > 1e-9) {
+      report.errors.push_back("device '" + want.name +
+                              "' size differs between layout and schematic");
+    }
+  }
+  // No extra (non-parasitic) devices in the layout.
+  for (const PlacedDevice& p : layout.placements()) {
+    if (is_parasitic(p.device.name)) continue;
+    if (!reference.has_device(p.device.name)) {
+      report.errors.push_back("layout device '" + p.device.name +
+                              "' does not exist in the schematic");
+    }
+  }
+  // Routed nets must actually connect their terminals.
+  for (const std::string& net : layout.nets()) {
+    if (layout.has_wires(net) && !layout.net_connected(net)) {
+      report.errors.push_back("net '" + net +
+                              "' is routed but not fully connected");
+    }
+  }
+  // DRC rides along in the same report.
+  for (const std::string& v : layout.drc()) {
+    report.errors.push_back("drc: " + v);
+  }
+  report.pass = report.errors.empty();
+  return report;
+}
+
+}  // namespace herc::circuit

@@ -1,0 +1,33 @@
+// Layout-versus-schematic verification: the `Verifier` of Figs. 1 and 8b.
+//
+// Checks that a physical view corresponds to a transistor view: every
+// schematic device must be placed with identical connectivity, model and
+// size; extra placed devices are flagged; DRC violations are included.
+// Parasitic capacitors added by extraction are ignored on both sides.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/layout.hpp"
+#include "circuit/netlist.hpp"
+
+namespace herc::circuit {
+
+/// The `Verification` entity payload.
+struct VerificationReport {
+  bool pass = false;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static VerificationReport from_text(std::string_view text);
+};
+
+/// Compares `layout` against `reference`.  Device names beginning with
+/// `parasitic_prefix` are treated as extraction artifacts and skipped.
+[[nodiscard]] VerificationReport verify_layout(
+    const Layout& layout, const Netlist& reference,
+    std::string_view parasitic_prefix = "cpar_");
+
+}  // namespace herc::circuit

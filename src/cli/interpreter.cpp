@@ -1,0 +1,495 @@
+#include "cli/interpreter.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "exec/automation.hpp"
+#include "exec/consistency.hpp"
+#include "graph/bipartite.hpp"
+#include "history/flow_trace.hpp"
+#include "history/query_language.hpp"
+#include "schema/schema_io.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::cli {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+using support::HercError;
+
+namespace {
+
+/// Errors raised for malformed commands (as opposed to framework errors
+/// raised by the operations themselves).
+class UsageError : public HercError {
+ public:
+  using HercError::HercError;
+};
+
+[[noreturn]] void usage(const std::string& message) {
+  throw UsageError("usage: " + message);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw UsageError("cannot read file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw UsageError("cannot write file '" + path + "'");
+  out << content;
+}
+
+schema::TaskSchema builtin_schema(const std::string& name) {
+  if (name == "fig1") return schema::make_fig1_schema();
+  if (name == "fig2") return schema::make_fig2_schema();
+  if (name == "full") return schema::make_full_schema();
+  usage("session new <fig1|fig2|full> [user]");
+}
+
+}  // namespace
+
+Interpreter::Interpreter(std::ostream& out)
+    : out_(&out),
+      session_(std::make_unique<core::DesignSession>(
+          schema::make_full_schema())) {}
+
+CommandStatus Interpreter::execute(std::string_view line,
+                                   std::string payload) {
+  std::string_view body = support::trim(line);
+  if (!body.empty() && body[0] == '#') return CommandStatus::kOk;
+  const Args args = support::split_ws(body);
+  if (args.empty()) return CommandStatus::kOk;
+  if (args[0] == "quit" || args[0] == "exit") return CommandStatus::kQuit;
+  try {
+    dispatch(args, payload);
+    return CommandStatus::kOk;
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    *out_ << "error: " << e.what() << "\n";
+    return CommandStatus::kError;
+  }
+}
+
+std::size_t Interpreter::run_script(std::string_view text,
+                                    bool stop_on_error) {
+  const auto lines = support::split(text, '\n');
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    std::string payload;
+    // Heredoc: `... <<TOKEN` followed by payload lines until TOKEN.
+    const std::size_t marker = line.rfind("<<");
+    if (marker != std::string::npos &&
+        support::trim(line.substr(marker + 2)).find(' ') ==
+            std::string::npos &&
+        !support::trim(line.substr(marker + 2)).empty()) {
+      const std::string token(support::trim(line.substr(marker + 2)));
+      line = line.substr(0, marker);
+      bool closed = false;
+      for (++i; i < lines.size(); ++i) {
+        if (support::trim(lines[i]) == token) {
+          closed = true;
+          break;
+        }
+        payload += lines[i];
+        payload += '\n';
+      }
+      if (!closed) {
+        last_error_ = "unterminated heredoc <<" + token;
+        *out_ << "error: " << last_error_ << "\n";
+        return failures + 1;
+      }
+    }
+    const CommandStatus status = execute(line, std::move(payload));
+    if (status == CommandStatus::kQuit) break;
+    if (status == CommandStatus::kError) {
+      ++failures;
+      if (stop_on_error) break;
+    }
+  }
+  return failures;
+}
+
+void Interpreter::dispatch(const Args& args, const std::string& payload) {
+  const std::string& cmd = args[0];
+  if (cmd == "session") {
+    cmd_session(args);
+  } else if (cmd == "schema") {
+    if (args.size() == 2 && args[1] == "show") {
+      *out_ << schema::write_schema(session_->schema());
+    } else if (args.size() == 2 && args[1] == "extend") {
+      session_->extend_schema(payload);
+      *out_ << "schema extended: now " << session_->schema().size()
+            << " entities\n";
+    } else {
+      usage("schema show | schema extend <<END ... END");
+    }
+  } else if (cmd == "import") {
+    cmd_import(args, payload);
+  } else if (cmd == "flow") {
+    cmd_flow(args);
+  } else if (cmd == "run") {
+    cmd_run(args);
+  } else if (cmd == "auto") {
+    cmd_auto(args);
+  } else if (cmd == "browse") {
+    cmd_browse(args);
+  } else if (cmd == "find") {
+    // Pass the original token sequence through to the query language.
+    std::string query;
+    for (const std::string& token : args) {
+      if (!query.empty()) query += ' ';
+      query += token;
+    }
+    for (const InstanceId id : history::run_query(session_->db(), query)) {
+      *out_ << "  ";
+      print_instance_line(id);
+    }
+  } else if (cmd == "history" || cmd == "uses" || cmd == "trace" ||
+             cmd == "versions" || cmd == "payload" || cmd == "annotate" ||
+             cmd == "stale" || cmd == "retrace" || cmd == "decompose") {
+    cmd_history_query(args);
+  } else if (cmd == "entities") {
+    for (const auto& entry : catalog::entity_catalog(session_->schema())) {
+      *out_ << "  " << entry.name << (entry.is_tool ? " [tool]" : "")
+            << (entry.is_abstract ? " [abstract]" : "")
+            << (entry.is_composite ? " [composite]" : "")
+            << (entry.is_source ? " [source]" : "") << "\n";
+    }
+  } else if (cmd == "tools") {
+    for (const auto& entry : catalog::tool_catalog(session_->tools())) {
+      *out_ << "  " << entry.name << ":";
+      for (const std::string& enc : entry.encapsulations) {
+        *out_ << " " << enc;
+      }
+      *out_ << "\n";
+    }
+  } else if (cmd == "plans") {
+    for (const std::string& name : session_->flows().names()) {
+      *out_ << "  " << name << "\n";
+    }
+  } else if (cmd == "echo") {
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      *out_ << (i > 1 ? " " : "") << args[i];
+    }
+    *out_ << "\n";
+  } else if (cmd == "help") {
+    cmd_help();
+  } else {
+    usage("unknown command '" + cmd + "'; try 'help'");
+  }
+}
+
+void Interpreter::cmd_session(const Args& args) {
+  if (args.size() >= 3 && args[1] == "new") {
+    const std::string user = args.size() > 3 ? args[3] : "designer";
+    session_ = std::make_unique<core::DesignSession>(builtin_schema(args[2]),
+                                                     user);
+    flows_.clear();
+    *out_ << "session over schema '" << session_->schema().name()
+          << "' for user '" << user << "'\n";
+  } else if (args.size() == 3 && args[1] == "user") {
+    session_->set_user(args[2]);
+  } else if (args.size() == 3 && args[1] == "save") {
+    write_file(args[2], session_->save());
+    *out_ << "session saved to " << args[2] << "\n";
+  } else if (args.size() == 3 && args[1] == "load") {
+    session_ = core::DesignSession::load(read_file(args[2]));
+    flows_.clear();
+    *out_ << "session loaded: " << session_->db().size() << " instances\n";
+  } else {
+    usage("session new <fig1|fig2|full> [user] | user <name> | "
+          "save <file> | load <file>");
+  }
+}
+
+void Interpreter::cmd_import(const Args& args, const std::string& payload) {
+  if (args.size() < 3) usage("import <Entity> <name> [\"\"] [<<END ...]");
+  std::string body = payload;
+  if (args.size() >= 4 && args[3] == "\"\"") body.clear();
+  const InstanceId id = session_->import_data(args[1], args[2], body);
+  *out_ << "imported i" << id.value() << " (" << args[1] << " '" << args[2]
+        << "', " << body.size() << " bytes)\n";
+}
+
+TaskGraph& Interpreter::flow_ref(const std::string& name) {
+  const auto it = flows_.find(name);
+  if (it == flows_.end()) {
+    throw UsageError("no flow named '" + name + "'; create one with "
+                     "'flow new " + name + " goal <Entity>'");
+  }
+  return it->second;
+}
+
+NodeId Interpreter::node_ref(const TaskGraph& flow,
+                             const std::string& token) const {
+  try {
+    std::size_t pos = 0;
+    const unsigned long v = std::stoul(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument("trailing");
+    const NodeId id(static_cast<std::uint32_t>(v));
+    (void)flow.node(id);  // validates
+    return id;
+  } catch (const std::invalid_argument&) {
+    throw UsageError("'" + token + "' is not a node id (use the numbers "
+                     "from 'flow show')");
+  }
+}
+
+InstanceId Interpreter::instance_ref(const std::string& token) const {
+  if (token.size() < 2 || token[0] != 'i') {
+    throw UsageError("'" + token + "' is not an instance ref (expected iN)");
+  }
+  try {
+    std::size_t pos = 0;
+    const unsigned long v = std::stoul(token.substr(1), &pos);
+    if (pos + 1 != token.size()) throw std::invalid_argument("trailing");
+    const InstanceId id(static_cast<std::uint32_t>(v));
+    (void)session_->db().instance(id);  // validates
+    return id;
+  } catch (const std::invalid_argument&) {
+    throw UsageError("'" + token + "' is not an instance ref (expected iN)");
+  }
+}
+
+void Interpreter::cmd_flow(const Args& args) {
+  if (args.size() < 3) usage("flow <op> <flow> ...");
+  const std::string& op = args[1];
+  const std::string& name = args[2];
+  if (op == "new") {
+    if (args.size() != 5) usage("flow new <f> goal <Entity> | plan <name>");
+    if (flows_.contains(name)) {
+      throw UsageError("flow '" + name + "' already exists");
+    }
+    if (args[3] == "goal") {
+      flows_.emplace(name, session_->task_from_goal(args[4]));
+    } else if (args[3] == "plan") {
+      flows_.emplace(name, session_->task_from_plan(args[4]));
+    } else {
+      usage("flow new <f> goal <Entity> | plan <name>");
+    }
+    *out_ << "flow '" << name << "' created\n";
+    return;
+  }
+  TaskGraph& flow = flow_ref(name);
+  if (op == "expand") {
+    if (args.size() < 4) usage("flow expand <f> <node> [optional]");
+    graph::ExpandOptions options;
+    options.include_optional = args.size() > 4 && args[4] == "optional";
+    const auto created = flow.expand(node_ref(flow, args[3]), options);
+    *out_ << "expanded: " << created.size() << " nodes created\n";
+  } else if (op == "expandup") {
+    if (args.size() != 5) usage("flow expandup <f> <node> <Entity>");
+    const NodeId consumer = flow.expand_up(
+        node_ref(flow, args[3]), session_->schema().require(args[4]));
+    *out_ << "consumer node " << consumer.value() << " created\n";
+  } else if (op == "specialize") {
+    if (args.size() != 5) usage("flow specialize <f> <node> <Subtype>");
+    flow.specialize(node_ref(flow, args[3]),
+                    session_->schema().require(args[4]));
+  } else if (op == "connect") {
+    if (args.size() != 5) usage("flow connect <f> <consumer> <input>");
+    flow.connect(node_ref(flow, args[3]), node_ref(flow, args[4]));
+  } else if (op == "cooutput") {
+    if (args.size() != 5) usage("flow cooutput <f> <node> <Entity>");
+    const NodeId out_node = flow.add_co_output(
+        node_ref(flow, args[3]), session_->schema().require(args[4]));
+    *out_ << "co-output node " << out_node.value() << " created\n";
+  } else if (op == "unexpand") {
+    if (args.size() != 4) usage("flow unexpand <f> <node>");
+    flow.unexpand(node_ref(flow, args[3]));
+  } else if (op == "bind") {
+    if (args.size() < 5) usage("flow bind <f> <node> <iN...>");
+    std::vector<InstanceId> instances;
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      instances.push_back(instance_ref(args[i]));
+    }
+    flow.bind_set(node_ref(flow, args[3]), std::move(instances));
+  } else if (op == "unbind") {
+    if (args.size() != 4) usage("flow unbind <f> <node>");
+    flow.unbind(node_ref(flow, args[3]));
+  } else if (op == "show") {
+    *out_ << session_->render_task_window(flow);
+  } else if (op == "lisp") {
+    for (const NodeId goal : flow.goals()) {
+      *out_ << flow.to_lisp(goal) << "\n";
+    }
+  } else if (op == "dot") {
+    *out_ << flow.to_dot();
+  } else if (op == "bipartite") {
+    *out_ << graph::to_bipartite(flow).render_text();
+  } else if (op == "save-plan") {
+    session_->flows().save_or_replace(flow);
+    *out_ << "plan '" << flow.name() << "' saved\n";
+  } else {
+    usage("unknown flow operation '" + op + "'");
+  }
+}
+
+void Interpreter::cmd_run(const Args& args) {
+  if (args.size() < 2) usage("run <f> [parallel] [reuse]");
+  TaskGraph& flow = flow_ref(args[1]);
+  exec::ExecOptions options;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "parallel") {
+      options.parallel = true;
+    } else if (args[i] == "reuse") {
+      options.reuse_existing = true;
+    } else {
+      usage("run <f> [parallel] [reuse]");
+    }
+  }
+  const exec::ExecResult result = session_->run(flow, options);
+  *out_ << "ran " << result.tasks_run << " tasks ("
+        << result.tasks_reused << " reused)\n";
+  for (const NodeId goal : flow.goals()) {
+    for (const InstanceId id : result.of(goal)) {
+      *out_ << "  produced ";
+      print_instance_line(id);
+    }
+  }
+}
+
+void Interpreter::cmd_auto(const Args& args) {
+  if (args.size() < 2) usage("auto <Entity> [run]");
+  const TaskGraph flow =
+      exec::auto_flow(session_->db(), session_->schema().require(args[1]));
+  *out_ << session_->render_task_window(flow);
+  if (args.size() > 2 && args[2] == "run") {
+    const exec::ExecResult result = session_->run(flow);
+    *out_ << "ran " << result.tasks_run << " tasks\n";
+    for (const InstanceId id : result.of(flow.goals().front())) {
+      *out_ << "  produced ";
+      print_instance_line(id);
+    }
+  }
+}
+
+void Interpreter::cmd_browse(const Args& args) {
+  if (args.size() < 2) {
+    usage("browse <Entity> [keyword=..] [user=..] [uses=iN]");
+  }
+  core::BrowserFilter filter;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::size_t eq = args[i].find('=');
+    if (eq == std::string::npos) {
+      usage("browse filters are key=value");
+    }
+    const std::string key = args[i].substr(0, eq);
+    const std::string value = args[i].substr(eq + 1);
+    if (key == "keyword") {
+      filter.keyword = value;
+    } else if (key == "user") {
+      filter.user = value;
+    } else if (key == "uses") {
+      filter.uses = instance_ref(value);
+    } else {
+      usage("unknown browse filter '" + key + "'");
+    }
+  }
+  *out_ << session_->browse(args[1]).render(filter);
+}
+
+void Interpreter::print_instance_line(InstanceId id) {
+  const history::Instance& inst = session_->db().instance(id);
+  *out_ << "i" << id.value() << "  "
+        << session_->schema().entity_name(inst.type) << "  '" << inst.name
+        << "' v" << inst.version << " by " << inst.user << "\n";
+}
+
+void Interpreter::cmd_history_query(const Args& args) {
+  const std::string& cmd = args[0];
+  if (args.size() < 2) usage(cmd + " <iN> ...");
+  const InstanceId id = instance_ref(args[1]);
+  history::HistoryDb& db = session_->db();
+  if (cmd == "history") {
+    for (const InstanceId anc : db.derivation_closure(id)) {
+      *out_ << "  ";
+      print_instance_line(anc);
+    }
+  } else if (cmd == "uses") {
+    for (const InstanceId dep : db.dependent_closure(id)) {
+      *out_ << "  ";
+      print_instance_line(dep);
+    }
+  } else if (cmd == "trace") {
+    const std::string direction = args.size() > 2 ? args[2] : "backward";
+    if (direction == "backward") {
+      *out_ << history::backward_trace(db, id).to_dot();
+    } else if (direction == "forward") {
+      *out_ << history::forward_trace(db, id).to_dot();
+    } else {
+      usage("trace <iN> backward|forward");
+    }
+  } else if (cmd == "versions") {
+    const auto tree = history::version_tree(db, id);
+    for (const auto& entry : tree.entries) {
+      *out_ << "  i" << entry.instance.value() << " v" << entry.version;
+      if (entry.parent.valid()) {
+        *out_ << " (edited from i" << entry.parent.value() << ")";
+      }
+      *out_ << "\n";
+    }
+  } else if (cmd == "payload") {
+    *out_ << db.payload(id);
+  } else if (cmd == "annotate") {
+    if (args.size() < 3) usage("annotate <iN> <name> [comment...]");
+    std::string comment;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+      if (i > 3) comment += ' ';
+      comment += args[i];
+    }
+    session_->annotate(id, args[2], comment);
+  } else if (cmd == "stale") {
+    const auto report = exec::check_consistency(db, id);
+    if (report.fresh) {
+      *out_ << "i" << id.value() << " is up to date\n";
+    } else {
+      *out_ << "i" << id.value() << " is STALE:\n";
+      for (const auto& r : report.replacements) {
+        *out_ << "  i" << r.superseded.value() << " superseded by i"
+              << r.latest.value() << "\n";
+      }
+    }
+  } else if (cmd == "retrace") {
+    const auto fresh = exec::retrace(db, session_->tools(), id);
+    for (const InstanceId f : fresh) {
+      *out_ << "  retraced -> ";
+      print_instance_line(f);
+    }
+  } else {  // decompose
+    for (const InstanceId part :
+         exec::decompose_instance(db, id, session_->user())) {
+      *out_ << "  component ";
+      print_instance_line(part);
+    }
+  }
+}
+
+void Interpreter::cmd_help() {
+  *out_ <<
+      "session new <fig1|fig2|full> [user] | user <n> | save <f> | load <f>\n"
+      "schema show | schema extend <<END ... END\n"
+      "import <Entity> <name> <<END ... END   (or \"\" for empty payload)\n"
+      "flow new <f> goal <Entity> | plan <name>\n"
+      "flow expand|expandup|specialize|connect|cooutput|unexpand <f> ...\n"
+      "flow bind <f> <node> <iN...> | unbind <f> <node>\n"
+      "flow show|lisp|dot|bipartite|save-plan <f>\n"
+      "run <f> [parallel] [reuse]      auto <Entity> [run]\n"
+      "browse <Entity> [keyword=..] [user=..] [uses=iN]\n"
+      "find <Entity> [where <path> = iN|\"name\" [and ...]]\n"
+      "history|uses|versions|payload|stale|retrace|decompose <iN>\n"
+      "trace <iN> backward|forward     annotate <iN> <name> [comment]\n"
+      "entities  tools  plans  echo <text>  help  quit\n";
+}
+
+}  // namespace herc::cli

@@ -1,0 +1,99 @@
+// A scriptable command interpreter over a DesignSession.
+//
+// The 1993 system drove everything from an X11 task window (Fig. 9); this
+// reproduction's equivalent is a line-oriented command language covering
+// the same operations: starting tasks from any of the four approaches,
+// expand/specialize/bind on flows, execution, history browsing and
+// queries, consistency maintenance, and session persistence.  The
+// `hercules_shell` example wraps it as an interactive REPL / script
+// runner; tests drive it directly.
+//
+// Command summary (the `help` command prints the same):
+//   session new <fig1|fig2|full> [user]     session user <name>
+//   session save <file>                     session load <file>
+//   import <Entity> <name> <<END ... END    import <Entity> <name> ""
+//   flow new <f> goal <Entity> | plan <name>
+//   flow expand <f> <node> [optional]       flow expandup <f> <node> <Entity>
+//   flow specialize <f> <node> <Subtype>    flow connect <f> <node> <node>
+//   flow cooutput <f> <node> <Entity>       flow unexpand <f> <node>
+//   flow bind <f> <node> <iN...>            flow unbind <f> <node>
+//   flow show <f> | lisp <f> | dot <f> | bipartite <f>
+//   flow save-plan <f>                      plans
+//   run <f> [parallel] [reuse]              auto <Entity> [run]
+//   browse <Entity> [keyword=..] [user=..] [uses=iN]
+//   history <iN>   uses <iN>   trace <iN> backward|forward
+//   versions <iN>  payload <iN>  annotate <iN> <name> [comment...]
+//   stale <iN>     retrace <iN>  decompose <iN>
+//   entities   tools   echo <text>   help   quit
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/session.hpp"
+#include "graph/task_graph.hpp"
+
+namespace herc::cli {
+
+/// Result of executing one command.
+enum class CommandStatus {
+  kOk,
+  kError,  ///< the command failed; the message was printed and recorded
+  kQuit,   ///< a `quit` command was issued
+};
+
+class Interpreter {
+ public:
+  /// Output (listings, renderings) goes to `out`.  A default session over
+  /// the full schema with user "designer" is created; `session new`
+  /// replaces it.
+  explicit Interpreter(std::ostream& out);
+
+  /// Executes one command.  `payload` supplies the body for commands that
+  /// take one (`import`); scripts provide it via heredocs.
+  CommandStatus execute(std::string_view line, std::string payload = "");
+
+  /// Executes a script: one command per line, `#` comments, and
+  /// `<<TOKEN ... TOKEN` heredoc payloads.  Stops at `quit` or, when
+  /// `stop_on_error` is set, at the first failure.  Returns the number of
+  /// failed commands.
+  std::size_t run_script(std::string_view text, bool stop_on_error = false);
+
+  [[nodiscard]] core::DesignSession& session() { return *session_; }
+  /// The message of the most recent failed command ("" when none).
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  using Args = std::vector<std::string>;
+
+  void dispatch(const Args& args, const std::string& payload);
+
+  // Command families.
+  void cmd_session(const Args& args);
+  void cmd_import(const Args& args, const std::string& payload);
+  void cmd_flow(const Args& args);
+  void cmd_run(const Args& args);
+  void cmd_auto(const Args& args);
+  void cmd_browse(const Args& args);
+  void cmd_history_query(const Args& args);
+  void cmd_help();
+
+  // Argument resolution.
+  [[nodiscard]] graph::TaskGraph& flow_ref(const std::string& name);
+  [[nodiscard]] graph::NodeId node_ref(const graph::TaskGraph& flow,
+                                       const std::string& token) const;
+  [[nodiscard]] data::InstanceId instance_ref(const std::string& token) const;
+
+  void print_instance_line(data::InstanceId id);
+
+  std::ostream* out_;
+  std::unique_ptr<core::DesignSession> session_;
+  std::map<std::string, graph::TaskGraph> flows_;
+  std::string last_error_;
+};
+
+}  // namespace herc::cli

@@ -1,0 +1,81 @@
+#include "core/browser.hpp"
+
+#include <algorithm>
+
+#include "support/text.hpp"
+
+namespace herc::core {
+
+using data::InstanceId;
+
+InstanceBrowser::InstanceBrowser(const history::HistoryDb& db,
+                                 schema::EntityTypeId type)
+    : db_(&db), type_(type) {}
+
+std::vector<BrowserRow> InstanceBrowser::rows(
+    const BrowserFilter& filter) const {
+  std::vector<BrowserRow> out;
+  for (const InstanceId id : db_->instances_of(type_)) {
+    const history::Instance& inst = db_->instance(id);
+    if (!filter.keyword.empty() &&
+        !support::icontains(inst.name, filter.keyword) &&
+        !support::icontains(inst.comment, filter.keyword)) {
+      continue;
+    }
+    if (filter.from && inst.created < *filter.from) continue;
+    if (filter.to && *filter.to < inst.created) continue;
+    if (!filter.user.empty() && inst.user != filter.user) continue;
+    if (filter.uses) {
+      const auto deps = db_->derived_from(id);
+      if (std::find(deps.begin(), deps.end(), *filter.uses) == deps.end()) {
+        continue;
+      }
+    }
+    BrowserRow row;
+    row.id = id;
+    row.type_name = db_->schema().entity_name(inst.type);
+    row.name = inst.name;
+    row.user = inst.user;
+    row.created = inst.created;
+    row.comment = inst.comment;
+    row.version = inst.version;
+    row.superseded = db_->superseded(id);
+    out.push_back(std::move(row));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const BrowserRow& a, const BrowserRow& b) {
+                     return b.created < a.created;
+                   });
+  return out;
+}
+
+std::vector<InstanceId> InstanceBrowser::select(
+    const BrowserFilter& filter) const {
+  std::vector<InstanceId> out;
+  for (const BrowserRow& row : rows(filter)) out.push_back(row.id);
+  return out;
+}
+
+std::string InstanceBrowser::render(const BrowserFilter& filter) const {
+  std::string out = "Browser: " + db_->schema().entity_name(type_) + "\n";
+  out += "  user          date                        name\n";
+  for (const BrowserRow& row : rows(filter)) {
+    std::string line = "  ";
+    std::string user = row.user;
+    user.resize(14, ' ');
+    line += user;
+    line += row.created.to_string();
+    line += "  ";
+    line += row.name.empty() ? "i" + std::to_string(row.id.value())
+                             : row.name;
+    if (row.version > 1) line += " (v" + std::to_string(row.version) + ")";
+    if (row.superseded) line += " [superseded]";
+    if (row.type_name != db_->schema().entity_name(type_)) {
+      line += " <" + row.type_name + ">";
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace herc::core

@@ -1,0 +1,67 @@
+// The entity-instance browser (Fig. 9, right panel).
+//
+// Each leaf entity of a flow gets a browser listing its instances; the
+// designer filters by keyword, date limits and user limits, optionally
+// restricted to instances that *use* a given instance (the "Use
+// Dependencies" toggle — a one-step forward-chaining query), then selects
+// one or more instances to bind.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "history/history_db.hpp"
+
+namespace herc::core {
+
+/// Fig. 9's filter controls.
+struct BrowserFilter {
+  /// Case-insensitive substring over instance name and comment.
+  std::string keyword;
+  /// Date limits (inclusive).
+  std::optional<support::Timestamp> from;
+  std::optional<support::Timestamp> to;
+  /// Exact creating-user match; empty = everyone.
+  std::string user;
+  /// Only instances whose derivation used this one ("Use Dependencies").
+  std::optional<data::InstanceId> uses;
+};
+
+/// One listing row.
+struct BrowserRow {
+  data::InstanceId id;
+  std::string type_name;
+  std::string name;
+  std::string user;
+  support::Timestamp created;
+  std::string comment;
+  std::uint32_t version = 1;
+  bool superseded = false;
+};
+
+/// A browser over one entity type (subtypes included).
+class InstanceBrowser {
+ public:
+  InstanceBrowser(const history::HistoryDb& db, schema::EntityTypeId type);
+
+  [[nodiscard]] schema::EntityTypeId type() const { return type_; }
+
+  /// Matching rows, newest first.
+  [[nodiscard]] std::vector<BrowserRow> rows(
+      const BrowserFilter& filter = {}) const;
+
+  /// Instance ids of `rows(filter)` — handy for `bind_set`.
+  [[nodiscard]] std::vector<data::InstanceId> select(
+      const BrowserFilter& filter = {}) const;
+
+  /// ASCII rendering of the browser pane.
+  [[nodiscard]] std::string render(const BrowserFilter& filter = {}) const;
+
+ private:
+  const history::HistoryDb* db_;
+  schema::EntityTypeId type_;
+};
+
+}  // namespace herc::core

@@ -1,0 +1,177 @@
+#include "core/session.hpp"
+
+#include "schema/schema_io.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+#include "tools/standard_tools.hpp"
+
+namespace herc::core {
+
+using graph::NodeId;
+using graph::TaskGraph;
+
+DesignSession::DesignSession(schema::TaskSchema schema, std::string user,
+                             std::unique_ptr<support::Clock> clock)
+    : schema_(std::move(schema)),
+      user_(std::move(user)),
+      clock_(clock ? std::move(clock)
+                   : std::make_unique<support::SystemClock>()) {
+  tools::install_standard_compose_checks(schema_);
+  db_ = std::make_unique<history::HistoryDb>(schema_, *clock_);
+  registry_ = std::make_unique<tools::ToolRegistry>(schema_);
+  tools::register_standard_tools(*registry_);
+  flow_catalog_ = std::make_unique<catalog::FlowCatalog>(schema_);
+  executor_ = std::make_unique<exec::Executor>(*db_, *registry_);
+}
+
+TaskGraph DesignSession::task_from_goal(std::string_view entity) {
+  return catalog::start_from_goal(schema_, schema_.require(entity));
+}
+
+catalog::ToolStart DesignSession::task_from_tool(std::string_view tool) {
+  return catalog::start_from_tool(schema_, schema_.require(tool));
+}
+
+catalog::DataStart DesignSession::task_from_data(data::InstanceId instance) {
+  return catalog::start_from_data(schema_, *db_, instance);
+}
+
+TaskGraph DesignSession::task_from_plan(std::string_view flow_name) {
+  return catalog::start_from_plan(*flow_catalog_, flow_name);
+}
+
+data::InstanceId DesignSession::import_data(std::string_view entity,
+                                            std::string_view name,
+                                            std::string_view payload,
+                                            std::string_view comment) {
+  return db_->import_instance(schema_.require(entity), name, payload, user_,
+                              comment);
+}
+
+void DesignSession::extend_schema(std::string_view fragment) {
+  schema::extend_schema(schema_, fragment);
+}
+
+exec::ExecResult DesignSession::run(const TaskGraph& flow,
+                                    exec::ExecOptions options) {
+  if (options.user == "designer") options.user = user_;
+  return executor_->run(flow, options);
+}
+
+exec::ExecResult DesignSession::run_goal(const TaskGraph& flow, NodeId goal,
+                                         exec::ExecOptions options) {
+  if (options.user == "designer") options.user = user_;
+  return executor_->run_goal(flow, goal, options);
+}
+
+InstanceBrowser DesignSession::browse(std::string_view entity) const {
+  return InstanceBrowser(*db_, schema_.require(entity));
+}
+
+void DesignSession::annotate(data::InstanceId id, std::string_view name,
+                             std::string_view comment) {
+  db_->annotate(id, name, comment);
+}
+
+std::string DesignSession::render_task_window(const TaskGraph& flow) const {
+  std::string out =
+      "Task window: flow '" + flow.name() + "' (schema " +
+      schema_.name() + ")\n";
+  for (const NodeId n : flow.nodes()) {
+    const graph::Node& node = flow.node(n);
+    std::string line = "  [" + std::to_string(n.value()) + "] ";
+    line += schema_.entity_name(node.type);
+    if (!node.label.empty()) line += " '" + node.label + "'";
+    if (!node.bound.empty()) {
+      line += " {";
+      for (std::size_t i = 0; i < node.bound.size(); ++i) {
+        if (i != 0) line += ",";
+        const data::InstanceId inst = node.bound[i];
+        const std::string& name = db_->contains(inst)
+                                      ? db_->instance(inst).name
+                                      : std::string();
+        line += name.empty() ? "i" + std::to_string(inst.value()) : name;
+      }
+      line += "}";
+    }
+    const auto& deps = flow.deps(n);
+    if (!deps.empty()) {
+      line += " <-";
+      for (const graph::DepEdge& e : deps) {
+        line += " ";
+        line += schema::to_string(e.kind);
+        line += ":" + std::to_string(e.target.value());
+        if (e.optional) line += "?";
+      }
+    } else if (node.bound.empty()) {
+      line += "  (unbound leaf)";
+    }
+    out += line + "\n";
+  }
+  const auto unbound = flow.unbound_leaves();
+  out += unbound.empty() ? "  status: runnable\n"
+                         : "  status: " + std::to_string(unbound.size()) +
+                               " unbound leaves\n";
+  return out;
+}
+
+namespace {
+constexpr std::string_view kSectionPrefix = "@section ";
+}  // namespace
+
+std::string DesignSession::save() const {
+  std::string out;
+  out += "@section user\n" + user_ + "\n";
+  out += "@section schema\n" + schema::write_schema(schema_);
+  out += "@section history\n" + db_->save();
+  out += "@section flows\n" + flow_catalog_->save_all();
+  return out;
+}
+
+std::unique_ptr<DesignSession> DesignSession::load(
+    std::string_view text, std::unique_ptr<support::Clock> clock) {
+  std::string user = "designer";
+  std::string schema_text;
+  std::string history_text;
+  std::string flows_text;
+  std::string* current = nullptr;
+  for (const std::string& line : support::split(text, '\n')) {
+    if (line.rfind(kSectionPrefix, 0) == 0) {
+      const std::string_view section =
+          support::trim(std::string_view(line).substr(kSectionPrefix.size()));
+      if (section == "user") {
+        current = &user;
+        user.clear();
+      } else if (section == "schema") {
+        current = &schema_text;
+      } else if (section == "history") {
+        current = &history_text;
+      } else if (section == "flows") {
+        current = &flows_text;
+      } else {
+        throw support::ParseError("session file: unknown section '" +
+                                  std::string(section) + "'");
+      }
+      continue;
+    }
+    if (current == nullptr) {
+      if (support::trim(line).empty()) continue;
+      throw support::ParseError("session file: content before any section");
+    }
+    *current += line + "\n";
+  }
+
+  auto session = std::make_unique<DesignSession>(
+      schema::parse_schema(schema_text),
+      std::string(support::trim(user)), std::move(clock));
+  session->db_ = std::make_unique<history::HistoryDb>(
+      history::HistoryDb::load(session->schema_, *session->clock_,
+                               history_text));
+  session->flow_catalog_ = std::make_unique<catalog::FlowCatalog>(
+      catalog::FlowCatalog::load_all(session->schema_, flows_text));
+  session->executor_ =
+      std::make_unique<exec::Executor>(*session->db_, *session->registry_);
+  return session;
+}
+
+}  // namespace herc::core

@@ -1,0 +1,104 @@
+// `DesignSession`: the Hercules Task Manager facade (paper §4).
+//
+// One object owning the whole framework state — schema, history database,
+// tool registry, flow catalog — with the operations a designer performs in
+// the task window: start a task from any of the four approaches (§3.4),
+// run flows, browse and annotate instances, save/restore the session.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "catalog/catalogs.hpp"
+#include "core/browser.hpp"
+#include "exec/executor.hpp"
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+#include "schema/task_schema.hpp"
+#include "support/clock.hpp"
+#include "tools/registry.hpp"
+
+namespace herc::core {
+
+class DesignSession {
+ public:
+  /// Builds a session around `schema`.  When `clock` is null, wall-clock
+  /// time stamps instances (pass a `ManualClock` for reproducible runs).
+  explicit DesignSession(schema::TaskSchema schema,
+                         std::string user = "designer",
+                         std::unique_ptr<support::Clock> clock = nullptr);
+
+  DesignSession(const DesignSession&) = delete;
+  DesignSession& operator=(const DesignSession&) = delete;
+
+  // ---- components -----------------------------------------------------------
+
+  [[nodiscard]] schema::TaskSchema& schema() { return schema_; }
+  [[nodiscard]] const schema::TaskSchema& schema() const { return schema_; }
+  [[nodiscard]] history::HistoryDb& db() { return *db_; }
+  [[nodiscard]] const history::HistoryDb& db() const { return *db_; }
+  [[nodiscard]] tools::ToolRegistry& tools() { return *registry_; }
+  [[nodiscard]] catalog::FlowCatalog& flows() { return *flow_catalog_; }
+  [[nodiscard]] const catalog::FlowCatalog& flows() const {
+    return *flow_catalog_;
+  }
+
+  [[nodiscard]] const std::string& user() const { return user_; }
+  void set_user(std::string user) { user_ = std::move(user); }
+
+  // ---- the four design approaches (§3.4) -------------------------------------
+
+  [[nodiscard]] graph::TaskGraph task_from_goal(std::string_view entity);
+  [[nodiscard]] catalog::ToolStart task_from_tool(std::string_view tool);
+  [[nodiscard]] catalog::DataStart task_from_data(data::InstanceId instance);
+  [[nodiscard]] graph::TaskGraph task_from_plan(std::string_view flow_name);
+
+  // ---- data and execution ----------------------------------------------------
+
+  /// Imports designer-supplied data (a source-entity instance).
+  data::InstanceId import_data(std::string_view entity, std::string_view name,
+                               std::string_view payload,
+                               std::string_view comment = "");
+
+  /// Incorporates new tools/entities mid-session by applying a schema DSL
+  /// fragment (see `schema::extend_schema`).  Existing flows, instances
+  /// and encapsulations are untouched; standard encapsulations for any
+  /// newly added standard tool names are registered.
+  void extend_schema(std::string_view fragment);
+
+  /// Runs a flow with this session's user stamped on the products.
+  exec::ExecResult run(const graph::TaskGraph& flow,
+                       exec::ExecOptions options = {});
+  /// Runs only the sub-flow rooted at `goal`.
+  exec::ExecResult run_goal(const graph::TaskGraph& flow, graph::NodeId goal,
+                            exec::ExecOptions options = {});
+
+  [[nodiscard]] InstanceBrowser browse(std::string_view entity) const;
+  void annotate(data::InstanceId id, std::string_view name,
+                std::string_view comment);
+
+  /// ASCII rendering of the task window (Fig. 9, left panel).
+  [[nodiscard]] std::string render_task_window(
+      const graph::TaskGraph& flow) const;
+
+  // ---- persistence -----------------------------------------------------------
+
+  /// Serializes schema + history + flow catalog + user to one document.
+  [[nodiscard]] std::string save() const;
+  /// Restores a session saved with `save`.
+  [[nodiscard]] static std::unique_ptr<DesignSession> load(
+      std::string_view text, std::unique_ptr<support::Clock> clock = nullptr);
+
+ private:
+  schema::TaskSchema schema_;
+  std::string user_;
+  std::unique_ptr<support::Clock> clock_;
+  std::unique_ptr<history::HistoryDb> db_;
+  std::unique_ptr<tools::ToolRegistry> registry_;
+  std::unique_ptr<catalog::FlowCatalog> flow_catalog_;
+  std::unique_ptr<exec::Executor> executor_;
+};
+
+}  // namespace herc::core

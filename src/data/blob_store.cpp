@@ -1,0 +1,67 @@
+#include "data/blob_store.hpp"
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/record.hpp"
+#include "support/text.hpp"
+
+namespace herc::data {
+
+using support::HistoryError;
+
+BlobKey BlobStore::put(std::string_view payload) {
+  BlobKey key = support::hash_hex(support::fnv1a(payload));
+  bytes_logical_ += payload.size();
+  auto [it, inserted] = blobs_.try_emplace(key, std::string(payload));
+  if (inserted) {
+    bytes_stored_ += payload.size();
+    order_.push_back(key);
+  }
+  return key;
+}
+
+bool BlobStore::contains(const BlobKey& key) const {
+  return blobs_.contains(key);
+}
+
+const std::string& BlobStore::get(const BlobKey& key) const {
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    throw HistoryError("no blob with key '" + key + "'");
+  }
+  return it->second;
+}
+
+std::string BlobStore::save() const {
+  std::string out;
+  for (const BlobKey& key : order_) {
+    out += support::RecordWriter("blob")
+               .field(key)
+               .field(blobs_.at(key))
+               .str();
+    out += '\n';
+  }
+  return out;
+}
+
+BlobStore BlobStore::load(std::string_view text) {
+  BlobStore store;
+  for (const std::string& line : support::split(text, '\n')) {
+    if (support::trim(line).empty()) continue;
+    support::RecordReader rec(line);
+    if (rec.kind() != "blob") {
+      throw HistoryError("blob store: unexpected record '" + rec.kind() +
+                         "'");
+    }
+    const std::string key = rec.next_string();
+    const std::string payload = rec.next_string();
+    const BlobKey recomputed = store.put(payload);
+    if (recomputed != key) {
+      throw HistoryError("blob store: content hash mismatch for key '" + key +
+                         "'");
+    }
+  }
+  return store;
+}
+
+}  // namespace herc::data

@@ -1,0 +1,15 @@
+// Identifier for entity *instances* (concrete design objects).
+//
+// Lives in the data layer so that flow graphs can carry instance bindings
+// without depending on the history database that owns the instances.
+#pragma once
+
+#include "support/ids.hpp"
+
+namespace herc::data {
+
+struct InstanceTag {};
+/// Identifies one entity instance in a design-history database.
+using InstanceId = support::Id<InstanceTag>;
+
+}  // namespace herc::data

@@ -1,0 +1,51 @@
+// Flow automation and decomposition services (paper §3.1, §3.3).
+//
+// "Dynamically defined flows easily allow for automatic task sequencing
+// (flow automation) because tool and data dependencies are specified in
+// the task schema."  `auto_flow` builds a complete runnable flow for a
+// goal entity without designer interaction: it expands recursively until
+// every leaf is a source (or an entity the history can supply) and binds
+// each leaf to the newest matching instance.
+//
+// `decompose_instance` is the implicit decomposition function of composite
+// entities: it splits a composite instance back into component instances,
+// recorded in the history with a "decompose" derivation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+
+namespace herc::exec {
+
+struct AutoFlowOptions {
+  /// Stop expanding a node early when the history already holds an
+  /// instance of its type (bind it instead of deriving it anew).
+  bool prefer_existing = true;
+  /// Safety cap on created nodes.
+  std::size_t max_nodes = 512;
+  /// Preferred concrete subtype per abstract entity name; when absent the
+  /// first concrete descendant with bindable/expandable support is used.
+  std::unordered_map<std::string, std::string> specializations;
+};
+
+/// Builds a fully bound flow that derives one `goal` instance.  Leaves are
+/// bound to the newest instance of their type in `db`; abstract nodes are
+/// specialized per `options` (or to the first satisfiable subtype).
+/// Throws `FlowError` when some required source entity has no instance.
+[[nodiscard]] graph::TaskGraph auto_flow(const history::HistoryDb& db,
+                                         schema::EntityTypeId goal,
+                                         const AutoFlowOptions& options = {});
+
+/// Splits a composite instance into its components using the schema's
+/// decompose hook, recording one instance per component with a
+/// "decompose" derivation.  Throws `ExecError` when the instance is not
+/// composite or no hook is installed.
+std::vector<data::InstanceId> decompose_instance(history::HistoryDb& db,
+                                                 data::InstanceId composite,
+                                                 const std::string& user);
+
+}  // namespace herc::exec

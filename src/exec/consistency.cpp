@@ -1,0 +1,71 @@
+#include "exec/consistency.hpp"
+
+#include "support/error.hpp"
+
+namespace herc::exec {
+
+using data::InstanceId;
+using graph::NodeId;
+using support::ExecError;
+
+InstanceId latest_version(const history::HistoryDb& db, InstanceId id) {
+  InstanceId cur = id;
+  while (true) {
+    const std::vector<InstanceId> children = db.edit_children(cur);
+    if (children.empty()) return cur;
+    InstanceId newest = children.front();
+    for (const InstanceId c : children) {
+      if (db.instance(c).created > db.instance(newest).created) newest = c;
+    }
+    cur = newest;
+  }
+}
+
+ConsistencyReport check_consistency(const history::HistoryDb& db,
+                                    InstanceId id) {
+  ConsistencyReport report;
+  for (const InstanceId stale : db.stale_inputs(id)) {
+    report.fresh = false;
+    report.replacements.push_back(
+        ConsistencyReport::Replacement{stale, latest_version(db, stale)});
+  }
+  return report;
+}
+
+std::vector<InstanceId> retrace(history::HistoryDb& db,
+                                const tools::ToolRegistry& tools,
+                                InstanceId id, const ExecOptions& options) {
+  const ConsistencyReport report = check_consistency(db, id);
+  if (report.fresh) {
+    throw ExecError("instance is up to date; nothing to retrace");
+  }
+
+  // Rebuild the derivation as a flow and rebind its leaves to the newest
+  // versions.
+  graph::TaskGraph trace = history::backward_trace(db, id);
+  NodeId goal;
+  for (const NodeId n : trace.nodes()) {
+    const auto& bound = trace.bindings(n);
+    const bool is_goal = !bound.empty() && bound.front() == id;
+    if (is_goal) goal = n;
+    if (trace.is_leaf(n)) {
+      trace.bind(n, latest_version(db, bound.front()));
+    } else {
+      trace.unbind(n);
+    }
+  }
+  if (!goal.valid()) {
+    throw ExecError("retrace: goal instance not found in its own trace");
+  }
+
+  // Fresh sub-derivations are picked up by memoization instead of being
+  // recomputed.
+  ExecOptions retrace_options = options;
+  retrace_options.reuse_existing = true;
+
+  Executor executor(db, tools);
+  ExecResult result = executor.run(trace, retrace_options);
+  return result.of(goal);
+}
+
+}  // namespace herc::exec

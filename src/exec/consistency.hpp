@@ -1,0 +1,49 @@
+// Design-consistency maintenance (paper §3.3).
+//
+// "Automatic retracing of a flow to update derived design data": when an
+// instance's derivation ancestry contains superseded versions, `retrace`
+// rebuilds the instance's backward flow trace, rebinds every superseded
+// leaf to the latest version in its edit lineage, and re-executes the
+// trace — producing an up-to-date instance without the designer redefining
+// the flow.  `check_consistency` is the query-only half ("has this
+// extraction been performed yet? is it out of date?").
+#pragma once
+
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "history/flow_trace.hpp"
+#include "history/history_db.hpp"
+
+namespace herc::exec {
+
+/// The answer to "does this derived object need retracing?".
+struct ConsistencyReport {
+  bool fresh = true;
+  /// Superseded ancestors (with their replacements) making it stale.
+  struct Replacement {
+    data::InstanceId superseded;
+    data::InstanceId latest;
+  };
+  std::vector<Replacement> replacements;
+};
+
+/// The newest version in `id`'s edit lineage (repeatedly follows edit
+/// children; on a branched tree picks the newest timestamp at each step).
+[[nodiscard]] data::InstanceId latest_version(const history::HistoryDb& db,
+                                              data::InstanceId id);
+
+/// Checks whether `id` is up to date with respect to everything it was
+/// derived from.
+[[nodiscard]] ConsistencyReport check_consistency(
+    const history::HistoryDb& db, data::InstanceId id);
+
+/// Re-derives `id` against the latest versions of its stale ancestry.
+/// Returns the instances produced for the retraced goal (normally one).
+/// Throws `ExecError` when `id` is already fresh.
+std::vector<data::InstanceId> retrace(history::HistoryDb& db,
+                                      const tools::ToolRegistry& tools,
+                                      data::InstanceId id,
+                                      const ExecOptions& options = {});
+
+}  // namespace herc::exec

@@ -1,0 +1,454 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "tools/composite.hpp"
+
+namespace herc::exec {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+using graph::TaskGroup;
+using support::ExecError;
+using support::FlowError;
+
+const std::vector<InstanceId>& ExecResult::of(NodeId node) const {
+  static const std::vector<InstanceId> kEmpty;
+  const auto it = produced.find(node);
+  return it == produced.end() ? kEmpty : it->second;
+}
+
+InstanceId ExecResult::single(NodeId node) const {
+  const auto& vec = of(node);
+  if (vec.size() != 1) {
+    throw ExecError("expected exactly one instance for flow node, found " +
+                    std::to_string(vec.size()));
+  }
+  return vec.front();
+}
+
+Executor::Executor(history::HistoryDb& db, const tools::ToolRegistry& tools)
+    : db_(&db), tools_(&tools) {}
+
+namespace {
+
+/// Mutable state shared by the serial and parallel paths.  `mutex` guards
+/// `env`, the result counters and all history-database access; tool
+/// functions run outside the lock.
+struct RunState {
+  const TaskGraph* flow;
+  history::HistoryDb* db;
+  const tools::ToolRegistry* tools;
+  const ExecOptions* options;
+  std::mutex mutex;
+  std::unordered_map<std::uint32_t, std::vector<InstanceId>> env;
+  ExecResult result;
+};
+
+/// Cartesian-product odometer over input instance choices.
+class Odometer {
+ public:
+  explicit Odometer(std::vector<std::size_t> sizes)
+      : sizes_(std::move(sizes)), digits_(sizes_.size(), 0) {
+    for (const std::size_t s : sizes_) {
+      if (s == 0) exhausted_ = true;
+    }
+  }
+
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  [[nodiscard]] const std::vector<std::size_t>& digits() const {
+    return digits_;
+  }
+
+  void advance() {
+    for (std::size_t i = 0; i < digits_.size(); ++i) {
+      if (++digits_[i] < sizes_[i]) return;
+      digits_[i] = 0;
+    }
+    exhausted_ = true;
+  }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> digits_;
+  bool exhausted_ = false;
+};
+
+/// Auto-name for a produced instance: the node's label when the designer
+/// set one, otherwise `<Type>#<ordinal>`.
+std::string instance_name(const TaskGraph& flow, NodeId node,
+                          std::size_t ordinal) {
+  const graph::Node& n = flow.node(node);
+  if (!n.label.empty()) return n.label;
+  return flow.schema().entity_name(n.type) + "#" + std::to_string(ordinal);
+}
+
+void execute_group(RunState& state, const TaskGroup& group) {
+  const TaskGraph& flow = *state.flow;
+  const schema::TaskSchema& schema = flow.schema();
+  const NodeId primary = group.outputs.front();
+
+  // Inputs in edge order of the primary output (compose order matters).
+  const std::vector<NodeId> ordered_inputs = flow.inputs_of(primary);
+  std::vector<std::string> roles;
+  roles.reserve(ordered_inputs.size());
+  for (const graph::DepEdge& e : flow.deps(primary)) {
+    if (e.kind == schema::DepKind::kData) roles.push_back(e.role);
+  }
+
+  // Snapshot the instance choices under the lock.
+  std::vector<std::vector<InstanceId>> choices(ordered_inputs.size());
+  std::vector<InstanceId> tool_choices;
+  {
+    std::scoped_lock lock(state.mutex);
+    for (std::size_t i = 0; i < ordered_inputs.size(); ++i) {
+      const auto it = state.env.find(ordered_inputs[i].value());
+      if (it == state.env.end() || it->second.empty()) {
+        throw ExecError("flow '" + flow.name() + "': input node '" +
+                        schema.entity_name(flow.node(ordered_inputs[i]).type) +
+                        "' has no instances");
+      }
+      choices[i] = it->second;
+    }
+    if (group.tool.valid()) {
+      const auto it = state.env.find(group.tool.value());
+      if (it == state.env.end() || it->second.empty()) {
+        throw ExecError("flow '" + flow.name() + "': tool node '" +
+                        schema.entity_name(flow.node(group.tool).type) +
+                        "' has no instance bound or produced");
+      }
+      tool_choices = it->second;
+    }
+  }
+
+  // Set-accepting encapsulations consume whole instance sets in one call.
+  bool accepts_sets = false;
+  if (group.tool.valid()) {
+    std::scoped_lock lock(state.mutex);
+    const schema::EntityTypeId tool_type =
+        state.db->instance(tool_choices.front()).type;
+    accepts_sets = state.tools->resolve(tool_type).accepts_instance_sets;
+  }
+
+  std::vector<std::size_t> sizes;
+  sizes.push_back(group.tool.valid() ? tool_choices.size() : 1);
+  for (const auto& c : choices) {
+    sizes.push_back(accepts_sets ? 1 : c.size());
+  }
+
+  for (Odometer odo(sizes); !odo.exhausted(); odo.advance()) {
+    const auto& digits = odo.digits();
+    const InstanceId tool_inst =
+        group.tool.valid() ? tool_choices[digits[0]] : InstanceId();
+    std::vector<std::vector<InstanceId>> combo(ordered_inputs.size());
+    for (std::size_t i = 0; i < ordered_inputs.size(); ++i) {
+      if (accepts_sets) {
+        combo[i] = choices[i];
+      } else {
+        combo[i] = {choices[i][digits[i + 1]]};
+      }
+    }
+    // Flat input list for derivation records and memoization.
+    std::vector<InstanceId> flat_inputs;
+    std::vector<std::string> flat_roles;
+    for (std::size_t i = 0; i < combo.size(); ++i) {
+      for (const InstanceId inst : combo[i]) {
+        flat_inputs.push_back(inst);
+        flat_roles.push_back(roles[i]);
+      }
+    }
+
+    // Consistency memoization: skip the run when every output already has
+    // a fresh instance derived the same way.
+    if (state.options->reuse_existing) {
+      std::scoped_lock lock(state.mutex);
+      std::vector<InstanceId> found;
+      bool all = true;
+      for (const NodeId out : group.outputs) {
+        const auto existing = state.db->find_existing(
+            flow.node(out).type, tool_inst, flat_inputs);
+        if (existing && !state.db->is_stale(*existing)) {
+          found.push_back(*existing);
+        } else {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        for (std::size_t o = 0; o < group.outputs.size(); ++o) {
+          state.env[group.outputs[o].value()].push_back(found[o]);
+          state.result.produced[group.outputs[o]].push_back(found[o]);
+        }
+        ++state.result.tasks_reused;
+        continue;
+      }
+    }
+
+    // Build the tool context (payload copies made under the lock).
+    tools::ToolContext ctx;
+    ctx.schema = &schema;
+    const tools::Encapsulation* enc = nullptr;
+    std::string task_label = "compose";
+    {
+      std::scoped_lock lock(state.mutex);
+      for (std::size_t i = 0; i < ordered_inputs.size(); ++i) {
+        tools::ToolInput in;
+        in.type = flow.node(ordered_inputs[i]).type;
+        in.type_name = schema.entity_name(in.type);
+        in.role = roles[i];
+        for (const InstanceId inst : combo[i]) {
+          // The history instance's actual type can be narrower than the
+          // flow node's; report the actual one.
+          in.type = state.db->instance(inst).type;
+          in.type_name = schema.entity_name(in.type);
+          in.instances.push_back(inst);
+          in.payloads.push_back(state.db->payload(inst));
+        }
+        ctx.inputs.push_back(std::move(in));
+      }
+      if (group.tool.valid()) {
+        ctx.tool_instance = tool_inst;
+        ctx.tool_type = state.db->instance(tool_inst).type;
+        ctx.tool_type_name = schema.entity_name(ctx.tool_type);
+        ctx.tool_payload = state.db->payload(tool_inst);
+        enc = &state.tools->resolve(ctx.tool_type);
+        ctx.args = enc->args;
+        task_label = enc->name;
+      }
+      // A set-accepting encapsulation sees one ToolInput per role: inputs
+      // arriving through several trace edges of the same arc (recorded
+      // set consumption) are merged back into one set.
+      if (enc != nullptr && enc->accepts_instance_sets) {
+        std::vector<tools::ToolInput> merged;
+        for (tools::ToolInput& in : ctx.inputs) {
+          bool appended = false;
+          for (tools::ToolInput& m : merged) {
+            if (m.role == in.role && m.type_name == in.type_name) {
+              m.instances.insert(m.instances.end(), in.instances.begin(),
+                                 in.instances.end());
+              m.payloads.insert(m.payloads.end(),
+                                std::make_move_iterator(in.payloads.begin()),
+                                std::make_move_iterator(in.payloads.end()));
+              appended = true;
+              break;
+            }
+          }
+          if (!appended) merged.push_back(std::move(in));
+        }
+        ctx.inputs = std::move(merged);
+      }
+    }
+
+    // Run the tool outside the lock (this is the expensive part).
+    if (state.options->task_latency.count() > 0) {
+      std::this_thread::sleep_for(state.options->task_latency);
+    }
+    tools::ToolOutput out;
+    if (enc != nullptr) {
+      out = enc->fn(ctx);
+    } else {
+      // Compose task: consistency check, then pack the components.
+      std::vector<std::string> parts;
+      for (const tools::ToolInput& in : ctx.inputs) {
+        for (const std::string& p : in.payloads) parts.push_back(p);
+      }
+      const NodeId out_node = primary;
+      if (const auto* check =
+              schema.compose_check(flow.node(out_node).type)) {
+        std::string why;
+        if (!(*check)(parts, why)) {
+          throw ExecError("compose of '" +
+                          schema.entity_name(flow.node(out_node).type) +
+                          "' failed its consistency check: " + why);
+        }
+      }
+      out.set(schema.entity_name(flow.node(out_node).type),
+              tools::join_composite(parts));
+    }
+
+    // Record the products.
+    {
+      std::scoped_lock lock(state.mutex);
+      for (const NodeId out_node : group.outputs) {
+        const std::string& type_name =
+            schema.entity_name(flow.node(out_node).type);
+        const std::string* payload = out.find(type_name);
+        if (payload == nullptr) {
+          throw ExecError("task '" + task_label +
+                          "' did not produce a '" + type_name + "'");
+        }
+        history::RecordRequest request;
+        request.type = flow.node(out_node).type;
+        request.name = instance_name(flow, out_node, state.db->size());
+        request.user = state.options->user;
+        request.comment = "produced by " + task_label + " in flow '" +
+                          flow.name() + "'";
+        request.payload = *payload;
+        request.derivation.tool = tool_inst;
+        request.derivation.inputs = flat_inputs;
+        request.derivation.input_roles = flat_roles;
+        request.derivation.task = task_label;
+        const InstanceId id = state.db->record(request);
+        state.env[out_node.value()].push_back(id);
+        state.result.produced[out_node].push_back(id);
+      }
+      ++state.result.tasks_run;
+    }
+  }
+}
+
+ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
+  const ExecOptions& options = *state.options;
+  if (!options.parallel || groups.size() < 2) {
+    for (const TaskGroup& group : groups) execute_group(state, group);
+    return std::move(state.result);
+  }
+
+  // Parallel scheduling: a group is ready once every group producing one of
+  // its inputs (or its tool) has completed.
+  std::unordered_map<std::uint32_t, std::size_t> producer;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const NodeId out : groups[g].outputs) {
+      producer[out.value()] = g;
+    }
+  }
+  std::vector<std::vector<std::size_t>> succs(groups.size());
+  std::vector<std::size_t> indeg(groups.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    auto feeds = groups[g].inputs;
+    if (groups[g].tool.valid()) feeds.push_back(groups[g].tool);
+    std::unordered_set<std::size_t> preds;
+    for (const NodeId in : feeds) {
+      const auto it = producer.find(in.value());
+      if (it != producer.end() && it->second != g) preds.insert(it->second);
+    }
+    for (const std::size_t p : preds) {
+      succs[p].push_back(g);
+      ++indeg[g];
+    }
+  }
+
+  std::mutex sched_mutex;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;
+  std::size_t completed = 0;
+  bool failed = false;
+  std::exception_ptr error;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (indeg[g] == 0) ready.push_back(g);
+  }
+
+  const std::size_t n_workers =
+      std::min<std::size_t>(std::max<std::size_t>(options.max_threads, 1),
+                            groups.size());
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers.emplace_back([&]() {
+      while (true) {
+        std::size_t g;
+        {
+          std::unique_lock lock(sched_mutex);
+          cv.wait(lock, [&] {
+            return !ready.empty() || completed == groups.size() || failed;
+          });
+          if (failed || completed == groups.size()) return;
+          g = ready.front();
+          ready.pop_front();
+        }
+        try {
+          execute_group(state, groups[g]);
+        } catch (...) {
+          std::scoped_lock lock(sched_mutex);
+          if (!failed) {
+            failed = true;
+            error = std::current_exception();
+          }
+          cv.notify_all();
+          return;
+        }
+        {
+          std::scoped_lock lock(sched_mutex);
+          ++completed;
+          for (const std::size_t s : succs[g]) {
+            if (--indeg[s] == 0) ready.push_back(s);
+          }
+          cv.notify_all();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  if (failed) std::rethrow_exception(error);
+  return std::move(state.result);
+}
+
+}  // namespace
+
+ExecResult Executor::run(const TaskGraph& flow, const ExecOptions& options) {
+  flow.check();
+  const auto unbound = flow.unbound_leaves();
+  if (!unbound.empty()) {
+    throw FlowError("flow '" + flow.name() + "': leaf node '" +
+                    flow.schema().entity_name(flow.node(unbound.front()).type) +
+                    "' is not bound to an instance");
+  }
+  RunState state;
+  state.flow = &flow;
+  state.db = db_;
+  state.tools = tools_;
+  state.options = &options;
+  for (const NodeId n : flow.nodes()) {
+    if (flow.is_leaf(n)) state.env[n.value()] = flow.bindings(n);
+  }
+  return run_filtered(state, flow.task_groups());
+}
+
+ExecResult Executor::run_goal(const TaskGraph& flow, NodeId goal,
+                              const ExecOptions& options) {
+  flow.check();
+  const std::vector<NodeId> keep = flow.closure(goal);
+  const std::unordered_set<std::uint32_t> keep_set = [&] {
+    std::unordered_set<std::uint32_t> s;
+    for (const NodeId n : keep) s.insert(n.value());
+    return s;
+  }();
+  for (const NodeId n : keep) {
+    if (flow.is_leaf(n) && flow.bindings(n).empty()) {
+      throw FlowError("sub-flow at '" +
+                      flow.schema().entity_name(flow.node(goal).type) +
+                      "': leaf '" +
+                      flow.schema().entity_name(flow.node(n).type) +
+                      "' is not bound");
+    }
+  }
+  RunState state;
+  state.flow = &flow;
+  state.db = db_;
+  state.tools = tools_;
+  state.options = &options;
+  for (const NodeId n : keep) {
+    if (flow.is_leaf(n)) state.env[n.value()] = flow.bindings(n);
+  }
+  // Keep a group when any of its outputs feeds the goal; a multi-output
+  // task naturally produces its siblings along the way.
+  std::vector<TaskGroup> groups;
+  for (const TaskGroup& group : flow.task_groups()) {
+    const bool needed = std::any_of(
+        group.outputs.begin(), group.outputs.end(), [&](NodeId out) {
+          return keep_set.contains(out.value());
+        });
+    if (needed) groups.push_back(group);
+  }
+  return run_filtered(state, groups);
+}
+
+}  // namespace herc::exec

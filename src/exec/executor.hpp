@@ -1,0 +1,81 @@
+// The flow execution engine (paper §3.3 and Fig. 6).
+//
+// Executes a dynamically defined flow: tasks are grouped (a shared tool
+// node + input set with several outputs runs once), ordered by dependency,
+// and run serially or in parallel — "disjoint branches in the flow can be
+// executed in parallel, possibly on different machines" maps here onto a
+// thread pool.  Every produced design object is recorded in the history
+// database with its derivation meta-data, which is what makes all of §4.2's
+// queries possible.
+//
+// Instance-set bindings fan a task out over each member (§4.1): binding
+// three stimuli to the Stimuli leaf runs the simulation three times and
+// records three Performance instances (unless the encapsulation accepts
+// sets, in which case it gets all payloads in one call).
+//
+// With `reuse_existing` set, the engine asks the history database whether
+// an identical, non-stale task result already exists and skips the run —
+// the paper's "queries into the design history can quickly determine
+// whether such retracing need occur".
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+#include "tools/registry.hpp"
+
+namespace herc::exec {
+
+struct ExecOptions {
+  /// Run independent task groups concurrently on a thread pool.
+  bool parallel = false;
+  std::size_t max_threads = 4;
+  /// Reuse fresh existing results instead of re-running tasks.
+  bool reuse_existing = false;
+  /// Recorded as the creating user of produced instances.
+  std::string user = "designer";
+  /// Artificial per-task latency, emulating slow external tools (used by
+  /// the Fig. 6 parallel-speedup benchmark).
+  std::chrono::milliseconds task_latency{0};
+};
+
+/// What one `run` produced, keyed by flow node.
+struct ExecResult {
+  std::unordered_map<graph::NodeId, std::vector<data::InstanceId>,
+                     support::IdHash>
+      produced;
+  std::size_t tasks_run = 0;
+  std::size_t tasks_reused = 0;
+
+  /// Instances produced for `node` (empty when the node was a bound leaf).
+  [[nodiscard]] const std::vector<data::InstanceId>& of(
+      graph::NodeId node) const;
+  /// The single instance produced for `node`; throws `ExecError` when the
+  /// task fanned out or produced nothing.
+  [[nodiscard]] data::InstanceId single(graph::NodeId node) const;
+};
+
+class Executor {
+ public:
+  /// `db` and `tools` must share the flow's schema and outlive the executor.
+  Executor(history::HistoryDb& db, const tools::ToolRegistry& tools);
+
+  /// Executes every task of `flow`.  Preconditions: the flow checks
+  /// against its schema and every leaf is bound (`FlowError` otherwise).
+  ExecResult run(const graph::TaskGraph& flow, const ExecOptions& options = {});
+
+  /// Executes only the sub-flow rooted at `goal` — "a subflow may be run
+  /// at any stage as long as its dependencies are satisfied" (§4.1).
+  ExecResult run_goal(const graph::TaskGraph& flow, graph::NodeId goal,
+                      const ExecOptions& options = {});
+
+ private:
+  history::HistoryDb* db_;
+  const tools::ToolRegistry* tools_;
+};
+
+}  // namespace herc::exec

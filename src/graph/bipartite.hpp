@@ -1,0 +1,47 @@
+// The traditional bipartite flow diagram (Fig. 3a).
+//
+// Most flow-management systems of the era drew flows as alternating data
+// and activity boxes.  The paper argues the task graph (Fig. 3b) carries the
+// same information while treating the tool as just another parameter; this
+// conversion demonstrates the equivalence and lets flows be rendered in
+// either style.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace herc::graph {
+
+/// A flow in bipartite (data-box / activity-box) form.
+struct BipartiteDiagram {
+  struct DataBox {
+    std::string entity;  ///< entity-type name
+    NodeId node;         ///< the task-graph node it came from
+  };
+  struct ActivityBox {
+    std::string tool;           ///< tool-entity name ("compose" for composites)
+    NodeId tool_node;           ///< invalid for compose activities
+    std::vector<std::size_t> inputs;   ///< indices into `data`
+    std::vector<std::size_t> outputs;  ///< indices into `data`
+  };
+
+  std::vector<DataBox> data;
+  std::vector<ActivityBox> activities;
+
+  /// Graphviz rendering: data as boxes, activities as ellipses.
+  [[nodiscard]] std::string to_dot() const;
+
+  /// One-line-per-activity text rendering:
+  ///   `[EditedNetlist] --CircuitEditor--> [PlacedLayout]`.
+  [[nodiscard]] std::string render_text() const;
+};
+
+/// Converts a task graph into bipartite form.  Tool nodes become activity
+/// boxes; data nodes become data boxes; multi-output tasks become one
+/// activity with several outputs.  Tool nodes that are themselves produced
+/// by a task additionally appear as data boxes (a tool as data — Fig. 2).
+[[nodiscard]] BipartiteDiagram to_bipartite(const TaskGraph& flow);
+
+}  // namespace herc::graph

@@ -1,0 +1,339 @@
+#include "history/history_db.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/record.hpp"
+#include "support/text.hpp"
+
+namespace herc::history {
+
+using data::InstanceId;
+using schema::EntityTypeId;
+using support::HistoryError;
+
+HistoryDb::HistoryDb(const schema::TaskSchema& schema, support::Clock& clock)
+    : schema_(&schema), clock_(&clock) {}
+
+void HistoryDb::check_id(InstanceId id) const {
+  if (!id.valid() || id.index() >= instances_.size()) {
+    throw HistoryError("unknown instance id");
+  }
+}
+
+EntityTypeId HistoryDb::root_type(EntityTypeId t) const {
+  EntityTypeId cur = t;
+  while (schema_->entity(cur).parent.valid()) {
+    cur = schema_->entity(cur).parent;
+  }
+  return cur;
+}
+
+InstanceId HistoryDb::import_instance(EntityTypeId type,
+                                      std::string_view name,
+                                      std::string_view payload,
+                                      std::string_view user,
+                                      std::string_view comment) {
+  RecordRequest request;
+  request.type = type;
+  request.name = std::string(name);
+  request.user = std::string(user);
+  request.comment = std::string(comment);
+  request.payload = std::string(payload);
+  request.derivation.task = "import";
+  return record(request);
+}
+
+InstanceId HistoryDb::record(const RecordRequest& request) {
+  if (schema_->is_abstract(request.type)) {
+    throw HistoryError("cannot instantiate abstract entity '" +
+                       schema_->entity_name(request.type) + "'");
+  }
+  if (request.derivation.inputs.size() !=
+      request.derivation.input_roles.size()) {
+    throw HistoryError("derivation inputs and roles differ in length");
+  }
+  if (request.derivation.tool.valid()) check_id(request.derivation.tool);
+  for (const InstanceId in : request.derivation.inputs) check_id(in);
+
+  Instance inst;
+  inst.id = InstanceId(static_cast<std::uint32_t>(instances_.size()));
+  inst.type = request.type;
+  inst.name = request.name;
+  inst.user = request.user;
+  inst.comment = request.comment;
+  inst.created = clock_->now();
+  inst.blob = blobs_.put(request.payload);
+  inst.derivation = request.derivation;
+
+  // Version numbering: an editing task (input of the same root entity type,
+  // §4.2) continues its input's lineage.
+  const EntityTypeId self_root = root_type(request.type);
+  for (const InstanceId in : request.derivation.inputs) {
+    if (root_type(instances_[in.index()].type) == self_root) {
+      inst.version = instances_[in.index()].version + 1;
+      break;
+    }
+  }
+
+  // Maintain the forward index.
+  used_by_.emplace_back();
+  if (inst.derivation.tool.valid()) {
+    used_by_[inst.derivation.tool.index()].push_back(inst.id);
+  }
+  for (const InstanceId in : inst.derivation.inputs) {
+    // A tool doubling as an input would be indexed twice; dedupe.
+    auto& vec = used_by_[in.index()];
+    if (vec.empty() || vec.back() != inst.id) vec.push_back(inst.id);
+  }
+
+  instances_.push_back(std::move(inst));
+  return instances_.back().id;
+}
+
+void HistoryDb::annotate(InstanceId id, std::string_view name,
+                         std::string_view comment) {
+  check_id(id);
+  instances_[id.index()].name = std::string(name);
+  instances_[id.index()].comment = std::string(comment);
+}
+
+bool HistoryDb::contains(InstanceId id) const {
+  return id.valid() && id.index() < instances_.size();
+}
+
+const Instance& HistoryDb::instance(InstanceId id) const {
+  check_id(id);
+  return instances_[id.index()];
+}
+
+const std::string& HistoryDb::payload(InstanceId id) const {
+  return blobs_.get(instance(id).blob);
+}
+
+std::vector<InstanceId> HistoryDb::all() const {
+  std::vector<InstanceId> out;
+  out.reserve(instances_.size());
+  for (const Instance& inst : instances_) out.push_back(inst.id);
+  return out;
+}
+
+std::vector<InstanceId> HistoryDb::instances_of(EntityTypeId type,
+                                                bool include_subtypes) const {
+  std::vector<InstanceId> out;
+  for (const Instance& inst : instances_) {
+    const bool match = include_subtypes
+                           ? schema_->is_ancestor_or_self(type, inst.type)
+                           : inst.type == type;
+    if (match) out.push_back(inst.id);
+  }
+  return out;
+}
+
+std::vector<InstanceId> HistoryDb::derived_from(InstanceId id) const {
+  const Instance& inst = instance(id);
+  std::vector<InstanceId> out;
+  if (inst.derivation.tool.valid()) out.push_back(inst.derivation.tool);
+  for (const InstanceId in : inst.derivation.inputs) out.push_back(in);
+  return out;
+}
+
+std::vector<InstanceId> HistoryDb::derivation_closure(InstanceId id) const {
+  check_id(id);
+  std::vector<InstanceId> order;
+  std::unordered_set<std::uint32_t> seen{id.value()};
+  std::deque<InstanceId> queue{id};
+  while (!queue.empty()) {
+    const InstanceId cur = queue.front();
+    queue.pop_front();
+    for (const InstanceId next : derived_from(cur)) {
+      if (seen.insert(next.value()).second) {
+        order.push_back(next);
+        queue.push_back(next);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<InstanceId> HistoryDb::used_by(InstanceId id) const {
+  check_id(id);
+  return used_by_[id.index()];
+}
+
+std::vector<InstanceId> HistoryDb::dependent_closure(InstanceId id) const {
+  check_id(id);
+  std::vector<InstanceId> order;
+  std::unordered_set<std::uint32_t> seen{id.value()};
+  std::deque<InstanceId> queue{id};
+  while (!queue.empty()) {
+    const InstanceId cur = queue.front();
+    queue.pop_front();
+    for (const InstanceId next : used_by_[cur.index()]) {
+      if (seen.insert(next.value()).second) {
+        order.push_back(next);
+        queue.push_back(next);
+      }
+    }
+  }
+  return order;
+}
+
+std::optional<InstanceId> HistoryDb::edit_parent(InstanceId id) const {
+  const Instance& inst = instance(id);
+  const EntityTypeId self_root = root_type(inst.type);
+  for (const InstanceId in : inst.derivation.inputs) {
+    if (root_type(instances_[in.index()].type) == self_root) return in;
+  }
+  return std::nullopt;
+}
+
+std::vector<InstanceId> HistoryDb::edit_children(InstanceId id) const {
+  check_id(id);
+  std::vector<InstanceId> out;
+  for (const InstanceId dep : used_by_[id.index()]) {
+    const auto parent = edit_parent(dep);
+    if (parent && *parent == id) out.push_back(dep);
+  }
+  return out;
+}
+
+bool HistoryDb::superseded(InstanceId id) const {
+  return !edit_children(id).empty();
+}
+
+bool HistoryDb::is_stale(InstanceId id) const {
+  return !stale_inputs(id).empty();
+}
+
+std::vector<InstanceId> HistoryDb::stale_inputs(InstanceId id) const {
+  // A superseded ancestor only makes `id` stale when none of its edit
+  // successors participates in the derivation: an edit's own parent is
+  // "superseded" by the very version the derivation already uses.
+  const std::vector<InstanceId> closure = derivation_closure(id);
+  std::unordered_set<std::uint32_t> in_closure{id.value()};
+  for (const InstanceId anc : closure) in_closure.insert(anc.value());
+  std::vector<InstanceId> out;
+  for (const InstanceId anc : closure) {
+    const std::vector<InstanceId> children = edit_children(anc);
+    if (children.empty()) continue;
+    const bool replaced_within = std::any_of(
+        children.begin(), children.end(), [&](InstanceId child) {
+          return in_closure.contains(child.value());
+        });
+    if (!replaced_within) out.push_back(anc);
+  }
+  return out;
+}
+
+std::optional<InstanceId> HistoryDb::find_existing(
+    EntityTypeId type, InstanceId tool,
+    const std::vector<InstanceId>& inputs) const {
+  std::vector<InstanceId> want = inputs;
+  std::sort(want.begin(), want.end());
+  // Walk the forward index of the narrowest anchor (the tool when present,
+  // else the first input) rather than the whole table.
+  std::vector<InstanceId> candidates;
+  if (tool.valid()) {
+    candidates = used_by(tool);
+  } else if (!inputs.empty()) {
+    candidates = used_by(inputs.front());
+  } else {
+    return std::nullopt;
+  }
+  for (const InstanceId cand : candidates) {
+    const Instance& inst = instances_[cand.index()];
+    if (inst.type != type) continue;
+    if (inst.derivation.tool != tool) continue;
+    std::vector<InstanceId> have = inst.derivation.inputs;
+    std::sort(have.begin(), have.end());
+    if (have == want) return cand;
+  }
+  return std::nullopt;
+}
+
+std::string HistoryDb::save() const {
+  std::string out = blobs_.save();
+  for (const Instance& inst : instances_) {
+    support::RecordWriter w("inst");
+    w.field(inst.id.value());
+    w.field(schema_->entity_name(inst.type));
+    w.field(inst.name);
+    w.field(inst.user);
+    w.field(inst.created.micros());
+    w.field(inst.comment);
+    w.field(inst.blob);
+    w.field(inst.version);
+    w.field(inst.derivation.task);
+    w.field(inst.derivation.tool.valid()
+                ? static_cast<std::int64_t>(inst.derivation.tool.value())
+                : static_cast<std::int64_t>(-1));
+    w.field(static_cast<std::uint32_t>(inst.derivation.inputs.size()));
+    for (std::size_t i = 0; i < inst.derivation.inputs.size(); ++i) {
+      w.field(inst.derivation.inputs[i].value());
+      w.field(inst.derivation.input_roles[i]);
+    }
+    out += w.str() + "\n";
+  }
+  return out;
+}
+
+HistoryDb HistoryDb::load(const schema::TaskSchema& schema,
+                          support::Clock& clock, std::string_view text) {
+  HistoryDb db(schema, clock);
+  for (const std::string& line : support::split(text, '\n')) {
+    if (support::trim(line).empty()) continue;
+    support::RecordReader rec(line);
+    if (rec.kind() == "blob") {
+      const std::string key = rec.next_string();
+      const std::string payload = rec.next_string();
+      if (db.blobs_.put(payload) != key) {
+        throw HistoryError("history file: blob hash mismatch");
+      }
+    } else if (rec.kind() == "inst") {
+      Instance inst;
+      inst.id = InstanceId(rec.next_uint32());
+      if (inst.id.index() != db.instances_.size()) {
+        throw HistoryError("history file: instance records out of order");
+      }
+      inst.type = schema.require(rec.next_string());
+      inst.name = rec.next_string();
+      inst.user = rec.next_string();
+      inst.created = support::Timestamp(rec.next_int64());
+      inst.comment = rec.next_string();
+      inst.blob = rec.next_string();
+      if (!db.blobs_.contains(inst.blob)) {
+        throw HistoryError("history file: instance references missing blob");
+      }
+      inst.version = rec.next_uint32();
+      inst.derivation.task = rec.next_string();
+      const std::int64_t tool = rec.next_int64();
+      if (tool >= 0) {
+        inst.derivation.tool = InstanceId(static_cast<std::uint32_t>(tool));
+      }
+      const std::uint32_t n_inputs = rec.next_uint32();
+      for (std::uint32_t i = 0; i < n_inputs; ++i) {
+        inst.derivation.inputs.push_back(InstanceId(rec.next_uint32()));
+        inst.derivation.input_roles.push_back(rec.next_string());
+      }
+      db.used_by_.emplace_back();
+      if (inst.derivation.tool.valid()) {
+        db.check_id(inst.derivation.tool);
+        db.used_by_[inst.derivation.tool.index()].push_back(inst.id);
+      }
+      for (const InstanceId in : inst.derivation.inputs) {
+        db.check_id(in);
+        auto& vec = db.used_by_[in.index()];
+        if (vec.empty() || vec.back() != inst.id) vec.push_back(inst.id);
+      }
+      db.instances_.push_back(std::move(inst));
+    } else {
+      throw HistoryError("history file: unknown record '" + rec.kind() + "'");
+    }
+  }
+  return db;
+}
+
+}  // namespace herc::history

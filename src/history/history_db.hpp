@@ -1,0 +1,153 @@
+// The design-history database (paper §3.3, §4.2).
+//
+// The task schema doubles as this database's data schema: instances are
+// typed by schema entities, and each carries the derivation meta-data
+// (tool instance + input instances) of the task that created it.  On top of
+// that single table the paper builds backward-chaining queries ("what was
+// this made from?"), forward-chaining queries ("what was made from this?"),
+// template queries using a task graph as the query form, staleness analysis
+// for design-consistency maintenance, and version management.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/blob_store.hpp"
+#include "history/instance.hpp"
+#include "schema/task_schema.hpp"
+
+namespace herc::history {
+
+/// Everything needed to register a freshly produced instance.
+struct RecordRequest {
+  schema::EntityTypeId type;
+  std::string name;
+  std::string user;
+  std::string comment;
+  std::string payload;
+  Derivation derivation;
+};
+
+class HistoryDb {
+ public:
+  /// `schema` and `clock` must outlive the database.
+  HistoryDb(const schema::TaskSchema& schema, support::Clock& clock);
+
+  [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
+  [[nodiscard]] data::BlobStore& blobs() { return blobs_; }
+  [[nodiscard]] const data::BlobStore& blobs() const { return blobs_; }
+
+  // ---- writing -------------------------------------------------------------
+
+  /// Registers an instance the designer supplied from outside any flow
+  /// (a source entity or pre-existing data).  Throws `HistoryError` when
+  /// `type` is abstract.
+  data::InstanceId import_instance(schema::EntityTypeId type,
+                                   std::string_view name,
+                                   std::string_view payload,
+                                   std::string_view user,
+                                   std::string_view comment = "");
+
+  /// Registers an instance produced by a task, with its derivation.
+  /// Version numbering: when the derivation marks this as an *edit* (some
+  /// input has the same root entity type as `type`), the new instance gets
+  /// that input's version + 1; otherwise version 1.
+  data::InstanceId record(const RecordRequest& request);
+
+  /// Updates the user-facing annotation of an instance (§4.1).
+  void annotate(data::InstanceId id, std::string_view name,
+                std::string_view comment);
+
+  // ---- reading -------------------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return instances_.size(); }
+  [[nodiscard]] bool contains(data::InstanceId id) const;
+  [[nodiscard]] const Instance& instance(data::InstanceId id) const;
+  [[nodiscard]] const std::string& payload(data::InstanceId id) const;
+  [[nodiscard]] std::vector<data::InstanceId> all() const;
+
+  /// Instances whose type is `type` (or a descendant, by default) — the
+  /// browser's per-entity listing of Fig. 9.
+  [[nodiscard]] std::vector<data::InstanceId> instances_of(
+      schema::EntityTypeId type, bool include_subtypes = true) const;
+
+  // ---- chaining queries (§4.2) ----------------------------------------------
+
+  /// Immediate derivation inputs (tool first when present) — one step of
+  /// backward chaining, i.e. the History pop-up of Fig. 10.
+  [[nodiscard]] std::vector<data::InstanceId> derived_from(
+      data::InstanceId id) const;
+
+  /// Transitive closure of `derived_from`, excluding `id` itself, in
+  /// breadth-first order.
+  [[nodiscard]] std::vector<data::InstanceId> derivation_closure(
+      data::InstanceId id) const;
+
+  /// Instances whose derivation used `id` directly — one step of forward
+  /// chaining (the "Use dependencies" browser option of Fig. 9).
+  [[nodiscard]] std::vector<data::InstanceId> used_by(
+      data::InstanceId id) const;
+
+  /// Transitive closure of `used_by`, excluding `id`, breadth-first.
+  [[nodiscard]] std::vector<data::InstanceId> dependent_closure(
+      data::InstanceId id) const;
+
+  // ---- versioning (§4.2, Fig. 11) --------------------------------------------
+
+  /// True when `id`'s derivation marks it as an edit of `parent` (an input
+  /// sharing `id`'s root entity type).
+  [[nodiscard]] std::optional<data::InstanceId> edit_parent(
+      data::InstanceId id) const;
+
+  /// Direct edit successors of `id` (children in the version tree).
+  [[nodiscard]] std::vector<data::InstanceId> edit_children(
+      data::InstanceId id) const;
+
+  /// True when a newer version of `id` exists (it has an edit successor).
+  [[nodiscard]] bool superseded(data::InstanceId id) const;
+
+  // ---- consistency maintenance (§3.3) -----------------------------------------
+
+  /// An instance is *stale* when anything in its derivation closure has
+  /// been superseded by a newer version — the condition that triggers
+  /// automatic retracing.
+  [[nodiscard]] bool is_stale(data::InstanceId id) const;
+
+  /// The superseded instances that make `id` stale (empty when fresh).
+  [[nodiscard]] std::vector<data::InstanceId> stale_inputs(
+      data::InstanceId id) const;
+
+  /// Finds an existing instance of `type` produced by `tool` from exactly
+  /// `inputs` (order-insensitive) — the memoization query that lets the
+  /// framework answer "has this extraction been performed yet?" without
+  /// re-running it.
+  [[nodiscard]] std::optional<data::InstanceId> find_existing(
+      schema::EntityTypeId type, data::InstanceId tool,
+      const std::vector<data::InstanceId>& inputs) const;
+
+  // ---- persistence -------------------------------------------------------------
+
+  /// Serializes blobs + instances to text.
+  [[nodiscard]] std::string save() const;
+  /// Restores a database saved with `save` against the same schema.
+  [[nodiscard]] static HistoryDb load(const schema::TaskSchema& schema,
+                                      support::Clock& clock,
+                                      std::string_view text);
+
+ private:
+  void check_id(data::InstanceId id) const;
+  [[nodiscard]] schema::EntityTypeId root_type(schema::EntityTypeId t) const;
+
+  const schema::TaskSchema* schema_;
+  support::Clock* clock_;
+  data::BlobStore blobs_;
+  std::vector<Instance> instances_;
+  /// Forward index: instance -> instances whose derivation used it.
+  std::vector<std::vector<data::InstanceId>> used_by_;
+};
+
+}  // namespace herc::history

@@ -1,0 +1,59 @@
+// Entity instances and their derivation meta-data.
+//
+// The paper's central data-management idea: every design object is created
+// by executing a flow, so storing *a small amount of meta-data with each
+// object* — the immediate tool and data instances used to create it — is
+// enough to reconstruct the complete derivation history of a design and to
+// subsume version management (§1, §4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/blob_store.hpp"
+#include "data/instance_id.hpp"
+#include "schema/entity.hpp"
+#include "support/clock.hpp"
+
+namespace herc::history {
+
+/// How one instance came to exist: the tool instance that ran and the data
+/// instances it consumed, in the order of the task's input edges.
+///
+/// An imported instance (a source entity the designer supplied) has an
+/// empty derivation.  A composite instance has inputs but no tool.
+struct Derivation {
+  /// The tool instance executed; invalid for imports and compose tasks.
+  data::InstanceId tool;
+  /// Input instances, parallel with `input_roles`.
+  std::vector<data::InstanceId> inputs;
+  std::vector<std::string> input_roles;
+  /// Short description of the producing step ("Simulator", "compose",
+  /// "import", ...) used in trace renderings.
+  std::string task;
+
+  [[nodiscard]] bool is_import() const {
+    return !tool.valid() && inputs.empty();
+  }
+};
+
+/// One design object: meta-data plus a reference to shared physical data.
+struct Instance {
+  data::InstanceId id;
+  schema::EntityTypeId type;
+  /// User-visible name ("Low pass filter"); may be empty.
+  std::string name;
+  /// Who created it (Fig. 9 records user-id per instance).
+  std::string user;
+  support::Timestamp created;
+  /// Free-text annotation (§4.1: designers document steps this way).
+  std::string comment;
+  /// Key of the physical payload; several instances may share one blob
+  /// (footnote 5's RCS analogy).
+  data::BlobKey blob;
+  /// Version ordinal within the instance's edit lineage (1 = original).
+  std::uint32_t version = 1;
+  Derivation derivation;
+};
+
+}  // namespace herc::history

@@ -1,0 +1,48 @@
+// A textual form of the §4.2 history queries.
+//
+// The paper's queries ("find the simulations that were performed on this
+// netlist", "find the netlist that was extracted from this layout") use
+// the flow itself as the query template.  This module compiles a small
+// text language into such a template:
+//
+//   find Performance
+//   find Performance where stimuli = i3
+//   find Performance where circuit.netlist = i5 and stimuli = i3
+//   find EditedNetlist where seed = i0
+//   find PlacedLayout where tool = i7
+//   find Performance where circuit.netlist = "CMOS Full adder"
+//
+// Each `where` path descends the derivation structure one task input per
+// step.  A step names either the arc's *role* ("seed", "golden"), the
+// target *entity* (case-insensitive: "circuit", "netlist"), or the
+// special step `tool` (the task's fd).  The right-hand side is an
+// instance ref `iN` or a quoted instance name (which must be unambiguous).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+
+namespace herc::history {
+
+/// A compiled query: the pattern plus its target node.
+struct CompiledQuery {
+  graph::TaskGraph pattern;
+  graph::NodeId target;
+};
+
+/// Compiles `text` against `db` (instance names are resolved at compile
+/// time).  Throws `ParseError` on bad syntax, `HistoryError` on unknown
+/// or ambiguous instance names, `SchemaError`/`FlowError` when a path
+/// step does not exist in the schema.
+[[nodiscard]] CompiledQuery compile_query(const HistoryDb& db,
+                                          std::string_view text);
+
+/// Compiles and runs in one step.
+[[nodiscard]] std::vector<data::InstanceId> run_query(const HistoryDb& db,
+                                                      std::string_view text);
+
+}  // namespace herc::history

@@ -1,0 +1,73 @@
+// Design-entity type declarations for the task schema (paper §3.1).
+//
+// Both *tools* and *data* are design entities; they appear as nodes of the
+// task schema and are connected by functional (fd) and data (dd) dependency
+// arcs.  Treating tools as entities is what lets a flow pass a tool as an
+// argument to another tool, and lets a task *produce* a tool (the COSMOS
+// compiled-simulator case of Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace herc::schema {
+
+struct EntityTypeTag {};
+/// Identifies an entity *type* in a task schema (e.g. `Netlist`, `Simulator`).
+using EntityTypeId = support::Id<EntityTypeTag>;
+
+/// The two classes of design entity.
+enum class EntityKind {
+  kData,  ///< design data (netlists, layouts, waveforms, ...)
+  kTool,  ///< an executable design function (editor, simulator, ...)
+};
+
+/// The two dependency-arc labels of the task schema.
+enum class DepKind {
+  kFunctional,  ///< "is produced by running this tool" (at most one)
+  kData,        ///< "is produced from this input" (any number)
+};
+
+/// One outgoing dependency arc of an entity type.
+struct Dependency {
+  EntityTypeId target;
+  DepKind kind = DepKind::kData;
+  /// Optional data dependencies (dashed arcs in Fig. 1) break schema loops:
+  /// an `EditedNetlist` *may* start from an existing `Netlist`.
+  bool optional = false;
+  /// Human-readable role of the input (e.g. "stimuli"); may be empty.
+  std::string role;
+};
+
+/// A node of the task schema.
+struct EntityType {
+  std::string name;
+  EntityKind kind = EntityKind::kData;
+  /// Supertype for specialization (Fig. 1: `ExtractedNetlist : Netlist`);
+  /// invalid for root types.
+  EntityTypeId parent;
+  /// Abstract types cannot be instantiated; a flow node of this type must be
+  /// *specialized* to a concrete subtype before expansion.
+  bool abstract = false;
+  /// Composite entities (paper §3.1) have only data dependencies and carry
+  /// implicit compose/decompose functions.
+  bool composite = false;
+  /// Own dependency arcs.  Subtypes that declare no arcs inherit the nearest
+  /// ancestor's arcs (each subtype usually declares its own construction
+  /// method — that is the point of subtyping).
+  std::vector<Dependency> deps;
+};
+
+/// Returns "data" or "tool".
+[[nodiscard]] inline const char* to_string(EntityKind k) {
+  return k == EntityKind::kData ? "data" : "tool";
+}
+
+/// Returns "fd" or "dd".
+[[nodiscard]] inline const char* to_string(DepKind k) {
+  return k == DepKind::kFunctional ? "fd" : "dd";
+}
+
+}  // namespace herc::schema

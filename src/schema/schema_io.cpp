@@ -1,0 +1,203 @@
+#include "schema/schema_io.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::schema {
+
+using support::ParseError;
+using support::split;
+using support::split_ws;
+using support::trim;
+
+namespace {
+
+/// Strips a trailing `# comment` (not inside any quoting — the DSL has none).
+std::string_view strip_comment(std::string_view line) {
+  const std::size_t pos = line.find('#');
+  return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+struct Line {
+  int number;
+  std::vector<std::string> tokens;
+};
+
+[[noreturn]] void fail(const Line& line, const std::string& msg) {
+  throw ParseError("schema line " + std::to_string(line.number) + ": " + msg);
+}
+
+}  // namespace
+
+namespace {
+
+/// Applies declaration and dependency lines to `schema` (shared by
+/// `parse_schema` and `extend_schema`).
+void apply_lines(TaskSchema& schema, const std::vector<const Line*>& decls,
+                 const std::vector<const Line*>& deps) {
+  for (const Line* lp : decls) {
+    const Line& line = *lp;
+    const auto& t = line.tokens;
+    const std::string& kind = t[0];
+    if (t.size() < 2) fail(line, "expected an entity name");
+    const std::string& name = t[1];
+    if (kind == "composite") {
+      if (t.size() != 2) fail(line, "expected: composite <name>");
+      schema.add_composite(name);
+      continue;
+    }
+    // `data Name [: Parent] [abstract]`
+    std::string parent;
+    bool abstract = false;
+    std::size_t i = 2;
+    if (i < t.size() && t[i] == ":") {
+      if (i + 1 >= t.size()) fail(line, "expected a parent name after ':'");
+      parent = t[i + 1];
+      i += 2;
+    }
+    if (i < t.size() && t[i] == "abstract") {
+      abstract = true;
+      ++i;
+    }
+    if (i != t.size()) fail(line, "trailing tokens after declaration");
+    if (!parent.empty()) {
+      const EntityTypeId pid = schema.find(parent);
+      if (!pid.valid()) {
+        fail(line, "unknown parent entity '" + parent + "'");
+      }
+      const bool parent_is_tool = schema.is_tool(pid);
+      if ((kind == "tool") != parent_is_tool) {
+        fail(line, "subtype kind must match parent kind");
+      }
+      schema.add_subtype(name, pid, abstract);
+    } else if (kind == "tool") {
+      schema.add_tool(name, abstract);
+    } else {
+      schema.add_data(name, abstract);
+    }
+  }
+
+  // Pass 2: dependency arcs.
+  for (const Line* lp : deps) {
+    const Line& line = *lp;
+    const auto& t = line.tokens;
+    // `fd A -> B` / `dd A -> B [?] [as role]`
+    if (t.size() < 4 || t[2] != "->") {
+      fail(line, "expected: " + t[0] + " <entity> -> <entity>");
+    }
+    const EntityTypeId from = schema.find(t[1]);
+    if (!from.valid()) fail(line, "unknown entity '" + t[1] + "'");
+    const EntityTypeId to = schema.find(t[3]);
+    if (!to.valid()) fail(line, "unknown entity '" + t[3] + "'");
+    if (t[0] == "fd") {
+      if (t.size() != 4) fail(line, "trailing tokens after fd arc");
+      schema.set_functional_dependency(from, to);
+    } else {
+      bool optional = false;
+      std::string role;
+      std::size_t i = 4;
+      if (i < t.size() && t[i] == "?") {
+        optional = true;
+        ++i;
+      }
+      if (i < t.size() && t[i] == "as") {
+        if (i + 1 >= t.size()) fail(line, "expected a role name after 'as'");
+        role = t[i + 1];
+        i += 2;
+      }
+      if (i != t.size()) fail(line, "trailing tokens after dd arc");
+      schema.add_data_dependency(from, to, optional, role);
+    }
+  }
+}
+
+/// Splits `text` into classified lines.
+struct ClassifiedLines {
+  std::vector<Line> storage;
+  std::vector<const Line*> decls;
+  std::vector<const Line*> deps;
+  std::string schema_name;
+  bool has_schema_line = false;
+};
+
+ClassifiedLines classify(std::string_view text) {
+  ClassifiedLines out;
+  out.schema_name = "schema";
+  {
+    int number = 0;
+    for (const std::string& raw : split(text, '\n')) {
+      ++number;
+      const std::string_view body = trim(strip_comment(raw));
+      if (body.empty()) continue;
+      out.storage.push_back(Line{number, split_ws(body)});
+    }
+  }
+  for (const Line& line : out.storage) {
+    const std::string& head = line.tokens.front();
+    if (head == "schema") {
+      if (line.tokens.size() != 2) fail(line, "expected: schema <name>");
+      out.schema_name = line.tokens[1];
+      out.has_schema_line = true;
+    } else if (head == "data" || head == "tool" || head == "composite") {
+      out.decls.push_back(&line);
+    } else if (head == "fd" || head == "dd") {
+      out.deps.push_back(&line);
+    } else {
+      fail(line, "unknown directive '" + head + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TaskSchema parse_schema(std::string_view text) {
+  const ClassifiedLines lines = classify(text);
+  TaskSchema schema(lines.schema_name);
+  apply_lines(schema, lines.decls, lines.deps);
+  return schema;
+}
+
+void extend_schema(TaskSchema& schema, std::string_view fragment) {
+  const ClassifiedLines lines = classify(fragment);
+  if (lines.has_schema_line) {
+    throw ParseError(
+        "extend_schema: a fragment may not carry a 'schema <name>' line");
+  }
+  apply_lines(schema, lines.decls, lines.deps);
+  schema.validate();
+}
+
+std::string write_schema(const TaskSchema& schema) {
+  std::string out = "schema " + schema.name() + "\n";
+  for (const EntityTypeId id : schema.all()) {
+    const EntityType& e = schema.entity(id);
+    if (e.composite) {
+      out += "composite " + e.name + "\n";
+      continue;
+    }
+    out += (e.kind == EntityKind::kTool ? "tool " : "data ") + e.name;
+    if (e.parent.valid()) out += " : " + schema.entity_name(e.parent);
+    if (e.abstract) out += " abstract";
+    out += "\n";
+  }
+  for (const EntityTypeId id : schema.all()) {
+    const EntityType& e = schema.entity(id);
+    for (const Dependency& d : e.deps) {
+      if (d.kind == DepKind::kFunctional) {
+        out += "fd " + e.name + " -> " + schema.entity_name(d.target) + "\n";
+      } else {
+        out += "dd " + e.name + " -> " + schema.entity_name(d.target);
+        if (d.optional) out += " ?";
+        if (!d.role.empty()) out += " as " + d.role;
+        out += "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace herc::schema

@@ -1,0 +1,44 @@
+// Textual schema definition language.
+//
+// Task schemas are the one methodology artifact a site maintains (the paper:
+// "only the task schema need be maintained"), so they get a human-editable
+// format:
+//
+//   # Fig. 1 of the paper
+//   schema fig1
+//   tool Extractor
+//   data Layout abstract
+//   data PlacedLayout : Layout
+//   composite Circuit
+//   fd PlacedLayout -> Placer
+//   dd PlacedLayout -> Netlist
+//   dd EditedNetlist -> Netlist ?         # '?' marks an optional arc
+//   dd Performance -> Stimuli as stimuli  # 'as' names the input role
+//
+// Declarations may appear in any order; dependency lines may reference
+// entities declared later.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "schema/task_schema.hpp"
+
+namespace herc::schema {
+
+/// Parses a schema document.  Throws `ParseError` on malformed input and
+/// `SchemaError` on rule violations (duplicate fd etc.).
+[[nodiscard]] TaskSchema parse_schema(std::string_view text);
+
+/// Applies a schema *fragment* to an existing schema — the paper's
+/// "incorporation of new tools" without touching existing flows: the
+/// fragment may declare new entities (subtyping existing ones) and add
+/// dependency arcs whose endpoints may be pre-existing entities.  A
+/// `schema <name>` line is rejected here (the schema keeps its identity).
+/// The extended schema is re-validated.
+void extend_schema(TaskSchema& schema, std::string_view fragment);
+
+/// Writes a schema document that `parse_schema` round-trips.
+[[nodiscard]] std::string write_schema(const TaskSchema& schema);
+
+}  // namespace herc::schema

@@ -1,0 +1,169 @@
+#include "schema/standard_schemas.hpp"
+
+namespace herc::schema {
+
+TaskSchema make_fig1_schema() {
+  TaskSchema s("fig1");
+
+  // Tools.
+  const EntityTypeId model_editor = s.add_tool("ModelEditor");
+  const EntityTypeId circuit_editor = s.add_tool("CircuitEditor");
+  const EntityTypeId layout_editor = s.add_tool("LayoutEditor");
+  const EntityTypeId placer = s.add_tool("Placer");
+  const EntityTypeId extractor = s.add_tool("Extractor");
+  const EntityTypeId simulator = s.add_tool("Simulator");
+  const EntityTypeId verifier = s.add_tool("Verifier");
+  const EntityTypeId plotter = s.add_tool("Plotter");
+
+  // Data.
+  const EntityTypeId device_models = s.add_data("DeviceModels");
+  const EntityTypeId netlist = s.add_data("Netlist", /*abstract=*/true);
+  const EntityTypeId edited_netlist = s.add_subtype("EditedNetlist", netlist);
+  const EntityTypeId extracted_netlist =
+      s.add_subtype("ExtractedNetlist", netlist);
+  const EntityTypeId layout = s.add_data("Layout", /*abstract=*/true);
+  const EntityTypeId placed_layout = s.add_subtype("PlacedLayout", layout);
+  const EntityTypeId edited_layout = s.add_subtype("EditedLayout", layout);
+  const EntityTypeId stimuli = s.add_data("Stimuli");
+  const EntityTypeId sim_options = s.add_data("SimOptions");
+  const EntityTypeId performance = s.add_data("Performance");
+  const EntityTypeId statistics = s.add_data("Statistics");
+  const EntityTypeId verification = s.add_data("Verification");
+  const EntityTypeId plot = s.add_data("PerformancePlot");
+  const EntityTypeId circuit = s.add_composite("Circuit");
+
+  // Device models are edited, optionally starting from an existing set
+  // (the edit loop broken by an optional arc, as in Fig. 1).
+  s.set_functional_dependency(device_models, model_editor);
+  s.add_data_dependency(device_models, device_models, /*optional=*/true,
+                        "seed");
+
+  // Two ways to make a netlist: edit one (possibly from scratch) or extract
+  // it from a layout — the paper's canonical subtyping example.
+  s.set_functional_dependency(edited_netlist, circuit_editor);
+  s.add_data_dependency(edited_netlist, netlist, /*optional=*/true, "seed");
+  s.set_functional_dependency(extracted_netlist, extractor);
+  s.add_data_dependency(extracted_netlist, layout);
+
+  // Two ways to make a layout: automatic placement from a netlist, or
+  // manual editing (possibly from an existing layout).
+  s.set_functional_dependency(placed_layout, placer);
+  s.add_data_dependency(placed_layout, netlist);
+  s.set_functional_dependency(edited_layout, layout_editor);
+  s.add_data_dependency(edited_layout, layout, /*optional=*/true, "seed");
+
+  // A circuit groups device models with a netlist (composite entity).
+  s.add_data_dependency(circuit, device_models);
+  s.add_data_dependency(circuit, netlist);
+
+  // Simulation: one task produces both Performance and Statistics
+  // (multi-output, Fig. 5).  Options are an entity type of their own —
+  // the paper's way of handling tool arguments.
+  s.set_functional_dependency(performance, simulator);
+  s.add_data_dependency(performance, circuit);
+  s.add_data_dependency(performance, stimuli);
+  s.add_data_dependency(performance, sim_options, /*optional=*/true,
+                        "options");
+  s.set_functional_dependency(statistics, simulator);
+  s.add_data_dependency(statistics, circuit);
+  s.add_data_dependency(statistics, stimuli);
+  s.add_data_dependency(statistics, sim_options, /*optional=*/true,
+                        "options");
+
+  // Verification compares a layout against a netlist (Fig. 8b).
+  s.set_functional_dependency(verification, verifier);
+  s.add_data_dependency(verification, layout);
+  s.add_data_dependency(verification, netlist);
+
+  // Plotting renders a performance (Fig. 1 right edge).
+  s.set_functional_dependency(plot, plotter);
+  s.add_data_dependency(plot, performance);
+
+  s.validate();
+  return s;
+}
+
+TaskSchema make_fig2_schema() {
+  TaskSchema s("fig2");
+  const EntityTypeId netlist = s.add_data("Netlist");
+  const EntityTypeId stimuli = s.add_data("Stimuli");
+  const EntityTypeId compiler = s.add_tool("SimCompiler");
+  // The compiled simulator is a *tool* entity produced by a task — the
+  // COSMOS case: compiled for a given netlist, then executed on different
+  // stimuli.
+  const EntityTypeId compiled = s.add_tool("CompiledSimulator");
+  const EntityTypeId performance = s.add_data("Performance");
+  const EntityTypeId statistics = s.add_data("Statistics");
+
+  s.set_functional_dependency(compiled, compiler);
+  s.add_data_dependency(compiled, netlist);
+  s.set_functional_dependency(performance, compiled);
+  s.add_data_dependency(performance, stimuli);
+  s.set_functional_dependency(statistics, compiled);
+  s.add_data_dependency(statistics, stimuli);
+
+  s.validate();
+  return s;
+}
+
+TaskSchema make_full_schema() {
+  TaskSchema s = make_fig1_schema();
+  // Rename: the full schema backs the Odyssey examples.
+  // (TaskSchema keeps its name immutable; rebuilding with a different name
+  // would lose registered hooks, so the fig1 name is kept as-is.)
+
+  // Fig. 2: the compiled switch-level simulator, grafted onto Fig. 1.
+  const EntityTypeId netlist = s.require("Netlist");
+  const EntityTypeId stimuli = s.require("Stimuli");
+  const EntityTypeId compiler = s.add_tool("SimCompiler");
+  const EntityTypeId compiled = s.add_tool("CompiledSimulator");
+  const EntityTypeId sw_perf = s.add_data("SwitchPerformance");
+  const EntityTypeId sw_stats = s.add_data("SwitchStatistics");
+  s.set_functional_dependency(compiled, compiler);
+  s.add_data_dependency(compiled, netlist);
+  s.set_functional_dependency(sw_perf, compiled);
+  s.add_data_dependency(sw_perf, stimuli);
+  s.set_functional_dependency(sw_stats, compiled);
+  s.add_data_dependency(sw_stats, stimuli);
+
+  // Fig. 7: the logic view and the synthesis path from it to the
+  // transistor view (a netlist subtype).
+  const EntityTypeId logic_view = s.add_data("LogicView");
+  const EntityTypeId synthesizer = s.add_tool("Synthesizer");
+  const EntityTypeId synthesized =
+      s.add_subtype("SynthesizedNetlist", netlist);
+  s.set_functional_dependency(synthesized, synthesizer);
+  s.add_data_dependency(synthesized, logic_view);
+
+  // Detail routing: a third way to make a layout, downstream of placement.
+  const EntityTypeId router = s.add_tool("Router");
+  const EntityTypeId routed = s.add_subtype("RoutedLayout",
+                                            s.require("Layout"));
+  s.set_functional_dependency(routed, router);
+  s.add_data_dependency(routed, s.require("Layout"));
+
+  // Performance regression comparison: two data inputs of the same type,
+  // told apart by role — "did the retraced simulation change behaviour?".
+  const EntityTypeId comparator = s.add_tool("Comparator");
+  const EntityTypeId diff = s.add_data("PerformanceDiff");
+  s.set_functional_dependency(diff, comparator);
+  s.add_data_dependency(diff, s.require("Performance"), false, "golden");
+  s.add_data_dependency(diff, s.require("Performance"), false, "candidate");
+
+  // Statistical optimizers: three tools sharing one encapsulation (paper
+  // §3.3), all turning a circuit + performance into an optimized netlist.
+  const EntityTypeId opt_netlist = s.add_subtype("OptimizedNetlist", netlist);
+  const EntityTypeId optimizer = s.add_tool("Optimizer", /*abstract=*/true);
+  s.add_subtype("GradientOptimizer", optimizer);
+  s.add_subtype("AnnealingOptimizer", optimizer);
+  s.add_subtype("RandomSearchOptimizer", optimizer);
+  s.set_functional_dependency(opt_netlist, optimizer);
+  s.add_data_dependency(opt_netlist, s.require("Circuit"));
+  s.add_data_dependency(opt_netlist, stimuli);
+  s.add_data_dependency(opt_netlist, s.require("Performance"), true, "target");
+
+  s.validate();
+  return s;
+}
+
+}  // namespace herc::schema

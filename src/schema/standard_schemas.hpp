@@ -1,0 +1,38 @@
+// The schemas that appear in the paper, as reusable factories.
+//
+// Tests, benchmarks and examples all speak the vocabulary of Fig. 1
+// (`Netlist`, `Extractor`, `Performance`, ...), so the schema definitions
+// live here in one place.
+#pragma once
+
+#include "schema/task_schema.hpp"
+
+namespace herc::schema {
+
+/// The Fig. 1 task schema: model/circuit/layout editing, placement,
+/// extraction, simulation (multi-output: `Performance` + `Statistics`),
+/// verification and plotting, with the subtyped `Netlist`/`Layout` and the
+/// optional-arc edit loops.
+///
+/// Entities:
+///   tools: ModelEditor, CircuitEditor, LayoutEditor, Placer, Extractor,
+///          Simulator, Verifier, Plotter
+///   data : DeviceModels, Netlist(abstract){EditedNetlist, ExtractedNetlist},
+///          Layout(abstract){PlacedLayout, EditedLayout}, Stimuli, SimOptions,
+///          Performance, Statistics, Verification, PerformancePlot
+///   composite: Circuit = (DeviceModels, Netlist)
+[[nodiscard]] TaskSchema make_fig1_schema();
+
+/// The Fig. 2 subgraph: a tool created during the design.  A
+/// `SimCompiler` compiles a `Netlist` into a `CompiledSimulator` — itself a
+/// tool entity — which then produces `Performance` and `Statistics` from
+/// `Stimuli` (the COSMOS switch-level simulator scenario).
+[[nodiscard]] TaskSchema make_fig2_schema();
+
+/// The full Odyssey demo schema: Fig. 1 extended with the Fig. 2 compiled
+/// simulator and the Fig. 7 view entities (`LogicView`, `TransistorView`,
+/// `PhysicalView` are aliases onto the netlist/layout hierarchy used by the
+/// views module).
+[[nodiscard]] TaskSchema make_full_schema();
+
+}  // namespace herc::schema

@@ -1,0 +1,22 @@
+#include "support/clock.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+namespace herc::support {
+
+std::string Timestamp::to_string() const {
+  const std::int64_t secs = micros_ / 1000000;
+  const std::int64_t frac = micros_ % 1000000;
+  std::time_t t = static_cast<std::time_t>(secs);
+  std::tm tm_buf{};
+  gmtime_r(&t, &tm_buf);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%06lld",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<long long>(frac));
+  return buf;
+}
+
+}  // namespace herc::support

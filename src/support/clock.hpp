@@ -1,0 +1,92 @@
+// Time source abstraction.
+//
+// The design-history database stamps every instance with a creation time.
+// Tests and the deterministic examples need reproducible stamps, so the
+// framework never reads the system clock directly; it asks a `Clock`.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace herc::support {
+
+/// A point in time, microseconds since the Unix epoch.
+///
+/// Kept as a tiny value type (rather than `std::chrono::time_point`) because
+/// it is persisted in history records and compared across process runs.
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+
+  friend constexpr bool operator==(Timestamp a, Timestamp b) {
+    return a.micros_ == b.micros_;
+  }
+  friend constexpr bool operator!=(Timestamp a, Timestamp b) {
+    return a.micros_ != b.micros_;
+  }
+  friend constexpr bool operator<(Timestamp a, Timestamp b) {
+    return a.micros_ < b.micros_;
+  }
+  friend constexpr bool operator<=(Timestamp a, Timestamp b) {
+    return a.micros_ <= b.micros_;
+  }
+  friend constexpr bool operator>(Timestamp a, Timestamp b) {
+    return a.micros_ > b.micros_;
+  }
+  friend constexpr bool operator>=(Timestamp a, Timestamp b) {
+    return a.micros_ >= b.micros_;
+  }
+
+  /// Renders as `YYYY-MM-DD HH:MM:SS.uuuuuu` (UTC).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Timestamp now() = 0;
+};
+
+/// Wall-clock time source.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] Timestamp now() override {
+    const auto tp = std::chrono::system_clock::now().time_since_epoch();
+    return Timestamp(
+        std::chrono::duration_cast<std::chrono::microseconds>(tp).count());
+  }
+};
+
+/// Deterministic time source: every call to `now()` advances by a fixed
+/// tick, so consecutive instances get strictly increasing stamps.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t start_micros = 0,
+                       std::int64_t tick_micros = 1)
+      : current_(start_micros), tick_(tick_micros) {}
+
+  [[nodiscard]] Timestamp now() override {
+    const Timestamp t(current_);
+    current_ += tick_;
+    return t;
+  }
+
+  /// Jump forward (e.g. to simulate "the next day" in a session script).
+  void advance(std::int64_t micros) { current_ += micros; }
+
+  void set(std::int64_t micros) { current_ = micros; }
+
+ private:
+  std::int64_t current_;
+  std::int64_t tick_;
+};
+
+}  // namespace herc::support

@@ -1,0 +1,69 @@
+#include "support/dot.hpp"
+
+namespace herc::support {
+
+DotBuilder::DotBuilder(std::string_view graph_name) : name_(graph_name) {}
+
+void DotBuilder::graph_attr(std::string_view key, std::string_view value) {
+  std::string line(key);
+  line += "=";
+  line += quote(value);
+  line += ";";
+  graph_attrs_.push_back(std::move(line));
+}
+
+void DotBuilder::node(std::string_view id, std::string_view label,
+                      const std::vector<std::string>& attrs) {
+  std::string line = quote(id);
+  line += " [label=" + quote(label);
+  for (const auto& a : attrs) line += ", " + a;
+  line += "];";
+  body_.push_back(std::move(line));
+}
+
+void DotBuilder::edge(std::string_view from, std::string_view to,
+                      std::string_view label,
+                      const std::vector<std::string>& attrs) {
+  std::string line = quote(from);
+  line += " -> " + quote(to);
+  if (!label.empty() || !attrs.empty()) {
+    line += " [";
+    bool first = true;
+    if (!label.empty()) {
+      line += "label=" + quote(label);
+      first = false;
+    }
+    for (const auto& a : attrs) {
+      if (!first) line += ", ";
+      line += a;
+      first = false;
+    }
+    line += "]";
+  }
+  line += ";";
+  body_.push_back(std::move(line));
+}
+
+std::string DotBuilder::str() const {
+  std::string out = "digraph " + quote(name_) + " {\n";
+  for (const auto& a : graph_attrs_) out += "  " + a + "\n";
+  for (const auto& b : body_) out += "  " + b + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string DotBuilder::quote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace herc::support

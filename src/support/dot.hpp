@@ -1,0 +1,43 @@
+// Graphviz DOT emission.
+//
+// Task schemas, task graphs, flow traces and version trees all render to
+// DOT so the figures of the paper can be regenerated visually from the
+// examples.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herc::support {
+
+/// Incrementally builds a `digraph`.
+class DotBuilder {
+ public:
+  explicit DotBuilder(std::string_view graph_name);
+
+  /// Adds `rankdir`, `label`, etc. at graph scope.
+  void graph_attr(std::string_view key, std::string_view value);
+
+  /// Adds a node; `attrs` are preformatted `key="value"` pairs.
+  void node(std::string_view id, std::string_view label,
+            const std::vector<std::string>& attrs = {});
+
+  /// Adds a directed edge `from -> to`.
+  void edge(std::string_view from, std::string_view to,
+            std::string_view label = "",
+            const std::vector<std::string>& attrs = {});
+
+  /// The complete DOT document.
+  [[nodiscard]] std::string str() const;
+
+  /// Escapes a string for use inside a DOT double-quoted literal.
+  [[nodiscard]] static std::string quote(std::string_view s);
+
+ private:
+  std::string name_;
+  std::vector<std::string> graph_attrs_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace herc::support

@@ -1,0 +1,31 @@
+#include "support/hash.hpp"
+
+#include <cstdio>
+
+namespace herc::support {
+
+namespace {
+constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kPrime = 1099511628211ULL;
+}  // namespace
+
+std::uint64_t fnv1a_append(std::uint64_t state, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    state ^= c;
+    state *= kPrime;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  return fnv1a_append(kOffset, bytes);
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace herc::support

@@ -1,0 +1,25 @@
+// Stable content hashing for the design-data store.
+//
+// Instances in the history database share physical data when their content
+// hashes collide (the paper's RCS-file analogy: many meta-data instances,
+// one stored artifact).  FNV-1a over bytes is stable across runs and
+// platforms, which `std::hash` is not guaranteed to be.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace herc::support {
+
+/// 64-bit FNV-1a.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+/// Continues an FNV-1a hash (for hashing several pieces in sequence).
+[[nodiscard]] std::uint64_t fnv1a_append(std::uint64_t state,
+                                         std::string_view bytes);
+
+/// Renders a hash as 16 lowercase hex digits (the blob key format).
+[[nodiscard]] std::string hash_hex(std::uint64_t h);
+
+}  // namespace herc::support

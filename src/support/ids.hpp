@@ -1,0 +1,63 @@
+// Strongly typed integer identifiers.
+//
+// Every subsystem in the framework names its objects with small dense
+// integers (entity types, flow nodes, instances, ...).  Using a distinct C++
+// type per id family makes it impossible to pass, say, a flow-node id where
+// a schema entity-type id is expected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace herc::support {
+
+/// A strongly typed wrapper around a dense 32-bit index.
+///
+/// `Tag` is any (possibly incomplete) type used purely to distinguish id
+/// families.  A default-constructed id is invalid.
+template <class Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  /// True when this id refers to an object (i.e. is not default-constructed).
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// The raw index.  Only meaningful when `valid()`.
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  /// Convenience for indexing into dense vectors.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "#invalid";
+    return os << '#' << id.value_;
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+/// Hash functor usable as `std::unordered_map<Id<T>, V, IdHash>`.
+struct IdHash {
+  template <class Tag>
+  std::size_t operator()(Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+}  // namespace herc::support

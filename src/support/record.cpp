@@ -1,0 +1,114 @@
+#include "support/record.hpp"
+
+#include <charconv>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::support {
+
+RecordWriter::RecordWriter(std::string_view kind) : line_(kind) {}
+
+RecordWriter& RecordWriter::field(std::string_view value) {
+  line_ += '|';
+  line_ += escape_field(value);
+  return *this;
+}
+
+RecordWriter& RecordWriter::field(std::int64_t value) {
+  line_ += '|';
+  line_ += std::to_string(value);
+  return *this;
+}
+
+RecordWriter& RecordWriter::field(std::uint32_t value) {
+  line_ += '|';
+  line_ += std::to_string(value);
+  return *this;
+}
+
+RecordWriter& RecordWriter::field(double value) {
+  line_ += '|';
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), value,
+                    std::chars_format::general, 17);
+  line_.append(buf, ptr);
+  (void)ec;
+  return *this;
+}
+
+namespace {
+
+// Splits on unescaped `|`.
+std::vector<std::string> split_record(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      cur += line[i];
+      cur += line[i + 1];
+      ++i;
+    } else if (line[i] == '|') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += line[i];
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+RecordReader::RecordReader(std::string_view line) {
+  if (trim(line).empty()) throw ParseError("empty record line");
+  auto parts = split_record(line);
+  kind_ = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    fields_.push_back(unescape_field(parts[i]));
+  }
+}
+
+std::string RecordReader::next_string() {
+  if (exhausted()) {
+    throw ParseError("record '" + kind_ + "': ran out of fields");
+  }
+  return fields_[cursor_++];
+}
+
+std::int64_t RecordReader::next_int64() {
+  const std::string s = next_string();
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw ParseError("record '" + kind_ + "': bad integer field '" + s + "'");
+  }
+  return v;
+}
+
+std::uint32_t RecordReader::next_uint32() {
+  const std::int64_t v = next_int64();
+  if (v < 0 || v > 0xffffffffLL) {
+    throw ParseError("record '" + kind_ + "': field out of uint32 range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+double RecordReader::next_double() {
+  const std::string s = next_string();
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("record '" + kind_ + "': bad double field '" + s + "'");
+  }
+  if (pos != s.size()) {
+    throw ParseError("record '" + kind_ + "': bad double field '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace herc::support

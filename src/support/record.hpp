@@ -1,0 +1,63 @@
+// Line-oriented record serialization.
+//
+// History databases and flow catalogs persist to a plain-text format, one
+// record per line:
+//
+//   kind|field1|field2|...
+//
+// Fields are escaped with `escape_field`, so values may contain the
+// separator or newlines.  The format is deliberately trivial: the paper's
+// point is that the *schema* of the history database is the task schema
+// itself, not that the storage layer is sophisticated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herc::support {
+
+/// Builds one record line.
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::string_view kind);
+
+  RecordWriter& field(std::string_view value);
+  RecordWriter& field(std::int64_t value);
+  RecordWriter& field(std::uint32_t value);
+  RecordWriter& field(double value);
+
+  /// The finished line (no trailing newline).
+  [[nodiscard]] std::string str() const { return line_; }
+
+ private:
+  std::string line_;
+};
+
+/// Parses one record line; fields are pulled in order.
+class RecordReader {
+ public:
+  /// Throws `ParseError` on an empty line.
+  explicit RecordReader(std::string_view line);
+
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+
+  /// Number of fields following the kind.
+  [[nodiscard]] std::size_t size() const { return fields_.size(); }
+
+  /// Throws `ParseError` when no fields remain.
+  std::string next_string();
+  std::int64_t next_int64();
+  std::uint32_t next_uint32();
+  double next_double();
+
+  [[nodiscard]] bool exhausted() const { return cursor_ >= fields_.size(); }
+
+ private:
+  std::string kind_;
+  std::vector<std::string> fields_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace herc::support

@@ -1,0 +1,38 @@
+// Small string utilities shared across the framework.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herc::support {
+
+/// Strips leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins with `sep` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Case-insensitive substring test (used by browser keyword filters).
+[[nodiscard]] bool icontains(std::string_view haystack,
+                             std::string_view needle);
+
+/// Escapes `\`, newline, and the field separator `|` so a value can be
+/// embedded in one field of a line-oriented record.
+[[nodiscard]] std::string escape_field(std::string_view s);
+
+/// Inverse of `escape_field`.
+[[nodiscard]] std::string unescape_field(std::string_view s);
+
+/// True when `name` is a legal identifier for schema entities and
+/// encapsulations: `[A-Za-z_][A-Za-z0-9_.-]*`.
+[[nodiscard]] bool is_identifier(std::string_view name);
+
+}  // namespace herc::support

@@ -1,0 +1,79 @@
+#include "tools/composite.hpp"
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::tools {
+
+using support::ExecError;
+
+namespace {
+constexpr std::string_view kHeader = "@composite";
+constexpr std::string_view kPart = "@part ";
+}  // namespace
+
+std::string join_composite(const std::vector<std::string>& parts) {
+  std::string out(kHeader);
+  out += " " + std::to_string(parts.size()) + "\n";
+  for (const std::string& part : parts) {
+    // Length-prefixed so part contents never collide with the markers.
+    out += kPart;
+    out += std::to_string(part.size());
+    out += "\n";
+    out += part;
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> split_composite(std::string_view payload) {
+  if (payload.substr(0, kHeader.size()) != kHeader) {
+    throw ExecError("not a composite payload");
+  }
+  std::size_t pos = payload.find('\n');
+  if (pos == std::string_view::npos) {
+    throw ExecError("malformed composite payload: missing header newline");
+  }
+  const std::string count_str(
+      support::trim(payload.substr(kHeader.size(), pos - kHeader.size())));
+  std::size_t expected = 0;
+  try {
+    expected = static_cast<std::size_t>(std::stoul(count_str));
+  } catch (const std::exception&) {
+    throw ExecError("malformed composite payload: bad part count");
+  }
+  ++pos;
+  std::vector<std::string> parts;
+  while (pos < payload.size()) {
+    if (payload.substr(pos, kPart.size()) != kPart) {
+      throw ExecError("malformed composite payload: expected part marker");
+    }
+    pos += kPart.size();
+    const std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      throw ExecError("malformed composite payload: truncated part header");
+    }
+    std::size_t length = 0;
+    try {
+      length = static_cast<std::size_t>(
+          std::stoul(std::string(payload.substr(pos, nl - pos))));
+    } catch (const std::exception&) {
+      throw ExecError("malformed composite payload: bad part length");
+    }
+    pos = nl + 1;
+    if (pos + length > payload.size()) {
+      throw ExecError("malformed composite payload: truncated part body");
+    }
+    parts.emplace_back(payload.substr(pos, length));
+    pos += length;
+    if (pos < payload.size() && payload[pos] == '\n') ++pos;
+  }
+  if (parts.size() != expected) {
+    throw ExecError("malformed composite payload: expected " +
+                    std::to_string(expected) + " parts, found " +
+                    std::to_string(parts.size()));
+  }
+  return parts;
+}
+
+}  // namespace herc::tools

@@ -1,0 +1,26 @@
+// Composite-entity payload packing (paper §3.1).
+//
+// Composite entities (e.g. `Circuit` = device models + netlist) carry the
+// concatenation of their component payloads.  In practice the paper notes
+// the data is "often stored separately anyway, with the composite entity
+// storing pointers" — the blob store already dedupes the component bytes,
+// so concatenating costs nothing extra while keeping payloads
+// self-contained.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herc::tools {
+
+/// Packs component payloads into one composite payload.
+[[nodiscard]] std::string join_composite(
+    const std::vector<std::string>& parts);
+
+/// Inverse of `join_composite` — the implicit *decomposition* function.
+/// Throws `ExecError` on a malformed composite payload.
+[[nodiscard]] std::vector<std::string> split_composite(
+    std::string_view payload);
+
+}  // namespace herc::tools

@@ -1,0 +1,80 @@
+#include "tools/registry.hpp"
+
+#include "support/error.hpp"
+
+namespace herc::tools {
+
+using support::ExecError;
+
+ToolRegistry::ToolRegistry(const schema::TaskSchema& schema)
+    : schema_(&schema) {}
+
+void ToolRegistry::register_encapsulation(Encapsulation enc) {
+  if (find(enc.name) != nullptr) {
+    throw ExecError("encapsulation '" + enc.name + "' already registered");
+  }
+  if (!schema_->is_tool(enc.tool_type)) {
+    throw ExecError("encapsulation '" + enc.name +
+                    "' targets non-tool entity '" +
+                    schema_->entity_name(enc.tool_type) + "'");
+  }
+  if (!enc.fn) {
+    throw ExecError("encapsulation '" + enc.name + "' has no function");
+  }
+  default_of_.try_emplace(enc.tool_type, encapsulations_.size());
+  encapsulations_.push_back(std::move(enc));
+}
+
+void ToolRegistry::set_default(std::string_view name) {
+  for (std::size_t i = 0; i < encapsulations_.size(); ++i) {
+    if (encapsulations_[i].name == name) {
+      default_of_[encapsulations_[i].tool_type] = i;
+      return;
+    }
+  }
+  throw ExecError("no encapsulation named '" + std::string(name) + "'");
+}
+
+const Encapsulation& ToolRegistry::resolve(
+    schema::EntityTypeId tool_type) const {
+  for (schema::EntityTypeId cur = tool_type; cur.valid();
+       cur = schema_->entity(cur).parent) {
+    const auto it = default_of_.find(cur);
+    if (it != default_of_.end()) return encapsulations_[it->second];
+  }
+  throw ExecError("no encapsulation registered for tool '" +
+                  schema_->entity_name(tool_type) + "'");
+}
+
+bool ToolRegistry::has(schema::EntityTypeId tool_type) const {
+  for (schema::EntityTypeId cur = tool_type; cur.valid();
+       cur = schema_->entity(cur).parent) {
+    if (default_of_.contains(cur)) return true;
+  }
+  return false;
+}
+
+const Encapsulation* ToolRegistry::find(std::string_view name) const {
+  for (const Encapsulation& enc : encapsulations_) {
+    if (enc.name == name) return &enc;
+  }
+  return nullptr;
+}
+
+std::vector<const Encapsulation*> ToolRegistry::variants(
+    schema::EntityTypeId tool_type) const {
+  std::vector<const Encapsulation*> out;
+  for (const Encapsulation& enc : encapsulations_) {
+    if (enc.tool_type == tool_type) out.push_back(&enc);
+  }
+  return out;
+}
+
+std::vector<std::string> ToolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(encapsulations_.size());
+  for (const Encapsulation& enc : encapsulations_) out.push_back(enc.name);
+  return out;
+}
+
+}  // namespace herc::tools

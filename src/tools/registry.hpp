@@ -1,0 +1,71 @@
+// The tool-encapsulation registry.
+//
+// The registry maps tool *entity types* to encapsulations.  Resolution
+// walks up the subtype hierarchy, so one registration for an abstract
+// `Optimizer` serves its three concrete subtypes — the paper's shared
+// encapsulation.  Several encapsulations may exist for one type (differing
+// only in arguments, §3.3); the default is selectable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/task_schema.hpp"
+#include "tools/tool_context.hpp"
+
+namespace herc::tools {
+
+/// One registered tool wrapper.
+struct Encapsulation {
+  /// Unique name, by convention `<tool>.<variant>` ("placer.fast").
+  std::string name;
+  /// The tool entity type (possibly abstract) it implements.
+  schema::EntityTypeId tool_type;
+  ToolFunction fn;
+  /// Fixed arguments baked into this variant.
+  std::unordered_map<std::string, std::string> args;
+  /// When set, instance sets bound to an input are passed to a single call
+  /// instead of fanning the task out per instance (§4.1).
+  bool accepts_instance_sets = false;
+};
+
+class ToolRegistry {
+ public:
+  explicit ToolRegistry(const schema::TaskSchema& schema);
+
+  [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
+
+  /// Registers an encapsulation.  Throws `ExecError` on a duplicate name or
+  /// a non-tool entity type.  The first registration for a type becomes its
+  /// default.
+  void register_encapsulation(Encapsulation enc);
+
+  /// Makes `name` the default for its tool type.
+  void set_default(std::string_view name);
+
+  /// The default encapsulation for `tool_type`, searching the type itself
+  /// then its ancestors.  Throws `ExecError` when none is registered.
+  [[nodiscard]] const Encapsulation& resolve(
+      schema::EntityTypeId tool_type) const;
+
+  [[nodiscard]] bool has(schema::EntityTypeId tool_type) const;
+  [[nodiscard]] const Encapsulation* find(std::string_view name) const;
+
+  /// All encapsulations registered for `tool_type` (exact type only).
+  [[nodiscard]] std::vector<const Encapsulation*> variants(
+      schema::EntityTypeId tool_type) const;
+
+  /// Every registered encapsulation name (the tool catalog's listing).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  const schema::TaskSchema* schema_;
+  std::vector<Encapsulation> encapsulations_;
+  /// tool type -> index of its default encapsulation.
+  std::unordered_map<schema::EntityTypeId, std::size_t, support::IdHash>
+      default_of_;
+};
+
+}  // namespace herc::tools

@@ -1,0 +1,32 @@
+// Standard encapsulations: the bridge from the Fig. 1/2 schemas to the
+// circuit substrate.
+//
+// `register_standard_tools` wires every tool entity of
+// `schema::make_full_schema()` (and its Fig. 1/2 subsets) to a real
+// implementation from `herc::circuit`.  Encapsulation conventions:
+//
+//  * editors read their edit script from the bound *tool instance's*
+//    payload (a CircuitEditor instance is one captured editing session);
+//  * the compiled simulator reads its program from its own tool payload —
+//    it is the tool the SimCompiler task produced (Fig. 2);
+//  * `placer.fast` / `placer.quality` differ only in arguments (§3.3);
+//  * one optimizer encapsulation serves all three optimizer tool types
+//    (shared encapsulation code, §3.3).
+#pragma once
+
+#include "schema/task_schema.hpp"
+#include "tools/registry.hpp"
+
+namespace herc::tools {
+
+/// Registers every encapsulation whose tool entity exists in
+/// `registry.schema()`; entities absent from the schema are skipped, so
+/// this works for the Fig. 1, Fig. 2 and full schemas alike.
+void register_standard_tools(ToolRegistry& registry);
+
+/// Installs the `Circuit` composite consistency check ("can these device
+/// models be used with this circuit?") on `schema`, when it has a
+/// `Circuit` entity.
+void install_standard_compose_checks(schema::TaskSchema& schema);
+
+}  // namespace herc::tools

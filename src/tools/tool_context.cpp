@@ -1,0 +1,82 @@
+#include "tools/tool_context.hpp"
+
+#include "support/error.hpp"
+
+namespace herc::tools {
+
+using support::ExecError;
+
+const ToolInput& ToolContext::input(std::string_view role_or_type) const {
+  for (const ToolInput& in : inputs) {
+    if (!in.role.empty() && in.role == role_or_type) return in;
+  }
+  for (const ToolInput& in : inputs) {
+    if (in.type_name == role_or_type) return in;
+  }
+  // Subtype-tolerant fallback: accept an input whose type descends from the
+  // requested name (e.g. asking for "Netlist" finds an "ExtractedNetlist").
+  if (schema != nullptr) {
+    const schema::EntityTypeId want = schema->find(role_or_type);
+    if (want.valid()) {
+      for (const ToolInput& in : inputs) {
+        if (schema->is_ancestor_or_self(want, in.type)) return in;
+      }
+    }
+  }
+  throw ExecError("tool '" + tool_type_name + "': no input named '" +
+                  std::string(role_or_type) + "'");
+}
+
+bool ToolContext::has_input(std::string_view role_or_type) const {
+  for (const ToolInput& in : inputs) {
+    if ((!in.role.empty() && in.role == role_or_type) ||
+        in.type_name == role_or_type) {
+      return true;
+    }
+  }
+  if (schema != nullptr) {
+    const schema::EntityTypeId want = schema->find(role_or_type);
+    if (want.valid()) {
+      for (const ToolInput& in : inputs) {
+        if (schema->is_ancestor_or_self(want, in.type)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+const std::string& ToolContext::payload(std::string_view role_or_type) const {
+  const ToolInput& in = input(role_or_type);
+  if (in.payloads.size() != 1) {
+    throw ExecError("tool '" + tool_type_name + "': input '" +
+                    std::string(role_or_type) + "' carries " +
+                    std::to_string(in.payloads.size()) +
+                    " payloads where one was expected");
+  }
+  return in.payloads.front();
+}
+
+std::string ToolContext::arg(std::string_view key,
+                             std::string_view fallback) const {
+  const auto it = args.find(std::string(key));
+  return it == args.end() ? std::string(fallback) : it->second;
+}
+
+void ToolOutput::set(std::string type_name, std::string payload) {
+  for (auto& [name, existing] : products_) {
+    if (name == type_name) {
+      existing = std::move(payload);
+      return;
+    }
+  }
+  products_.emplace_back(std::move(type_name), std::move(payload));
+}
+
+const std::string* ToolOutput::find(std::string_view type_name) const {
+  for (const auto& [name, payload] : products_) {
+    if (name == type_name) return &payload;
+  }
+  return nullptr;
+}
+
+}  // namespace herc::tools

@@ -1,0 +1,79 @@
+// The interface between the execution engine and tool encapsulations.
+//
+// An encapsulation is a C++ function standing in for a wrapped external
+// tool.  It receives a `ToolContext` — the payloads of the tool instance
+// itself and of every input instance, plus the encapsulation's fixed
+// arguments — and returns a `ToolOutput` naming a payload per produced
+// entity type (tasks may produce multiple outputs, Fig. 5).
+//
+// Two paper mechanisms surface here:
+//  * the tool instance's own payload is data (`tool_payload`): a
+//    CompiledSimulator instance carries its compiled program, a
+//    CircuitEditor instance carries the designer's edit script;
+//  * fixed `args` let several encapsulations of one tool differ only in
+//    arguments (§3.3).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/instance_id.hpp"
+#include "schema/task_schema.hpp"
+
+namespace herc::tools {
+
+/// One input position of the running task.
+struct ToolInput {
+  schema::EntityTypeId type;
+  std::string type_name;
+  std::string role;
+  /// Usually one payload; several when the designer bound an instance set
+  /// and the encapsulation accepts sets (§4.1).
+  std::vector<std::string> payloads;
+  std::vector<data::InstanceId> instances;
+};
+
+/// Everything an encapsulation sees.
+struct ToolContext {
+  const schema::TaskSchema* schema = nullptr;
+  schema::EntityTypeId tool_type;
+  std::string tool_type_name;
+  data::InstanceId tool_instance;
+  std::string tool_payload;
+  std::vector<ToolInput> inputs;
+  /// The encapsulation's fixed arguments.
+  std::unordered_map<std::string, std::string> args;
+
+  /// Finds an input by role; falls back to matching the type name.  Throws
+  /// `ExecError` when absent.
+  [[nodiscard]] const ToolInput& input(std::string_view role_or_type) const;
+  [[nodiscard]] bool has_input(std::string_view role_or_type) const;
+  /// Single payload of that input (throws when it carries a set).
+  [[nodiscard]] const std::string& payload(
+      std::string_view role_or_type) const;
+  /// Argument lookup with default.
+  [[nodiscard]] std::string arg(std::string_view key,
+                                std::string_view fallback = "") const;
+};
+
+/// What the task produced: payload per output entity-type name.  A tool
+/// may emit more product types than the flow requested; extras are ignored.
+class ToolOutput {
+ public:
+  void set(std::string type_name, std::string payload);
+  [[nodiscard]] const std::string* find(std::string_view type_name) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  products() const {
+    return products_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> products_;
+};
+
+using ToolFunction = std::function<ToolOutput(const ToolContext&)>;
+
+}  // namespace herc::tools

@@ -1,0 +1,147 @@
+#include "views/view_manager.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace herc::views {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+using support::ExecError;
+
+const char* to_string(ViewKind k) {
+  switch (k) {
+    case ViewKind::kLogic: return "logic";
+    case ViewKind::kTransistor: return "transistor";
+    case ViewKind::kPhysical: return "physical";
+  }
+  return "?";
+}
+
+ViewManager::ViewManager(history::HistoryDb& db,
+                         const tools::ToolRegistry& tools)
+    : db_(&db), tools_(&tools), executor_(db, tools) {}
+
+ViewManager::Cell& ViewManager::cell_of(std::string_view name) {
+  for (Cell& c : cells_) {
+    if (c.name == name) return c;
+  }
+  cells_.push_back(Cell{std::string(name), {}});
+  return cells_.back();
+}
+
+const ViewManager::Cell* ViewManager::find_cell(std::string_view name) const {
+  for (const Cell& c : cells_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void ViewManager::register_view(std::string_view cell, ViewKind kind,
+                                InstanceId instance) {
+  const schema::TaskSchema& schema = db_->schema();
+  const schema::EntityTypeId type = db_->instance(instance).type;
+  const char* want = nullptr;
+  switch (kind) {
+    case ViewKind::kLogic: want = "LogicView"; break;
+    case ViewKind::kTransistor: want = "Netlist"; break;
+    case ViewKind::kPhysical: want = "Layout"; break;
+  }
+  const schema::EntityTypeId want_type = schema.require(want);
+  if (!schema.is_ancestor_or_self(want_type, type)) {
+    throw ExecError("instance of type '" + schema.entity_name(type) +
+                    "' cannot serve as the " + to_string(kind) +
+                    " view (needs a " + want + ")");
+  }
+  cell_of(cell).views[static_cast<int>(kind)] = instance;
+}
+
+std::optional<InstanceId> ViewManager::view(std::string_view cell,
+                                            ViewKind kind) const {
+  const Cell* c = find_cell(cell);
+  if (c == nullptr) return std::nullopt;
+  return c->views[static_cast<int>(kind)];
+}
+
+InstanceId ViewManager::require_view(std::string_view cell,
+                                     ViewKind kind) const {
+  const auto v = view(cell, kind);
+  if (!v) {
+    throw ExecError("cell '" + std::string(cell) + "' has no " +
+                    to_string(kind) + " view registered");
+  }
+  return *v;
+}
+
+InstanceId ViewManager::synthesize_transistor(std::string_view cell,
+                                              InstanceId synthesizer) {
+  const InstanceId logic = require_view(cell, ViewKind::kLogic);
+  TaskGraph flow(db_->schema(), "synthesize:" + std::string(cell));
+  const NodeId goal = flow.add_node("SynthesizedNetlist");
+  flow.expand(goal);
+  flow.bind(flow.tool_of(goal), synthesizer);
+  flow.bind(flow.inputs_of(goal)[0], logic);
+  const InstanceId produced = executor_.run(flow).single(goal);
+  register_view(cell, ViewKind::kTransistor, produced);
+  return produced;
+}
+
+InstanceId ViewManager::synthesize_physical(std::string_view cell,
+                                            InstanceId placer) {
+  const InstanceId transistor = require_view(cell, ViewKind::kTransistor);
+  // Fig. 8a: PlacedLayout <-fd- Placer, <-dd- Netlist.
+  TaskGraph flow(db_->schema(), "layout:" + std::string(cell));
+  const NodeId goal = flow.add_node("PlacedLayout");
+  flow.expand(goal);
+  flow.bind(flow.tool_of(goal), placer);
+  flow.bind(flow.inputs_of(goal)[0], transistor);
+  const InstanceId produced = executor_.run(flow).single(goal);
+  register_view(cell, ViewKind::kPhysical, produced);
+  return produced;
+}
+
+circuit::VerificationReport ViewManager::verify_correspondence(
+    std::string_view cell, InstanceId verifier) {
+  const InstanceId transistor = require_view(cell, ViewKind::kTransistor);
+  const InstanceId physical = require_view(cell, ViewKind::kPhysical);
+  // Fig. 8b: Verification <-fd- Verifier, <-dd- Layout, <-dd- Netlist.
+  TaskGraph flow(db_->schema(), "verify:" + std::string(cell));
+  const NodeId goal = flow.add_node("Verification");
+  flow.expand(goal);
+  flow.bind(flow.tool_of(goal), verifier);
+  const auto inputs = flow.inputs_of(goal);
+  flow.bind(inputs[0], physical);
+  flow.bind(inputs[1], transistor);
+  const InstanceId produced = executor_.run(flow).single(goal);
+  return circuit::VerificationReport::from_text(db_->payload(produced));
+}
+
+bool ViewManager::physical_up_to_date(std::string_view cell) const {
+  const Cell* c = find_cell(cell);
+  if (c == nullptr) return false;
+  const auto physical = c->views[static_cast<int>(ViewKind::kPhysical)];
+  const auto transistor = c->views[static_cast<int>(ViewKind::kTransistor)];
+  if (!physical || !transistor) return false;
+  if (db_->is_stale(*physical)) return false;
+  const auto closure = db_->derivation_closure(*physical);
+  return std::find(closure.begin(), closure.end(), *transistor) !=
+         closure.end();
+}
+
+TaskGraph ViewManager::synthesis_flow() const {
+  TaskGraph flow(db_->schema(), "fig8a-synthesis");
+  const NodeId goal = flow.add_node("PlacedLayout");
+  flow.expand(goal);
+  return flow;
+}
+
+TaskGraph ViewManager::verification_flow() const {
+  TaskGraph flow(db_->schema(), "fig8b-verification");
+  const NodeId goal = flow.add_node("Verification");
+  flow.expand(goal);
+  return flow;
+}
+
+}  // namespace herc::views

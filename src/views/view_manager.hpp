@@ -1,0 +1,84 @@
+// View management expressed as flows (paper §3.3, Figs. 7–8).
+//
+// Designers think of a cell as having a logic view, a transistor-level
+// view and a physical (layout) view.  Most frameworks made keeping those
+// views consistent a data-management problem; the paper's point is that
+// when views are entities in the task schema, *flows between the views*
+// express both synthesis (Fig. 8a: physical from transistor) and
+// verification (Fig. 8b: physical against transistor), and the design
+// history answers "is this view up to date?" for free.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "circuit/verify.hpp"
+#include "exec/executor.hpp"
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+#include "tools/registry.hpp"
+
+namespace herc::views {
+
+enum class ViewKind { kLogic, kTransistor, kPhysical };
+
+[[nodiscard]] const char* to_string(ViewKind k);
+
+class ViewManager {
+ public:
+  /// All of `db`, `tools` must outlive the manager and share one schema
+  /// (the full schema: `LogicView`, `Netlist`, `Layout` must exist).
+  ViewManager(history::HistoryDb& db, const tools::ToolRegistry& tools);
+
+  /// Associates an instance with a view slot of `cell`.  The instance type
+  /// must fit the view kind (`LogicView` / a `Netlist` / a `Layout`);
+  /// throws `ExecError` otherwise.
+  void register_view(std::string_view cell, ViewKind kind,
+                     data::InstanceId instance);
+
+  [[nodiscard]] std::optional<data::InstanceId> view(std::string_view cell,
+                                                     ViewKind kind) const;
+
+  /// Fig. 8a (first stage): synthesize the transistor view from the logic
+  /// view with `synthesizer` and register it.  Returns the new instance.
+  data::InstanceId synthesize_transistor(std::string_view cell,
+                                         data::InstanceId synthesizer);
+
+  /// Fig. 8a: synthesize the physical view from the transistor view with
+  /// `placer` and register it.
+  data::InstanceId synthesize_physical(std::string_view cell,
+                                       data::InstanceId placer);
+
+  /// Fig. 8b: verify that the physical view corresponds to the transistor
+  /// view, using `verifier`.  Returns the parsed verification report; the
+  /// Verification instance lands in the history like any task product.
+  circuit::VerificationReport verify_correspondence(
+      std::string_view cell, data::InstanceId verifier);
+
+  /// True when the physical view exists, is not stale, and was derived
+  /// from the currently registered transistor view.
+  [[nodiscard]] bool physical_up_to_date(std::string_view cell) const;
+
+  /// The Fig. 8a flow (unbound), for display or cataloging.
+  [[nodiscard]] graph::TaskGraph synthesis_flow() const;
+  /// The Fig. 8b flow (unbound).
+  [[nodiscard]] graph::TaskGraph verification_flow() const;
+
+ private:
+  struct Cell {
+    std::string name;
+    std::optional<data::InstanceId> views[3];
+  };
+  [[nodiscard]] Cell& cell_of(std::string_view name);
+  [[nodiscard]] const Cell* find_cell(std::string_view name) const;
+  [[nodiscard]] data::InstanceId require_view(std::string_view cell,
+                                              ViewKind kind) const;
+
+  history::HistoryDb* db_;
+  const tools::ToolRegistry* tools_;
+  exec::Executor executor_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace herc::views

@@ -1,0 +1,164 @@
+// Flow automation (automatic task sequencing, §3.3) and composite
+// decomposition (§3.1).
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/stimuli.hpp"
+#include "core/session.hpp"
+#include "exec/automation.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+#include "tools/composite.hpp"
+
+namespace herc::exec {
+namespace {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+using support::ExecError;
+using support::FlowError;
+
+class AutomationTest : public ::testing::Test {
+ protected:
+  AutomationTest()
+      : session_(schema::make_full_schema(), "auto",
+                 std::make_unique<support::ManualClock>(0, 1)) {}
+
+  void import_basics() {
+    netlist_ = session_.import_data("EditedNetlist", "n",
+                                    circuit::inverter_netlist().to_text());
+    models_ = session_.import_data(
+        "DeviceModels", "m",
+        circuit::DeviceModelLibrary::standard().to_text());
+    stimuli_ = session_.import_data(
+        "Stimuli", "st", circuit::Stimuli::counter({"in"}, 1000).to_text());
+    simulator_ = session_.import_data("Simulator", "sim", "");
+  }
+
+  core::DesignSession session_;
+  InstanceId netlist_, models_, stimuli_, simulator_;
+};
+
+TEST_F(AutomationTest, BuildsAndRunsACompleteFlow) {
+  import_basics();
+  const TaskGraph flow = auto_flow(
+      session_.db(), session_.schema().require("Performance"));
+  // Fully bound: no interaction needed.
+  EXPECT_TRUE(flow.unbound_leaves().empty());
+  const auto result = session_.run(flow);
+  EXPECT_EQ(result.tasks_run, 2u);  // compose + simulate
+  const auto perf = result.single(flow.goals().front());
+  EXPECT_EQ(session_.db().instance(perf).type,
+            session_.schema().require("Performance"));
+}
+
+TEST_F(AutomationTest, PrefersNewestAndExistingInstances) {
+  import_basics();
+  // A newer netlist appears; auto_flow must pick it.
+  const auto newer = session_.import_data(
+      "EditedNetlist", "newer", circuit::inverter_chain(2).to_text());
+  const TaskGraph flow = auto_flow(
+      session_.db(), session_.schema().require("Performance"));
+  bool found = false;
+  for (const NodeId n : flow.nodes()) {
+    for (const InstanceId b : flow.bindings(n)) found |= (b == newer);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AutomationTest, ExistingIntermediateShortCircuitsExpansion) {
+  import_basics();
+  // Pre-compose a circuit; the auto flow binds it instead of re-composing.
+  graph::TaskGraph compose(session_.schema(), "c");
+  const NodeId cnode = compose.add_node("Circuit");
+  const auto inputs = compose.expand(cnode);
+  compose.bind(inputs[0], models_);
+  compose.bind(inputs[1], netlist_);
+  session_.run(compose);
+
+  const TaskGraph flow = auto_flow(
+      session_.db(), session_.schema().require("Performance"));
+  const auto result = session_.run(flow);
+  EXPECT_EQ(result.tasks_run, 1u);  // simulate only: circuit was bound
+}
+
+TEST_F(AutomationTest, SpecializationPreferenceIsHonored) {
+  import_basics();
+  session_.import_data("Placer", "pl", "");
+  session_.import_data("Verifier", "lvs", "");
+  session_.import_data("CircuitEditor", "ed",
+                       "name fresh\ninput a\noutput y\n"
+                       "add nmos m1 g=a d=y s=GND\n"
+                       "add pmos m2 g=a d=y s=VDD\n");
+  AutoFlowOptions options;
+  options.prefer_existing = false;
+  options.specializations["Netlist"] = "EditedNetlist";
+  options.specializations["Layout"] = "PlacedLayout";
+  const TaskGraph flow = auto_flow(
+      session_.db(), session_.schema().require("Verification"), options);
+  // The flow derives a layout by placement and a netlist by editing.
+  bool has_placer = false;
+  for (const NodeId n : flow.nodes()) {
+    has_placer |= session_.schema().entity_name(flow.node(n).type) ==
+                  "Placer";
+  }
+  EXPECT_TRUE(has_placer);
+  session_.run(flow);
+  // Bad preference is rejected.
+  options.specializations["Netlist"] = "PlacedLayout";
+  EXPECT_THROW(auto_flow(session_.db(),
+                         session_.schema().require("Verification"), options),
+               FlowError);
+}
+
+TEST_F(AutomationTest, MissingSourceInstanceIsReported) {
+  // No simulator imported: automation cannot bind the tool leaf.
+  netlist_ = session_.import_data("EditedNetlist", "n",
+                                  circuit::inverter_netlist().to_text());
+  models_ = session_.import_data(
+      "DeviceModels", "m", circuit::DeviceModelLibrary::standard().to_text());
+  try {
+    (void)auto_flow(session_.db(), session_.schema().require("Performance"));
+    FAIL() << "expected FlowError";
+  } catch (const FlowError& e) {
+    EXPECT_NE(std::string(e.what()).find("no instance of source entity"),
+              std::string::npos);
+  }
+}
+
+TEST_F(AutomationTest, DecomposeRecoversComponents) {
+  import_basics();
+  graph::TaskGraph compose(session_.schema(), "c");
+  const NodeId cnode = compose.add_node("Circuit");
+  const auto inputs = compose.expand(cnode);
+  compose.bind(inputs[0], models_);
+  compose.bind(inputs[1], netlist_);
+  const auto circuit = session_.run(compose).single(cnode);
+
+  const auto parts =
+      decompose_instance(session_.db(), circuit, "tester");
+  ASSERT_EQ(parts.size(), 2u);
+  // Payloads equal the original components; concrete types recovered from
+  // the composite's derivation.
+  EXPECT_EQ(session_.db().payload(parts[0]), session_.db().payload(models_));
+  EXPECT_EQ(session_.db().payload(parts[1]),
+            session_.db().payload(netlist_));
+  EXPECT_EQ(session_.db().instance(parts[1]).type,
+            session_.schema().require("EditedNetlist"));
+  // The decomposition is itself recorded in the history.
+  EXPECT_EQ(session_.db().instance(parts[0]).derivation.task, "decompose");
+  EXPECT_EQ(session_.db().instance(parts[0]).derivation.inputs,
+            std::vector<InstanceId>{circuit});
+}
+
+TEST_F(AutomationTest, DecomposeErrorPaths) {
+  import_basics();
+  // Not a composite.
+  EXPECT_THROW(decompose_instance(session_.db(), netlist_, "t"), ExecError);
+}
+
+}  // namespace
+}  // namespace herc::exec

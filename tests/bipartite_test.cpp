@@ -1,0 +1,105 @@
+// The bipartite flow-diagram conversion (Fig. 3a).
+#include <gtest/gtest.h>
+
+#include "graph/bipartite.hpp"
+#include "schema/standard_schemas.hpp"
+
+namespace herc::graph {
+namespace {
+
+class BipartiteTest : public ::testing::Test {
+ protected:
+  BipartiteTest() : schema_(schema::make_full_schema()) {}
+  schema::TaskSchema schema_;
+};
+
+TEST_F(BipartiteTest, SimpleFlowConverts) {
+  // Fig. 3: PlacedLayout <- Placer <- EditedNetlist <- CircuitEditor.
+  TaskGraph flow(schema_, "fig3");
+  const NodeId placed = flow.add_node("PlacedLayout");
+  flow.expand(placed);
+  const NodeId netlist = flow.inputs_of(placed)[0];
+  flow.specialize(netlist, schema_.require("EditedNetlist"));
+  flow.expand(netlist);
+
+  const BipartiteDiagram diagram = to_bipartite(flow);
+  ASSERT_EQ(diagram.activities.size(), 2u);
+  // Data boxes: EditedNetlist and PlacedLayout (tools become activities).
+  std::vector<std::string> data_names;
+  for (const auto& d : diagram.data) data_names.push_back(d.entity);
+  EXPECT_NE(std::find(data_names.begin(), data_names.end(), "PlacedLayout"),
+            data_names.end());
+  EXPECT_NE(std::find(data_names.begin(), data_names.end(), "EditedNetlist"),
+            data_names.end());
+  // The text rendering matches the paper's left-to-right reading.
+  const std::string text = diagram.render_text();
+  EXPECT_NE(text.find("--CircuitEditor--> [EditedNetlist]"),
+            std::string::npos);
+  EXPECT_NE(text.find("[EditedNetlist] --Placer--> [PlacedLayout]"),
+            std::string::npos);
+}
+
+TEST_F(BipartiteTest, MultiOutputBecomesOneActivity) {
+  TaskGraph flow(schema_, "multi");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  flow.add_co_output(perf, schema_.require("Statistics"));
+  const BipartiteDiagram diagram = to_bipartite(flow);
+  ASSERT_EQ(diagram.activities.size(), 1u);
+  EXPECT_EQ(diagram.activities[0].outputs.size(), 2u);
+  EXPECT_EQ(diagram.activities[0].tool, "Simulator");
+}
+
+TEST_F(BipartiteTest, ComposeTasksAppear) {
+  TaskGraph flow(schema_, "compose");
+  const NodeId circuit = flow.add_node("Circuit");
+  flow.expand(circuit);
+  const BipartiteDiagram diagram = to_bipartite(flow);
+  ASSERT_EQ(diagram.activities.size(), 1u);
+  EXPECT_EQ(diagram.activities[0].tool, "compose");
+  EXPECT_EQ(diagram.activities[0].inputs.size(), 2u);
+}
+
+TEST_F(BipartiteTest, ProducedToolIsAlsoData) {
+  // Fig. 2: the compiled simulator is an activity for the simulate task
+  // and a data box for the compile task.
+  TaskGraph flow(schema_, "cosmos");
+  const NodeId perf = flow.add_node("SwitchPerformance");
+  flow.expand(perf);
+  const NodeId compiled = flow.tool_of(perf);
+  flow.expand(compiled);
+  const BipartiteDiagram diagram = to_bipartite(flow);
+  EXPECT_EQ(diagram.activities.size(), 2u);
+  bool compiled_as_data = false;
+  for (const auto& d : diagram.data) {
+    compiled_as_data |= d.entity == "CompiledSimulator";
+  }
+  EXPECT_TRUE(compiled_as_data);
+  bool compiled_as_activity = false;
+  for (const auto& a : diagram.activities) {
+    compiled_as_activity |= a.tool == "CompiledSimulator";
+  }
+  EXPECT_TRUE(compiled_as_activity);
+}
+
+TEST_F(BipartiteTest, FreeStandingNodesBecomeDataBoxes) {
+  TaskGraph flow(schema_, "lonely");
+  flow.add_node("Stimuli");
+  const BipartiteDiagram diagram = to_bipartite(flow);
+  EXPECT_TRUE(diagram.activities.empty());
+  ASSERT_EQ(diagram.data.size(), 1u);
+  EXPECT_EQ(diagram.data[0].entity, "Stimuli");
+}
+
+TEST_F(BipartiteTest, DotRendersBothBoxKinds) {
+  TaskGraph flow(schema_, "fig3");
+  const NodeId placed = flow.add_node("PlacedLayout");
+  flow.expand(placed);
+  const std::string dot = to_bipartite(flow).to_dot();
+  EXPECT_NE(dot.find("shape=\"box\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=\"ellipse\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=\"LR\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::graph

@@ -1,0 +1,151 @@
+// The four catalogs and the four design approaches (§3.4, §4.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "catalog/catalogs.hpp"
+#include "circuit/library.hpp"
+#include "core/session.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+#include "tools/standard_tools.hpp"
+
+namespace herc::catalog {
+namespace {
+
+using support::FlowError;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest()
+      : session_(schema::make_full_schema(), "t",
+                 std::make_unique<support::ManualClock>(0, 1)) {}
+  core::DesignSession session_;
+};
+
+TEST_F(CatalogTest, EntityCatalogListsEveryType) {
+  const auto entries = entity_catalog(session_.schema());
+  EXPECT_EQ(entries.size(), session_.schema().size());
+  const auto find = [&](const char* name) -> const EntityEntry& {
+    const auto it =
+        std::find_if(entries.begin(), entries.end(),
+                     [&](const EntityEntry& e) { return e.name == name; });
+    EXPECT_NE(it, entries.end()) << name;
+    return *it;
+  };
+  EXPECT_TRUE(find("Simulator").is_tool);
+  EXPECT_TRUE(find("Simulator").is_source);
+  EXPECT_TRUE(find("Netlist").is_abstract);
+  EXPECT_TRUE(find("Circuit").is_composite);
+  EXPECT_FALSE(find("Performance").is_source);
+}
+
+TEST_F(CatalogTest, ToolCatalogShowsEncapsulations) {
+  const auto entries = tool_catalog(session_.tools());
+  const auto it = std::find_if(
+      entries.begin(), entries.end(),
+      [](const ToolEntry& e) { return e.name == "Placer"; });
+  ASSERT_NE(it, entries.end());
+  EXPECT_EQ(it->encapsulations.size(), 3u);  // default / fast / quality
+  // Data entities never appear.
+  EXPECT_EQ(std::find_if(entries.begin(), entries.end(),
+                         [](const ToolEntry& e) {
+                           return e.name == "Stimuli";
+                         }),
+            entries.end());
+}
+
+TEST_F(CatalogTest, DataCatalogFiltersByType) {
+  const auto netlist = session_.import_data(
+      "EditedNetlist", "n", herc::circuit::inverter_netlist().to_text());
+  session_.import_data("Stimuli", "s", "stimuli s\n");
+  const auto all = data_catalog(session_.db());
+  EXPECT_EQ(all.size(), 2u);
+  const auto netlists = data_catalog(
+      session_.db(), session_.schema().require("Netlist"));
+  ASSERT_EQ(netlists.size(), 1u);
+  EXPECT_EQ(netlists[0].instance, netlist);
+  EXPECT_EQ(netlists[0].type_name, "EditedNetlist");
+}
+
+TEST_F(CatalogTest, FlowCatalogLifecycle) {
+  FlowCatalog catalog(session_.schema());
+  graph::TaskGraph flow(session_.schema(), "plan-a");
+  const graph::NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  flow.bind(flow.inputs_of(perf)[1], data::InstanceId(3));
+  catalog.save(flow);
+  EXPECT_TRUE(catalog.contains("plan-a"));
+  EXPECT_THROW(catalog.save(flow), FlowError);  // duplicate
+  catalog.save_or_replace(flow);                // fine
+
+  // Instantiation clears bindings; with_bindings keeps them.
+  const graph::TaskGraph fresh = catalog.instantiate("plan-a");
+  EXPECT_EQ(fresh.node_count(), flow.node_count());
+  for (const graph::NodeId n : fresh.nodes()) {
+    EXPECT_TRUE(fresh.bindings(n).empty());
+  }
+  const graph::TaskGraph kept = catalog.instantiate_with_bindings("plan-a");
+  bool any_bound = false;
+  for (const graph::NodeId n : kept.nodes()) {
+    any_bound |= !kept.bindings(n).empty();
+  }
+  EXPECT_TRUE(any_bound);
+
+  // Whole-catalog persistence round trip.
+  const std::string text = catalog.save_all();
+  const FlowCatalog back = FlowCatalog::load_all(session_.schema(), text);
+  EXPECT_EQ(back.names(), catalog.names());
+  EXPECT_EQ(back.save_all(), text);
+
+  catalog.remove("plan-a");
+  EXPECT_FALSE(catalog.contains("plan-a"));
+  EXPECT_THROW(catalog.remove("plan-a"), FlowError);
+  EXPECT_THROW(catalog.instantiate("plan-a"), FlowError);
+}
+
+TEST_F(CatalogTest, GoalBasedStartSeedsGoalNode) {
+  const graph::TaskGraph flow = start_from_goal(
+      session_.schema(), session_.schema().require("Performance"));
+  ASSERT_EQ(flow.node_count(), 1u);
+  EXPECT_EQ(session_.schema().entity_name(
+                flow.node(flow.nodes().front()).type),
+            "Performance");
+}
+
+TEST_F(CatalogTest, ToolBasedStartListsProducibleEntities) {
+  const ToolStart start = start_from_tool(
+      session_.schema(), session_.schema().require("Simulator"));
+  std::vector<std::string> names;
+  for (const auto t : start.producible) {
+    names.push_back(session_.schema().entity_name(t));
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "Performance"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Statistics"),
+            names.end());
+  // Starting from a data entity is rejected.
+  EXPECT_THROW(
+      start_from_tool(session_.schema(), session_.schema().require("Stimuli")),
+      FlowError);
+}
+
+TEST_F(CatalogTest, DataBasedStartBindsAndListsConsumers) {
+  const auto netlist = session_.import_data(
+      "EditedNetlist", "n", herc::circuit::inverter_netlist().to_text());
+  const DataStart start =
+      start_from_data(session_.schema(), session_.db(), netlist);
+  EXPECT_EQ(start.flow.bindings(start.data_node),
+            std::vector<data::InstanceId>{netlist});
+  std::vector<std::string> names;
+  for (const auto t : start.consumers) {
+    names.push_back(session_.schema().entity_name(t));
+  }
+  // An EditedNetlist can seed further edits, be placed, composed, verified.
+  EXPECT_NE(std::find(names.begin(), names.end(), "PlacedLayout"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Circuit"), names.end());
+}
+
+}  // namespace
+}  // namespace herc::catalog

@@ -1,0 +1,301 @@
+// The circuit tools: placer, extractor, verifier, editors, plotter,
+// optimizers, synthesizer.
+#include <gtest/gtest.h>
+
+#include "circuit/edits.hpp"
+#include "circuit/extract.hpp"
+#include "circuit/library.hpp"
+#include "circuit/logic_view.hpp"
+#include "circuit/optimize.hpp"
+#include "circuit/place.hpp"
+#include "circuit/plot.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/verify.hpp"
+#include "support/error.hpp"
+
+namespace herc::circuit {
+namespace {
+
+using support::ExecError;
+using support::ParseError;
+
+TEST(Placer, ProducesCleanLayouts) {
+  const Netlist nl = full_adder_netlist();
+  const Layout layout = place(nl);
+  EXPECT_TRUE(layout.drc().empty());
+  EXPECT_EQ(layout.placements().size(), nl.devices().size());
+  EXPECT_EQ(layout.pins().size(), nl.inputs().size() + nl.outputs().size());
+  EXPECT_EQ(layout.source_netlist(), nl.name());
+}
+
+TEST(Placer, AnnealingImprovesWirelength) {
+  const Netlist nl = ripple_adder_netlist(2);
+  PlaceOptions rough;
+  rough.moves = 0;
+  PlaceOptions refined;
+  refined.moves = 5000;
+  const double rough_hpwl = place(nl, rough).total_hpwl();
+  const double refined_hpwl = place(nl, refined).total_hpwl();
+  EXPECT_LT(refined_hpwl, rough_hpwl);
+}
+
+TEST(Placer, DeterministicPerSeed) {
+  const Netlist nl = full_adder_netlist();
+  PlaceOptions options;
+  options.seed = 42;
+  EXPECT_EQ(place(nl, options).to_text(), place(nl, options).to_text());
+  options.seed = 43;
+  // Different seed almost surely lands elsewhere (same cost class though).
+  EXPECT_TRUE(place(nl, options).drc().empty());
+}
+
+TEST(Extractor, RecoversConnectivityAndAddsParasitics) {
+  const Netlist nl = nand2_netlist();
+  const Layout layout = place(nl);
+  ExtractStatistics stats;
+  const Netlist extracted = extract(layout, {}, &stats);
+  extracted.validate();
+  // All original devices recovered.
+  for (const Device& d : nl.devices()) {
+    EXPECT_TRUE(extracted.has_device(d.name));
+    EXPECT_EQ(extracted.device(d.name).terminals, d.terminals);
+  }
+  // Parasitic capacitors appear on routed nets.
+  EXPECT_GT(stats.parasitics, 0u);
+  EXPECT_GT(stats.total_parasitic_pf, 0.0);
+  EXPECT_GT(extracted.device_count(DeviceType::kCapacitor), 0u);
+  EXPECT_EQ(stats.devices, nl.devices().size());
+  EXPECT_NE(stats.to_text().find("parasitics="), std::string::npos);
+}
+
+TEST(Extractor, ExtractedNetlistSimulatesSlower) {
+  // The consistency-maintenance motivation: parasitics change behaviour.
+  const Netlist nl = inverter_chain(4);
+  const Layout layout = place(nl);
+  const Netlist extracted = extract(layout);
+  const DeviceModelLibrary models = DeviceModelLibrary::standard();
+  Stimuli st("step");
+  st.add_wave(Waveform{"in", {{0, Level::kLow}, {20000, Level::kHigh}}});
+  const auto schematic_delay = simulate(nl, models, st).max_delay_ps;
+  const auto extracted_delay = simulate(extracted, models, st).max_delay_ps;
+  EXPECT_GT(extracted_delay, schematic_delay);
+}
+
+TEST(Verifier, PassesOnFaithfulLayout) {
+  const Netlist nl = full_adder_netlist();
+  const VerificationReport report = verify_layout(place(nl), nl);
+  EXPECT_TRUE(report.pass);
+  EXPECT_TRUE(report.errors.empty());
+}
+
+TEST(Verifier, CatchesMissingExtraAndRewired) {
+  const Netlist nl = nand2_netlist();
+  Layout layout = place(nl);
+  layout.unplace("mn1");                       // missing
+  Device stray = nl.device("mn2");
+  stray.name = "intruder";
+  layout.place(stray, 3, 3);                   // extra
+  layout.move("mp1", 0, 0);                    // overlap with whatever is there
+  const VerificationReport report = verify_layout(layout, nl);
+  EXPECT_FALSE(report.pass);
+  bool missing = false;
+  bool extra = false;
+  for (const std::string& e : report.errors) {
+    missing |= e.find("mn1") != std::string::npos &&
+               e.find("not placed") != std::string::npos;
+    extra |= e.find("intruder") != std::string::npos;
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(extra);
+}
+
+TEST(Verifier, IgnoresParasiticsAndRoundTripsReport) {
+  const Netlist nl = nand2_netlist();
+  const Layout layout = place(nl);
+  const Netlist extracted = extract(layout);
+  // Verifying the layout against its own extraction passes: the cpar_*
+  // devices are skipped on the schematic side.
+  const VerificationReport report = verify_layout(layout, extracted);
+  EXPECT_TRUE(report.pass) << report.to_text();
+  const VerificationReport back =
+      VerificationReport::from_text(report.to_text());
+  EXPECT_EQ(back.pass, report.pass);
+  VerificationReport failing;
+  failing.pass = false;
+  failing.errors = {"one", "two"};
+  const VerificationReport back2 =
+      VerificationReport::from_text(failing.to_text());
+  EXPECT_FALSE(back2.pass);
+  EXPECT_EQ(back2.errors, failing.errors);
+}
+
+TEST(Editors, NetlistEditScript) {
+  const Netlist base = inverter_netlist();
+  const Netlist edited = apply_netlist_edits(base,
+                                             "name inv2\n"
+                                             "net mid\n"
+                                             "add cap cl a=out b=GND value=0.5\n"
+                                             "set mn value=2 model=nch\n"
+                                             "del mp\n");
+  EXPECT_EQ(edited.name(), "inv2");
+  EXPECT_TRUE(edited.has_device("cl"));
+  EXPECT_FALSE(edited.has_device("mp"));
+  EXPECT_DOUBLE_EQ(edited.device("mn").value, 2.0);
+  // The base is untouched.
+  EXPECT_TRUE(base.has_device("mp"));
+  // Errors: bad command, impossible edit.
+  EXPECT_THROW(apply_netlist_edits(base, "teleport mn"), ParseError);
+  EXPECT_THROW(apply_netlist_edits(base, "del nothere"), ExecError);
+  EXPECT_THROW(apply_netlist_edits(base, "set mn nonsense=1"), ParseError);
+}
+
+TEST(Editors, EditFromScratch) {
+  const Netlist built = apply_netlist_edits(Netlist(),
+                                            "name fresh\n"
+                                            "input a\noutput y\n"
+                                            "add nmos m1 g=a d=y s=GND\n"
+                                            "add pmos m2 g=a d=y s=VDD\n");
+  built.validate();
+  EXPECT_EQ(built.mos_count(), 2u);
+}
+
+TEST(Editors, LayoutEditScript) {
+  const Layout base = place(inverter_netlist());
+  const Layout edited = apply_layout_edits(base,
+                                           "move mn 0 0\n"
+                                           "unplace mp\n"
+                                           "resize 8 8\n"
+                                           "pin extra x=7 y=7 dir=out\n");
+  EXPECT_EQ(edited.placement("mn").x, 0);
+  EXPECT_FALSE(edited.has_placement("mp"));
+  EXPECT_EQ(edited.rows(), 8);
+  EXPECT_EQ(edited.pins().back().net, "extra");
+  EXPECT_THROW(apply_layout_edits(base, "move ghost 1 1"), ExecError);
+  EXPECT_THROW(apply_layout_edits(base, "move mn one 1"), ParseError);
+}
+
+TEST(Editors, ModelEditScript) {
+  const DeviceModelLibrary base = DeviceModelLibrary::standard();
+  const DeviceModelLibrary edited =
+      apply_model_edits(base,
+                        "set nch resistance=5\n"
+                        "model hs type=pmos resistance=2 threshold=0.4\n"
+                        "del pch\n");
+  EXPECT_DOUBLE_EQ(edited.model("nch").resistance_kohm, 5.0);
+  EXPECT_TRUE(edited.has_model("hs"));
+  EXPECT_FALSE(edited.has_model("pch"));
+}
+
+TEST(Plotter, RendersEveryWave) {
+  const Stimuli st = Stimuli::counter({"a", "b"}, 1000);
+  const SimResult r =
+      simulate(nand2_netlist(), DeviceModelLibrary::standard(), st);
+  const std::string plot = ascii_plot(r, PlotOptions{60, "nand check"});
+  EXPECT_NE(plot.find("nand check"), std::string::npos);
+  EXPECT_NE(plot.find("y"), std::string::npos);
+  EXPECT_NE(plot.find("max_delay_ps"), std::string::npos);
+  // High and low glyphs both appear for a toggling output.
+  EXPECT_NE(plot.find('~'), std::string::npos);
+  EXPECT_NE(plot.find('_'), std::string::npos);
+}
+
+class OptimizerTest : public ::testing::TestWithParam<OptAlgorithm> {};
+
+TEST_P(OptimizerTest, NeverWorsensDelay) {
+  // A deliberately bad sizing: optimization must not end worse than start.
+  Netlist nl = inverter_chain(3);
+  nl.add_capacitor("cl", "out", "GND", 0.8);
+  for (const Device& d : std::vector<Device>(nl.devices())) {
+    if (d.is_mos()) nl.device_mut(d.name).value = 0.6;
+  }
+  const DeviceModelLibrary models = DeviceModelLibrary::standard();
+  Stimuli st("step");
+  st.add_wave(Waveform{"in", {{0, Level::kLow}, {50000, Level::kHigh}}});
+  OptimizeOptions options;
+  options.algorithm = GetParam();
+  options.iterations = 12;
+  const OptimizeResult result = optimize(nl, models, st, options);
+  EXPECT_LE(result.final_delay_ps, result.initial_delay_ps);
+  EXPECT_GT(result.evaluations, 0u);
+  result.netlist.validate();
+  EXPECT_NE(result.summary().find("->"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, OptimizerTest,
+                         ::testing::Values(OptAlgorithm::kGradient,
+                                           OptAlgorithm::kAnnealing,
+                                           OptAlgorithm::kRandomSearch),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Optimizer, AlgorithmNames) {
+  EXPECT_EQ(opt_algorithm_from("gradient"), OptAlgorithm::kGradient);
+  EXPECT_EQ(opt_algorithm_from("annealing"), OptAlgorithm::kAnnealing);
+  EXPECT_EQ(opt_algorithm_from("random"), OptAlgorithm::kRandomSearch);
+  EXPECT_FALSE(opt_algorithm_from("magic").has_value());
+}
+
+TEST(Synthesizer, ExpandsGatesToWorkingTransistors) {
+  const LogicView view = full_adder_logic();
+  const Netlist syn = synthesize(view);
+  syn.validate();
+  EXPECT_GT(syn.mos_count(), 30u);
+  // The synthesized netlist computes the same function as the hand-built
+  // full adder.
+  const DeviceModelLibrary models = DeviceModelLibrary::standard();
+  const Stimuli st = Stimuli::counter({"a", "b", "cin"}, 1000);
+  const SimResult ours = simulate(syn, models, st);
+  const SimResult reference = simulate(full_adder_netlist(), models, st);
+  for (const char* out : {"sum", "cout"}) {
+    for (std::size_t code = 0; code < 8; ++code) {
+      const auto t = static_cast<std::int64_t>(code) * 1000 + 999;
+      EXPECT_EQ(ours.wave(out).at(t), reference.wave(out).at(t))
+          << out << " at code " << code;
+    }
+  }
+}
+
+TEST(Synthesizer, AllGateKindsSynthesize) {
+  LogicView view("gates");
+  view.add_input("a");
+  view.add_input("b");
+  view.add_output("y");
+  view.add_gate(LogicGate{"g1", GateKind::kAnd2,
+                          {{"a", "a"}, {"b", "b"}, {"y", "n1"}}});
+  view.add_gate(LogicGate{"g2", GateKind::kOr2,
+                          {{"a", "n1"}, {"b", "b"}, {"y", "n2"}}});
+  view.add_gate(LogicGate{"g3", GateKind::kInv, {{"a", "n2"}, {"y", "y"}}});
+  const Netlist syn = synthesize(view);
+  syn.validate();
+  // y = ~((a&b) | b) = ~b.
+  const Stimuli st = Stimuli::counter({"a", "b"}, 1000);
+  const SimResult r = simulate(syn, DeviceModelLibrary::standard(), st);
+  EXPECT_EQ(r.wave("y").at(999), Level::kHigh);    // a=0 b=0
+  EXPECT_EQ(r.wave("y").at(2999), Level::kLow);    // a=0 b=1
+}
+
+TEST(Synthesizer, LogicViewValidation) {
+  LogicView bad("bad");
+  bad.add_output("y");
+  LogicGate incomplete{"g", GateKind::kNand2, {{"a", "x"}, {"y", "y"}}};
+  bad.add_gate(incomplete);
+  EXPECT_THROW(bad.validate(), ExecError);
+  LogicView dup("dup");
+  dup.add_gate(LogicGate{"g", GateKind::kInv, {{"a", "a"}, {"y", "y"}}});
+  EXPECT_THROW(
+      dup.add_gate(LogicGate{"g", GateKind::kInv, {{"a", "a"}, {"y", "z"}}}),
+      ExecError);
+}
+
+TEST(Synthesizer, LogicViewRoundTrip) {
+  const LogicView view = full_adder_logic();
+  const std::string text = view.to_text();
+  const LogicView back = LogicView::from_text(text);
+  EXPECT_EQ(back.to_text(), text);
+  EXPECT_EQ(back.gates().size(), view.gates().size());
+  EXPECT_THROW(LogicView::from_text("gate g1 warp a=b"), ParseError);
+}
+
+}  // namespace
+}  // namespace herc::circuit

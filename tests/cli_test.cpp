@@ -1,0 +1,312 @@
+// The command interpreter: scripts, heredocs, every command family,
+// error reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "cli/interpreter.hpp"
+
+namespace herc::cli {
+namespace {
+
+/// Runs a script and returns (failures, captured output).
+std::pair<std::size_t, std::string> run(const std::string& script) {
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  const std::size_t failures = interpreter.run_script(script);
+  return {failures, out.str()};
+}
+
+std::string inverter_heredoc() {
+  return "import EditedNetlist inv <<END\n" +
+         circuit::inverter_netlist().to_text() + "END\n";
+}
+
+TEST(Cli, EmptyLinesAndCommentsAreIgnored) {
+  const auto [failures, out] = run("\n# just a comment\n   \necho hi\n");
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(out, "hi\n");
+}
+
+TEST(Cli, UnknownCommandsFailWithHelpPointer) {
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  EXPECT_EQ(interpreter.execute("teleport now"), CommandStatus::kError);
+  EXPECT_NE(interpreter.last_error().find("help"), std::string::npos);
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+}
+
+TEST(Cli, QuitStopsScripts) {
+  const auto [failures, out] = run("echo one\nquit\necho two\n");
+  EXPECT_EQ(failures, 0u);
+  EXPECT_NE(out.find("one"), std::string::npos);
+  EXPECT_EQ(out.find("two"), std::string::npos);
+}
+
+TEST(Cli, ImportWithHeredocAndEmptyPayload) {
+  const auto [failures, out] = run(inverter_heredoc() +
+                                   "import Simulator sim \"\"\n");
+  EXPECT_EQ(failures, 0u);
+  EXPECT_NE(out.find("imported i0"), std::string::npos);
+  EXPECT_NE(out.find("imported i1"), std::string::npos);
+  EXPECT_NE(out.find("0 bytes"), std::string::npos);
+}
+
+TEST(Cli, UnterminatedHeredocIsAnError) {
+  const auto [failures, out] = run("import Stimuli s <<END\nwave x 0:1\n");
+  EXPECT_EQ(failures, 1u);
+  EXPECT_NE(out.find("unterminated"), std::string::npos);
+}
+
+TEST(Cli, FullSimulationSession) {
+  std::string script = inverter_heredoc();
+  script += "import DeviceModels std <<END\n";
+  script += circuit::DeviceModelLibrary::standard().to_text();
+  script += "END\n";
+  script += "import Stimuli walk <<END\n";
+  script += "stimuli walk\nwave in 0:0 1000:1 2000:0\n";
+  script += "END\n";
+  script += "import Simulator sim \"\"\n";
+  script +=
+      "flow new f goal Performance\n"
+      "flow expand f 0\n"
+      "flow expand f 2\n"
+      "flow bind f 1 i3\n"
+      "flow bind f 3 i2\n"
+      "flow bind f 4 i1\n"
+      "flow bind f 5 i0\n"
+      "flow show f\n"
+      "flow lisp f\n"
+      "run f\n"
+      "history i5\n"
+      "uses i0\n";
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("status: runnable"), std::string::npos);
+  EXPECT_NE(out.find("Performance(Simulator, Circuit(compose, "
+                     "DeviceModels, Netlist), Stimuli)"),
+            std::string::npos);
+  EXPECT_NE(out.find("ran 2 tasks"), std::string::npos);
+  // The history listing reaches the imported netlist.
+  EXPECT_NE(out.find("'inv'"), std::string::npos);
+}
+
+TEST(Cli, AutoFlowCommand) {
+  std::string script = inverter_heredoc();
+  script += "import DeviceModels std <<END\n" +
+            circuit::DeviceModelLibrary::standard().to_text() + "END\n";
+  script += "import Stimuli walk <<END\nstimuli w\nwave in 0:1\nEND\n";
+  script += "import Simulator sim \"\"\n";
+  script += "auto Performance run\n";
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("ran 2 tasks"), std::string::npos);
+  EXPECT_NE(out.find("produced i"), std::string::npos);
+}
+
+TEST(Cli, BrowseWithFilters) {
+  std::string script = inverter_heredoc();
+  script += "session user director\n";
+  script += "import EditedNetlist adder <<END\n" +
+            circuit::full_adder_netlist().to_text() + "END\n";
+  script += "browse Netlist\n";
+  script += "browse Netlist user=director\n";
+  script += "browse Netlist keyword=inv\n";
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  // The unfiltered listing shows both; the user filter only the adder.
+  EXPECT_NE(out.find("adder"), std::string::npos);
+  EXPECT_NE(out.find("inv"), std::string::npos);
+}
+
+TEST(Cli, PlanLifecycleThroughCommands) {
+  std::string script;
+  script +=
+      "flow new f goal Performance\n"
+      "flow expand f 0\n"
+      "flow save-plan f\n"
+      "plans\n"
+      "flow new g plan goal:Performance\n"
+      "flow show g\n";
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("goal:Performance"), std::string::npos);
+  EXPECT_NE(out.find("unbound leaves"), std::string::npos);
+}
+
+TEST(Cli, SchemaSwitchClearsFlows) {
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  EXPECT_EQ(interpreter.execute("flow new f goal Performance"),
+            CommandStatus::kOk);
+  EXPECT_EQ(interpreter.execute("session new fig2 bryant"),
+            CommandStatus::kOk);
+  // Old flows are gone; fig2 lacks the Fig. 1 entities.
+  EXPECT_EQ(interpreter.execute("flow show f"), CommandStatus::kError);
+  EXPECT_EQ(interpreter.execute("flow new c goal Verification"),
+            CommandStatus::kError);
+  EXPECT_EQ(interpreter.execute("flow new c goal Performance"),
+            CommandStatus::kOk);
+  EXPECT_EQ(interpreter.session().user(), "bryant");
+}
+
+TEST(Cli, VersionAndConsistencyCommands) {
+  std::string script = inverter_heredoc();
+  script += "import CircuitEditor ed <<END\nset mn value=2\nEND\n";
+  script +=
+      "flow new e goal EditedNetlist\n"
+      "flow expand e 0 optional\n"
+      "flow bind e 1 i1\n"
+      "flow bind e 2 i0\n"
+      "run e\n"
+      "versions i0\n"
+      "stale i0\n"
+      "annotate i2 v2 widened\n"
+      "payload i2\n";
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("i2 v2 (edited from i0)"), std::string::npos);
+  EXPECT_NE(out.find("is up to date"), std::string::npos);
+  EXPECT_NE(out.find("value=2"), std::string::npos);
+}
+
+TEST(Cli, SessionSaveLoadThroughFiles) {
+  const std::string path =
+      ::testing::TempDir() + "herc_cli_session.txt";
+  {
+    std::ostringstream out;
+    Interpreter interpreter(out);
+    EXPECT_EQ(interpreter.run_script(inverter_heredoc() +
+                                     "session user archivist\n"
+                                     "session save " + path + "\n"),
+              0u)
+        << out.str();
+    EXPECT_NE(out.str().find("session saved"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    Interpreter interpreter(out);
+    EXPECT_EQ(interpreter.run_script("session load " + path + "\n"
+                                     "browse Netlist\n"),
+              0u)
+        << out.str();
+    EXPECT_NE(out.str().find("session loaded: 1 instances"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("inv"), std::string::npos);
+    EXPECT_EQ(interpreter.session().user(), "archivist");
+  }
+  // Missing files are reported, not fatal.
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  EXPECT_EQ(interpreter.execute("session load /nonexistent/nowhere.txt"),
+            CommandStatus::kError);
+}
+
+TEST(Cli, BadReferencesAreReported) {
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  EXPECT_EQ(interpreter.execute("history i99"), CommandStatus::kError);
+  EXPECT_EQ(interpreter.execute("history 5"), CommandStatus::kError);
+  EXPECT_EQ(interpreter.execute("flow new f goal Performance"),
+            CommandStatus::kOk);
+  EXPECT_EQ(interpreter.execute("flow expand f banana"),
+            CommandStatus::kError);
+  EXPECT_NE(interpreter.last_error().find("node id"), std::string::npos);
+  EXPECT_EQ(interpreter.execute("flow expand f 7"), CommandStatus::kError);
+}
+
+TEST(Cli, FindCommandRunsQueries) {
+  std::string script = inverter_heredoc();
+  script += "import DeviceModels std <<END\n" +
+            circuit::DeviceModelLibrary::standard().to_text() + "END\n";
+  script += "import Stimuli walk <<END\nstimuli w\nwave in 0:1\nEND\n";
+  script += "import Simulator sim \"\"\n";
+  script += "auto Performance run\n";
+  script += "find Performance where circuit.netlist = i0\n";
+  script += "find Performance where circuit.netlist = \"inv\"\n";
+  script += "find Performance where stimuli = i99\n";  // bad ref
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 1u) << out;
+  // Both good queries list the produced performance.
+  const std::string needle = "Performance  'Performance#";
+  const std::size_t first = out.find(needle);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(out.find(needle, first + 1), std::string::npos);
+}
+
+TEST(Cli, TraceRetraceAndDecomposeCommands) {
+  std::string script = inverter_heredoc();
+  script += "import DeviceModels std <<END\n" +
+            circuit::DeviceModelLibrary::standard().to_text() + "END\n";
+  script += "import Stimuli walk <<END\nstimuli w\nwave in 0:1\nEND\n";
+  script += "import Simulator sim \"\"\n";
+  script += "import CircuitEditor ed <<END\nset mn value=2\nEND\n";
+  script += "auto Performance run\n";       // produces circuit i5? + perf
+  script += "trace i6 backward\n";          // the performance instance
+  script += "trace i6 forward\n";
+  script += "decompose i5\n";               // the composed circuit
+  // Edit the netlist -> performance stale -> retrace.
+  script +=
+      "flow new e goal EditedNetlist\n"
+      "flow expand e 0 optional\n"
+      "flow bind e 1 i4\n"
+      "flow bind e 2 i0\n"
+      "run e\n"
+      "stale i6\n"
+      "retrace i6\n";
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("digraph \"backward-trace\""), std::string::npos);
+  EXPECT_NE(out.find("digraph \"forward-trace\""), std::string::npos);
+  EXPECT_NE(out.find("component i"), std::string::npos);
+  EXPECT_NE(out.find("is STALE"), std::string::npos);
+  EXPECT_NE(out.find("retraced ->"), std::string::npos);
+}
+
+TEST(Cli, FlowRenderingCommands) {
+  const auto [failures, out] = run(
+      "flow new f goal Performance\n"
+      "flow expand f 0\n"
+      "flow dot f\n"
+      "flow bipartite f\n"
+      "flow expandup f 0 PerformancePlot\n"
+      "flow show f\n");
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find("--Simulator--> [Performance]"), std::string::npos);
+  EXPECT_NE(out.find("consumer node"), std::string::npos);
+}
+
+TEST(Cli, SchemaShowAndExtend) {
+  std::string script =
+      "schema extend <<END\n"
+      "tool TimingAnalyzer\n"
+      "data TimingReport\n"
+      "fd TimingReport -> TimingAnalyzer\n"
+      "dd TimingReport -> Netlist\n"
+      "END\n"
+      "schema show\n"
+      "flow new t goal TimingReport\n"
+      "flow expand t 0\n"
+      "flow show t\n";
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("schema extended"), std::string::npos);
+  EXPECT_NE(out.find("fd TimingReport -> TimingAnalyzer"),
+            std::string::npos);
+  EXPECT_NE(out.find("TimingAnalyzer"), std::string::npos);
+}
+
+TEST(Cli, HelpAndCatalogs) {
+  const auto [failures, out] = run("help\nentities\ntools\n");
+  EXPECT_EQ(failures, 0u);
+  EXPECT_NE(out.find("flow bind"), std::string::npos);
+  EXPECT_NE(out.find("Netlist [abstract]"), std::string::npos);
+  EXPECT_NE(out.find("Placer: Placer.default Placer.fast Placer.quality"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::cli

@@ -1,0 +1,150 @@
+// The performance comparator: waveform diffing, tolerance, and the
+// two-same-type-inputs-with-roles flow it rides in.
+#include <gtest/gtest.h>
+
+#include "circuit/compare.hpp"
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/stimuli.hpp"
+#include "core/session.hpp"
+#include "exec/consistency.hpp"
+#include "schema/standard_schemas.hpp"
+
+namespace herc::circuit {
+namespace {
+
+SimResult make_result(std::vector<Waveform> waves) {
+  SimResult r;
+  r.waves = std::move(waves);
+  return r;
+}
+
+TEST(Compare, IdenticalResultsMatch) {
+  const Stimuli st = Stimuli::counter({"a", "b"}, 1000);
+  const SimResult r =
+      simulate(nand2_netlist(), DeviceModelLibrary::standard(), st);
+  const CompareReport report = compare_performance(r, r);
+  EXPECT_TRUE(report.match);
+  EXPECT_TRUE(report.differences.empty());
+}
+
+TEST(Compare, ValueDifferencesAreLocated) {
+  const SimResult golden = make_result(
+      {Waveform{"y", {{0, Level::kLow}, {100, Level::kHigh}}}});
+  const SimResult candidate = make_result(
+      {Waveform{"y", {{0, Level::kLow}}}});  // never rises
+  const CompareReport report = compare_performance(golden, candidate);
+  EXPECT_FALSE(report.match);
+  ASSERT_FALSE(report.differences.empty());
+  EXPECT_NE(report.differences[0].find("net 'y'"), std::string::npos);
+  EXPECT_NE(report.differences[0].find("golden=1"), std::string::npos);
+}
+
+TEST(Compare, MissingNetsReportedBothWays) {
+  const SimResult golden =
+      make_result({Waveform{"a", {{0, Level::kLow}}}});
+  const SimResult candidate =
+      make_result({Waveform{"b", {{0, Level::kLow}}}});
+  const CompareReport report = compare_performance(golden, candidate);
+  EXPECT_FALSE(report.match);
+  EXPECT_EQ(report.differences.size(), 2u);
+}
+
+TEST(Compare, ToleranceForgivesShiftedEdges) {
+  const SimResult golden = make_result(
+      {Waveform{"y", {{0, Level::kLow}, {100, Level::kHigh}}}});
+  const SimResult shifted = make_result(
+      {Waveform{"y", {{0, Level::kLow}, {150, Level::kHigh}}}});
+  EXPECT_FALSE(compare_performance(golden, shifted).match);
+  CompareOptions loose;
+  loose.time_tolerance_ps = 60;
+  EXPECT_TRUE(compare_performance(golden, shifted, loose).match);
+  loose.time_tolerance_ps = 40;
+  EXPECT_FALSE(compare_performance(golden, shifted, loose).match);
+}
+
+TEST(Compare, NoiseCapKeepsReportsReadable) {
+  Waveform g{"y", {}};
+  Waveform c{"y", {}};
+  for (int i = 0; i < 40; ++i) {
+    g.points.push_back(
+        {i * 100, i % 2 == 0 ? Level::kLow : Level::kHigh});
+    c.points.push_back(
+        {i * 100, i % 2 == 0 ? Level::kHigh : Level::kLow});
+  }
+  const CompareReport report =
+      compare_performance(make_result({g}), make_result({c}));
+  EXPECT_FALSE(report.match);
+  EXPECT_LE(report.differences.size(), 6u);
+  EXPECT_NE(report.differences.back().find("suppressed"), std::string::npos);
+}
+
+TEST(Compare, ReportRoundTrips) {
+  CompareReport report;
+  report.match = false;
+  report.differences = {"one thing", "another"};
+  const CompareReport back = CompareReport::from_text(report.to_text());
+  EXPECT_EQ(back.match, report.match);
+  EXPECT_EQ(back.differences, report.differences);
+}
+
+TEST(Compare, RolesDisambiguateSameTypeInputsInAFlow) {
+  // The PerformanceDiff task takes two Performances, told apart by role;
+  // the report must reflect which one was golden.
+  core::DesignSession session(
+      schema::make_full_schema(), "t",
+      std::make_unique<support::ManualClock>(0, 1));
+  const auto netlist = session.import_data(
+      "EditedNetlist", "n", inverter_netlist().to_text());
+  const auto models = session.import_data(
+      "DeviceModels", "m", DeviceModelLibrary::standard().to_text());
+  const auto stimuli = session.import_data(
+      "Stimuli", "st", Stimuli::counter({"in"}, 1000).to_text());
+  const auto simulator = session.import_data("Simulator", "sim", "");
+  const auto comparator = session.import_data("Comparator", "cmp", "");
+
+  // Two simulations: baseline and one with a loaded output (different
+  // delays -> different edge times).
+  const auto run_sim = [&](data::InstanceId nl) {
+    graph::TaskGraph flow(session.schema(), "sim");
+    const graph::NodeId perf = flow.add_node("Performance");
+    flow.expand(perf);
+    const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+    flow.bind(flow.tool_of(perf), simulator);
+    flow.bind(flow.inputs_of(perf)[1], stimuli);
+    flow.bind(circuit_inputs[0], models);
+    flow.bind(circuit_inputs[1], nl);
+    return session.run(flow).single(perf);
+  };
+  const auto golden_perf = run_sim(netlist);
+  // A small extra load shifts the output edges by ~50-100 ps.
+  Netlist loaded = inverter_netlist();
+  loaded.add_capacitor("cl", "out", "GND", 0.005);
+  const auto loaded_netlist =
+      session.import_data("EditedNetlist", "loaded", loaded.to_text());
+  const auto slow_perf = run_sim(loaded_netlist);
+
+  graph::TaskGraph cmp(session.schema(), "cmp");
+  const graph::NodeId diff = cmp.add_node("PerformanceDiff");
+  cmp.expand(diff);
+  cmp.bind(cmp.tool_of(diff), comparator);
+  const auto inputs = cmp.inputs_of(diff);
+  ASSERT_EQ(inputs.size(), 2u);
+  cmp.bind(inputs[0], golden_perf);   // role "golden"
+  cmp.bind(inputs[1], slow_perf);     // role "candidate"
+  const auto diff_inst = session.run(cmp).single(diff);
+  const CompareReport report =
+      CompareReport::from_text(session.db().payload(diff_inst));
+  EXPECT_FALSE(report.match);  // the loaded inverter is slower
+
+  // The loose comparator variant (200 ps tolerance) forgives the shift.
+  session.tools().set_default("Comparator.loose");
+  const auto loose_inst = session.run(cmp).single(diff);
+  const CompareReport loose =
+      CompareReport::from_text(session.db().payload(loose_inst));
+  EXPECT_TRUE(loose.match) << loose.to_text();
+}
+
+}  // namespace
+}  // namespace herc::circuit

@@ -1,0 +1,311 @@
+// Execution-engine behaviour beyond the happy path: error handling,
+// sub-flow execution, set-accepting encapsulations, tool-instance
+// selection of encapsulations.
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/stimuli.hpp"
+#include "exec/consistency.hpp"
+#include "exec/executor.hpp"
+#include "history/flow_trace.hpp"
+#include "history/history_db.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+#include "tools/standard_tools.hpp"
+
+namespace herc::exec {
+namespace {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+using support::ExecError;
+using support::FlowError;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : schema_(schema::make_full_schema()),
+        clock_(0, 1),
+        db_(schema_, clock_),
+        registry_(schema_),
+        executor_(db_, registry_) {
+    tools::install_standard_compose_checks(schema_);
+    tools::register_standard_tools(registry_);
+  }
+
+  schema::TaskSchema schema_;
+  support::ManualClock clock_;
+  history::HistoryDb db_;
+  tools::ToolRegistry registry_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, UnboundLeavesAreRejectedWithContext) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  try {
+    executor_.run(flow);
+    FAIL() << "expected FlowError";
+  } catch (const FlowError& e) {
+    EXPECT_NE(std::string(e.what()).find("not bound"), std::string::npos);
+  }
+}
+
+TEST_F(ExecutorTest, ToolFailuresPropagateAsExecErrors) {
+  // An editor whose script deletes a nonexistent device fails mid-run.
+  const InstanceId bad_editor = db_.import_instance(
+      schema_.require("CircuitEditor"), "bad", "del ghost\n", "u");
+  const InstanceId netlist = db_.import_instance(
+      schema_.require("EditedNetlist"), "n",
+      circuit::inverter_netlist().to_text(), "u");
+  TaskGraph flow(schema_, "f");
+  const NodeId goal = flow.add_node("EditedNetlist");
+  flow.expand(goal, graph::ExpandOptions{.include_optional = true});
+  flow.bind(flow.tool_of(goal), bad_editor);
+  flow.bind(flow.inputs_of(goal)[0], netlist);
+  EXPECT_THROW(executor_.run(flow), ExecError);
+  // The failed run recorded nothing for the goal.
+  EXPECT_TRUE(db_.instances_of(schema_.require("EditedNetlist")).size() ==
+              1u);
+}
+
+TEST_F(ExecutorTest, ParallelFailurePropagates) {
+  const InstanceId bad_editor = db_.import_instance(
+      schema_.require("CircuitEditor"), "bad", "del ghost\n", "u");
+  const InstanceId netlist = db_.import_instance(
+      schema_.require("EditedNetlist"), "n",
+      circuit::inverter_netlist().to_text(), "u");
+  TaskGraph flow(schema_, "f");
+  for (int i = 0; i < 3; ++i) {
+    const NodeId goal = flow.add_node("EditedNetlist");
+    flow.expand(goal, graph::ExpandOptions{.include_optional = true});
+    flow.bind(flow.tool_of(goal), bad_editor);
+    flow.bind(flow.inputs_of(goal)[0], netlist);
+  }
+  ExecOptions options;
+  options.parallel = true;
+  EXPECT_THROW(executor_.run(flow, options), ExecError);
+}
+
+TEST_F(ExecutorTest, EncapsulationChosenByToolInstanceType) {
+  // Binding a GradientOptimizer vs AnnealingOptimizer instance to the
+  // abstract Optimizer node picks the matching encapsulation arguments.
+  const InstanceId netlist = db_.import_instance(
+      schema_.require("EditedNetlist"), "n",
+      circuit::inverter_chain(2).to_text(), "u");
+  const InstanceId models = db_.import_instance(
+      schema_.require("DeviceModels"), "m",
+      circuit::DeviceModelLibrary::standard().to_text(), "u");
+  const InstanceId stimuli = db_.import_instance(
+      schema_.require("Stimuli"), "st",
+      circuit::Stimuli::random({"in"}, 2000, 6, 3).to_text(), "u");
+  const InstanceId gradient = db_.import_instance(
+      schema_.require("GradientOptimizer"), "grad", "", "u");
+  const InstanceId annealing = db_.import_instance(
+      schema_.require("AnnealingOptimizer"), "anneal", "", "u");
+
+  TaskGraph flow(schema_, "opt");
+  const NodeId goal = flow.add_node("OptimizedNetlist");
+  flow.expand(goal);
+  const auto circuit_inputs = flow.expand(flow.inputs_of(goal)[0]);
+  flow.bind(circuit_inputs[0], models);
+  flow.bind(circuit_inputs[1], netlist);
+  flow.bind(flow.inputs_of(goal)[1], stimuli);
+  // Select BOTH optimizer instances: the task fans out over the tools.
+  flow.bind_set(flow.tool_of(goal), {gradient, annealing});
+
+  const ExecResult result = executor_.run(flow);
+  ASSERT_EQ(result.of(goal).size(), 2u);
+  // Each product records which tool instance made it.
+  EXPECT_EQ(db_.instance(result.of(goal)[0]).derivation.tool, gradient);
+  EXPECT_EQ(db_.instance(result.of(goal)[1]).derivation.tool, annealing);
+  EXPECT_NE(db_.instance(result.of(goal)[0]).derivation.task,
+            db_.instance(result.of(goal)[1]).derivation.task);
+}
+
+TEST_F(ExecutorTest, RunGoalSkipsUnrelatedBranches) {
+  const InstanceId netlist = db_.import_instance(
+      schema_.require("EditedNetlist"), "n",
+      circuit::inverter_netlist().to_text(), "u");
+  const InstanceId models = db_.import_instance(
+      schema_.require("DeviceModels"), "m",
+      circuit::DeviceModelLibrary::standard().to_text(), "u");
+  TaskGraph flow(schema_, "f");
+  // Branch 1: a circuit compose (fully bound).
+  const NodeId circuit = flow.add_node("Circuit");
+  const auto circuit_inputs = flow.expand(circuit);
+  flow.bind(circuit_inputs[0], models);
+  flow.bind(circuit_inputs[1], netlist);
+  // Branch 2: an unbound verification task.
+  const NodeId verification = flow.add_node("Verification");
+  flow.expand(verification);
+
+  const ExecResult result = executor_.run_goal(flow, circuit);
+  EXPECT_EQ(result.tasks_run, 1u);
+  EXPECT_TRUE(result.single(circuit).valid());
+  // run_goal on the unbound branch fails.
+  EXPECT_THROW(executor_.run_goal(flow, verification), FlowError);
+}
+
+TEST_F(ExecutorTest, RetraceOnFreshInstanceIsAnError) {
+  const InstanceId netlist = db_.import_instance(
+      schema_.require("EditedNetlist"), "n",
+      circuit::inverter_netlist().to_text(), "u");
+  EXPECT_THROW(retrace(db_, registry_, netlist), ExecError);
+}
+
+TEST_F(ExecutorTest, LatestVersionFollowsNewestBranch) {
+  const InstanceId editor = db_.import_instance(
+      schema_.require("CircuitEditor"), "e", "set mn value=2\n", "u");
+  const InstanceId v1 = db_.import_instance(
+      schema_.require("EditedNetlist"), "v1",
+      circuit::inverter_netlist().to_text(), "u");
+  const auto edit = [&](InstanceId base) {
+    TaskGraph flow(schema_, "edit");
+    const NodeId goal = flow.add_node("EditedNetlist");
+    flow.expand(goal, graph::ExpandOptions{.include_optional = true});
+    flow.bind(flow.tool_of(goal), editor);
+    flow.bind(flow.inputs_of(goal)[0], base);
+    return executor_.run(flow).single(goal);
+  };
+  const InstanceId v2a = edit(v1);
+  const InstanceId v2b = edit(v1);  // branch, created later
+  EXPECT_EQ(latest_version(db_, v1), v2b);
+  const InstanceId v3 = edit(v2a);
+  // v2a's lineage continues to v3; the walk from v1 prefers the newest
+  // child at each step (v2b is newer than v2a, and v2b has no children).
+  EXPECT_EQ(latest_version(db_, v2a), v3);
+  EXPECT_EQ(latest_version(db_, v1), v2b);
+}
+
+TEST_F(ExecutorTest, SetAcceptingEncapsulationGetsOneCall) {
+  // A batch plotter that renders all selected performances in one call
+  // (the paper: the encapsulation "may pass all of the data to a single
+  // call of the tool").
+  tools::Encapsulation batch;
+  batch.name = "Plotter.batch";
+  batch.tool_type = schema_.require("Plotter");
+  batch.accepts_instance_sets = true;
+  batch.fn = [](const tools::ToolContext& ctx) {
+    const auto& in = ctx.input("Performance");
+    tools::ToolOutput out;
+    out.set("PerformancePlot",
+            "batch of " + std::to_string(in.payloads.size()) + " plots");
+    return out;
+  };
+  registry_.register_encapsulation(std::move(batch));
+  registry_.set_default("Plotter.batch");
+
+  const InstanceId plotter =
+      db_.import_instance(schema_.require("Plotter"), "p", "", "u");
+  const InstanceId perf1 = db_.import_instance(
+      schema_.require("Performance"), "p1", "performance\n", "u");
+  const InstanceId perf2 = db_.import_instance(
+      schema_.require("Performance"), "p2", "performance\nmetric "
+      "max_delay_ps=1\n", "u");
+  TaskGraph flow(schema_, "plots");
+  const NodeId plot = flow.add_node("PerformancePlot");
+  flow.expand(plot);
+  flow.bind(flow.tool_of(plot), plotter);
+  flow.bind_set(flow.inputs_of(plot)[0], {perf1, perf2});
+
+  const ExecResult result = executor_.run(flow);
+  // One call, one product, derivation recording both inputs.
+  EXPECT_EQ(result.tasks_run, 1u);
+  const InstanceId product = result.single(plot);
+  EXPECT_EQ(db_.payload(product), "batch of 2 plots");
+  EXPECT_EQ(db_.instance(product).derivation.inputs,
+            (std::vector<InstanceId>{perf1, perf2}));
+  // With the per-instance default restored, the same flow fans out.
+  registry_.set_default("Plotter.default");
+  const ExecResult fanned = executor_.run(flow);
+  EXPECT_EQ(fanned.tasks_run, 2u);
+  EXPECT_EQ(fanned.of(plot).size(), 2u);
+}
+
+TEST_F(ExecutorTest, SetConsumingDerivationsRetrace) {
+  // Regression: a set-accepting task records more inputs than its schema
+  // arc's multiplicity; its backward trace must still build (relaxed
+  // edges) and retrace must re-run it with the full set.
+  tools::Encapsulation batch;
+  batch.name = "Plotter.batch";
+  batch.tool_type = schema_.require("Plotter");
+  batch.accepts_instance_sets = true;
+  batch.fn = [](const tools::ToolContext& ctx) {
+    std::string joined;
+    for (const std::string& p : ctx.input("Performance").payloads) {
+      joined += p + "|";
+    }
+    tools::ToolOutput out;
+    out.set("PerformancePlot", joined);
+    return out;
+  };
+  registry_.register_encapsulation(std::move(batch));
+  registry_.set_default("Plotter.batch");
+
+  const InstanceId plotter =
+      db_.import_instance(schema_.require("Plotter"), "p", "", "u");
+  const InstanceId editor = db_.import_instance(
+      schema_.require("CircuitEditor"), "e", "set mn value=2\n", "u");
+  // Two "performances" with edit lineage so one can go stale.  (Use
+  // netlist payloads for the editor; the plotter here just concatenates.)
+  const InstanceId perf1 = db_.import_instance(
+      schema_.require("Performance"), "p1", "performance\n", "u");
+  const InstanceId perf2 = db_.import_instance(
+      schema_.require("Performance"), "p2", "performance\n"
+      "metric max_delay_ps=5\n", "u");
+
+  TaskGraph flow(schema_, "plots");
+  const NodeId plot = flow.add_node("PerformancePlot");
+  flow.expand(plot);
+  flow.bind(flow.tool_of(plot), plotter);
+  flow.bind_set(flow.inputs_of(plot)[0], {perf1, perf2});
+  const InstanceId product = executor_.run(flow).single(plot);
+  ASSERT_EQ(db_.instance(product).derivation.inputs.size(), 2u);
+
+  // The backward trace builds despite the arc-multiplicity excess...
+  const graph::TaskGraph trace = history::backward_trace(db_, product);
+  EXPECT_TRUE(trace.relaxed());
+  trace.check();
+  // ...and supersede one input: retrace re-runs the batch with both.
+  history::RecordRequest edit;
+  edit.type = schema_.require("Performance");
+  edit.name = "p1v2";
+  edit.user = "u";
+  edit.payload = "performance\nmetric max_delay_ps=9\n";
+  edit.derivation.tool = editor;
+  edit.derivation.inputs = {perf1};
+  edit.derivation.input_roles = {""};
+  edit.derivation.task = "edit";
+  const InstanceId perf1_v2 = db_.record(edit);
+  EXPECT_TRUE(db_.is_stale(product));
+  const auto fresh = retrace(db_, registry_, product);
+  ASSERT_EQ(fresh.size(), 1u);
+  const auto& new_inputs = db_.instance(fresh[0]).derivation.inputs;
+  ASSERT_EQ(new_inputs.size(), 2u);
+  EXPECT_NE(std::find(new_inputs.begin(), new_inputs.end(), perf1_v2),
+            new_inputs.end());
+  EXPECT_NE(std::find(new_inputs.begin(), new_inputs.end(), perf2),
+            new_inputs.end());
+  // The batch payload contains both performances.
+  EXPECT_NE(db_.payload(fresh[0]).find("max_delay_ps=9"),
+            std::string::npos);
+  EXPECT_NE(db_.payload(fresh[0]).find("max_delay_ps=5"),
+            std::string::npos);
+}
+
+TEST_F(ExecutorTest, ExecResultSingleRejectsFanOut) {
+  ExecResult result;
+  const NodeId n(0);
+  EXPECT_THROW(result.single(n), ExecError);  // nothing produced
+  result.produced[n] = {InstanceId(1), InstanceId(2)};
+  EXPECT_THROW(result.single(n), ExecError);  // fan-out
+  result.produced[n] = {InstanceId(1)};
+  EXPECT_EQ(result.single(n), InstanceId(1));
+}
+
+}  // namespace
+}  // namespace herc::exec

@@ -1,0 +1,338 @@
+// Task-graph / dynamically-defined-flow semantics (§3.2, Figs. 3–5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/task_graph.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+
+namespace herc::graph {
+namespace {
+
+using support::FlowError;
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() : schema_(schema::make_full_schema()) {}
+  schema::TaskSchema schema_;
+};
+
+TEST_F(GraphTest, ExpandPullsInConstructionRule) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  const auto created = flow.expand(perf);
+  // Simulator (tool), Circuit, Stimuli — the optional SimOptions stays out.
+  ASSERT_EQ(created.size(), 3u);
+  EXPECT_TRUE(flow.node(perf).expanded);
+  EXPECT_EQ(schema_.entity_name(flow.node(flow.tool_of(perf)).type),
+            "Simulator");
+  const auto inputs = flow.inputs_of(perf);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(schema_.entity_name(flow.node(inputs[0]).type), "Circuit");
+  EXPECT_EQ(schema_.entity_name(flow.node(inputs[1]).type), "Stimuli");
+}
+
+TEST_F(GraphTest, ExpandWithOptionalIncludesDashedArcs) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  const auto created =
+      flow.expand(perf, ExpandOptions{.include_optional = true});
+  ASSERT_EQ(created.size(), 4u);  // + SimOptions
+  bool saw_options = false;
+  for (const DepEdge& e : flow.deps(perf)) {
+    if (e.role == "options") {
+      saw_options = true;
+      EXPECT_TRUE(e.optional);
+    }
+  }
+  EXPECT_TRUE(saw_options);
+}
+
+TEST_F(GraphTest, ExpandRejectsAbstractSourceAndDouble) {
+  TaskGraph flow(schema_, "f");
+  const NodeId netlist = flow.add_node("Netlist");
+  EXPECT_THROW(flow.expand(netlist), FlowError);  // abstract: specialize
+  const NodeId stim = flow.add_node("Stimuli");
+  EXPECT_THROW(flow.expand(stim), FlowError);  // source entity
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  EXPECT_THROW(flow.expand(perf), FlowError);  // already expanded
+}
+
+TEST_F(GraphTest, SpecializeThenExpand) {
+  // Fig. 4b: the Netlist input is specialized to ExtractedNetlist first.
+  TaskGraph flow(schema_, "f");
+  const NodeId placed = flow.add_node("PlacedLayout");
+  flow.expand(placed);
+  const NodeId netlist = flow.inputs_of(placed)[0];
+  EXPECT_EQ(schema_.entity_name(flow.node(netlist).type), "Netlist");
+  flow.specialize(netlist, schema_.require("ExtractedNetlist"));
+  const auto created = flow.expand(netlist);
+  ASSERT_EQ(created.size(), 2u);  // Extractor + Layout
+  EXPECT_EQ(schema_.entity_name(flow.node(created[1]).type), "Layout");
+  // The original type is remembered.
+  EXPECT_EQ(schema_.entity_name(flow.node(netlist).original_type),
+            "Netlist");
+}
+
+TEST_F(GraphTest, SpecializeRejectsNonSubtypesAndExpandedNodes) {
+  TaskGraph flow(schema_, "f");
+  const NodeId netlist = flow.add_node("Netlist");
+  EXPECT_THROW(flow.specialize(netlist, schema_.require("Layout")),
+               FlowError);
+  EXPECT_THROW(flow.specialize(netlist, schema_.require("Netlist")),
+               FlowError);
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  EXPECT_THROW(flow.specialize(perf, schema_.require("Performance")),
+               FlowError);
+}
+
+TEST_F(GraphTest, UnexpandGarbageCollectsOrphans) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const NodeId circuit = flow.inputs_of(perf)[0];
+  flow.expand(circuit);
+  EXPECT_EQ(flow.node_count(), 6u);
+  flow.unexpand(perf);
+  // Everything auto-created below perf vanishes, including circuit's tree.
+  EXPECT_EQ(flow.node_count(), 1u);
+  EXPECT_FALSE(flow.node(perf).expanded);
+  // The removed node id is dead.
+  EXPECT_THROW(flow.node(circuit), FlowError);
+  EXPECT_THROW(flow.unexpand(perf), FlowError);
+}
+
+TEST_F(GraphTest, UnexpandKeepsSharedNodes) {
+  // A node reused by another task survives its first consumer's unexpand.
+  TaskGraph flow(schema_, "f");
+  const NodeId p1 = flow.add_node("Performance");
+  flow.expand(p1);
+  const NodeId circuit = flow.inputs_of(p1)[0];
+  const NodeId p2 = flow.add_node("Performance");
+  flow.connect(p2, circuit);  // reuse
+  flow.unexpand(p1);
+  // Circuit is still referenced by p2.
+  EXPECT_EQ(schema_.entity_name(flow.node(circuit).type), "Circuit");
+  EXPECT_EQ(flow.inputs_of(p2), std::vector<NodeId>{circuit});
+}
+
+TEST_F(GraphTest, UnexpandKeepsUserPlacedNodes) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  const NodeId sim = flow.add_node("Simulator");  // user-placed
+  flow.connect(perf, sim);
+  flow.unexpand(perf);
+  // The user's node stays even though it is now orphaned.
+  EXPECT_EQ(schema_.entity_name(flow.node(sim).type), "Simulator");
+}
+
+TEST_F(GraphTest, ConnectMatchesFreeArcsOnly) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  const NodeId st1 = flow.add_node("Stimuli");
+  const NodeId st2 = flow.add_node("Stimuli");
+  flow.connect(perf, st1);
+  // The Stimuli arc is now taken.
+  EXPECT_THROW(flow.connect(perf, st2), FlowError);
+  // A Layout satisfies no arc of Performance at all.
+  const NodeId layout = flow.add_node("PlacedLayout");
+  EXPECT_THROW(flow.connect(perf, layout), FlowError);
+}
+
+TEST_F(GraphTest, ConnectWiresToolsAsFunctionalDeps) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  const NodeId sim = flow.add_node("Simulator");
+  flow.connect(perf, sim);
+  EXPECT_EQ(flow.tool_of(perf), sim);
+}
+
+TEST_F(GraphTest, ExpandUpWiresIntoConsumer) {
+  // Data-based growth: from a Performance up to its plot.
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  const NodeId plot =
+      flow.expand_up(perf, schema_.require("PerformancePlot"));
+  EXPECT_EQ(flow.inputs_of(plot), std::vector<NodeId>{perf});
+  EXPECT_EQ(schema_.entity_name(flow.node(flow.tool_of(plot)).type),
+            "Plotter");
+  EXPECT_TRUE(flow.node(plot).expanded);
+}
+
+TEST_F(GraphTest, ExpandUpFromToolWiresFunctionalArc) {
+  // A tool node grows upward into the task it runs.
+  TaskGraph flow(schema_, "f");
+  const NodeId sim = flow.add_node("Simulator");
+  const NodeId perf = flow.expand_up(sim, schema_.require("Performance"));
+  EXPECT_EQ(flow.tool_of(perf), sim);
+  EXPECT_EQ(flow.inputs_of(perf).size(), 2u);  // Circuit + Stimuli created
+}
+
+TEST_F(GraphTest, ExpandUpRejectsIncompatibleConsumer) {
+  TaskGraph flow(schema_, "f");
+  const NodeId stim = flow.add_node("Stimuli");
+  EXPECT_THROW(flow.expand_up(stim, schema_.require("Verification")),
+               FlowError);
+}
+
+TEST_F(GraphTest, CoOutputSharesToolAndInputs) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const NodeId stats = flow.add_co_output(perf, schema_.require("Statistics"));
+  EXPECT_EQ(flow.tool_of(stats), flow.tool_of(perf));
+  EXPECT_EQ(flow.inputs_of(stats), flow.inputs_of(perf));
+  // One task group with two outputs.
+  const auto groups = flow.task_groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].outputs.size(), 2u);
+}
+
+TEST_F(GraphTest, CoOutputRejectsWrongTool) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  EXPECT_THROW(flow.add_co_output(perf, schema_.require("Verification")),
+               FlowError);
+}
+
+TEST_F(GraphTest, TaskGroupsAreTopologicallyOrdered) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  flow.expand(flow.inputs_of(perf)[0]);  // circuit compose below simulate
+  const auto groups = flow.task_groups();
+  ASSERT_EQ(groups.size(), 2u);
+  // The compose group must precede the simulate group.
+  EXPECT_FALSE(groups[0].tool.valid());
+  EXPECT_TRUE(groups[1].tool.valid());
+}
+
+TEST_F(GraphTest, RunnableAndUnboundLeaves) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  EXPECT_FALSE(flow.runnable(perf));
+  EXPECT_EQ(flow.unbound_leaves().size(), 3u);
+  for (const NodeId leaf : flow.leaves()) {
+    flow.bind(leaf, data::InstanceId(0));
+  }
+  EXPECT_TRUE(flow.runnable(perf));
+  EXPECT_TRUE(flow.unbound_leaves().empty());
+  flow.unbind(flow.leaves().front());
+  EXPECT_FALSE(flow.runnable(perf));
+}
+
+TEST_F(GraphTest, SubflowExtractsClosure) {
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const NodeId circuit = flow.inputs_of(perf)[0];
+  flow.expand(circuit);
+  const TaskGraph sub = flow.subflow(circuit);
+  EXPECT_EQ(sub.node_count(), 3u);  // Circuit + DeviceModels + Netlist
+  EXPECT_EQ(sub.goals().size(), 1u);
+}
+
+TEST_F(GraphTest, LispFormMatchesPaperFootnote) {
+  TaskGraph flow(schema_, "f");
+  const NodeId placed = flow.add_node("PlacedLayout");
+  flow.expand(placed);
+  const NodeId netlist = flow.inputs_of(placed)[0];
+  flow.specialize(netlist, schema_.require("EditedNetlist"));
+  flow.expand(netlist);
+  EXPECT_EQ(flow.to_lisp(placed),
+            "PlacedLayout(Placer, EditedNetlist(CircuitEditor))");
+}
+
+TEST_F(GraphTest, SaveLoadRoundTrip) {
+  TaskGraph flow(schema_, "roundtrip");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf, ExpandOptions{.include_optional = true});
+  flow.expand(flow.inputs_of(perf)[0]);
+  flow.set_label(perf, "LPF Simulation");
+  flow.bind(flow.inputs_of(perf)[1], data::InstanceId(7));
+  flow.bind_set(flow.tool_of(perf), {data::InstanceId(1),
+                                     data::InstanceId(2)});
+  const std::string text = flow.save();
+  const TaskGraph back = TaskGraph::load(schema_, text);
+  EXPECT_EQ(back.name(), "roundtrip");
+  EXPECT_EQ(back.node_count(), flow.node_count());
+  EXPECT_EQ(back.save(), text);
+  // Specialization state survives.
+  const NodeId back_perf = back.goals().front();
+  EXPECT_EQ(back.node(back_perf).label, "LPF Simulation");
+  EXPECT_EQ(back.bindings(back.tool_of(back_perf)).size(), 2u);
+}
+
+TEST_F(GraphTest, LoadRejectsWrongSchemaAndGarbage) {
+  TaskGraph flow(schema_, "f");
+  flow.add_node("Performance");
+  const std::string text = flow.save();
+  const schema::TaskSchema other = schema::make_fig2_schema();
+  EXPECT_THROW(TaskGraph::load(other, text), support::ParseError);
+  EXPECT_THROW(TaskGraph::load(schema_, "gibberish|1"),
+               support::ParseError);
+}
+
+TEST_F(GraphTest, BindSetRequiresInstances) {
+  TaskGraph flow(schema_, "f");
+  const NodeId n = flow.add_node("Stimuli");
+  EXPECT_THROW(flow.bind_set(n, {}), FlowError);
+}
+
+TEST_F(GraphTest, ConnectRoleTargetsSpecificArcs) {
+  // PerformanceDiff has two same-type arcs, roles golden/candidate.
+  TaskGraph flow(schema_, "f");
+  const NodeId diff = flow.add_node("PerformanceDiff");
+  const NodeId p1 = flow.add_node("Performance");
+  const NodeId p2 = flow.add_node("Performance");
+  flow.connect_role(diff, p1, "candidate");
+  // The candidate arc is taken; another candidate fails, golden works.
+  EXPECT_THROW(flow.connect_role(diff, p2, "candidate"), FlowError);
+  EXPECT_THROW(flow.connect_role(diff, p2, "nonsense"), FlowError);
+  flow.connect_role(diff, p2, "golden");
+  flow.check();
+  // The role-blind connect() on a third performance finds nothing free.
+  const NodeId p3 = flow.add_node("Performance");
+  EXPECT_THROW(flow.connect(diff, p3), FlowError);
+}
+
+TEST_F(GraphTest, TraceEdgesRelaxArcMultiplicity) {
+  // Two same-role edges into one arc: illegal for designer-built flows,
+  // legal for trace graphs (recorded set consumption).
+  TaskGraph flow(schema_, "trace");
+  const NodeId plot = flow.add_node("PerformancePlot");
+  const NodeId p1 = flow.add_node("Performance");
+  const NodeId p2 = flow.add_node("Performance");
+  EXPECT_FALSE(flow.relaxed());
+  flow.add_trace_edge(plot, p1, schema::DepKind::kData, "");
+  flow.add_trace_edge(plot, p2, schema::DepKind::kData, "");
+  EXPECT_TRUE(flow.relaxed());
+  flow.check();  // multiplicity allowed in relaxed mode
+  // Nonconforming trace edges still fail.
+  const NodeId layout = flow.add_node("PlacedLayout");
+  EXPECT_THROW(
+      flow.add_trace_edge(plot, layout, schema::DepKind::kData, ""),
+      FlowError);
+  // The relaxed flag survives save/load.
+  const TaskGraph back = TaskGraph::load(schema_, flow.save());
+  EXPECT_TRUE(back.relaxed());
+  back.check();
+}
+
+TEST_F(GraphTest, CheckRejectsCorruptedFlows) {
+  // A hand-crafted edge that violates the schema must be caught.
+  TaskGraph flow(schema_, "f");
+  const NodeId perf = flow.add_node("Performance");
+  const NodeId verif = flow.add_node("Verification");
+  // Performance's rule has no arc accepting a Verification.
+  EXPECT_THROW(flow.connect(perf, verif), FlowError);
+  flow.check();  // untouched flow stays valid
+}
+
+}  // namespace
+}  // namespace herc::graph

@@ -1,0 +1,358 @@
+// End-to-end integration: build a flow on the Fig. 1 schema by expand
+// operations, bind instances, execute, and query the design history —
+// the paper's §4.1 walk-through ("obtain a circuit performance from an
+// existing netlist") as a test.
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/stimuli.hpp"
+#include "exec/consistency.hpp"
+#include "exec/executor.hpp"
+#include "graph/task_graph.hpp"
+#include "history/flow_trace.hpp"
+#include "history/history_db.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/clock.hpp"
+#include "support/error.hpp"
+#include "tools/standard_tools.hpp"
+
+namespace herc {
+namespace {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : schema_(schema::make_full_schema()),
+        clock_(1'000'000'000, 1'000),
+        db_(schema_, clock_),
+        registry_(schema_),
+        executor_(db_, registry_) {
+    tools::install_standard_compose_checks(schema_);
+    tools::register_standard_tools(registry_);
+  }
+
+  /// Imports the standard source instances most tests need.
+  void import_basics() {
+    netlist_ = db_.import_instance(
+        schema_.require("EditedNetlist"), "full adder",
+        circuit::full_adder_netlist().to_text(), "sutton");
+    models_ = db_.import_instance(
+        schema_.require("DeviceModels"), "standard models",
+        circuit::DeviceModelLibrary::standard().to_text(), "jbb");
+    stimuli_ = db_.import_instance(
+        schema_.require("Stimuli"), "counter stimuli",
+        circuit::Stimuli::counter({"a", "b", "cin"}, 1000).to_text(),
+        "sutton");
+    simulator_ = db_.import_instance(schema_.require("Simulator"),
+                                     "switchsim v1", "", "director");
+  }
+
+  schema::TaskSchema schema_;
+  support::ManualClock clock_;
+  history::HistoryDb db_;
+  tools::ToolRegistry registry_;
+  exec::Executor executor_;
+  InstanceId netlist_;
+  InstanceId models_;
+  InstanceId stimuli_;
+  InstanceId simulator_;
+};
+
+TEST_F(IntegrationTest, GoalBasedSimulationFlow) {
+  import_basics();
+  // Goal-based approach: start from the goal entity and expand.
+  TaskGraph flow(schema_, "simulate");
+  const NodeId perf = flow.add_node("Performance");
+  const auto created = flow.expand(perf);
+  ASSERT_EQ(created.size(), 3u);  // Simulator, Circuit, Stimuli
+  const NodeId sim_node = flow.tool_of(perf);
+  const auto inputs = flow.inputs_of(perf);
+  const NodeId circuit_node = inputs[0];
+  const NodeId stim_node = inputs[1];
+  // Expand the composite circuit into models + netlist.
+  const auto circuit_inputs = flow.expand(circuit_node);
+  ASSERT_EQ(circuit_inputs.size(), 2u);
+
+  flow.bind(sim_node, simulator_);
+  flow.bind(stim_node, stimuli_);
+  flow.bind(circuit_inputs[0], models_);
+  flow.bind(circuit_inputs[1], netlist_);
+
+  const exec::ExecResult result = executor_.run(flow);
+  EXPECT_EQ(result.tasks_run, 2u);  // compose + simulate
+  const InstanceId perf_inst = result.single(perf);
+
+  // The performance payload parses and contains the adder's outputs.
+  const circuit::SimResult sim =
+      circuit::SimResult::from_text(db_.payload(perf_inst));
+  EXPECT_TRUE(sim.has_wave("sum"));
+  EXPECT_TRUE(sim.has_wave("cout"));
+  EXPECT_EQ(sim.stats.x_nets, 0u);
+
+  // Backward chaining finds the netlist in the derivation closure.
+  const auto closure = db_.derivation_closure(perf_inst);
+  EXPECT_NE(std::find(closure.begin(), closure.end(), netlist_),
+            closure.end());
+  // Forward chaining from the netlist reaches the performance.
+  const auto dependents = db_.dependent_closure(netlist_);
+  EXPECT_NE(std::find(dependents.begin(), dependents.end(), perf_inst),
+            dependents.end());
+}
+
+TEST_F(IntegrationTest, MultiOutputTaskRunsOnce) {
+  import_basics();
+  TaskGraph flow(schema_, "sim_with_stats");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  // Multi-output: Statistics shares the same simulator invocation (Fig. 5).
+  const NodeId stats = flow.add_co_output(perf, schema_.require("Statistics"));
+  EXPECT_EQ(flow.tool_of(stats), flow.tool_of(perf));
+  EXPECT_EQ(flow.inputs_of(stats), flow.inputs_of(perf));
+
+  const NodeId circuit_node = flow.inputs_of(perf)[0];
+  const auto circuit_inputs = flow.expand(circuit_node);
+  flow.bind(flow.tool_of(perf), simulator_);
+  flow.bind(flow.inputs_of(perf)[1], stimuli_);
+  flow.bind(circuit_inputs[0], models_);
+  flow.bind(circuit_inputs[1], netlist_);
+
+  const exec::ExecResult result = executor_.run(flow);
+  EXPECT_EQ(result.tasks_run, 2u);  // compose + one simulate for two outputs
+  const InstanceId perf_inst = result.single(perf);
+  const InstanceId stats_inst = result.single(stats);
+  EXPECT_NE(perf_inst, stats_inst);
+  // Both share the same derivation inputs.
+  EXPECT_EQ(db_.instance(perf_inst).derivation.inputs,
+            db_.instance(stats_inst).derivation.inputs);
+}
+
+TEST_F(IntegrationTest, InstanceSetFanOut) {
+  import_basics();
+  const InstanceId stimuli2 = db_.import_instance(
+      schema_.require("Stimuli"), "random stimuli",
+      circuit::Stimuli::random({"a", "b", "cin"}, 1000, 12, 7).to_text(),
+      "sutton");
+
+  TaskGraph flow(schema_, "sweep");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const NodeId circuit_node = flow.inputs_of(perf)[0];
+  const auto circuit_inputs = flow.expand(circuit_node);
+  flow.bind(flow.tool_of(perf), simulator_);
+  flow.bind(circuit_inputs[0], models_);
+  flow.bind(circuit_inputs[1], netlist_);
+  // Select a *set* of stimuli: the task runs once per member (§4.1).
+  flow.bind_set(flow.inputs_of(perf)[1], {stimuli_, stimuli2});
+
+  const exec::ExecResult result = executor_.run(flow);
+  EXPECT_EQ(result.of(perf).size(), 2u);
+  EXPECT_EQ(result.tasks_run, 3u);  // 1 compose + 2 simulations
+}
+
+TEST_F(IntegrationTest, ToolProducedByTaskIsExecutable) {
+  import_basics();
+  const InstanceId compiler = db_.import_instance(
+      schema_.require("SimCompiler"), "cosmos compiler", "", "bryant");
+
+  // Fig. 2: compile a simulator for the netlist, then run it on stimuli.
+  TaskGraph flow(schema_, "cosmos");
+  const NodeId sw_perf = flow.add_node("SwitchPerformance");
+  flow.expand(sw_perf);
+  const NodeId compiled = flow.tool_of(sw_perf);
+  ASSERT_TRUE(compiled.valid());
+  // Expand the *tool node*: it is produced by the compiler.
+  const auto compile_inputs = flow.expand(compiled);
+  ASSERT_EQ(compile_inputs.size(), 2u);  // SimCompiler + Netlist
+  flow.bind(compile_inputs[0], compiler);
+  flow.bind(compile_inputs[1], netlist_);
+  flow.bind(flow.inputs_of(sw_perf)[0], stimuli_);
+
+  const exec::ExecResult result = executor_.run(flow);
+  EXPECT_EQ(result.tasks_run, 2u);
+  const InstanceId perf_inst = result.single(sw_perf);
+  const circuit::SimResult sim =
+      circuit::SimResult::from_text(db_.payload(perf_inst));
+  EXPECT_TRUE(sim.has_wave("sum"));
+  // The compiled simulator itself is in the history as a tool instance.
+  const InstanceId compiled_inst = result.single(compiled);
+  EXPECT_TRUE(schema_.is_tool(db_.instance(compiled_inst).type));
+  EXPECT_FALSE(db_.payload(compiled_inst).empty());
+}
+
+TEST_F(IntegrationTest, ConsistencyMemoizationSkipsFreshTasks) {
+  import_basics();
+  TaskGraph flow(schema_, "simulate");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const NodeId circuit_node = flow.inputs_of(perf)[0];
+  const auto circuit_inputs = flow.expand(circuit_node);
+  flow.bind(flow.tool_of(perf), simulator_);
+  flow.bind(flow.inputs_of(perf)[1], stimuli_);
+  flow.bind(circuit_inputs[0], models_);
+  flow.bind(circuit_inputs[1], netlist_);
+
+  exec::ExecOptions options;
+  options.reuse_existing = true;
+  const exec::ExecResult first = executor_.run(flow, options);
+  EXPECT_EQ(first.tasks_run, 2u);
+  EXPECT_EQ(first.tasks_reused, 0u);
+  const exec::ExecResult second = executor_.run(flow, options);
+  EXPECT_EQ(second.tasks_run, 0u);
+  EXPECT_EQ(second.tasks_reused, 2u);
+  EXPECT_EQ(first.single(perf), second.single(perf));
+}
+
+TEST_F(IntegrationTest, StaleDetectionAndRetrace) {
+  import_basics();
+  // Simulate once.
+  TaskGraph flow(schema_, "simulate");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const NodeId circuit_node = flow.inputs_of(perf)[0];
+  const auto circuit_inputs = flow.expand(circuit_node);
+  flow.bind(flow.tool_of(perf), simulator_);
+  flow.bind(flow.inputs_of(perf)[1], stimuli_);
+  flow.bind(circuit_inputs[0], models_);
+  flow.bind(circuit_inputs[1], netlist_);
+  const InstanceId perf_v1 = executor_.run(flow).single(perf);
+  EXPECT_FALSE(db_.is_stale(perf_v1));
+
+  // Edit the netlist (a new version appears in the history).
+  const InstanceId editor = db_.import_instance(
+      schema_.require("CircuitEditor"), "resize edit",
+      "set x1.u1.mn1 value=2\n", "sutton");
+  TaskGraph edit_flow(schema_, "edit");
+  const NodeId edited = edit_flow.add_node("EditedNetlist");
+  edit_flow.expand(edited, graph::ExpandOptions{.include_optional = true});
+  edit_flow.bind(edit_flow.tool_of(edited), editor);
+  edit_flow.bind(edit_flow.inputs_of(edited)[0], netlist_);
+  const InstanceId netlist_v2 = executor_.run(edit_flow).single(edited);
+  EXPECT_EQ(db_.instance(netlist_v2).version, 2u);
+
+  // The old performance is now stale; retrace freshens it.
+  EXPECT_TRUE(db_.is_stale(perf_v1));
+  const auto report = exec::check_consistency(db_, perf_v1);
+  ASSERT_EQ(report.replacements.size(), 1u);
+  EXPECT_EQ(report.replacements[0].superseded, netlist_);
+  EXPECT_EQ(report.replacements[0].latest, netlist_v2);
+
+  const auto fresh = exec::retrace(db_, registry_, perf_v1);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_FALSE(db_.is_stale(fresh[0]));
+  // The retraced performance derives from the new netlist version: its
+  // circuit was re-composed over netlist v2, not v1.  (v1 stays in the
+  // *deep* closure — v2's own edit derivation references it.)
+  const auto closure = db_.derivation_closure(fresh[0]);
+  EXPECT_NE(std::find(closure.begin(), closure.end(), netlist_v2),
+            closure.end());
+  const auto& circuit_inputs_used =
+      db_.instance(db_.instance(fresh[0]).derivation.inputs.front())
+          .derivation.inputs;
+  EXPECT_NE(std::find(circuit_inputs_used.begin(), circuit_inputs_used.end(),
+                      netlist_v2),
+            circuit_inputs_used.end());
+  EXPECT_EQ(std::find(circuit_inputs_used.begin(), circuit_inputs_used.end(),
+                      netlist_),
+            circuit_inputs_used.end());
+}
+
+TEST_F(IntegrationTest, TemplateQueryFindsSimulationsOfNetlist) {
+  import_basics();
+  // Run two simulations with different stimuli plus one unrelated edit.
+  const InstanceId stimuli2 = db_.import_instance(
+      schema_.require("Stimuli"), "random stimuli",
+      circuit::Stimuli::random({"a", "b", "cin"}, 1000, 8, 3).to_text(),
+      "sutton");
+  TaskGraph flow(schema_, "simulate");
+  const NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const NodeId circuit_node = flow.inputs_of(perf)[0];
+  const auto circuit_inputs = flow.expand(circuit_node);
+  flow.bind(flow.tool_of(perf), simulator_);
+  flow.bind(circuit_inputs[0], models_);
+  flow.bind(circuit_inputs[1], netlist_);
+  flow.bind_set(flow.inputs_of(perf)[1], {stimuli_, stimuli2});
+  executor_.run(flow);
+
+  // Template query (§4.2): performances whose circuit used this netlist.
+  TaskGraph pattern(schema_, "query");
+  const NodeId q_perf = pattern.add_node("Performance");
+  pattern.expand(q_perf);
+  const NodeId q_circ = pattern.inputs_of(q_perf)[0];
+  const auto q_circ_inputs = pattern.expand(q_circ);
+  pattern.bind(q_circ_inputs[1], netlist_);
+
+  const auto hits = history::query_template(db_, pattern, q_perf);
+  EXPECT_EQ(hits.size(), 2u);
+
+  // Binding a specific stimuli narrows it to one.
+  pattern.bind(pattern.inputs_of(q_perf)[1], stimuli2);
+  const auto narrowed = history::query_template(db_, pattern, q_perf);
+  ASSERT_EQ(narrowed.size(), 1u);
+  EXPECT_EQ(db_.instance(narrowed[0]).derivation.inputs.back(), stimuli2);
+}
+
+TEST_F(IntegrationTest, ComposeConsistencyCheckRejectsMissingModels) {
+  import_basics();
+  const InstanceId empty_models = db_.import_instance(
+      schema_.require("DeviceModels"), "empty models",
+      circuit::DeviceModelLibrary("empty").to_text(), "sutton");
+  TaskGraph flow(schema_, "bad_compose");
+  const NodeId circuit_node = flow.add_node("Circuit");
+  const auto inputs = flow.expand(circuit_node);
+  flow.bind(inputs[0], empty_models);
+  flow.bind(inputs[1], netlist_);
+  EXPECT_THROW(executor_.run(flow), support::ExecError);
+}
+
+TEST_F(IntegrationTest, ParallelAndSerialProduceSameResults) {
+  import_basics();
+  // Two disjoint simulate branches (Fig. 6) under one flow: build two
+  // independent Performance tasks over different stimuli.
+  const InstanceId stimuli2 = db_.import_instance(
+      schema_.require("Stimuli"), "random stimuli",
+      circuit::Stimuli::random({"a", "b", "cin"}, 1000, 8, 3).to_text(),
+      "sutton");
+  const auto build = [&](TaskGraph& flow) {
+    for (const InstanceId st : {stimuli_, stimuli2}) {
+      const NodeId perf = flow.add_node("Performance");
+      flow.expand(perf);
+      const NodeId circuit_node = flow.inputs_of(perf)[0];
+      const auto circuit_inputs = flow.expand(circuit_node);
+      flow.bind(flow.tool_of(perf), simulator_);
+      flow.bind(flow.inputs_of(perf)[1], st);
+      flow.bind(circuit_inputs[0], models_);
+      flow.bind(circuit_inputs[1], netlist_);
+    }
+  };
+  TaskGraph serial_flow(schema_, "serial");
+  build(serial_flow);
+  const exec::ExecResult serial = executor_.run(serial_flow);
+
+  TaskGraph parallel_flow(schema_, "parallel");
+  build(parallel_flow);
+  exec::ExecOptions options;
+  options.parallel = true;
+  options.max_threads = 4;
+  const exec::ExecResult parallel = executor_.run(parallel_flow, options);
+
+  EXPECT_EQ(serial.tasks_run, parallel.tasks_run);
+  // Same payloads produced for the goals (blob keys are content hashes).
+  for (const NodeId goal : serial_flow.goals()) {
+    const auto s = db_.instance(serial.single(goal)).blob;
+    bool matched = false;
+    for (const NodeId pgoal : parallel_flow.goals()) {
+      matched |= (db_.instance(parallel.single(pgoal)).blob == s);
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+}  // namespace
+}  // namespace herc

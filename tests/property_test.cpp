@@ -1,0 +1,388 @@
+// Property-style sweeps over randomized flows and schemas (TEST_P).
+//
+// Invariants checked:
+//  * any flow grown by random legal expand/specialize/connect operations
+//    passes full schema-conformance checking and round-trips through text;
+//  * executing a flow records exactly its task groups in the history, and
+//    every product's derivation mirrors the flow structure;
+//  * parallel and serial execution produce identical payloads;
+//  * version trees are always contained in their lineage traces;
+//  * the simulator is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/stimuli.hpp"
+#include "core/session.hpp"
+#include "exec/executor.hpp"
+#include "history/flow_trace.hpp"
+#include "schema/schema_io.hpp"
+#include "schema/standard_schemas.hpp"
+
+namespace herc {
+namespace {
+
+using graph::NodeId;
+using graph::TaskGraph;
+
+/// Deterministic xorshift for the sweeps.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  std::size_t below(std::size_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Grows a random, always-legal flow on the full schema by repeatedly
+/// picking an applicable operation.
+TaskGraph grow_random_flow(const schema::TaskSchema& schema,
+                           std::uint64_t seed, std::size_t ops) {
+  Rng rng(seed);
+  TaskGraph flow(schema, "random" + std::to_string(seed));
+  const std::vector<std::string> seeds{"Performance", "Verification",
+                                       "PerformancePlot", "PlacedLayout",
+                                       "SwitchPerformance", "Circuit"};
+  flow.add_node(seeds[rng.below(seeds.size())]);
+  for (std::size_t op = 0; op < ops; ++op) {
+    const auto nodes = flow.nodes();
+    const NodeId n = nodes[rng.below(nodes.size())];
+    const auto& node = flow.node(n);
+    switch (rng.below(3)) {
+      case 0: {  // expand when legal
+        if (!node.expanded && !schema.is_abstract(node.type) &&
+            !schema.is_source(node.type) && flow.deps(n).empty()) {
+          flow.expand(n, graph::ExpandOptions{
+                             .include_optional = rng.below(2) == 0});
+        }
+        break;
+      }
+      case 1: {  // specialize an abstract unexpanded node
+        if (!node.expanded && schema.is_abstract(node.type)) {
+          const auto choices = schema.concrete_descendants(node.type);
+          if (!choices.empty()) {
+            flow.specialize(n, choices[rng.below(choices.size())]);
+          }
+        }
+        break;
+      }
+      default: {  // co-output when the tool supports another product
+        if (flow.tool_of(n).valid()) {
+          const auto tool_type = flow.node(flow.tool_of(n)).type;
+          for (const char* extra : {"Statistics", "SwitchStatistics"}) {
+            const auto t = schema.find(extra);
+            if (t.valid() &&
+                schema.construction(t).has_tool() &&
+                schema.is_ancestor_or_self(schema.construction(t).tool,
+                                           tool_type) &&
+                rng.below(2) == 0) {
+              flow.add_co_output(n, t);
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return flow;
+}
+
+class RandomFlowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFlowTest, GrownFlowsAlwaysConform) {
+  const schema::TaskSchema schema = schema::make_full_schema();
+  const TaskGraph flow = grow_random_flow(schema, GetParam(), 40);
+  // Every grown flow passes the schema check...
+  flow.check();
+  // ...and round-trips through its text form exactly.
+  const std::string text = flow.save();
+  const TaskGraph back = TaskGraph::load(schema, text);
+  EXPECT_EQ(back.save(), text);
+  EXPECT_EQ(back.node_count(), flow.node_count());
+  // Task groups are consistent: every computable node appears in exactly
+  // one group's outputs.
+  std::size_t computable = 0;
+  for (const NodeId n : flow.nodes()) {
+    computable += flow.deps(n).empty() ? 0 : 1;
+  }
+  std::size_t grouped = 0;
+  for (const auto& group : flow.task_groups()) grouped += group.outputs.size();
+  EXPECT_EQ(grouped, computable);
+}
+
+TEST_P(RandomFlowTest, SubflowsOfRandomFlowsConform) {
+  const schema::TaskSchema schema = schema::make_full_schema();
+  const TaskGraph flow = grow_random_flow(schema, GetParam(), 40);
+  for (const NodeId goal : flow.goals()) {
+    const TaskGraph sub = flow.subflow(goal);
+    sub.check();
+    EXPECT_LE(sub.node_count(), flow.node_count());
+    EXPECT_EQ(sub.node_count(), flow.closure(goal).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlowTest,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{13}));
+
+class ExecutionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ExecutionPropertyTest()
+      : session_(schema::make_full_schema(), "prop",
+                 std::make_unique<support::ManualClock>(0, 1)) {}
+
+  /// A runnable random-ish flow: 1-3 simulate branches over shared or
+  /// private circuits.
+  TaskGraph build_runnable(Rng& rng) {
+    const auto netlist = session_.import_data(
+        "EditedNetlist", "n",
+        circuit::inverter_chain(2 + rng.below(3)).to_text());
+    const auto models = session_.import_data(
+        "DeviceModels", "m",
+        circuit::DeviceModelLibrary::standard().to_text());
+    const auto simulator = session_.import_data("Simulator", "s", "");
+    TaskGraph flow(session_.schema(), "prop");
+    const std::size_t branches = 1 + rng.below(3);
+    for (std::size_t b = 0; b < branches; ++b) {
+      const auto stimuli = session_.import_data(
+          "Stimuli", "st" + std::to_string(b),
+          circuit::Stimuli::random({"in"}, 1000, 8, rng.next()).to_text());
+      const NodeId perf = flow.add_node("Performance");
+      flow.expand(perf);
+      const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+      flow.bind(flow.tool_of(perf), simulator);
+      flow.bind(flow.inputs_of(perf)[1], stimuli);
+      flow.bind(circuit_inputs[0], models);
+      flow.bind(circuit_inputs[1], netlist);
+      if (rng.below(2) == 0) {
+        flow.add_co_output(perf, session_.schema().require("Statistics"));
+      }
+    }
+    return flow;
+  }
+
+  core::DesignSession session_;
+};
+
+TEST_P(ExecutionPropertyTest, HistoryMirrorsFlowStructure) {
+  Rng rng(GetParam());
+  const TaskGraph flow = build_runnable(rng);
+  const auto before = session_.db().size();
+  const auto result = session_.run(flow);
+  // One instance per computable node (no fan-out here).
+  std::size_t computable = 0;
+  for (const NodeId n : flow.nodes()) {
+    computable += flow.deps(n).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(session_.db().size() - before, computable);
+  // Each product's derivation matches the flow edges.
+  for (const NodeId n : flow.nodes()) {
+    if (flow.deps(n).empty()) continue;
+    const auto inst = result.single(n);
+    const auto& derivation = session_.db().instance(inst).derivation;
+    EXPECT_EQ(derivation.inputs.size(), flow.inputs_of(n).size());
+    const NodeId tool = flow.tool_of(n);
+    if (tool.valid()) {
+      EXPECT_EQ(derivation.tool, flow.bindings(tool).empty()
+                                     ? result.single(tool)
+                                     : flow.bindings(tool).front());
+    } else {
+      EXPECT_FALSE(derivation.tool.valid());
+    }
+    // The backward trace of the product embeds the flow shape: closure
+    // size equals the flow closure size.
+    EXPECT_EQ(session_.db().derivation_closure(inst).size(),
+              flow.closure(n).size() - 1);
+  }
+}
+
+TEST_P(ExecutionPropertyTest, ParallelMatchesSerialPayloads) {
+  Rng rng(GetParam());
+  const TaskGraph flow = build_runnable(rng);
+  const auto serial = session_.run(flow);
+  exec::ExecOptions options;
+  options.parallel = true;
+  options.max_threads = 3;
+  const auto parallel = session_.run(flow, options);
+  EXPECT_EQ(serial.tasks_run, parallel.tasks_run);
+  for (const NodeId goal : flow.goals()) {
+    EXPECT_EQ(session_.db().instance(serial.single(goal)).blob,
+              session_.db().instance(parallel.single(goal)).blob);
+  }
+}
+
+TEST_P(ExecutionPropertyTest, VersionTreeWithinLineageTrace) {
+  Rng rng(GetParam());
+  const auto base = session_.import_data(
+      "EditedNetlist", "v1", circuit::inverter_netlist().to_text());
+  const auto editor = session_.import_data("CircuitEditor", "e",
+                                           "set mn value=2\n");
+  // Random edit tree: each new version edits a random existing one.
+  std::vector<data::InstanceId> versions{base};
+  for (std::size_t i = 0; i < 6; ++i) {
+    TaskGraph edit(session_.schema(), "edit");
+    const NodeId goal = edit.add_node("EditedNetlist");
+    edit.expand(goal, graph::ExpandOptions{.include_optional = true});
+    edit.bind(edit.tool_of(goal), editor);
+    edit.bind(edit.inputs_of(goal)[0],
+              versions[rng.below(versions.size())]);
+    versions.push_back(session_.run(edit).single(goal));
+  }
+  const auto member = versions[rng.below(versions.size())];
+  const auto tree = history::version_tree(session_.db(), member);
+  const TaskGraph trace = history::lineage_trace(session_.db(), member);
+  // Every tree entry is bound somewhere in the trace.
+  for (const auto& entry : tree.entries) {
+    bool found = false;
+    for (const NodeId n : trace.nodes()) {
+      found |= !trace.bindings(n).empty() &&
+               trace.bindings(n).front() == entry.instance;
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(tree.entries.size(), versions.size());
+  // Version numbers equal 1 + tree depth of each entry.
+  for (const auto& entry : tree.entries) {
+    std::uint32_t depth = 1;
+    auto cur = entry;
+    while (cur.parent.valid()) {
+      ++depth;
+      for (const auto& e : tree.entries) {
+        if (e.instance == cur.parent) {
+          cur = e;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(entry.version, depth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutionPropertyTest,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{9}));
+
+/// Random schema generator: a layered DAG with randomized subtyping,
+/// optional arcs, composites and roles — always valid by construction.
+schema::TaskSchema random_schema(std::uint64_t seed) {
+  Rng rng(seed);
+  schema::TaskSchema s("random" + std::to_string(seed));
+  std::vector<schema::EntityTypeId> producible;
+  const std::size_t sources = 2 + rng.below(3);
+  for (std::size_t i = 0; i < sources; ++i) {
+    producible.push_back(s.add_data("src" + std::to_string(i)));
+  }
+  const std::size_t layers = 1 + rng.below(4);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::size_t width = 1 + rng.below(3);
+    std::vector<schema::EntityTypeId> next;
+    for (std::size_t w = 0; w < width; ++w) {
+      const std::string suffix = std::to_string(l) + "_" + std::to_string(w);
+      const auto tool = s.add_tool("tool" + suffix);
+      if (rng.below(4) == 0) {
+        // Abstract family with two concrete construction methods.
+        const auto base = s.add_data("fam" + suffix, /*abstract=*/true);
+        const auto a = s.add_subtype("famA" + suffix, base);
+        const auto b = s.add_subtype("famB" + suffix, base);
+        const auto tool2 = s.add_tool("toolB" + suffix);
+        s.set_functional_dependency(a, tool);
+        s.add_data_dependency(a, producible[rng.below(producible.size())]);
+        s.set_functional_dependency(b, tool2);
+        s.add_data_dependency(b, producible[rng.below(producible.size())]);
+        // An optional self-loop on one branch (the edit pattern).
+        if (rng.below(2) == 0) {
+          s.add_data_dependency(a, base, /*optional=*/true, "seed");
+        }
+        next.push_back(base);
+      } else if (rng.below(5) == 0 && producible.size() >= 2) {
+        const auto comp = s.add_composite("comp" + suffix);
+        s.add_data_dependency(comp,
+                              producible[rng.below(producible.size())],
+                              false, "left");
+        s.add_data_dependency(comp,
+                              producible[rng.below(producible.size())],
+                              false, "right");
+        next.push_back(comp);
+      } else {
+        const auto entity = s.add_data("ent" + suffix);
+        s.set_functional_dependency(entity, tool);
+        const std::size_t n_inputs = 1 + rng.below(2);
+        for (std::size_t k = 0; k < n_inputs; ++k) {
+          s.add_data_dependency(entity,
+                                producible[rng.below(producible.size())],
+                                rng.below(4) == 0,
+                                "in" + std::to_string(k));
+        }
+        next.push_back(entity);
+      }
+    }
+    for (const auto e : next) producible.push_back(e);
+  }
+  return s;
+}
+
+class RandomSchemaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSchemaTest, ValidatesAndRoundTripsThroughDsl) {
+  const schema::TaskSchema s = random_schema(GetParam());
+  s.validate();
+  const std::string text = schema::write_schema(s);
+  const schema::TaskSchema back = schema::parse_schema(text);
+  EXPECT_EQ(schema::write_schema(back), text);
+  EXPECT_EQ(back.size(), s.size());
+  back.validate();
+  // Construction rules survive the round trip.
+  for (const auto id : s.all()) {
+    const auto original = s.construction(id);
+    const auto restored = back.construction(back.require(s.entity_name(id)));
+    EXPECT_EQ(original.inputs.size(), restored.inputs.size());
+    EXPECT_EQ(original.has_tool(), restored.has_tool());
+  }
+}
+
+TEST_P(RandomSchemaTest, EveryConcreteEntityCanSeedAFlow) {
+  const schema::TaskSchema s = random_schema(GetParam());
+  for (const auto id : s.all()) {
+    if (s.is_abstract(id)) continue;
+    graph::TaskGraph flow(s, "probe");
+    const graph::NodeId n = flow.add_node(id);
+    if (!s.is_source(id)) {
+      flow.expand(n, graph::ExpandOptions{.include_optional = true});
+    }
+    flow.check();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchemaTest,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{25}));
+
+class SimDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimDeterminismTest, SimulationIsReproducible) {
+  const circuit::Netlist nl = circuit::full_adder_netlist();
+  const auto models = circuit::DeviceModelLibrary::standard();
+  const auto st = circuit::Stimuli::random({"a", "b", "cin"}, 1000, 16,
+                                           GetParam());
+  const auto r1 = circuit::simulate(nl, models, st);
+  const auto r2 = circuit::simulate(nl, models, st);
+  EXPECT_EQ(r1.to_text(), r2.to_text());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimDeterminismTest,
+                         ::testing::Values(std::uint64_t{3}, std::uint64_t{59},
+                                           std::uint64_t{1024}));
+
+}  // namespace
+}  // namespace herc

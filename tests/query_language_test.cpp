@@ -1,0 +1,184 @@
+// The textual query language compiled onto task-graph templates (§4.2).
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/stimuli.hpp"
+#include "core/session.hpp"
+#include "history/query_language.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+
+namespace herc::history {
+namespace {
+
+using data::InstanceId;
+using support::FlowError;
+using support::HistoryError;
+using support::ParseError;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest()
+      : session_(schema::make_full_schema(), "q",
+                 std::make_unique<support::ManualClock>(0, 1)) {
+    netlist_ = session_.import_data("EditedNetlist", "CMOS Full adder",
+                                    circuit::full_adder_netlist().to_text());
+    other_netlist_ = session_.import_data(
+        "EditedNetlist", "inverter", circuit::inverter_netlist().to_text());
+    models_ = session_.import_data(
+        "DeviceModels", "std",
+        circuit::DeviceModelLibrary::standard().to_text());
+    stimuli_a_ = session_.import_data(
+        "Stimuli", "walk A",
+        circuit::Stimuli::counter({"a", "b", "cin"}, 1000).to_text());
+    stimuli_b_ = session_.import_data(
+        "Stimuli", "walk B",
+        circuit::Stimuli::random({"a", "b", "cin"}, 1000, 6, 9).to_text());
+    simulator_ = session_.import_data("Simulator", "sim", "");
+    perf_a_ = simulate_once(netlist_, stimuli_a_);
+    perf_b_ = simulate_once(netlist_, stimuli_b_);
+    perf_inv_ = simulate_once(other_netlist_, stimuli_a_);
+  }
+
+  InstanceId simulate_once(InstanceId nl, InstanceId st) {
+    graph::TaskGraph flow(session_.schema(), "sim");
+    const graph::NodeId perf = flow.add_node("Performance");
+    flow.expand(perf);
+    const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+    flow.bind(flow.tool_of(perf), simulator_);
+    flow.bind(flow.inputs_of(perf)[1], st);
+    flow.bind(circuit_inputs[0], models_);
+    flow.bind(circuit_inputs[1], nl);
+    return session_.run(flow).single(perf);
+  }
+
+  core::DesignSession session_;
+  InstanceId netlist_, other_netlist_, models_, stimuli_a_, stimuli_b_;
+  InstanceId simulator_, perf_a_, perf_b_, perf_inv_;
+};
+
+TEST_F(QueryTest, UnconstrainedFindListsAll) {
+  const auto hits = run_query(session_.db(), "find Performance");
+  EXPECT_EQ(hits.size(), 3u);
+  // Subtype-aware: find Netlist sees both EditedNetlists.
+  EXPECT_EQ(run_query(session_.db(), "find Netlist").size(), 2u);
+}
+
+TEST_F(QueryTest, PathThroughCompositeFindsSimulationsOfNetlist) {
+  // The paper's flagship query.
+  const auto hits = run_query(
+      session_.db(),
+      "find Performance where circuit.netlist = i" +
+          std::to_string(netlist_.value()));
+  EXPECT_EQ(hits, (std::vector<InstanceId>{perf_a_, perf_b_}));
+}
+
+TEST_F(QueryTest, ConjunctionNarrows) {
+  const auto hits = run_query(
+      session_.db(),
+      "find Performance where circuit.netlist = i" +
+          std::to_string(netlist_.value()) + " and stimuli = i" +
+          std::to_string(stimuli_b_.value()));
+  EXPECT_EQ(hits, std::vector<InstanceId>{perf_b_});
+}
+
+TEST_F(QueryTest, QuotedNamesResolve) {
+  const auto hits = run_query(
+      session_.db(),
+      "find Performance where circuit.netlist = \"CMOS Full adder\" "
+      "and stimuli = \"walk A\"");
+  EXPECT_EQ(hits, std::vector<InstanceId>{perf_a_});
+}
+
+TEST_F(QueryTest, ToolStepMatchesTheFd) {
+  const auto hits = run_query(
+      session_.db(), "find Performance where tool = i" +
+                         std::to_string(simulator_.value()));
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST_F(QueryTest, RoleStepsWork) {
+  // Edit the netlist; find edits seeded from it via the role name.
+  const auto editor = session_.import_data("CircuitEditor", "ed",
+                                           "set x1.u1.mn1 value=2\n");
+  graph::TaskGraph edit(session_.schema(), "e");
+  const graph::NodeId goal = edit.add_node("EditedNetlist");
+  edit.expand(goal, graph::ExpandOptions{.include_optional = true});
+  edit.bind(edit.tool_of(goal), editor);
+  edit.bind(edit.inputs_of(goal)[0], netlist_);
+  const auto v2 = session_.run(edit).single(goal);
+
+  const auto hits = run_query(
+      session_.db(),
+      "find EditedNetlist where seed = i" + std::to_string(netlist_.value()));
+  EXPECT_EQ(hits, std::vector<InstanceId>{v2});
+}
+
+TEST_F(QueryTest, SyntaxErrors) {
+  EXPECT_THROW(run_query(session_.db(), "seek Performance"), ParseError);
+  EXPECT_THROW(run_query(session_.db(), "find"), ParseError);
+  EXPECT_THROW(run_query(session_.db(), "find Performance when x = i1"),
+               ParseError);
+  EXPECT_THROW(run_query(session_.db(), "find Performance where stimuli"),
+               ParseError);
+  EXPECT_THROW(
+      run_query(session_.db(), "find Performance where stimuli = banana"),
+      ParseError);
+  EXPECT_THROW(
+      run_query(session_.db(),
+                "find Performance where stimuli = \"unterminated"),
+      ParseError);
+}
+
+TEST_F(QueryTest, SemanticErrors) {
+  // Unknown entity.
+  EXPECT_THROW(run_query(session_.db(), "find Wormhole"),
+               support::SchemaError);
+  // Unknown path step.
+  EXPECT_THROW(
+      run_query(session_.db(), "find Performance where layout = i0"),
+      FlowError);
+  // Source entities have no tool step.
+  EXPECT_THROW(run_query(session_.db(), "find Stimuli where tool = i0"),
+               FlowError);
+  // Ambiguous / unknown instance names.
+  EXPECT_THROW(
+      run_query(session_.db(),
+                "find Performance where stimuli = \"missing thing\""),
+      HistoryError);
+  session_.import_data("Stimuli", "walk A", "stimuli dup\n");
+  EXPECT_THROW(run_query(session_.db(),
+                         "find Performance where stimuli = \"walk A\""),
+               HistoryError);
+}
+
+TEST_F(QueryTest, SameTypeRolesAreDisambiguated) {
+  // PerformanceDiff has two Performance inputs; querying by role must
+  // distinguish them.
+  const auto comparator = session_.import_data("Comparator", "cmp", "");
+  graph::TaskGraph cmp(session_.schema(), "cmp");
+  const graph::NodeId diff = cmp.add_node("PerformanceDiff");
+  cmp.expand(diff);
+  cmp.bind(cmp.tool_of(diff), comparator);
+  cmp.bind(cmp.inputs_of(diff)[0], perf_a_);
+  cmp.bind(cmp.inputs_of(diff)[1], perf_b_);
+  const auto diff_inst = session_.run(cmp).single(diff);
+
+  const auto by_golden = run_query(
+      session_.db(), "find PerformanceDiff where golden = i" +
+                         std::to_string(perf_a_.value()));
+  EXPECT_EQ(by_golden, std::vector<InstanceId>{diff_inst});
+  const auto wrong_role = run_query(
+      session_.db(), "find PerformanceDiff where candidate = i" +
+                         std::to_string(perf_a_.value()));
+  EXPECT_TRUE(wrong_role.empty());
+  // The bare entity step is ambiguous here.
+  EXPECT_THROW(run_query(session_.db(),
+                         "find PerformanceDiff where performance = i" +
+                             std::to_string(perf_a_.value())),
+               FlowError);
+}
+
+}  // namespace
+}  // namespace herc::history

@@ -1,0 +1,164 @@
+// Failure injection: corrupted persistence inputs must raise framework
+// errors (never crash or silently mis-load), and heavy parallel execution
+// must stay consistent.
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/stimuli.hpp"
+#include "core/session.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc {
+namespace {
+
+using support::HercError;
+
+/// A populated session document to corrupt.
+std::string make_session_document() {
+  core::DesignSession session(
+      schema::make_full_schema(), "fuzz",
+      std::make_unique<support::ManualClock>(0, 1));
+  const auto netlist = session.import_data(
+      "EditedNetlist", "n", circuit::inverter_netlist().to_text());
+  const auto models = session.import_data(
+      "DeviceModels", "m", circuit::DeviceModelLibrary::standard().to_text());
+  const auto stimuli = session.import_data(
+      "Stimuli", "st", circuit::Stimuli::counter({"in"}, 1000).to_text());
+  const auto simulator = session.import_data("Simulator", "s", "");
+  graph::TaskGraph flow(session.schema(), "simulate");
+  const graph::NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+  flow.bind(flow.tool_of(perf), simulator);
+  flow.bind(flow.inputs_of(perf)[1], stimuli);
+  flow.bind(circuit_inputs[0], models);
+  flow.bind(circuit_inputs[1], netlist);
+  session.run(flow);
+  session.flows().save(flow);
+  return session.save();
+}
+
+/// Loading either succeeds or throws a HercError; anything else (crash,
+/// std::bad_alloc, logic_error) fails the test.
+void expect_load_is_total(const std::string& document) {
+  try {
+    const auto session = core::DesignSession::load(document);
+    // Loaded sessions must be internally consistent enough to re-save.
+    (void)session->save();
+  } catch (const HercError&) {
+    // fine: a detected corruption
+  }
+}
+
+TEST(Robustness, SessionSurvivesLineDeletion) {
+  const std::string document = make_session_document();
+  const auto lines = support::split(document, '\n');
+  for (std::size_t drop = 0; drop < lines.size(); ++drop) {
+    std::string mutated;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == drop) continue;
+      mutated += lines[i];
+      mutated += '\n';
+    }
+    SCOPED_TRACE("dropped line " + std::to_string(drop) + ": " +
+                 lines[drop].substr(0, 60));
+    expect_load_is_total(mutated);
+  }
+}
+
+TEST(Robustness, SessionSurvivesLineTruncation) {
+  const std::string document = make_session_document();
+  const auto lines = support::split(document, '\n');
+  for (std::size_t cut = 0; cut < lines.size(); ++cut) {
+    if (lines[cut].size() < 2) continue;
+    std::string mutated;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      mutated += (i == cut) ? lines[i].substr(0, lines[i].size() / 2)
+                            : lines[i];
+      mutated += '\n';
+    }
+    SCOPED_TRACE("truncated line " + std::to_string(cut));
+    expect_load_is_total(mutated);
+  }
+}
+
+TEST(Robustness, SessionSurvivesByteFlips) {
+  const std::string document = make_session_document();
+  // Flip a spread of single characters (deterministic positions).
+  for (std::size_t pos = 3; pos < document.size(); pos += 97) {
+    std::string mutated = document;
+    mutated[pos] = (mutated[pos] == 'x') ? 'y' : 'x';
+    SCOPED_TRACE("flipped byte " + std::to_string(pos));
+    expect_load_is_total(mutated);
+  }
+}
+
+TEST(Robustness, FlowLoadIsTotalUnderTruncation) {
+  const auto schema = schema::make_full_schema();
+  graph::TaskGraph flow(schema, "f");
+  const graph::NodeId perf = flow.add_node("Performance");
+  flow.expand(perf);
+  flow.expand(flow.inputs_of(perf)[0]);
+  const std::string text = flow.save();
+  for (std::size_t cut = 1; cut < text.size(); cut += 13) {
+    try {
+      (void)graph::TaskGraph::load(schema, text.substr(0, cut));
+    } catch (const HercError&) {
+    }
+  }
+}
+
+TEST(Robustness, ParallelStressProducesConsistentHistory) {
+  // 32 independent branches over 8 threads, repeated; every product's
+  // derivation must reference valid instances and the counts must add up.
+  core::DesignSession session(
+      schema::make_full_schema(), "stress",
+      std::make_unique<support::ManualClock>(0, 1));
+  const auto netlist = session.import_data(
+      "EditedNetlist", "n", circuit::inverter_netlist().to_text());
+  const auto models = session.import_data(
+      "DeviceModels", "m", circuit::DeviceModelLibrary::standard().to_text());
+  const auto simulator = session.import_data("Simulator", "s", "");
+
+  graph::TaskGraph flow(session.schema(), "stress");
+  constexpr std::size_t kBranches = 32;
+  for (std::size_t b = 0; b < kBranches; ++b) {
+    const auto stimuli = session.import_data(
+        "Stimuli", "st" + std::to_string(b),
+        circuit::Stimuli::random({"in"}, 1000, 4, b + 1).to_text());
+    const graph::NodeId perf = flow.add_node("Performance");
+    flow.expand(perf);
+    const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+    flow.bind(flow.tool_of(perf), simulator);
+    flow.bind(flow.inputs_of(perf)[1], stimuli);
+    flow.bind(circuit_inputs[0], models);
+    flow.bind(circuit_inputs[1], netlist);
+  }
+  exec::ExecOptions options;
+  options.parallel = true;
+  options.max_threads = 8;
+  const auto before = session.db().size();
+  const auto result = session.run(flow, options);
+  EXPECT_EQ(result.tasks_run, 2 * kBranches);
+  EXPECT_EQ(session.db().size() - before, 2 * kBranches);
+  // Every recorded derivation resolves.
+  for (const auto id : session.db().all()) {
+    const auto& derivation = session.db().instance(id).derivation;
+    if (derivation.tool.valid()) {
+      EXPECT_TRUE(session.db().contains(derivation.tool));
+    }
+    for (const auto in : derivation.inputs) {
+      EXPECT_TRUE(session.db().contains(in));
+    }
+  }
+  // The history is still serializable and reloadable after the stress.
+  const std::string saved = session.save();
+  const auto restored = core::DesignSession::load(saved);
+  EXPECT_EQ(restored->db().size(), session.db().size());
+}
+
+}  // namespace
+}  // namespace herc

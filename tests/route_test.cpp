@@ -1,0 +1,206 @@
+// Detail routing: connectivity, two-layer DRC, extraction from routed
+// wirelength, and the place->route->extract->verify flow.
+#include <gtest/gtest.h>
+
+#include "circuit/extract.hpp"
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/place.hpp"
+#include "circuit/route.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/stimuli.hpp"
+#include "circuit/verify.hpp"
+#include "core/session.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+
+namespace herc::circuit {
+namespace {
+
+TEST(WireSegment, GeometryHelpers) {
+  const WireSegment h{"n", 1, 2, 5, 2};
+  EXPECT_TRUE(h.horizontal());
+  EXPECT_EQ(h.length(), 4);
+  EXPECT_TRUE(h.covers(3, 2));
+  EXPECT_TRUE(h.covers(1, 2));
+  EXPECT_FALSE(h.covers(3, 3));
+  EXPECT_FALSE(h.covers(6, 2));
+  const WireSegment v{"n", 5, 0, 5, 4};
+  EXPECT_FALSE(v.horizontal());
+  EXPECT_EQ(v.length(), 4);
+}
+
+TEST(LayoutWires, DiagonalWiresRejected) {
+  Layout layout("l", "", 4, 4);
+  EXPECT_THROW(layout.add_wire("n", 0, 0, 2, 2), support::ExecError);
+}
+
+TEST(LayoutWires, ConnectivityCheck) {
+  Layout layout("l", "", 8, 8);
+  Device d1 = inverter_netlist().device("mn");
+  Device d2 = inverter_netlist().device("mp");
+  layout.place(d1, 0, 0);  // touches nets in/out/GND at (0,0)
+  layout.place(d2, 4, 4);  // touches in/out/VDD at (4,4)
+  EXPECT_FALSE(layout.net_connected("out"));
+  // A single L connects them.
+  layout.add_wire("out", 0, 0, 4, 0);
+  EXPECT_FALSE(layout.net_connected("out"));
+  layout.add_wire("out", 4, 0, 4, 4);
+  EXPECT_TRUE(layout.net_connected("out"));
+  // Single-terminal nets are trivially connected.
+  EXPECT_TRUE(layout.net_connected("GND"));
+}
+
+TEST(LayoutWires, TwoLayerDrc) {
+  Layout layout("l", "", 8, 8);
+  layout.add_wire("a", 0, 1, 4, 1);
+  layout.add_wire("b", 2, 0, 2, 3);  // crosses 'a': legal (other layer)
+  EXPECT_TRUE(layout.drc().empty());
+  layout.add_wire("c", 3, 1, 6, 1);  // overlaps 'a' on the same row
+  const auto violations = layout.drc();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("overlap on the same layer"),
+            std::string::npos);
+  // Same-net overlap is fine.
+  layout.add_wire("a", 1, 1, 2, 1);
+  EXPECT_EQ(layout.drc().size(), 1u);
+}
+
+TEST(LayoutWires, TextRoundTripIncludesWires) {
+  Layout layout("l", "src", 4, 4);
+  layout.add_wire("n1", 0, 0, 3, 0);
+  layout.add_wire("n1", 3, 0, 3, 2);
+  const Layout back = Layout::from_text(layout.to_text());
+  EXPECT_EQ(back.to_text(), layout.to_text());
+  EXPECT_EQ(back.wires().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.routed_length("n1"), 5.0);
+  EXPECT_THROW(Layout::from_text("wire n 0 0"), support::ParseError);
+}
+
+TEST(Router, EveryNetConnectedAfterRouting) {
+  const Netlist nl = full_adder_netlist();
+  const Layout placed = place(nl);
+  RouteStatistics stats;
+  const Layout routed = route(placed, {}, &stats);
+  EXPECT_GT(stats.nets_routed, 0u);
+  EXPECT_GT(stats.total_wirelength, 0.0);
+  for (const std::string& net : routed.nets()) {
+    if (net == std::string(kVdd) || net == std::string(kGnd)) continue;
+    EXPECT_TRUE(routed.net_connected(net)) << net;
+  }
+  // Placements and pins intact.
+  EXPECT_EQ(routed.placements().size(), placed.placements().size());
+  EXPECT_EQ(routed.pins().size(), placed.pins().size());
+  EXPECT_NE(stats.to_text().find("nets_routed="), std::string::npos);
+}
+
+TEST(Router, RefusesAlreadyRoutedLayouts) {
+  Layout layout("l", "", 4, 4);
+  layout.add_wire("n", 0, 0, 1, 0);
+  EXPECT_THROW(route(layout), support::ExecError);
+}
+
+TEST(Router, RoutedWirelengthDrivesExtraction) {
+  // Routed length >= HPWL, so the routed extraction carries at least as
+  // much parasitic capacitance.
+  const Netlist nl = nand2_netlist();
+  const Layout placed = place(nl);
+  const Layout routed = route(placed);
+  ExtractStatistics placed_stats;
+  ExtractStatistics routed_stats;
+  (void)extract(placed, {}, &placed_stats);
+  const Netlist routed_netlist = extract(routed, {}, &routed_stats);
+  EXPECT_GE(routed_stats.total_parasitic_pf,
+            placed_stats.total_parasitic_pf);
+  routed_netlist.validate();
+}
+
+TEST(Router, CleanlyRoutableCircuitVerifies) {
+  // The inverter routes without same-layer conflicts; the full report
+  // (LVS + DRC + connectivity) passes.
+  const Netlist nl = inverter_netlist();
+  RouteStatistics stats;
+  const Layout routed = route(place(nl), {}, &stats);
+  EXPECT_EQ(stats.conflicts, 0u);
+  const VerificationReport report = verify_layout(routed, nl);
+  EXPECT_TRUE(report.pass) << report.to_text();
+}
+
+TEST(Router, UnavoidableConflictsAreReportedAsDrcViolations) {
+  // The track-less router cannot always avoid same-layer shorts (stacked
+  // terminals share columns); it must *say so* — in its statistics and in
+  // the layout's DRC — rather than silently produce a shorted layout.
+  const Netlist nl = nand2_netlist();
+  RouteStatistics stats;
+  const Layout routed = route(place(nl), {}, &stats);
+  std::size_t drc_wire_violations = 0;
+  for (const std::string& v : routed.drc()) {
+    drc_wire_violations +=
+        v.find("same layer") != std::string::npos ? 1 : 0;
+  }
+  EXPECT_EQ(stats.conflicts, drc_wire_violations);
+  if (stats.conflicts > 0) {
+    EXPECT_FALSE(verify_layout(routed, nl).pass);
+  }
+}
+
+TEST(Router, VerifierChecksRoutedConnectivity) {
+  // A hand-built layout whose routed net misses one terminal.
+  Netlist nl("pair");
+  nl.add_input("a");
+  nl.add_net("n");
+  nl.add_nmos("m1", "a", "n", "GND");
+  nl.add_nmos("m2", "a", "n", "GND");
+  Layout layout("l", "pair", 8, 8);
+  layout.place(nl.device("m1"), 0, 0);
+  layout.place(nl.device("m2"), 5, 5);
+  layout.add_pin("a", 0, 7, false);
+  // Net 'n' gets a stub that reaches neither device pair fully.
+  layout.add_wire("n", 0, 0, 2, 0);
+  const VerificationReport report = verify_layout(layout, nl);
+  EXPECT_FALSE(report.pass);
+  bool connectivity_error = false;
+  for (const std::string& e : report.errors) {
+    connectivity_error |= e.find("not fully connected") != std::string::npos;
+  }
+  EXPECT_TRUE(connectivity_error) << report.to_text();
+}
+
+TEST(Router, RunsAsAFrameworkTool) {
+  // Place -> route -> extract as a flow over the full schema.
+  core::DesignSession session(
+      schema::make_full_schema(), "t",
+      std::make_unique<support::ManualClock>(0, 1));
+  const auto netlist = session.import_data(
+      "EditedNetlist", "n", nand2_netlist().to_text());
+  const auto placer = session.import_data("Placer", "pl", "");
+  const auto router = session.import_data("Router", "rt", "");
+  const auto extractor = session.import_data("Extractor", "ex", "");
+
+  graph::TaskGraph flow(session.schema(), "pnr");
+  const graph::NodeId extracted = flow.add_node("ExtractedNetlist");
+  flow.expand(extracted);
+  const graph::NodeId layout_node = flow.inputs_of(extracted)[0];
+  flow.specialize(layout_node, session.schema().require("RoutedLayout"));
+  flow.expand(layout_node);
+  const graph::NodeId placed_node = flow.inputs_of(layout_node)[0];
+  flow.specialize(placed_node, session.schema().require("PlacedLayout"));
+  flow.expand(placed_node);
+  flow.bind(flow.tool_of(extracted), extractor);
+  flow.bind(flow.tool_of(layout_node), router);
+  flow.bind(flow.tool_of(placed_node), placer);
+  flow.bind(flow.inputs_of(placed_node)[0], netlist);
+
+  const auto result = session.run(flow);
+  EXPECT_EQ(result.tasks_run, 3u);
+  const Layout routed = Layout::from_text(
+      session.db().payload(result.single(layout_node)));
+  EXPECT_FALSE(routed.wires().empty());
+  const Netlist out = Netlist::from_text(
+      session.db().payload(result.single(extracted)));
+  out.validate();
+  EXPECT_GT(out.device_count(DeviceType::kCapacitor), 0u);
+}
+
+}  // namespace
+}  // namespace herc::circuit

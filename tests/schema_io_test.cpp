@@ -1,0 +1,126 @@
+// The schema definition language: parsing, writing, round trips, errors.
+#include <gtest/gtest.h>
+
+#include "schema/schema_io.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+
+namespace herc::schema {
+namespace {
+
+using support::ParseError;
+using support::SchemaError;
+
+TEST(SchemaIo, ParsesSmallSchema) {
+  const TaskSchema s = parse_schema(R"(
+    # a comment
+    schema demo
+    tool Editor
+    data Doc abstract
+    data RichDoc : Doc
+    composite Bundle
+    fd RichDoc -> Editor
+    dd RichDoc -> Doc ? as seed
+    dd Bundle -> RichDoc
+  )");
+  EXPECT_EQ(s.name(), "demo");
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.is_abstract(s.require("Doc")));
+  EXPECT_TRUE(s.is_composite(s.require("Bundle")));
+  const ConstructionRule rule = s.construction(s.require("RichDoc"));
+  EXPECT_EQ(rule.tool, s.require("Editor"));
+  ASSERT_EQ(rule.inputs.size(), 1u);
+  EXPECT_TRUE(rule.inputs[0].optional);
+  EXPECT_EQ(rule.inputs[0].role, "seed");
+  s.validate();
+}
+
+TEST(SchemaIo, DependenciesMayPrecedeDeclarations) {
+  const TaskSchema s = parse_schema(
+      "fd B -> T\n"
+      "tool T\n"
+      "data B\n");
+  EXPECT_EQ(s.construction(s.require("B")).tool, s.require("T"));
+}
+
+TEST(SchemaIo, RoundTripsStandardSchemas) {
+  for (const TaskSchema& original :
+       {make_fig1_schema(), make_fig2_schema(), make_full_schema()}) {
+    const std::string text = write_schema(original);
+    const TaskSchema back = parse_schema(text);
+    EXPECT_EQ(write_schema(back), text);
+    EXPECT_EQ(back.size(), original.size());
+    back.validate();
+  }
+}
+
+TEST(SchemaIo, ParseErrors) {
+  EXPECT_THROW(parse_schema("bogus Line"), ParseError);
+  EXPECT_THROW(parse_schema("schema"), ParseError);
+  EXPECT_THROW(parse_schema("data"), ParseError);
+  EXPECT_THROW(parse_schema("data A extra tokens here"), ParseError);
+  EXPECT_THROW(parse_schema("data A : Missing"), ParseError);
+  EXPECT_THROW(parse_schema("tool T\ndata A\nfd A ->"), ParseError);
+  EXPECT_THROW(parse_schema("tool T\ndata A\nfd A -> Missing"), ParseError);
+  EXPECT_THROW(parse_schema("tool T\ndata A\ndd A -> T junk"), ParseError);
+  // Subtype kind mismatch: a tool cannot subtype a data entity.
+  EXPECT_THROW(parse_schema("data A\ntool B : A"), ParseError);
+}
+
+TEST(SchemaIo, RuleViolationsSurfaceAsSchemaErrors) {
+  // Two fds on one entity.
+  EXPECT_THROW(parse_schema("tool T1\ntool T2\ndata A\n"
+                            "fd A -> T1\nfd A -> T2\n"),
+               SchemaError);
+  // fd to a data entity.
+  EXPECT_THROW(parse_schema("data A\ndata B\nfd A -> B\n"), SchemaError);
+}
+
+TEST(SchemaIo, ExtendAddsToolsWithoutDisturbingExistingEntities) {
+  TaskSchema schema = make_fig1_schema();
+  const std::size_t before = schema.size();
+  // Incorporate a timing analyzer: a new tool producing a new entity from
+  // an existing one — the paper's "simplifying the incorporation of new
+  // tools" in one fragment.
+  extend_schema(schema,
+                "tool TimingAnalyzer\n"
+                "data TimingReport\n"
+                "fd TimingReport -> TimingAnalyzer\n"
+                "dd TimingReport -> Netlist\n");
+  EXPECT_EQ(schema.size(), before + 2);
+  const ConstructionRule rule =
+      schema.construction(schema.require("TimingReport"));
+  EXPECT_EQ(rule.tool, schema.require("TimingAnalyzer"));
+  ASSERT_EQ(rule.inputs.size(), 1u);
+  EXPECT_EQ(rule.inputs[0].target, schema.require("Netlist"));
+  // The extended schema still validates and old rules are intact.
+  schema.validate();
+  EXPECT_EQ(schema.construction(schema.require("Performance")).tool,
+            schema.require("Simulator"));
+}
+
+TEST(SchemaIo, ExtendRejectsBadFragments) {
+  TaskSchema schema = make_fig1_schema();
+  // Renaming is not extension.
+  EXPECT_THROW(extend_schema(schema, "schema other\n"), ParseError);
+  // Duplicate entity.
+  EXPECT_THROW(extend_schema(schema, "data Netlist\n"), SchemaError);
+  // A fragment that breaks groundability is rejected by the re-validation.
+  EXPECT_THROW(extend_schema(schema,
+                             "tool Oracle\ndata Prophecy\n"
+                             "fd Prophecy -> Oracle\n"
+                             "dd Prophecy -> Prophecy\n"),
+               SchemaError);
+}
+
+TEST(SchemaIo, CommentsAndBlankLinesIgnored) {
+  const TaskSchema s = parse_schema(
+      "\n"
+      "# leading comment\n"
+      "data A   # trailing comment\n"
+      "\n");
+  EXPECT_TRUE(s.find("A").valid());
+}
+
+}  // namespace
+}  // namespace herc::schema

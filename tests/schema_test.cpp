@@ -1,0 +1,234 @@
+// Task-schema semantics (§3.1): construction rules, subtyping, optional
+// arcs, composites, groundability.
+#include <gtest/gtest.h>
+
+#include "schema/standard_schemas.hpp"
+#include "schema/task_schema.hpp"
+#include "support/error.hpp"
+
+namespace herc::schema {
+namespace {
+
+using support::SchemaError;
+
+TEST(Schema, EntityDeclarationBasics) {
+  TaskSchema s("t");
+  const auto tool = s.add_tool("Tool");
+  const auto data = s.add_data("Data");
+  EXPECT_TRUE(s.is_tool(tool));
+  EXPECT_FALSE(s.is_tool(data));
+  EXPECT_EQ(s.entity_name(tool), "Tool");
+  EXPECT_EQ(s.find("Tool"), tool);
+  EXPECT_FALSE(s.find("Missing").valid());
+  EXPECT_THROW(s.require("Missing"), SchemaError);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Schema, RejectsDuplicateAndIllegalNames) {
+  TaskSchema s("t");
+  s.add_data("Data");
+  EXPECT_THROW(s.add_data("Data"), SchemaError);
+  EXPECT_THROW(s.add_tool("Data"), SchemaError);
+  EXPECT_THROW(s.add_data("9starts_with_digit"), SchemaError);
+  EXPECT_THROW(s.add_data("has space"), SchemaError);
+  EXPECT_THROW(s.add_data(""), SchemaError);
+}
+
+TEST(Schema, FunctionalDependencyRules) {
+  TaskSchema s("t");
+  const auto tool = s.add_tool("Tool");
+  const auto tool2 = s.add_tool("Tool2");
+  const auto data = s.add_data("Data");
+  const auto other = s.add_data("Other");
+  s.set_functional_dependency(data, tool);
+  // At most one fd.
+  EXPECT_THROW(s.set_functional_dependency(data, tool2), SchemaError);
+  // fd must target a tool.
+  EXPECT_THROW(s.set_functional_dependency(other, data), SchemaError);
+  const ConstructionRule rule = s.construction(data);
+  EXPECT_EQ(rule.tool, tool);
+  EXPECT_TRUE(rule.inputs.empty());
+}
+
+TEST(Schema, DataDependencyDuplicatesNeedDistinctRoles) {
+  TaskSchema s("t");
+  const auto a = s.add_data("A");
+  const auto b = s.add_data("B");
+  s.add_data_dependency(a, b, false, "left");
+  s.add_data_dependency(a, b, false, "right");
+  EXPECT_THROW(s.add_data_dependency(a, b, false, "left"), SchemaError);
+  EXPECT_EQ(s.construction(a).inputs.size(), 2u);
+}
+
+TEST(Schema, SubtypeInheritsKindAndRule) {
+  TaskSchema s("t");
+  const auto tool = s.add_tool("Editor");
+  const auto base = s.add_data("Doc", /*abstract=*/true);
+  const auto sub = s.add_subtype("RichDoc", base);
+  EXPECT_FALSE(s.is_tool(sub));
+  EXPECT_TRUE(s.is_ancestor_or_self(base, sub));
+  EXPECT_FALSE(s.is_ancestor_or_self(sub, base));
+  // Subtype with no own arcs inherits the nearest ancestor's rule.
+  s.set_functional_dependency(base, tool);
+  const ConstructionRule rule = s.construction(sub);
+  EXPECT_EQ(rule.tool, tool);
+  EXPECT_EQ(rule.owner, base);
+  // A subtype declaring its own arcs overrides.
+  const auto tool2 = s.add_tool("Editor2");
+  const auto sub2 = s.add_subtype("PlainDoc", base);
+  s.set_functional_dependency(sub2, tool2);
+  EXPECT_EQ(s.construction(sub2).tool, tool2);
+  EXPECT_EQ(s.construction(sub2).owner, sub2);
+}
+
+TEST(Schema, SubtypeKindMatchesParent) {
+  TaskSchema s("t");
+  const auto tool = s.add_tool("Tool", /*abstract=*/true);
+  const auto sub = s.add_subtype("FastTool", tool);
+  EXPECT_TRUE(s.is_tool(sub));
+}
+
+TEST(Schema, ConcreteDescendants) {
+  const TaskSchema s = make_fig1_schema();
+  const auto netlist = s.require("Netlist");
+  const auto descendants = s.concrete_descendants(netlist);
+  ASSERT_EQ(descendants.size(), 2u);
+  // Abstract root is excluded, itself concrete types included.
+  const auto layout = s.require("PlacedLayout");
+  const auto self = s.concrete_descendants(layout);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], layout);
+}
+
+TEST(Schema, CompositeRules) {
+  TaskSchema s("t");
+  const auto c = s.add_composite("Pair");
+  const auto tool = s.add_tool("Tool");
+  // Composites may not have an fd and may not be subtyped.
+  EXPECT_THROW(s.set_functional_dependency(c, tool), SchemaError);
+  EXPECT_THROW(s.add_subtype("SubPair", c), SchemaError);
+  // Composite without any dd fails validation.
+  EXPECT_THROW(s.validate(), SchemaError);
+  const auto a = s.add_data("A");
+  const auto b = s.add_data("B");
+  s.add_data_dependency(c, a);
+  s.add_data_dependency(c, b);
+  s.validate();
+  EXPECT_TRUE(s.is_composite(c));
+}
+
+TEST(Schema, ComposeHooksOnlyOnComposites) {
+  TaskSchema s("t");
+  const auto d = s.add_data("D");
+  EXPECT_THROW(
+      s.set_compose_check(d, [](const auto&, std::string&) { return true; }),
+      SchemaError);
+  const auto c = s.add_composite("C");
+  s.add_data_dependency(c, d);
+  s.set_compose_check(c, [](const auto&, std::string&) { return true; });
+  EXPECT_NE(s.compose_check(c), nullptr);
+  EXPECT_EQ(s.compose_check(d), nullptr);
+  s.set_decompose(c, [](const std::string&) {
+    return std::vector<std::string>{};
+  });
+  EXPECT_NE(s.decompose(c), nullptr);
+}
+
+TEST(Schema, GroundabilityCatchesForgottenOptional) {
+  // The paper's loop: EditedNetlist needs a Netlist which only
+  // EditedNetlist can produce.  Without the optional arc no instance can
+  // ever be bootstrapped.
+  TaskSchema s("t");
+  const auto editor = s.add_tool("Editor");
+  const auto netlist = s.add_data("Netlist", /*abstract=*/true);
+  const auto edited = s.add_subtype("EditedNetlist", netlist);
+  s.set_functional_dependency(edited, editor);
+  s.add_data_dependency(edited, netlist, /*optional=*/false, "seed");
+  EXPECT_FALSE(s.groundable(edited));
+  EXPECT_THROW(s.validate(), SchemaError);
+
+  // Marking the arc optional (the paper's fix) makes it groundable.
+  TaskSchema s2("t2");
+  const auto editor2 = s2.add_tool("Editor");
+  const auto netlist2 = s2.add_data("Netlist", /*abstract=*/true);
+  const auto edited2 = s2.add_subtype("EditedNetlist", netlist2);
+  s2.set_functional_dependency(edited2, editor2);
+  s2.add_data_dependency(edited2, netlist2, /*optional=*/true, "seed");
+  EXPECT_TRUE(s2.groundable(edited2));
+  s2.validate();
+}
+
+TEST(Schema, GroundabilityAcceptsAlternativeSubtype) {
+  // A mandatory loop with an escape through a sibling subtype is fine.
+  TaskSchema s("t");
+  const auto editor = s.add_tool("Editor");
+  const auto extractor = s.add_tool("Extractor");
+  const auto layout = s.add_data("Layout");
+  const auto netlist = s.add_data("Netlist", /*abstract=*/true);
+  const auto edited = s.add_subtype("EditedNetlist", netlist);
+  const auto extracted = s.add_subtype("ExtractedNetlist", netlist);
+  s.set_functional_dependency(edited, editor);
+  s.add_data_dependency(edited, netlist, /*optional=*/false, "seed");
+  s.set_functional_dependency(extracted, extractor);
+  s.add_data_dependency(extracted, layout);
+  EXPECT_TRUE(s.groundable(edited));
+  s.validate();
+}
+
+TEST(Schema, AbstractWithoutConcreteDescendantFailsValidation) {
+  TaskSchema s("t");
+  s.add_data("Ghost", /*abstract=*/true);
+  EXPECT_THROW(s.validate(), SchemaError);
+}
+
+TEST(Schema, ConsumersOfRespectsSubtyping) {
+  const TaskSchema s = make_fig1_schema();
+  // ExtractedNetlist satisfies every arc targeting Netlist.
+  const auto extracted = s.require("ExtractedNetlist");
+  const auto usages = s.consumers_of(extracted);
+  std::vector<std::string> consumers;
+  for (const Usage& u : usages) {
+    consumers.push_back(s.entity_name(u.consumer));
+  }
+  EXPECT_NE(std::find(consumers.begin(), consumers.end(), "PlacedLayout"),
+            consumers.end());
+  EXPECT_NE(std::find(consumers.begin(), consumers.end(), "Circuit"),
+            consumers.end());
+  EXPECT_NE(std::find(consumers.begin(), consumers.end(), "Verification"),
+            consumers.end());
+}
+
+TEST(Schema, SourceEntities) {
+  const TaskSchema s = make_fig1_schema();
+  EXPECT_TRUE(s.is_source(s.require("Stimuli")));
+  EXPECT_TRUE(s.is_source(s.require("Simulator")));
+  EXPECT_FALSE(s.is_source(s.require("Performance")));
+  EXPECT_FALSE(s.is_source(s.require("Circuit")));
+  // A subtype of a rule-bearing ancestor is not a source.
+  EXPECT_FALSE(s.is_source(s.require("ExtractedNetlist")));
+}
+
+TEST(Schema, StandardSchemasValidate) {
+  make_fig1_schema().validate();
+  make_fig2_schema().validate();
+  make_full_schema().validate();
+}
+
+TEST(Schema, DotRenderingMentionsEveryEntity) {
+  const TaskSchema s = make_fig1_schema();
+  const std::string dot = s.to_dot();
+  for (const EntityTypeId id : s.all()) {
+    EXPECT_NE(dot.find(s.entity_name(id)), std::string::npos)
+        << s.entity_name(id);
+  }
+  EXPECT_NE(dot.find("dashed"), std::string::npos);  // optional arcs
+}
+
+TEST(Schema, InvalidIdIsRejected) {
+  const TaskSchema s = make_fig1_schema();
+  EXPECT_THROW(s.entity(EntityTypeId()), SchemaError);
+  EXPECT_THROW(s.entity(EntityTypeId(9999)), SchemaError);
+}
+
+}  // namespace
+}  // namespace herc::schema

@@ -1,0 +1,117 @@
+// Sequential and pass-transistor cells: mux, SR latch, D flip-flop —
+// exercising charge retention, ratioed feedback and clocked behaviour in
+// both simulators.
+#include <gtest/gtest.h>
+
+#include "circuit/cosmos.hpp"
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/sim.hpp"
+#include "circuit/stimuli.hpp"
+
+namespace herc::circuit {
+namespace {
+
+DeviceModelLibrary models() { return DeviceModelLibrary::standard(); }
+
+TEST(Sequential, Mux2SelectsEitherInput) {
+  const Netlist mux = mux2_netlist();
+  const Stimuli st = Stimuli::counter({"a", "b", "sel"}, 1000);
+  const SimResult r = simulate(mux, models(), st);
+  for (std::size_t code = 0; code < 8; ++code) {
+    const bool a = (code & 1) != 0;
+    const bool b = (code & 2) != 0;
+    const bool sel = (code & 4) != 0;
+    const bool y = sel ? b : a;
+    const auto t = static_cast<std::int64_t>(code) * 1000 + 999;
+    EXPECT_EQ(r.wave("y").at(t), y ? Level::kHigh : Level::kLow)
+        << "code " << code;
+  }
+}
+
+TEST(Sequential, SrLatchSetsResetsAndHolds) {
+  const Netlist latch = sr_latch_netlist();
+  Stimuli st("drive");
+  // Set (sn=0), release, reset (rn=0), release.
+  st.add_wave(Waveform{"sn", {{0, Level::kLow},
+                              {1000, Level::kHigh},
+                              {4000, Level::kHigh}}});
+  st.add_wave(Waveform{"rn", {{0, Level::kHigh},
+                              {2000, Level::kLow},
+                              {3000, Level::kHigh}}});
+  const SimResult r = simulate(latch, models(), st);
+  EXPECT_EQ(r.wave("q").at(500), Level::kHigh);    // set
+  EXPECT_EQ(r.wave("q").at(1500), Level::kHigh);   // held
+  EXPECT_EQ(r.wave("q").at(2500), Level::kLow);    // reset
+  EXPECT_EQ(r.wave("q").at(3500), Level::kLow);    // held
+  EXPECT_EQ(r.wave("qn").at(3500), Level::kHigh);
+}
+
+TEST(Sequential, DffCapturesOnRisingEdge) {
+  const Netlist dff = dff_netlist();
+  Stimuli st("clocking");
+  st.add_wave(Stimuli::clock("clk", 2000, 4));  // edges at 1000,3000,5000,7000
+  // d changes while clk is high (must be ignored) and while low (sampled).
+  st.add_wave(Waveform{"d", {{0, Level::kHigh},
+                             {1500, Level::kLow},    // clk high: ignored now
+                             {3500, Level::kHigh},   // clk high: ignored now
+                             {6500, Level::kLow}}}); // clk low: sampled next
+  const SimResult r = simulate(dff, models(), st);
+  // Rising edge at 1000: d was 1 -> q=1.
+  EXPECT_EQ(r.wave("q").at(1400), Level::kHigh);
+  // d dropped at 1500 (clk high): q must still be 1 until the next edge.
+  EXPECT_EQ(r.wave("q").at(2500), Level::kHigh);
+  // Rising edge at 3000: master sampled d=0 during clk low? d fell at
+  // 1500, clk fell at 2000, so master reopened with d=0 -> q=0.
+  EXPECT_EQ(r.wave("q").at(3400), Level::kLow);
+  // d rose at 3500 (clk high: ignored); clk low 4000-5000 samples d=1;
+  // rising edge at 5000 -> q=1.
+  EXPECT_EQ(r.wave("q").at(4900), Level::kLow);
+  EXPECT_EQ(r.wave("q").at(5400), Level::kHigh);
+  // d fell at 6500 (clk low) -> rising edge at 7000 -> q=0.
+  EXPECT_EQ(r.wave("q").at(7400), Level::kLow);
+}
+
+TEST(Sequential, CompiledDffMatchesInterpreted) {
+  const Netlist dff = dff_netlist();
+  const CompiledSim program = compile_netlist(dff, models());
+  Stimuli st("clocking");
+  st.add_wave(Stimuli::clock("clk", 2000, 4));
+  st.add_wave(Waveform{"d", {{0, Level::kHigh},
+                             {1500, Level::kLow},
+                             {3500, Level::kHigh},
+                             {6500, Level::kLow}}});
+  const SimResult interpreted = simulate(dff, models(), st);
+  const SimResult compiled = run_compiled(program, st);
+  for (const std::int64_t t : st.event_times()) {
+    if (t == 0) continue;  // initial-charge conventions may differ
+    EXPECT_EQ(interpreted.wave("q").at(t - 1), compiled.wave("q").at(t - 1))
+        << "q at t=" << t - 1;
+  }
+}
+
+TEST(Sequential, CompiledSrLatchMatchesInterpreted) {
+  const Netlist latch = sr_latch_netlist();
+  const CompiledSim program = compile_netlist(latch, models());
+  Stimuli st("drive");
+  st.add_wave(Waveform{"sn", {{0, Level::kLow},
+                              {1000, Level::kHigh},
+                              {4000, Level::kHigh}}});
+  st.add_wave(Waveform{"rn", {{0, Level::kHigh},
+                              {2000, Level::kLow},
+                              {3000, Level::kHigh}}});
+  const SimResult interpreted = simulate(latch, models(), st);
+  const SimResult compiled = run_compiled(program, st);
+  // Sample well clear of the input events: the interpreted simulator
+  // annotates RC delays (hundreds of ps here) that the zero-delay
+  // compiled simulator does not model.
+  for (const std::int64_t t : {900, 1900, 2950, 3950}) {
+    EXPECT_EQ(interpreted.wave("q").at(t), compiled.wave("q").at(t))
+        << "q at t=" << t;
+    EXPECT_EQ(interpreted.wave("qn").at(t), compiled.wave("qn").at(t))
+        << "qn at t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace herc::circuit

@@ -1,0 +1,180 @@
+// The DesignSession facade and instance browser (paper §4, Fig. 9).
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "circuit/stimuli.hpp"
+#include "core/session.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+
+namespace herc::core {
+namespace {
+
+std::unique_ptr<DesignSession> make_session(const char* user = "sutton") {
+  return std::make_unique<DesignSession>(
+      schema::make_full_schema(), user,
+      std::make_unique<support::ManualClock>(718000000000000LL, 60000000));
+}
+
+TEST(Session, ImportRunAndAnnotate) {
+  auto session = make_session();
+  const auto netlist = session->import_data(
+      "EditedNetlist", "inv", circuit::inverter_netlist().to_text());
+  const auto models = session->import_data(
+      "DeviceModels", "m", circuit::DeviceModelLibrary::standard().to_text());
+  const auto stimuli = session->import_data(
+      "Stimuli", "st", circuit::Stimuli::counter({"in"}, 1000).to_text());
+  const auto simulator = session->import_data("Simulator", "sim", "");
+
+  graph::TaskGraph flow = session->task_from_goal("Performance");
+  const graph::NodeId perf = flow.nodes().front();
+  flow.expand(perf);
+  const auto circuit_inputs = flow.expand(flow.inputs_of(perf)[0]);
+  flow.bind(flow.tool_of(perf), simulator);
+  flow.bind(flow.inputs_of(perf)[1], stimuli);
+  flow.bind(circuit_inputs[0], models);
+  flow.bind(circuit_inputs[1], netlist);
+
+  const auto result = session->run(flow);
+  const auto perf_inst = result.single(perf);
+  // The session's user is stamped on the product.
+  EXPECT_EQ(session->db().instance(perf_inst).user, "sutton");
+  session->annotate(perf_inst, "first run", "looks plausible");
+  EXPECT_EQ(session->db().instance(perf_inst).name, "first run");
+}
+
+TEST(Session, RunGoalExecutesSubflowOnly) {
+  auto session = make_session();
+  const auto netlist = session->import_data(
+      "EditedNetlist", "inv", circuit::inverter_netlist().to_text());
+  const auto models = session->import_data(
+      "DeviceModels", "m", circuit::DeviceModelLibrary::standard().to_text());
+  graph::TaskGraph flow = session->task_from_goal("Performance");
+  const graph::NodeId perf = flow.nodes().front();
+  flow.expand(perf);
+  const graph::NodeId circuit_node = flow.inputs_of(perf)[0];
+  const auto circuit_inputs = flow.expand(circuit_node);
+  flow.bind(circuit_inputs[0], models);
+  flow.bind(circuit_inputs[1], netlist);
+  // Stimuli and Simulator are unbound, but the circuit sub-flow can run
+  // independently (§4.1).
+  const auto result = session->run_goal(flow, circuit_node);
+  EXPECT_EQ(result.tasks_run, 1u);
+  EXPECT_TRUE(result.single(circuit_node).valid());
+  // Running the whole flow still fails on the unbound leaves.
+  EXPECT_THROW(session->run(flow), support::FlowError);
+}
+
+TEST(Session, BrowserFiltersLikeFig9) {
+  auto session = make_session();
+  const auto n1 = session->import_data(
+      "EditedNetlist", "Low pass filter",
+      circuit::inverter_netlist().to_text(), "first cut");
+  session->set_user("director");
+  const auto n2 = session->import_data(
+      "EditedNetlist", "CMOS Full adder",
+      circuit::full_adder_netlist().to_text());
+  const auto browser = session->browse("Netlist");
+
+  EXPECT_EQ(browser.rows({}).size(), 2u);
+  // Newest first.
+  EXPECT_EQ(browser.rows({}).front().id, n2);
+
+  BrowserFilter filter;
+  filter.keyword = "low pass";
+  ASSERT_EQ(browser.rows(filter).size(), 1u);
+  EXPECT_EQ(browser.rows(filter)[0].id, n1);
+  // Keyword also matches comments.
+  filter.keyword = "first cut";
+  EXPECT_EQ(browser.rows(filter).size(), 1u);
+
+  filter = {};
+  filter.user = "director";
+  ASSERT_EQ(browser.rows(filter).size(), 1u);
+  EXPECT_EQ(browser.rows(filter)[0].id, n2);
+
+  filter = {};
+  filter.from = session->db().instance(n2).created;
+  EXPECT_EQ(browser.rows(filter).size(), 1u);
+  filter = {};
+  filter.to = session->db().instance(n1).created;
+  EXPECT_EQ(browser.rows(filter).size(), 1u);
+
+  // The rendering carries user, date and name columns.
+  const std::string rendered = browser.render({});
+  EXPECT_NE(rendered.find("Low pass filter"), std::string::npos);
+  EXPECT_NE(rendered.find("director"), std::string::npos);
+  EXPECT_NE(rendered.find("1992-"), std::string::npos);
+}
+
+TEST(Session, BrowserUseDependenciesFilter) {
+  auto session = make_session();
+  const auto n1 = session->import_data(
+      "EditedNetlist", "v1", circuit::inverter_netlist().to_text());
+  const auto editor = session->import_data("CircuitEditor", "e",
+                                           "set mn value=2\n");
+  graph::TaskGraph edit = session->task_from_goal("EditedNetlist");
+  const graph::NodeId goal = edit.nodes().front();
+  edit.expand(goal, graph::ExpandOptions{.include_optional = true});
+  edit.bind(edit.tool_of(goal), editor);
+  edit.bind(edit.inputs_of(goal)[0], n1);
+  const auto n2 = session->run(edit).single(goal);
+
+  BrowserFilter filter;
+  filter.uses = n1;
+  const auto browser = session->browse("Netlist");
+  ASSERT_EQ(browser.rows(filter).size(), 1u);
+  EXPECT_EQ(browser.rows(filter)[0].id, n2);
+  // Superseded flag shows on the old version.
+  for (const BrowserRow& row : browser.rows({})) {
+    EXPECT_EQ(row.superseded, row.id == n1);
+  }
+}
+
+TEST(Session, TaskWindowRendering) {
+  auto session = make_session();
+  const auto stimuli = session->import_data(
+      "Stimuli", "steps", circuit::Stimuli::counter({"in"}, 100).to_text());
+  graph::TaskGraph flow = session->task_from_goal("Performance");
+  const graph::NodeId perf = flow.nodes().front();
+  flow.expand(perf);
+  flow.bind(flow.inputs_of(perf)[1], stimuli);
+  const std::string window = session->render_task_window(flow);
+  EXPECT_NE(window.find("Performance"), std::string::npos);
+  EXPECT_NE(window.find("{steps}"), std::string::npos);
+  EXPECT_NE(window.find("unbound leaves"), std::string::npos);
+}
+
+TEST(Session, SaveLoadRoundTrip) {
+  auto session = make_session();
+  const auto netlist = session->import_data(
+      "EditedNetlist", "inv", circuit::inverter_netlist().to_text());
+  graph::TaskGraph flow = session->task_from_goal("Performance");
+  flow.expand(flow.nodes().front());
+  flow.set_name("my-plan");
+  session->flows().save(flow);
+
+  const std::string saved = session->save();
+  const auto restored = DesignSession::load(saved);
+  EXPECT_EQ(restored->user(), "sutton");
+  EXPECT_EQ(restored->db().size(), session->db().size());
+  EXPECT_EQ(restored->db().payload(netlist), session->db().payload(netlist));
+  EXPECT_TRUE(restored->flows().contains("my-plan"));
+  EXPECT_EQ(restored->schema().size(), session->schema().size());
+  // The restored session saves back to the identical document.
+  EXPECT_EQ(restored->save(), saved);
+  // And is fully operational: tools are re-registered.
+  const auto plan = restored->task_from_plan("my-plan");
+  EXPECT_EQ(plan.node_count(), flow.node_count());
+}
+
+TEST(Session, LoadRejectsGarbage) {
+  EXPECT_THROW(DesignSession::load("stuff before any section"),
+               support::ParseError);
+  EXPECT_THROW(DesignSession::load("@section mystery\n"),
+               support::ParseError);
+}
+
+}  // namespace
+}  // namespace herc::core

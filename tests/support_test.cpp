@@ -1,0 +1,178 @@
+// Foundation utilities: text, records, hashing, clock, DOT, ids, blobs.
+#include <gtest/gtest.h>
+
+#include "data/blob_store.hpp"
+#include "support/clock.hpp"
+#include "support/dot.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/ids.hpp"
+#include "support/record.hpp"
+#include "support/text.hpp"
+
+namespace herc::support {
+namespace {
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Text, Split) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Text, CaseInsensitiveContains) {
+  EXPECT_TRUE(icontains("Low Pass Filter", "pass"));
+  EXPECT_TRUE(icontains("abc", ""));
+  EXPECT_FALSE(icontains("short", "longer than haystack"));
+  EXPECT_FALSE(icontains("abc", "d"));
+}
+
+TEST(Text, FieldEscapingRoundTrips) {
+  const std::string nasty = "a|b\\c\nd\\ne|p\\p";
+  EXPECT_EQ(unescape_field(escape_field(nasty)), nasty);
+  EXPECT_EQ(escape_field("plain"), "plain");
+  // Escaped text never contains a bare separator or newline.
+  const std::string escaped = escape_field(nasty);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '|') {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(escaped[i - 1], '\\');
+    }
+  }
+}
+
+TEST(Text, IdentifierValidation) {
+  EXPECT_TRUE(is_identifier("Netlist"));
+  EXPECT_TRUE(is_identifier("_x9.y-z"));
+  EXPECT_FALSE(is_identifier("9x"));
+  EXPECT_FALSE(is_identifier("a b"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier(".dot"));
+}
+
+TEST(Record, RoundTripsTypedFields) {
+  const std::string line = RecordWriter("kind")
+                               .field("text with | pipe\nand newline")
+                               .field(std::int64_t{-42})
+                               .field(std::uint32_t{7})
+                               .field(3.25)
+                               .str();
+  RecordReader reader(line);
+  EXPECT_EQ(reader.kind(), "kind");
+  EXPECT_EQ(reader.size(), 4u);
+  EXPECT_EQ(reader.next_string(), "text with | pipe\nand newline");
+  EXPECT_EQ(reader.next_int64(), -42);
+  EXPECT_EQ(reader.next_uint32(), 7u);
+  EXPECT_DOUBLE_EQ(reader.next_double(), 3.25);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Record, Errors) {
+  EXPECT_THROW(RecordReader("  "), ParseError);
+  RecordReader r("k|notanumber");
+  EXPECT_THROW(r.next_int64(), ParseError);
+  RecordReader r2("k");
+  EXPECT_THROW(r2.next_string(), ParseError);
+  RecordReader r3("k|4294967296");  // out of uint32 range
+  EXPECT_THROW(r3.next_uint32(), ParseError);
+  RecordReader r4("k|1.5x");
+  EXPECT_THROW(r4.next_double(), ParseError);
+}
+
+TEST(Hash, StableAndHexFormatted) {
+  EXPECT_EQ(fnv1a("hello"), fnv1a("hello"));
+  EXPECT_NE(fnv1a("hello"), fnv1a("hellp"));
+  EXPECT_EQ(hash_hex(fnv1a("")).size(), 16u);
+  // Incremental hashing agrees with one-shot.
+  EXPECT_EQ(fnv1a_append(fnv1a("ab"), "cd"), fnv1a("abcd"));
+}
+
+TEST(Clock, TimestampFormatting) {
+  // 1992-10-01 14:22:00 UTC (the Fig. 9 browser era).
+  const Timestamp t(717949320000000LL);
+  EXPECT_EQ(t.to_string(), "1992-10-01 14:22:00.000000");
+  EXPECT_LT(Timestamp(1), Timestamp(2));
+}
+
+TEST(Clock, ManualClockTicksDeterministically) {
+  ManualClock clock(100, 5);
+  EXPECT_EQ(clock.now().micros(), 100);
+  EXPECT_EQ(clock.now().micros(), 105);
+  clock.advance(1000);
+  EXPECT_EQ(clock.now().micros(), 1110);
+  clock.set(0);
+  EXPECT_EQ(clock.now().micros(), 0);
+}
+
+TEST(Dot, BuildsWellFormedDigraph) {
+  DotBuilder dot("g");
+  dot.graph_attr("rankdir", "BT");
+  dot.node("a", "Label \"quoted\"", {"shape=\"box\""});
+  dot.edge("a", "b", "fd", {"style=\"dashed\""});
+  const std::string out = dot.str();
+  EXPECT_NE(out.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Ids, TypedIdBasics) {
+  struct Tag {};
+  using TestId = Id<Tag>;
+  const TestId invalid;
+  EXPECT_FALSE(invalid.valid());
+  const TestId five(5);
+  EXPECT_TRUE(five.valid());
+  EXPECT_EQ(five.value(), 5u);
+  EXPECT_LT(TestId(1), TestId(2));
+  EXPECT_NE(TestId(1), TestId(2));
+  EXPECT_EQ(IdHash{}(five), IdHash{}(TestId(5)));
+}
+
+TEST(BlobStore, DeduplicatesContent) {
+  data::BlobStore store;
+  const auto k1 = store.put("payload");
+  const auto k2 = store.put("payload");
+  const auto k3 = store.put("other");
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get(k1), "payload");
+  EXPECT_EQ(store.bytes_stored(), 12u);   // "payload" + "other"
+  EXPECT_EQ(store.bytes_logical(), 19u);  // 7 + 7 + 5
+  EXPECT_TRUE(store.contains(k3));
+  EXPECT_THROW(store.get("0000000000000000"), HistoryError);
+}
+
+TEST(BlobStore, PersistenceRoundTripAndCorruption) {
+  data::BlobStore store;
+  store.put("a|b\nc");
+  store.put("");
+  const std::string text = store.save();
+  const data::BlobStore back = data::BlobStore::load(text);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.save(), text);
+  // Tampering with a payload breaks the content hash.
+  std::string corrupt = text;
+  corrupt.replace(corrupt.find("a\\pb"), 4, "a\\pX");
+  EXPECT_THROW(data::BlobStore::load(corrupt), HistoryError);
+}
+
+}  // namespace
+}  // namespace herc::support

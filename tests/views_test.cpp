@@ -1,0 +1,121 @@
+// View management as flows (§3.3, Figs. 7–8).
+#include <gtest/gtest.h>
+
+#include "circuit/edits.hpp"
+#include "circuit/layout.hpp"
+#include "circuit/logic_view.hpp"
+#include "core/session.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/error.hpp"
+#include "views/view_manager.hpp"
+
+namespace herc::views {
+namespace {
+
+using support::ExecError;
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  ViewsTest()
+      : session_(schema::make_full_schema(), "t",
+                 std::make_unique<support::ManualClock>(0, 1)),
+        manager_(session_.db(), session_.tools()) {
+    synthesizer_ = session_.import_data("Synthesizer", "syn", "");
+    placer_ = session_.import_data("Placer", "pl", "");
+    verifier_ = session_.import_data("Verifier", "lvs", "");
+    logic_ = session_.import_data("LogicView", "adder",
+                                  circuit::full_adder_logic().to_text());
+  }
+
+  core::DesignSession session_;
+  ViewManager manager_;
+  data::InstanceId synthesizer_, placer_, verifier_, logic_;
+};
+
+TEST_F(ViewsTest, RegisterValidatesViewKind) {
+  manager_.register_view("adder", ViewKind::kLogic, logic_);
+  EXPECT_EQ(manager_.view("adder", ViewKind::kLogic), logic_);
+  EXPECT_FALSE(manager_.view("adder", ViewKind::kPhysical).has_value());
+  EXPECT_FALSE(manager_.view("ghost", ViewKind::kLogic).has_value());
+  // A logic view cannot stand in the physical slot.
+  EXPECT_THROW(manager_.register_view("adder", ViewKind::kPhysical, logic_),
+               ExecError);
+}
+
+TEST_F(ViewsTest, SynthesisChainProducesConsistentViews) {
+  manager_.register_view("adder", ViewKind::kLogic, logic_);
+  const auto transistor =
+      manager_.synthesize_transistor("adder", synthesizer_);
+  EXPECT_EQ(manager_.view("adder", ViewKind::kTransistor), transistor);
+  const auto physical = manager_.synthesize_physical("adder", placer_);
+  EXPECT_EQ(manager_.view("adder", ViewKind::kPhysical), physical);
+  EXPECT_TRUE(manager_.physical_up_to_date("adder"));
+  const auto report = manager_.verify_correspondence("adder", verifier_);
+  EXPECT_TRUE(report.pass) << report.to_text();
+}
+
+TEST_F(ViewsTest, MissingViewsAreReported) {
+  EXPECT_THROW(manager_.synthesize_transistor("adder", synthesizer_),
+               ExecError);  // no logic view yet
+  manager_.register_view("adder", ViewKind::kLogic, logic_);
+  EXPECT_THROW(manager_.synthesize_physical("adder", placer_),
+               ExecError);  // no transistor view yet
+  EXPECT_THROW(manager_.verify_correspondence("adder", verifier_),
+               ExecError);
+  EXPECT_FALSE(manager_.physical_up_to_date("adder"));
+}
+
+TEST_F(ViewsTest, BrokenLayoutFailsVerification) {
+  manager_.register_view("adder", ViewKind::kLogic, logic_);
+  manager_.synthesize_transistor("adder", synthesizer_);
+  const auto physical = manager_.synthesize_physical("adder", placer_);
+  // Delete a device via the layout editor.
+  const circuit::Layout placed =
+      circuit::Layout::from_text(session_.db().payload(physical));
+  const std::string victim = placed.placements().front().device.name;
+  const auto editor = session_.import_data("LayoutEditor", "sabotage",
+                                           "unplace " + victim + "\n");
+  graph::TaskGraph edit = session_.task_from_goal("EditedLayout");
+  const graph::NodeId goal = edit.nodes().front();
+  edit.expand(goal, graph::ExpandOptions{.include_optional = true});
+  edit.bind(edit.tool_of(goal), editor);
+  edit.bind(edit.inputs_of(goal)[0], physical);
+  const auto broken = session_.run(edit).single(goal);
+  manager_.register_view("adder", ViewKind::kPhysical, broken);
+
+  const auto report = manager_.verify_correspondence("adder", verifier_);
+  EXPECT_FALSE(report.pass);
+  EXPECT_FALSE(report.errors.empty());
+}
+
+TEST_F(ViewsTest, StaleTransistorViewDetected) {
+  manager_.register_view("adder", ViewKind::kLogic, logic_);
+  manager_.synthesize_transistor("adder", synthesizer_);
+  manager_.synthesize_physical("adder", placer_);
+  EXPECT_TRUE(manager_.physical_up_to_date("adder"));
+  // Re-synthesizing the transistor view leaves the old physical view
+  // pointing at the superseded... actually at a *different* instance.
+  const auto transistor2 =
+      manager_.synthesize_transistor("adder", synthesizer_);
+  (void)transistor2;
+  EXPECT_FALSE(manager_.physical_up_to_date("adder"));
+  // Regenerating the physical view restores consistency.
+  manager_.synthesize_physical("adder", placer_);
+  EXPECT_TRUE(manager_.physical_up_to_date("adder"));
+}
+
+TEST_F(ViewsTest, Fig8FlowsHaveThePaperShape) {
+  const graph::TaskGraph synth = manager_.synthesis_flow();
+  const graph::NodeId sg = synth.goals().front();
+  EXPECT_EQ(session_.schema().entity_name(synth.node(sg).type),
+            "PlacedLayout");
+  EXPECT_EQ(session_.schema().entity_name(
+                synth.node(synth.tool_of(sg)).type),
+            "Placer");
+  const graph::TaskGraph verify = manager_.verification_flow();
+  const graph::NodeId vg = verify.goals().front();
+  EXPECT_EQ(verify.inputs_of(vg).size(), 2u);  // Layout + Netlist
+}
+
+}  // namespace
+}  // namespace herc::views
