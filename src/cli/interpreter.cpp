@@ -158,6 +158,23 @@ void Interpreter::dispatch(const Args& args, const std::string& payload) {
              cmd == "versions" || cmd == "payload" || cmd == "annotate" ||
              cmd == "stale" || cmd == "retrace" || cmd == "decompose") {
     cmd_history_query(args);
+  } else if (cmd == "failures") {
+    // §4.2-style failure query: which tasks failed, with what inputs?
+    for (const InstanceId id : session_->db().failures()) {
+      const history::Instance& inst = session_->db().instance(id);
+      *out_ << "  "
+            << (inst.status == history::InstanceStatus::kFailed ? "failed "
+                                                                : "skipped")
+            << " " << session_->schema().entity_name(inst.type) << " i"
+            << id.value() << " (task '" << inst.derivation.task << "'";
+      if (!inst.derivation.inputs.empty()) {
+        *out_ << ", inputs:";
+        for (const InstanceId in : inst.derivation.inputs) {
+          *out_ << " i" << in.value();
+        }
+      }
+      *out_ << "): " << inst.comment << "\n";
+    }
   } else if (cmd == "entities") {
     for (const auto& entry : catalog::entity_catalog(session_->schema())) {
       *out_ << "  " << entry.name << (entry.is_tool ? " [tool]" : "")
@@ -336,25 +353,66 @@ void Interpreter::cmd_flow(const Args& args) {
 }
 
 void Interpreter::cmd_run(const Args& args) {
-  if (args.size() < 2) usage("run <f> [parallel] [reuse]");
+  static const char* kUsage =
+      "run <f> [parallel] [reuse] [continue|besteffort] [retries=N] "
+      "[timeout=MS] [backoff=MS]";
+  if (args.size() < 2) usage(kUsage);
   TaskGraph& flow = flow_ref(args[1]);
   exec::ExecOptions options;
+  const auto uint_arg = [&](const std::string& token, std::size_t prefix) {
+    try {
+      std::size_t pos = 0;
+      const unsigned long v = std::stoul(token.substr(prefix), &pos);
+      if (prefix + pos != token.size()) throw std::invalid_argument("trail");
+      return v;
+    } catch (const std::invalid_argument&) {
+      usage(kUsage);
+    }
+  };
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "parallel") {
       options.parallel = true;
     } else if (args[i] == "reuse") {
       options.reuse_existing = true;
+    } else if (args[i] == "continue") {
+      options.fault.mode = exec::FailureMode::kContinueBranches;
+    } else if (args[i] == "besteffort") {
+      options.fault.mode = exec::FailureMode::kBestEffort;
+    } else if (args[i].rfind("retries=", 0) == 0) {
+      options.fault.max_retries = uint_arg(args[i], 8);
+    } else if (args[i].rfind("timeout=", 0) == 0) {
+      options.fault.timeout = std::chrono::milliseconds(uint_arg(args[i], 8));
+    } else if (args[i].rfind("backoff=", 0) == 0) {
+      options.fault.backoff = std::chrono::milliseconds(uint_arg(args[i], 8));
     } else {
-      usage("run <f> [parallel] [reuse]");
+      usage(kUsage);
     }
   }
   const exec::ExecResult result = session_->run(flow, options);
   *out_ << "ran " << result.tasks_run << " tasks ("
-        << result.tasks_reused << " reused)\n";
+        << result.tasks_reused << " reused";
+  if (result.tasks_failed > 0 || result.tasks_skipped > 0) {
+    *out_ << ", " << result.tasks_failed << " failed, "
+          << result.tasks_skipped << " skipped";
+  }
+  *out_ << ")\n";
   for (const NodeId goal : flow.goals()) {
     for (const InstanceId id : result.of(goal)) {
       *out_ << "  produced ";
       print_instance_line(id);
+    }
+  }
+  if (!result.complete()) {
+    for (const auto& [node, outcome] : result.outcomes) {
+      if (outcome.status == exec::TaskStatus::kOk) continue;
+      const char* verdict =
+          outcome.status == exec::TaskStatus::kSkipped  ? "skipped"
+          : outcome.status == exec::TaskStatus::kPartial ? "partial"
+                                                         : "FAILED";
+      *out_ << "  " << verdict << " "
+            << session_->schema().entity_name(flow.node(node).type);
+      if (!outcome.errors.empty()) *out_ << ": " << outcome.errors.front();
+      *out_ << "\n";
     }
   }
 }
@@ -484,9 +542,11 @@ void Interpreter::cmd_help() {
       "flow expand|expandup|specialize|connect|cooutput|unexpand <f> ...\n"
       "flow bind <f> <node> <iN...> | unbind <f> <node>\n"
       "flow show|lisp|dot|bipartite|save-plan <f>\n"
-      "run <f> [parallel] [reuse]      auto <Entity> [run]\n"
+      "run <f> [parallel] [reuse] [continue|besteffort] [retries=N]\n"
+      "    [timeout=MS] [backoff=MS]      auto <Entity> [run]\n"
       "browse <Entity> [keyword=..] [user=..] [uses=iN]\n"
       "find <Entity> [where <path> = iN|\"name\" [and ...]]\n"
+      "failures   (tasks that failed or were skipped, with their inputs)\n"
       "history|uses|versions|payload|stale|retrace|decompose <iN>\n"
       "trace <iN> backward|forward     annotate <iN> <name> [comment]\n"
       "entities  tools  plans  echo <text>  help  quit\n";

@@ -1,9 +1,12 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -33,6 +36,11 @@ InstanceId ExecResult::single(NodeId node) const {
                     std::to_string(vec.size()));
   }
   return vec.front();
+}
+
+const TaskOutcome* ExecResult::outcome(NodeId node) const {
+  const auto it = outcomes.find(node);
+  return it == outcomes.end() ? nullptr : &it->second;
 }
 
 Executor::Executor(history::HistoryDb& db, const tools::ToolRegistry& tools)
@@ -91,10 +99,139 @@ std::string instance_name(const TaskGraph& flow, NodeId node,
   return flow.schema().entity_name(n.type) + "#" + std::to_string(ordinal);
 }
 
-void execute_group(RunState& state, const TaskGroup& group) {
+/// Waits `backoff * multiplier^attempt` through the policy's clock (a real
+/// sleep by default; virtual when tests install a `ManualClock`).
+void backoff_wait(const FaultPolicy& policy, std::size_t attempt) {
+  if (policy.backoff.count() <= 0) return;
+  const double millis =
+      static_cast<double>(policy.backoff.count()) *
+      std::pow(policy.backoff_multiplier, static_cast<double>(attempt));
+  const auto micros = static_cast<std::int64_t>(millis * 1000.0);
+  if (policy.clock != nullptr) {
+    policy.clock->sleep_for(micros);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+/// Reusable workers for timeout-guarded tool invocations.  Spawning a
+/// fresh thread per attempt costs ~10us even when the tool is instant,
+/// which alone would blow the <5% fault-machinery overhead budget; parking
+/// idle workers on a queue makes the fault-free timeout path nearly free.
+/// A worker stuck inside a hung tool is simply abandoned — it rejoins the
+/// idle pool whenever the tool returns, and a replacement is spawned if a
+/// job arrives while no worker is idle.  The singleton is leaked so
+/// abandoned workers never race process teardown.
+class TimeoutRunner {
+ public:
+  static TimeoutRunner& instance() {
+    static TimeoutRunner* runner = new TimeoutRunner();
+    return *runner;
+  }
+
+  tools::ToolOutput run(const tools::ToolFunction& fn,
+                        const std::shared_ptr<tools::ToolContext>& ctx,
+                        std::chrono::milliseconds timeout,
+                        const std::string& label) {
+    auto task = std::make_shared<std::packaged_task<tools::ToolOutput()>>(
+        [fn, ctx]() { return fn(*ctx); });
+    std::future<tools::ToolOutput> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      jobs_.emplace_back([task]() { (*task)(); });
+      if (idle_ == 0) {
+        spawn();
+      } else {
+        cv_.notify_one();
+      }
+    }
+    if (result.wait_for(timeout) != std::future_status::ready) {
+      throw ExecError("task '" + label + "' timed out after " +
+                      std::to_string(timeout.count()) + "ms");
+    }
+    return result.get();
+  }
+
+ private:
+  TimeoutRunner() = default;
+
+  /// Caller holds `mutex_`.
+  void spawn() {
+    std::thread([this]() {
+      std::unique_lock lock(mutex_);
+      while (true) {
+        ++idle_;
+        cv_.wait(lock, [&] { return !jobs_.empty(); });
+        --idle_;
+        auto job = std::move(jobs_.front());
+        jobs_.pop_front();
+        lock.unlock();
+        job();  // may block indefinitely: the worker is abandoned meanwhile
+        lock.lock();
+      }
+    }).detach();
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::size_t idle_ = 0;
+};
+
+/// Runs the encapsulation, enforcing the per-attempt timeout.  A timed-out
+/// invocation is abandoned: its worker keeps running (holding shared
+/// ownership of the context), and the attempt counts as failed.
+tools::ToolOutput invoke_tool(const tools::ToolFunction& fn,
+                              const std::shared_ptr<tools::ToolContext>& ctx,
+                              const FaultPolicy& policy,
+                              const std::string& label) {
+  if (policy.timeout.count() <= 0) return fn(*ctx);
+  return TimeoutRunner::instance().run(fn, ctx, policy.timeout, label);
+}
+
+/// Registers one failure record per output node of `group`: type and name
+/// of the output that was *not* produced, the attempt's derivation
+/// meta-data, and the error message as the comment.
+void record_failure(RunState& state, const TaskGroup& group,
+                    history::InstanceStatus status, InstanceId tool_inst,
+                    const std::vector<InstanceId>& inputs,
+                    const std::vector<std::string>& roles,
+                    const std::string& task_label,
+                    const std::string& message) {
+  const TaskGraph& flow = *state.flow;
+  std::scoped_lock lock(state.mutex);
+  for (const NodeId out_node : group.outputs) {
+    history::RecordRequest request;
+    request.type = flow.node(out_node).type;
+    request.name = instance_name(flow, out_node, state.db->size());
+    request.user = state.options->user;
+    request.comment = message;
+    request.status = status;
+    request.derivation.tool = tool_inst;
+    request.derivation.inputs = inputs;
+    request.derivation.input_roles = roles;
+    request.derivation.task = task_label;
+    state.db->record(request);
+  }
+}
+
+/// A group-level verdict that must not abort the run in continue modes.
+struct SkipGroup {
+  std::string reason;
+};
+
+/// Executes one task group, honoring the fault policy.  Never throws in
+/// the continue modes; in fail-fast mode structural errors (missing
+/// inputs) propagate as before.  Throws `SkipGroup` (internal) when the
+/// group's inputs are unavailable in a continue mode.
+TaskOutcome execute_group(RunState& state, const TaskGroup& group) {
   const TaskGraph& flow = *state.flow;
   const schema::TaskSchema& schema = flow.schema();
+  const ExecOptions& options = *state.options;
+  const FaultPolicy& policy = options.fault;
+  const bool fail_fast = policy.mode == FailureMode::kFailFast;
   const NodeId primary = group.outputs.front();
+  TaskOutcome outcome;
 
   // Inputs in edge order of the primary output (compose order matters).
   const std::vector<NodeId> ordered_inputs = flow.inputs_of(primary);
@@ -104,7 +241,9 @@ void execute_group(RunState& state, const TaskGroup& group) {
     if (e.kind == schema::DepKind::kData) roles.push_back(e.role);
   }
 
-  // Snapshot the instance choices under the lock.
+  // Snapshot the instance choices under the lock.  In fail-fast mode a
+  // missing input aborts the run (classic behavior); in the continue modes
+  // it means an upstream task failed, so the group is skipped.
   std::vector<std::vector<InstanceId>> choices(ordered_inputs.size());
   std::vector<InstanceId> tool_choices;
   {
@@ -112,30 +251,49 @@ void execute_group(RunState& state, const TaskGroup& group) {
     for (std::size_t i = 0; i < ordered_inputs.size(); ++i) {
       const auto it = state.env.find(ordered_inputs[i].value());
       if (it == state.env.end() || it->second.empty()) {
-        throw ExecError("flow '" + flow.name() + "': input node '" +
-                        schema.entity_name(flow.node(ordered_inputs[i]).type) +
-                        "' has no instances");
+        const std::string why =
+            "flow '" + flow.name() + "': input node '" +
+            schema.entity_name(flow.node(ordered_inputs[i]).type) +
+            "' has no instances";
+        if (fail_fast) throw ExecError(why);
+        throw SkipGroup{why};
       }
       choices[i] = it->second;
     }
     if (group.tool.valid()) {
       const auto it = state.env.find(group.tool.value());
       if (it == state.env.end() || it->second.empty()) {
-        throw ExecError("flow '" + flow.name() + "': tool node '" +
-                        schema.entity_name(flow.node(group.tool).type) +
-                        "' has no instance bound or produced");
+        const std::string why =
+            "flow '" + flow.name() + "': tool node '" +
+            schema.entity_name(flow.node(group.tool).type) +
+            "' has no instance bound or produced";
+        if (fail_fast) throw ExecError(why);
+        throw SkipGroup{why};
       }
       tool_choices = it->second;
     }
   }
 
   // Set-accepting encapsulations consume whole instance sets in one call.
+  // Resolution failure (no encapsulation registered) is a task failure.
   bool accepts_sets = false;
   if (group.tool.valid()) {
-    std::scoped_lock lock(state.mutex);
-    const schema::EntityTypeId tool_type =
-        state.db->instance(tool_choices.front()).type;
-    accepts_sets = state.tools->resolve(tool_type).accepts_instance_sets;
+    try {
+      std::scoped_lock lock(state.mutex);
+      const schema::EntityTypeId tool_type =
+          state.db->instance(tool_choices.front()).type;
+      accepts_sets = state.tools->resolve(tool_type).accepts_instance_sets;
+    } catch (const std::exception& e) {
+      if (fail_fast) throw;
+      record_failure(state, group, history::InstanceStatus::kFailed,
+                     InstanceId(), {}, {},
+                     schema.entity_name(flow.node(group.tool).type),
+                     e.what());
+      outcome.status = TaskStatus::kFailed;
+      ++outcome.combinations_failed;
+      outcome.errors.emplace_back(e.what());
+      return outcome;
+    }
   }
 
   std::vector<std::size_t> sizes;
@@ -188,160 +346,339 @@ void execute_group(RunState& state, const TaskGroup& group) {
           state.result.produced[group.outputs[o]].push_back(found[o]);
         }
         ++state.result.tasks_reused;
+        ++outcome.combinations_ok;
         continue;
       }
     }
 
-    // Build the tool context (payload copies made under the lock).
-    tools::ToolContext ctx;
-    ctx.schema = &schema;
-    const tools::Encapsulation* enc = nullptr;
+    // One attempt: build the context, run the tool, record the products.
+    // Throws on failure; retried per the fault policy.
     std::string task_label = "compose";
-    {
-      std::scoped_lock lock(state.mutex);
-      for (std::size_t i = 0; i < ordered_inputs.size(); ++i) {
-        tools::ToolInput in;
-        in.type = flow.node(ordered_inputs[i]).type;
-        in.type_name = schema.entity_name(in.type);
-        in.role = roles[i];
-        for (const InstanceId inst : combo[i]) {
-          // The history instance's actual type can be narrower than the
-          // flow node's; report the actual one.
-          in.type = state.db->instance(inst).type;
+    const auto attempt_once = [&]() {
+      auto ctx = std::make_shared<tools::ToolContext>();
+      ctx->schema = &schema;
+      const tools::Encapsulation* enc = nullptr;
+      {
+        std::scoped_lock lock(state.mutex);
+        for (std::size_t i = 0; i < ordered_inputs.size(); ++i) {
+          tools::ToolInput in;
+          in.type = flow.node(ordered_inputs[i]).type;
           in.type_name = schema.entity_name(in.type);
-          in.instances.push_back(inst);
-          in.payloads.push_back(state.db->payload(inst));
-        }
-        ctx.inputs.push_back(std::move(in));
-      }
-      if (group.tool.valid()) {
-        ctx.tool_instance = tool_inst;
-        ctx.tool_type = state.db->instance(tool_inst).type;
-        ctx.tool_type_name = schema.entity_name(ctx.tool_type);
-        ctx.tool_payload = state.db->payload(tool_inst);
-        enc = &state.tools->resolve(ctx.tool_type);
-        ctx.args = enc->args;
-        task_label = enc->name;
-      }
-      // A set-accepting encapsulation sees one ToolInput per role: inputs
-      // arriving through several trace edges of the same arc (recorded
-      // set consumption) are merged back into one set.
-      if (enc != nullptr && enc->accepts_instance_sets) {
-        std::vector<tools::ToolInput> merged;
-        for (tools::ToolInput& in : ctx.inputs) {
-          bool appended = false;
-          for (tools::ToolInput& m : merged) {
-            if (m.role == in.role && m.type_name == in.type_name) {
-              m.instances.insert(m.instances.end(), in.instances.begin(),
-                                 in.instances.end());
-              m.payloads.insert(m.payloads.end(),
-                                std::make_move_iterator(in.payloads.begin()),
-                                std::make_move_iterator(in.payloads.end()));
-              appended = true;
-              break;
-            }
+          in.role = roles[i];
+          for (const InstanceId inst : combo[i]) {
+            // The history instance's actual type can be narrower than the
+            // flow node's; report the actual one.
+            in.type = state.db->instance(inst).type;
+            in.type_name = schema.entity_name(in.type);
+            in.instances.push_back(inst);
+            in.payloads.push_back(state.db->payload(inst));
           }
-          if (!appended) merged.push_back(std::move(in));
+          ctx->inputs.push_back(std::move(in));
         }
-        ctx.inputs = std::move(merged);
+        if (group.tool.valid()) {
+          ctx->tool_instance = tool_inst;
+          ctx->tool_type = state.db->instance(tool_inst).type;
+          ctx->tool_type_name = schema.entity_name(ctx->tool_type);
+          ctx->tool_payload = state.db->payload(tool_inst);
+          enc = &state.tools->resolve(ctx->tool_type);
+          ctx->args = enc->args;
+          task_label = enc->name;
+        }
+        // A set-accepting encapsulation sees one ToolInput per role: inputs
+        // arriving through several trace edges of the same arc (recorded
+        // set consumption) are merged back into one set.
+        if (enc != nullptr && enc->accepts_instance_sets) {
+          std::vector<tools::ToolInput> merged;
+          for (tools::ToolInput& in : ctx->inputs) {
+            bool appended = false;
+            for (tools::ToolInput& m : merged) {
+              if (m.role == in.role && m.type_name == in.type_name) {
+                m.instances.insert(m.instances.end(), in.instances.begin(),
+                                   in.instances.end());
+                m.payloads.insert(m.payloads.end(),
+                                  std::make_move_iterator(in.payloads.begin()),
+                                  std::make_move_iterator(in.payloads.end()));
+                appended = true;
+                break;
+              }
+            }
+            if (!appended) merged.push_back(std::move(in));
+          }
+          ctx->inputs = std::move(merged);
+        }
       }
+
+      // Run the tool outside the lock (this is the expensive part).
+      if (state.options->task_latency.count() > 0) {
+        std::this_thread::sleep_for(state.options->task_latency);
+      }
+      tools::ToolOutput out;
+      if (enc != nullptr) {
+        out = invoke_tool(enc->fn, ctx, policy, task_label);
+      } else {
+        // Compose task: consistency check, then pack the components.
+        std::vector<std::string> parts;
+        for (const tools::ToolInput& in : ctx->inputs) {
+          for (const std::string& p : in.payloads) parts.push_back(p);
+        }
+        const NodeId out_node = primary;
+        if (const auto* check =
+                schema.compose_check(flow.node(out_node).type)) {
+          std::string why;
+          if (!(*check)(parts, why)) {
+            throw ExecError("compose of '" +
+                            schema.entity_name(flow.node(out_node).type) +
+                            "' failed its consistency check: " + why);
+          }
+        }
+        out.set(schema.entity_name(flow.node(out_node).type),
+                tools::join_composite(parts));
+      }
+
+      // Record the products.
+      {
+        std::scoped_lock lock(state.mutex);
+        std::vector<std::pair<NodeId, history::RecordRequest>> records;
+        for (const NodeId out_node : group.outputs) {
+          const std::string& type_name =
+              schema.entity_name(flow.node(out_node).type);
+          const std::string* payload = out.find(type_name);
+          if (payload == nullptr) {
+            throw ExecError("task '" + task_label +
+                            "' did not produce a '" + type_name + "'");
+          }
+          history::RecordRequest request;
+          request.type = flow.node(out_node).type;
+          request.name = instance_name(flow, out_node,
+                                       state.db->size() + records.size());
+          request.user = state.options->user;
+          request.comment = "produced by " + task_label + " in flow '" +
+                            flow.name() + "'";
+          request.payload = *payload;
+          request.derivation.tool = tool_inst;
+          request.derivation.inputs = flat_inputs;
+          request.derivation.input_roles = flat_roles;
+          request.derivation.task = task_label;
+          records.emplace_back(out_node, std::move(request));
+        }
+        // All outputs validated before any is recorded: a failed
+        // combination leaves no partial products behind.
+        for (auto& [out_node, request] : records) {
+          const InstanceId id = state.db->record(request);
+          state.env[out_node.value()].push_back(id);
+          state.result.produced[out_node].push_back(id);
+        }
+        ++state.result.tasks_run;
+      }
+    };
+
+    // Retry loop with exponential backoff.
+    const std::size_t max_attempts = policy.max_retries + 1;
+    std::string last_error;
+    bool combination_ok = false;
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      ++outcome.attempts;
+      try {
+        attempt_once();
+        combination_ok = true;
+        break;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      } catch (...) {
+        last_error = "unknown error";
+      }
+      if (attempt + 1 < max_attempts) backoff_wait(policy, attempt);
     }
 
-    // Run the tool outside the lock (this is the expensive part).
-    if (state.options->task_latency.count() > 0) {
-      std::this_thread::sleep_for(state.options->task_latency);
+    if (combination_ok) {
+      ++outcome.combinations_ok;
+      continue;
     }
-    tools::ToolOutput out;
-    if (enc != nullptr) {
-      out = enc->fn(ctx);
-    } else {
-      // Compose task: consistency check, then pack the components.
-      std::vector<std::string> parts;
-      for (const tools::ToolInput& in : ctx.inputs) {
-        for (const std::string& p : in.payloads) parts.push_back(p);
-      }
-      const NodeId out_node = primary;
-      if (const auto* check =
-              schema.compose_check(flow.node(out_node).type)) {
-        std::string why;
-        if (!(*check)(parts, why)) {
-          throw ExecError("compose of '" +
-                          schema.entity_name(flow.node(out_node).type) +
-                          "' failed its consistency check: " + why);
-        }
-      }
-      out.set(schema.entity_name(flow.node(out_node).type),
-              tools::join_composite(parts));
-    }
+    ++outcome.combinations_failed;
+    outcome.errors.push_back(last_error);
+    record_failure(state, group, history::InstanceStatus::kFailed, tool_inst,
+                   flat_inputs, flat_roles, task_label, last_error);
+    // Best-effort keeps running the remaining combinations; the other
+    // modes abandon the group on its first exhausted combination.
+    if (policy.mode != FailureMode::kBestEffort) break;
+  }
 
-    // Record the products.
-    {
-      std::scoped_lock lock(state.mutex);
-      for (const NodeId out_node : group.outputs) {
-        const std::string& type_name =
-            schema.entity_name(flow.node(out_node).type);
-        const std::string* payload = out.find(type_name);
-        if (payload == nullptr) {
-          throw ExecError("task '" + task_label +
-                          "' did not produce a '" + type_name + "'");
-        }
-        history::RecordRequest request;
-        request.type = flow.node(out_node).type;
-        request.name = instance_name(flow, out_node, state.db->size());
-        request.user = state.options->user;
-        request.comment = "produced by " + task_label + " in flow '" +
-                          flow.name() + "'";
-        request.payload = *payload;
-        request.derivation.tool = tool_inst;
-        request.derivation.inputs = flat_inputs;
-        request.derivation.input_roles = flat_roles;
-        request.derivation.task = task_label;
-        const InstanceId id = state.db->record(request);
-        state.env[out_node.value()].push_back(id);
-        state.result.produced[out_node].push_back(id);
+  if (outcome.combinations_failed == 0) {
+    outcome.status = TaskStatus::kOk;
+  } else if (policy.mode == FailureMode::kBestEffort &&
+             outcome.combinations_ok > 0) {
+    outcome.status = TaskStatus::kPartial;
+  } else {
+    outcome.status = TaskStatus::kFailed;
+  }
+  return outcome;
+}
+
+/// The label used for skip records of a group that never ran.
+std::string group_label(const RunState& state, const TaskGroup& group) {
+  if (!group.tool.valid()) return "compose";
+  return state.flow->schema().entity_name(
+      state.flow->node(group.tool).type);
+}
+
+/// Stores the outcome under every output node and bumps the run counters.
+/// Caller must NOT hold `state.mutex`.
+void finalize_outcome(RunState& state, const TaskGroup& group,
+                      const TaskOutcome& outcome) {
+  std::scoped_lock lock(state.mutex);
+  state.result.tasks_failed += outcome.combinations_failed;
+  if (outcome.status == TaskStatus::kSkipped) ++state.result.tasks_skipped;
+  for (const NodeId out : group.outputs) {
+    state.result.outcomes[out] = outcome;
+  }
+}
+
+/// Marks `group` skipped: records skip records and the outcome.
+void skip_group(RunState& state, const TaskGroup& group,
+                const std::string& reason) {
+  record_failure(state, group, history::InstanceStatus::kSkipped,
+                 InstanceId(), {}, {}, group_label(state, group),
+                 "skipped: " + reason);
+  TaskOutcome outcome;
+  outcome.status = TaskStatus::kSkipped;
+  outcome.errors.push_back(reason);
+  finalize_outcome(state, group, outcome);
+}
+
+/// Dependency structure over task groups: group `g` depends on every group
+/// producing one of its inputs or its tool.
+struct GroupDag {
+  std::vector<std::vector<std::size_t>> preds;
+  std::vector<std::vector<std::size_t>> succs;
+  std::vector<std::size_t> indeg;
+
+  explicit GroupDag(const std::vector<TaskGroup>& groups)
+      : preds(groups.size()), succs(groups.size()), indeg(groups.size(), 0) {
+    std::unordered_map<std::uint32_t, std::size_t> producer;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (const NodeId out : groups[g].outputs) {
+        producer[out.value()] = g;
       }
-      ++state.result.tasks_run;
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      auto feeds = groups[g].inputs;
+      if (groups[g].tool.valid()) feeds.push_back(groups[g].tool);
+      std::unordered_set<std::size_t> seen;
+      for (const NodeId in : feeds) {
+        const auto it = producer.find(in.value());
+        if (it != producer.end() && it->second != g &&
+            seen.insert(it->second).second) {
+          preds[g].push_back(it->second);
+          succs[it->second].push_back(g);
+          ++indeg[g];
+        }
+      }
     }
   }
+};
+
+/// Decides whether `g` must be skipped before running, given the statuses
+/// of its completed predecessors.  Returns the reason, or empty to run.
+std::string skip_reason(RunState& state, const std::vector<TaskGroup>& groups,
+                        const GroupDag& dag,
+                        const std::vector<TaskStatus>& status,
+                        std::size_t g) {
+  const FailureMode mode = state.options->fault.mode;
+  if (mode == FailureMode::kContinueBranches) {
+    // Skip when any dependency did not fully succeed.
+    for (const std::size_t p : dag.preds[g]) {
+      if (status[p] == TaskStatus::kFailed ||
+          status[p] == TaskStatus::kSkipped ||
+          status[p] == TaskStatus::kPartial) {
+        return "task producing '" +
+               state.flow->schema().entity_name(
+                   state.flow->node(groups[p].outputs.front()).type) +
+               "' " +
+               (status[p] == TaskStatus::kSkipped ? "was skipped" : "failed");
+      }
+    }
+  } else if (mode == FailureMode::kBestEffort) {
+    // Skip only when some produced input ended up with no instances at all.
+    bool upstream_trouble = false;
+    for (const std::size_t p : dag.preds[g]) {
+      if (status[p] != TaskStatus::kOk) upstream_trouble = true;
+    }
+    if (upstream_trouble) {
+      std::scoped_lock lock(state.mutex);
+      auto feeds = groups[g].inputs;
+      if (groups[g].tool.valid()) feeds.push_back(groups[g].tool);
+      for (const NodeId in : feeds) {
+        const auto it = state.env.find(in.value());
+        if (it == state.env.end() || it->second.empty()) {
+          return "input '" +
+                 state.flow->schema().entity_name(state.flow->node(in).type) +
+                 "' has no surviving instances";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+/// Builds the aggregated fail-fast error out of every observed failure.
+[[noreturn]] void throw_aggregated(const std::vector<std::string>& errors) {
+  if (errors.size() == 1) throw ExecError(errors.front());
+  std::string message =
+      std::to_string(errors.size()) + " tasks failed: ";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += "[" + std::to_string(i + 1) + "] " + errors[i];
+  }
+  throw ExecError(message);
 }
 
 ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
   const ExecOptions& options = *state.options;
+  const FailureMode mode = options.fault.mode;
+  const bool fail_fast = mode == FailureMode::kFailFast;
+  const GroupDag dag(groups);
+  std::vector<TaskStatus> status(groups.size(), TaskStatus::kOk);
+
   if (!options.parallel || groups.size() < 2) {
-    for (const TaskGroup& group : groups) execute_group(state, group);
+    std::vector<std::string> failures;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::string reason =
+          skip_reason(state, groups, dag, status, g);
+      if (!reason.empty()) {
+        status[g] = TaskStatus::kSkipped;
+        skip_group(state, groups[g], reason);
+        continue;
+      }
+      TaskOutcome outcome;
+      try {
+        outcome = execute_group(state, groups[g]);
+      } catch (const SkipGroup& skip) {
+        status[g] = TaskStatus::kSkipped;
+        skip_group(state, groups[g], skip.reason);
+        continue;
+      }
+      status[g] = outcome.status;
+      const bool failed = outcome.status == TaskStatus::kFailed ||
+                          outcome.status == TaskStatus::kPartial;
+      if (failed) {
+        failures.insert(failures.end(), outcome.errors.begin(),
+                        outcome.errors.end());
+      }
+      finalize_outcome(state, groups[g], outcome);
+      if (fail_fast && failed) throw_aggregated(failures);
+    }
     return std::move(state.result);
   }
 
   // Parallel scheduling: a group is ready once every group producing one of
-  // its inputs (or its tool) has completed.
-  std::unordered_map<std::uint32_t, std::size_t> producer;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    for (const NodeId out : groups[g].outputs) {
-      producer[out.value()] = g;
-    }
-  }
-  std::vector<std::vector<std::size_t>> succs(groups.size());
-  std::vector<std::size_t> indeg(groups.size(), 0);
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    auto feeds = groups[g].inputs;
-    if (groups[g].tool.valid()) feeds.push_back(groups[g].tool);
-    std::unordered_set<std::size_t> preds;
-    for (const NodeId in : feeds) {
-      const auto it = producer.find(in.value());
-      if (it != producer.end() && it->second != g) preds.insert(it->second);
-    }
-    for (const std::size_t p : preds) {
-      succs[p].push_back(g);
-      ++indeg[g];
-    }
-  }
-
+  // its inputs (or its tool) has completed (in any state).
   std::mutex sched_mutex;
   std::condition_variable cv;
   std::deque<std::size_t> ready;
   std::size_t completed = 0;
-  bool failed = false;
-  std::exception_ptr error;
+  bool abort = false;  // fail-fast: stop dequeuing, workers drain out
+  std::vector<std::string> failures;
+  std::vector<std::size_t> indeg = dag.indeg;
   for (std::size_t g = 0; g < groups.size(); ++g) {
     if (indeg[g] == 0) ready.push_back(g);
   }
@@ -355,30 +692,67 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
     workers.emplace_back([&]() {
       while (true) {
         std::size_t g;
+        std::string reason;
         {
           std::unique_lock lock(sched_mutex);
           cv.wait(lock, [&] {
-            return !ready.empty() || completed == groups.size() || failed;
+            return !ready.empty() || completed == groups.size() || abort;
           });
-          if (failed || completed == groups.size()) return;
+          if (abort || completed == groups.size()) return;
           g = ready.front();
           ready.pop_front();
         }
-        try {
-          execute_group(state, groups[g]);
-        } catch (...) {
-          std::scoped_lock lock(sched_mutex);
-          if (!failed) {
-            failed = true;
-            error = std::current_exception();
+        // The skip decision reads predecessor statuses; they are final
+        // because a group only becomes ready after all its predecessors
+        // completed.  (`skip_reason` takes `state.mutex` internally, so it
+        // must run outside `sched_mutex`.)
+        reason = skip_reason(state, groups, dag, status, g);
+
+        TaskOutcome outcome;
+        if (!reason.empty()) {
+          skip_group(state, groups[g], reason);
+          outcome.status = TaskStatus::kSkipped;
+        } else {
+          try {
+            outcome = execute_group(state, groups[g]);
+            finalize_outcome(state, groups[g], outcome);
+          } catch (const SkipGroup& skip) {
+            skip_group(state, groups[g], skip.reason);
+            outcome.status = TaskStatus::kSkipped;
+          } catch (const std::exception& e) {
+            if (fail_fast) {
+              // Structural error (missing inputs): abort the run, but keep
+              // collecting failures from workers mid-flight.
+              std::scoped_lock lock(sched_mutex);
+              failures.emplace_back(e.what());
+              abort = true;
+              cv.notify_all();
+              return;
+            }
+            // A continue mode must never lose a group: count the group as
+            // failed so its dependents are skipped, not deadlocked.
+            outcome.status = TaskStatus::kFailed;
+            outcome.errors.emplace_back(e.what());
+            finalize_outcome(state, groups[g], outcome);
           }
-          cv.notify_all();
-          return;
         }
+
         {
           std::scoped_lock lock(sched_mutex);
+          status[g] = outcome.status;
+          const bool failed = outcome.status == TaskStatus::kFailed ||
+                              outcome.status == TaskStatus::kPartial;
+          if (failed) {
+            failures.insert(failures.end(), outcome.errors.begin(),
+                            outcome.errors.end());
+            if (fail_fast) {
+              abort = true;
+              cv.notify_all();
+              return;
+            }
+          }
           ++completed;
-          for (const std::size_t s : succs[g]) {
+          for (const std::size_t s : dag.succs[g]) {
             if (--indeg[s] == 0) ready.push_back(s);
           }
           cv.notify_all();
@@ -387,7 +761,7 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
     });
   }
   for (std::thread& w : workers) w.join();
-  if (failed) std::rethrow_exception(error);
+  if (fail_fast && !failures.empty()) throw_aggregated(failures);
   return std::move(state.result);
 }
 

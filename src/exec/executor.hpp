@@ -26,9 +26,43 @@
 
 #include "graph/task_graph.hpp"
 #include "history/history_db.hpp"
+#include "support/clock.hpp"
 #include "tools/registry.hpp"
 
 namespace herc::exec {
+
+/// What the engine does when a task keeps failing after its retries.
+enum class FailureMode {
+  /// Abort the whole run on the first exhausted task (the classic
+  /// behavior); every failure observed before the abort is still recorded
+  /// and aggregated into the thrown `ExecError`.
+  kFailFast,
+  /// Record the failure, skip every task that (transitively) depends on
+  /// it, and run everything else — disjoint branches always complete.
+  kContinueBranches,
+  /// Like `kContinueBranches`, but a failure inside a fanned-out task only
+  /// kills that combination: the task keeps its surviving products and
+  /// dependents run as long as every input still has at least one instance.
+  kBestEffort,
+};
+
+/// Per-task failure handling: retries with exponential backoff, a timeout,
+/// and the run-level failure mode.  Backoff waits go through `clock` so
+/// tests driven by a `support::ManualClock` observe the waits virtually.
+struct FaultPolicy {
+  FailureMode mode = FailureMode::kFailFast;
+  /// Extra attempts after the first failure (0 = no retry).
+  std::size_t max_retries = 0;
+  /// Wait before retry `k` is `backoff * backoff_multiplier^k`.
+  std::chrono::milliseconds backoff{0};
+  double backoff_multiplier = 2.0;
+  /// Per-attempt wall-clock limit for a tool invocation; 0 = unlimited.
+  /// A timed-out invocation is abandoned (its thread keeps running
+  /// detached) and counts as a failed attempt.
+  std::chrono::milliseconds timeout{0};
+  /// Waits backoff through this clock; defaults to a real sleep.
+  support::Clock* clock = nullptr;
+};
 
 struct ExecOptions {
   /// Run independent task groups concurrently on a thread pool.
@@ -41,6 +75,29 @@ struct ExecOptions {
   /// Artificial per-task latency, emulating slow external tools (used by
   /// the Fig. 6 parallel-speedup benchmark).
   std::chrono::milliseconds task_latency{0};
+  /// Failure semantics (retries, timeout, failure mode).
+  FaultPolicy fault;
+};
+
+/// Per-task execution verdict.
+enum class TaskStatus {
+  kOk,       ///< every combination produced its outputs (or was reused)
+  kPartial,  ///< best-effort: some combinations produced, some failed
+  kFailed,   ///< no combination produced outputs
+  kSkipped,  ///< never ran: an upstream task failed or was skipped
+};
+
+/// What happened to one task group, keyed by its output nodes.
+struct TaskOutcome {
+  TaskStatus status = TaskStatus::kOk;
+  /// Tool invocations, including retries, across all combinations.
+  std::size_t attempts = 0;
+  /// Fan-out combinations that produced / failed.
+  std::size_t combinations_ok = 0;
+  std::size_t combinations_failed = 0;
+  /// The failure messages (one per failed combination; for a skipped task,
+  /// the skip reason).
+  std::vector<std::string> errors;
 };
 
 /// What one `run` produced, keyed by flow node.
@@ -50,6 +107,13 @@ struct ExecResult {
       produced;
   std::size_t tasks_run = 0;
   std::size_t tasks_reused = 0;
+  /// Fan-out combinations whose retries were exhausted.
+  std::size_t tasks_failed = 0;
+  /// Task groups skipped because an upstream task failed.
+  std::size_t tasks_skipped = 0;
+  /// Per-node verdicts: every output node of a task group maps to the
+  /// group's outcome.  Populated for every executed/failed/skipped group.
+  std::unordered_map<graph::NodeId, TaskOutcome, support::IdHash> outcomes;
 
   /// Instances produced for `node` (empty when the node was a bound leaf).
   [[nodiscard]] const std::vector<data::InstanceId>& of(
@@ -57,6 +121,13 @@ struct ExecResult {
   /// The single instance produced for `node`; throws `ExecError` when the
   /// task fanned out or produced nothing.
   [[nodiscard]] data::InstanceId single(graph::NodeId node) const;
+  /// The outcome recorded for `node`, or null for bound leaves / nodes
+  /// outside the run.
+  [[nodiscard]] const TaskOutcome* outcome(graph::NodeId node) const;
+  /// True when every task produced everything it should have.
+  [[nodiscard]] bool complete() const {
+    return tasks_failed == 0 && tasks_skipped == 0;
+  }
 };
 
 class Executor {
@@ -66,6 +137,13 @@ class Executor {
 
   /// Executes every task of `flow`.  Preconditions: the flow checks
   /// against its schema and every leaf is bound (`FlowError` otherwise).
+  ///
+  /// Failure semantics follow `options.fault`: under `kFailFast` (default)
+  /// the first task whose retries are exhausted aborts the run with an
+  /// `ExecError` aggregating every failure observed; under
+  /// `kContinueBranches`/`kBestEffort` the run returns normally and the
+  /// result carries per-task outcomes.  Failed and skipped attempts are
+  /// recorded in the history database as failure records in every mode.
   ExecResult run(const graph::TaskGraph& flow, const ExecOptions& options = {});
 
   /// Executes only the sub-flow rooted at `goal` — "a subflow may be run

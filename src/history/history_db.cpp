@@ -66,15 +66,20 @@ InstanceId HistoryDb::record(const RecordRequest& request) {
   inst.comment = request.comment;
   inst.created = clock_->now();
   inst.blob = blobs_.put(request.payload);
+  inst.status = request.status;
   inst.derivation = request.derivation;
 
   // Version numbering: an editing task (input of the same root entity type,
-  // §4.2) continues its input's lineage.
-  const EntityTypeId self_root = root_type(request.type);
-  for (const InstanceId in : request.derivation.inputs) {
-    if (root_type(instances_[in.index()].type) == self_root) {
-      inst.version = instances_[in.index()].version + 1;
-      break;
+  // §4.2) continues its input's lineage.  A failed edit produced nothing,
+  // so it must not occupy a slot in the version tree (or supersede its
+  // input): failure records always stay at version 1.
+  if (inst.ok()) {
+    const EntityTypeId self_root = root_type(request.type);
+    for (const InstanceId in : request.derivation.inputs) {
+      if (root_type(instances_[in.index()].type) == self_root) {
+        inst.version = instances_[in.index()].version + 1;
+        break;
+      }
     }
   }
 
@@ -121,13 +126,23 @@ std::vector<InstanceId> HistoryDb::all() const {
 }
 
 std::vector<InstanceId> HistoryDb::instances_of(EntityTypeId type,
-                                                bool include_subtypes) const {
+                                                bool include_subtypes,
+                                                bool include_failures) const {
   std::vector<InstanceId> out;
   for (const Instance& inst : instances_) {
+    if (!inst.ok() && !include_failures) continue;
     const bool match = include_subtypes
                            ? schema_->is_ancestor_or_self(type, inst.type)
                            : inst.type == type;
     if (match) out.push_back(inst.id);
+  }
+  return out;
+}
+
+std::vector<InstanceId> HistoryDb::failures() const {
+  std::vector<InstanceId> out;
+  for (const Instance& inst : instances_) {
+    if (!inst.ok()) out.push_back(inst.id);
   }
   return out;
 }
@@ -183,6 +198,9 @@ std::vector<InstanceId> HistoryDb::dependent_closure(InstanceId id) const {
 
 std::optional<InstanceId> HistoryDb::edit_parent(InstanceId id) const {
   const Instance& inst = instance(id);
+  // A failed edit never entered the version tree, so it neither has an edit
+  // parent nor supersedes anything.
+  if (!inst.ok()) return std::nullopt;
   const EntityTypeId self_root = root_type(inst.type);
   for (const InstanceId in : inst.derivation.inputs) {
     if (root_type(instances_[in.index()].type) == self_root) return in;
@@ -245,6 +263,9 @@ std::optional<InstanceId> HistoryDb::find_existing(
   }
   for (const InstanceId cand : candidates) {
     const Instance& inst = instances_[cand.index()];
+    // Memoization must treat failed outputs as absent: a recorded failure
+    // never satisfies "has this task been performed yet?".
+    if (!inst.ok()) continue;
     if (inst.type != type) continue;
     if (inst.derivation.tool != tool) continue;
     std::vector<InstanceId> have = inst.derivation.inputs;
@@ -266,6 +287,7 @@ std::string HistoryDb::save() const {
     w.field(inst.comment);
     w.field(inst.blob);
     w.field(inst.version);
+    w.field(static_cast<std::uint32_t>(inst.status));
     w.field(inst.derivation.task);
     w.field(inst.derivation.tool.valid()
                 ? static_cast<std::int64_t>(inst.derivation.tool.value())
@@ -308,6 +330,11 @@ HistoryDb HistoryDb::load(const schema::TaskSchema& schema,
         throw HistoryError("history file: instance references missing blob");
       }
       inst.version = rec.next_uint32();
+      const std::uint32_t status = rec.next_uint32();
+      if (status > static_cast<std::uint32_t>(InstanceStatus::kSkipped)) {
+        throw HistoryError("history file: unknown instance status");
+      }
+      inst.status = static_cast<InstanceStatus>(status);
       inst.derivation.task = rec.next_string();
       const std::int64_t tool = rec.next_int64();
       if (tool >= 0) {

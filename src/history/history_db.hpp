@@ -29,6 +29,10 @@ struct RecordRequest {
   std::string user;
   std::string comment;
   std::string payload;
+  /// `kFailed`/`kSkipped` register a failure record: the attempt's
+  /// derivation is kept for §4.2 queries, but the record never satisfies
+  /// binding, memoization or version queries.
+  InstanceStatus status = InstanceStatus::kOk;
   Derivation derivation;
 };
 
@@ -71,9 +75,17 @@ class HistoryDb {
   [[nodiscard]] std::vector<data::InstanceId> all() const;
 
   /// Instances whose type is `type` (or a descendant, by default) — the
-  /// browser's per-entity listing of Fig. 9.
+  /// browser's per-entity listing of Fig. 9.  Failure records are excluded
+  /// unless `include_failures` is set: a failed output does not exist as
+  /// design data.
   [[nodiscard]] std::vector<data::InstanceId> instances_of(
-      schema::EntityTypeId type, bool include_subtypes = true) const;
+      schema::EntityTypeId type, bool include_subtypes = true,
+      bool include_failures = false) const;
+
+  /// All failure records (`kFailed` and `kSkipped`), in creation order —
+  /// the §4.2-style "which tasks failed, with what inputs?" query; each
+  /// record's derivation names the tool and input instances of the attempt.
+  [[nodiscard]] std::vector<data::InstanceId> failures() const;
 
   // ---- chaining queries (§4.2) ----------------------------------------------
 

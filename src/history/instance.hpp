@@ -37,6 +37,18 @@ struct Derivation {
   }
 };
 
+/// Outcome of the task execution that a record describes.  The history
+/// records *everything* that happened during a design (§4.2), including
+/// tasks that failed or were skipped because a dependency failed: those
+/// records carry the derivation meta-data of the attempt ("which tasks
+/// failed, with what inputs?") but are invisible to binding, memoization
+/// and consistency queries — a failed output is treated as absent.
+enum class InstanceStatus : std::uint8_t {
+  kOk = 0,       ///< the task produced this instance
+  kFailed = 1,   ///< the task ran (with retries) and failed; no payload
+  kSkipped = 2,  ///< the task never ran: an upstream dependency failed
+};
+
 /// One design object: meta-data plus a reference to shared physical data.
 struct Instance {
   data::InstanceId id;
@@ -53,7 +65,13 @@ struct Instance {
   data::BlobKey blob;
   /// Version ordinal within the instance's edit lineage (1 = original).
   std::uint32_t version = 1;
+  /// Failure records (`kFailed`/`kSkipped`) exist only for their
+  /// derivation meta-data; their payload is empty and `comment` holds the
+  /// error message (or skip reason).
+  InstanceStatus status = InstanceStatus::kOk;
   Derivation derivation;
+
+  [[nodiscard]] bool ok() const { return status == InstanceStatus::kOk; }
 };
 
 }  // namespace herc::history

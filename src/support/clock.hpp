@@ -5,9 +5,11 @@
 // framework never reads the system clock directly; it asks a `Clock`.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 
 namespace herc::support {
 
@@ -48,11 +50,15 @@ class Timestamp {
   std::int64_t micros_ = 0;
 };
 
-/// Abstract time source.
+/// Abstract time source.  Also the framework's *sleep* abstraction: retry
+/// backoff in the execution engine waits through the clock, so tests driven
+/// by a `ManualClock` observe exponential backoff without real delays.
 class Clock {
  public:
   virtual ~Clock() = default;
   [[nodiscard]] virtual Timestamp now() = 0;
+  /// Blocks (or virtually advances) for `micros` microseconds.
+  virtual void sleep_for(std::int64_t micros) = 0;
 };
 
 /// Wall-clock time source.
@@ -63,10 +69,15 @@ class SystemClock final : public Clock {
     return Timestamp(
         std::chrono::duration_cast<std::chrono::microseconds>(tp).count());
   }
+
+  void sleep_for(std::int64_t micros) override {
+    if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
 };
 
 /// Deterministic time source: every call to `now()` advances by a fixed
-/// tick, so consecutive instances get strictly increasing stamps.
+/// tick, so consecutive instances get strictly increasing stamps.  Safe to
+/// share between the worker threads of a parallel flow execution.
 class ManualClock final : public Clock {
  public:
   explicit ManualClock(std::int64_t start_micros = 0,
@@ -74,18 +85,30 @@ class ManualClock final : public Clock {
       : current_(start_micros), tick_(tick_micros) {}
 
   [[nodiscard]] Timestamp now() override {
-    const Timestamp t(current_);
-    current_ += tick_;
-    return t;
+    return Timestamp(current_.fetch_add(tick_, std::memory_order_relaxed));
+  }
+
+  /// A virtual sleep: jumps the clock forward without blocking.
+  void sleep_for(std::int64_t micros) override {
+    if (micros > 0) current_.fetch_add(micros, std::memory_order_relaxed);
   }
 
   /// Jump forward (e.g. to simulate "the next day" in a session script).
-  void advance(std::int64_t micros) { current_ += micros; }
+  void advance(std::int64_t micros) {
+    current_.fetch_add(micros, std::memory_order_relaxed);
+  }
 
-  void set(std::int64_t micros) { current_ = micros; }
+  void set(std::int64_t micros) {
+    current_.store(micros, std::memory_order_relaxed);
+  }
+
+  /// The next stamp `now()` would hand out (for backoff assertions).
+  [[nodiscard]] std::int64_t current_micros() const {
+    return current_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t current_;
+  std::atomic<std::int64_t> current_;
   std::int64_t tick_;
 };
 

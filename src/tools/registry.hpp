@@ -31,9 +31,13 @@ struct Encapsulation {
   bool accepts_instance_sets = false;
 };
 
+/// The lookup methods are virtual so decorators (e.g. the deterministic
+/// `FaultInjectingRegistry` of `tools/fault_injection.hpp`) can interpose
+/// on resolution without the execution engine knowing.
 class ToolRegistry {
  public:
   explicit ToolRegistry(const schema::TaskSchema& schema);
+  virtual ~ToolRegistry() = default;
 
   [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
 
@@ -47,18 +51,18 @@ class ToolRegistry {
 
   /// The default encapsulation for `tool_type`, searching the type itself
   /// then its ancestors.  Throws `ExecError` when none is registered.
-  [[nodiscard]] const Encapsulation& resolve(
+  [[nodiscard]] virtual const Encapsulation& resolve(
       schema::EntityTypeId tool_type) const;
 
-  [[nodiscard]] bool has(schema::EntityTypeId tool_type) const;
-  [[nodiscard]] const Encapsulation* find(std::string_view name) const;
+  [[nodiscard]] virtual bool has(schema::EntityTypeId tool_type) const;
+  [[nodiscard]] virtual const Encapsulation* find(std::string_view name) const;
 
   /// All encapsulations registered for `tool_type` (exact type only).
-  [[nodiscard]] std::vector<const Encapsulation*> variants(
+  [[nodiscard]] virtual std::vector<const Encapsulation*> variants(
       schema::EntityTypeId tool_type) const;
 
   /// Every registered encapsulation name (the tool catalog's listing).
-  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] virtual std::vector<std::string> names() const;
 
  private:
   const schema::TaskSchema* schema_;

@@ -1,0 +1,122 @@
+// Property: for randomly generated DAG flows under a fixed fault schedule,
+// serial and parallel execution are observationally equivalent — they
+// produce identical history-database contents (instance counts, payloads,
+// failure records, derivations) and identical run accounting.  Instance
+// ids, names and timestamps depend on the schedule and are excluded via
+// the order-independent `history_signature`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault_test_util.hpp"
+
+namespace herc::faulttest {
+namespace {
+
+using exec::ExecOptions;
+using exec::ExecResult;
+using exec::Executor;
+using exec::FailureMode;
+
+constexpr std::size_t kTasks = 12;
+
+ExecResult run_dag(World& w, const graph::TaskGraph& flow,
+                   const std::vector<tools::FaultSpec>& faults, bool parallel,
+                   FailureMode mode) {
+  tools::FaultInjectingRegistry faulty(w.tools);
+  for (const tools::FaultSpec& spec : faults) faulty.inject(spec);
+  Executor ex(w.db, faulty);
+  ExecOptions opt;
+  opt.parallel = parallel;
+  opt.max_threads = 4;
+  opt.fault.mode = mode;
+  opt.fault.max_retries = 1;
+  opt.fault.backoff = std::chrono::milliseconds{1};
+  opt.fault.clock = &w.clock;  // virtual backoff: no real sleeps
+  return ex.run(flow, opt);
+}
+
+TEST(FaultPropertyTest, SerialAndParallelProduceIdenticalHistories) {
+  std::size_t total_failed = 0;
+  std::size_t total_ok = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FailureMode mode = (seed % 2 == 0) ? FailureMode::kBestEffort
+                                             : FailureMode::kContinueBranches;
+    World serial_world;
+    const graph::TaskGraph serial_flow =
+        make_random_dag(serial_world, kTasks, seed);
+    World parallel_world;
+    const graph::TaskGraph parallel_flow =
+        make_random_dag(parallel_world, kTasks, seed);
+    const auto faults = random_faults(kTasks, seed);
+
+    const ExecResult a =
+        run_dag(serial_world, serial_flow, faults, /*parallel=*/false, mode);
+    const ExecResult b =
+        run_dag(parallel_world, parallel_flow, faults, /*parallel=*/true, mode);
+
+    EXPECT_EQ(a.tasks_run, b.tasks_run);
+    EXPECT_EQ(a.tasks_failed, b.tasks_failed);
+    EXPECT_EQ(a.tasks_skipped, b.tasks_skipped);
+    EXPECT_EQ(history_signature(serial_world.db),
+              history_signature(parallel_world.db));
+    total_failed += a.tasks_failed + a.tasks_skipped;
+    total_ok += a.tasks_run;
+  }
+  // Guard against a vacuous property: across the eight seeds some tasks
+  // must have failed or been skipped, and some must have succeeded.
+  EXPECT_GT(total_failed, 0u);
+  EXPECT_GT(total_ok, 0u);
+}
+
+TEST(FaultPropertyTest, RepeatedRunsAreBitIdentical) {
+  const auto run_once = [](std::uint64_t seed) {
+    World w;
+    const graph::TaskGraph flow = make_random_dag(w, kTasks, seed);
+    const auto faults = random_faults(kTasks, seed);
+    const ExecResult r = run_dag(w, flow, faults, /*parallel=*/true,
+                                 FailureMode::kContinueBranches);
+    return std::make_pair(
+        std::make_tuple(r.tasks_run, r.tasks_failed, r.tasks_skipped),
+        history_signature(w.db));
+  };
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto a = run_once(seed);
+    const auto b = run_once(seed);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+  }
+}
+
+TEST(FaultPropertyTest, FailureRecordCountsMatchRunAccounting) {
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    World w;
+    const graph::TaskGraph flow = make_random_dag(w, kTasks, seed);
+    const auto faults = random_faults(kTasks, seed);
+    const ExecResult r = run_dag(w, flow, faults, /*parallel=*/true,
+                                 FailureMode::kContinueBranches);
+    // One failure record per failed combination plus one per skipped task
+    // (every task here has exactly one output node and fan-out one).
+    std::size_t failed_records = 0;
+    std::size_t skipped_records = 0;
+    for (const data::InstanceId id : w.db.failures()) {
+      const history::Instance& inst = w.db.instance(id);
+      if (inst.status == history::InstanceStatus::kFailed) ++failed_records;
+      if (inst.status == history::InstanceStatus::kSkipped) ++skipped_records;
+      // Failure records carry no payload; the error is in the comment.
+      EXPECT_TRUE(w.db.payload(id).empty());
+      EXPECT_FALSE(inst.comment.empty());
+    }
+    EXPECT_EQ(failed_records, r.tasks_failed);
+    EXPECT_EQ(skipped_records, r.tasks_skipped);
+    // Every task is accounted for exactly once.
+    EXPECT_EQ(r.tasks_run + r.tasks_failed + r.tasks_skipped, kTasks);
+  }
+}
+
+}  // namespace
+}  // namespace herc::faulttest
