@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approaches.dir/bench_approaches.cpp.o"
+  "CMakeFiles/bench_approaches.dir/bench_approaches.cpp.o.d"
+  "bench_approaches"
+  "bench_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

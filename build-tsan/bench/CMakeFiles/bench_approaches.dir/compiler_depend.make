@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_approaches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_automation.dir/bench_automation.cpp.o"
+  "CMakeFiles/bench_automation.dir/bench_automation.cpp.o.d"
+  "bench_automation"
+  "bench_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consistency.dir/bench_consistency.cpp.o"
+  "CMakeFiles/bench_consistency.dir/bench_consistency.cpp.o.d"
+  "bench_consistency"
+  "bench_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

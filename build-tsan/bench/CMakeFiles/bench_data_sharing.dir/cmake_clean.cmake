@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_sharing.dir/bench_data_sharing.cpp.o"
+  "CMakeFiles/bench_data_sharing.dir/bench_data_sharing.cpp.o.d"
+  "bench_data_sharing"
+  "bench_data_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

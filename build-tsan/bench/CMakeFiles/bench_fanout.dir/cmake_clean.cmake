@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fanout.dir/bench_fanout.cpp.o"
+  "CMakeFiles/bench_fanout.dir/bench_fanout.cpp.o.d"
+  "bench_fanout"
+  "bench_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

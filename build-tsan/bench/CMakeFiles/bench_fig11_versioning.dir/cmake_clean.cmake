@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_versioning.dir/bench_fig11_versioning.cpp.o"
+  "CMakeFiles/bench_fig11_versioning.dir/bench_fig11_versioning.cpp.o.d"
+  "bench_fig11_versioning"
+  "bench_fig11_versioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_versioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_schema.dir/bench_fig1_schema.cpp.o"
+  "CMakeFiles/bench_fig1_schema.dir/bench_fig1_schema.cpp.o.d"
+  "bench_fig1_schema"
+  "bench_fig1_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cosmos.dir/bench_fig2_cosmos.cpp.o"
+  "CMakeFiles/bench_fig2_cosmos.dir/bench_fig2_cosmos.cpp.o.d"
+  "bench_fig2_cosmos"
+  "bench_fig2_cosmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cosmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_repr.dir/bench_fig3_repr.cpp.o"
+  "CMakeFiles/bench_fig3_repr.dir/bench_fig3_repr.cpp.o.d"
+  "bench_fig3_repr"
+  "bench_fig3_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

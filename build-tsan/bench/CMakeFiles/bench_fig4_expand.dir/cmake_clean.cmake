@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_expand.dir/bench_fig4_expand.cpp.o"
+  "CMakeFiles/bench_fig4_expand.dir/bench_fig4_expand.cpp.o.d"
+  "bench_fig4_expand"
+  "bench_fig4_expand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_expand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_viewflows.cpp" "bench/CMakeFiles/bench_fig8_viewflows.dir/bench_fig8_viewflows.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_viewflows.dir/bench_fig8_viewflows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/herc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/views/CMakeFiles/herc_views.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/herc_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exec/CMakeFiles/herc_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/history/CMakeFiles/herc_history.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/herc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tools/CMakeFiles/herc_tools.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuit/CMakeFiles/herc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/schema/CMakeFiles/herc_schema.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/herc_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/herc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_viewflows.dir/bench_fig8_viewflows.cpp.o"
+  "CMakeFiles/bench_fig8_viewflows.dir/bench_fig8_viewflows.cpp.o.d"
+  "bench_fig8_viewflows"
+  "bench_fig8_viewflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_viewflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_browser.dir/bench_fig9_browser.cpp.o"
+  "CMakeFiles/bench_fig9_browser.dir/bench_fig9_browser.cpp.o.d"
+  "bench_fig9_browser"
+  "bench_fig9_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

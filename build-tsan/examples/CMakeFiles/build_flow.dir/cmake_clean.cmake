@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_flow.dir/build_flow.cpp.o"
+  "CMakeFiles/build_flow.dir/build_flow.cpp.o.d"
+  "build_flow"
+  "build_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

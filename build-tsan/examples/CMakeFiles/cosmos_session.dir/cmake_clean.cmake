@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_session.dir/cosmos_session.cpp.o"
+  "CMakeFiles/cosmos_session.dir/cosmos_session.cpp.o.d"
+  "cosmos_session"
+  "cosmos_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_session.dir/design_session.cpp.o"
+  "CMakeFiles/design_session.dir/design_session.cpp.o.d"
+  "design_session"
+  "design_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hercules_shell.dir/hercules_shell.cpp.o"
+  "CMakeFiles/hercules_shell.dir/hercules_shell.cpp.o.d"
+  "hercules_shell"
+  "hercules_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hercules_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

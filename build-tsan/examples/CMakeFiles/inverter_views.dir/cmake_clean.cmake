@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverter_views.dir/inverter_views.cpp.o"
+  "CMakeFiles/inverter_views.dir/inverter_views.cpp.o.d"
+  "inverter_views"
+  "inverter_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverter_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

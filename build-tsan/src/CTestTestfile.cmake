@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("schema")
+subdirs("graph")
+subdirs("data")
+subdirs("history")
+subdirs("circuit")
+subdirs("tools")
+subdirs("exec")
+subdirs("catalog")
+subdirs("views")
+subdirs("core")
+subdirs("cli")

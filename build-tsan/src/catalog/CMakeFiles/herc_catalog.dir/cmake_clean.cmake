@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_catalog.dir/catalogs.cpp.o"
+  "CMakeFiles/herc_catalog.dir/catalogs.cpp.o.d"
+  "libherc_catalog.a"
+  "libherc_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

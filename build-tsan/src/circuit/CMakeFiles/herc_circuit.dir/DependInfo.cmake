@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/compare.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/compare.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/compare.cpp.o.d"
+  "/root/repo/src/circuit/cosmos.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/cosmos.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/cosmos.cpp.o.d"
+  "/root/repo/src/circuit/edits.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/edits.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/edits.cpp.o.d"
+  "/root/repo/src/circuit/extract.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/extract.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/extract.cpp.o.d"
+  "/root/repo/src/circuit/layout.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/layout.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/layout.cpp.o.d"
+  "/root/repo/src/circuit/library.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/library.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/library.cpp.o.d"
+  "/root/repo/src/circuit/logic_view.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/logic_view.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/logic_view.cpp.o.d"
+  "/root/repo/src/circuit/models.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/models.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/models.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/optimize.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/optimize.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/optimize.cpp.o.d"
+  "/root/repo/src/circuit/place.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/place.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/place.cpp.o.d"
+  "/root/repo/src/circuit/plot.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/plot.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/plot.cpp.o.d"
+  "/root/repo/src/circuit/route.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/route.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/route.cpp.o.d"
+  "/root/repo/src/circuit/sim.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/sim.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/sim.cpp.o.d"
+  "/root/repo/src/circuit/stimuli.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/stimuli.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/stimuli.cpp.o.d"
+  "/root/repo/src/circuit/vcd.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/vcd.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/vcd.cpp.o.d"
+  "/root/repo/src/circuit/verify.cpp" "src/circuit/CMakeFiles/herc_circuit.dir/verify.cpp.o" "gcc" "src/circuit/CMakeFiles/herc_circuit.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/herc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_cli.dir/interpreter.cpp.o"
+  "CMakeFiles/herc_cli.dir/interpreter.cpp.o.d"
+  "libherc_cli.a"
+  "libherc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_core.dir/browser.cpp.o"
+  "CMakeFiles/herc_core.dir/browser.cpp.o.d"
+  "CMakeFiles/herc_core.dir/session.cpp.o"
+  "CMakeFiles/herc_core.dir/session.cpp.o.d"
+  "libherc_core.a"
+  "libherc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

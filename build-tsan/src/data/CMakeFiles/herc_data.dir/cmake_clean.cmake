@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_data.dir/blob_store.cpp.o"
+  "CMakeFiles/herc_data.dir/blob_store.cpp.o.d"
+  "libherc_data.a"
+  "libherc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_exec.dir/automation.cpp.o"
+  "CMakeFiles/herc_exec.dir/automation.cpp.o.d"
+  "CMakeFiles/herc_exec.dir/consistency.cpp.o"
+  "CMakeFiles/herc_exec.dir/consistency.cpp.o.d"
+  "CMakeFiles/herc_exec.dir/executor.cpp.o"
+  "CMakeFiles/herc_exec.dir/executor.cpp.o.d"
+  "libherc_exec.a"
+  "libherc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

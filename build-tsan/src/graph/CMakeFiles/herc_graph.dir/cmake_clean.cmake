@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_graph.dir/bipartite.cpp.o"
+  "CMakeFiles/herc_graph.dir/bipartite.cpp.o.d"
+  "CMakeFiles/herc_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/herc_graph.dir/task_graph.cpp.o.d"
+  "libherc_graph.a"
+  "libherc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/history/flow_trace.cpp" "src/history/CMakeFiles/herc_history.dir/flow_trace.cpp.o" "gcc" "src/history/CMakeFiles/herc_history.dir/flow_trace.cpp.o.d"
+  "/root/repo/src/history/history_db.cpp" "src/history/CMakeFiles/herc_history.dir/history_db.cpp.o" "gcc" "src/history/CMakeFiles/herc_history.dir/history_db.cpp.o.d"
+  "/root/repo/src/history/query_language.cpp" "src/history/CMakeFiles/herc_history.dir/query_language.cpp.o" "gcc" "src/history/CMakeFiles/herc_history.dir/query_language.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/graph/CMakeFiles/herc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/herc_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/schema/CMakeFiles/herc_schema.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/herc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_history.dir/flow_trace.cpp.o"
+  "CMakeFiles/herc_history.dir/flow_trace.cpp.o.d"
+  "CMakeFiles/herc_history.dir/history_db.cpp.o"
+  "CMakeFiles/herc_history.dir/history_db.cpp.o.d"
+  "CMakeFiles/herc_history.dir/query_language.cpp.o"
+  "CMakeFiles/herc_history.dir/query_language.cpp.o.d"
+  "libherc_history.a"
+  "libherc_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/schema_io.cpp" "src/schema/CMakeFiles/herc_schema.dir/schema_io.cpp.o" "gcc" "src/schema/CMakeFiles/herc_schema.dir/schema_io.cpp.o.d"
+  "/root/repo/src/schema/standard_schemas.cpp" "src/schema/CMakeFiles/herc_schema.dir/standard_schemas.cpp.o" "gcc" "src/schema/CMakeFiles/herc_schema.dir/standard_schemas.cpp.o.d"
+  "/root/repo/src/schema/task_schema.cpp" "src/schema/CMakeFiles/herc_schema.dir/task_schema.cpp.o" "gcc" "src/schema/CMakeFiles/herc_schema.dir/task_schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/herc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

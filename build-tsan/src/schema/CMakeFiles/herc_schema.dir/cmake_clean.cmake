@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_schema.dir/schema_io.cpp.o"
+  "CMakeFiles/herc_schema.dir/schema_io.cpp.o.d"
+  "CMakeFiles/herc_schema.dir/standard_schemas.cpp.o"
+  "CMakeFiles/herc_schema.dir/standard_schemas.cpp.o.d"
+  "CMakeFiles/herc_schema.dir/task_schema.cpp.o"
+  "CMakeFiles/herc_schema.dir/task_schema.cpp.o.d"
+  "libherc_schema.a"
+  "libherc_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

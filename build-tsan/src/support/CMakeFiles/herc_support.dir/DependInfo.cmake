@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/clock.cpp" "src/support/CMakeFiles/herc_support.dir/clock.cpp.o" "gcc" "src/support/CMakeFiles/herc_support.dir/clock.cpp.o.d"
+  "/root/repo/src/support/dot.cpp" "src/support/CMakeFiles/herc_support.dir/dot.cpp.o" "gcc" "src/support/CMakeFiles/herc_support.dir/dot.cpp.o.d"
+  "/root/repo/src/support/hash.cpp" "src/support/CMakeFiles/herc_support.dir/hash.cpp.o" "gcc" "src/support/CMakeFiles/herc_support.dir/hash.cpp.o.d"
+  "/root/repo/src/support/record.cpp" "src/support/CMakeFiles/herc_support.dir/record.cpp.o" "gcc" "src/support/CMakeFiles/herc_support.dir/record.cpp.o.d"
+  "/root/repo/src/support/text.cpp" "src/support/CMakeFiles/herc_support.dir/text.cpp.o" "gcc" "src/support/CMakeFiles/herc_support.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

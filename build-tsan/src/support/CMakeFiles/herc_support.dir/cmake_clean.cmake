@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_support.dir/clock.cpp.o"
+  "CMakeFiles/herc_support.dir/clock.cpp.o.d"
+  "CMakeFiles/herc_support.dir/dot.cpp.o"
+  "CMakeFiles/herc_support.dir/dot.cpp.o.d"
+  "CMakeFiles/herc_support.dir/hash.cpp.o"
+  "CMakeFiles/herc_support.dir/hash.cpp.o.d"
+  "CMakeFiles/herc_support.dir/record.cpp.o"
+  "CMakeFiles/herc_support.dir/record.cpp.o.d"
+  "CMakeFiles/herc_support.dir/text.cpp.o"
+  "CMakeFiles/herc_support.dir/text.cpp.o.d"
+  "libherc_support.a"
+  "libherc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

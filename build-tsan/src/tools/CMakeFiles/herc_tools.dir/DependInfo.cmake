@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/composite.cpp" "src/tools/CMakeFiles/herc_tools.dir/composite.cpp.o" "gcc" "src/tools/CMakeFiles/herc_tools.dir/composite.cpp.o.d"
+  "/root/repo/src/tools/fault_injection.cpp" "src/tools/CMakeFiles/herc_tools.dir/fault_injection.cpp.o" "gcc" "src/tools/CMakeFiles/herc_tools.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/tools/registry.cpp" "src/tools/CMakeFiles/herc_tools.dir/registry.cpp.o" "gcc" "src/tools/CMakeFiles/herc_tools.dir/registry.cpp.o.d"
+  "/root/repo/src/tools/standard_tools.cpp" "src/tools/CMakeFiles/herc_tools.dir/standard_tools.cpp.o" "gcc" "src/tools/CMakeFiles/herc_tools.dir/standard_tools.cpp.o.d"
+  "/root/repo/src/tools/tool_context.cpp" "src/tools/CMakeFiles/herc_tools.dir/tool_context.cpp.o" "gcc" "src/tools/CMakeFiles/herc_tools.dir/tool_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/schema/CMakeFiles/herc_schema.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/herc_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuit/CMakeFiles/herc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/herc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

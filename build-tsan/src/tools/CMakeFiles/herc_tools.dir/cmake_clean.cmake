@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_tools.dir/composite.cpp.o"
+  "CMakeFiles/herc_tools.dir/composite.cpp.o.d"
+  "CMakeFiles/herc_tools.dir/fault_injection.cpp.o"
+  "CMakeFiles/herc_tools.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/herc_tools.dir/registry.cpp.o"
+  "CMakeFiles/herc_tools.dir/registry.cpp.o.d"
+  "CMakeFiles/herc_tools.dir/standard_tools.cpp.o"
+  "CMakeFiles/herc_tools.dir/standard_tools.cpp.o.d"
+  "CMakeFiles/herc_tools.dir/tool_context.cpp.o"
+  "CMakeFiles/herc_tools.dir/tool_context.cpp.o.d"
+  "libherc_tools.a"
+  "libherc_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_views.dir/view_manager.cpp.o"
+  "CMakeFiles/herc_views.dir/view_manager.cpp.o.d"
+  "libherc_views.a"
+  "libherc_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automation_test.dir/automation_test.cpp.o"
+  "CMakeFiles/automation_test.dir/automation_test.cpp.o.d"
+  "automation_test"
+  "automation_test.pdb"
+  "automation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

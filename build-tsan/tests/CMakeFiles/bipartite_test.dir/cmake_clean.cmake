@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipartite_test.dir/bipartite_test.cpp.o"
+  "CMakeFiles/bipartite_test.dir/bipartite_test.cpp.o.d"
+  "bipartite_test"
+  "bipartite_test.pdb"
+  "bipartite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipartite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

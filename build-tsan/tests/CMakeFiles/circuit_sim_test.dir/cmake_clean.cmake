@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_sim_test.dir/circuit_sim_test.cpp.o"
+  "CMakeFiles/circuit_sim_test.dir/circuit_sim_test.cpp.o.d"
+  "circuit_sim_test"
+  "circuit_sim_test.pdb"
+  "circuit_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

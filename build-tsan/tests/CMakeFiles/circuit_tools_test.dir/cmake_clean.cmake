@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_tools_test.dir/circuit_tools_test.cpp.o"
+  "CMakeFiles/circuit_tools_test.dir/circuit_tools_test.cpp.o.d"
+  "circuit_tools_test"
+  "circuit_tools_test.pdb"
+  "circuit_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

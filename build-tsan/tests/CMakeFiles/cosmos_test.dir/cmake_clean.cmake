@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_test.dir/cosmos_test.cpp.o"
+  "CMakeFiles/cosmos_test.dir/cosmos_test.cpp.o.d"
+  "cosmos_test"
+  "cosmos_test.pdb"
+  "cosmos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

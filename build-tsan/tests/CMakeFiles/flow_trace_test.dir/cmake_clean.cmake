@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_trace_test.dir/flow_trace_test.cpp.o"
+  "CMakeFiles/flow_trace_test.dir/flow_trace_test.cpp.o.d"
+  "flow_trace_test"
+  "flow_trace_test.pdb"
+  "flow_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

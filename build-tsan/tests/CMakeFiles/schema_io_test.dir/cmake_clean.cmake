@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_io_test.dir/schema_io_test.cpp.o"
+  "CMakeFiles/schema_io_test.dir/schema_io_test.cpp.o.d"
+  "schema_io_test"
+  "schema_io_test.pdb"
+  "schema_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

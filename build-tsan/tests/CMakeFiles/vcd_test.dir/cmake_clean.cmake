@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcd_test.dir/vcd_test.cpp.o"
+  "CMakeFiles/vcd_test.dir/vcd_test.cpp.o.d"
+  "vcd_test"
+  "vcd_test.pdb"
+  "vcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
