@@ -133,6 +133,16 @@ void Interpreter::dispatch(const Args& args, const std::string& payload) {
     } else {
       usage("schema show | schema extend <<END ... END");
     }
+  } else if (cmd == "open") {
+    cmd_open(args);
+  } else if (cmd == "checkpoint") {
+    if (args.size() != 1) usage("checkpoint");
+    session_->checkpoint_storage();
+    const storage::DurableHistory& store = *session_->storage();
+    *out_ << "checkpoint: epoch " << store.epoch() << ", "
+          << session_->db().size() << " instances snapshotted, journal reset\n";
+  } else if (cmd == "store") {
+    cmd_store(args);
   } else if (cmd == "import") {
     cmd_import(args, payload);
   } else if (cmd == "flow") {
@@ -227,6 +237,78 @@ void Interpreter::cmd_session(const Args& args) {
     usage("session new <fig1|fig2|full> [user] | user <name> | "
           "save <file> | load <file>");
   }
+}
+
+void Interpreter::cmd_open(const Args& args) {
+  static const char* kUsage =
+      "open <dir> [sync=none|interval|commit] [every=N]";
+  if (args.size() < 2) usage(kUsage);
+  storage::StoreOptions options;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "sync=none") {
+      options.journal.sync = storage::SyncPolicy::kNone;
+    } else if (args[i] == "sync=interval") {
+      options.journal.sync = storage::SyncPolicy::kInterval;
+    } else if (args[i] == "sync=commit") {
+      options.journal.sync = storage::SyncPolicy::kCommit;
+    } else if (args[i].rfind("every=", 0) == 0) {
+      try {
+        options.checkpoint_every = std::stoul(args[i].substr(6));
+      } catch (const std::exception&) {
+        usage(kUsage);
+      }
+    } else {
+      usage(kUsage);
+    }
+  }
+  const storage::RecoveryReport report =
+      session_->open_storage(args[1], options);
+  if (report.created) {
+    *out_ << "store created at " << args[1];
+    if (session_->db().size() > 0) {
+      *out_ << " (" << session_->db().size()
+            << " existing instances checkpointed)";
+    }
+    *out_ << "\n";
+  } else {
+    *out_ << "store opened at " << args[1] << ": epoch " << report.epoch
+          << ", " << report.snapshot_instances << " snapshot + "
+          << report.journal_records_applied << " journal records";
+    if (report.journal_records_discarded > 0) {
+      *out_ << " (" << report.journal_records_discarded
+            << " pre-checkpoint records discarded)";
+    }
+    if (report.torn_tail) *out_ << " (torn tail truncated)";
+    *out_ << "\n";
+  }
+}
+
+void Interpreter::cmd_store(const Args& args) {
+  if (args.size() == 2 && args[1] == "close") {
+    if (session_->storage() == nullptr) {
+      *out_ << "no store open\n";
+      return;
+    }
+    session_->close_storage();
+    *out_ << "store closed (history stays in memory)\n";
+    return;
+  }
+  if (args.size() == 2 && args[1] == "sync") {
+    if (session_->storage() == nullptr) usage("store sync (no store open)");
+    session_->storage()->sync();
+    *out_ << "journal synced\n";
+    return;
+  }
+  if (args.size() != 1) usage("store [close|sync]");
+  const storage::DurableHistory* store = session_->storage();
+  if (store == nullptr) {
+    *out_ << "no store open\n";
+    return;
+  }
+  *out_ << "store " << store->dir() << ": epoch " << store->epoch() << ", "
+        << session_->db().size() << " instances, "
+        << store->records_journaled() << " records / "
+        << store->bytes_journaled() << " bytes journaled this session\n";
 }
 
 void Interpreter::cmd_import(const Args& args, const std::string& payload) {
@@ -536,6 +618,9 @@ void Interpreter::cmd_history_query(const Args& args) {
 void Interpreter::cmd_help() {
   *out_ <<
       "session new <fig1|fig2|full> [user] | user <n> | save <f> | load <f>\n"
+      "open <dir> [sync=none|interval|commit] [every=N]   (durable store;\n"
+      "    recovers snapshot+journal, then autosaves every record)\n"
+      "checkpoint   (snapshot compaction)    store [close|sync]\n"
       "schema show | schema extend <<END ... END\n"
       "import <Entity> <name> <<END ... END   (or \"\" for empty payload)\n"
       "flow new <f> goal <Entity> | plan <name>\n"

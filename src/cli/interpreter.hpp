@@ -11,6 +11,8 @@
 // Command summary (the `help` command prints the same):
 //   session new <fig1|fig2|full> [user]     session user <name>
 //   session save <file>                     session load <file>
+//   open <dir> [sync=..] [every=N]          checkpoint
+//   store [close|sync]
 //   import <Entity> <name> <<END ... END    import <Entity> <name> ""
 //   flow new <f> goal <Entity> | plan <name>
 //   flow expand <f> <node> [optional]       flow expandup <f> <node> <Entity>
@@ -74,6 +76,8 @@ class Interpreter {
 
   // Command families.
   void cmd_session(const Args& args);
+  void cmd_open(const Args& args);
+  void cmd_store(const Args& args);
   void cmd_import(const Args& args, const std::string& payload);
   void cmd_flow(const Args& args);
   void cmd_run(const Args& args);

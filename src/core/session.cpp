@@ -33,7 +33,7 @@ catalog::ToolStart DesignSession::task_from_tool(std::string_view tool) {
 }
 
 catalog::DataStart DesignSession::task_from_data(data::InstanceId instance) {
-  return catalog::start_from_data(schema_, *db_, instance);
+  return catalog::start_from_data(schema_, db(), instance);
 }
 
 TaskGraph DesignSession::task_from_plan(std::string_view flow_name) {
@@ -44,7 +44,7 @@ data::InstanceId DesignSession::import_data(std::string_view entity,
                                             std::string_view name,
                                             std::string_view payload,
                                             std::string_view comment) {
-  return db_->import_instance(schema_.require(entity), name, payload, user_,
+  return db().import_instance(schema_.require(entity), name, payload, user_,
                               comment);
 }
 
@@ -65,12 +65,12 @@ exec::ExecResult DesignSession::run_goal(const TaskGraph& flow, NodeId goal,
 }
 
 InstanceBrowser DesignSession::browse(std::string_view entity) const {
-  return InstanceBrowser(*db_, schema_.require(entity));
+  return InstanceBrowser(db(), schema_.require(entity));
 }
 
 void DesignSession::annotate(data::InstanceId id, std::string_view name,
                              std::string_view comment) {
-  db_->annotate(id, name, comment);
+  db().annotate(id, name, comment);
 }
 
 std::string DesignSession::render_task_window(const TaskGraph& flow) const {
@@ -87,8 +87,8 @@ std::string DesignSession::render_task_window(const TaskGraph& flow) const {
       for (std::size_t i = 0; i < node.bound.size(); ++i) {
         if (i != 0) line += ",";
         const data::InstanceId inst = node.bound[i];
-        const std::string& name = db_->contains(inst)
-                                      ? db_->instance(inst).name
+        const std::string& name = db().contains(inst)
+                                      ? db().instance(inst).name
                                       : std::string();
         line += name.empty() ? "i" + std::to_string(inst.value()) : name;
       }
@@ -123,9 +123,41 @@ std::string DesignSession::save() const {
   std::string out;
   out += "@section user\n" + user_ + "\n";
   out += "@section schema\n" + schema::write_schema(schema_);
-  out += "@section history\n" + db_->save();
+  out += "@section history\n" + db().save();
   out += "@section flows\n" + flow_catalog_->save_all();
   return out;
+}
+
+storage::RecoveryReport DesignSession::open_storage(
+    const std::string& dir, storage::StoreOptions options) {
+  auto store = std::make_unique<storage::DurableHistory>(schema_, *clock_,
+                                                         dir, options);
+  history::HistoryDb& current = db();
+  if (store->db().size() == 0 && current.size() > 0) {
+    store->adopt(std::move(current));
+  } else if (store->db().size() > 0 && current.size() > 0) {
+    throw support::HistoryError(
+        "store '" + dir + "' already holds a history and so does this "
+        "session; open the store from a fresh session");
+  }
+  storage_ = std::move(store);
+  db_.reset();
+  executor_ = std::make_unique<exec::Executor>(storage_->db(), *registry_);
+  return storage_->recovery();
+}
+
+void DesignSession::checkpoint_storage() {
+  if (!storage_) {
+    throw support::HistoryError("no durable store is open");
+  }
+  storage_->checkpoint();
+}
+
+void DesignSession::close_storage() {
+  if (!storage_) return;
+  db_ = storage_->release();
+  storage_.reset();
+  executor_ = std::make_unique<exec::Executor>(*db_, *registry_);
 }
 
 std::unique_ptr<DesignSession> DesignSession::load(

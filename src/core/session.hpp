@@ -17,6 +17,7 @@
 #include "graph/task_graph.hpp"
 #include "history/history_db.hpp"
 #include "schema/task_schema.hpp"
+#include "storage/store.hpp"
 #include "support/clock.hpp"
 #include "tools/registry.hpp"
 
@@ -37,8 +38,12 @@ class DesignSession {
 
   [[nodiscard]] schema::TaskSchema& schema() { return schema_; }
   [[nodiscard]] const schema::TaskSchema& schema() const { return schema_; }
-  [[nodiscard]] history::HistoryDb& db() { return *db_; }
-  [[nodiscard]] const history::HistoryDb& db() const { return *db_; }
+  [[nodiscard]] history::HistoryDb& db() {
+    return storage_ ? storage_->db() : *db_;
+  }
+  [[nodiscard]] const history::HistoryDb& db() const {
+    return storage_ ? storage_->db() : *db_;
+  }
   [[nodiscard]] tools::ToolRegistry& tools() { return *registry_; }
   [[nodiscard]] catalog::FlowCatalog& flows() { return *flow_catalog_; }
   [[nodiscard]] const catalog::FlowCatalog& flows() const {
@@ -91,11 +96,33 @@ class DesignSession {
   [[nodiscard]] static std::unique_ptr<DesignSession> load(
       std::string_view text, std::unique_ptr<support::Clock> clock = nullptr);
 
+  // ---- durable storage (src/storage) -----------------------------------------
+
+  /// Attaches a durable store in `dir`.  A store that already holds data
+  /// replaces this session's (empty) history; a fresh store absorbs and
+  /// checkpoints whatever the session has recorded so far.  From then on
+  /// every mutation — imports, task products, failure records,
+  /// annotations — is journaled (autosave-on-record).  Throws when both
+  /// the store and the session already hold instances.
+  storage::RecoveryReport open_storage(const std::string& dir,
+                                       storage::StoreOptions options = {});
+
+  /// Snapshot compaction of the attached store.  Throws when none is open.
+  void checkpoint_storage();
+
+  /// Detaches the store (flushing the journal); the history stays
+  /// in-memory.  No-op when none is open.
+  void close_storage();
+
+  /// The attached store, or nullptr.
+  [[nodiscard]] storage::DurableHistory* storage() { return storage_.get(); }
+
  private:
   schema::TaskSchema schema_;
   std::string user_;
   std::unique_ptr<support::Clock> clock_;
   std::unique_ptr<history::HistoryDb> db_;
+  std::unique_ptr<storage::DurableHistory> storage_;
   std::unique_ptr<tools::ToolRegistry> registry_;
   std::unique_ptr<catalog::FlowCatalog> flow_catalog_;
   std::unique_ptr<exec::Executor> executor_;

@@ -10,7 +10,7 @@ namespace herc::data {
 using support::HistoryError;
 
 BlobKey BlobStore::put(std::string_view payload) {
-  BlobKey key = support::hash_hex(support::fnv1a(payload));
+  BlobKey key = key_for(payload);
   bytes_logical_ += payload.size();
   auto [it, inserted] = blobs_.try_emplace(key, std::string(payload));
   if (inserted) {
@@ -18,6 +18,18 @@ BlobKey BlobStore::put(std::string_view payload) {
     order_.push_back(key);
   }
   return key;
+}
+
+BlobKey BlobStore::key_for(std::string_view payload) {
+  return support::hash_hex(support::fnv1a(payload));
+}
+
+void BlobStore::restore(const BlobKey& key, std::string_view payload) {
+  if (key_for(payload) != key) {
+    throw HistoryError("blob store: content hash mismatch for key '" + key +
+                       "' (corrupt record rejected)");
+  }
+  put(payload);
 }
 
 bool BlobStore::contains(const BlobKey& key) const {
@@ -32,13 +44,14 @@ const std::string& BlobStore::get(const BlobKey& key) const {
   return it->second;
 }
 
+std::string BlobStore::record_line(const BlobKey& key) const {
+  return support::RecordWriter("blob").field(key).field(get(key)).str();
+}
+
 std::string BlobStore::save() const {
   std::string out;
   for (const BlobKey& key : order_) {
-    out += support::RecordWriter("blob")
-               .field(key)
-               .field(blobs_.at(key))
-               .str();
+    out += record_line(key);
     out += '\n';
   }
   return out;
@@ -55,11 +68,7 @@ BlobStore BlobStore::load(std::string_view text) {
     }
     const std::string key = rec.next_string();
     const std::string payload = rec.next_string();
-    const BlobKey recomputed = store.put(payload);
-    if (recomputed != key) {
-      throw HistoryError("blob store: content hash mismatch for key '" + key +
-                         "'");
-    }
+    store.restore(key, payload);
   }
   return store;
 }

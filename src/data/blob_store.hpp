@@ -25,6 +25,15 @@ class BlobStore {
   /// Stores `payload` (no-op when already present) and returns its key.
   BlobKey put(std::string_view payload);
 
+  /// The content key `payload` would get, without storing anything.
+  [[nodiscard]] static BlobKey key_for(std::string_view payload);
+
+  /// Restores a persisted record: recomputes `payload`'s content hash,
+  /// throws `HistoryError` when it does not match `key` (a corrupt or
+  /// tampered file), and stores the payload otherwise.  A corrupt payload
+  /// is never admitted to the store.
+  void restore(const BlobKey& key, std::string_view payload);
+
   [[nodiscard]] bool contains(const BlobKey& key) const;
 
   /// Payload for `key`; throws `HistoryError` when absent.
@@ -41,6 +50,9 @@ class BlobStore {
 
   /// All keys, in insertion order (for persistence).
   [[nodiscard]] const std::vector<BlobKey>& keys() const { return order_; }
+
+  /// One save()-format record line for `key` (no trailing newline).
+  [[nodiscard]] std::string record_line(const BlobKey& key) const;
 
   /// Serializes to record lines / restores from them.
   [[nodiscard]] std::string save() const;

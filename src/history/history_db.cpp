@@ -65,6 +65,7 @@ InstanceId HistoryDb::record(const RecordRequest& request) {
   inst.user = request.user;
   inst.comment = request.comment;
   inst.created = clock_->now();
+  const bool new_blob = !blobs_.contains(data::BlobStore::key_for(request.payload));
   inst.blob = blobs_.put(request.payload);
   inst.status = request.status;
   inst.derivation = request.derivation;
@@ -95,6 +96,18 @@ InstanceId HistoryDb::record(const RecordRequest& request) {
   }
 
   instances_.push_back(std::move(inst));
+  if (listener_ != nullptr) {
+    // One mutation = one journal entry: the (possibly new) blob plus the
+    // instance line, applied atomically on recovery.
+    std::string lines;
+    if (new_blob) {
+      lines += blobs_.record_line(instances_.back().blob);
+      lines += '\n';
+    }
+    lines += instance_line(instances_.back());
+    lines += '\n';
+    listener_->on_mutation(lines);
+  }
   return instances_.back().id;
 }
 
@@ -103,6 +116,13 @@ void HistoryDb::annotate(InstanceId id, std::string_view name,
   check_id(id);
   instances_[id.index()].name = std::string(name);
   instances_[id.index()].comment = std::string(comment);
+  if (listener_ != nullptr) {
+    support::RecordWriter w("annot");
+    w.field(id.value());
+    w.field(name);
+    w.field(comment);
+    listener_->on_mutation(w.str() + "\n");
+  }
 }
 
 bool HistoryDb::contains(InstanceId id) const {
@@ -275,90 +295,102 @@ std::optional<InstanceId> HistoryDb::find_existing(
   return std::nullopt;
 }
 
+std::string HistoryDb::instance_line(const Instance& inst) const {
+  support::RecordWriter w("inst");
+  w.field(inst.id.value());
+  w.field(schema_->entity_name(inst.type));
+  w.field(inst.name);
+  w.field(inst.user);
+  w.field(inst.created.micros());
+  w.field(inst.comment);
+  w.field(inst.blob);
+  w.field(inst.version);
+  w.field(static_cast<std::uint32_t>(inst.status));
+  w.field(inst.derivation.task);
+  w.field(inst.derivation.tool.valid()
+              ? static_cast<std::int64_t>(inst.derivation.tool.value())
+              : static_cast<std::int64_t>(-1));
+  w.field(static_cast<std::uint32_t>(inst.derivation.inputs.size()));
+  for (std::size_t i = 0; i < inst.derivation.inputs.size(); ++i) {
+    w.field(inst.derivation.inputs[i].value());
+    w.field(inst.derivation.input_roles[i]);
+  }
+  return w.str();
+}
+
 std::string HistoryDb::save() const {
   std::string out = blobs_.save();
   for (const Instance& inst : instances_) {
-    support::RecordWriter w("inst");
-    w.field(inst.id.value());
-    w.field(schema_->entity_name(inst.type));
-    w.field(inst.name);
-    w.field(inst.user);
-    w.field(inst.created.micros());
-    w.field(inst.comment);
-    w.field(inst.blob);
-    w.field(inst.version);
-    w.field(static_cast<std::uint32_t>(inst.status));
-    w.field(inst.derivation.task);
-    w.field(inst.derivation.tool.valid()
-                ? static_cast<std::int64_t>(inst.derivation.tool.value())
-                : static_cast<std::int64_t>(-1));
-    w.field(static_cast<std::uint32_t>(inst.derivation.inputs.size()));
-    for (std::size_t i = 0; i < inst.derivation.inputs.size(); ++i) {
-      w.field(inst.derivation.inputs[i].value());
-      w.field(inst.derivation.input_roles[i]);
-    }
-    out += w.str() + "\n";
+    out += instance_line(inst);
+    out += '\n';
   }
   return out;
+}
+
+void HistoryDb::apply_saved_line(std::string_view line) {
+  if (support::trim(line).empty()) return;
+  support::RecordReader rec(line);
+  if (rec.kind() == "blob") {
+    const std::string key = rec.next_string();
+    const std::string payload = rec.next_string();
+    blobs_.restore(key, payload);
+  } else if (rec.kind() == "inst") {
+    Instance inst;
+    inst.id = InstanceId(rec.next_uint32());
+    if (inst.id.index() != instances_.size()) {
+      throw HistoryError("history file: instance records out of order");
+    }
+    inst.type = schema_->require(rec.next_string());
+    inst.name = rec.next_string();
+    inst.user = rec.next_string();
+    inst.created = support::Timestamp(rec.next_int64());
+    inst.comment = rec.next_string();
+    inst.blob = rec.next_string();
+    if (!blobs_.contains(inst.blob)) {
+      throw HistoryError("history file: instance references missing blob");
+    }
+    inst.version = rec.next_uint32();
+    const std::uint32_t status = rec.next_uint32();
+    if (status > static_cast<std::uint32_t>(InstanceStatus::kSkipped)) {
+      throw HistoryError("history file: unknown instance status");
+    }
+    inst.status = static_cast<InstanceStatus>(status);
+    inst.derivation.task = rec.next_string();
+    const std::int64_t tool = rec.next_int64();
+    if (tool >= 0) {
+      inst.derivation.tool = InstanceId(static_cast<std::uint32_t>(tool));
+    }
+    const std::uint32_t n_inputs = rec.next_uint32();
+    for (std::uint32_t i = 0; i < n_inputs; ++i) {
+      inst.derivation.inputs.push_back(InstanceId(rec.next_uint32()));
+      inst.derivation.input_roles.push_back(rec.next_string());
+    }
+    used_by_.emplace_back();
+    if (inst.derivation.tool.valid()) {
+      check_id(inst.derivation.tool);
+      used_by_[inst.derivation.tool.index()].push_back(inst.id);
+    }
+    for (const InstanceId in : inst.derivation.inputs) {
+      check_id(in);
+      auto& vec = used_by_[in.index()];
+      if (vec.empty() || vec.back() != inst.id) vec.push_back(inst.id);
+    }
+    instances_.push_back(std::move(inst));
+  } else if (rec.kind() == "annot") {
+    const InstanceId id(rec.next_uint32());
+    check_id(id);
+    instances_[id.index()].name = rec.next_string();
+    instances_[id.index()].comment = rec.next_string();
+  } else {
+    throw HistoryError("history file: unknown record '" + rec.kind() + "'");
+  }
 }
 
 HistoryDb HistoryDb::load(const schema::TaskSchema& schema,
                           support::Clock& clock, std::string_view text) {
   HistoryDb db(schema, clock);
   for (const std::string& line : support::split(text, '\n')) {
-    if (support::trim(line).empty()) continue;
-    support::RecordReader rec(line);
-    if (rec.kind() == "blob") {
-      const std::string key = rec.next_string();
-      const std::string payload = rec.next_string();
-      if (db.blobs_.put(payload) != key) {
-        throw HistoryError("history file: blob hash mismatch");
-      }
-    } else if (rec.kind() == "inst") {
-      Instance inst;
-      inst.id = InstanceId(rec.next_uint32());
-      if (inst.id.index() != db.instances_.size()) {
-        throw HistoryError("history file: instance records out of order");
-      }
-      inst.type = schema.require(rec.next_string());
-      inst.name = rec.next_string();
-      inst.user = rec.next_string();
-      inst.created = support::Timestamp(rec.next_int64());
-      inst.comment = rec.next_string();
-      inst.blob = rec.next_string();
-      if (!db.blobs_.contains(inst.blob)) {
-        throw HistoryError("history file: instance references missing blob");
-      }
-      inst.version = rec.next_uint32();
-      const std::uint32_t status = rec.next_uint32();
-      if (status > static_cast<std::uint32_t>(InstanceStatus::kSkipped)) {
-        throw HistoryError("history file: unknown instance status");
-      }
-      inst.status = static_cast<InstanceStatus>(status);
-      inst.derivation.task = rec.next_string();
-      const std::int64_t tool = rec.next_int64();
-      if (tool >= 0) {
-        inst.derivation.tool = InstanceId(static_cast<std::uint32_t>(tool));
-      }
-      const std::uint32_t n_inputs = rec.next_uint32();
-      for (std::uint32_t i = 0; i < n_inputs; ++i) {
-        inst.derivation.inputs.push_back(InstanceId(rec.next_uint32()));
-        inst.derivation.input_roles.push_back(rec.next_string());
-      }
-      db.used_by_.emplace_back();
-      if (inst.derivation.tool.valid()) {
-        db.check_id(inst.derivation.tool);
-        db.used_by_[inst.derivation.tool.index()].push_back(inst.id);
-      }
-      for (const InstanceId in : inst.derivation.inputs) {
-        db.check_id(in);
-        auto& vec = db.used_by_[in.index()];
-        if (vec.empty() || vec.back() != inst.id) vec.push_back(inst.id);
-      }
-      db.instances_.push_back(std::move(inst));
-    } else {
-      throw HistoryError("history file: unknown record '" + rec.kind() + "'");
-    }
+    db.apply_saved_line(line);
   }
   return db;
 }

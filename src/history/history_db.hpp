@@ -36,6 +36,16 @@ struct RecordRequest {
   Derivation derivation;
 };
 
+/// Observer of history mutations — the hook durable storage (src/storage)
+/// attaches to.  `lines` holds one or more '\n'-terminated record lines in
+/// the same format `save()` emits; feeding them to `apply_saved_line` in
+/// order reproduces the mutation on another database.
+class MutationListener {
+ public:
+  virtual ~MutationListener() = default;
+  virtual void on_mutation(std::string_view lines) = 0;
+};
+
 class HistoryDb {
  public:
   /// `schema` and `clock` must outlive the database.
@@ -150,9 +160,23 @@ class HistoryDb {
                                       support::Clock& clock,
                                       std::string_view text);
 
+  /// Applies one save()-format record line ("blob", "inst" or "annot"),
+  /// verifying content hashes and id ordering.  `load` is a loop over this;
+  /// journal recovery (src/storage) replays incremental mutations through
+  /// the same path.  Never notifies the attached listener.
+  void apply_saved_line(std::string_view line);
+
+  /// Attaches (or detaches, with nullptr) a mutation observer.  Every
+  /// `record` / `import_instance` / `annotate` is reported after it has been
+  /// applied, serialized as save()-format lines.  The listener must outlive
+  /// the attachment.
+  void attach_listener(MutationListener* listener) { listener_ = listener; }
+  [[nodiscard]] MutationListener* listener() const { return listener_; }
+
  private:
   void check_id(data::InstanceId id) const;
   [[nodiscard]] schema::EntityTypeId root_type(schema::EntityTypeId t) const;
+  [[nodiscard]] std::string instance_line(const Instance& inst) const;
 
   const schema::TaskSchema* schema_;
   support::Clock* clock_;
@@ -160,6 +184,7 @@ class HistoryDb {
   std::vector<Instance> instances_;
   /// Forward index: instance -> instances whose derivation used it.
   std::vector<std::vector<data::InstanceId>> used_by_;
+  MutationListener* listener_ = nullptr;
 };
 
 }  // namespace herc::history

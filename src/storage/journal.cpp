@@ -1,0 +1,195 @@
+#include "storage/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define HERC_HAVE_FSYNC 1
+#endif
+
+namespace herc::storage {
+
+using support::HistoryError;
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t read_u32(std::string_view bytes, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 3]))
+          << 24);
+}
+
+std::uint64_t read_u64(std::string_view bytes, std::size_t at) {
+  return static_cast<std::uint64_t>(read_u32(bytes, at)) |
+         (static_cast<std::uint64_t>(read_u32(bytes, at + 4)) << 32);
+}
+
+void fsync_file(std::FILE* file) {
+#ifdef HERC_HAVE_FSYNC
+  ::fsync(::fileno(file));
+#else
+  (void)file;
+#endif
+}
+
+}  // namespace
+
+std::uint32_t frame_checksum(std::string_view payload) {
+  std::string length;
+  put_u32(length, static_cast<std::uint32_t>(payload.size()));
+  const std::uint64_t h =
+      support::fnv1a_append(support::fnv1a(length), payload);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+ScanResult scan_journal(std::string_view bytes) {
+  ScanResult result;
+  if (bytes.size() < kJournalHeaderBytes ||
+      bytes.substr(0, kJournalMagic.size()) != kJournalMagic) {
+    result.torn = !bytes.empty();
+    return result;
+  }
+  result.header_valid = true;
+  result.epoch = read_u64(bytes, kJournalMagic.size());
+  std::size_t at = kJournalHeaderBytes;
+  while (at + kFrameHeaderBytes <= bytes.size()) {
+    const std::uint32_t length = read_u32(bytes, at);
+    const std::uint32_t check = read_u32(bytes, at + 4);
+    if (at + kFrameHeaderBytes + length > bytes.size()) break;
+    const std::string_view payload =
+        bytes.substr(at + kFrameHeaderBytes, length);
+    if (frame_checksum(payload) != check) break;
+    result.records.emplace_back(payload);
+    at += kFrameHeaderBytes + length;
+  }
+  result.valid_bytes = at;
+  result.torn = at != bytes.size();
+  return result;
+}
+
+Journal::Journal(std::FILE* file, std::string path, std::uint64_t epoch,
+                 std::uint64_t bytes, JournalOptions options)
+    : file_(file),
+      path_(std::move(path)),
+      epoch_(epoch),
+      bytes_(bytes),
+      options_(options) {}
+
+Journal Journal::create(const std::string& path, std::uint64_t epoch,
+                        JournalOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw HistoryError("journal: cannot create '" + path +
+                       "': " + std::strerror(errno));
+  }
+  std::string header(kJournalMagic);
+  put_u64(header, epoch);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    std::fclose(file);
+    throw HistoryError("journal: cannot write header to '" + path + "'");
+  }
+  std::fflush(file);
+  if (options.sync != SyncPolicy::kNone) fsync_file(file);
+  return Journal(file, path, epoch, header.size(), options);
+}
+
+Journal Journal::open(const std::string& path, std::uint64_t epoch,
+                      std::uint64_t size, JournalOptions options) {
+  // "ab" appends at the end of file on every write; the caller has already
+  // truncated the file to `size` valid bytes.
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw HistoryError("journal: cannot open '" + path +
+                       "': " + std::strerror(errno));
+  }
+  return Journal(file, path, epoch, size, options);
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      epoch_(other.epoch_),
+      bytes_(other.bytes_),
+      appended_(other.appended_),
+      since_sync_(other.since_sync_),
+      options_(other.options_) {
+  other.file_ = nullptr;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    epoch_ = other.epoch_;
+    bytes_ = other.bytes_;
+    appended_ = other.appended_;
+    since_sync_ = other.since_sync_;
+    options_ = other.options_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::close() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  if (options_.sync != SyncPolicy::kNone) fsync_file(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void Journal::append(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, frame_checksum(payload));
+  frame += payload;
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    throw HistoryError("journal: write failed on '" + path_ +
+                       "': " + std::strerror(errno));
+  }
+  bytes_ += frame.size();
+  ++appended_;
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kCommit:
+      sync();
+      break;
+    case SyncPolicy::kInterval:
+      if (++since_sync_ >= options_.sync_interval) sync();
+      break;
+  }
+}
+
+void Journal::sync() {
+  std::fflush(file_);
+  fsync_file(file_);
+  since_sync_ = 0;
+}
+
+}  // namespace herc::storage

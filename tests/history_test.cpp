@@ -6,6 +6,7 @@
 #include "history/history_db.hpp"
 #include "schema/standard_schemas.hpp"
 #include "support/error.hpp"
+#include "support/text.hpp"
 
 namespace herc::history {
 namespace {
@@ -257,6 +258,135 @@ TEST_F(HistoryTest, LoadRejectsCorruptInput) {
       HistoryDb::load(schema_, clock2,
                       "inst|0|Stimuli|n|u|5|c|deadbeefdeadbeef|1|import|-1|0"),
       HistoryError);
+}
+
+TEST_F(HistoryTest, LoadRejectsBlobHashMismatch) {
+  db_.import_instance(schema_.require("Stimuli"), "st", "wave", "u");
+  std::string text = db_.save();
+  // Tamper with the stored payload but keep the recorded key: the reload
+  // must recompute the hash and reject the corrupt record.
+  const std::size_t at = text.find("wave");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 4, "wavX");
+  support::ManualClock clock2(0, 1);
+  EXPECT_THROW(HistoryDb::load(schema_, clock2, text), HistoryError);
+}
+
+TEST_F(HistoryTest, RoundTripFailureAndSkippedRecords) {
+  const InstanceId sim =
+      db_.import_instance(schema_.require("Simulator"), "s", "", "u");
+  const InstanceId st =
+      db_.import_instance(schema_.require("Stimuli"), "st", "w", "u");
+  RecordRequest failed;
+  failed.type = schema_.require("Performance");
+  failed.name = "p";
+  failed.user = "u";
+  failed.comment = "simulator crashed";
+  failed.status = InstanceStatus::kFailed;
+  failed.derivation.tool = sim;
+  failed.derivation.inputs = {st};
+  failed.derivation.input_roles = {"stimuli"};
+  failed.derivation.task = "Simulator";
+  const InstanceId f = db_.record(failed);
+  RecordRequest skipped = failed;
+  skipped.comment = "dependency failed";
+  skipped.status = InstanceStatus::kSkipped;
+  const InstanceId k = db_.record(skipped);
+
+  support::ManualClock clock2(0, 1);
+  const HistoryDb back = HistoryDb::load(schema_, clock2, db_.save());
+  EXPECT_EQ(back.save(), db_.save());
+  EXPECT_EQ(back.instance(f).status, InstanceStatus::kFailed);
+  EXPECT_EQ(back.instance(k).status, InstanceStatus::kSkipped);
+  EXPECT_EQ(back.instance(f).comment, "simulator crashed");
+  EXPECT_EQ(back.instance(f).derivation.input_roles,
+            std::vector<std::string>{"stimuli"});
+  EXPECT_EQ(back.failures(), (std::vector<InstanceId>{f, k}));
+  // Failure semantics survive the round trip: invisible to listings and
+  // memoization, version stays 1.
+  EXPECT_TRUE(back.instances_of(schema_.require("Performance")).empty());
+  EXPECT_FALSE(
+      back.find_existing(schema_.require("Performance"), sim, {st}));
+  EXPECT_EQ(back.instance(f).version, 1u);
+}
+
+TEST_F(HistoryTest, RoundTripCompositeAndEmptyPayloads) {
+  // Empty payloads (the Simulator import) and a composite instance
+  // (inputs, no tool) both survive save/load.
+  const InstanceId sim =
+      db_.import_instance(schema_.require("Simulator"), "s", "", "u");
+  const InstanceId models = db_.import_instance(
+      schema_.require("DeviceModels"), "m", "mm", "u");
+  const InstanceId n1 = db_.import_instance(
+      schema_.require("EditedNetlist"), "n1", "", "u");
+  RecordRequest compose;
+  compose.type = schema_.require("Circuit");
+  compose.name = "c";
+  compose.user = "u";
+  compose.payload = "";
+  compose.derivation.inputs = {models, n1};
+  compose.derivation.input_roles = {"models", "netlist"};
+  compose.derivation.task = "compose";
+  const InstanceId circuit = db_.record(compose);
+
+  support::ManualClock clock2(0, 1);
+  const HistoryDb back = HistoryDb::load(schema_, clock2, db_.save());
+  EXPECT_EQ(back.save(), db_.save());
+  EXPECT_EQ(back.payload(sim), "");
+  EXPECT_EQ(back.payload(circuit), "");
+  // The three empty payloads share one blob.
+  EXPECT_EQ(back.instance(sim).blob, back.instance(circuit).blob);
+  EXPECT_FALSE(back.instance(circuit).derivation.tool.valid());
+  EXPECT_EQ(back.instance(circuit).derivation.inputs,
+            (std::vector<InstanceId>{models, n1}));
+  EXPECT_EQ(back.derived_from(circuit),
+            (std::vector<InstanceId>{models, n1}));
+  EXPECT_EQ(back.used_by(models), std::vector<InstanceId>{circuit});
+}
+
+TEST_F(HistoryTest, AnnotationsSurviveRoundTrip) {
+  const InstanceId st =
+      db_.import_instance(schema_.require("Stimuli"), "st", "w", "u");
+  db_.annotate(st, "renamed", "why I kept it");
+  support::ManualClock clock2(0, 1);
+  const HistoryDb back = HistoryDb::load(schema_, clock2, db_.save());
+  EXPECT_EQ(back.instance(st).name, "renamed");
+  EXPECT_EQ(back.instance(st).comment, "why I kept it");
+}
+
+TEST_F(HistoryTest, MutationListenerStreamReproducesDatabase) {
+  // The journal contract: concatenating every on_mutation payload and
+  // re-applying it line by line rebuilds an identical database.
+  class Capture : public MutationListener {
+   public:
+    void on_mutation(std::string_view lines) override { log_ += lines; }
+    std::string log_;
+  };
+  Capture capture;
+  db_.attach_listener(&capture);
+  const InstanceId editor =
+      db_.import_instance(schema_.require("CircuitEditor"), "ed", "t", "u");
+  const InstanceId n1 = db_.import_instance(
+      schema_.require("EditedNetlist"), "n1", "a", "u");
+  derive("EditedNetlist", editor, {n1}, "b");
+  db_.annotate(n1, "n1x", "edited");
+  db_.attach_listener(nullptr);
+
+  support::ManualClock clock2(0, 1);
+  HistoryDb replay(schema_, clock2);
+  for (const std::string& line : support::split(capture.log_, '\n')) {
+    replay.apply_saved_line(line);
+  }
+  EXPECT_EQ(replay.save(), db_.save());
+  // Replaying through apply_saved_line must not re-notify a listener.
+  Capture quiet;
+  support::ManualClock clock3(0, 1);
+  HistoryDb replay2(schema_, clock3);
+  replay2.attach_listener(&quiet);
+  for (const std::string& line : support::split(capture.log_, '\n')) {
+    replay2.apply_saved_line(line);
+  }
+  EXPECT_TRUE(quiet.log_.empty());
 }
 
 }  // namespace
