@@ -1,16 +1,40 @@
 // The Hercules shell: an interactive / scriptable front end to the whole
 // framework (the reproduction's stand-in for the Fig. 9 task window).
 //
-//   ./hercules_shell               # interactive REPL
-//   ./hercules_shell script.hcl    # run a script, exit non-zero on errors
+//   ./hercules_shell                        # interactive REPL
+//   ./hercules_shell script.hcl             # run a script, exit non-zero on errors
+//   ./hercules_shell --fsck <dir> [--repair]  # audit a store; the exit code
+//                                             # is the worst severity found
+//                                             # (0 clean, 1 warnings,
+//                                             #  2 corruption)
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "cli/interpreter.hpp"
+#include "storage/fsck.hpp"
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--fsck") {
+    if (argc < 3 || argc > 4 ||
+        (argc == 4 && std::string(argv[3]) != "--repair")) {
+      std::cerr << "usage: hercules_shell --fsck <dir> [--repair]\n";
+      return 2;
+    }
+    herc::storage::FsckOptions options;
+    options.repair = argc == 4;
+    try {
+      const herc::storage::FsckReport report =
+          herc::storage::fsck_store(argv[2], options);
+      std::cout << report.render();
+      return report.exit_code();
+    } catch (const std::exception& e) {
+      std::cerr << "fsck: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   herc::cli::Interpreter interpreter(std::cout);
   if (argc > 1) {
     std::ifstream in(argv[1], std::ios::binary);

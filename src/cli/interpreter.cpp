@@ -1,5 +1,6 @@
 #include "cli/interpreter.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "history/query_language.hpp"
 #include "schema/schema_io.hpp"
 #include "schema/standard_schemas.hpp"
+#include "storage/fsck.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -149,6 +151,12 @@ void Interpreter::dispatch(const Args& args, const std::string& payload) {
     cmd_flow(args);
   } else if (cmd == "run") {
     cmd_run(args);
+  } else if (cmd == "runs") {
+    cmd_runs(args);
+  } else if (cmd == "resume") {
+    cmd_resume(args);
+  } else if (cmd == "fsck") {
+    cmd_fsck(args);
   } else if (cmd == "auto") {
     cmd_auto(args);
   } else if (cmd == "browse") {
@@ -172,9 +180,11 @@ void Interpreter::dispatch(const Args& args, const std::string& payload) {
     // §4.2-style failure query: which tasks failed, with what inputs?
     for (const InstanceId id : session_->db().failures()) {
       const history::Instance& inst = session_->db().instance(id);
-      *out_ << "  "
-            << (inst.status == history::InstanceStatus::kFailed ? "failed "
-                                                                : "skipped")
+      const char* label =
+          inst.status == history::InstanceStatus::kFailed        ? "failed "
+          : inst.status == history::InstanceStatus::kQuarantined ? "quarantined"
+                                                                 : "skipped";
+      *out_ << "  " << label
             << " " << session_->schema().entity_name(inst.type) << " i"
             << id.value() << " (task '" << inst.derivation.task << "'";
       if (!inst.derivation.inputs.empty()) {
@@ -280,6 +290,90 @@ void Interpreter::cmd_open(const Args& args) {
     }
     if (report.torn_tail) *out_ << " (torn tail truncated)";
     *out_ << "\n";
+  }
+  if (report.interrupted_runs > 0) {
+    *out_ << "  recovery: " << report.interrupted_runs
+          << " interrupted run(s), " << report.quarantined
+          << " partial product(s) quarantined ('runs' lists them, "
+             "'resume' re-runs)\n";
+  }
+}
+
+void Interpreter::cmd_runs(const Args& args) {
+  if (args.size() != 1) usage("runs");
+  const auto& runs = session_->db().runs();
+  if (runs.empty()) {
+    *out_ << "no runs recorded\n";
+    return;
+  }
+  for (const history::RunRecord& run : runs) {
+    *out_ << "  run #" << run.id << "  flow '" << run.flow_name << "'";
+    if (!run.goal.empty()) *out_ << " goal " << run.goal;
+    *out_ << " by " << run.user << ": ";
+    if (run.open()) {
+      *out_ << "OPEN (" << run.tasks_finished() << "/" << run.tasks.size()
+            << " started tasks finished; resumable)";
+    } else {
+      *out_ << run.outcome << " (" << run.tasks_finished() << "/"
+            << run.tasks.size() << " tasks finished)";
+    }
+    *out_ << "\n";
+  }
+}
+
+void Interpreter::cmd_resume(const Args& args) {
+  if (args.size() > 2) usage("resume [<run#>]");
+  std::uint64_t run_id = 0;
+  if (args.size() == 2) {
+    std::string token = args[1];
+    if (!token.empty() && token[0] == '#') token = token.substr(1);
+    try {
+      std::size_t pos = 0;
+      run_id = std::stoull(token, &pos);
+      if (pos != token.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      usage("resume [<run#>]");
+    }
+  } else {
+    const auto open = session_->db().open_runs();
+    if (open.empty()) {
+      *out_ << "no interrupted runs; nothing to resume\n";
+      return;
+    }
+    run_id = open.back()->id;
+  }
+  const exec::ExecResult result = session_->resume_run(run_id);
+  *out_ << "resumed run #" << run_id << ": ran " << result.tasks_run
+        << " tasks (" << result.tasks_reused << " reused";
+  if (result.tasks_failed > 0 || result.tasks_skipped > 0) {
+    *out_ << ", " << result.tasks_failed << " failed, "
+          << result.tasks_skipped << " skipped";
+  }
+  *out_ << ")\n";
+}
+
+void Interpreter::cmd_fsck(const Args& args) {
+  static const char* kUsage = "fsck <dir> [--repair]";
+  if (args.size() < 2 || args.size() > 3) usage(kUsage);
+  storage::FsckOptions options;
+  if (args.size() == 3) {
+    if (args[2] != "--repair") usage(kUsage);
+    options.repair = true;
+  }
+  // fsck reads the on-disk state; when auditing the store this session has
+  // open, flush its journal buffer first so the audit sees every record.
+  if (session_->storage() != nullptr) {
+    std::error_code ec;
+    if (std::filesystem::equivalent(session_->storage()->dir(), args[1],
+                                    ec)) {
+      session_->storage()->sync();
+    }
+  }
+  const storage::FsckReport report = storage::fsck_store(args[1], options);
+  *out_ << report.render();
+  if (report.severity() == storage::FsckSeverity::kCorruption) {
+    throw support::HistoryError("fsck: corruption detected in '" + args[1] +
+                                "' (see report above)");
   }
 }
 
@@ -601,6 +695,13 @@ void Interpreter::cmd_history_query(const Args& args) {
       }
     }
   } else if (cmd == "retrace") {
+    // A fresh instance is a no-op, not a failure (the library-level
+    // `retrace` throws here; in the shell that would abort scripts that
+    // retrace defensively).
+    if (exec::check_consistency(db, id).fresh) {
+      *out_ << "i" << id.value() << " is up to date; nothing to retrace\n";
+      return;
+    }
     const auto fresh = exec::retrace(db, session_->tools(), id);
     for (const InstanceId f : fresh) {
       *out_ << "  retraced -> ";
@@ -621,6 +722,10 @@ void Interpreter::cmd_help() {
       "open <dir> [sync=none|interval|commit] [every=N]   (durable store;\n"
       "    recovers snapshot+journal, then autosaves every record)\n"
       "checkpoint   (snapshot compaction)    store [close|sync]\n"
+      "runs   (execution log)    resume [<run#>]   (re-run interrupted run;\n"
+      "    finished tasks are skipped via memoization)\n"
+      "fsck <dir> [--repair]   (offline history audit: exit 0 clean,\n"
+      "    1 warnings, 2 corruption; --repair quarantines/tombstones)\n"
       "schema show | schema extend <<END ... END\n"
       "import <Entity> <name> <<END ... END   (or \"\" for empty payload)\n"
       "flow new <f> goal <Entity> | plan <name>\n"
@@ -631,7 +736,7 @@ void Interpreter::cmd_help() {
       "    [timeout=MS] [backoff=MS]      auto <Entity> [run]\n"
       "browse <Entity> [keyword=..] [user=..] [uses=iN]\n"
       "find <Entity> [where <path> = iN|\"name\" [and ...]]\n"
-      "failures   (tasks that failed or were skipped, with their inputs)\n"
+      "failures   (failed/skipped/quarantined tasks, with their inputs)\n"
       "history|uses|versions|payload|stale|retrace|decompose <iN>\n"
       "trace <iN> backward|forward     annotate <iN> <name> [comment]\n"
       "entities  tools  plans  echo <text>  help  quit\n";

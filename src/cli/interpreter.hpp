@@ -12,7 +12,8 @@
 //   session new <fig1|fig2|full> [user]     session user <name>
 //   session save <file>                     session load <file>
 //   open <dir> [sync=..] [every=N]          checkpoint
-//   store [close|sync]
+//   store [close|sync]                      runs
+//   resume [<run#>]                         fsck <dir> [--repair]
 //   import <Entity> <name> <<END ... END    import <Entity> <name> ""
 //   flow new <f> goal <Entity> | plan <name>
 //   flow expand <f> <node> [optional]       flow expandup <f> <node> <Entity>
@@ -81,6 +82,9 @@ class Interpreter {
   void cmd_import(const Args& args, const std::string& payload);
   void cmd_flow(const Args& args);
   void cmd_run(const Args& args);
+  void cmd_runs(const Args& args);
+  void cmd_resume(const Args& args);
+  void cmd_fsck(const Args& args);
   void cmd_auto(const Args& args);
   void cmd_browse(const Args& args);
   void cmd_history_query(const Args& args);

@@ -64,6 +64,10 @@ exec::ExecResult DesignSession::run_goal(const TaskGraph& flow, NodeId goal,
   return executor_->run_goal(flow, goal, options);
 }
 
+exec::ExecResult DesignSession::resume_run(std::uint64_t run_id) {
+  return executor_->resume(run_id);
+}
+
 InstanceBrowser DesignSession::browse(std::string_view entity) const {
   return InstanceBrowser(db(), schema_.require(entity));
 }

@@ -80,6 +80,11 @@ class DesignSession {
   exec::ExecResult run_goal(const graph::TaskGraph& flow, graph::NodeId goal,
                             exec::ExecOptions options = {});
 
+  /// Resumes an interrupted run (see `Executor::resume`): reloads the
+  /// journaled flow, closes the old run record and re-runs with
+  /// memoization, so only tasks that never finished execute again.
+  exec::ExecResult resume_run(std::uint64_t run_id);
+
   [[nodiscard]] InstanceBrowser browse(std::string_view entity) const;
   void annotate(data::InstanceId id, std::string_view name,
                 std::string_view comment);

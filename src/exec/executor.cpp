@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "support/error.hpp"
+#include "support/record.hpp"
 #include "tools/composite.hpp"
 
 namespace herc::exec {
@@ -59,7 +60,35 @@ struct RunState {
   std::mutex mutex;
   std::unordered_map<std::uint32_t, std::vector<InstanceId>> env;
   ExecResult result;
+  /// Run-intent journaling (crash-resumable runs); `journal` is false when
+  /// `options.journal_run` is off.
+  bool journal = false;
+  std::uint64_t run_id = 0;
+  /// Live node id -> the dense id `TaskGraph::save()` assigns, so task
+  /// keys journaled now match the flow text a resume reloads.
+  std::unordered_map<std::uint32_t, std::uint32_t> compact;
 };
+
+/// Stable identity of a task group inside the run's saved flow: compact id
+/// plus entity name of the primary output.
+std::string group_key(const RunState& state, const TaskGroup& group) {
+  const NodeId primary = group.outputs.front();
+  const auto it = state.compact.find(primary.value());
+  const std::uint32_t id =
+      it != state.compact.end() ? it->second : primary.value();
+  return std::to_string(id) + ":" +
+         state.flow->schema().entity_name(state.flow->node(primary).type);
+}
+
+const char* task_status_name(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kOk: return "ok";
+    case TaskStatus::kPartial: return "partial";
+    case TaskStatus::kFailed: return "failed";
+    case TaskStatus::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
 
 /// Cartesian-product odometer over input instance choices.
 class Odometer {
@@ -463,10 +492,18 @@ TaskOutcome execute_group(RunState& state, const TaskGroup& group) {
         }
         // All outputs validated before any is recorded: a failed
         // combination leaves no partial products behind.
+        std::vector<InstanceId> produced_ids;
+        produced_ids.reserve(records.size());
         for (auto& [out_node, request] : records) {
           const InstanceId id = state.db->record(request);
           state.env[out_node.value()].push_back(id);
           state.result.produced[out_node].push_back(id);
+          produced_ids.push_back(id);
+        }
+        // The coverage frame lands after the product frames: a crash in
+        // between leaves uncovered instances, which recovery quarantines.
+        if (state.journal) {
+          state.db->run_task_covered(state.run_id, produced_ids);
         }
         ++state.result.tasks_run;
       }
@@ -531,6 +568,18 @@ void finalize_outcome(RunState& state, const TaskGroup& group,
   for (const NodeId out : group.outputs) {
     state.result.outcomes[out] = outcome;
   }
+  if (state.journal) {
+    state.db->run_task_finished(state.run_id, group_key(state, group),
+                                task_status_name(outcome.status));
+  }
+}
+
+/// Journals the task-started frame for `group` (no-op when run intents are
+/// off).  Caller must NOT hold `state.mutex`.
+void journal_task_started(RunState& state, const TaskGroup& group) {
+  if (!state.journal) return;
+  std::scoped_lock lock(state.mutex);
+  state.db->run_task_started(state.run_id, group_key(state, group));
 }
 
 /// Marks `group` skipped: records skip records and the outcome.
@@ -642,6 +691,7 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
   if (!options.parallel || groups.size() < 2) {
     std::vector<std::string> failures;
     for (std::size_t g = 0; g < groups.size(); ++g) {
+      journal_task_started(state, groups[g]);
       const std::string reason =
           skip_reason(state, groups, dag, status, g);
       if (!reason.empty()) {
@@ -702,6 +752,7 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
           g = ready.front();
           ready.pop_front();
         }
+        journal_task_started(state, groups[g]);
         // The skip decision reads predecessor statuses; they are final
         // because a group only becomes ready after all its predecessors
         // completed.  (`skip_reason` takes `state.mutex` internally, so it
@@ -765,7 +816,84 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
   return std::move(state.result);
 }
 
+/// Opens the run record: journals the bound flow, options and seed so the
+/// run can be resumed after a crash.  No-op when `journal_run` is off.
+void begin_run_intents(RunState& state, const TaskGraph& flow,
+                       const ExecOptions& options, NodeId goal) {
+  if (!options.journal_run) return;
+  std::uint32_t next = 0;
+  for (const NodeId n : flow.nodes()) state.compact[n.value()] = next++;
+  history::RunRecord run;
+  run.flow_name = flow.name();
+  run.user = options.user;
+  run.options = encode_exec_options(options);
+  run.seed = options.fault.seed;
+  if (goal.valid()) {
+    run.goal = flow.schema().entity_name(flow.node(goal).type);
+    run.goal_node = static_cast<std::int64_t>(state.compact.at(goal.value()));
+  }
+  run.flow_text = flow.save();
+  state.run_id = state.db->begin_run(std::move(run));
+  state.journal = true;
+}
+
+/// Runs the groups and closes the run record: "complete" when every task
+/// produced, "failed" on partial results or a thrown abort.
+ExecResult run_to_completion(RunState& state,
+                             const std::vector<TaskGroup>& groups) {
+  if (!state.journal) return run_filtered(state, groups);
+  try {
+    ExecResult result = run_filtered(state, groups);
+    state.db->end_run(state.run_id,
+                      result.complete() ? "complete" : "failed");
+    return result;
+  } catch (...) {
+    state.db->end_run(state.run_id, "failed");
+    throw;
+  }
+}
+
 }  // namespace
+
+std::string encode_exec_options(const ExecOptions& options) {
+  support::RecordWriter w("opts");
+  w.field(static_cast<std::uint32_t>(options.parallel ? 1 : 0));
+  w.field(static_cast<std::uint32_t>(options.max_threads));
+  w.field(static_cast<std::uint32_t>(options.reuse_existing ? 1 : 0));
+  w.field(options.user);
+  w.field(static_cast<std::int64_t>(options.task_latency.count()));
+  w.field(static_cast<std::uint32_t>(options.fault.mode));
+  w.field(static_cast<std::uint32_t>(options.fault.max_retries));
+  w.field(static_cast<std::int64_t>(options.fault.backoff.count()));
+  w.field(options.fault.backoff_multiplier);
+  w.field(static_cast<std::int64_t>(options.fault.timeout.count()));
+  w.field(static_cast<std::int64_t>(options.fault.seed));
+  return w.str();
+}
+
+ExecOptions decode_exec_options(std::string_view text) {
+  support::RecordReader rec(text);
+  if (rec.kind() != "opts") {
+    throw ExecError("malformed run options record '" + rec.kind() + "'");
+  }
+  ExecOptions options;
+  options.parallel = rec.next_uint32() != 0;
+  options.max_threads = rec.next_uint32();
+  options.reuse_existing = rec.next_uint32() != 0;
+  options.user = rec.next_string();
+  options.task_latency = std::chrono::milliseconds(rec.next_int64());
+  const std::uint32_t mode = rec.next_uint32();
+  if (mode > static_cast<std::uint32_t>(FailureMode::kBestEffort)) {
+    throw ExecError("malformed run options: unknown failure mode");
+  }
+  options.fault.mode = static_cast<FailureMode>(mode);
+  options.fault.max_retries = rec.next_uint32();
+  options.fault.backoff = std::chrono::milliseconds(rec.next_int64());
+  options.fault.backoff_multiplier = rec.next_double();
+  options.fault.timeout = std::chrono::milliseconds(rec.next_int64());
+  options.fault.seed = static_cast<std::uint64_t>(rec.next_int64());
+  return options;
+}
 
 ExecResult Executor::run(const TaskGraph& flow, const ExecOptions& options) {
   flow.check();
@@ -783,7 +911,37 @@ ExecResult Executor::run(const TaskGraph& flow, const ExecOptions& options) {
   for (const NodeId n : flow.nodes()) {
     if (flow.is_leaf(n)) state.env[n.value()] = flow.bindings(n);
   }
-  return run_filtered(state, flow.task_groups());
+  begin_run_intents(state, flow, options, NodeId());
+  return run_to_completion(state, flow.task_groups());
+}
+
+ExecResult Executor::resume(std::uint64_t run_id) {
+  const history::RunRecord* record = db_->find_run(run_id);
+  if (record == nullptr) {
+    throw ExecError("no run #" + std::to_string(run_id) + " in the history");
+  }
+  if (!record->open()) {
+    throw ExecError("run #" + std::to_string(run_id) + " already ended ('" +
+                    record->outcome + "'); nothing to resume");
+  }
+  if (record->flow_text.empty()) {
+    throw ExecError("run #" + std::to_string(run_id) +
+                    " has no flow recorded; cannot resume");
+  }
+  const TaskGraph flow = TaskGraph::load(db_->schema(), record->flow_text);
+  ExecOptions options = decode_exec_options(record->options);
+  // Memoization is what skips completed tasks: their products are in the
+  // history, while quarantined partials are invisible and re-derived.
+  options.reuse_existing = true;
+  const std::int64_t goal_node = record->goal_node;
+  // The replacement run journals its own intents; close the old record
+  // first so recovery never sees two open runs for one flow.
+  db_->end_run(run_id, "resumed");
+  if (goal_node >= 0) {
+    return run_goal(flow, NodeId(static_cast<std::uint32_t>(goal_node)),
+                    options);
+  }
+  return run(flow, options);
 }
 
 ExecResult Executor::run_goal(const TaskGraph& flow, NodeId goal,
@@ -822,7 +980,8 @@ ExecResult Executor::run_goal(const TaskGraph& flow, NodeId goal,
         });
     if (needed) groups.push_back(group);
   }
-  return run_filtered(state, groups);
+  begin_run_intents(state, flow, options, goal);
+  return run_to_completion(state, groups);
 }
 
 }  // namespace herc::exec

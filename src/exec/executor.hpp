@@ -62,6 +62,11 @@ struct FaultPolicy {
   std::chrono::milliseconds timeout{0};
   /// Waits backoff through this clock; defaults to a real sleep.
   support::Clock* clock = nullptr;
+  /// Identifies the deterministic fault-injection plan in effect for the
+  /// run (see `tools::FaultInjectingRegistry`); recorded in the run-begin
+  /// journal frame so a resumed run reports the same plan.  Not
+  /// interpreted by the executor itself (0 = none).
+  std::uint64_t seed = 0;
 };
 
 struct ExecOptions {
@@ -77,6 +82,13 @@ struct ExecOptions {
   std::chrono::milliseconds task_latency{0};
   /// Failure semantics (retries, timeout, failure mode).
   FaultPolicy fault;
+  /// Journal execution intents (run-begin, task-started/-finished and
+  /// run-end frames) into the history database.  With a durable store
+  /// attached this makes the run crash-resumable: recovery quarantines
+  /// partial products and `Executor::resume` re-runs only unfinished
+  /// tasks.  Disable for throwaway executions that should leave no run
+  /// log.
+  bool journal_run = true;
 };
 
 /// Per-task execution verdict.
@@ -151,9 +163,24 @@ class Executor {
   ExecResult run_goal(const graph::TaskGraph& flow, graph::NodeId goal,
                       const ExecOptions& options = {});
 
+  /// Resumes an interrupted (still-open) run: reloads the bound flow and
+  /// options from the run-begin frame, closes the old run as "resumed",
+  /// and re-executes with memoization forced on — completed tasks are
+  /// skipped via their recorded products, so an N-task flow killed after
+  /// task k re-executes only the remaining N-k tasks (quarantined partial
+  /// products never satisfy memoization and are re-derived).  Throws
+  /// `ExecError` for an unknown or already-ended run.
+  ExecResult resume(std::uint64_t run_id);
+
  private:
   history::HistoryDb* db_;
   const tools::ToolRegistry* tools_;
 };
+
+/// Serializes the options a resumed run must reproduce (everything except
+/// the backoff clock, which cannot persist) into one record line.
+[[nodiscard]] std::string encode_exec_options(const ExecOptions& options);
+/// Inverse of `encode_exec_options`; `fault.clock` is left null.
+[[nodiscard]] ExecOptions decode_exec_options(std::string_view text);
 
 }  // namespace herc::exec

@@ -14,6 +14,14 @@ using data::InstanceId;
 using schema::EntityTypeId;
 using support::HistoryError;
 
+std::size_t RunRecord::tasks_finished() const {
+  std::size_t n = 0;
+  for (const RunTask& t : tasks) {
+    if (t.finished) ++n;
+  }
+  return n;
+}
+
 HistoryDb::HistoryDb(const schema::TaskSchema& schema, support::Clock& clock)
     : schema_(&schema), clock_(&clock) {}
 
@@ -123,6 +131,193 @@ void HistoryDb::annotate(InstanceId id, std::string_view name,
     w.field(comment);
     listener_->on_mutation(w.str() + "\n");
   }
+}
+
+void HistoryDb::quarantine(InstanceId id, std::string_view reason) {
+  apply_quarantine(id, reason);
+  if (listener_ != nullptr) {
+    support::RecordWriter w("quar");
+    w.field(id.value());
+    w.field(reason);
+    listener_->on_mutation(w.str() + "\n");
+  }
+}
+
+void HistoryDb::apply_quarantine(InstanceId id, std::string_view reason) {
+  check_id(id);
+  Instance& inst = instances_[id.index()];
+  if (!inst.ok()) {
+    throw HistoryError("instance i" + std::to_string(id.value()) +
+                       " is not an OK record; only OK instances can be "
+                       "quarantined");
+  }
+  inst.status = InstanceStatus::kQuarantined;
+  if (!inst.comment.empty()) inst.comment += ' ';
+  inst.comment += "[quarantined: " + std::string(reason) + "]";
+}
+
+// ---- run log ---------------------------------------------------------------
+
+RunRecord& HistoryDb::run_ref(std::uint64_t id) {
+  if (id >= runs_.size()) {
+    throw HistoryError("unknown run #" + std::to_string(id));
+  }
+  return runs_[static_cast<std::size_t>(id)];
+}
+
+const RunRecord* HistoryDb::find_run(std::uint64_t id) const {
+  if (id >= runs_.size()) return nullptr;
+  return &runs_[static_cast<std::size_t>(id)];
+}
+
+std::vector<const RunRecord*> HistoryDb::open_runs() const {
+  std::vector<const RunRecord*> out;
+  for (const RunRecord& run : runs_) {
+    if (run.open()) out.push_back(&run);
+  }
+  return out;
+}
+
+std::vector<InstanceId> HistoryDb::partial_products() const {
+  std::uint32_t min_begin = 0;
+  bool any_open = false;
+  std::unordered_set<std::uint32_t> covered;
+  for (const RunRecord& run : runs_) {
+    if (!run.open()) continue;
+    min_begin = any_open ? std::min(min_begin, run.db_size_at_begin)
+                         : run.db_size_at_begin;
+    any_open = true;
+    for (const InstanceId id : run.covered) covered.insert(id.value());
+  }
+  std::vector<InstanceId> out;
+  if (!any_open) return out;
+  for (std::size_t i = min_begin; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    // Imports are designer-supplied, not task products; failure records
+    // and already-quarantined instances are invisible anyway.
+    if (!inst.ok() || inst.derivation.is_import()) continue;
+    if (!covered.contains(inst.id.value())) out.push_back(inst.id);
+  }
+  return out;
+}
+
+std::string HistoryDb::run_begin_line(const RunRecord& run) {
+  support::RecordWriter w("runb");
+  w.field(static_cast<std::int64_t>(run.id));
+  w.field(run.flow_name);
+  w.field(run.goal);
+  w.field(run.goal_node);
+  w.field(run.user);
+  w.field(run.options);
+  w.field(static_cast<std::int64_t>(run.seed));
+  w.field(run.db_size_at_begin);
+  w.field(run.flow_text);
+  return w.str();
+}
+
+std::uint64_t HistoryDb::begin_run(RunRecord run) {
+  run.id = runs_.size();
+  run.db_size_at_begin = static_cast<std::uint32_t>(instances_.size());
+  run.outcome.clear();
+  run.tasks.clear();
+  run.covered.clear();
+  const std::string line = run_begin_line(run);
+  const std::uint64_t id = run.id;
+  apply_run_begin(std::move(run));
+  if (listener_ != nullptr) listener_->on_mutation(line + "\n");
+  return id;
+}
+
+void HistoryDb::apply_run_begin(RunRecord run) {
+  if (run.id != runs_.size()) {
+    throw HistoryError("history file: run records out of order");
+  }
+  runs_.push_back(std::move(run));
+}
+
+void HistoryDb::run_task_started(std::uint64_t run, std::string_view key) {
+  apply_task_started(run, key);
+  if (listener_ != nullptr) {
+    support::RecordWriter w("tstart");
+    w.field(static_cast<std::int64_t>(run));
+    w.field(key);
+    listener_->on_mutation(w.str() + "\n");
+  }
+}
+
+void HistoryDb::apply_task_started(std::uint64_t run, std::string_view key) {
+  run_ref(run).tasks.push_back(RunTask{std::string(key), false, ""});
+}
+
+void HistoryDb::run_task_covered(
+    std::uint64_t run, const std::vector<InstanceId>& produced) {
+  apply_task_covered(run, produced);
+  if (listener_ != nullptr) {
+    support::RecordWriter w("tcover");
+    w.field(static_cast<std::int64_t>(run));
+    w.field(static_cast<std::uint32_t>(produced.size()));
+    for (const InstanceId id : produced) w.field(id.value());
+    listener_->on_mutation(w.str() + "\n");
+  }
+}
+
+void HistoryDb::apply_task_covered(
+    std::uint64_t run, const std::vector<InstanceId>& produced) {
+  RunRecord& record = run_ref(run);
+  for (const InstanceId id : produced) {
+    check_id(id);
+    record.covered.push_back(id);
+  }
+}
+
+void HistoryDb::run_task_finished(std::uint64_t run, std::string_view key,
+                                  std::string_view status) {
+  apply_task_finished(run, key, status);
+  if (listener_ != nullptr) {
+    support::RecordWriter w("tfin");
+    w.field(static_cast<std::int64_t>(run));
+    w.field(key);
+    w.field(status);
+    listener_->on_mutation(w.str() + "\n");
+  }
+}
+
+void HistoryDb::apply_task_finished(std::uint64_t run, std::string_view key,
+                                    std::string_view status) {
+  for (RunTask& task : run_ref(run).tasks) {
+    if (!task.finished && task.key == key) {
+      task.finished = true;
+      task.status = std::string(status);
+      return;
+    }
+  }
+  throw HistoryError("run #" + std::to_string(run) + ": task '" +
+                     std::string(key) + "' finished without starting");
+}
+
+void HistoryDb::end_run(std::uint64_t run, std::string_view outcome) {
+  apply_run_end(run, outcome);
+  if (listener_ != nullptr) {
+    support::RecordWriter w("rune");
+    w.field(static_cast<std::int64_t>(run));
+    w.field(outcome);
+    listener_->on_mutation(w.str() + "\n");
+  }
+}
+
+void HistoryDb::apply_run_end(std::uint64_t run, std::string_view outcome) {
+  RunRecord& record = run_ref(run);
+  if (!record.open()) {
+    throw HistoryError("run #" + std::to_string(run) + " already ended ('" +
+                       record.outcome + "')");
+  }
+  if (outcome.empty()) {
+    throw HistoryError("run outcome must be non-empty");
+  }
+  record.outcome = std::string(outcome);
+  // The flow is only needed to resume an open run; keep closed runs cheap.
+  record.flow_text.clear();
+  record.flow_text.shrink_to_fit();
 }
 
 bool HistoryDb::contains(InstanceId id) const {
@@ -324,6 +519,44 @@ std::string HistoryDb::save() const {
     out += instance_line(inst);
     out += '\n';
   }
+  // Run log: the same frame kinds the journal carries, re-emitted so a
+  // snapshot/load round-trip reproduces the run state exactly (an open
+  // run stays resumable across a checkpoint).
+  for (const RunRecord& run : runs_) {
+    out += run_begin_line(run);
+    out += '\n';
+    for (const RunTask& task : run.tasks) {
+      out += support::RecordWriter("tstart")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(task.key)
+                 .str();
+      out += '\n';
+    }
+    if (!run.covered.empty()) {
+      support::RecordWriter w("tcover");
+      w.field(static_cast<std::int64_t>(run.id));
+      w.field(static_cast<std::uint32_t>(run.covered.size()));
+      for (const InstanceId id : run.covered) w.field(id.value());
+      out += w.str();
+      out += '\n';
+    }
+    for (const RunTask& task : run.tasks) {
+      if (!task.finished) continue;
+      out += support::RecordWriter("tfin")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(task.key)
+                 .field(task.status)
+                 .str();
+      out += '\n';
+    }
+    if (!run.open()) {
+      out += support::RecordWriter("rune")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(run.outcome)
+                 .str();
+      out += '\n';
+    }
+  }
   return out;
 }
 
@@ -351,7 +584,7 @@ void HistoryDb::apply_saved_line(std::string_view line) {
     }
     inst.version = rec.next_uint32();
     const std::uint32_t status = rec.next_uint32();
-    if (status > static_cast<std::uint32_t>(InstanceStatus::kSkipped)) {
+    if (status > static_cast<std::uint32_t>(InstanceStatus::kQuarantined)) {
       throw HistoryError("history file: unknown instance status");
     }
     inst.status = static_cast<InstanceStatus>(status);
@@ -381,6 +614,40 @@ void HistoryDb::apply_saved_line(std::string_view line) {
     check_id(id);
     instances_[id.index()].name = rec.next_string();
     instances_[id.index()].comment = rec.next_string();
+  } else if (rec.kind() == "runb") {
+    RunRecord run;
+    run.id = static_cast<std::uint64_t>(rec.next_int64());
+    run.flow_name = rec.next_string();
+    run.goal = rec.next_string();
+    run.goal_node = rec.next_int64();
+    run.user = rec.next_string();
+    run.options = rec.next_string();
+    run.seed = static_cast<std::uint64_t>(rec.next_int64());
+    run.db_size_at_begin = rec.next_uint32();
+    run.flow_text = rec.next_string();
+    apply_run_begin(std::move(run));
+  } else if (rec.kind() == "tstart") {
+    const auto run = static_cast<std::uint64_t>(rec.next_int64());
+    apply_task_started(run, rec.next_string());
+  } else if (rec.kind() == "tcover") {
+    const auto run = static_cast<std::uint64_t>(rec.next_int64());
+    const std::uint32_t count = rec.next_uint32();
+    std::vector<InstanceId> produced;
+    produced.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      produced.push_back(InstanceId(rec.next_uint32()));
+    }
+    apply_task_covered(run, produced);
+  } else if (rec.kind() == "tfin") {
+    const auto run = static_cast<std::uint64_t>(rec.next_int64());
+    const std::string key = rec.next_string();
+    apply_task_finished(run, key, rec.next_string());
+  } else if (rec.kind() == "rune") {
+    const auto run = static_cast<std::uint64_t>(rec.next_int64());
+    apply_run_end(run, rec.next_string());
+  } else if (rec.kind() == "quar") {
+    const InstanceId id(rec.next_uint32());
+    apply_quarantine(id, rec.next_string());
   } else {
     throw HistoryError("history file: unknown record '" + rec.kind() + "'");
   }

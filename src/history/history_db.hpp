@@ -36,6 +36,51 @@ struct RecordRequest {
   Derivation derivation;
 };
 
+/// Per-task progress of a journaled run.  `key` names the task group by
+/// the compact node id and entity name of its primary output in the run's
+/// saved flow text, so it stays stable across save/load.
+struct RunTask {
+  std::string key;
+  bool finished = false;
+  /// Final verdict name ("ok", "partial", "failed", "skipped"); empty
+  /// while the task is in flight.
+  std::string status;
+};
+
+/// One journaled flow execution.  The run-begin frame carries everything
+/// needed to re-execute the flow after a crash (the bound flow itself, the
+/// executor options, the fault-injection seed); task frames record
+/// progress, and the covered-instance list lets crash recovery quarantine
+/// partial products of tasks that started but never finished.
+struct RunRecord {
+  std::uint64_t id = 0;
+  std::string flow_name;
+  /// Entity name of the goal for a sub-flow run; empty for a full run.
+  std::string goal;
+  /// Compact node id of the goal in `flow_text` (-1 = whole flow).
+  std::int64_t goal_node = -1;
+  std::string user;
+  /// Encoded ExecOptions (exec layer format), replayed by resume.
+  std::string options;
+  /// Fault-injection seed in effect (0 = none).
+  std::uint64_t seed = 0;
+  /// Database size when the run began: instances at or above this index
+  /// were (re)corded during the run.
+  std::uint32_t db_size_at_begin = 0;
+  /// `TaskGraph::save()` of the bound flow; cleared when the run ends so
+  /// closed runs cost nothing to keep.
+  std::string flow_text;
+  /// "" while open; "complete", "failed" or "resumed" once ended.
+  std::string outcome;
+  std::vector<RunTask> tasks;
+  /// Instances recorded under a completed task combination — anything the
+  /// run produced that is *not* listed here is a partial product.
+  std::vector<data::InstanceId> covered;
+
+  [[nodiscard]] bool open() const { return outcome.empty(); }
+  [[nodiscard]] std::size_t tasks_finished() const;
+};
+
 /// Observer of history mutations — the hook durable storage (src/storage)
 /// attaches to.  `lines` holds one or more '\n'-terminated record lines in
 /// the same format `save()` emits; feeding them to `apply_saved_line` in
@@ -76,6 +121,43 @@ class HistoryDb {
   void annotate(data::InstanceId id, std::string_view name,
                 std::string_view comment);
 
+  /// Marks an OK instance as quarantined (crash recovery / fsck repair):
+  /// it keeps its payload and derivation but becomes invisible to binding,
+  /// memoization and version queries.  Throws `HistoryError` for failure
+  /// or already-quarantined records.
+  void quarantine(data::InstanceId id, std::string_view reason);
+
+  // ---- run log (crash-resumable execution) ----------------------------------
+
+  /// Opens a run: assigns the id and `db_size_at_begin`, journals the
+  /// run-begin frame.  `run` supplies flow name/text, goal, user, options
+  /// and seed; progress fields are reset.
+  std::uint64_t begin_run(RunRecord run);
+  /// Journals that the task `key` of `run` started executing.
+  void run_task_started(std::uint64_t run, std::string_view key);
+  /// Journals that one task combination recorded all of `produced`: those
+  /// instances are complete products, never quarantine candidates.
+  void run_task_covered(std::uint64_t run,
+                        const std::vector<data::InstanceId>& produced);
+  /// Journals the final verdict of task `key` ("ok", "partial", "failed",
+  /// "skipped").  The task must have been started.
+  void run_task_finished(std::uint64_t run, std::string_view key,
+                         std::string_view status);
+  /// Closes a run ("complete", "failed" or "resumed") and drops its stored
+  /// flow text.  Throws when the run is already closed.
+  void end_run(std::uint64_t run, std::string_view outcome);
+
+  [[nodiscard]] const std::vector<RunRecord>& runs() const { return runs_; }
+  /// The run with `id`, or nullptr.
+  [[nodiscard]] const RunRecord* find_run(std::uint64_t id) const;
+  /// Runs still open — after recovery these are the interrupted runs a
+  /// crash left behind, resumable via `Executor::resume`.
+  [[nodiscard]] std::vector<const RunRecord*> open_runs() const;
+  /// OK, non-import instances recorded at or after an open run began whose
+  /// producing combination never completed (not in any `covered` list) —
+  /// the candidates crash recovery quarantines.
+  [[nodiscard]] std::vector<data::InstanceId> partial_products() const;
+
   // ---- reading -------------------------------------------------------------
 
   [[nodiscard]] std::size_t size() const { return instances_.size(); }
@@ -92,9 +174,10 @@ class HistoryDb {
       schema::EntityTypeId type, bool include_subtypes = true,
       bool include_failures = false) const;
 
-  /// All failure records (`kFailed` and `kSkipped`), in creation order —
-  /// the §4.2-style "which tasks failed, with what inputs?" query; each
-  /// record's derivation names the tool and input instances of the attempt.
+  /// All non-OK records (`kFailed`, `kSkipped` and `kQuarantined`), in
+  /// creation order — the §4.2-style "which tasks failed, with what
+  /// inputs?" query; each record's derivation names the tool and input
+  /// instances of the attempt.
   [[nodiscard]] std::vector<data::InstanceId> failures() const;
 
   // ---- chaining queries (§4.2) ----------------------------------------------
@@ -160,7 +243,8 @@ class HistoryDb {
                                       support::Clock& clock,
                                       std::string_view text);
 
-  /// Applies one save()-format record line ("blob", "inst" or "annot"),
+  /// Applies one save()-format record line ("blob", "inst", "annot", the
+  /// run-log kinds "runb"/"tstart"/"tcover"/"tfin"/"rune", or "quar"),
   /// verifying content hashes and id ordering.  `load` is a loop over this;
   /// journal recovery (src/storage) replays incremental mutations through
   /// the same path.  Never notifies the attached listener.
@@ -177,6 +261,19 @@ class HistoryDb {
   void check_id(data::InstanceId id) const;
   [[nodiscard]] schema::EntityTypeId root_type(schema::EntityTypeId t) const;
   [[nodiscard]] std::string instance_line(const Instance& inst) const;
+  [[nodiscard]] static std::string run_begin_line(const RunRecord& run);
+
+  /// State mutation shared by the public mutators (which also notify the
+  /// listener) and `apply_saved_line` (which must not).
+  [[nodiscard]] RunRecord& run_ref(std::uint64_t id);
+  void apply_run_begin(RunRecord run);
+  void apply_task_started(std::uint64_t run, std::string_view key);
+  void apply_task_covered(std::uint64_t run,
+                          const std::vector<data::InstanceId>& produced);
+  void apply_task_finished(std::uint64_t run, std::string_view key,
+                           std::string_view status);
+  void apply_run_end(std::uint64_t run, std::string_view outcome);
+  void apply_quarantine(data::InstanceId id, std::string_view reason);
 
   const schema::TaskSchema* schema_;
   support::Clock* clock_;
@@ -184,6 +281,7 @@ class HistoryDb {
   std::vector<Instance> instances_;
   /// Forward index: instance -> instances whose derivation used it.
   std::vector<std::vector<data::InstanceId>> used_by_;
+  std::vector<RunRecord> runs_;
   MutationListener* listener_ = nullptr;
 };
 

@@ -47,6 +47,11 @@ enum class InstanceStatus : std::uint8_t {
   kOk = 0,       ///< the task produced this instance
   kFailed = 1,   ///< the task ran (with retries) and failed; no payload
   kSkipped = 2,  ///< the task never ran: an upstream dependency failed
+  /// The instance was produced, but by a task of a run that crashed before
+  /// the task finished (or it failed an fsck audit): its payload is kept
+  /// for inspection, but like a failure record it never satisfies binding,
+  /// memoization or version queries — a resumed run re-derives it.
+  kQuarantined = 3,
 };
 
 /// One design object: meta-data plus a reference to shared physical data.

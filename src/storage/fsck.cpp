@@ -1,0 +1,669 @@
+#include "storage/fsck.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/blob_store.hpp"
+#include "schema/schema_io.hpp"
+#include "schema/task_schema.hpp"
+#include "storage/journal.hpp"
+#include "storage/store.hpp"
+#include "support/error.hpp"
+#include "support/record.hpp"
+#include "support/text.hpp"
+
+namespace herc::storage {
+
+namespace fs = std::filesystem;
+using support::HistoryError;
+
+FsckSeverity FsckReport::severity() const {
+  FsckSeverity worst = FsckSeverity::kClean;
+  for (const FsckFinding& f : findings) {
+    if (static_cast<int>(f.severity) > static_cast<int>(worst)) {
+      worst = f.severity;
+    }
+  }
+  return worst;
+}
+
+bool FsckReport::has(std::string_view code) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const FsckFinding& f) { return f.code == code; });
+}
+
+std::string FsckReport::render() const {
+  std::ostringstream out;
+  out << "fsck " << dir << ": epoch " << stats.epoch << ", "
+      << stats.instances << " instances, " << stats.blobs << " blobs, "
+      << stats.runs << " runs (" << stats.open_runs << " open), "
+      << stats.snapshot_records << " snapshot + " << stats.journal_records
+      << " journal records\n";
+  for (const FsckFinding& f : findings) {
+    out << "  ["
+        << (f.severity == FsckSeverity::kCorruption ? "corruption"
+                                                    : "warning")
+        << "] " << f.code << ": " << f.detail << "\n";
+  }
+  for (const std::string& action : repairs) {
+    out << "  repair: " << action << "\n";
+  }
+  const FsckSeverity worst = severity();
+  out << "verdict: "
+      << (worst == FsckSeverity::kClean        ? "clean"
+          : worst == FsckSeverity::kWarning    ? "warnings"
+                                               : "CORRUPTION")
+      << " (exit " << exit_code() << ")\n";
+  return out.str();
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw HistoryError("fsck: cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Leniently parsed mirror of a history instance: everything needed to
+/// audit references and to re-serialize a repaired image.
+struct AuditInstance {
+  std::uint32_t id = 0;
+  std::string type;
+  std::string name;
+  std::string user;
+  std::int64_t created = 0;
+  std::string comment;
+  std::string blob;
+  std::uint32_t version = 1;
+  std::uint32_t status = 0;
+  std::string task;
+  std::int64_t tool = -1;
+  std::vector<std::pair<std::int64_t, std::string>> inputs;
+  /// Repair verdicts filled by the audit passes.
+  bool tombstone = false;
+  std::string tombstone_reason;
+  bool quarantine = false;
+};
+
+struct AuditTask {
+  std::string key;
+  bool finished = false;
+  std::string status;
+};
+
+struct AuditRun {
+  std::uint64_t id = 0;
+  std::string flow_name;
+  std::string goal;
+  std::int64_t goal_node = -1;
+  std::string user;
+  std::string options;
+  std::int64_t seed = 0;
+  std::uint32_t db_size = 0;
+  std::string flow_text;
+  std::string outcome;
+  std::vector<AuditTask> tasks;
+  std::vector<std::int64_t> covered;
+};
+
+struct Audit {
+  /// Blobs in first-seen order (the order `BlobStore::save` preserves).
+  std::vector<std::pair<std::string, std::string>> blobs;
+  std::unordered_map<std::string, std::size_t> blob_index;
+  std::vector<AuditInstance> instances;
+  std::vector<AuditRun> runs;
+  /// Lines that failed to parse at all, dropped from any repair image.
+  std::size_t dropped_records = 0;
+};
+
+void warn(FsckReport& report, std::string code, std::string detail) {
+  report.findings.push_back(FsckFinding{FsckSeverity::kWarning,
+                                        std::move(code), std::move(detail)});
+}
+
+void corrupt(FsckReport& report, std::string code, std::string detail) {
+  report.findings.push_back(FsckFinding{
+      FsckSeverity::kCorruption, std::move(code), std::move(detail)});
+}
+
+AuditRun* find_audit_run(Audit& audit, std::uint64_t id) {
+  for (AuditRun& run : audit.runs) {
+    if (run.id == id) return &run;
+  }
+  return nullptr;
+}
+
+/// Ingests one record line.  Structural parse failures become "bad-record"
+/// corruption findings; reference checks are deferred to the audit passes
+/// so one defect never hides the rest.
+void ingest_line(Audit& audit, FsckReport& report, const std::string& line,
+                 const std::string& origin) {
+  try {
+    support::RecordReader rec(line);
+    if (rec.kind() == "blob") {
+      const std::string key = rec.next_string();
+      std::string payload = rec.next_string();
+      if (!audit.blob_index.contains(key)) {
+        audit.blob_index.emplace(key, audit.blobs.size());
+        audit.blobs.emplace_back(key, std::move(payload));
+      }
+    } else if (rec.kind() == "inst") {
+      AuditInstance inst;
+      inst.id = rec.next_uint32();
+      inst.type = rec.next_string();
+      inst.name = rec.next_string();
+      inst.user = rec.next_string();
+      inst.created = rec.next_int64();
+      inst.comment = rec.next_string();
+      inst.blob = rec.next_string();
+      inst.version = rec.next_uint32();
+      inst.status = rec.next_uint32();
+      inst.task = rec.next_string();
+      inst.tool = rec.next_int64();
+      const std::uint32_t n_inputs = rec.next_uint32();
+      for (std::uint32_t i = 0; i < n_inputs; ++i) {
+        const std::int64_t in = rec.next_int64();
+        inst.inputs.emplace_back(in, rec.next_string());
+      }
+      if (inst.status > 3) {
+        corrupt(report, "bad-record",
+                origin + ": instance i" + std::to_string(inst.id) +
+                    " has unknown status " + std::to_string(inst.status));
+        ++audit.dropped_records;
+        return;
+      }
+      audit.instances.push_back(std::move(inst));
+    } else if (rec.kind() == "annot") {
+      const std::uint32_t id = rec.next_uint32();
+      std::string name = rec.next_string();
+      std::string comment = rec.next_string();
+      if (id >= audit.instances.size()) {
+        corrupt(report, "dangling-reference",
+                origin + ": annotation targets unknown instance i" +
+                    std::to_string(id));
+        return;
+      }
+      audit.instances[id].name = std::move(name);
+      audit.instances[id].comment = std::move(comment);
+    } else if (rec.kind() == "runb") {
+      AuditRun run;
+      run.id = static_cast<std::uint64_t>(rec.next_int64());
+      run.flow_name = rec.next_string();
+      run.goal = rec.next_string();
+      run.goal_node = rec.next_int64();
+      run.user = rec.next_string();
+      run.options = rec.next_string();
+      run.seed = rec.next_int64();
+      run.db_size = rec.next_uint32();
+      run.flow_text = rec.next_string();
+      if (run.id != audit.runs.size()) {
+        corrupt(report, "bad-record",
+                origin + ": run records out of order (run #" +
+                    std::to_string(run.id) + ")");
+        ++audit.dropped_records;
+        return;
+      }
+      audit.runs.push_back(std::move(run));
+    } else if (rec.kind() == "tstart" || rec.kind() == "tcover" ||
+               rec.kind() == "tfin" || rec.kind() == "rune") {
+      const std::string kind = rec.kind();
+      const auto id = static_cast<std::uint64_t>(rec.next_int64());
+      AuditRun* run = find_audit_run(audit, id);
+      if (run == nullptr) {
+        corrupt(report, "dangling-reference",
+                origin + ": '" + kind + "' frame targets unknown run #" +
+                    std::to_string(id));
+        return;
+      }
+      if (kind == "tstart") {
+        run->tasks.push_back(AuditTask{rec.next_string(), false, ""});
+      } else if (kind == "tcover") {
+        const std::uint32_t count = rec.next_uint32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          run->covered.push_back(rec.next_int64());
+        }
+      } else if (kind == "tfin") {
+        const std::string key = rec.next_string();
+        std::string status = rec.next_string();
+        bool found = false;
+        for (AuditTask& task : run->tasks) {
+          if (!task.finished && task.key == key) {
+            task.finished = true;
+            task.status = std::move(status);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          corrupt(report, "bad-record",
+                  origin + ": run #" + std::to_string(id) + " task '" + key +
+                      "' finished without starting");
+        }
+      } else {  // rune
+        std::string outcome = rec.next_string();
+        if (!run->outcome.empty()) {
+          corrupt(report, "bad-record",
+                  origin + ": run #" + std::to_string(id) + " ended twice");
+          return;
+        }
+        run->outcome = std::move(outcome);
+        run->flow_text.clear();
+      }
+    } else if (rec.kind() == "quar") {
+      const std::uint32_t id = rec.next_uint32();
+      const std::string reason = rec.next_string();
+      if (id >= audit.instances.size()) {
+        corrupt(report, "dangling-reference",
+                origin + ": quarantine targets unknown instance i" +
+                    std::to_string(id));
+        return;
+      }
+      AuditInstance& inst = audit.instances[id];
+      if (inst.status != 0) {
+        corrupt(report, "bad-record",
+                origin + ": quarantine of non-OK instance i" +
+                    std::to_string(id));
+        return;
+      }
+      inst.status = 3;
+      if (!inst.comment.empty()) inst.comment += ' ';
+      inst.comment += "[quarantined: " + reason + "]";
+    } else {
+      corrupt(report, "bad-record",
+              origin + ": unknown record kind '" + rec.kind() + "'");
+      ++audit.dropped_records;
+    }
+  } catch (const std::exception& e) {
+    corrupt(report, "bad-record", origin + ": " + e.what());
+    ++audit.dropped_records;
+  }
+}
+
+/// The reference/coverage audit passes over the ingested state.
+void audit_store(Audit& audit, FsckReport& report,
+                 const schema::TaskSchema* schema) {
+  // Blob content hashes: a mismatched payload would be rejected by
+  // `BlobStore::restore` on the next recovery, making the store unopenable.
+  std::unordered_set<std::string> bad_blobs;
+  for (const auto& [key, payload] : audit.blobs) {
+    if (data::BlobStore::key_for(payload) != key) {
+      corrupt(report, "blob-hash-mismatch",
+              "blob '" + key + "' payload hashes to '" +
+                  data::BlobStore::key_for(payload) + "'");
+      bad_blobs.insert(key);
+    }
+  }
+
+  // Instance table: dense ids, known entities, valid blob and derivation
+  // references (a reference must point at an *earlier* instance).
+  for (std::size_t i = 0; i < audit.instances.size(); ++i) {
+    AuditInstance& inst = audit.instances[i];
+    const std::string label = "instance i" + std::to_string(inst.id);
+    if (inst.id != i) {
+      corrupt(report, "out-of-order-instance",
+              label + " sits at table position " + std::to_string(i));
+    }
+    if (schema != nullptr && !schema->find(inst.type).valid()) {
+      corrupt(report, "unknown-entity",
+              label + " is typed by unknown entity '" + inst.type + "'");
+    }
+    if (!audit.blob_index.contains(inst.blob)) {
+      corrupt(report, "missing-blob",
+              label + " references missing blob '" + inst.blob + "'");
+      inst.tombstone = true;
+      inst.tombstone_reason = "missing blob";
+    } else if (bad_blobs.contains(inst.blob)) {
+      inst.tombstone = true;
+      inst.tombstone_reason = "blob hash mismatch";
+    }
+    const auto check_ref = [&](std::int64_t ref, const char* what) {
+      if (ref < 0) return;
+      if (static_cast<std::size_t>(ref) >= i || ref > inst.id) {
+        corrupt(report, "dangling-reference",
+                label + " " + what + " references " +
+                    (static_cast<std::size_t>(ref) >= audit.instances.size()
+                         ? "unknown"
+                         : "a later") +
+                    " instance i" + std::to_string(ref));
+        inst.tombstone = true;
+        if (inst.tombstone_reason.empty()) {
+          inst.tombstone_reason = "dangling derivation reference";
+        }
+      }
+    };
+    check_ref(inst.tool, "derivation tool");
+    for (const auto& [in, role] : inst.inputs) {
+      check_ref(in, "derivation input");
+    }
+  }
+
+  // Orphan blobs: referenced by no instance.  Survivable (recovery loads
+  // them fine) but dead weight a checkpoint never sheds on its own.
+  std::unordered_set<std::string> referenced;
+  for (const AuditInstance& inst : audit.instances) {
+    referenced.insert(inst.blob);
+  }
+  for (const auto& [key, payload] : audit.blobs) {
+    if (!referenced.contains(key)) {
+      warn(report, "orphan-blob",
+           "blob '" + key + "' (" + std::to_string(payload.size()) +
+               " bytes) is referenced by no instance");
+    }
+  }
+
+  // Run log: interrupted runs and their uncovered (partial) products.
+  std::unordered_set<std::int64_t> covered;
+  std::uint32_t min_begin = 0;
+  bool any_open = false;
+  for (const AuditRun& run : audit.runs) {
+    for (const std::int64_t id : run.covered) {
+      if (id < 0 || static_cast<std::size_t>(id) >= audit.instances.size()) {
+        corrupt(report, "dangling-reference",
+                "run #" + std::to_string(run.id) +
+                    " covers unknown instance i" + std::to_string(id));
+      }
+    }
+    if (!run.outcome.empty()) continue;
+    min_begin = any_open ? std::min(min_begin, run.db_size) : run.db_size;
+    any_open = true;
+    for (const std::int64_t id : run.covered) covered.insert(id);
+    std::size_t finished = 0;
+    for (const AuditTask& task : run.tasks) {
+      if (task.finished) ++finished;
+    }
+    warn(report, "interrupted-run",
+         "run #" + std::to_string(run.id) + " (flow '" + run.flow_name +
+             "') never ended: " + std::to_string(finished) + "/" +
+             std::to_string(run.tasks.size()) +
+             " started tasks finished; resumable");
+  }
+  if (any_open) {
+    for (std::size_t i = min_begin; i < audit.instances.size(); ++i) {
+      AuditInstance& inst = audit.instances[i];
+      const bool is_import = inst.tool < 0 && inst.inputs.empty();
+      if (inst.status != 0 || is_import) continue;
+      if (!covered.contains(static_cast<std::int64_t>(inst.id))) {
+        warn(report, "unquarantined-partial",
+             "instance i" + std::to_string(inst.id) +
+                 " was produced by an unfinished task of an interrupted "
+                 "run but is not quarantined");
+        inst.quarantine = true;
+      }
+    }
+  }
+}
+
+/// Serializes the (possibly repaired) audit state back into a
+/// `HistoryDb::save`-compatible image.
+std::string serialize_image(const Audit& audit,
+                            const std::unordered_set<std::string>& keep_blobs) {
+  std::string out;
+  for (const auto& [key, payload] : audit.blobs) {
+    if (!keep_blobs.contains(key)) continue;
+    out += support::RecordWriter("blob").field(key).field(payload).str();
+    out += '\n';
+  }
+  for (const AuditInstance& inst : audit.instances) {
+    support::RecordWriter w("inst");
+    w.field(inst.id);
+    w.field(inst.type);
+    w.field(inst.name);
+    w.field(inst.user);
+    w.field(inst.created);
+    w.field(inst.comment);
+    w.field(inst.blob);
+    w.field(inst.version);
+    w.field(inst.status);
+    w.field(inst.task);
+    w.field(inst.tool);
+    w.field(static_cast<std::uint32_t>(inst.inputs.size()));
+    for (const auto& [in, role] : inst.inputs) {
+      w.field(in);
+      w.field(role);
+    }
+    out += w.str();
+    out += '\n';
+  }
+  for (const AuditRun& run : audit.runs) {
+    support::RecordWriter b("runb");
+    b.field(static_cast<std::int64_t>(run.id));
+    b.field(run.flow_name);
+    b.field(run.goal);
+    b.field(run.goal_node);
+    b.field(run.user);
+    b.field(run.options);
+    b.field(run.seed);
+    b.field(run.db_size);
+    b.field(run.flow_text);
+    out += b.str();
+    out += '\n';
+    for (const AuditTask& task : run.tasks) {
+      out += support::RecordWriter("tstart")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(task.key)
+                 .str();
+      out += '\n';
+    }
+    if (!run.covered.empty()) {
+      support::RecordWriter w("tcover");
+      w.field(static_cast<std::int64_t>(run.id));
+      w.field(static_cast<std::uint32_t>(run.covered.size()));
+      for (const std::int64_t id : run.covered) w.field(id);
+      out += w.str();
+      out += '\n';
+    }
+    for (const AuditTask& task : run.tasks) {
+      if (!task.finished) continue;
+      out += support::RecordWriter("tfin")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(task.key)
+                 .field(task.status)
+                 .str();
+      out += '\n';
+    }
+    if (!run.outcome.empty()) {
+      out += support::RecordWriter("rune")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(run.outcome)
+                 .str();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+/// Applies the repair verdicts and checkpoints the cleaned image under the
+/// next epoch with a fresh journal.
+void repair_store(Audit& audit, FsckReport& report,
+                  const std::string& snapshot_path,
+                  const std::string& journal_path) {
+  const std::string empty_key = data::BlobStore::key_for("");
+  bool need_empty_blob = false;
+  for (AuditInstance& inst : audit.instances) {
+    if (inst.tombstone) {
+      // Keep the id slot (later references stay valid) but drop everything
+      // untrustworthy: payload, derivation, OK status.
+      if (inst.status == 0) inst.status = 3;
+      inst.blob = empty_key;
+      inst.tool = -1;
+      inst.inputs.clear();
+      need_empty_blob = true;
+      if (!inst.comment.empty()) inst.comment += ' ';
+      inst.comment += "[fsck: tombstoned — " + inst.tombstone_reason + "]";
+      report.repairs.push_back("tombstoned i" + std::to_string(inst.id) +
+                               " (" + inst.tombstone_reason + ")");
+    } else if (inst.quarantine && inst.status == 0) {
+      inst.status = 3;
+      if (!inst.comment.empty()) inst.comment += ' ';
+      inst.comment += "[quarantined: fsck repair — producing task of an "
+                      "interrupted run never finished]";
+      report.repairs.push_back("quarantined partial product i" +
+                               std::to_string(inst.id));
+    }
+  }
+  if (need_empty_blob && !audit.blob_index.contains(empty_key)) {
+    audit.blob_index.emplace(empty_key, audit.blobs.size());
+    audit.blobs.emplace_back(empty_key, "");
+  }
+
+  // Drop covered ids that point outside the table (their frames were
+  // corrupt); the instances they would have covered no longer exist.
+  for (AuditRun& run : audit.runs) {
+    std::erase_if(run.covered, [&](std::int64_t id) {
+      return id < 0 || static_cast<std::size_t>(id) >= audit.instances.size();
+    });
+  }
+
+  // Orphan sweep over the post-tombstone reference set.
+  std::unordered_set<std::string> keep;
+  for (const AuditInstance& inst : audit.instances) keep.insert(inst.blob);
+  std::size_t swept = 0;
+  for (const auto& [key, payload] : audit.blobs) {
+    if (!keep.contains(key)) ++swept;
+  }
+  if (swept > 0) {
+    report.repairs.push_back("swept " + std::to_string(swept) +
+                             " orphan blob(s)");
+  }
+  if (audit.dropped_records > 0) {
+    report.repairs.push_back("dropped " +
+                             std::to_string(audit.dropped_records) +
+                             " unreadable record(s)");
+  }
+
+  const std::uint64_t next_epoch = report.stats.epoch + 1;
+  support::RecordWriter meta("snap");
+  meta.field(static_cast<std::int64_t>(next_epoch));
+  meta.field(static_cast<std::uint32_t>(audit.instances.size()));
+  write_file_atomic(snapshot_path,
+                    meta.str() + "\n" + serialize_image(audit, keep));
+  // Same crash ordering as `DurableHistory::checkpoint`: if we die before
+  // the journal reset, recovery discards the stale-epoch journal.
+  Journal::create(journal_path, next_epoch, JournalOptions{});
+  report.repairs.push_back("checkpointed repaired image at epoch " +
+                           std::to_string(next_epoch));
+}
+
+}  // namespace
+
+FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
+  FsckReport report;
+  report.dir = dir;
+  const std::string schema_path = (fs::path(dir) / "schema.herc").string();
+  const std::string snapshot_path =
+      (fs::path(dir) / "snapshot.herc").string();
+  const std::string journal_path = (fs::path(dir) / "journal.wal").string();
+  if (!fs::exists(schema_path)) {
+    throw HistoryError("fsck: '" + dir + "' does not hold a store (no " +
+                       "schema.herc)");
+  }
+
+  // Schema: needed only for entity-name checks; a broken schema is itself
+  // corruption but must not stop the audit.
+  schema::TaskSchema schema;
+  const schema::TaskSchema* schema_ptr = nullptr;
+  try {
+    schema = schema::parse_schema(read_file(schema_path));
+    schema_ptr = &schema;
+  } catch (const std::exception& e) {
+    corrupt(report, "bad-schema",
+            std::string("schema.herc does not parse: ") + e.what());
+  }
+
+  Audit audit;
+
+  // Snapshot: "snap" meta line, then a full save() image.
+  if (fs::exists(snapshot_path)) {
+    const std::string text = read_file(snapshot_path);
+    bool seen_meta = false;
+    std::int64_t declared_count = -1;
+    for (const std::string& line : support::split(text, '\n')) {
+      if (support::trim(line).empty()) continue;
+      if (!seen_meta) {
+        seen_meta = true;
+        try {
+          support::RecordReader rec(line);
+          if (rec.kind() != "snap") {
+            throw HistoryError("first record is '" + rec.kind() + "'");
+          }
+          report.stats.epoch = static_cast<std::uint64_t>(rec.next_int64());
+          if (!rec.exhausted()) declared_count = rec.next_int64();
+          continue;
+        } catch (const std::exception& e) {
+          corrupt(report, "bad-snapshot-header",
+                  std::string("snapshot does not start with a valid snap "
+                              "record: ") +
+                      e.what());
+          continue;
+        }
+      }
+      ingest_line(audit, report, line, "snapshot");
+      ++report.stats.snapshot_records;
+    }
+    if (declared_count >= 0 &&
+        static_cast<std::size_t>(declared_count) != audit.instances.size()) {
+      corrupt(report, "snapshot-count-mismatch",
+              "snapshot declares " + std::to_string(declared_count) +
+                  " instances but holds " +
+                  std::to_string(audit.instances.size()));
+    }
+  }
+
+  // Journal: epoch-matched frames on top of the snapshot.
+  if (fs::exists(journal_path)) {
+    const ScanResult scan = scan_journal(read_file(journal_path));
+    if (!scan.header_valid) {
+      corrupt(report, "bad-record", "journal header is invalid");
+    } else if (scan.epoch < report.stats.epoch) {
+      warn(report, "stale-journal-epoch",
+           "journal epoch " + std::to_string(scan.epoch) +
+               " predates snapshot epoch " +
+               std::to_string(report.stats.epoch) + "; " +
+               std::to_string(scan.records.size()) +
+               " records already absorbed by the snapshot");
+    } else if (scan.epoch > report.stats.epoch) {
+      corrupt(report, "future-journal-epoch",
+              "journal epoch " + std::to_string(scan.epoch) +
+                  " is ahead of snapshot epoch " +
+                  std::to_string(report.stats.epoch) +
+                  "; the snapshot those records extend is gone");
+    } else {
+      for (const std::string& record : scan.records) {
+        for (const std::string& line : support::split(record, '\n')) {
+          if (support::trim(line).empty()) continue;
+          ingest_line(audit, report, line, "journal");
+        }
+      }
+      report.stats.journal_records = scan.records.size();
+      if (scan.torn) {
+        warn(report, "torn-journal-tail",
+             "journal ends in a torn frame (recovery truncates it)");
+      }
+    }
+  }
+
+  audit_store(audit, report, schema_ptr);
+
+  report.stats.instances = audit.instances.size();
+  report.stats.blobs = audit.blobs.size();
+  report.stats.runs = audit.runs.size();
+  for (const AuditRun& run : audit.runs) {
+    if (run.outcome.empty()) ++report.stats.open_runs;
+  }
+
+  if (options.repair && !report.findings.empty()) {
+    repair_store(audit, report, snapshot_path, journal_path);
+  }
+  return report;
+}
+
+}  // namespace herc::storage

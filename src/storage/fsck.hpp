@@ -1,0 +1,88 @@
+// History integrity auditor (`herc fsck`).
+//
+// A long-lived design-history store is the source of truth for every
+// consistency query the paper builds (§3.3, §4.2), so it needs an offline
+// audit: `fsck_store` cross-checks the on-disk snapshot and journal
+// against each other and against the blob store's content hashes without
+// going through `HistoryDb` (whose replay throws at the first defect and
+// hides the rest).  It classifies every defect by severity:
+//
+//   kClean      (exit 0)  nothing to report
+//   kWarning    (exit 1)  survivable states recovery handles or tolerates:
+//                         orphaned blobs, interrupted runs, unquarantined
+//                         partial products, a discarded pre-checkpoint
+//                         journal, a torn journal tail
+//   kCorruption (exit 2)  defects that make recovery refuse the store or
+//                         silently lose data: unparseable records,
+//                         dangling derivation references, missing blobs,
+//                         blob hash mismatches, out-of-order instance ids,
+//                         a journal epoch ahead of the snapshot
+//
+// With `repair` set, the repairable defects are fixed in place: corrupt
+// instances are tombstoned (quarantined, payload dropped, derivation
+// cleared — their id slot is preserved so later references stay valid),
+// partial products are quarantined, orphan blobs are swept, and the
+// cleaned image is checkpointed under the next epoch with a fresh journal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace herc::storage {
+
+enum class FsckSeverity {
+  kClean = 0,
+  kWarning = 1,
+  kCorruption = 2,
+};
+
+/// One defect.  `code` is a stable kebab-case identifier (e.g.
+/// "dangling-reference", "blob-hash-mismatch", "orphan-blob",
+/// "interrupted-run") scripts and tests can match on.
+struct FsckFinding {
+  FsckSeverity severity = FsckSeverity::kWarning;
+  std::string code;
+  std::string detail;
+};
+
+struct FsckStats {
+  std::uint64_t epoch = 0;
+  std::size_t snapshot_records = 0;
+  std::size_t journal_records = 0;
+  std::size_t instances = 0;
+  std::size_t blobs = 0;
+  std::size_t runs = 0;
+  std::size_t open_runs = 0;
+};
+
+struct FsckOptions {
+  /// Fix repairable defects and checkpoint the cleaned image under the
+  /// next epoch (the original snapshot is replaced atomically).
+  bool repair = false;
+};
+
+struct FsckReport {
+  std::string dir;
+  std::vector<FsckFinding> findings;
+  /// Human-readable repair actions taken (empty without `repair`).
+  std::vector<std::string> repairs;
+  FsckStats stats;
+
+  /// Worst severity across findings.
+  [[nodiscard]] FsckSeverity severity() const;
+  /// CLI exit code: 0 clean, 1 warnings only, 2 corruption.
+  [[nodiscard]] int exit_code() const { return static_cast<int>(severity()); }
+  /// True when some finding carries `code`.
+  [[nodiscard]] bool has(std::string_view code) const;
+  /// Multi-line human rendering (stats, findings, repairs, verdict).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Audits the store in `dir`.  Tolerates any corruption inside the store
+/// (defects become findings, never exceptions); throws `HistoryError` only
+/// when `dir` does not hold a store at all or a file cannot be read.
+[[nodiscard]] FsckReport fsck_store(const std::string& dir,
+                                    const FsckOptions& options = {});
+
+}  // namespace herc::storage

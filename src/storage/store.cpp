@@ -47,8 +47,8 @@ void fsync_path(const std::string& path) {
 #endif
 }
 
-/// Durable file replacement: write `path`.tmp, flush + fsync, rename over
-/// `path`, fsync the directory so the rename itself is durable.
+}  // namespace
+
 void write_file_atomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
   {
@@ -72,8 +72,6 @@ void write_file_atomic(const std::string& path, std::string_view content) {
   }
   fsync_path(fs::path(path).parent_path().string());
 }
-
-}  // namespace
 
 std::string DurableHistory::schema_path() const {
   return (fs::path(dir_) / "schema.herc").string();
@@ -166,6 +164,20 @@ DurableHistory::DurableHistory(const schema::TaskSchema& schema,
   }
   report_.epoch = epoch_;
   db_->attach_listener(this);
+
+  // Crash-resumable runs: a run-begin frame without a matching run-end
+  // means the process died mid-flow.  Products of tasks that started but
+  // never completed a combination are quarantined (journaled through the
+  // listener, so the sweep itself is durable); the run stays open for
+  // `Executor::resume`.
+  report_.interrupted_runs = db_->open_runs().size();
+  if (report_.interrupted_runs > 0) {
+    for (const data::InstanceId id : db_->partial_products()) {
+      db_->quarantine(id,
+                      "crash recovery: the producing task never finished");
+      ++report_.quarantined;
+    }
+  }
 }
 
 DurableHistory::~DurableHistory() {

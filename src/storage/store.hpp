@@ -49,7 +49,17 @@ struct RecoveryReport {
   std::size_t journal_records_discarded = 0;
   /// True when the journal ended in a torn frame that was truncated away.
   bool torn_tail = false;
+  /// Runs a crash left open (resumable via `Executor::resume`).
+  std::size_t interrupted_runs = 0;
+  /// OK instances quarantined because the task that produced them started
+  /// but never finished before the crash.
+  std::size_t quarantined = 0;
 };
+
+/// Durable file replacement: write `path`.tmp, flush + fsync, rename over
+/// `path`, fsync the directory so the rename itself is durable.  Shared by
+/// checkpointing and fsck repair.
+void write_file_atomic(const std::string& path, std::string_view content);
 
 /// A `HistoryDb` bound to a store directory.  Owns the database; attach it
 /// to a session (or use `db()` directly) and every mutation is journaled.

@@ -2,11 +2,15 @@
 // error reporting.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "circuit/library.hpp"
 #include "circuit/models.hpp"
 #include "cli/interpreter.hpp"
+#include "data/blob_store.hpp"
+#include "support/record.hpp"
 
 namespace herc::cli {
 namespace {
@@ -297,6 +301,118 @@ TEST(Cli, SchemaShowAndExtend) {
   EXPECT_NE(out.find("fd TimingReport -> TimingAnalyzer"),
             std::string::npos);
   EXPECT_NE(out.find("TimingAnalyzer"), std::string::npos);
+}
+
+TEST(Cli, RetraceOnUpToDateInstanceIsFriendly) {
+  // An up-to-date instance is not an error: the command reports it and
+  // the script keeps going (the library-level retrace throws here).
+  const auto [failures, out] = run(inverter_heredoc() +
+                                   "retrace i0\n"
+                                   "echo still-alive\n");
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("i0 is up to date; nothing to retrace"),
+            std::string::npos);
+  EXPECT_NE(out.find("still-alive"), std::string::npos);
+}
+
+TEST(Cli, RunsAndResumeCommands) {
+  std::string script = inverter_heredoc();
+  script += "import DeviceModels std <<END\n" +
+            circuit::DeviceModelLibrary::standard().to_text() + "END\n";
+  script += "import Stimuli walk <<END\nstimuli w\nwave in 0:1\nEND\n";
+  script += "import Simulator sim \"\"\n";
+  script += "runs\n";         // nothing yet
+  script += "auto Performance run\n";
+  script += "runs\n";         // one closed run
+  script += "resume\n";       // nothing open
+  const auto [failures, out] = run(script);
+  EXPECT_EQ(failures, 0u) << out;
+  EXPECT_NE(out.find("no runs recorded"), std::string::npos);
+  EXPECT_NE(out.find("run #0"), std::string::npos);
+  EXPECT_NE(out.find("complete (2/2 tasks finished)"), std::string::npos);
+  EXPECT_NE(out.find("no interrupted runs; nothing to resume"),
+            std::string::npos);
+
+  // Resuming a closed run by id is an error, reported not fatal.
+  std::ostringstream err_out;
+  Interpreter interpreter(err_out);
+  interpreter.run_script(script);
+  EXPECT_EQ(interpreter.execute("resume 0"), CommandStatus::kError);
+  EXPECT_NE(interpreter.last_error().find("nothing to resume"),
+            std::string::npos);
+  EXPECT_EQ(interpreter.execute("resume banana"), CommandStatus::kError);
+}
+
+TEST(Cli, FsckExitCodesThroughTheCommand) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "herc_cli_fsck";
+  fs::remove_all(dir);
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  ASSERT_EQ(interpreter.execute("open " + dir), CommandStatus::kOk);
+  ASSERT_EQ(interpreter.execute("import Stimuli s \"\""), CommandStatus::kOk);
+  ASSERT_EQ(interpreter.execute("checkpoint"), CommandStatus::kOk);
+  ASSERT_EQ(interpreter.execute("store close"), CommandStatus::kOk);
+
+  // Exit 0: a healthy store.
+  ASSERT_EQ(interpreter.execute("fsck " + dir), CommandStatus::kOk);
+  EXPECT_NE(out.str().find("clean (exit 0)"), std::string::npos);
+
+  // Exit 1: an orphaned blob is survivable — the command still succeeds.
+  {
+    std::ofstream app((fs::path(dir) / "snapshot.herc").string(),
+                      std::ios::binary | std::ios::app);
+    app << support::RecordWriter("blob")
+               .field(data::BlobStore::key_for("orphan"))
+               .field(std::string_view("orphan"))
+               .str()
+        << "\n";
+  }
+  ASSERT_EQ(interpreter.execute("fsck " + dir), CommandStatus::kOk);
+  EXPECT_NE(out.str().find("orphan-blob"), std::string::npos);
+  EXPECT_NE(out.str().find("warnings (exit 1)"), std::string::npos);
+
+  // Exit 2: corruption fails the command so scripts stop at it.
+  {
+    std::ofstream bad((fs::path(dir) / "snapshot.herc").string(),
+                      std::ios::binary | std::ios::trunc);
+    bad << "not a snapshot at all\n";
+  }
+  EXPECT_EQ(interpreter.execute("fsck " + dir), CommandStatus::kError);
+  EXPECT_NE(out.str().find("CORRUPTION (exit 2)"), std::string::npos);
+  EXPECT_NE(interpreter.last_error().find("corruption"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Cli, OpenReportsInterruptedRuns) {
+  // `open` surfaces crash recovery: build a store with an open run by
+  // journaling a run-begin frame without an end, then reopen it.
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "herc_cli_interrupted";
+  fs::remove_all(dir);
+  {
+    std::ostringstream out;
+    Interpreter interpreter(out);
+    ASSERT_EQ(interpreter.execute("open " + dir), CommandStatus::kOk);
+    ASSERT_EQ(interpreter.execute("import Stimuli s \"\""),
+              CommandStatus::kOk);
+    // Forge an open run directly in the session's history; the mutation
+    // listener journals it like any executor-written frame.
+    history::RunRecord run;
+    run.flow_name = "forged";
+    run.user = "tester";
+    run.flow_text = "flow|forged|full|0";
+    interpreter.session().db().begin_run(std::move(run));
+    interpreter.session().storage()->sync();
+  }
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  ASSERT_EQ(interpreter.execute("open " + dir), CommandStatus::kOk);
+  EXPECT_NE(out.str().find("1 interrupted run(s)"), std::string::npos)
+      << out.str();
+  ASSERT_EQ(interpreter.execute("runs"), CommandStatus::kOk);
+  EXPECT_NE(out.str().find("OPEN"), std::string::npos);
+  fs::remove_all(dir);
 }
 
 TEST(Cli, HelpAndCatalogs) {

@@ -1,0 +1,354 @@
+// The history integrity auditor: every corruption class it must detect,
+// the severity taxonomy, and `--repair`'s round trip back to a store that
+// both recovers and audits clean.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/blob_store.hpp"
+#include "exec/executor.hpp"
+#include "fault_test_util.hpp"
+#include "schema/schema_io.hpp"
+#include "storage/fsck.hpp"
+#include "storage/journal.hpp"
+#include "storage/store.hpp"
+#include "support/error.hpp"
+#include "support/record.hpp"
+
+namespace herc::storage {
+namespace {
+
+namespace fs = std::filesystem;
+using data::BlobStore;
+using support::RecordWriter;
+
+/// Scratch directory per test, wiped on entry.
+std::string scratch(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void put(const std::string& dir, const std::string& file,
+         const std::string& content) {
+  std::ofstream out((fs::path(dir) / file).string(), std::ios::binary);
+  out << content;
+}
+
+/// A hand-built store: tiny schema, crafted snapshot lines, no journal.
+/// Writing the files directly gives the tests byte-level control over the
+/// defects they seed.
+struct Forge {
+  schema::TaskSchema schema{"forge"};
+  std::string dir;
+  std::vector<std::string> lines;
+
+  explicit Forge(const std::string& name) : dir(scratch(name)) {
+    const auto tool = schema.add_tool("T");
+    const auto src = schema.add_data("S");
+    const auto d = schema.add_data("D");
+    schema.set_functional_dependency(d, tool);
+    schema.add_data_dependency(d, src);
+    schema.validate();
+    put(dir, "schema.herc", schema::write_schema(schema));
+  }
+
+  void blob(const std::string& payload) {
+    lines.push_back(RecordWriter("blob")
+                        .field(BlobStore::key_for(payload))
+                        .field(payload)
+                        .str());
+  }
+
+  /// One instance line; `tool`/`inputs` use -1 / ids like the real format.
+  void inst(std::uint32_t id, const std::string& type,
+            const std::string& payload, std::uint32_t status = 0,
+            std::int64_t tool = -1,
+            const std::vector<std::uint32_t>& inputs = {},
+            const std::string& blob_override = "") {
+    RecordWriter w("inst");
+    w.field(id);
+    w.field(type);
+    w.field("n" + std::to_string(id));
+    w.field(std::string_view("tester"));
+    w.field(std::int64_t{100 + id});
+    w.field(std::string_view(""));  // comment
+    w.field(blob_override.empty() ? BlobStore::key_for(payload)
+                                  : blob_override);
+    w.field(std::uint32_t{1});
+    w.field(status);
+    w.field(std::string_view(tool >= 0 ? "derive" : "import"));
+    w.field(tool);
+    w.field(static_cast<std::uint32_t>(inputs.size()));
+    for (const std::uint32_t in : inputs) {
+      w.field(in);
+      w.field(std::string_view(""));
+    }
+    lines.push_back(w.str());
+  }
+
+  void raw(const std::string& line) { lines.push_back(line); }
+
+  /// Writes snapshot.herc with the collected lines under epoch 0.
+  void commit(std::int64_t declared_count = -1) {
+    std::string text = RecordWriter("snap")
+                           .field(std::int64_t{0})
+                           .field(declared_count >= 0
+                                      ? static_cast<std::uint32_t>(
+                                            declared_count)
+                                      : count_insts())
+                           .str() +
+                       "\n";
+    for (const std::string& line : lines) text += line + "\n";
+    put(dir, "snapshot.herc", text);
+  }
+
+  std::uint32_t count_insts() const {
+    std::uint32_t n = 0;
+    for (const std::string& line : lines) {
+      if (line.rfind("inst|", 0) == 0) ++n;
+    }
+    return n;
+  }
+};
+
+TEST(FsckTest, NotAStoreThrowsInsteadOfReporting) {
+  const std::string dir = scratch("herc_fsck_nostore");
+  EXPECT_THROW((void)fsck_store(dir), support::HistoryError);
+}
+
+TEST(FsckTest, CleanStoreAuditsClean) {
+  Forge f("herc_fsck_clean");
+  f.blob("tool");
+  f.blob("seed");
+  f.blob("out");
+  f.inst(0, "T", "tool");
+  f.inst(1, "S", "seed");
+  f.inst(2, "D", "out", 0, 0, {1});
+  f.commit();
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.findings.empty()) << report.render();
+  EXPECT_EQ(report.severity(), FsckSeverity::kClean);
+  EXPECT_EQ(report.exit_code(), 0);
+  EXPECT_EQ(report.stats.instances, 3u);
+  EXPECT_EQ(report.stats.blobs, 3u);
+}
+
+TEST(FsckTest, DanglingReferenceIsCorruption) {
+  Forge f("herc_fsck_dangling");
+  f.blob("tool");
+  f.blob("out");
+  f.inst(0, "T", "tool");
+  f.inst(1, "D", "out", 0, 0, {9});  // input i9 does not exist
+  f.commit();
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("dangling-reference")) << report.render();
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(FsckTest, BlobHashMismatchIsCorruption) {
+  Forge f("herc_fsck_hash");
+  // A blob whose payload was altered after the key was computed.
+  f.raw(RecordWriter("blob")
+            .field(BlobStore::key_for("original"))
+            .field("tampered")
+            .str());
+  f.inst(0, "S", "", 0, -1, {}, BlobStore::key_for("original"));
+  f.commit();
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("blob-hash-mismatch")) << report.render();
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(FsckTest, MissingBlobIsCorruption) {
+  Forge f("herc_fsck_missing");
+  f.inst(0, "S", "never-stored");  // references a key with no blob line
+  f.commit();
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("missing-blob")) << report.render();
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(FsckTest, OrphanBlobIsOnlyAWarning) {
+  Forge f("herc_fsck_orphan");
+  f.blob("seed");
+  f.blob("nobody-references-me");
+  f.inst(0, "S", "seed");
+  f.commit();
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("orphan-blob")) << report.render();
+  EXPECT_EQ(report.severity(), FsckSeverity::kWarning);
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+TEST(FsckTest, InterruptedRunAndUnquarantinedPartialAreWarnings) {
+  Forge f("herc_fsck_openrun");
+  f.blob("tool");
+  f.blob("seed");
+  f.blob("half");
+  f.inst(0, "T", "tool");
+  f.inst(1, "S", "seed");
+  f.inst(2, "D", "half", 0, 0, {1});  // produced after the run began
+  f.raw(RecordWriter("runb")
+            .field(std::int64_t{0})
+            .field(std::string_view("flow"))
+            .field(std::string_view(""))
+            .field(std::int64_t{-1})
+            .field(std::string_view("tester"))
+            .field(std::string_view(""))
+            .field(std::int64_t{0})
+            .field(std::uint32_t{2})  // db size at begin: the two imports
+            .field(std::string_view("flowtext"))
+            .str());
+  f.raw(RecordWriter("tstart")
+            .field(std::int64_t{0})
+            .field(std::string_view("1:D"))
+            .str());
+  f.commit();
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("interrupted-run")) << report.render();
+  EXPECT_TRUE(report.has("unquarantined-partial")) << report.render();
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.stats.open_runs, 1u);
+}
+
+TEST(FsckTest, BadRecordAndCountMismatchAreCorruption) {
+  Forge f("herc_fsck_badrec");
+  f.blob("seed");
+  f.inst(0, "S", "seed");
+  f.raw("gibberish|what|even");
+  f.commit(5);  // declared count != actual
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("bad-record")) << report.render();
+  EXPECT_TRUE(report.has("snapshot-count-mismatch")) << report.render();
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(FsckTest, UnknownEntityAndOutOfOrderIdsAreCorruption) {
+  Forge f("herc_fsck_entity");
+  f.blob("seed");
+  f.inst(0, "Phantom", "seed");  // not in the schema
+  f.inst(3, "S", "seed");        // id gap
+  f.commit();
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("unknown-entity")) << report.render();
+  EXPECT_TRUE(report.has("out-of-order-instance")) << report.render();
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(FsckTest, JournalEpochSkewSeverities) {
+  // Ahead of the snapshot: the snapshot those frames extend is gone.
+  {
+    Forge f("herc_fsck_future");
+    f.blob("seed");
+    f.inst(0, "S", "seed");
+    f.commit();
+    Journal::create((fs::path(f.dir) / "journal.wal").string(), 7, {});
+    const FsckReport report = fsck_store(f.dir);
+    EXPECT_TRUE(report.has("future-journal-epoch")) << report.render();
+    EXPECT_EQ(report.exit_code(), 2);
+  }
+  // Behind the snapshot: the checkpoint crashed between its two steps;
+  // recovery discards the journal, so it is only a warning.
+  {
+    Forge f("herc_fsck_stale");
+    f.blob("seed");
+    f.inst(0, "S", "seed");
+    std::string text = RecordWriter("snap")
+                           .field(std::int64_t{3})
+                           .field(std::uint32_t{1})
+                           .str() +
+                       "\n";
+    for (const std::string& line : f.lines) text += line + "\n";
+    put(f.dir, "snapshot.herc", text);
+    Journal::create((fs::path(f.dir) / "journal.wal").string(), 2, {});
+    const FsckReport report = fsck_store(f.dir);
+    EXPECT_TRUE(report.has("stale-journal-epoch")) << report.render();
+    EXPECT_EQ(report.exit_code(), 1);
+  }
+}
+
+TEST(FsckTest, TornJournalTailIsAWarning) {
+  Forge f("herc_fsck_torn");
+  f.blob("seed");
+  f.inst(0, "S", "seed");
+  f.commit();
+  {
+    Journal j = Journal::create((fs::path(f.dir) / "journal.wal").string(),
+                                0, {});
+    j.append("annot|0|renamed|note\n");
+    j.sync();
+  }
+  // Chop the last byte of the final frame.
+  const std::string path = (fs::path(f.dir) / "journal.wal").string();
+  std::error_code ec;
+  fs::resize_file(path, fs::file_size(path) - 1, ec);
+  ASSERT_FALSE(ec);
+  const FsckReport report = fsck_store(f.dir);
+  EXPECT_TRUE(report.has("torn-journal-tail")) << report.render();
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+TEST(FsckTest, RepairProducesAStoreThatRecoversAndAuditsClean) {
+  Forge f("herc_fsck_repair");
+  f.blob("tool");
+  f.blob("seed");
+  f.blob("orphaned");
+  f.inst(0, "T", "tool");
+  f.inst(1, "S", "seed");
+  f.inst(2, "D", "lost-payload", 0, 0, {1});  // missing blob
+  f.inst(3, "D", "seed", 0, 0, {9});          // dangling input
+  f.commit();
+
+  FsckOptions repair;
+  repair.repair = true;
+  const FsckReport before = fsck_store(f.dir, repair);
+  EXPECT_EQ(before.exit_code(), 2);
+  EXPECT_TRUE(before.has("missing-blob"));
+  EXPECT_TRUE(before.has("dangling-reference"));
+  EXPECT_TRUE(before.has("orphan-blob"));
+  EXPECT_FALSE(before.repairs.empty());
+
+  const FsckReport after = fsck_store(f.dir);
+  EXPECT_EQ(after.exit_code(), 0) << after.render();
+
+  // The repaired store recovers through the real path: tombstoned
+  // instances keep their id slot with quarantined status.
+  support::ManualClock clock(0, 1);
+  DurableHistory store(f.schema, clock, f.dir, {});
+  EXPECT_EQ(store.db().size(), 4u);
+  EXPECT_FALSE(store.db().instance(data::InstanceId(2)).ok());
+  EXPECT_FALSE(store.db().instance(data::InstanceId(3)).ok());
+  EXPECT_TRUE(store.db().instance(data::InstanceId(1)).ok());
+  EXPECT_EQ(store.epoch(), 1u) << "repair checkpoints under the next epoch";
+}
+
+TEST(FsckTest, RealExecutedStoreAuditsCleanEndToEnd) {
+  // Not a forged store: a real executor run through the real journal.
+  faulttest::World w;
+  faulttest::add_chain(w, "C", 3);
+  graph::TaskGraph flow(w.schema, "chain");
+  flow.add_node(w.schema.require("CD3"));
+  faulttest::expand_all(flow);
+  faulttest::bind_leaves(w, flow);
+
+  const std::string dir = scratch("herc_fsck_real");
+  fs::remove_all(dir);
+  {
+    DurableHistory store(w.schema, w.clock, dir, {});
+    store.adopt(std::move(w.db));
+    exec::Executor exec(store.db(), w.tools);
+    exec.run(flow);
+  }
+  const FsckReport report = fsck_store(dir);
+  EXPECT_EQ(report.exit_code(), 0) << report.render();
+  EXPECT_EQ(report.stats.runs, 1u);
+  EXPECT_EQ(report.stats.open_runs, 0u);
+}
+
+}  // namespace
+}  // namespace herc::storage

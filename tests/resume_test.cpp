@@ -1,0 +1,287 @@
+// Crash-resumable execution: run intents in the journal, quarantine of
+// partial products on recovery, and `Executor::resume` re-running only the
+// tasks a crash left unfinished.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "fault_test_util.hpp"
+#include "storage/fsck.hpp"
+#include "storage/journal.hpp"
+#include "storage/store.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::exec {
+namespace {
+
+namespace fs = std::filesystem;
+using data::InstanceId;
+using faulttest::World;
+using graph::TaskGraph;
+using history::HistoryDb;
+using history::InstanceStatus;
+using history::RunRecord;
+using storage::DurableHistory;
+using storage::ScanResult;
+using storage::StoreOptions;
+using storage::SyncPolicy;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A bound linear-chain flow of `depth` tasks over `w`'s schema.
+TaskGraph chain_flow(World& w, std::size_t depth) {
+  faulttest::add_chain(w, "C", depth);
+  TaskGraph flow(w.schema, "chain");
+  flow.add_node(w.schema.require("CD" + std::to_string(depth)));
+  faulttest::expand_all(flow);
+  faulttest::bind_leaves(w, flow);
+  return flow;
+}
+
+/// Signature restricted to OK instances: quarantined partials and the
+/// re-derived replacements must not both count.
+std::vector<std::string> active_signature(const HistoryDb& db) {
+  std::vector<std::string> sig;
+  for (const std::string& line : faulttest::history_signature(db)) {
+    if (line.find("|status=0|") != std::string::npos) sig.push_back(line);
+  }
+  return sig;
+}
+
+StoreOptions fast_store() {
+  StoreOptions options;
+  options.journal.sync = SyncPolicy::kNone;
+  return options;
+}
+
+/// Copies schema + snapshot of `dir` into `trial` and installs the first
+/// `bytes` bytes of `journal` as the trial's journal — the on-disk state a
+/// crash at that point would leave behind.
+void make_trial(const std::string& dir, const std::string& trial,
+                const std::string& journal, std::size_t bytes) {
+  fs::remove_all(trial);
+  fs::create_directories(trial);
+  fs::copy_file(fs::path(dir) / "schema.herc",
+                fs::path(trial) / "schema.herc");
+  fs::copy_file(fs::path(dir) / "snapshot.herc",
+                fs::path(trial) / "snapshot.herc");
+  std::ofstream out((fs::path(trial) / "journal.wal").string(),
+                    std::ios::binary);
+  out.write(journal.data(), static_cast<std::streamsize>(bytes));
+}
+
+TEST(ResumeTest, RunIntentsAreJournaledAndSurviveReopen) {
+  World w;
+  const TaskGraph flow = chain_flow(w, 3);
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_resume_intents").string();
+  fs::remove_all(dir);
+  std::string saved;
+  {
+    DurableHistory store(w.schema, w.clock, dir, fast_store());
+    store.adopt(std::move(w.db));
+    Executor exec(store.db(), w.tools);
+    const ExecResult result = exec.run(flow);
+    EXPECT_EQ(result.tasks_run, 3u);
+
+    ASSERT_EQ(store.db().runs().size(), 1u);
+    const RunRecord& run = store.db().runs().front();
+    EXPECT_EQ(run.id, 0u);
+    EXPECT_EQ(run.flow_name, "chain");
+    EXPECT_EQ(run.outcome, "complete");
+    EXPECT_FALSE(run.open());
+    EXPECT_EQ(run.tasks.size(), 3u);
+    EXPECT_EQ(run.tasks_finished(), 3u);
+    for (const auto& task : run.tasks) EXPECT_EQ(task.status, "ok");
+    EXPECT_EQ(run.covered.size(), 3u);  // one product per chain task
+    EXPECT_TRUE(run.flow_text.empty()) << "cleared once the run ends";
+    saved = store.db().save();
+  }
+  {
+    support::ManualClock clock(0, 1);
+    DurableHistory store(w.schema, clock, dir, fast_store());
+    EXPECT_EQ(store.recovery().interrupted_runs, 0u);
+    EXPECT_EQ(store.db().save(), saved)
+        << "run log replays identically from disk";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ResumeTest, CrashMidRunQuarantinesPartialsAndResumeFinishes) {
+  constexpr std::size_t kDepth = 6;
+  World w;
+  const TaskGraph flow = chain_flow(w, kDepth);
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_resume_crash").string();
+  fs::remove_all(dir);
+
+  std::vector<std::string> reference;
+  std::string goal_payload;
+  {
+    DurableHistory store(w.schema, w.clock, dir, fast_store());
+    store.adopt(std::move(w.db));
+    Executor exec(store.db(), w.tools);
+    const ExecResult result = exec.run(flow);
+    ASSERT_EQ(result.tasks_run, kDepth);
+    reference = active_signature(store.db());
+    goal_payload =
+        store.db().payload(result.of(flow.nodes().front()).front());
+  }
+  const std::string journal = slurp((fs::path(dir) / "journal.wal").string());
+  const ScanResult scan = storage::scan_journal(journal);
+  ASSERT_TRUE(scan.header_valid);
+
+  // Frame boundaries, labeled by the kind of their first record line.
+  std::vector<std::size_t> frame_end;
+  std::vector<std::string> frame_kind;
+  std::size_t at = storage::kJournalHeaderBytes;
+  for (const std::string& record : scan.records) {
+    at += storage::kFrameHeaderBytes + record.size();
+    frame_end.push_back(at);
+    frame_kind.push_back(record.substr(0, record.find('|')));
+  }
+
+  // Crash A: right after the third task's product landed but before its
+  // coverage frame — the product must be quarantined and re-derived.
+  std::size_t inst_frames = 0;
+  std::size_t cut_a = 0;
+  for (std::size_t i = 0; i < frame_kind.size(); ++i) {
+    if (frame_kind[i] == "inst" || frame_kind[i] == "blob") {
+      if (++inst_frames == 3) cut_a = frame_end[i];
+    }
+  }
+  ASSERT_GT(cut_a, 0u);
+  {
+    const std::string trial = dir + "_a";
+    make_trial(dir, trial, journal, cut_a);
+    support::ManualClock clock(1000, 1);
+    DurableHistory store(w.schema, clock, trial, fast_store());
+    EXPECT_EQ(store.recovery().interrupted_runs, 1u);
+    EXPECT_EQ(store.recovery().quarantined, 1u);
+    ASSERT_EQ(store.db().open_runs().size(), 1u);
+
+    // Resume the interrupted run: the first two tasks are reused, the
+    // quarantined third is re-derived, and the chain re-runs from there.
+    Executor exec(store.db(), w.tools);
+    const std::uint64_t open_id = store.db().open_runs().front()->id;
+    const ExecResult resumed = exec.resume(open_id);
+    EXPECT_EQ(resumed.tasks_failed, 0u);
+    EXPECT_EQ(resumed.tasks_skipped, 0u);
+    EXPECT_EQ(resumed.tasks_reused, 2u);
+    EXPECT_EQ(resumed.tasks_run, kDepth - 2);
+    EXPECT_EQ(active_signature(store.db()), reference);
+    EXPECT_EQ(store.db().payload(resumed.of(flow.nodes().front()).front()),
+              goal_payload);
+    EXPECT_FALSE(store.db().find_run(open_id)->open());
+    EXPECT_EQ(store.db().find_run(open_id)->outcome, "resumed");
+  }
+
+  // Crash B: after the fourth task fully finished (its `tfin` frame is the
+  // crash point) — resume reuses 4 tasks and re-runs exactly the rest.
+  std::size_t fin_frames = 0;
+  std::size_t cut_b = 0;
+  for (std::size_t i = 0; i < frame_kind.size(); ++i) {
+    if (frame_kind[i] == "tfin" && ++fin_frames == 4) cut_b = frame_end[i];
+  }
+  ASSERT_GT(cut_b, 0u);
+  {
+    const std::string trial = dir + "_b";
+    make_trial(dir, trial, journal, cut_b);
+    support::ManualClock clock(1000, 1);
+    DurableHistory store(w.schema, clock, trial, fast_store());
+    EXPECT_EQ(store.recovery().interrupted_runs, 1u);
+    EXPECT_EQ(store.recovery().quarantined, 0u)
+        << "every product of a finished task is covered";
+
+    Executor exec(store.db(), w.tools);
+    const ExecResult resumed =
+        exec.resume(store.db().open_runs().front()->id);
+    EXPECT_EQ(resumed.tasks_reused, 4u);
+    EXPECT_EQ(resumed.tasks_run, kDepth - 4);
+    EXPECT_EQ(active_signature(store.db()), reference);
+    EXPECT_EQ(store.db().payload(resumed.of(flow.nodes().front()).front()),
+              goal_payload);
+  }
+
+  // Both repaired stores audit clean once their runs are closed.
+  for (const char* suffix : {"_a", "_b"}) {
+    const storage::FsckReport report = storage::fsck_store(dir + suffix);
+    EXPECT_EQ(report.exit_code(), 0) << suffix << "\n" << report.render();
+    fs::remove_all(dir + suffix);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ResumeTest, ResumeRejectsClosedAndUnknownRuns) {
+  World w;
+  const TaskGraph flow = chain_flow(w, 2);
+  Executor exec(w.db, w.tools);
+  exec.run(flow);
+  EXPECT_THROW(exec.resume(0), support::ExecError);  // ended "complete"
+  EXPECT_THROW(exec.resume(7), support::ExecError);  // never existed
+}
+
+TEST(ResumeTest, QuarantinedInstancesAreInvisibleToMemoization) {
+  World w;
+  const TaskGraph flow = chain_flow(w, 2);
+  Executor exec(w.db, w.tools);
+  ExecOptions reuse;
+  reuse.reuse_existing = true;
+  const ExecResult first = exec.run(flow, reuse);
+  EXPECT_EQ(first.tasks_run, 2u);
+  const ExecResult again = exec.run(flow, reuse);
+  EXPECT_EQ(again.tasks_reused, 2u);
+  EXPECT_EQ(again.tasks_run, 0u);
+
+  // Quarantining the first task's product re-derives the whole chain: the
+  // replacement product has a new id, so the dependent's memo key changes.
+  const InstanceId d1 = first.of(faulttest::node_of(flow, "CD1")).front();
+  w.db.quarantine(d1, "test");
+  EXPECT_FALSE(w.db.instance(d1).ok());
+  const ExecResult redo = exec.run(flow, reuse);
+  EXPECT_EQ(redo.tasks_run, 2u);
+  EXPECT_EQ(redo.tasks_reused, 0u);
+}
+
+TEST(ResumeTest, ExecOptionsRoundTripThroughTheRunRecord) {
+  ExecOptions options;
+  options.parallel = true;
+  options.max_threads = 7;
+  options.reuse_existing = true;
+  options.user = "resumer";
+  options.task_latency = std::chrono::milliseconds{3};
+  options.fault.mode = FailureMode::kBestEffort;
+  options.fault.max_retries = 2;
+  options.fault.backoff = std::chrono::milliseconds{40};
+  options.fault.backoff_multiplier = 1.5;
+  options.fault.timeout = std::chrono::milliseconds{900};
+  options.fault.seed = 0xfeedface;
+  const ExecOptions back = decode_exec_options(encode_exec_options(options));
+  EXPECT_TRUE(back.parallel);
+  EXPECT_EQ(back.max_threads, 7u);
+  EXPECT_TRUE(back.reuse_existing);
+  EXPECT_EQ(back.user, "resumer");
+  EXPECT_EQ(back.task_latency.count(), 3);
+  EXPECT_EQ(back.fault.mode, FailureMode::kBestEffort);
+  EXPECT_EQ(back.fault.max_retries, 2u);
+  EXPECT_EQ(back.fault.backoff.count(), 40);
+  EXPECT_DOUBLE_EQ(back.fault.backoff_multiplier, 1.5);
+  EXPECT_EQ(back.fault.timeout.count(), 900);
+  EXPECT_EQ(back.fault.seed, 0xfeedfaceu);
+}
+
+}  // namespace
+}  // namespace herc::exec
