@@ -362,10 +362,20 @@ void Interpreter::cmd_fsck(const Args& args) {
   }
   // fsck reads the on-disk state; when auditing the store this session has
   // open, flush its journal buffer first so the audit sees every record.
+  // Repair, however, rewrites the snapshot and replaces the journal — doing
+  // that under the live handle would leave the open store's in-memory image
+  // and journal handle stale, clobbering the repaired files on the next
+  // append or checkpoint.
   if (session_->storage() != nullptr) {
     std::error_code ec;
     if (std::filesystem::equivalent(session_->storage()->dir(), args[1],
                                     ec)) {
+      if (options.repair) {
+        throw support::HistoryError(
+            "fsck --repair: '" + args[1] +
+            "' is the store this session has open; run 'store close' "
+            "first, then repair and reopen");
+      }
       session_->storage()->sync();
     }
   }

@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 
@@ -70,13 +71,19 @@ struct RunState {
 };
 
 /// Stable identity of a task group inside the run's saved flow: compact id
-/// plus entity name of the primary output.
+/// plus entity name of the primary output.  The compact map covers every
+/// flow node, so a miss is a logic error; falling back to the live node id
+/// could journal a tstart/tfin pair under different keys, which would make
+/// the store unloadable at replay ("finished without starting").
 std::string group_key(const RunState& state, const TaskGroup& group) {
   const NodeId primary = group.outputs.front();
   const auto it = state.compact.find(primary.value());
-  const std::uint32_t id =
-      it != state.compact.end() ? it->second : primary.value();
-  return std::to_string(id) + ":" +
+  if (it == state.compact.end()) {
+    throw ExecError("internal: flow node " +
+                    std::to_string(primary.value()) +
+                    " missing from the run's compact id map");
+  }
+  return std::to_string(it->second) + ":" +
          state.flow->schema().entity_name(state.flow->node(primary).type);
 }
 
@@ -818,9 +825,16 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
 
 /// Opens the run record: journals the bound flow, options and seed so the
 /// run can be resumed after a crash.  No-op when `journal_run` is off.
+/// `replaces` names the interrupted run a resume supersedes: it is closed
+/// ("resumed") only *after* the replacement's run-begin frame is journaled,
+/// so a crash or throw anywhere before this point leaves it resumable.
 void begin_run_intents(RunState& state, const TaskGraph& flow,
-                       const ExecOptions& options, NodeId goal) {
-  if (!options.journal_run) return;
+                       const ExecOptions& options, NodeId goal,
+                       std::optional<std::uint64_t> replaces) {
+  if (!options.journal_run) {
+    if (replaces) state.db->end_run(*replaces, "resumed");
+    return;
+  }
   std::uint32_t next = 0;
   for (const NodeId n : flow.nodes()) state.compact[n.value()] = next++;
   history::RunRecord run;
@@ -834,6 +848,7 @@ void begin_run_intents(RunState& state, const TaskGraph& flow,
   }
   run.flow_text = flow.save();
   state.run_id = state.db->begin_run(std::move(run));
+  if (replaces) state.db->end_run(*replaces, "resumed");
   state.journal = true;
 }
 
@@ -896,6 +911,12 @@ ExecOptions decode_exec_options(std::string_view text) {
 }
 
 ExecResult Executor::run(const TaskGraph& flow, const ExecOptions& options) {
+  return run_impl(flow, options, std::nullopt);
+}
+
+ExecResult Executor::run_impl(const TaskGraph& flow,
+                              const ExecOptions& options,
+                              std::optional<std::uint64_t> replaces) {
   flow.check();
   const auto unbound = flow.unbound_leaves();
   if (!unbound.empty()) {
@@ -911,7 +932,7 @@ ExecResult Executor::run(const TaskGraph& flow, const ExecOptions& options) {
   for (const NodeId n : flow.nodes()) {
     if (flow.is_leaf(n)) state.env[n.value()] = flow.bindings(n);
   }
-  begin_run_intents(state, flow, options, NodeId());
+  begin_run_intents(state, flow, options, NodeId(), replaces);
   return run_to_completion(state, flow.task_groups());
 }
 
@@ -934,18 +955,25 @@ ExecResult Executor::resume(std::uint64_t run_id) {
   // history, while quarantined partials are invisible and re-derived.
   options.reuse_existing = true;
   const std::int64_t goal_node = record->goal_node;
-  // The replacement run journals its own intents; close the old record
-  // first so recovery never sees two open runs for one flow.
-  db_->end_run(run_id, "resumed");
+  // The interrupted run is closed ("resumed") by begin_run_intents, only
+  // after the replacement's run-begin frame is journaled: if anything
+  // throws before that point — flow.check, a missing tool — the run stays
+  // open and resumable instead of being orphaned with nothing re-executed.
   if (goal_node >= 0) {
-    return run_goal(flow, NodeId(static_cast<std::uint32_t>(goal_node)),
-                    options);
+    return run_goal_impl(flow, NodeId(static_cast<std::uint32_t>(goal_node)),
+                         options, run_id);
   }
-  return run(flow, options);
+  return run_impl(flow, options, run_id);
 }
 
 ExecResult Executor::run_goal(const TaskGraph& flow, NodeId goal,
                               const ExecOptions& options) {
+  return run_goal_impl(flow, goal, options, std::nullopt);
+}
+
+ExecResult Executor::run_goal_impl(const TaskGraph& flow, NodeId goal,
+                                   const ExecOptions& options,
+                                   std::optional<std::uint64_t> replaces) {
   flow.check();
   const std::vector<NodeId> keep = flow.closure(goal);
   const std::unordered_set<std::uint32_t> keep_set = [&] {
@@ -980,7 +1008,7 @@ ExecResult Executor::run_goal(const TaskGraph& flow, NodeId goal,
         });
     if (needed) groups.push_back(group);
   }
-  begin_run_intents(state, flow, options, goal);
+  begin_run_intents(state, flow, options, goal, replaces);
   return run_to_completion(state, groups);
 }
 

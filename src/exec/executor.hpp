@@ -20,6 +20,7 @@
 #pragma once
 
 #include <chrono>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -164,15 +165,25 @@ class Executor {
                       const ExecOptions& options = {});
 
   /// Resumes an interrupted (still-open) run: reloads the bound flow and
-  /// options from the run-begin frame, closes the old run as "resumed",
-  /// and re-executes with memoization forced on — completed tasks are
-  /// skipped via their recorded products, so an N-task flow killed after
-  /// task k re-executes only the remaining N-k tasks (quarantined partial
-  /// products never satisfy memoization and are re-derived).  Throws
-  /// `ExecError` for an unknown or already-ended run.
+  /// options from the run-begin frame and re-executes with memoization
+  /// forced on — completed tasks are skipped via their recorded products,
+  /// so an N-task flow killed after task k re-executes only the remaining
+  /// N-k tasks (quarantined partial products never satisfy memoization and
+  /// are re-derived).  The old run is closed as "resumed" only once the
+  /// replacement run's begin frame is journaled; if resume throws before
+  /// then, the run stays open and resumable.  Throws `ExecError` for an
+  /// unknown or already-ended run.
   ExecResult resume(std::uint64_t run_id);
 
  private:
+  /// The shared run paths; `replaces` is the interrupted run a resume
+  /// supersedes (closed "resumed" after the new run-begin frame lands).
+  ExecResult run_impl(const graph::TaskGraph& flow, const ExecOptions& options,
+                      std::optional<std::uint64_t> replaces);
+  ExecResult run_goal_impl(const graph::TaskGraph& flow, graph::NodeId goal,
+                           const ExecOptions& options,
+                           std::optional<std::uint64_t> replaces);
+
   history::HistoryDb* db_;
   const tools::ToolRegistry* tools_;
 };

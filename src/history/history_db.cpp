@@ -179,24 +179,37 @@ std::vector<const RunRecord*> HistoryDb::open_runs() const {
 }
 
 std::vector<InstanceId> HistoryDb::partial_products() const {
-  std::uint32_t min_begin = 0;
+  // Union coverage over ALL runs (closed runs keep their lists): a later
+  // completed run's products must never be mistaken for an earlier
+  // crashed run's partials.
   bool any_open = false;
   std::unordered_set<std::uint32_t> covered;
   for (const RunRecord& run : runs_) {
-    if (!run.open()) continue;
-    min_begin = any_open ? std::min(min_begin, run.db_size_at_begin)
-                         : run.db_size_at_begin;
-    any_open = true;
+    if (run.open()) any_open = true;
     for (const InstanceId id : run.covered) covered.insert(id.value());
   }
   std::vector<InstanceId> out;
   if (!any_open) return out;
-  for (std::size_t i = min_begin; i < instances_.size(); ++i) {
-    const Instance& inst = instances_[i];
-    // Imports are designer-supplied, not task products; failure records
-    // and already-quarantined instances are invisible anyway.
-    if (!inst.ok() || inst.derivation.is_import()) continue;
-    if (!covered.contains(inst.id.value())) out.push_back(inst.id);
+  std::unordered_set<std::uint32_t> reported;
+  for (std::size_t r = 0; r < runs_.size(); ++r) {
+    const RunRecord& run = runs_[r];
+    if (!run.open()) continue;
+    // Sweep only the run's own window.  Runs execute sequentially, so the
+    // next run's begin bounds it even when no seal frame survived; the
+    // seal recovery journals bounds work recorded in later sessions.
+    std::size_t end = run.sealed() ? run.sweep_end : instances_.size();
+    if (r + 1 < runs_.size()) {
+      end = std::min<std::size_t>(end, runs_[r + 1].db_size_at_begin);
+    }
+    end = std::min(end, instances_.size());
+    for (std::size_t i = run.db_size_at_begin; i < end; ++i) {
+      const Instance& inst = instances_[i];
+      // Imports are designer-supplied, not task products; failure records
+      // and already-quarantined instances are invisible anyway.
+      if (!inst.ok() || inst.derivation.is_import()) continue;
+      if (covered.contains(inst.id.value())) continue;
+      if (reported.insert(inst.id.value()).second) out.push_back(inst.id);
+    }
   }
   return out;
 }
@@ -293,6 +306,22 @@ void HistoryDb::apply_task_finished(std::uint64_t run, std::string_view key,
   }
   throw HistoryError("run #" + std::to_string(run) + ": task '" +
                      std::string(key) + "' finished without starting");
+}
+
+void HistoryDb::seal_run(std::uint64_t run) {
+  if (run_ref(run).sealed()) return;
+  const auto sweep_end = static_cast<std::uint32_t>(instances_.size());
+  apply_run_seal(run, sweep_end);
+  if (listener_ != nullptr) {
+    support::RecordWriter w("runseal");
+    w.field(static_cast<std::int64_t>(run));
+    w.field(sweep_end);
+    listener_->on_mutation(w.str() + "\n");
+  }
+}
+
+void HistoryDb::apply_run_seal(std::uint64_t run, std::uint32_t sweep_end) {
+  run_ref(run).sweep_end = sweep_end;
 }
 
 void HistoryDb::end_run(std::uint64_t run, std::string_view outcome) {
@@ -549,6 +578,13 @@ std::string HistoryDb::save() const {
                  .str();
       out += '\n';
     }
+    if (run.sealed()) {
+      out += support::RecordWriter("runseal")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(run.sweep_end)
+                 .str();
+      out += '\n';
+    }
     if (!run.open()) {
       out += support::RecordWriter("rune")
                  .field(static_cast<std::int64_t>(run.id))
@@ -642,6 +678,9 @@ void HistoryDb::apply_saved_line(std::string_view line) {
     const auto run = static_cast<std::uint64_t>(rec.next_int64());
     const std::string key = rec.next_string();
     apply_task_finished(run, key, rec.next_string());
+  } else if (rec.kind() == "runseal") {
+    const auto run = static_cast<std::uint64_t>(rec.next_int64());
+    apply_run_seal(run, rec.next_uint32());
   } else if (rec.kind() == "rune") {
     const auto run = static_cast<std::uint64_t>(rec.next_int64());
     apply_run_end(run, rec.next_string());

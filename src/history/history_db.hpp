@@ -76,8 +76,15 @@ struct RunRecord {
   /// Instances recorded under a completed task combination — anything the
   /// run produced that is *not* listed here is a partial product.
   std::vector<data::InstanceId> covered;
+  /// One past the last instance index the crash-recovery sweep may treat
+  /// as this run's partial product.  `kUnsealed` until the first recovery
+  /// seals it; instances recorded after the seal (post-crash work in an
+  /// unresumed store) are never this run's partials.
+  static constexpr std::uint32_t kUnsealed = 0xffffffffu;
+  std::uint32_t sweep_end = kUnsealed;
 
   [[nodiscard]] bool open() const { return outcome.empty(); }
+  [[nodiscard]] bool sealed() const { return sweep_end != kUnsealed; }
   [[nodiscard]] std::size_t tasks_finished() const;
 };
 
@@ -146,6 +153,12 @@ class HistoryDb {
   /// Closes a run ("complete", "failed" or "resumed") and drops its stored
   /// flow text.  Throws when the run is already closed.
   void end_run(std::uint64_t run, std::string_view outcome);
+  /// Seals the run's partial-product sweep window at the current table
+  /// size (crash recovery calls this once per interrupted run, after the
+  /// quarantine sweep).  Instances recorded later can never be mistaken
+  /// for the run's partials, even if the store is reopened again before
+  /// the run is resumed.  No-op on an already-sealed run.
+  void seal_run(std::uint64_t run);
 
   [[nodiscard]] const std::vector<RunRecord>& runs() const { return runs_; }
   /// The run with `id`, or nullptr.
@@ -153,9 +166,12 @@ class HistoryDb {
   /// Runs still open — after recovery these are the interrupted runs a
   /// crash left behind, resumable via `Executor::resume`.
   [[nodiscard]] std::vector<const RunRecord*> open_runs() const;
-  /// OK, non-import instances recorded at or after an open run began whose
-  /// producing combination never completed (not in any `covered` list) —
-  /// the candidates crash recovery quarantines.
+  /// OK, non-import instances recorded inside an open run's sweep window
+  /// (from `db_size_at_begin` to its seal, the next run's begin, or the
+  /// table end, whichever comes first) whose producing combination never
+  /// completed (not in any run's `covered` list) — the candidates crash
+  /// recovery quarantines.  Instances outside every open run's window
+  /// (post-recovery work, later runs' products) are never reported.
   [[nodiscard]] std::vector<data::InstanceId> partial_products() const;
 
   // ---- reading -------------------------------------------------------------
@@ -244,7 +260,8 @@ class HistoryDb {
                                       std::string_view text);
 
   /// Applies one save()-format record line ("blob", "inst", "annot", the
-  /// run-log kinds "runb"/"tstart"/"tcover"/"tfin"/"rune", or "quar"),
+  /// run-log kinds "runb"/"tstart"/"tcover"/"tfin"/"runseal"/"rune", or
+  /// "quar"),
   /// verifying content hashes and id ordering.  `load` is a loop over this;
   /// journal recovery (src/storage) replays incremental mutations through
   /// the same path.  Never notifies the attached listener.
@@ -272,6 +289,7 @@ class HistoryDb {
                           const std::vector<data::InstanceId>& produced);
   void apply_task_finished(std::uint64_t run, std::string_view key,
                            std::string_view status);
+  void apply_run_seal(std::uint64_t run, std::uint32_t sweep_end);
   void apply_run_end(std::uint64_t run, std::string_view outcome);
   void apply_quarantine(data::InstanceId id, std::string_view reason);
 

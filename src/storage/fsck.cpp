@@ -113,6 +113,8 @@ struct AuditRun {
   std::string outcome;
   std::vector<AuditTask> tasks;
   std::vector<std::int64_t> covered;
+  /// Partial-product sweep window end (recovery's seal); -1 = unsealed.
+  std::int64_t sweep_end = -1;
 };
 
 struct Audit {
@@ -214,7 +216,8 @@ void ingest_line(Audit& audit, FsckReport& report, const std::string& line,
       }
       audit.runs.push_back(std::move(run));
     } else if (rec.kind() == "tstart" || rec.kind() == "tcover" ||
-               rec.kind() == "tfin" || rec.kind() == "rune") {
+               rec.kind() == "tfin" || rec.kind() == "runseal" ||
+               rec.kind() == "rune") {
       const std::string kind = rec.kind();
       const auto id = static_cast<std::uint64_t>(rec.next_int64());
       AuditRun* run = find_audit_run(audit, id);
@@ -248,6 +251,8 @@ void ingest_line(Audit& audit, FsckReport& report, const std::string& line,
                   origin + ": run #" + std::to_string(id) + " task '" + key +
                       "' finished without starting");
         }
+      } else if (kind == "runseal") {
+        run->sweep_end = rec.next_int64();
       } else {  // rune
         std::string outcome = rec.next_string();
         if (!run->outcome.empty()) {
@@ -361,9 +366,11 @@ void audit_store(Audit& audit, FsckReport& report,
   }
 
   // Run log: interrupted runs and their uncovered (partial) products.
+  // Coverage unions over ALL runs (closed runs keep their lists), and the
+  // sweep is confined to each open run's own window — mirroring
+  // `HistoryDb::partial_products`, so repair never quarantines valid work
+  // recorded after the crash.
   std::unordered_set<std::int64_t> covered;
-  std::uint32_t min_begin = 0;
-  bool any_open = false;
   for (const AuditRun& run : audit.runs) {
     for (const std::int64_t id : run.covered) {
       if (id < 0 || static_cast<std::size_t>(id) >= audit.instances.size()) {
@@ -371,11 +378,9 @@ void audit_store(Audit& audit, FsckReport& report,
                 "run #" + std::to_string(run.id) +
                     " covers unknown instance i" + std::to_string(id));
       }
+      covered.insert(id);
     }
     if (!run.outcome.empty()) continue;
-    min_begin = any_open ? std::min(min_begin, run.db_size) : run.db_size;
-    any_open = true;
-    for (const std::int64_t id : run.covered) covered.insert(id);
     std::size_t finished = 0;
     for (const AuditTask& task : run.tasks) {
       if (task.finished) ++finished;
@@ -386,11 +391,20 @@ void audit_store(Audit& audit, FsckReport& report,
              std::to_string(run.tasks.size()) +
              " started tasks finished; resumable");
   }
-  if (any_open) {
-    for (std::size_t i = min_begin; i < audit.instances.size(); ++i) {
+  for (std::size_t r = 0; r < audit.runs.size(); ++r) {
+    const AuditRun& run = audit.runs[r];
+    if (!run.outcome.empty()) continue;
+    std::size_t end = run.sweep_end >= 0
+                          ? static_cast<std::size_t>(run.sweep_end)
+                          : audit.instances.size();
+    if (r + 1 < audit.runs.size()) {
+      end = std::min<std::size_t>(end, audit.runs[r + 1].db_size);
+    }
+    end = std::min(end, audit.instances.size());
+    for (std::size_t i = run.db_size; i < end; ++i) {
       AuditInstance& inst = audit.instances[i];
       const bool is_import = inst.tool < 0 && inst.inputs.empty();
-      if (inst.status != 0 || is_import) continue;
+      if (inst.status != 0 || is_import || inst.quarantine) continue;
       if (!covered.contains(static_cast<std::int64_t>(inst.id))) {
         warn(report, "unquarantined-partial",
              "instance i" + std::to_string(inst.id) +
@@ -467,6 +481,13 @@ std::string serialize_image(const Audit& audit,
                  .field(static_cast<std::int64_t>(run.id))
                  .field(task.key)
                  .field(task.status)
+                 .str();
+      out += '\n';
+    }
+    if (run.sweep_end >= 0) {
+      out += support::RecordWriter("runseal")
+                 .field(static_cast<std::int64_t>(run.id))
+                 .field(static_cast<std::uint32_t>(run.sweep_end))
                  .str();
       out += '\n';
     }

@@ -177,6 +177,14 @@ DurableHistory::DurableHistory(const schema::TaskSchema& schema,
                       "crash recovery: the producing task never finished");
       ++report_.quarantined;
     }
+    // Seal each interrupted run's sweep window at the recovered table
+    // size: work recorded from here on (new runs, imports, decompose) is
+    // not the crashed run's doing, so a later reopen must not sweep it.
+    std::vector<std::uint64_t> open_ids;
+    for (const history::RunRecord* run : db_->open_runs()) {
+      open_ids.push_back(run->id);
+    }
+    for (const std::uint64_t id : open_ids) db_->seal_run(id);
   }
 }
 

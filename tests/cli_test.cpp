@@ -384,6 +384,31 @@ TEST(Cli, FsckExitCodesThroughTheCommand) {
   fs::remove_all(dir);
 }
 
+TEST(Cli, FsckRepairIsRefusedOnTheOpenStore) {
+  // Repair rewrites snapshot + journal under the live session's handle,
+  // which would desync its in-memory image — the command must refuse
+  // until the store is closed.  A plain audit stays allowed.
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "herc_cli_fsck_repair";
+  fs::remove_all(dir);
+  std::ostringstream out;
+  Interpreter interpreter(out);
+  ASSERT_EQ(interpreter.execute("open " + dir), CommandStatus::kOk);
+  ASSERT_EQ(interpreter.execute("import Stimuli s \"\""), CommandStatus::kOk);
+
+  EXPECT_EQ(interpreter.execute("fsck " + dir + " --repair"),
+            CommandStatus::kError);
+  EXPECT_NE(interpreter.last_error().find("store close"), std::string::npos)
+      << interpreter.last_error();
+  ASSERT_EQ(interpreter.execute("fsck " + dir), CommandStatus::kOk)
+      << "a read-only audit of the open store must still work";
+
+  ASSERT_EQ(interpreter.execute("store close"), CommandStatus::kOk);
+  EXPECT_EQ(interpreter.execute("fsck " + dir + " --repair"),
+            CommandStatus::kOk);
+  fs::remove_all(dir);
+}
+
 TEST(Cli, OpenReportsInterruptedRuns) {
   // `open` surfaces crash recovery: build a store with an open run by
   // journaling a run-begin frame without an end, then reopen it.

@@ -216,6 +216,100 @@ TEST(FsckTest, InterruptedRunAndUnquarantinedPartialAreWarnings) {
   EXPECT_EQ(report.stats.open_runs, 1u);
 }
 
+TEST(FsckTest, SealedWindowAndClosedRunsBoundThePartialSweep) {
+  // The sweep for an interrupted run's partials must stop at its sealed
+  // window: work recorded after a recovery (new instances, later complete
+  // runs) is not the crashed run's doing and must never be flagged — or,
+  // under --repair, quarantined.
+  Forge f("herc_fsck_seal");
+  f.blob("tool");
+  f.blob("seed");
+  f.blob("half");
+  f.blob("later");
+  f.blob("redone");
+  f.inst(0, "T", "tool");
+  f.inst(1, "S", "seed");
+  f.inst(2, "D", "half", 0, 0, {1});  // the run's true partial product
+  f.raw(RecordWriter("runb")
+            .field(std::int64_t{0})
+            .field(std::string_view("flow"))
+            .field(std::string_view(""))
+            .field(std::int64_t{-1})
+            .field(std::string_view("tester"))
+            .field(std::string_view(""))
+            .field(std::int64_t{0})
+            .field(std::uint32_t{2})  // db size at begin: the two imports
+            .field(std::string_view("flowtext"))
+            .str());
+  f.raw(RecordWriter("tstart")
+            .field(std::int64_t{0})
+            .field(std::string_view("1:D"))
+            .str());
+  // A recovery sealed the run's window at table size 3 …
+  f.raw(RecordWriter("runseal")
+            .field(std::int64_t{0})
+            .field(std::uint32_t{3})
+            .str());
+  // … so this later record is outside it.
+  f.inst(3, "D", "later", 0, 0, {1});
+  // A later run that finished cleanly and covered its product.
+  f.raw(RecordWriter("runb")
+            .field(std::int64_t{1})
+            .field(std::string_view("flow"))
+            .field(std::string_view(""))
+            .field(std::int64_t{-1})
+            .field(std::string_view("tester"))
+            .field(std::string_view(""))
+            .field(std::int64_t{0})
+            .field(std::uint32_t{4})
+            .field(std::string_view("flowtext"))
+            .str());
+  f.raw(RecordWriter("tstart")
+            .field(std::int64_t{1})
+            .field(std::string_view("1:D"))
+            .str());
+  f.inst(4, "D", "redone", 0, 0, {1});
+  f.raw(RecordWriter("tcover")
+            .field(std::int64_t{1})
+            .field(std::uint32_t{1})
+            .field(std::uint32_t{4})
+            .str());
+  f.raw(RecordWriter("tfin")
+            .field(std::int64_t{1})
+            .field(std::string_view("1:D"))
+            .field(std::string_view("ok"))
+            .str());
+  f.raw(RecordWriter("rune")
+            .field(std::int64_t{1})
+            .field(std::string_view("complete"))
+            .str());
+  f.commit();
+
+  FsckOptions repair;
+  repair.repair = true;
+  const FsckReport report = fsck_store(f.dir, repair);
+  EXPECT_TRUE(report.has("interrupted-run")) << report.render();
+  std::size_t partials = 0;
+  for (const FsckFinding& finding : report.findings) {
+    if (finding.code != "unquarantined-partial") continue;
+    ++partials;
+    EXPECT_NE(finding.detail.find("instance i2"), std::string::npos)
+        << finding.detail;
+  }
+  EXPECT_EQ(partials, 1u) << report.render();
+
+  // The repaired store quarantined only the true partial.
+  support::ManualClock clock(0, 1);
+  DurableHistory store(f.schema, clock, f.dir, {});
+  EXPECT_EQ(store.recovery().quarantined, 0u);
+  ASSERT_EQ(store.db().size(), 5u);
+  EXPECT_FALSE(store.db().instance(data::InstanceId(2)).ok());
+  EXPECT_TRUE(store.db().instance(data::InstanceId(3)).ok())
+      << "post-seal work swept by --repair";
+  EXPECT_TRUE(store.db().instance(data::InstanceId(4)).ok())
+      << "a closed run's covered product swept by --repair";
+}
+
 TEST(FsckTest, BadRecordAndCountMismatchAreCorruption) {
   Forge f("herc_fsck_badrec");
   f.blob("seed");

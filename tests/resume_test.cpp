@@ -225,6 +225,192 @@ TEST(ResumeTest, CrashMidRunQuarantinesPartialsAndResumeFinishes) {
   fs::remove_all(dir);
 }
 
+TEST(ResumeTest, PostCrashWorkIsNeverSweptByALaterReopen) {
+  // A crashed run left unresumed must not poison later sessions: recovery
+  // seals its sweep window, so work recorded afterwards (new complete
+  // runs, out-of-run records) survives any number of reopens.
+  World w;
+  const TaskGraph flow = chain_flow(w, 3);
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_resume_seal").string();
+  fs::remove_all(dir);
+  {
+    DurableHistory store(w.schema, w.clock, dir, fast_store());
+    store.adopt(std::move(w.db));
+    Executor exec(store.db(), w.tools);
+    exec.run(flow);
+  }
+  const std::string journal = slurp((fs::path(dir) / "journal.wal").string());
+  const ScanResult scan = storage::scan_journal(journal);
+  ASSERT_TRUE(scan.header_valid);
+
+  // Crash after the second task's product frame (uncovered partial).
+  std::size_t at = storage::kJournalHeaderBytes;
+  std::size_t inst_frames = 0;
+  std::size_t cut = 0;
+  for (const std::string& record : scan.records) {
+    at += storage::kFrameHeaderBytes + record.size();
+    const std::string kind = record.substr(0, record.find('|'));
+    if ((kind == "inst" || kind == "blob") && ++inst_frames == 2) cut = at;
+  }
+  ASSERT_GT(cut, 0u);
+  const std::string trial = dir + "_seal";
+  make_trial(dir, trial, journal, cut);
+
+  std::size_t size_after_recovery = 0;
+  {
+    // First reopen: recovery quarantines the partial and seals the run.
+    support::ManualClock clock(1000, 1);
+    DurableHistory store(w.schema, clock, trial, fast_store());
+    EXPECT_EQ(store.recovery().interrupted_runs, 1u);
+    EXPECT_EQ(store.recovery().quarantined, 1u);
+    ASSERT_EQ(store.db().open_runs().size(), 1u);
+    EXPECT_TRUE(store.db().runs().front().sealed());
+    size_after_recovery = store.db().size();
+
+    // The designer moves on without resuming: a fresh complete run of the
+    // same flow, plus a record made outside any run (decompose-style).
+    Executor exec(store.db(), w.tools);
+    const ExecResult redo = exec.run(flow);
+    EXPECT_EQ(redo.tasks_failed, 0u);
+    history::RecordRequest manual;
+    manual.type = w.schema.require("CD1");
+    manual.name = "manual";
+    manual.user = "tester";
+    manual.payload = "manual-payload";
+    manual.derivation.task = "manual";
+    manual.derivation.inputs = {w.imports.at("CSrc#src")};
+    manual.derivation.input_roles = {""};
+    store.db().record(manual);
+  }
+  {
+    // Second reopen: the crashed run is still open, but none of the later
+    // work falls in its sealed window — nothing new is quarantined.
+    support::ManualClock clock(2000, 1);
+    DurableHistory store(w.schema, clock, trial, fast_store());
+    EXPECT_EQ(store.recovery().interrupted_runs, 1u);
+    EXPECT_EQ(store.recovery().quarantined, 0u)
+        << "post-crash work swept as another run's partials";
+    for (std::size_t i = size_after_recovery; i < store.db().size(); ++i) {
+      EXPECT_TRUE(store.db().instance(data::InstanceId(
+                      static_cast<std::uint32_t>(i))).ok())
+          << "i" << i << " lost to the quarantine sweep";
+    }
+  }
+  const storage::FsckReport report = storage::fsck_store(trial);
+  EXPECT_TRUE(report.has("interrupted-run"));
+  EXPECT_FALSE(report.has("unquarantined-partial")) << report.render();
+  fs::remove_all(trial);
+  fs::remove_all(dir);
+}
+
+TEST(ResumeTest, SealBoundsThePartialSweepAndRoundTrips) {
+  World w;
+  faulttest::add_chain(w, "C", 1);
+  const InstanceId src = faulttest::import_once(
+      w, w.schema.require("CSrc"), "src", "seed");
+  const auto derived = [&](const std::string& name) {
+    history::RecordRequest req;
+    req.type = w.schema.require("CD1");
+    req.name = name;
+    req.user = "tester";
+    req.payload = name;
+    req.derivation.task = "derive";
+    req.derivation.inputs = {src};
+    req.derivation.input_roles = {""};
+    return w.db.record(req);
+  };
+
+  history::RunRecord run;
+  run.flow_name = "f";
+  run.flow_text = "x";
+  const std::uint64_t open_id = w.db.begin_run(std::move(run));
+  const InstanceId partial = derived("partial");
+  ASSERT_EQ(w.db.partial_products(),
+            std::vector<InstanceId>{partial});
+
+  // Sealing fixes the window: records made afterwards are not partials.
+  w.db.seal_run(open_id);
+  const InstanceId later = derived("later");
+  EXPECT_TRUE(w.db.instance(later).ok());
+  EXPECT_EQ(w.db.partial_products(), std::vector<InstanceId>{partial});
+
+  // A later closed run's covered products are excluded too (coverage
+  // unions over all runs, open or not).
+  history::RunRecord run2;
+  run2.flow_name = "g";
+  run2.flow_text = "y";
+  const std::uint64_t closed_id = w.db.begin_run(std::move(run2));
+  const InstanceId covered = derived("covered");
+  w.db.run_task_covered(closed_id, {covered});
+  w.db.end_run(closed_id, "complete");
+  EXPECT_EQ(w.db.partial_products(), std::vector<InstanceId>{partial});
+
+  // The seal survives a save/load round trip.
+  support::ManualClock clock2(0, 1);
+  const HistoryDb back = HistoryDb::load(w.schema, clock2, w.db.save());
+  ASSERT_EQ(back.runs().size(), 2u);
+  EXPECT_TRUE(back.runs().front().sealed());
+  EXPECT_EQ(back.runs().front().sweep_end,
+            w.db.runs().front().sweep_end);
+  EXPECT_EQ(back.partial_products(), std::vector<InstanceId>{partial});
+}
+
+TEST(ResumeTest, ResumeJournalsTheNewRunBeforeClosingTheOld) {
+  // Ordering matters for crash safety: if the process dies between the
+  // two frames, the interrupted run must still be resumable.  The old
+  // run's "resumed" close therefore lands *after* the replacement's
+  // run-begin frame in the journal.
+  World w;
+  const TaskGraph flow = chain_flow(w, 3);
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_resume_order").string();
+  fs::remove_all(dir);
+  {
+    DurableHistory store(w.schema, w.clock, dir, fast_store());
+    store.adopt(std::move(w.db));
+    Executor exec(store.db(), w.tools);
+    exec.run(flow);
+  }
+  const std::string journal = slurp((fs::path(dir) / "journal.wal").string());
+  const ScanResult scan = storage::scan_journal(journal);
+  ASSERT_TRUE(scan.header_valid);
+  std::size_t at = storage::kJournalHeaderBytes;
+  std::size_t fin_frames = 0;
+  std::size_t cut = 0;
+  for (const std::string& record : scan.records) {
+    at += storage::kFrameHeaderBytes + record.size();
+    if (record.rfind("tfin", 0) == 0 && ++fin_frames == 2) cut = at;
+  }
+  ASSERT_GT(cut, 0u);
+  const std::string trial = dir + "_order";
+  make_trial(dir, trial, journal, cut);
+  {
+    support::ManualClock clock(1000, 1);
+    DurableHistory store(w.schema, clock, trial, fast_store());
+    Executor exec(store.db(), w.tools);
+    exec.resume(store.db().open_runs().front()->id);
+    EXPECT_EQ(store.db().find_run(0)->outcome, "resumed");
+    EXPECT_EQ(store.db().find_run(1)->outcome, "complete");
+    store.sync();
+  }
+  const ScanResult after =
+      storage::scan_journal(slurp((fs::path(trial) / "journal.wal").string()));
+  ASSERT_TRUE(after.header_valid);
+  std::size_t new_begin = 0;
+  std::size_t old_close = 0;
+  for (std::size_t i = 0; i < after.records.size(); ++i) {
+    if (after.records[i].rfind("runb|1|", 0) == 0) new_begin = i;
+    if (after.records[i].rfind("rune|0|", 0) == 0) old_close = i;
+  }
+  ASSERT_GT(new_begin, 0u);
+  ASSERT_GT(old_close, 0u);
+  EXPECT_LT(new_begin, old_close)
+      << "a crash between the frames must leave run #0 resumable";
+  fs::remove_all(trial);
+  fs::remove_all(dir);
+}
+
 TEST(ResumeTest, ResumeRejectsClosedAndUnknownRuns) {
   World w;
   const TaskGraph flow = chain_flow(w, 2);
