@@ -1,0 +1,119 @@
+#include "analyze/diagnostic.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace herc::analyze {
+
+namespace {
+
+/// Minimal JSON string escaping (the report carries entity names and
+/// free-text messages).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void LintReport::add(std::string code, Severity severity, std::string location,
+                     std::string message, std::string fixit) {
+  diagnostics_.push_back(Diagnostic{std::move(code), severity,
+                                    std::move(location), std::move(message),
+                                    std::move(fixit)});
+}
+
+void LintReport::merge(const LintReport& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+Severity LintReport::severity() const {
+  Severity worst = Severity::kClean;
+  for (const Diagnostic& d : diagnostics_) {
+    worst = support::worse(worst, d.severity);
+  }
+  return worst;
+}
+
+bool LintReport::has(std::string_view code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::render() const {
+  std::ostringstream out;
+  out << "lint " << subject_ << "\n";
+  for (const Diagnostic& d : diagnostics_) {
+    out << "  " << support::to_string(d.severity) << " " << d.code << " "
+        << d.location << ": " << d.message << "\n";
+    if (!d.fixit.empty()) out << "    fix: " << d.fixit << "\n";
+  }
+  const Severity worst = severity();
+  out << "verdict: "
+      << (worst == Severity::kClean     ? "CLEAN"
+          : worst == Severity::kWarning ? "WARNINGS"
+                                        : "ERRORS")
+      << " (" << count(Severity::kError) << " error(s), "
+      << count(Severity::kWarning) << " warning(s))\n";
+  return out.str();
+}
+
+std::string LintReport::render_json() const {
+  std::ostringstream out;
+  out << "{\"subject\":\"" << json_escape(subject_) << "\",\"severity\":\""
+      << support::to_string(severity()) << "\",\"exit_code\":" << exit_code()
+      << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"code\":\"" << json_escape(d.code) << "\",\"severity\":\""
+        << support::to_string(d.severity) << "\",\"location\":\""
+        << json_escape(d.location) << "\",\"message\":\""
+        << json_escape(d.message) << "\"";
+    if (!d.fixit.empty()) {
+      out << ",\"fixit\":\"" << json_escape(d.fixit) << "\"";
+    }
+    out << "}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace herc::analyze

@@ -1,0 +1,79 @@
+// The diagnostics engine behind `herc lint`.
+//
+// The paper's premise is that a task schema statically constrains which
+// flows a designer may build (§3.1–3.2); this subsystem turns that premise
+// into tooling that runs *before* anything executes.  Three analysis
+// passes — schema lint (`schema_lint.hpp`), flow lint (`flow_lint.hpp`)
+// and the plan race check (`plan_check.hpp`) — emit `Diagnostic`s into a
+// `LintReport`, which renders as text or JSON and maps its worst severity
+// to the same 0/1/2 exit-code convention `fsck` uses (see
+// `support/severity.hpp`).
+//
+// Every diagnostic carries a stable code `HLxxx` (HL0xx schema, HL1xx
+// flow, HL2xx plan, HL3xx store cross-checks) that scripts and tests
+// match on, plus an optional `fixit` suggestion.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/severity.hpp"
+
+namespace herc::analyze {
+
+using support::Severity;
+
+/// One finding of an analysis pass.
+struct Diagnostic {
+  /// Stable identifier ("HL104"); the catalog lives in DESIGN.md §12.
+  std::string code;
+  Severity severity = Severity::kWarning;
+  /// Where the defect sits ("entity 'Netlist'", "node 3 (Performance)").
+  std::string location;
+  /// What is wrong.
+  std::string message;
+  /// How to fix it; may be empty.
+  std::string fixit;
+};
+
+/// The accumulated result of one or more analysis passes.
+class LintReport {
+ public:
+  explicit LintReport(std::string subject = "") : subject_(std::move(subject)) {}
+
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void add(std::string code, Severity severity, std::string location,
+           std::string message, std::string fixit = "");
+  /// Appends every diagnostic of `other` (pass composition).
+  void merge(const LintReport& other);
+
+  [[nodiscard]] const std::string& subject() const { return subject_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool clean() const { return diagnostics_.empty(); }
+
+  /// Worst severity across diagnostics (kClean when none).
+  [[nodiscard]] Severity severity() const;
+  /// Exit code: 0 clean, 1 warnings only, 2 errors — identical to fsck.
+  [[nodiscard]] int exit_code() const {
+    return support::exit_code(severity());
+  }
+  /// True when some diagnostic carries `code`.
+  [[nodiscard]] bool has(std::string_view code) const;
+  /// Number of diagnostics at exactly `severity`.
+  [[nodiscard]] std::size_t count(Severity severity) const;
+
+  /// Multi-line human rendering (one line per diagnostic + verdict).
+  [[nodiscard]] std::string render() const;
+  /// JSON rendering: {"subject", "severity", "diagnostics": [...]}.
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  std::string subject_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace herc::analyze

@@ -1,0 +1,257 @@
+#include "analyze/flow_lint.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze/schema_lint.hpp"
+#include "history/instance.hpp"
+
+namespace herc::analyze {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+using history::InstanceStatus;
+using schema::EntityTypeId;
+using schema::TaskSchema;
+
+namespace {
+
+std::string node_loc(const TaskGraph& flow, NodeId n) {
+  return "node " + std::to_string(n.value()) + " (" +
+         flow.schema().entity_name(flow.node(n).type) + ")";
+}
+
+const char* status_name(InstanceStatus status) {
+  switch (status) {
+    case InstanceStatus::kFailed:
+      return "failed";
+    case InstanceStatus::kSkipped:
+      return "skipped";
+    case InstanceStatus::kQuarantined:
+      return "quarantined";
+    default:
+      return "ok";
+  }
+}
+
+/// True when some concrete descendant of `type` has a construction rule,
+/// i.e. an unbound node of `type` could still be specialized and expanded
+/// into a producing task.
+bool can_produce(const TaskSchema& schema, EntityTypeId type) {
+  for (const EntityTypeId d : schema.concrete_descendants(type)) {
+    if (!schema.is_source(d)) return true;
+  }
+  return false;
+}
+
+/// One bound instance checked against its node (HL101/HL102).  Returns
+/// true when the binding satisfies the node.
+bool lint_binding(const TaskGraph& flow, NodeId n, InstanceId id,
+                  const history::HistoryDb& db, LintReport& report) {
+  const TaskSchema& schema = flow.schema();
+  if (!db.contains(id)) {
+    report.add("HL101", Severity::kError, node_loc(flow, n),
+               "bound to i" + std::to_string(id.value()) +
+                   ", which does not exist in the design history",
+               "rebind the node ('flow bind') to a live instance");
+    return false;
+  }
+  const history::Instance& inst = db.instance(id);
+  if (!schema.is_ancestor_or_self(flow.node(n).type, inst.type)) {
+    report.add("HL101", Severity::kError, node_loc(flow, n),
+               "bound to i" + std::to_string(id.value()) + " of type '" +
+                   schema.entity_name(inst.type) +
+                   "', which does not satisfy the node type",
+               "bind an instance of '" +
+                   schema.entity_name(flow.node(n).type) +
+                   "' or one of its subtypes");
+    return false;
+  }
+  if (!inst.ok()) {
+    report.add("HL102", Severity::kError, node_loc(flow, n),
+               std::string("bound to i") + std::to_string(id.value()) +
+                   ", a " + status_name(inst.status) +
+                   " record that is invisible to execution",
+               "rebind to an OK instance (see 'failures' for why it was " +
+                   std::string(status_name(inst.status)) + ")");
+    return false;
+  }
+  return true;
+}
+
+/// Per-node satisfiability: can the dependency closure of the node be
+/// completed by some sequence of bind/expand steps?  Bound nodes with
+/// valid bindings are satisfiable; expanded nodes need every wired
+/// dependency satisfiable; unbound leaves need either a bindable instance
+/// in the history or a producing expansion path in the schema.  Without a
+/// database the binding side is assumed satisfiable (static-only lint).
+class SatSolver {
+ public:
+  SatSolver(const TaskGraph& flow, const history::HistoryDb* db)
+      : flow_(flow), db_(db) {}
+
+  bool sat(NodeId n) {
+    const auto it = memo_.find(n.value());
+    if (it != memo_.end()) return it->second;
+    // A DAG by construction, so plain recursion terminates.
+    bool ok;
+    const graph::Node& node = flow_.node(n);
+    const auto& edges = flow_.deps(n);
+    if (!edges.empty()) {
+      ok = true;
+      for (const auto& e : edges) ok = ok && sat(e.target);
+    } else if (!node.bound.empty()) {
+      ok = true;
+      if (db_ != nullptr) {
+        for (const InstanceId id : node.bound) {
+          ok = ok && db_->contains(id) && db_->instance(id).ok() &&
+               flow_.schema().is_ancestor_or_self(node.type,
+                                                  db_->instance(id).type);
+        }
+      }
+    } else if (db_ == nullptr) {
+      ok = true;  // no history context: assume bindable
+    } else {
+      ok = !db_->instances_of(node.type).empty() ||
+           can_produce(flow_.schema(), node.type);
+    }
+    memo_.emplace(n.value(), ok);
+    return ok;
+  }
+
+ private:
+  const TaskGraph& flow_;
+  const history::HistoryDb* db_;
+  std::unordered_map<std::uint32_t, bool> memo_;
+};
+
+void lint_bindings(const TaskGraph& flow, const FlowLintOptions& options,
+                   LintReport& report) {
+  if (options.db == nullptr) return;
+  for (const NodeId n : flow.nodes()) {
+    for (const InstanceId id : flow.bindings(n)) {
+      lint_binding(flow, n, id, *options.db, report);
+    }
+  }
+}
+
+void lint_unbindable_leaves(const TaskGraph& flow,
+                            const FlowLintOptions& options,
+                            LintReport& report) {
+  if (options.db == nullptr) return;
+  for (const NodeId n : flow.nodes()) {
+    const graph::Node& node = flow.node(n);
+    if (!flow.deps(n).empty() || !node.bound.empty()) continue;
+    if (options.db->instances_of(node.type).empty() &&
+        !can_produce(flow.schema(), node.type)) {
+      report.add("HL103", Severity::kError, node_loc(flow, n),
+                 "unbindable: the history holds no instance of this type "
+                 "and no subtype has a producing construction rule",
+                 "import an instance of '" +
+                     flow.schema().entity_name(node.type) +
+                     "' before running");
+    }
+  }
+}
+
+void lint_dead_branches(const TaskGraph& flow, const FlowLintOptions& options,
+                        LintReport& report) {
+  if (!options.goal.valid()) return;
+  std::unordered_set<std::uint32_t> live;
+  for (const NodeId n : flow.closure(options.goal)) live.insert(n.value());
+  for (const NodeId n : flow.nodes()) {
+    if (live.contains(n.value())) continue;
+    report.add("HL104", Severity::kWarning, node_loc(flow, n),
+               "dead branch: not part of the dependency closure of the "
+               "goal " + node_loc(flow, options.goal),
+               "run it separately ('run_goal') or unexpand it");
+  }
+}
+
+void lint_memoization_hazards(const TaskGraph& flow,
+                              const FlowLintOptions& options,
+                              LintReport& report) {
+  if (options.tools == nullptr) return;
+  for (const NodeId n : flow.nodes()) {
+    const NodeId tool = flow.tool_of(n);
+    if (!tool.valid()) continue;
+    const EntityTypeId tool_type = flow.node(tool).type;
+    if (!options.tools->has(tool_type)) continue;
+    const tools::Encapsulation& enc = options.tools->resolve(tool_type);
+    if (enc.deterministic || flow.consumers_of(n).empty()) continue;
+    report.add("HL105", Severity::kWarning, node_loc(flow, n),
+               "memoization hazard: produced by nondeterministic "
+               "encapsulation '" + enc.name +
+                   "' and feeds further tasks; reuse/resume may silently "
+                   "reuse a product a fresh run would not reproduce",
+               "run the subgraph without 'reuse', or mark the "
+               "encapsulation deterministic if it actually is");
+  }
+}
+
+void lint_discarded_siblings(const TaskGraph& flow, LintReport& report) {
+  const TaskSchema& schema = flow.schema();
+  for (const graph::TaskGroup& group : flow.task_groups()) {
+    if (!group.tool.valid()) continue;
+    const schema::ConstructionRule rule =
+        schema.construction(flow.node(group.outputs.front()).type);
+    if (rule.empty()) continue;
+    const std::string sig = rule_signature(schema, rule);
+    std::unordered_set<std::uint32_t> produced;
+    for (const NodeId out : group.outputs) {
+      produced.insert(flow.node(out).type.value());
+    }
+    for (const EntityTypeId s : schema.all()) {
+      if (schema.is_abstract(s) || produced.contains(s.value())) continue;
+      const schema::ConstructionRule sibling = schema.construction(s);
+      if (sibling.empty() || !sibling.has_tool()) continue;
+      if (rule_signature(schema, sibling) != sig) continue;
+      report.add("HL106", Severity::kWarning,
+                 node_loc(flow, group.outputs.front()),
+                 "this task's tool also produces '" + schema.entity_name(s) +
+                     "' from the same inputs; without a co-output node "
+                     "that product is silently discarded",
+                 "add it with 'flow cooutput <f> " +
+                     std::to_string(group.outputs.front().value()) + " " +
+                     schema.entity_name(s) + "' if it is wanted");
+    }
+  }
+}
+
+void lint_goal_satisfiability(const TaskGraph& flow,
+                              const FlowLintOptions& options,
+                              LintReport& report) {
+  SatSolver solver(flow, options.db);
+  std::vector<NodeId> goals;
+  if (options.goal.valid()) {
+    goals.push_back(options.goal);
+  } else {
+    goals = flow.goals();
+  }
+  for (const NodeId g : goals) {
+    if (solver.sat(g)) continue;
+    report.add("HL107", Severity::kError, node_loc(flow, g),
+               "unsatisfiable goal: no sequence of bind/expand steps can "
+               "complete its dependency closure",
+               "fix the unbindable or invalid bindings it depends on "
+               "(see the HL101/HL102/HL103 diagnostics)");
+  }
+}
+
+}  // namespace
+
+LintReport lint_flow(const TaskGraph& flow, const FlowLintOptions& options) {
+  LintReport report("flow '" + flow.name() + "'");
+  lint_bindings(flow, options, report);
+  lint_unbindable_leaves(flow, options, report);
+  lint_dead_branches(flow, options, report);
+  lint_memoization_hazards(flow, options, report);
+  lint_discarded_siblings(flow, report);
+  lint_goal_satisfiability(flow, options, report);
+  return report;
+}
+
+}  // namespace herc::analyze

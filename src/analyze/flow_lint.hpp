@@ -1,0 +1,59 @@
+// Pass 2 of `herc lint`: static analysis of a dynamically defined flow.
+//
+// A `TaskGraph` is structurally valid by construction (every mutation is
+// schema-checked), but plenty can still be wrong with it *as a plan*:
+// bindings may point at instances that no longer satisfy them, leaves may
+// be unbindable against the actual design history, branches may not
+// contribute to the goal, and execution options may interact badly with
+// the tools involved.  This pass finds those defects without running any
+// tool.
+//
+// The history database and tool registry are optional context: checks
+// that need them are skipped when they are absent (linting a bare flow
+// file still runs the structural checks).
+//
+// Diagnostic catalog (DESIGN.md §12 holds the full table):
+//
+//   HL101 error    binding to an unknown instance, or to an instance whose
+//                  type does not satisfy the node's type
+//   HL102 error    binding to a quarantined / failed / skipped instance —
+//                  invisible to execution, the run would rebind or throw
+//   HL103 error    unbindable leaf: unbound, cannot be expanded into a
+//                  producing task, and the history holds no instance of
+//                  its type
+//   HL104 warning  dead branch: the node cannot reach the designated goal
+//                  (only checked when a goal node is given)
+//   HL105 warning  memoization hazard: a nondeterministic tool's product
+//                  feeds further tasks — reuse/resume may silently reuse a
+//                  product a fresh run would not reproduce
+//   HL106 warning  discarded sibling: the schema says this task's tool
+//                  also produces another entity type from the same inputs,
+//                  but the flow has no co-output node for it
+//   HL107 error    unsatisfiable goal: no sequence of bind/expand steps
+//                  can complete the goal's dependency closure
+#pragma once
+
+#include "analyze/diagnostic.hpp"
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+#include "tools/registry.hpp"
+
+namespace herc::analyze {
+
+struct FlowLintOptions {
+  /// Design history to resolve bindings against; binding and bindability
+  /// checks (HL101–HL103, HL107's leaf analysis) need it.
+  const history::HistoryDb* db = nullptr;
+  /// Tool registry for the memoization-hazard check (HL105).
+  const tools::ToolRegistry* tools = nullptr;
+  /// The node the designer intends to run; enables the dead-branch check
+  /// (HL104) and focuses HL107.  Invalid id = lint the whole flow.
+  graph::NodeId goal;
+};
+
+/// Runs every flow check; never throws on flow defects (they become
+/// diagnostics).
+[[nodiscard]] LintReport lint_flow(const graph::TaskGraph& flow,
+                                   const FlowLintOptions& options = {});
+
+}  // namespace herc::analyze

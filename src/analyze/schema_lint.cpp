@@ -1,0 +1,186 @@
+#include "analyze/schema_lint.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace herc::analyze {
+
+using schema::ConstructionRule;
+using schema::Dependency;
+using schema::EntityKind;
+using schema::EntityType;
+using schema::EntityTypeId;
+using schema::TaskSchema;
+
+std::string rule_signature(const TaskSchema& schema,
+                           const ConstructionRule& rule) {
+  std::string sig = "fd:";
+  sig += rule.has_tool() ? schema.entity_name(rule.tool) : "-";
+  std::vector<std::string> inputs;
+  inputs.reserve(rule.inputs.size());
+  for (const Dependency& d : rule.inputs) {
+    inputs.push_back(schema.entity_name(d.target) + "/" + d.role +
+                     (d.optional ? "?" : ""));
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const std::string& in : inputs) {
+    sig += ";";
+    sig += in;
+  }
+  return sig;
+}
+
+namespace {
+
+/// The rule an entity's *own* declarations build (no inheritance), used to
+/// compare a shadowing declaration against what it shadows.
+ConstructionRule own_rule(const TaskSchema& schema, EntityTypeId id) {
+  ConstructionRule rule;
+  rule.owner = id;
+  for (const Dependency& d : schema.entity(id).deps) {
+    if (d.kind == schema::DepKind::kFunctional) {
+      rule.tool = d.target;
+    } else {
+      rule.inputs.push_back(d);
+    }
+  }
+  return rule;
+}
+
+/// True when some construction rule can be served by a tool instance of
+/// `tool` — the rule's fd target is an ancestor of `tool` (resolution
+/// narrows) or a descendant (the rule names a subtype of it).
+bool tool_is_used(const TaskSchema& schema, EntityTypeId tool) {
+  for (const EntityTypeId e : schema.all()) {
+    const ConstructionRule rule = schema.construction(e);
+    if (rule.owner != e || !rule.has_tool()) continue;
+    if (schema.is_ancestor_or_self(rule.tool, tool) ||
+        schema.is_ancestor_or_self(tool, rule.tool)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void lint_structure(const TaskSchema& schema, LintReport& report) {
+  // The error-severity conditions `TaskSchema::validate()` rejects, in the
+  // order it historically checked them (validate delegates here and throws
+  // on the first error diagnostic).
+  for (const EntityTypeId id : schema.all()) {
+    const EntityType& e = schema.entity(id);
+    if (e.composite) {
+      bool has_dd = false;
+      for (const Dependency& d : e.deps) {
+        has_dd |= (d.kind == schema::DepKind::kData);
+      }
+      if (!has_dd) {
+        report.add("HL003", Severity::kError,
+                   "composite entity '" + e.name + "'",
+                   "must have at least one data dependency",
+                   "declare the component entities with 'dd'");
+      }
+    }
+    if (e.abstract && schema.concrete_descendants(id).empty()) {
+      report.add("HL002", Severity::kError, "abstract entity '" + e.name + "'",
+                 "has no concrete descendant",
+                 "add a concrete subtype or drop 'abstract'");
+    }
+    if (!e.abstract && !schema.groundable(id)) {
+      report.add("HL001", Severity::kError, "entity '" + e.name + "'",
+                 "can never be produced: a mandatory dependency loop has no "
+                 "escape",
+                 "mark a data dependency optional or add an alternative "
+                 "subtype");
+    }
+  }
+}
+
+void lint_ambiguous_subtypes(const TaskSchema& schema, LintReport& report) {
+  // Two concrete descendants of one abstract type whose resolved rules have
+  // the same signature: the same bound inputs construct either, so neither
+  // `specialize` nor automation can pick from the data.  Source subtypes
+  // (empty rules) are exempt — they are bound, never constructed.
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const EntityTypeId base : schema.all()) {
+    if (!schema.is_abstract(base)) continue;
+    const std::vector<EntityTypeId> concrete =
+        schema.concrete_descendants(base);
+    for (std::size_t i = 0; i < concrete.size(); ++i) {
+      const ConstructionRule a = schema.construction(concrete[i]);
+      if (a.empty()) continue;
+      const std::string sig_a = rule_signature(schema, a);
+      for (std::size_t j = i + 1; j < concrete.size(); ++j) {
+        const ConstructionRule b = schema.construction(concrete[j]);
+        if (b.empty() || rule_signature(schema, b) != sig_a) continue;
+        std::string first = schema.entity_name(concrete[i]);
+        std::string second = schema.entity_name(concrete[j]);
+        if (second < first) std::swap(first, second);
+        if (!reported.emplace(first, second).second) continue;
+        report.add("HL004", Severity::kWarning,
+                   "entities '" + first + "' and '" + second + "'",
+                   "ambiguous subtype construction under '" +
+                       schema.entity_name(base) +
+                       "': both rules are satisfiable by the same bound "
+                       "inputs",
+                   "give one subtype a distinguishing tool or input");
+      }
+    }
+  }
+}
+
+void lint_dead_declarations(const TaskSchema& schema, LintReport& report) {
+  for (const EntityTypeId id : schema.all()) {
+    const EntityType& e = schema.entity(id);
+    if (e.kind == EntityKind::kData) {
+      // HL005: a data entity nothing constructs, consumes or subtypes is
+      // unreachable from every flow the schema admits.
+      if (!e.abstract && e.deps.empty() && !e.parent.valid() &&
+          schema.subtypes(id).empty() && schema.consumers_of(id).empty()) {
+        report.add("HL005", Severity::kWarning, "entity '" + e.name + "'",
+                   "is disconnected: no dependencies, no consumers, no "
+                   "subtype relations",
+                   "connect it with fd/dd arcs or remove it");
+      }
+    } else if (!tool_is_used(schema, id)) {
+      // HL006: a tool no construction rule can ever run.
+      report.add("HL006", Severity::kWarning, "tool '" + e.name + "'",
+                 "is never the functional-dependency target of any "
+                 "construction rule",
+                 "reference it with 'fd' or remove it");
+    }
+  }
+}
+
+void lint_redundant_shadowing(const TaskSchema& schema, LintReport& report) {
+  for (const EntityTypeId id : schema.all()) {
+    const EntityType& e = schema.entity(id);
+    if (e.deps.empty() || !e.parent.valid()) continue;
+    const ConstructionRule inherited = schema.construction(e.parent);
+    if (inherited.empty()) continue;
+    if (rule_signature(schema, own_rule(schema, id)) ==
+        rule_signature(schema, inherited)) {
+      report.add("HL007", Severity::kWarning, "entity '" + e.name + "'",
+                 "shadows the rule inherited from '" +
+                     schema.entity_name(inherited.owner) +
+                     "' with an identical declaration",
+                 "drop the redundant arcs (the rule is inherited) or make "
+                 "the subtype's construction differ");
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_schema(const TaskSchema& schema) {
+  LintReport report("schema '" + schema.name() + "'");
+  lint_structure(schema, report);
+  lint_ambiguous_subtypes(schema, report);
+  lint_dead_declarations(schema, report);
+  lint_redundant_shadowing(schema, report);
+  return report;
+}
+
+}  // namespace herc::analyze

@@ -1,0 +1,45 @@
+// Pass 1 of `herc lint`: static analysis of a task schema.
+//
+// Subsumes and extends `TaskSchema::validate()` (which delegates here, so
+// there is exactly one schema checker).  Error-severity diagnostics are
+// the conditions `validate()` has always rejected; warnings are new,
+// advisory findings about schema shapes that are legal but defeat the
+// paper's machinery (ambiguous specialization, dead declarations).
+//
+// Diagnostic catalog (DESIGN.md §12 holds the full table):
+//
+//   HL001 error    unconstructible entity: a mandatory fd/dd cycle with no
+//                  optional-arc escape and no alternative subtype — no
+//                  instance can ever be produced from source entities
+//   HL002 error    abstract entity with no concrete descendant — a flow
+//                  node of this type can never be specialized
+//   HL003 error    composite entity without a data dependency
+//   HL004 warning  ambiguous subtype construction: two concrete siblings
+//                  with interchangeable rules (same tool, same input
+//                  types/roles) — the same bound inputs satisfy either, so
+//                  specialization cannot be derived from the data
+//   HL005 warning  disconnected data entity: no arcs, no consumers, no
+//                  subtype relations — unreachable from every flow
+//   HL006 warning  unused tool: never the functional-dependency target of
+//                  any construction rule (itself or via an ancestor)
+//   HL007 warning  shadowing rule is identical to the inherited one — the
+//                  subtype redeclares exactly what it would inherit
+#pragma once
+
+#include "analyze/diagnostic.hpp"
+#include "schema/task_schema.hpp"
+
+namespace herc::analyze {
+
+/// Runs every schema check; never throws on schema defects (they become
+/// diagnostics).
+[[nodiscard]] LintReport lint_schema(const schema::TaskSchema& schema);
+
+/// A comparable signature of a construction rule: the tool target plus the
+/// sorted (target, role, optional) triples of its data inputs.  Two rules
+/// with equal signatures are satisfiable by exactly the same bound inputs —
+/// the ambiguity test of HL004 and the sibling-product test of HL106.
+[[nodiscard]] std::string rule_signature(const schema::TaskSchema& schema,
+                                         const schema::ConstructionRule& rule);
+
+}  // namespace herc::analyze

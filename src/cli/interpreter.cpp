@@ -5,6 +5,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "analyze/flow_lint.hpp"
+#include "analyze/plan_check.hpp"
+#include "analyze/schema_lint.hpp"
 #include "exec/automation.hpp"
 #include "exec/consistency.hpp"
 #include "graph/bipartite.hpp"
@@ -157,6 +160,8 @@ void Interpreter::dispatch(const Args& args, const std::string& payload) {
     cmd_resume(args);
   } else if (cmd == "fsck") {
     cmd_fsck(args);
+  } else if (cmd == "lint") {
+    cmd_lint(args);
   } else if (cmd == "auto") {
     cmd_auto(args);
   } else if (cmd == "browse") {
@@ -384,6 +389,111 @@ void Interpreter::cmd_fsck(const Args& args) {
   if (report.severity() == storage::FsckSeverity::kCorruption) {
     throw support::HistoryError("fsck: corruption detected in '" + args[1] +
                                 "' (see report above)");
+  }
+}
+
+void Interpreter::cmd_lint(const Args& args) {
+  static const char* kUsage =
+      "lint schema [--json] | lint flow <f> [goal <node>] [parallel] "
+      "[continue|besteffort] [--json] | lint store <dir> [--json]";
+  bool json = false;
+  Args rest;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json = true;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (rest.empty()) usage(kUsage);
+  analyze::LintReport report;
+  if (rest[0] == "schema") {
+    if (rest.size() != 1) usage(kUsage);
+    report = analyze::lint_schema(session_->schema());
+  } else if (rest[0] == "flow") {
+    if (rest.size() < 2) usage(kUsage);
+    TaskGraph& flow = flow_ref(rest[1]);
+    analyze::FlowLintOptions flow_opts;
+    flow_opts.db = &session_->db();
+    flow_opts.tools = &session_->tools();
+    // The plan pass simulates the schedule the designer intends, so its
+    // toggles mirror `run`'s; without `parallel` or `continue` it has
+    // nothing to check (a serial fail-fast run has no races).
+    analyze::PlanCheckOptions plan_opts;
+    plan_opts.parallel = false;
+    for (std::size_t i = 2; i < rest.size(); ++i) {
+      if (rest[i] == "goal") {
+        if (i + 1 >= rest.size()) usage(kUsage);
+        flow_opts.goal = node_ref(flow, rest[++i]);
+      } else if (rest[i] == "parallel") {
+        plan_opts.parallel = true;
+      } else if (rest[i] == "continue" || rest[i] == "besteffort") {
+        plan_opts.continue_on_failure = true;
+      } else {
+        usage(kUsage);
+      }
+    }
+    report = analyze::lint_flow(flow, flow_opts);
+    report.merge(analyze::lint_plan(flow, plan_opts));
+  } else if (rest[0] == "store") {
+    if (rest.size() != 2) usage(kUsage);
+    report = analyze::LintReport("store '" + rest[1] + "'");
+    // Cross-call into fsck for the on-disk checks: fsck reads raw store
+    // files (it is deliberately schema-less), so lint wraps it rather than
+    // the other way round.  Sync first so the audit sees this session's
+    // buffered records (same rule as `fsck`).
+    const bool own_store =
+        session_->storage() != nullptr && [&] {
+          std::error_code ec;
+          return std::filesystem::equivalent(session_->storage()->dir(),
+                                             rest[1], ec);
+        }();
+    if (own_store) session_->storage()->sync();
+    const storage::FsckReport fsck = storage::fsck_store(rest[1]);
+    for (const storage::FsckFinding& f : fsck.findings) {
+      report.add(f.severity == support::Severity::kError ? "HL302" : "HL301",
+                 f.severity, "store '" + rest[1] + "'",
+                 f.code + ": " + f.detail,
+                 "run 'fsck " + rest[1] + " --repair' to fix what is "
+                 "repairable");
+    }
+    // The store-only checks fsck cannot do: each interrupted run journals
+    // its bound flow, which this session *can* interpret against its
+    // schema — lint them so a resume's defects surface before re-running.
+    if (own_store) {
+      for (const history::RunRecord* run : session_->db().open_runs()) {
+        if (run->flow_text.empty()) continue;
+        try {
+          TaskGraph flow =
+              TaskGraph::load(session_->schema(), run->flow_text);
+          analyze::FlowLintOptions flow_opts;
+          flow_opts.db = &session_->db();
+          flow_opts.tools = &session_->tools();
+          analyze::LintReport flow_report = analyze::lint_flow(flow,
+                                                               flow_opts);
+          for (analyze::Diagnostic d : flow_report.diagnostics()) {
+            d.location = "run #" + std::to_string(run->id) + ", " +
+                         d.location;
+            report.add(std::move(d));
+          }
+        } catch (const HercError& e) {
+          report.add("HL303", support::Severity::kError,
+                     "run #" + std::to_string(run->id),
+                     std::string("journaled flow does not load against the "
+                                 "session schema: ") + e.what(),
+                     "the run cannot be resumed in this session");
+        }
+      }
+    }
+  } else {
+    usage(kUsage);
+  }
+  *out_ << (json ? report.render_json() : report.render());
+  // Mirror cmd_fsck: error severity becomes a command failure so scripts
+  // (and `run_script(stop_on_error)`) propagate it.
+  if (report.severity() == support::Severity::kError) {
+    throw HercError("lint: errors in " + report.subject() +
+                    " (see report above)");
   }
 }
 
@@ -736,6 +846,9 @@ void Interpreter::cmd_help() {
       "    finished tasks are skipped via memoization)\n"
       "fsck <dir> [--repair]   (offline history audit: exit 0 clean,\n"
       "    1 warnings, 2 corruption; --repair quarantines/tombstones)\n"
+      "lint schema | flow <f> [goal <node>] [parallel] [continue|besteffort]\n"
+      "    | store <dir>   [--json]   (static analysis: HLxxx diagnostics,\n"
+      "    same 0/1/2 severity convention as fsck)\n"
       "schema show | schema extend <<END ... END\n"
       "import <Entity> <name> <<END ... END   (or \"\" for empty payload)\n"
       "flow new <f> goal <Entity> | plan <name>\n"

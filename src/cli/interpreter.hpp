@@ -14,6 +14,7 @@
 //   open <dir> [sync=..] [every=N]          checkpoint
 //   store [close|sync]                      runs
 //   resume [<run#>]                         fsck <dir> [--repair]
+//   lint schema | flow <f> [goal <node>] [parallel] [continue] | store <dir>
 //   import <Entity> <name> <<END ... END    import <Entity> <name> ""
 //   flow new <f> goal <Entity> | plan <name>
 //   flow expand <f> <node> [optional]       flow expandup <f> <node> <Entity>
@@ -67,6 +68,12 @@ class Interpreter {
   std::size_t run_script(std::string_view text, bool stop_on_error = false);
 
   [[nodiscard]] core::DesignSession& session() { return *session_; }
+  /// The flows built so far in this session, by name (the shell's --lint
+  /// mode replays a script and then lints every flow it created).
+  [[nodiscard]] const std::map<std::string, graph::TaskGraph>& named_flows()
+      const {
+    return flows_;
+  }
   /// The message of the most recent failed command ("" when none).
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
 
@@ -85,6 +92,7 @@ class Interpreter {
   void cmd_runs(const Args& args);
   void cmd_resume(const Args& args);
   void cmd_fsck(const Args& args);
+  void cmd_lint(const Args& args);
   void cmd_auto(const Args& args);
   void cmd_browse(const Args& args);
   void cmd_history_query(const Args& args);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analyze/schema_lint.hpp"
 #include "support/dot.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -291,30 +292,15 @@ bool TaskSchema::groundable(EntityTypeId id) const {
 }
 
 void TaskSchema::validate() const {
-  for (std::uint32_t i = 0; i < entities_.size(); ++i) {
-    const EntityType& e = entities_[i];
-    const EntityTypeId id(i);
-    if (e.composite) {
-      bool has_dd = false;
-      for (const Dependency& d : e.deps) {
-        has_dd |= (d.kind == DepKind::kData);
-      }
-      if (!has_dd) {
-        throw SchemaError("composite entity '" + e.name +
-                          "' must have at least one data dependency");
-      }
-    }
-    if (e.abstract && concrete_descendants(id).empty()) {
-      throw SchemaError("abstract entity '" + e.name +
-                        "' has no concrete descendant");
-    }
-    if (!e.abstract && !groundable(id)) {
-      throw SchemaError(
-          "entity '" + e.name +
-          "' can never be produced: a mandatory dependency loop has no "
-          "escape (mark a data dependency optional or add an alternative "
-          "subtype)");
-    }
+  // Delegates to the static analyzer so there is exactly one schema
+  // checker; the first error-severity diagnostic becomes the exception
+  // (warnings are advisory and only surface through `herc lint`).
+  const analyze::LintReport report = analyze::lint_schema(*this);
+  for (const analyze::Diagnostic& d : report.diagnostics()) {
+    if (d.severity != support::Severity::kError) continue;
+    std::string msg = d.location + " " + d.message;
+    if (!d.fixit.empty()) msg += " (" + d.fixit + ")";
+    throw SchemaError(msg);
   }
 }
 

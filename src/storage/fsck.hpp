@@ -29,13 +29,14 @@
 #include <string>
 #include <vector>
 
+#include "support/severity.hpp"
+
 namespace herc::storage {
 
-enum class FsckSeverity {
-  kClean = 0,
-  kWarning = 1,
-  kCorruption = 2,
-};
+/// fsck and `herc lint` share one severity scale and exit-code convention
+/// (0 clean / 1 warning / 2 error-or-corruption); `kCorruption` is lint's
+/// `kError` under its traditional name.
+using FsckSeverity = support::Severity;
 
 /// One defect.  `code` is a stable kebab-case identifier (e.g.
 /// "dangling-reference", "blob-hash-mismatch", "orphan-blob",

@@ -1,0 +1,47 @@
+// The shared severity scale of the correctness tooling.
+//
+// Both offline checkers — `fsck` (storage integrity) and `lint` (static
+// analysis of schemas, flows and run plans) — classify what they find on
+// one three-level scale whose numeric values double as the process exit
+// code:
+//
+//   kClean   (exit 0)  nothing to report
+//   kWarning (exit 1)  survivable / advisory findings
+//   kError   (exit 2)  defects that break a run or lose data
+//
+// `kCorruption` is fsck's historical name for the error level; it is the
+// same enumerator value so the two tools stay exit-code compatible.
+#pragma once
+
+namespace herc::support {
+
+enum class Severity {
+  kClean = 0,
+  kWarning = 1,
+  kError = 2,
+  kCorruption = kError,  ///< fsck's name for the same level
+};
+
+/// The process exit code convention shared by `fsck` and `lint`.
+[[nodiscard]] constexpr int exit_code(Severity s) {
+  return static_cast<int>(s);
+}
+
+/// The worse (more severe) of two levels.
+[[nodiscard]] constexpr Severity worse(Severity a, Severity b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// Returns "clean", "warning" or "error".
+[[nodiscard]] constexpr const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kClean:
+      return "clean";
+    case Severity::kWarning:
+      return "warning";
+    default:
+      return "error";
+  }
+}
+
+}  // namespace herc::support

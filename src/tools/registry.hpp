@@ -29,6 +29,12 @@ struct Encapsulation {
   /// When set, instance sets bound to an input are passed to a single call
   /// instead of fanning the task out per instance (§4.1).
   bool accepts_instance_sets = false;
+  /// Clear for encapsulations whose output is not a pure function of their
+  /// inputs (wall-clock seeds, external state).  Memoization
+  /// (`reuse_existing`) and crash-resume may then silently reuse a product
+  /// a fresh run would not reproduce; `herc lint` flags flows that feed
+  /// such products into further tasks (HL105).
+  bool deterministic = true;
 };
 
 /// The lookup methods are virtual so decorators (e.g. the deterministic

@@ -55,7 +55,7 @@ TEST(NetlistData, DeviceManagement) {
   nl.remove_device("mn");
   EXPECT_FALSE(nl.has_device("mn"));
   EXPECT_THROW(nl.remove_device("mn"), ExecError);
-  EXPECT_THROW(nl.device("mn"), ExecError);
+  EXPECT_THROW((void)nl.device("mn"), ExecError);
   // Index integrity after removal.
   EXPECT_EQ(nl.device("mp").name, "mp");
   EXPECT_EQ(nl.mos_count(), 1u);
@@ -93,7 +93,7 @@ TEST(ModelData, LibraryRoundTripAndLookup) {
   EXPECT_EQ(back.to_text(), text);
   EXPECT_TRUE(back.model("hv").is_pmos);
   EXPECT_DOUBLE_EQ(back.model("hv").resistance_kohm, 35.5);
-  EXPECT_THROW(back.model("nope"), ExecError);
+  EXPECT_THROW((void)back.model("nope"), ExecError);
   // set_model replaces in place.
   lib.set_model(DeviceModel{"hv", true, 1.0, 1.2});
   EXPECT_DOUBLE_EQ(lib.model("hv").resistance_kohm, 1.0);

@@ -300,9 +300,9 @@ TEST_F(ExecutorTest, SetConsumingDerivationsRetrace) {
 TEST_F(ExecutorTest, ExecResultSingleRejectsFanOut) {
   ExecResult result;
   const NodeId n(0);
-  EXPECT_THROW(result.single(n), ExecError);  // nothing produced
+  EXPECT_THROW((void)result.single(n), ExecError);  // nothing produced
   result.produced[n] = {InstanceId(1), InstanceId(2)};
-  EXPECT_THROW(result.single(n), ExecError);  // fan-out
+  EXPECT_THROW((void)result.single(n), ExecError);  // fan-out
   result.produced[n] = {InstanceId(1)};
   EXPECT_EQ(result.single(n), InstanceId(1));
 }

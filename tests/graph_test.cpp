@@ -101,7 +101,7 @@ TEST_F(GraphTest, UnexpandGarbageCollectsOrphans) {
   EXPECT_EQ(flow.node_count(), 1u);
   EXPECT_FALSE(flow.node(perf).expanded);
   // The removed node id is dead.
-  EXPECT_THROW(flow.node(circuit), FlowError);
+  EXPECT_THROW((void)flow.node(circuit), FlowError);
   EXPECT_THROW(flow.unexpand(perf), FlowError);
 }
 

@@ -1,0 +1,190 @@
+// Property: a flow the analyzer passes as error-free really is safe to
+// hand to the framework.  Randomized flows are grown over the full schema
+// (expand / specialize / co-output / bind, the §3.4 moves); whenever the
+// combined schema+flow+plan lint reports no error-severity diagnostic, the
+// flow must survive `check()`, task grouping and an actual executor run
+// without SchemaError/FlowError/HistoryError.  (ExecError is a *tool*
+// failing, which no static analysis can rule out — but the standard
+// encapsulations on well-formed payloads do not fail either.)
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analyze/flow_lint.hpp"
+#include "analyze/plan_check.hpp"
+#include "analyze/schema_lint.hpp"
+#include "exec/executor.hpp"
+#include "graph/task_graph.hpp"
+#include "history/history_db.hpp"
+#include "schema/standard_schemas.hpp"
+#include "support/clock.hpp"
+#include "support/error.hpp"
+#include "tools/registry.hpp"
+
+namespace herc::analyze {
+namespace {
+
+using data::InstanceId;
+using graph::NodeId;
+using graph::TaskGraph;
+using schema::EntityTypeId;
+
+class LintProperty : public ::testing::Test {
+ protected:
+  LintProperty()
+      : schema_(schema::make_full_schema()),
+        clock_(0, 1),
+        db_(schema_, clock_),
+        registry_(schema_) {
+    // Every tool type gets a trivial deterministic encapsulation, so a
+    // lint-clean flow is executable end to end.
+    for (const EntityTypeId id : schema_.all()) {
+      if (!schema_.is_tool(id) || schema_.is_abstract(id)) continue;
+      tools::Encapsulation enc;
+      enc.name = schema_.entity_name(id) + ".stub";
+      enc.tool_type = id;
+      enc.fn = [](const tools::ToolContext& ctx) {
+        tools::ToolOutput out;
+        // Emit every product any rule could ask of this tool; extras are
+        // ignored by the executor.
+        for (const auto& [type_name, payload] : kAllProducts) {
+          out.set(type_name, payload);
+        }
+        (void)ctx;
+        return out;
+      };
+      registry_.register_encapsulation(std::move(enc));
+    }
+  }
+
+  /// Products covering every data type the full schema can construct.
+  static const std::vector<std::pair<std::string, std::string>> kAllProducts;
+
+  /// Imports one instance of every *source* entity type (concrete, no
+  /// construction rule), so leaves are always bindable.
+  void import_sources() {
+    for (const EntityTypeId id : schema_.all()) {
+      if (schema_.is_abstract(id) || !schema_.is_source(id)) continue;
+      sources_[id.value()] = db_.import_instance(
+          id, schema_.entity_name(id) + "_src", "payload", "prop");
+    }
+  }
+
+  /// Grows a random flow: start at a random constructible goal, then a
+  /// few random expand/specialize moves, then bind every leaf that has an
+  /// imported instance.
+  TaskGraph random_flow(std::mt19937& rng) {
+    std::vector<EntityTypeId> goals;
+    for (const EntityTypeId id : schema_.all()) {
+      if (schema_.is_abstract(id) || schema_.is_source(id) ||
+          schema_.is_tool(id)) {
+        continue;
+      }
+      goals.push_back(id);
+    }
+    TaskGraph flow(schema_, "prop");
+    flow.add_node(goals[rng() % goals.size()]);
+    for (int step = 0; step < 8; ++step) {
+      const auto nodes = flow.nodes();
+      const NodeId n = nodes[rng() % nodes.size()];
+      const graph::Node& node = flow.node(n);
+      try {
+        if (schema_.is_abstract(node.type)) {
+          const auto concrete = schema_.concrete_descendants(node.type);
+          flow.specialize(n, concrete[rng() % concrete.size()]);
+        } else if (!node.expanded && !schema_.is_source(node.type) &&
+                   node.bound.empty()) {
+          graph::ExpandOptions opts;
+          opts.include_optional = (rng() % 4) == 0;
+          flow.expand(n, opts);
+        }
+      } catch (const support::FlowError&) {
+        // Some random moves are illegal (expanding a tool output that is
+        // already wired, cycles); the generator just tries another node.
+      }
+    }
+    for (const NodeId n : flow.nodes()) {
+      const graph::Node& node = flow.node(n);
+      if (!flow.is_leaf(n) || !node.bound.empty()) continue;
+      const auto it = sources_.find(node.type.value());
+      if (it != sources_.end()) flow.bind(n, it->second);
+    }
+    return flow;
+  }
+
+  /// The combined static verdict the property gates on.
+  bool lint_clean(const TaskGraph& flow) {
+    FlowLintOptions options;
+    options.db = &db_;
+    options.tools = &registry_;
+    LintReport report = lint_flow(flow, options);
+    report.merge(lint_plan(flow, {.parallel = true}));
+    return report.severity() != Severity::kError;
+  }
+
+  schema::TaskSchema schema_;
+  support::ManualClock clock_;
+  history::HistoryDb db_;
+  tools::ToolRegistry registry_;
+  std::unordered_map<std::uint32_t, InstanceId> sources_;
+};
+
+const std::vector<std::pair<std::string, std::string>>
+    LintProperty::kAllProducts = {
+        {"DeviceModels", "m"},   {"EditedNetlist", "n"},
+        {"ExtractedNetlist", "n"}, {"PlacedLayout", "l"},
+        {"EditedLayout", "l"},   {"Performance", "p"},
+        {"Statistics", "s"},     {"Verification", "v"},
+        {"PerformancePlot", "g"}, {"SwitchPerformance", "p"},
+        {"SwitchStatistics", "s"}, {"CompiledSimulator", "x"},
+        {"SynthesizedNetlist", "n"}, {"RoutedLayout", "l"},
+        {"PerformanceDiff", "d"}, {"OptimizedNetlist", "n"},
+        {"LogicView", "lv"},
+};
+
+TEST_F(LintProperty, ErrorFreeFlowsSurviveCheckAndGrouping) {
+  import_sources();
+  std::mt19937 rng(20260807);
+  int clean_flows = 0;
+  for (int round = 0; round < 200; ++round) {
+    const TaskGraph flow = random_flow(rng);
+    if (!lint_clean(flow)) continue;
+    ++clean_flows;
+    // The analyzer said "no errors": the structural machinery must agree.
+    EXPECT_NO_THROW(flow.check());
+    EXPECT_NO_THROW((void)flow.task_groups());
+  }
+  // The generator is gentle; most of its flows should pass lint.
+  EXPECT_GT(clean_flows, 100);
+}
+
+TEST_F(LintProperty, ErrorFreeFullyBoundFlowsExecute) {
+  import_sources();
+  std::mt19937 rng(42);
+  int executed = 0;
+  for (int round = 0; round < 60 && executed < 25; ++round) {
+    const TaskGraph flow = random_flow(rng);
+    if (!flow.unbound_leaves().empty()) continue;
+    if (!lint_clean(flow)) continue;
+    exec::Executor executor(db_, registry_);
+    exec::ExecOptions options;
+    options.parallel = (round % 2) == 0;
+    try {
+      (void)executor.run(flow, options);
+      ++executed;
+    } catch (const support::ExecError&) {
+      // A tool refusing its input is outside lint's contract.
+      ++executed;
+    } catch (const support::HercError& e) {
+      ADD_FAILURE() << "lint-clean flow failed structurally: " << e.what()
+                    << "\n" << flow.save();
+    }
+  }
+  EXPECT_GT(executed, 0);
+}
+
+}  // namespace
+}  // namespace herc::analyze

@@ -20,7 +20,7 @@ TEST(Schema, EntityDeclarationBasics) {
   EXPECT_EQ(s.entity_name(tool), "Tool");
   EXPECT_EQ(s.find("Tool"), tool);
   EXPECT_FALSE(s.find("Missing").valid());
-  EXPECT_THROW(s.require("Missing"), SchemaError);
+  EXPECT_THROW((void)s.require("Missing"), SchemaError);
   EXPECT_EQ(s.size(), 2u);
 }
 
@@ -226,8 +226,8 @@ TEST(Schema, DotRenderingMentionsEveryEntity) {
 
 TEST(Schema, InvalidIdIsRejected) {
   const TaskSchema s = make_fig1_schema();
-  EXPECT_THROW(s.entity(EntityTypeId()), SchemaError);
-  EXPECT_THROW(s.entity(EntityTypeId(9999)), SchemaError);
+  EXPECT_THROW((void)s.entity(EntityTypeId()), SchemaError);
+  EXPECT_THROW((void)s.entity(EntityTypeId(9999)), SchemaError);
 }
 
 }  // namespace

@@ -157,7 +157,7 @@ TEST(BlobStore, DeduplicatesContent) {
   EXPECT_EQ(store.bytes_stored(), 12u);   // "payload" + "other"
   EXPECT_EQ(store.bytes_logical(), 19u);  // 7 + 7 + 5
   EXPECT_TRUE(store.contains(k3));
-  EXPECT_THROW(store.get("0000000000000000"), HistoryError);
+  EXPECT_THROW((void)store.get("0000000000000000"), HistoryError);
 }
 
 TEST(BlobStore, PersistenceRoundTripAndCorruption) {

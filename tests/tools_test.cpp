@@ -25,7 +25,7 @@ TEST(Registry, RegistersAndResolves) {
   EXPECT_EQ(registry.resolve(schema.require("Placer")).name,
             "Placer.default");
   EXPECT_FALSE(registry.has(schema.require("Verifier")));
-  EXPECT_THROW(registry.resolve(schema.require("Verifier")), ExecError);
+  EXPECT_THROW((void)registry.resolve(schema.require("Verifier")), ExecError);
 }
 
 TEST(Registry, RejectsBadRegistrations) {
@@ -124,10 +124,10 @@ TEST(ToolContext, LookupByRoleTypeAndSubtype) {
   EXPECT_EQ(ctx.payload("Netlist"), "p1");
   EXPECT_TRUE(ctx.has_input("Netlist"));
   EXPECT_FALSE(ctx.has_input("Layout"));
-  EXPECT_THROW(ctx.input("Layout"), ExecError);
+  EXPECT_THROW((void)ctx.input("Layout"), ExecError);
   // Sets refuse the single-payload accessor.
   ctx.inputs[0].payloads.push_back("p2");
-  EXPECT_THROW(ctx.payload("seed"), ExecError);
+  EXPECT_THROW((void)ctx.payload("seed"), ExecError);
   // Argument defaults.
   ctx.args["k"] = "v";
   EXPECT_EQ(ctx.arg("k"), "v");
