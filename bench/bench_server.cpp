@@ -1,0 +1,153 @@
+// Server benchmark: wire round-trip latency, query throughput as clients
+// scale, pipelining gain, and mixed read/write throughput under the
+// reader-writer lock.  Emits machine-readable results to
+// BENCH_server.json in the working directory (EXPERIMENTS S10).
+//
+// The headline claims: queries scale with client count (shared lock, no
+// serialization), and pipelining amortizes the round trip.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "schema/standard_schemas.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace herc;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// `ops` synchronous `entities` round-trips per client, `clients` clients;
+/// returns aggregate queries per second.
+double query_throughput(const server::Endpoint& endpoint, int clients,
+                        int ops, std::atomic<int>& errors) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      server::Client client = server::Client::connect(endpoint);
+      for (int i = 0; i < ops; ++i) {
+        if (!client.call("entities").ok()) ++errors;
+      }
+      client.close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = ms_since(start);
+  return clients * ops / elapsed * 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  core::DesignSession session(schema::make_full_schema());
+  server::Server server(session);
+  const server::Endpoint endpoint =
+      server.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+  server.start();
+
+  constexpr int kOps = 400;
+  constexpr int kPipelined = 2000;
+  std::atomic<int> errors{0};
+
+  // Round-trip latency, one quiet client.
+  double round_trip_us = 0;
+  {
+    server::Client client = server::Client::connect(endpoint);
+    for (int i = 0; i < 50; ++i) (void)client.call("echo warm");
+    const auto start = Clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      if (!client.call("echo x").ok()) ++errors;
+    }
+    round_trip_us = ms_since(start) * 1000.0 / kOps;
+    client.close();
+  }
+
+  // Same command stream, pipelined: send everything, then drain.
+  double pipelined_us = 0;
+  {
+    server::Client client = server::Client::connect(endpoint);
+    const auto start = Clock::now();
+    for (int i = 0; i < kPipelined; ++i) client.send("echo x");
+    for (int i = 0; i < kPipelined; ++i) {
+      if (!client.receive().ok()) ++errors;
+    }
+    pipelined_us = ms_since(start) * 1000.0 / kPipelined;
+    client.close();
+  }
+
+  // Query throughput as clients scale (shared lock: should not collapse).
+  const std::vector<int> kClientCounts = {1, 2, 4, 8};
+  std::vector<double> qps;
+  qps.reserve(kClientCounts.size());
+  for (const int clients : kClientCounts) {
+    qps.push_back(query_throughput(endpoint, clients, kOps, errors));
+  }
+
+  // Mixed load: 8 clients, one import (exclusive lock) per 4 queries.
+  double mixed_ops_per_s = 0;
+  {
+    constexpr int kClients = 8;
+    constexpr int kMixedOps = 200;
+    std::vector<std::thread> threads;
+    const auto start = Clock::now();
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        server::Client client = server::Client::connect(endpoint);
+        for (int i = 0; i < kMixedOps; ++i) {
+          const bool write = i % 4 == 0;
+          const server::CallResult result =
+              write ? client.call("import Stimuli m" + std::to_string(c) +
+                                      "_" + std::to_string(i),
+                                  "stimuli m\nwave in 0:0 100:1\n")
+                    : client.call("entities");
+          if (!result.ok()) ++errors;
+        }
+        client.close();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    mixed_ops_per_s = kClients * kMixedOps / ms_since(start) * 1000.0;
+  }
+
+  server.stop();
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "bench_server: %d command(s) failed\n",
+                 errors.load());
+    return 1;
+  }
+
+  std::ofstream json("BENCH_server.json", std::ios::trunc);
+  json << "{\n"
+       << "  \"round_trip_us\": " << round_trip_us << ",\n"
+       << "  \"pipelined_us_per_cmd\": " << pipelined_us << ",\n"
+       << "  \"pipelining_speedup\": " << round_trip_us / pipelined_us
+       << ",\n";
+  for (std::size_t i = 0; i < kClientCounts.size(); ++i) {
+    json << "  \"query_qps_" << kClientCounts[i] << "_clients\": " << qps[i]
+         << ",\n";
+  }
+  json << "  \"mixed_rw_ops_per_s_8_clients\": " << mixed_ops_per_s << "\n"
+       << "}\n";
+  json.close();
+
+  std::printf("bench_server: round-trip %.1fus, pipelined %.1fus/cmd\n",
+              round_trip_us, pipelined_us);
+  for (std::size_t i = 0; i < kClientCounts.size(); ++i) {
+    std::printf("  %d client(s): %.0f queries/s\n", kClientCounts[i], qps[i]);
+  }
+  std::printf("  mixed 8 clients: %.0f ops/s\n", mixed_ops_per_s);
+  return 0;
+}

@@ -1,0 +1,316 @@
+// `herc`: the networked front end — serve a shared design, connect to it,
+// audit and resume its store.
+//
+//   herc serve <store-dir> [--listen <addr>]... [--schema <ref>]
+//       Owns the durable store and serves it to many clients.  <addr> is
+//       host:port (":0" = ephemeral localhost port, printed on stdout) or
+//       unix:/path; default 127.0.0.1:7117.  An existing store supplies
+//       its own schema; a fresh one uses --schema (fig1|fig2|full|file,
+//       default full).  SIGTERM/SIGINT stop gracefully: in-flight runs
+//       are cancelled but stay open, partials are quarantined, runs are
+//       sealed, the journal synced — `herc fsck` then reports the store
+//       clean and `herc resume` finishes the work.
+//
+//   herc connect <addr> [--retry N] [-e <command>]... [script.hcl]
+//       Remote REPL / script runner over the wire protocol.  With -e or a
+//       script the exit code is the worst result severity (0 clean,
+//       1 warnings, 2 error) — same convention as fsck and lint.
+//
+//   herc fsck <dir> [--repair]      offline store audit (exit 0/1/2)
+//   herc resume <store-dir>         finish every interrupted run
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cli/interpreter.hpp"
+#include "core/session.hpp"
+#include "schema/schema_io.hpp"
+#include "schema/standard_schemas.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "storage/fsck.hpp"
+#include "storage/store.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+herc::schema::TaskSchema load_schema(const std::string& ref) {
+  if (ref == "fig1") return herc::schema::make_fig1_schema();
+  if (ref == "fig2") return herc::schema::make_fig2_schema();
+  if (ref == "full") return herc::schema::make_full_schema();
+  return herc::schema::parse_schema(slurp(ref));
+}
+
+/// The session a store-facing subcommand works on: an existing store
+/// dictates the schema (its schema.herc), a fresh one takes `schema_ref`.
+std::unique_ptr<herc::core::DesignSession> open_session(
+    const std::string& dir, const std::string& schema_ref) {
+  herc::schema::TaskSchema schema =
+      herc::storage::DurableHistory::exists(dir)
+          ? herc::schema::parse_schema(slurp(dir + "/schema.herc"))
+          : load_schema(schema_ref);
+  auto session =
+      std::make_unique<herc::core::DesignSession>(std::move(schema));
+  const herc::storage::RecoveryReport report = session->open_storage(dir);
+  std::cout << (report.created ? "store created at " : "store opened at ")
+            << dir;
+  if (report.interrupted_runs > 0) {
+    std::cout << " (" << report.interrupted_runs << " interrupted run(s), "
+              << report.quarantined << " partial(s) quarantined)";
+  }
+  std::cout << "\n";
+  return session;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "usage: herc serve <store-dir> [--listen <addr>]..."
+                 " [--schema <fig1|fig2|full|file>]\n";
+    return 2;
+  }
+  const std::string dir = args[0];
+  std::vector<std::string> listen_specs;
+  std::string schema_ref = "full";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--listen" && i + 1 < args.size()) {
+      listen_specs.push_back(args[++i]);
+    } else if (args[i] == "--schema" && i + 1 < args.size()) {
+      schema_ref = args[++i];
+    } else {
+      std::cerr << "serve: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  if (listen_specs.empty()) listen_specs.emplace_back("127.0.0.1:7117");
+
+  const std::unique_ptr<herc::core::DesignSession> session =
+      open_session(dir, schema_ref);
+  herc::server::Server server(*session);
+  for (const std::string& spec : listen_specs) {
+    const herc::server::Endpoint bound =
+        server.add_listener(herc::server::Endpoint::parse(spec));
+    std::cout << "listening on " << bound.describe() << "\n";
+  }
+
+  // Graceful stop on SIGTERM/SIGINT, delivered through a self-pipe so the
+  // handler does nothing signal-unsafe.
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "serve: cannot create the signal pipe\n";
+    return 2;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  server.start();
+  std::cout << "serving; SIGTERM or SIGINT stops gracefully" << std::endl;
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "shutting down..." << std::endl;
+  server.stop();
+  const auto& stats = server.stats();
+  std::cout << "served " << stats.commands_executed.load() << " command(s) on "
+            << stats.connections_accepted.load() << " connection(s); "
+            << session->db().open_runs().size()
+            << " open run(s) sealed for resume\n";
+  return 0;
+}
+
+/// One scripted/interactive command round-trip; returns its exit code.
+int roundtrip(herc::server::Client& client, const std::string& line,
+              const std::string& body, std::ostream& out) {
+  const herc::server::CallResult result = client.call(line, body);
+  out << result.output;
+  if (!result.ok() && !result.error.empty()) {
+    // The human-readable output already carries "error: ..." for
+    // interpreter failures; server-side refusals arrive only here.
+    if (result.output.find(result.error) == std::string::npos) {
+      out << "error: " << result.error << "\n";
+    }
+  }
+  return result.exit_code();
+}
+
+int cmd_connect(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "usage: herc connect <addr> [--retry N] [-e <command>]..."
+                 " [script.hcl]\n";
+    return 2;
+  }
+  const herc::server::Endpoint endpoint =
+      herc::server::Endpoint::parse(args[0]);
+  std::vector<std::string> commands;
+  std::string script;
+  int retries = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-e" && i + 1 < args.size()) {
+      commands.push_back(args[++i]);
+    } else if (args[i] == "--retry" && i + 1 < args.size()) {
+      retries = std::stoi(args[++i]);
+    } else if (script.empty()) {
+      script = args[i];
+    } else {
+      std::cerr << "connect: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+
+  herc::server::Client client;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      client = herc::server::Client::connect(endpoint);
+      break;
+    } catch (const herc::support::NetError& e) {
+      if (attempt >= retries) {
+        std::cerr << "connect: " << e.what() << "\n";
+        return 2;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+
+  int exit = 0;
+  const auto run_line = [&](const std::string& line,
+                            const std::string& body) {
+    exit = std::max(exit, roundtrip(client, line, body, std::cout));
+  };
+
+  if (!commands.empty() || !script.empty()) {
+    for (const std::string& line : commands) run_line(line, "");
+    if (!script.empty()) {
+      // Same line/heredoc syntax as local scripts, shipped over the wire.
+      const std::string text = slurp(script);
+      std::istringstream in(text);
+      std::string line;
+      while (std::getline(in, line)) {
+        std::string body;
+        const std::size_t marker = line.rfind("<<");
+        if (marker != std::string::npos) {
+          const std::string token = line.substr(marker + 2);
+          line = line.substr(0, marker);
+          std::string body_line;
+          while (std::getline(in, body_line) && body_line != token) {
+            body += body_line;
+            body += '\n';
+          }
+        }
+        run_line(line, body);
+      }
+    }
+    return exit;
+  }
+
+  std::cout << "connected to " << endpoint.describe() << " —"
+            << client.banner() << "; 'quit' exits\n";
+  std::string line;
+  while (true) {
+    std::cout << "herc> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string body;
+    const std::size_t marker = line.rfind("<<");
+    if (marker != std::string::npos) {
+      const std::string token = line.substr(marker + 2);
+      line = line.substr(0, marker);
+      std::string body_line;
+      while (std::getline(std::cin, body_line) && body_line != token) {
+        body += body_line;
+        body += '\n';
+      }
+    }
+    if (line == "quit" || line == "exit") break;
+    try {
+      run_line(line, body);
+    } catch (const herc::support::NetError& e) {
+      std::cerr << "connection lost: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int cmd_fsck(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2 ||
+      (args.size() == 2 && args[1] != "--repair")) {
+    std::cerr << "usage: herc fsck <dir> [--repair]\n";
+    return 2;
+  }
+  herc::storage::FsckOptions options;
+  options.repair = args.size() == 2;
+  const herc::storage::FsckReport report =
+      herc::storage::fsck_store(args[0], options);
+  std::cout << report.render();
+  return report.exit_code();
+}
+
+int cmd_resume(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "usage: herc resume <store-dir>\n";
+    return 2;
+  }
+  const std::unique_ptr<herc::core::DesignSession> session =
+      open_session(args[0], "full");
+  int exit = 0;
+  while (true) {
+    const auto open = session->db().open_runs();
+    if (open.empty()) break;
+    const std::uint64_t id = open.front()->id;
+    const herc::exec::ExecResult result = session->resume_run(id);
+    std::cout << "resumed run #" << id << ": " << result.tasks_run
+              << " task(s) ran, " << result.tasks_reused << " reused";
+    if (!result.complete()) {
+      std::cout << " — " << result.tasks_failed << " failed, "
+                << result.tasks_skipped << " skipped";
+      exit = 2;
+    }
+    std::cout << "\n";
+  }
+  if (exit == 0) std::cout << "no interrupted runs remain\n";
+  return exit;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: herc <serve|connect|fsck|resume> ...\n";
+    return 2;
+  }
+  const std::string verb = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (verb == "serve") return cmd_serve(args);
+    if (verb == "connect") return cmd_connect(args);
+    if (verb == "fsck") return cmd_fsck(args);
+    if (verb == "resume") return cmd_resume(args);
+  } catch (const std::exception& e) {
+    std::cerr << "herc " << verb << ": " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "herc: unknown subcommand '" << verb << "'\n";
+  return 2;
+}

@@ -1,7 +1,10 @@
 #include "analyze/diagnostic.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
 namespace herc::analyze {
 
@@ -95,12 +98,22 @@ std::string LintReport::render() const {
 }
 
 std::string LintReport::render_json() const {
+  // Machine-readable output is sorted so diffs and golden files are stable
+  // no matter which order the lint passes emitted their findings in.  The
+  // human rendering above keeps emission order, which follows pass order
+  // and reads more naturally.
+  std::vector<Diagnostic> sorted = diagnostics_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.code, a.location, a.message, a.severity) <
+                     std::tie(b.code, b.location, b.message, b.severity);
+            });
   std::ostringstream out;
   out << "{\"subject\":\"" << json_escape(subject_) << "\",\"severity\":\""
       << support::to_string(severity()) << "\",\"exit_code\":" << exit_code()
       << ",\"diagnostics\":[";
   bool first = true;
-  for (const Diagnostic& d : diagnostics_) {
+  for (const Diagnostic& d : sorted) {
     if (!first) out << ",";
     first = false;
     out << "{\"code\":\"" << json_escape(d.code) << "\",\"severity\":\""

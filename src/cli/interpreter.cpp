@@ -62,10 +62,60 @@ schema::TaskSchema builtin_schema(const std::string& name) {
 
 }  // namespace
 
+CommandAccess command_access(std::string_view line) {
+  const std::vector<std::string> args =
+      support::split_ws(support::trim(line));
+  if (args.empty() || args[0][0] == '#') return CommandAccess::kRead;
+  const std::string& cmd = args[0];
+  // Pure queries and renderings over shared state.
+  if (cmd == "echo" || cmd == "help" || cmd == "quit" || cmd == "exit" ||
+      cmd == "entities" || cmd == "tools" || cmd == "plans" ||
+      cmd == "runs" || cmd == "failures" || cmd == "browse" ||
+      cmd == "find" || cmd == "history" || cmd == "uses" || cmd == "trace" ||
+      cmd == "versions" || cmd == "payload" || cmd == "stale") {
+    return CommandAccess::kRead;
+  }
+  if (cmd == "schema") {
+    return args.size() > 1 && args[1] == "show" ? CommandAccess::kRead
+                                                : CommandAccess::kWrite;
+  }
+  // Flow building mutates only the interpreter's own workspace;
+  // `save-plan` publishes into the session's shared flow catalog.
+  if (cmd == "flow") {
+    return args.size() > 1 && args[1] == "save-plan" ? CommandAccess::kWrite
+                                                     : CommandAccess::kRead;
+  }
+  if (cmd == "lint") {
+    // `lint store` syncs the open store's journal first; the others only
+    // read the schema / a workspace flow.
+    return args.size() > 1 && args[1] == "store" ? CommandAccess::kWrite
+                                                 : CommandAccess::kRead;
+  }
+  if (cmd == "session") {
+    return args.size() > 1 && args[1] == "save" ? CommandAccess::kRead
+                                                : CommandAccess::kWrite;
+  }
+  // Everything else — import, run, resume, auto, annotate, retrace,
+  // decompose, open, store, checkpoint, fsck (journal sync) — mutates, and
+  // so does any command this classifier has never heard of.
+  return CommandAccess::kWrite;
+}
+
 Interpreter::Interpreter(std::ostream& out)
     : out_(&out),
-      session_(std::make_unique<core::DesignSession>(
-          schema::make_full_schema())) {}
+      owned_(std::make_unique<core::DesignSession>(
+          schema::make_full_schema())),
+      session_(owned_.get()) {}
+
+Interpreter::Interpreter(std::ostream& out, core::DesignSession& session)
+    : out_(&out), session_(&session), shared_session_(true) {}
+
+void Interpreter::refuse_when_shared(const std::string& what) const {
+  if (!shared_session_) return;
+  throw UsageError("'" + what + "' is not available on a shared session: "
+                   "it would replace or detach state other clients are "
+                   "using");
+}
 
 CommandStatus Interpreter::execute(std::string_view line,
                                    std::string payload) {
@@ -74,11 +124,14 @@ CommandStatus Interpreter::execute(std::string_view line,
   const Args args = support::split_ws(body);
   if (args.empty()) return CommandStatus::kOk;
   if (args[0] == "quit" || args[0] == "exit") return CommandStatus::kQuit;
+  last_severity_ = support::Severity::kClean;
   try {
     dispatch(args, payload);
-    return CommandStatus::kOk;
+    return last_severity_ == support::Severity::kError ? CommandStatus::kError
+                                                       : CommandStatus::kOk;
   } catch (const std::exception& e) {
     last_error_ = e.what();
+    last_severity_ = support::Severity::kError;
     *out_ << "error: " << e.what() << "\n";
     return CommandStatus::kError;
   }
@@ -233,9 +286,11 @@ void Interpreter::dispatch(const Args& args, const std::string& payload) {
 
 void Interpreter::cmd_session(const Args& args) {
   if (args.size() >= 3 && args[1] == "new") {
+    refuse_when_shared("session new");
     const std::string user = args.size() > 3 ? args[3] : "designer";
-    session_ = std::make_unique<core::DesignSession>(builtin_schema(args[2]),
-                                                     user);
+    owned_ = std::make_unique<core::DesignSession>(builtin_schema(args[2]),
+                                                   user);
+    session_ = owned_.get();
     flows_.clear();
     *out_ << "session over schema '" << session_->schema().name()
           << "' for user '" << user << "'\n";
@@ -245,7 +300,9 @@ void Interpreter::cmd_session(const Args& args) {
     write_file(args[2], session_->save());
     *out_ << "session saved to " << args[2] << "\n";
   } else if (args.size() == 3 && args[1] == "load") {
-    session_ = core::DesignSession::load(read_file(args[2]));
+    refuse_when_shared("session load");
+    owned_ = core::DesignSession::load(read_file(args[2]));
+    session_ = owned_.get();
     flows_.clear();
     *out_ << "session loaded: " << session_->db().size() << " instances\n";
   } else {
@@ -257,6 +314,7 @@ void Interpreter::cmd_session(const Args& args) {
 void Interpreter::cmd_open(const Args& args) {
   static const char* kUsage =
       "open <dir> [sync=none|interval|commit] [every=N]";
+  refuse_when_shared("open");
   if (args.size() < 2) usage(kUsage);
   storage::StoreOptions options;
   for (std::size_t i = 2; i < args.size(); ++i) {
@@ -355,6 +413,12 @@ void Interpreter::cmd_resume(const Args& args) {
           << result.tasks_skipped << " skipped";
   }
   *out_ << ")\n";
+  if (!result.complete()) {
+    last_error_ = "resume incomplete: " +
+                  std::to_string(result.tasks_failed) + " failed, " +
+                  std::to_string(result.tasks_skipped) + " skipped";
+    last_severity_ = support::Severity::kError;
+  }
 }
 
 void Interpreter::cmd_fsck(const Args& args) {
@@ -389,6 +453,9 @@ void Interpreter::cmd_fsck(const Args& args) {
   if (report.severity() == storage::FsckSeverity::kCorruption) {
     throw support::HistoryError("fsck: corruption detected in '" + args[1] +
                                 "' (see report above)");
+  }
+  if (report.severity() == storage::FsckSeverity::kWarning) {
+    last_severity_ = support::Severity::kWarning;
   }
 }
 
@@ -495,10 +562,14 @@ void Interpreter::cmd_lint(const Args& args) {
     throw HercError("lint: errors in " + report.subject() +
                     " (see report above)");
   }
+  if (report.severity() == support::Severity::kWarning) {
+    last_severity_ = support::Severity::kWarning;
+  }
 }
 
 void Interpreter::cmd_store(const Args& args) {
   if (args.size() == 2 && args[1] == "close") {
+    refuse_when_shared("store close");
     if (session_->storage() == nullptr) {
       *out_ << "no store open\n";
       return;
@@ -651,7 +722,7 @@ void Interpreter::cmd_flow(const Args& args) {
 void Interpreter::cmd_run(const Args& args) {
   static const char* kUsage =
       "run <f> [parallel] [reuse] [continue|besteffort] [retries=N] "
-      "[timeout=MS] [backoff=MS]";
+      "[timeout=MS] [backoff=MS] [latency=MS]";
   if (args.size() < 2) usage(kUsage);
   TaskGraph& flow = flow_ref(args[1]);
   exec::ExecOptions options;
@@ -680,6 +751,11 @@ void Interpreter::cmd_run(const Args& args) {
       options.fault.timeout = std::chrono::milliseconds(uint_arg(args[i], 8));
     } else if (args[i].rfind("backoff=", 0) == 0) {
       options.fault.backoff = std::chrono::milliseconds(uint_arg(args[i], 8));
+    } else if (args[i].rfind("latency=", 0) == 0) {
+      // Artificial per-task latency: emulates slow external tools, which
+      // is how tests and the server smoke script hold a run in flight long
+      // enough to interrupt it.
+      options.task_latency = std::chrono::milliseconds(uint_arg(args[i], 8));
     } else {
       usage(kUsage);
     }
@@ -710,6 +786,13 @@ void Interpreter::cmd_run(const Args& args) {
       if (!outcome.errors.empty()) *out_ << ": " << outcome.errors.front();
       *out_ << "\n";
     }
+    // The details are already printed; the command itself still failed —
+    // scripts and the shell's exit code must see an incomplete run as an
+    // error, not a success with sad output.
+    last_error_ = "run incomplete: " + std::to_string(result.tasks_failed) +
+                  " failed, " + std::to_string(result.tasks_skipped) +
+                  " skipped";
+    last_severity_ = support::Severity::kError;
   }
 }
 
@@ -856,7 +939,7 @@ void Interpreter::cmd_help() {
       "flow bind <f> <node> <iN...> | unbind <f> <node>\n"
       "flow show|lisp|dot|bipartite|save-plan <f>\n"
       "run <f> [parallel] [reuse] [continue|besteffort] [retries=N]\n"
-      "    [timeout=MS] [backoff=MS]      auto <Entity> [run]\n"
+      "    [timeout=MS] [backoff=MS] [latency=MS]   auto <Entity> [run]\n"
       "browse <Entity> [keyword=..] [user=..] [uses=iN]\n"
       "find <Entity> [where <path> = iN|\"name\" [and ...]]\n"
       "failures   (failed/skipped/quarantined tasks, with their inputs)\n"

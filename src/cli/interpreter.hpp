@@ -40,6 +40,7 @@
 
 #include "core/session.hpp"
 #include "graph/task_graph.hpp"
+#include "support/severity.hpp"
 
 namespace herc::cli {
 
@@ -50,12 +51,33 @@ enum class CommandStatus {
   kQuit,   ///< a `quit` command was issued
 };
 
+/// Whether a command only reads the session (safe to execute under a
+/// shared lock, many at once) or may mutate it (needs exclusive access).
+/// The server's reader-writer access layer schedules with this; the
+/// classification is by command name, and anything unrecognized is
+/// conservatively a write.
+enum class CommandAccess { kRead, kWrite };
+
+/// Classifies one command line.  Flow-building commands are reads: each
+/// interpreter keeps its own flow workspace, so `flow expand`/`bind` touch
+/// only connection-local state (they read the shared schema and history).
+/// `flow save-plan` publishes into the shared catalog and is a write, as
+/// is anything that records, recovers or reconfigures.
+[[nodiscard]] CommandAccess command_access(std::string_view line);
+
 class Interpreter {
  public:
   /// Output (listings, renderings) goes to `out`.  A default session over
   /// the full schema with user "designer" is created; `session new`
   /// replaces it.
   explicit Interpreter(std::ostream& out);
+
+  /// Shares an externally owned session (the server's): this interpreter
+  /// keeps its own flow workspace but runs every command against
+  /// `session`.  Commands that would swap or detach state other clients
+  /// are using — `session new`, `session load`, `open`, `store close` —
+  /// are refused.  `session` must outlive the interpreter.
+  Interpreter(std::ostream& out, core::DesignSession& session);
 
   /// Executes one command.  `payload` supplies the body for commands that
   /// take one (`import`); scripts provide it via heredocs.
@@ -76,6 +98,15 @@ class Interpreter {
   }
   /// The message of the most recent failed command ("" when none).
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  /// Severity of the most recent command, in the shared fsck/lint exit
+  /// convention: kClean on success, kWarning when the command succeeded
+  /// but its report carried warnings (fsck, lint), kError on failure —
+  /// including a `run`/`resume` that finished with failed or skipped
+  /// tasks.  Shells and the server map this straight onto exit codes and
+  /// the wire's result frame.
+  [[nodiscard]] support::Severity last_severity() const {
+    return last_severity_;
+  }
 
  private:
   using Args = std::vector<std::string>;
@@ -106,10 +137,18 @@ class Interpreter {
 
   void print_instance_line(data::InstanceId id);
 
+  /// Throws when this interpreter shares its session (see the two-arg
+  /// constructor) and `what` names a command that must not run there.
+  void refuse_when_shared(const std::string& what) const;
+
   std::ostream* out_;
-  std::unique_ptr<core::DesignSession> session_;
+  std::unique_ptr<core::DesignSession> owned_;
+  /// `owned_.get()`, or the externally owned shared session.
+  core::DesignSession* session_;
+  bool shared_session_ = false;
   std::map<std::string, graph::TaskGraph> flows_;
   std::string last_error_;
+  support::Severity last_severity_ = support::Severity::kClean;
 };
 
 }  // namespace herc::cli

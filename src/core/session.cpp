@@ -68,6 +68,18 @@ exec::ExecResult DesignSession::resume_run(std::uint64_t run_id) {
   return executor_->resume(run_id);
 }
 
+void DesignSession::set_cancel_flag(const std::atomic<bool>* cancel) {
+  cancel_ = cancel;
+  executor_->set_cancel_flag(cancel);
+}
+
+history::HistoryDb::SealSweep DesignSession::seal_open_runs(
+    std::string_view reason) {
+  const history::HistoryDb::SealSweep sweep = db().seal_open_runs(reason);
+  if (storage_) storage_->sync();
+  return sweep;
+}
+
 InstanceBrowser DesignSession::browse(std::string_view entity) const {
   return InstanceBrowser(db(), schema_.require(entity));
 }
@@ -147,6 +159,7 @@ storage::RecoveryReport DesignSession::open_storage(
   storage_ = std::move(store);
   db_.reset();
   executor_ = std::make_unique<exec::Executor>(storage_->db(), *registry_);
+  executor_->set_cancel_flag(cancel_);
   return storage_->recovery();
 }
 
@@ -162,6 +175,7 @@ void DesignSession::close_storage() {
   db_ = storage_->release();
   storage_.reset();
   executor_ = std::make_unique<exec::Executor>(*db_, *registry_);
+  executor_->set_cancel_flag(cancel_);
 }
 
 std::unique_ptr<DesignSession> DesignSession::load(

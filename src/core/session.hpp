@@ -6,6 +6,7 @@
 // run flows, browse and annotate instances, save/restore the session.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -85,6 +86,21 @@ class DesignSession {
   /// memoization, so only tasks that never finished execute again.
   exec::ExecResult resume_run(std::uint64_t run_id);
 
+  /// Installs a cooperative cancellation flag on the execution engine
+  /// (nullptr detaches).  While the flag reads true every `run`/
+  /// `run_goal`/`resume_run` stops launching task groups and throws
+  /// `exec::RunCancelled`, leaving the run record open and resumable.
+  /// Survives `open_storage`/`close_storage` (which rebuild the executor).
+  /// The flag must outlive this session or be detached first.
+  void set_cancel_flag(const std::atomic<bool>* cancel);
+
+  /// Winds the session down for a graceful stop: quarantines partial
+  /// products of every still-open run, seals each run's sweep window and
+  /// syncs the journal (when a store is attached), so the store on disk is
+  /// fsck-clean and every interrupted run resumable.  Safe with no open
+  /// runs (reports zeros).
+  history::HistoryDb::SealSweep seal_open_runs(std::string_view reason);
+
   [[nodiscard]] InstanceBrowser browse(std::string_view entity) const;
   void annotate(data::InstanceId id, std::string_view name,
                 std::string_view comment);
@@ -131,6 +147,8 @@ class DesignSession {
   std::unique_ptr<tools::ToolRegistry> registry_;
   std::unique_ptr<catalog::FlowCatalog> flow_catalog_;
   std::unique_ptr<exec::Executor> executor_;
+  /// Re-applied whenever the executor is rebuilt (storage open/close).
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace herc::core

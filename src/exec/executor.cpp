@@ -68,7 +68,18 @@ struct RunState {
   /// Live node id -> the dense id `TaskGraph::save()` assigns, so task
   /// keys journaled now match the flow text a resume reloads.
   std::unordered_map<std::uint32_t, std::uint32_t> compact;
+  /// Cooperative cancellation flag (`Executor::set_cancel_flag`); null
+  /// when cancellation is not wired up.
+  const std::atomic<bool>* cancel = nullptr;
 };
+
+/// True once the installed cancellation flag requests a stop.  Relaxed is
+/// enough: the flag is a pure go/no-go signal and every durable effect the
+/// scheduler produces is ordered by `state.mutex` / the journal anyway.
+bool cancel_requested(const RunState& state) {
+  return state.cancel != nullptr &&
+         state.cancel->load(std::memory_order_relaxed);
+}
 
 /// Stable identity of a task group inside the run's saved flow: compact id
 /// plus entity name of the primary output.  The compact map covers every
@@ -698,6 +709,15 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
   if (!options.parallel || groups.size() < 2) {
     std::vector<std::string> failures;
     for (std::size_t g = 0; g < groups.size(); ++g) {
+      // Cancellation is checked before the task-started frame lands: an
+      // unstarted group leaves no journal trace, so resume re-plans it
+      // cleanly instead of treating it as an in-flight casualty.
+      if (cancel_requested(state)) {
+        throw RunCancelled("flow '" + state.flow->name() +
+                           "': run cancelled after " + std::to_string(g) +
+                           " of " + std::to_string(groups.size()) +
+                           " task groups; resumable");
+      }
       journal_task_started(state, groups[g]);
       const std::string reason =
           skip_reason(state, groups, dag, status, g);
@@ -733,7 +753,8 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
   std::condition_variable cv;
   std::deque<std::size_t> ready;
   std::size_t completed = 0;
-  bool abort = false;  // fail-fast: stop dequeuing, workers drain out
+  bool abort = false;   // fail-fast: stop dequeuing, workers drain out
+  bool halted = false;  // cooperative cancellation: stop dequeuing, run stays open
   std::vector<std::string> failures;
   std::vector<std::size_t> indeg = dag.indeg;
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -753,9 +774,20 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
         {
           std::unique_lock lock(sched_mutex);
           cv.wait(lock, [&] {
-            return !ready.empty() || completed == groups.size() || abort;
+            return !ready.empty() || completed == groups.size() || abort ||
+                   halted;
           });
-          if (abort || completed == groups.size()) return;
+          if (abort || halted || completed == groups.size()) return;
+          // Checked at dequeue time, like the serial path: groups already
+          // handed to a worker run to completion (their products journal
+          // normally); groups still queued never start.  Liveness holds
+          // because workers blocked in `cv.wait` are woken either by task
+          // completions or by this broadcast.
+          if (cancel_requested(state)) {
+            halted = true;
+            cv.notify_all();
+            return;
+          }
           g = ready.front();
           ready.pop_front();
         }
@@ -820,6 +852,12 @@ ExecResult run_filtered(RunState& state, const std::vector<TaskGroup>& groups) {
   }
   for (std::thread& w : workers) w.join();
   if (fail_fast && !failures.empty()) throw_aggregated(failures);
+  if (halted) {
+    throw RunCancelled("flow '" + state.flow->name() +
+                       "': run cancelled with " + std::to_string(completed) +
+                       " of " + std::to_string(groups.size()) +
+                       " task groups completed; resumable");
+  }
   return std::move(state.result);
 }
 
@@ -862,6 +900,11 @@ ExecResult run_to_completion(RunState& state,
     state.db->end_run(state.run_id,
                       result.complete() ? "complete" : "failed");
     return result;
+  } catch (const RunCancelled&) {
+    // Deliberately NOT closed: a cancelled run is an interrupted run.  The
+    // open record is exactly what `Executor::resume` (and crash recovery's
+    // seal sweep) need to pick the flow back up.
+    throw;
   } catch (...) {
     state.db->end_run(state.run_id, "failed");
     throw;
@@ -929,8 +972,16 @@ ExecResult Executor::run_impl(const TaskGraph& flow,
   state.db = db_;
   state.tools = tools_;
   state.options = &options;
+  state.cancel = cancel_;
   for (const NodeId n : flow.nodes()) {
     if (flow.is_leaf(n)) state.env[n.value()] = flow.bindings(n);
+  }
+  // A cancel raised before the run-begin frame leaves no trace at all — in
+  // particular, a resume's interrupted run is not closed "resumed" for a
+  // replacement that never opened.
+  if (cancel_requested(state)) {
+    throw RunCancelled("flow '" + flow.name() +
+                       "': run cancelled before it started");
   }
   begin_run_intents(state, flow, options, NodeId(), replaces);
   return run_to_completion(state, flow.task_groups());
@@ -995,8 +1046,13 @@ ExecResult Executor::run_goal_impl(const TaskGraph& flow, NodeId goal,
   state.db = db_;
   state.tools = tools_;
   state.options = &options;
+  state.cancel = cancel_;
   for (const NodeId n : keep) {
     if (flow.is_leaf(n)) state.env[n.value()] = flow.bindings(n);
+  }
+  if (cancel_requested(state)) {
+    throw RunCancelled("flow '" + flow.name() +
+                       "': run cancelled before it started");
   }
   // Keep a group when any of its outputs feeds the goal; a multi-output
   // task naturally produces its siblings along the way.

@@ -19,6 +19,7 @@
 // whether such retracing need occur".
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <optional>
 #include <string>
@@ -28,6 +29,7 @@
 #include "graph/task_graph.hpp"
 #include "history/history_db.hpp"
 #include "support/clock.hpp"
+#include "support/error.hpp"
 #include "tools/registry.hpp"
 
 namespace herc::exec {
@@ -143,10 +145,28 @@ struct ExecResult {
   }
 };
 
+/// Thrown when the cooperative cancellation flag (`set_cancel_flag`) stops
+/// a run before every task group was scheduled.  The run record is left
+/// OPEN: a cancelled run is an interrupted run, resumable via
+/// `Executor::resume` exactly like a crash — which is how a serving
+/// process winds down an in-flight flow on SIGTERM without losing it.
+class RunCancelled : public support::ExecError {
+ public:
+  using support::ExecError::ExecError;
+};
+
 class Executor {
  public:
   /// `db` and `tools` must share the flow's schema and outlive the executor.
   Executor(history::HistoryDb& db, const tools::ToolRegistry& tools);
+
+  /// Installs a cooperative cancellation flag (nullptr detaches).  While
+  /// the flag reads true, `run`/`run_goal`/`resume` stop launching task
+  /// groups: tool invocations already in flight finish and journal
+  /// normally, unstarted groups never start, and the call throws
+  /// `RunCancelled` leaving the run record open (resumable).  The flag
+  /// must outlive the executor or be detached first.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
   /// Executes every task of `flow`.  Preconditions: the flow checks
   /// against its schema and every leaf is bound (`FlowError` otherwise).
@@ -186,6 +206,7 @@ class Executor {
 
   history::HistoryDb* db_;
   const tools::ToolRegistry* tools_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 /// Serializes the options a resumed run must reproduce (everything except

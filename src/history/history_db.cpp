@@ -324,6 +324,29 @@ void HistoryDb::apply_run_seal(std::uint64_t run, std::uint32_t sweep_end) {
   run_ref(run).sweep_end = sweep_end;
 }
 
+HistoryDb::SealSweep HistoryDb::seal_open_runs(std::string_view reason) {
+  SealSweep sweep;
+  // Collect ids first: quarantine and seal mutate the records (and notify
+  // the listener) while `open_runs` hands out pointers into `runs_`.
+  std::vector<std::uint64_t> open_ids;
+  std::vector<bool> was_sealed;
+  for (const RunRecord* run : open_runs()) {
+    open_ids.push_back(run->id);
+    was_sealed.push_back(run->sealed());
+  }
+  sweep.open = open_ids.size();
+  if (open_ids.empty()) return sweep;
+  for (const data::InstanceId id : partial_products()) {
+    quarantine(id, reason);
+    ++sweep.quarantined;
+  }
+  for (std::size_t i = 0; i < open_ids.size(); ++i) {
+    seal_run(open_ids[i]);
+    if (!was_sealed[i]) ++sweep.sealed;
+  }
+  return sweep;
+}
+
 void HistoryDb::end_run(std::uint64_t run, std::string_view outcome) {
   apply_run_end(run, outcome);
   if (listener_ != nullptr) {

@@ -160,6 +160,25 @@ class HistoryDb {
   /// the run is resumed.  No-op on an already-sealed run.
   void seal_run(std::uint64_t run);
 
+  /// What `seal_open_runs` did.
+  struct SealSweep {
+    /// Partial products quarantined by the sweep.
+    std::size_t quarantined = 0;
+    /// Open runs whose sweep window was sealed (already-sealed runs are
+    /// counted among `open` but not here).
+    std::size_t sealed = 0;
+    /// Runs still open (and now sealed), resumable via `Executor::resume`.
+    std::size_t open = 0;
+  };
+
+  /// The full interruption sweep: quarantines every open run's partial
+  /// products (`reason` becomes the quarantine comment) and seals every
+  /// open run's sweep window at the current table size.  Crash recovery
+  /// runs this after replay; a serving process runs it on graceful
+  /// shutdown so the store it leaves behind is consistent and resumable
+  /// without any recovery work.  No-op (all zeros) when no run is open.
+  SealSweep seal_open_runs(std::string_view reason);
+
   [[nodiscard]] const std::vector<RunRecord>& runs() const { return runs_; }
   /// The run with `id`, or nullptr.
   [[nodiscard]] const RunRecord* find_run(std::uint64_t id) const;

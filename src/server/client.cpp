@@ -1,0 +1,62 @@
+#include "server/client.hpp"
+
+#include "support/error.hpp"
+
+namespace herc::server {
+
+using support::NetError;
+
+Client Client::connect(const Endpoint& endpoint) {
+  Client client;
+  client.sock_ = connect_to(endpoint);
+  Frame hello;
+  if (!read_frame(client.sock_.fd(), hello) ||
+      hello.type != FrameType::kHello ||
+      hello.payload.rfind(kMagic, 0) != 0) {
+    throw NetError("'" + endpoint.describe() +
+                   "' did not answer with a herc server hello");
+  }
+  client.banner_ = hello.payload.substr(kMagic.size());
+  return client;
+}
+
+void Client::send(std::string_view command, std::string_view body) {
+  if (!sock_.valid()) throw NetError("send: not connected");
+  Frame frame;
+  frame.type = FrameType::kCommand;
+  frame.payload.assign(command);
+  if (!body.empty()) {
+    frame.payload.push_back('\n');
+    frame.payload += body;
+  }
+  write_frame(sock_.fd(), frame);
+}
+
+CallResult Client::receive() {
+  if (!sock_.valid()) throw NetError("receive: not connected");
+  CallResult result;
+  Frame frame;
+  while (true) {
+    if (!read_frame(sock_.fd(), frame)) {
+      throw NetError("server closed the connection before the result");
+    }
+    if (frame.type == FrameType::kOutput) {
+      result.output += frame.payload;
+      continue;
+    }
+    if (frame.type == FrameType::kResult) {
+      const ResultInfo info = decode_result(frame.payload);
+      result.severity = info.severity;
+      result.error = info.error;
+      return result;
+    }
+    throw NetError("unexpected frame type in a reply");
+  }
+}
+
+CallResult Client::call(std::string_view command, std::string_view body) {
+  send(command, body);
+  return receive();
+}
+
+}  // namespace herc::server

@@ -1,0 +1,62 @@
+// `herc::server::Client`: the library side of the wire protocol.
+//
+// `herc connect` wraps it as a remote REPL; tests and the benchmarks
+// drive it directly.  One call = one command; `send`/`receive` expose the
+// pipelined form (many commands in flight, answers strictly in order).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "server/protocol.hpp"
+#include "server/socket.hpp"
+#include "support/severity.hpp"
+
+namespace herc::server {
+
+/// One command's reply: printed output plus the structured error channel.
+struct CallResult {
+  support::Severity severity = support::Severity::kClean;
+  std::string error;   ///< empty unless severity is kError
+  std::string output;  ///< what the command printed
+  [[nodiscard]] bool ok() const {
+    return severity != support::Severity::kError;
+  }
+  /// The shared fsck/lint exit-code convention.
+  [[nodiscard]] int exit_code() const { return support::exit_code(severity); }
+};
+
+class Client {
+ public:
+  /// Connects and verifies the server's hello.  Throws
+  /// `support::NetError` on refusal or a non-herc peer.
+  [[nodiscard]] static Client connect(const Endpoint& endpoint);
+
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  [[nodiscard]] bool connected() const { return sock_.valid(); }
+  /// The server's hello banner (after the magic).
+  [[nodiscard]] const std::string& banner() const { return banner_; }
+
+  /// Sends one command without waiting (pipelining).  `body` is the
+  /// heredoc payload for commands that take one.
+  void send(std::string_view command, std::string_view body = "");
+
+  /// Reads one command's reply (output frames + the result frame).
+  /// Throws `support::NetError` when the server vanishes mid-reply.
+  [[nodiscard]] CallResult receive();
+
+  /// send + receive.
+  [[nodiscard]] CallResult call(std::string_view command,
+                                std::string_view body = "");
+
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::string banner_;
+};
+
+}  // namespace herc::server

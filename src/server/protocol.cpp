@@ -1,0 +1,154 @@
+#include "server/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "support/error.hpp"
+
+namespace herc::server {
+
+using support::NetError;
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;  // EPIPE, not SIGPIPE
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+constexpr std::size_t kHeaderBytes = 5;  // u32 length + u8 type
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32_le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool known_type(unsigned char t) {
+  return t == static_cast<unsigned char>(FrameType::kHello) ||
+         t == static_cast<unsigned char>(FrameType::kCommand) ||
+         t == static_cast<unsigned char>(FrameType::kOutput) ||
+         t == static_cast<unsigned char>(FrameType::kResult);
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Fills `size` bytes.  Returns false when the stream ended before the
+/// first byte (clean EOF); throws when it ended in the middle.
+bool recv_exact(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw NetError("peer closed the connection mid-frame (" +
+                     std::to_string(got) + " of " + std::to_string(size) +
+                     " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw NetError("frame payload of " +
+                   std::to_string(frame.payload.size()) +
+                   " bytes exceeds the " +
+                   std::to_string(kMaxFramePayload) + "-byte limit");
+  }
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  put_u32_le(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.push_back(static_cast<char>(frame.type));
+  out += frame.payload;
+  return out;
+}
+
+void write_frame(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  send_all(fd, wire.data(), wire.size());
+}
+
+bool read_frame(int fd, Frame& frame) {
+  unsigned char header[kHeaderBytes];
+  if (!recv_exact(fd, reinterpret_cast<char*>(header), kHeaderBytes)) {
+    return false;
+  }
+  const std::uint32_t length = get_u32_le(header);
+  if (length > kMaxFramePayload) {
+    throw NetError("frame header announces " + std::to_string(length) +
+                   " bytes (limit " + std::to_string(kMaxFramePayload) +
+                   "); the stream is desynchronized");
+  }
+  if (!known_type(header[4])) {
+    throw NetError("unknown frame type byte " +
+                   std::to_string(static_cast<int>(header[4])));
+  }
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(length);
+  if (length > 0 && !recv_exact(fd, frame.payload.data(), length)) {
+    throw NetError("peer closed the connection before the frame payload");
+  }
+  return true;
+}
+
+CommandPayload split_command(std::string_view payload) {
+  CommandPayload out;
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    out.line.assign(payload);
+  } else {
+    out.line.assign(payload.substr(0, nl));
+    out.body.assign(payload.substr(nl + 1));
+  }
+  return out;
+}
+
+std::string encode_result(support::Severity severity,
+                          std::string_view error) {
+  std::string out;
+  out.push_back(static_cast<char>('0' + support::exit_code(severity)));
+  out += error;
+  return out;
+}
+
+ResultInfo decode_result(std::string_view payload) {
+  if (payload.empty() || payload[0] < '0' || payload[0] > '2') {
+    throw NetError("malformed result frame: missing severity byte");
+  }
+  ResultInfo info;
+  info.severity = support::severity_from_exit(payload[0] - '0');
+  info.error.assign(payload.substr(1));
+  return info;
+}
+
+}  // namespace herc::server

@@ -1,0 +1,88 @@
+// The framed wire protocol between `herc serve` and its clients.
+//
+// The 1993 system's task manager was one process per designer; serving a
+// *shared* design history to a team needs a wire format.  It is kept
+// deliberately small: a stream of length-prefixed frames,
+//
+//   u32 LE payload-length | u8 frame-type | payload bytes
+//
+// over TCP (localhost) or a Unix domain socket.  Four frame types:
+//
+//   kHello   server -> client, once per connection: the magic "HERCNET1"
+//            plus a short banner.  A client that reads anything else is
+//            talking to the wrong port.
+//   kCommand client -> server: one interpreter command line; when the
+//            command carries a heredoc body (`import ... <<END`), the
+//            payload is `line\n` followed by the body.
+//   kOutput  server -> client: the command's printed output (omitted when
+//            the command printed nothing).
+//   kResult  server -> client, exactly one per command: a severity byte in
+//            the shared fsck/lint exit-code convention ('0' clean,
+//            '1' warnings, '2' error) followed by the error message, empty
+//            on success.  The structured error channel — clients decide
+//            their exit code without parsing human-readable output.
+//
+// Commands pipeline: a client may send any number of kCommand frames
+// before reading; the server answers strictly in order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/severity.hpp"
+
+namespace herc::server {
+
+/// First bytes of every kHello payload.
+inline constexpr std::string_view kMagic = "HERCNET1";
+
+/// Frames above this are a protocol violation (a desynchronized or hostile
+/// peer), not a large result: payloads are command lines and text reports.
+inline constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// On-wire frame type byte.
+enum class FrameType : unsigned char {
+  kHello = 'H',
+  kCommand = 'C',
+  kOutput = 'O',
+  kResult = 'R',
+};
+
+struct Frame {
+  FrameType type = FrameType::kCommand;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload).  Throws `support::NetError`
+/// when the payload exceeds `kMaxFramePayload`.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Writes one frame to a connected socket, looping over partial sends and
+/// EINTR.  Throws `support::NetError` when the peer is gone.
+void write_frame(int fd, const Frame& frame);
+
+/// Reads one frame.  Returns false on a clean end-of-stream at a frame
+/// boundary; throws `support::NetError` on a mid-frame disconnect, an
+/// unknown type byte or an oversized length.
+[[nodiscard]] bool read_frame(int fd, Frame& frame);
+
+/// Splits a kCommand payload into the command line and its heredoc body
+/// (empty when the payload has no newline).
+struct CommandPayload {
+  std::string line;
+  std::string body;
+};
+[[nodiscard]] CommandPayload split_command(std::string_view payload);
+
+/// The kResult payload: severity byte + error message.
+[[nodiscard]] std::string encode_result(support::Severity severity,
+                                        std::string_view error);
+struct ResultInfo {
+  support::Severity severity = support::Severity::kClean;
+  std::string error;
+};
+/// Throws `support::NetError` on an empty or malformed payload.
+[[nodiscard]] ResultInfo decode_result(std::string_view payload);
+
+}  // namespace herc::server

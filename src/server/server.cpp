@@ -1,0 +1,364 @@
+#include "server/server.hpp"
+
+#include <cerrno>
+#include <condition_variable>
+#include <deque>
+#include <sstream>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "cli/interpreter.hpp"
+#include "server/protocol.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace herc::server {
+
+using support::NetError;
+using support::Severity;
+
+namespace {
+
+constexpr std::size_t kFrameOverhead = 5;  // wire header per frame
+
+/// What every open run is tagged with when the server winds down.
+constexpr std::string_view kShutdownSealReason =
+    "server shutdown: the run was cancelled mid-flight";
+
+}  // namespace
+
+struct Server::Connection {
+  Socket sock;
+  std::uint64_t id = 0;
+  std::string peer;
+  /// Applied via `DesignSession::set_user` under the exclusive lock before
+  /// every write command, so concurrent clients stamp their own products.
+  std::string user = "designer";
+  std::ostringstream out;
+  std::unique_ptr<cli::Interpreter> interp;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Frame> queue;
+  bool eof = false;      ///< reader saw end-of-stream (or a wire error)
+  bool closing = false;  ///< worker decided to close (quit, dead peer)
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> commands{0};
+  std::thread reader;
+  std::thread worker;
+};
+
+Server::Server(core::DesignSession& session, ServeOptions options)
+    : session_(session), options_(options) {
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+}
+
+Server::~Server() {
+  stop();
+  // A server that never started still owns pipe fds when start() threw.
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Endpoint Server::add_listener(const Endpoint& endpoint) {
+  if (running_.load()) {
+    throw NetError("add_listener: the server is already running");
+  }
+  Listener listener;
+  listener.endpoint = endpoint;
+  listener.sock = listen_on(listener.endpoint);
+  listeners_.push_back(std::move(listener));
+  return listeners_.back().endpoint;
+}
+
+void Server::start() {
+  if (listeners_.empty()) {
+    throw NetError("start: no listeners bound (call add_listener first)");
+  }
+  if (running_.exchange(true)) {
+    throw NetError("start: the server is already running");
+  }
+  stopping_.store(false);
+  cancel_.store(false);
+  if (::pipe(wake_pipe_) != 0) {
+    running_.store(false);
+    throw NetError("start: cannot create the wake pipe");
+  }
+  // From here on an in-flight run can be stopped cooperatively (stop()
+  // raises the flag; the executor polls it between task groups).
+  session_.set_cancel_flag(&cancel_);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::accept_loop() {
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const Listener& l : listeners_) {
+      fds.push_back({l.sock.fd(), POLLIN, 0});
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // stop() wrote the wake byte
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      std::string peer;
+      Socket sock = accept_from(listeners_[i - 1].sock, &peer);
+      if (!sock.valid() || stopping_.load()) continue;
+
+      auto conn = std::make_unique<Connection>();
+      conn->sock = std::move(sock);
+      conn->peer = std::move(peer);
+      try {
+        write_frame(conn->sock.fd(),
+                    {FrameType::kHello,
+                     std::string(kMagic) + " herc design server"});
+      } catch (const NetError&) {
+        continue;  // the peer vanished between connect and hello
+      }
+      conn->interp =
+          std::make_unique<cli::Interpreter>(conn->out, session_);
+      stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+      Connection& ref = *conn;
+      {
+        std::scoped_lock lock(connections_mutex_);
+        ref.id = next_connection_id_++;
+        connections_.push_back(std::move(conn));
+      }
+      ref.reader = std::thread(&Server::reader_loop, this, std::ref(ref));
+      ref.worker = std::thread(&Server::worker_loop, this, std::ref(ref));
+    }
+    join_finished_connections();
+  }
+}
+
+void Server::reader_loop(Connection& conn) {
+  try {
+    Frame frame;
+    while (read_frame(conn.sock.fd(), frame)) {
+      stats_.bytes_in.fetch_add(frame.payload.size() + kFrameOverhead,
+                                std::memory_order_relaxed);
+      std::unique_lock lock(conn.mutex);
+      // Backpressure: a client that pipelines past the queue depth blocks
+      // here, which stops draining the socket, which fills the kernel
+      // buffers, which blocks the client's send — flow control for free.
+      conn.cv.wait(lock, [&] {
+        return conn.queue.size() < options_.queue_depth || conn.closing ||
+               stopping_.load();
+      });
+      if (conn.closing) break;
+      conn.queue.push_back(std::move(frame));
+      conn.cv.notify_all();
+    }
+  } catch (const NetError&) {
+    // A torn frame or dead peer ends the connection like an EOF would.
+  }
+  {
+    std::scoped_lock lock(conn.mutex);
+    conn.eof = true;
+  }
+  conn.cv.notify_all();
+}
+
+void Server::worker_loop(Connection& conn) {
+  while (true) {
+    Frame frame;
+    {
+      std::unique_lock lock(conn.mutex);
+      conn.cv.wait(lock, [&] { return !conn.queue.empty() || conn.eof; });
+      if (conn.queue.empty()) break;  // eof and fully drained
+      frame = std::move(conn.queue.front());
+      conn.queue.pop_front();
+      conn.cv.notify_all();  // release a backpressured reader
+    }
+    std::string output;
+    std::string result;
+    bool quit = false;
+    if (frame.type != FrameType::kCommand) {
+      result = encode_result(Severity::kError,
+                             "protocol error: expected a command frame");
+      stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (stopping_.load()) {
+      // Queued behind the shutdown: refused, not silently dropped — the
+      // client learns its command never ran.
+      result = encode_result(Severity::kError, "server shutting down");
+      stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const CommandPayload cmd = split_command(frame.payload);
+      result = execute_command(conn, cmd.line, std::move(cmd.body), output,
+                               quit);
+    }
+    conn.commands.fetch_add(1, std::memory_order_relaxed);
+    try {
+      if (!output.empty()) {
+        stats_.bytes_out.fetch_add(output.size() + kFrameOverhead,
+                                   std::memory_order_relaxed);
+        write_frame(conn.sock.fd(), {FrameType::kOutput, std::move(output)});
+      }
+      stats_.bytes_out.fetch_add(result.size() + kFrameOverhead,
+                                 std::memory_order_relaxed);
+      write_frame(conn.sock.fd(), {FrameType::kResult, std::move(result)});
+    } catch (const NetError&) {
+      quit = true;  // the peer is gone; no point executing its backlog
+    }
+    if (quit) {
+      {
+        std::scoped_lock lock(conn.mutex);
+        conn.closing = true;
+      }
+      conn.cv.notify_all();
+      conn.sock.shutdown_both();
+      break;
+    }
+  }
+  conn.sock.shutdown_both();
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  conn.done.store(true);
+}
+
+std::string Server::execute_command(Connection& conn,
+                                    const std::string& line,
+                                    std::string body, std::string& output,
+                                    bool& quit) {
+  const std::vector<std::string> args =
+      support::split_ws(support::trim(line));
+
+  // Connection-scoped interceptions: `stats` reads only counters;
+  // `session user` must not touch the shared session outside the
+  // exclusive lock, so it is recorded here and applied per write command.
+  if (args.size() == 1 && args[0] == "stats") {
+    output = render_stats(conn);
+    return encode_result(Severity::kClean, "");
+  }
+  if (args.size() == 3 && args[0] == "session" && args[1] == "user") {
+    conn.user = args[2];
+    output = "user '" + conn.user + "' for this connection\n";
+    return encode_result(Severity::kClean, "");
+  }
+
+  const cli::CommandAccess access = cli::command_access(line);
+  conn.out.str(std::string());
+  cli::CommandStatus status;
+  if (access == cli::CommandAccess::kRead) {
+    std::shared_lock lock(session_mutex_);
+    stats_.read_commands.fetch_add(1, std::memory_order_relaxed);
+    status = conn.interp->execute(line, std::move(body));
+  } else {
+    std::unique_lock lock(session_mutex_);
+    stats_.write_commands.fetch_add(1, std::memory_order_relaxed);
+    session_.set_user(conn.user);
+    status = conn.interp->execute(line, std::move(body));
+  }
+  output += conn.out.str();
+  stats_.commands_executed.fetch_add(1, std::memory_order_relaxed);
+  if (status == cli::CommandStatus::kQuit) {
+    quit = true;
+    return encode_result(Severity::kClean, "");
+  }
+  if (status == cli::CommandStatus::kError) {
+    stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
+    return encode_result(Severity::kError, conn.interp->last_error());
+  }
+  return encode_result(conn.interp->last_severity(), "");
+}
+
+std::string Server::render_stats(const Connection& conn) const {
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  std::ostringstream out;
+  out << "server: " << load(stats_.connections_active)
+      << " active connection(s), " << load(stats_.connections_accepted)
+      << " accepted\n"
+      << "commands: " << load(stats_.commands_executed) << " executed ("
+      << load(stats_.read_commands) << " reads, "
+      << load(stats_.write_commands) << " writes), "
+      << load(stats_.command_errors) << " error(s)\n"
+      << "wire: " << load(stats_.bytes_in) << " bytes in, "
+      << load(stats_.bytes_out) << " bytes out\n"
+      << "this connection: #" << conn.id << " (" << conn.peer << ") user '"
+      << conn.user << "', "
+      << conn.commands.load(std::memory_order_relaxed) << " command(s)\n";
+  return out.str();
+}
+
+void Server::join_finished_connections() {
+  std::scoped_lock lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& conn = **it;
+    if (!conn.done.load()) {
+      ++it;
+      continue;
+    }
+    if (conn.reader.joinable()) conn.reader.join();
+    if (conn.worker.joinable()) conn.worker.join();
+    it = connections_.erase(it);
+  }
+}
+
+void Server::stop() {
+  if (!running_.load() || stopping_.exchange(true)) return;
+
+  // 1. Cooperative cancel: an in-flight `run` stops launching task groups
+  //    and reports `RunCancelled` to its client; its run record stays
+  //    open.
+  cancel_.store(true);
+
+  // 2. Stop accepting: wake the poll, join the accept loop, drop the
+  //    listeners (unlinking unix socket files).
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (Listener& l : listeners_) {
+    l.sock.close();
+    if (l.endpoint.kind == Endpoint::Kind::kUnix) {
+      ::unlink(l.endpoint.path.c_str());
+    }
+  }
+  listeners_.clear();
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  // 3. Wind down every connection: no new bytes read (SHUT_RD -> the
+  //    reader sees EOF), backpressured readers released, queued commands
+  //    answered with "server shutting down" by the worker.
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (const std::unique_ptr<Connection>& conn : connections_) {
+      conn->sock.shutdown_read();
+      conn->cv.notify_all();
+    }
+  }
+  // Workers drain and exit on their own (the executor's cancel flag bounds
+  // how long an in-flight run keeps one busy).
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (const std::unique_ptr<Connection>& conn : connections_) {
+      if (conn->reader.joinable()) conn->reader.join();
+      if (conn->worker.joinable()) conn->worker.join();
+    }
+    connections_.clear();
+  }
+
+  // 4. Leave a clean, resumable store: quarantine the cancelled runs'
+  //    partials, seal their sweep windows, sync the journal.  After this
+  //    `herc fsck` reports the store clean and `herc resume` finishes the
+  //    interrupted work.
+  {
+    std::unique_lock lock(session_mutex_);
+    session_.set_cancel_flag(nullptr);
+    session_.seal_open_runs(kShutdownSealReason);
+  }
+  cancel_.store(false);
+  running_.store(false);
+}
+
+}  // namespace herc::server

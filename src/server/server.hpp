@@ -1,0 +1,128 @@
+// `herc serve`: one daemon owning a durable DesignSession, many clients.
+//
+// The paper's framework is single-designer; design *management* is a team
+// activity.  The server turns one session — typically opened over a
+// durable store — into a shared resource:
+//
+//   - Reader-writer access: commands classified as reads
+//     (`cli::command_access`) execute concurrently under a shared lock
+//     (queries, browsing, flow building in the connection's own
+//     workspace); mutating commands serialize under an exclusive lock and
+//     flow through the session's MutationListener into the write-ahead
+//     journal exactly as they would in a local shell.
+//   - Per-connection pipelining: each connection has a reader thread
+//     feeding a bounded command queue and a worker thread answering in
+//     order.  A full queue blocks the reader — TCP backpressure is the
+//     flow control.
+//   - Per-connection identity: `session user` is intercepted and applied
+//     under the exclusive lock before each write, so concurrent clients'
+//     products carry the right creating user.
+//   - Graceful shutdown: `stop()` raises the session's cooperative cancel
+//     flag (an in-flight `run` stops launching tasks and its run record
+//     stays open), refuses queued commands, seals every open run and
+//     syncs the journal — the store on disk is fsck-clean and every
+//     interrupted run resumable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "server/socket.hpp"
+
+namespace herc::server {
+
+struct ServeOptions {
+  /// Commands a connection may have in flight (queued + executing) before
+  /// its reader stops draining the socket.
+  std::size_t queue_depth = 32;
+};
+
+/// Aggregate counters, readable while the server runs (`stats` command).
+struct ServerStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> commands_executed{0};
+  std::atomic<std::uint64_t> read_commands{0};
+  std::atomic<std::uint64_t> write_commands{0};
+  std::atomic<std::uint64_t> command_errors{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+};
+
+class Server {
+ public:
+  /// Serves `session`, which must outlive the server.  The session is
+  /// typically already attached to a durable store; the server does not
+  /// open or close storage itself.
+  explicit Server(core::DesignSession& session, ServeOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds a listener before `start()`.  Returns the bound endpoint (port
+  /// 0 resolved to the kernel's pick).  Throws `support::NetError`.
+  Endpoint add_listener(const Endpoint& endpoint);
+
+  /// Starts the accept loop.  At least one listener must be bound.
+  void start();
+
+  /// Graceful shutdown: stop accepting, cancel in-flight runs
+  /// cooperatively, answer still-queued commands with an error, join every
+  /// connection, then seal open runs and sync the journal.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] core::DesignSession& session() { return session_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void worker_loop(Connection& conn);
+  /// Executes one command under the proper lock; returns the result frame
+  /// payload and appends printed output to `output`.
+  std::string execute_command(Connection& conn, const std::string& line,
+                              std::string body, std::string& output,
+                              bool& quit);
+  [[nodiscard]] std::string render_stats(const Connection& conn) const;
+  void join_finished_connections();
+
+  core::DesignSession& session_;
+  ServeOptions options_;
+  ServerStats stats_;
+
+  /// Readers share, writers exclude; guards every session access.
+  std::shared_mutex session_mutex_;
+  /// Raised by `stop()`; the session's executor polls it between task
+  /// groups.
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  struct Listener {
+    Socket sock;
+    Endpoint endpoint;
+  };
+  std::vector<Listener> listeners_;
+  /// Self-pipe: `stop()` writes a byte to wake the accept loop's poll.
+  int wake_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_connection_id_ = 1;
+};
+
+}  // namespace herc::server

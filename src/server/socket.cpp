@@ -1,0 +1,204 @@
+#include "server/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace herc::server {
+
+using support::NetError;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+std::uint16_t parse_port(std::string_view text, std::string_view spec) {
+  if (text.empty()) {
+    throw NetError("bad address '" + std::string(spec) +
+                   "': missing port (use host:port or unix:/path)");
+  }
+  std::uint32_t port = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9' || (port = port * 10 + (c - '0')) > 65535) {
+      throw NetError("bad address '" + std::string(spec) +
+                     "': port must be 0..65535");
+    }
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(std::string_view spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path.assign(spec.substr(5));
+    if (ep.path.empty() || ep.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw NetError("bad address '" + std::string(spec) +
+                     "': unix socket path empty or too long");
+    }
+    return ep;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos) {
+    throw NetError("bad address '" + std::string(spec) +
+                   "': expected host:port or unix:/path");
+  }
+  ep.kind = Kind::kTcp;
+  if (colon > 0) ep.host.assign(spec.substr(0, colon));
+  ep.port = parse_port(spec.substr(colon + 1), spec);
+  return ep;
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket listen_on(Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) fail("socket(AF_UNIX)");
+    // A previous server that died without cleanup leaves the file behind;
+    // bind would fail forever on it.
+    ::unlink(endpoint.path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      fail("bind '" + endpoint.path + "'");
+    }
+    if (::listen(sock.fd(), SOMAXCONN) != 0) fail("listen");
+    return sock;
+  }
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad address: '" + endpoint.host +
+                   "' is not an IPv4 address");
+  }
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail("bind " + endpoint.describe());
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) fail("listen");
+  if (endpoint.port == 0) {
+    // Ephemeral port: report the kernel's pick so clients (and tests) can
+    // connect to it.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      fail("getsockname");
+    }
+    endpoint.port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Socket connect_to(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) fail("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      fail("connect " + endpoint.describe());
+    }
+    return sock;
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) fail("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad address: '" + endpoint.host +
+                   "' is not an IPv4 address");
+  }
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    fail("connect " + endpoint.describe());
+  }
+  // Command/result frames are tiny; Nagle + delayed ACK would add ~40ms
+  // to every synchronous round trip.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket accept_from(const Socket& listener, std::string* peer) {
+  while (true) {
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    const int fd = ::accept(listener.fd(),
+                            reinterpret_cast<sockaddr*>(&addr), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Socket();  // listener closed / shut down
+    }
+    if (addr.ss_family == AF_INET) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (peer != nullptr) {
+      if (addr.ss_family == AF_INET) {
+        char buf[INET_ADDRSTRLEN] = {0};
+        const auto* in = reinterpret_cast<const sockaddr_in*>(&addr);
+        ::inet_ntop(AF_INET, &in->sin_addr, buf, sizeof(buf));
+        *peer = std::string(buf) + ":" + std::to_string(ntohs(in->sin_port));
+      } else {
+        *peer = "unix";
+      }
+    }
+    return Socket(fd);
+  }
+}
+
+}  // namespace herc::server

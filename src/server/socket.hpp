@@ -1,0 +1,71 @@
+// Thin POSIX socket layer: endpoint parsing, an RAII descriptor, and the
+// three operations the server and client need (listen, connect, accept).
+//
+// Address syntax, shared by `herc serve` and `herc connect`:
+//
+//   host:port      TCP — "127.0.0.1:7117"; ":0" binds an ephemeral port
+//                  on localhost (the bound endpoint reports the real one)
+//   unix:/path     Unix domain socket at /path
+//
+// TCP listeners bind localhost by default: the protocol carries no
+// authentication, so exposure beyond the machine is an explicit choice
+// (pass an interface address) rather than a default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace herc::server {
+
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string path;  // kUnix
+
+  /// Parses the address syntax above.  Throws `support::NetError` on a
+  /// malformed spec.
+  [[nodiscard]] static Endpoint parse(std::string_view spec);
+
+  /// Renders back to the address syntax ("127.0.0.1:7117", "unix:/run/x").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Move-only owner of a socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+  /// SHUT_RD: the peer's pending data still drains, further reads see EOF.
+  void shutdown_read();
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `endpoint`.  For port 0 the kernel-assigned port
+/// is written back into `endpoint`; a Unix endpoint unlinks a stale socket
+/// file first.  Throws `support::NetError` on failure.
+[[nodiscard]] Socket listen_on(Endpoint& endpoint);
+
+/// Connects to `endpoint`.  Throws `support::NetError` on failure.
+[[nodiscard]] Socket connect_to(const Endpoint& endpoint);
+
+/// Accepts one connection (blocking).  Returns an invalid socket when the
+/// listener was closed or shut down.  `peer` receives a printable peer
+/// address.
+[[nodiscard]] Socket accept_from(const Socket& listener, std::string* peer);
+
+}  // namespace herc::server

@@ -46,7 +46,8 @@ std::string FsckReport::render() const {
   for (const FsckFinding& f : findings) {
     out << "  ["
         << (f.severity == FsckSeverity::kCorruption ? "corruption"
-                                                    : "warning")
+            : f.severity == FsckSeverity::kWarning  ? "warning"
+                                                    : "note")
         << "] " << f.code << ": " << f.detail << "\n";
   }
   for (const std::string& action : repairs) {
@@ -135,6 +136,13 @@ void warn(FsckReport& report, std::string code, std::string detail) {
 void corrupt(FsckReport& report, std::string code, std::string detail) {
   report.findings.push_back(FsckFinding{
       FsckSeverity::kCorruption, std::move(code), std::move(detail)});
+}
+
+/// A clean-severity finding: reported for visibility, never raises the
+/// exit code.
+void note(FsckReport& report, std::string code, std::string detail) {
+  report.findings.push_back(FsckFinding{FsckSeverity::kClean,
+                                        std::move(code), std::move(detail)});
 }
 
 AuditRun* find_audit_run(Audit& audit, std::uint64_t id) {
@@ -380,17 +388,10 @@ void audit_store(Audit& audit, FsckReport& report,
       }
       covered.insert(id);
     }
-    if (!run.outcome.empty()) continue;
-    std::size_t finished = 0;
-    for (const AuditTask& task : run.tasks) {
-      if (task.finished) ++finished;
-    }
-    warn(report, "interrupted-run",
-         "run #" + std::to_string(run.id) + " (flow '" + run.flow_name +
-             "') never ended: " + std::to_string(finished) + "/" +
-             std::to_string(run.tasks.size()) +
-             " started tasks finished; resumable");
   }
+  // The partial sweep runs first: an open run's verdict depends on whether
+  // its window still holds unquarantined partials.
+  std::unordered_set<std::uint64_t> dirty_runs;
   for (std::size_t r = 0; r < audit.runs.size(); ++r) {
     const AuditRun& run = audit.runs[r];
     if (!run.outcome.empty()) continue;
@@ -411,7 +412,30 @@ void audit_store(Audit& audit, FsckReport& report,
                  " was produced by an unfinished task of an interrupted "
                  "run but is not quarantined");
         inst.quarantine = true;
+        dirty_runs.insert(run.id);
       }
+    }
+  }
+  for (const AuditRun& run : audit.runs) {
+    if (!run.outcome.empty()) continue;
+    std::size_t finished = 0;
+    for (const AuditTask& task : run.tasks) {
+      if (task.finished) ++finished;
+    }
+    const std::string progress =
+        "run #" + std::to_string(run.id) + " (flow '" + run.flow_name +
+        "') never ended: " + std::to_string(finished) + "/" +
+        std::to_string(run.tasks.size()) + " started tasks finished";
+    // A sealed open run whose window holds no unquarantined partials is
+    // the state an interruption sweep (crash recovery, graceful server
+    // shutdown) deliberately leaves behind: consistent and resumable, not
+    // a defect.  Unsealed, or sealed with unswept partials, the store
+    // still needs recovery — that stays a warning.
+    if (run.sweep_end >= 0 && !dirty_runs.contains(run.id)) {
+      note(report, "resumable-run",
+           progress + "; sealed and swept, resumable as-is");
+    } else {
+      warn(report, "interrupted-run", progress + "; resumable");
     }
   }
 }
@@ -681,7 +705,9 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
     if (run.outcome.empty()) ++report.stats.open_runs;
   }
 
-  if (options.repair && !report.findings.empty()) {
+  // Clean-severity notes (a sealed resumable run) need no repair; rewriting
+  // the snapshot for them would churn the epoch for nothing.
+  if (options.repair && report.severity() != FsckSeverity::kClean) {
     repair_store(audit, report, snapshot_path, journal_path);
   }
   return report;

@@ -170,22 +170,13 @@ DurableHistory::DurableHistory(const schema::TaskSchema& schema,
   // never completed a combination are quarantined (journaled through the
   // listener, so the sweep itself is durable); the run stays open for
   // `Executor::resume`.
-  report_.interrupted_runs = db_->open_runs().size();
-  if (report_.interrupted_runs > 0) {
-    for (const data::InstanceId id : db_->partial_products()) {
-      db_->quarantine(id,
-                      "crash recovery: the producing task never finished");
-      ++report_.quarantined;
-    }
-    // Seal each interrupted run's sweep window at the recovered table
-    // size: work recorded from here on (new runs, imports, decompose) is
-    // not the crashed run's doing, so a later reopen must not sweep it.
-    std::vector<std::uint64_t> open_ids;
-    for (const history::RunRecord* run : db_->open_runs()) {
-      open_ids.push_back(run->id);
-    }
-    for (const std::uint64_t id : open_ids) db_->seal_run(id);
-  }
+  // The sweep seals each interrupted run's window at the recovered table
+  // size: work recorded from here on (new runs, imports, decompose) is not
+  // the crashed run's doing, so a later reopen must not sweep it.
+  const history::HistoryDb::SealSweep sweep = db_->seal_open_runs(
+      "crash recovery: the producing task never finished");
+  report_.interrupted_runs = sweep.open;
+  report_.quarantined = sweep.quarantined;
 }
 
 DurableHistory::~DurableHistory() {

@@ -47,4 +47,11 @@ class ParseError : public HercError {
   using HercError::HercError;
 };
 
+/// Network-layer failure (socket setup, framed wire protocol, a peer that
+/// vanished mid-frame).
+class NetError : public HercError {
+ public:
+  using HercError::HercError;
+};
+
 }  // namespace herc::support

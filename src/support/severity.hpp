@@ -27,6 +27,15 @@ enum class Severity {
   return static_cast<int>(s);
 }
 
+/// Inverse of `exit_code`, for callers that receive the convention over a
+/// process boundary (a wire-protocol status byte, a child's exit status).
+/// Codes above the scale clamp to `kError`.
+[[nodiscard]] constexpr Severity severity_from_exit(int code) {
+  return code <= 0   ? Severity::kClean
+         : code == 1 ? Severity::kWarning
+                     : Severity::kError;
+}
+
 /// The worse (more severe) of two levels.
 [[nodiscard]] constexpr Severity worse(Severity a, Severity b) {
   return static_cast<int>(a) >= static_cast<int>(b) ? a : b;

@@ -574,5 +574,25 @@ TEST(LintReport, RendersTextAndJson) {
   EXPECT_NE(json.find("\"exit_code\":2"), std::string::npos);
 }
 
+TEST(LintReport, JsonDiagnosticsAreSortedForStableDiffs) {
+  // Two reports whose passes emitted the same findings in different
+  // orders must serialize identically: JSON output is sorted by
+  // (code, location, message), independent of emission order.
+  LintReport a("flow 'sim'");
+  a.add("HL020", Severity::kWarning, "node 7", "later");
+  a.add("HL004", Severity::kError, "entity 'Netlist'", "earlier");
+  a.add("HL004", Severity::kError, "entity 'Models'", "earlier");
+  LintReport b("flow 'sim'");
+  b.add("HL004", Severity::kError, "entity 'Models'", "earlier");
+  b.add("HL004", Severity::kError, "entity 'Netlist'", "earlier");
+  b.add("HL020", Severity::kWarning, "node 7", "later");
+  EXPECT_EQ(a.render_json(), b.render_json());
+  const std::string json = a.render_json();
+  EXPECT_LT(json.find("entity 'Models'"), json.find("entity 'Netlist'"));
+  EXPECT_LT(json.find("HL004"), json.find("HL020"));
+  // The human rendering keeps emission order.
+  EXPECT_NE(a.render(), b.render());
+}
+
 }  // namespace
 }  // namespace herc::analyze

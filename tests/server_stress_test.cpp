@@ -1,0 +1,227 @@
+// The server under concurrent load: many clients mixing queries and
+// mutations, pipelined replies in order, shared-session refusals, and
+// graceful shutdown mid-run leaving a resumable, fsck-clean store.
+//
+// Runs under the thread-sanitizer CI job: the reader-writer lock around
+// the shared DesignSession is the contract being checked.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/library.hpp"
+#include "circuit/models.hpp"
+#include "core/session.hpp"
+#include "schema/standard_schemas.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "storage/fsck.hpp"
+
+namespace herc::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A served in-memory session bound to an ephemeral localhost port.
+struct ServedSession {
+  core::DesignSession session{schema::make_full_schema()};
+  Server server{session};
+  Endpoint bound;
+
+  ServedSession() {
+    bound = server.add_listener(Endpoint::parse("127.0.0.1:0"));
+    server.start();
+  }
+};
+
+/// Imports the four Fig. 1 inputs and builds the simulate flow `f` in the
+/// client's workspace; returns the number of failed commands.
+int build_simulate_flow(Client& client) {
+  int failures = 0;
+  const auto run = [&](std::string_view line, std::string_view body = "") {
+    if (!client.call(line, body).ok()) ++failures;
+  };
+  run("import EditedNetlist inv", circuit::inverter_netlist().to_text());
+  run("import DeviceModels std",
+      circuit::DeviceModelLibrary::standard().to_text());
+  run("import Stimuli walk", "stimuli walk\nwave in 0:0 1000:1 2000:0\n");
+  run("import Simulator sim \"\"");
+  run("flow new f goal Performance");
+  run("flow expand f 0");
+  run("flow expand f 2");
+  run("flow bind f 1 i3");
+  run("flow bind f 3 i2");
+  run("flow bind f 4 i1");
+  run("flow bind f 5 i0");
+  return failures;
+}
+
+TEST(ServerStressTest, ManyClientsMixQueriesAndMutations) {
+  ServedSession served;
+  constexpr int kClients = 8;
+  constexpr int kRounds = 24;
+  std::atomic<int> errors{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client = Client::connect(served.bound);
+      if (!client.call("session user user" + std::to_string(c)).ok()) {
+        ++errors;
+      }
+      for (int i = 0; i < kRounds; ++i) {
+        CallResult result;
+        if (i % 3 == 0) {
+          // A mutation: imports serialize through the exclusive lock and
+          // the shared history db.
+          result = client.call(
+              "import Stimuli s" + std::to_string(c) + "_" +
+                  std::to_string(i),
+              "stimuli s\nwave in 0:0 100:1\n");
+        } else if (i % 3 == 1) {
+          // A query under the shared lock.
+          result = client.call("entities");
+        } else {
+          // Flow building stays in this connection's private workspace.
+          result = client.call(i == 2 ? "flow new w" + std::to_string(c) +
+                                            " goal Performance"
+                                      : "plans");
+        }
+        if (!result.ok()) ++errors;
+      }
+      client.close();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  const ServerStats& stats = served.server.stats();
+  EXPECT_EQ(stats.connections_accepted.load(),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.command_errors.load(), 0u);
+  // Every import from every client landed: one instance per mutation round.
+  int imports = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    if (i % 3 == 0) imports += kClients;
+  }
+  Client checker = Client::connect(served.bound);
+  const CallResult browse = checker.call("browse Stimuli");
+  EXPECT_TRUE(browse.ok());
+  // One browser row per import, plus the banner and column-header lines.
+  const long rows =
+      std::count(browse.output.begin(), browse.output.end(), '\n') - 2;
+  EXPECT_EQ(rows, imports);
+  checker.close();
+  served.server.stop();
+}
+
+TEST(ServerStressTest, PipelinedRepliesArriveStrictlyInOrder) {
+  ServedSession served;
+  Client client = Client::connect(served.bound);
+  constexpr int kDepth = 64;  // deeper than the queue: backpressure path
+  for (int i = 0; i < kDepth; ++i) {
+    client.send("echo msg-" + std::to_string(i));
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    const CallResult result = client.receive();
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.output, "msg-" + std::to_string(i) + "\n");
+  }
+  client.close();
+  served.server.stop();
+}
+
+TEST(ServerStressTest, SessionScopedCommandsAreRefusedOnTheSharedSession) {
+  ServedSession served;
+  Client client = Client::connect(served.bound);
+  for (const char* line :
+       {"session new full", "session load x", "open /tmp/elsewhere",
+        "store close"}) {
+    const CallResult result = client.call(line);
+    EXPECT_FALSE(result.ok()) << line;
+    EXPECT_NE(result.error.find("shared session"), std::string::npos)
+        << line << " -> " << result.error;
+  }
+  // The connection survives a refusal and keeps serving.
+  EXPECT_TRUE(client.call("entities").ok());
+  client.close();
+  served.server.stop();
+}
+
+TEST(ServerStressTest, PerConnectionUserIsStampedOnProducts) {
+  ServedSession served;
+  Client alice = Client::connect(served.bound);
+  ASSERT_TRUE(alice.call("session user alice").ok());
+  ASSERT_EQ(build_simulate_flow(alice), 0);
+  ASSERT_TRUE(alice.call("run f").ok());
+  const CallResult browse = alice.call("browse Performance");
+  EXPECT_TRUE(browse.ok());
+  EXPECT_NE(browse.output.find("alice"), std::string::npos) << browse.output;
+
+  // A second connection has its own identity and its own workspace.
+  Client bob = Client::connect(served.bound);
+  ASSERT_TRUE(bob.call("session user bob").ok());
+  const CallResult result = bob.call("run f");
+  EXPECT_FALSE(result.ok());  // alice's flow workspace is not bob's
+  bob.close();
+
+  const CallResult stats = alice.call("stats");
+  EXPECT_TRUE(stats.ok());
+  EXPECT_NE(stats.output.find("user 'alice'"), std::string::npos)
+      << stats.output;
+  EXPECT_NE(stats.output.find("connection"), std::string::npos);
+  alice.close();
+  served.server.stop();
+}
+
+TEST(ServerStressTest, StopMidRunLeavesAResumableFsckCleanStore) {
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_server_stress_store").string();
+  fs::remove_all(dir);
+  {
+    core::DesignSession session(schema::make_full_schema());
+    session.open_storage(dir);
+    Server server(session);
+    const Endpoint bound = server.add_listener(Endpoint::parse("127.0.0.1:0"));
+    server.start();
+
+    Client client = Client::connect(bound);
+    ASSERT_EQ(build_simulate_flow(client), 0);
+    // Pipelined: don't wait for the reply — the run must still be in
+    // flight when stop() lands.  Two chained task groups at 500ms each
+    // leave a wide window.
+    client.send("run f parallel latency=500");
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    server.stop();
+    client.close();
+    session.close_storage();
+  }
+
+  const storage::FsckReport report = storage::fsck_store(dir);
+  EXPECT_EQ(report.exit_code(), 0) << report.render();
+  EXPECT_TRUE(report.has("resumable-run")) << report.render();
+
+  // A fresh session picks the sealed run back up and finishes it.
+  core::DesignSession session(schema::make_full_schema());
+  const storage::RecoveryReport recovery = session.open_storage(dir);
+  EXPECT_EQ(recovery.interrupted_runs, 1u);
+  const auto open = session.db().open_runs();
+  ASSERT_EQ(open.size(), 1u);
+  const exec::ExecResult result = session.resume_run(open.front()->id);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(session.db().open_runs().empty());
+  session.close_storage();
+
+  const storage::FsckReport after = storage::fsck_store(dir);
+  EXPECT_EQ(after.exit_code(), 0) << after.render();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace herc::server
