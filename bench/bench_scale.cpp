@@ -1,0 +1,95 @@
+// Scale benchmark: the swarm trace profiles replayed against an
+// in-process server, measuring aggregate throughput and latency
+// percentiles per named workload mix.  Emits BENCH_scale.json in the
+// working directory (EXPERIMENTS S11).
+//
+// Each profile runs chaos-free (`chaos = 0`), over connections warmed
+// behind the swarm driver's start barrier, so qps and p50/p95/p99 are
+// steady-state service numbers for that mix — but every run still ends
+// with the full heal chain (stop, fsck, resume, verify), so a benchmark
+// pass is also a correctness pass.  The headline claim: a shared design
+// server holds up under qualitatively different team workloads — query
+// floods, import-heavy design bursts, concurrent version edits — without
+// the invariant chain cracking.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/swarm.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+struct ProfileResult {
+  std::string profile;
+  herc::sim::SwarmReport report;
+};
+
+}  // namespace
+
+int main() {
+  // The chaos-acceptance "faults" profile is excluded: fault-seeded runs
+  // spend their time in injected failures and retries, which is chaos
+  // coverage, not a throughput statement.
+  const std::vector<std::string> kProfiles = {"queries", "design", "versions",
+                                              "mixed"};
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRounds = 3;
+  constexpr std::uint64_t kSeed = 20260808;
+
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "herc_bench_scale";
+  std::filesystem::remove_all(root);
+
+  std::vector<ProfileResult> results;
+  bool failed = false;
+  for (const std::string& profile : kProfiles) {
+    const std::filesystem::path dir = root / profile;
+    herc::sim::InProcessServer control(dir.string());
+    herc::sim::SwarmOptions options;
+    options.profile = profile;
+    options.clients = kClients;
+    options.rounds = kRounds;
+    options.seed = kSeed;
+    options.chaos = 0;
+    herc::sim::SwarmReport report = herc::sim::run_swarm(control, options);
+    std::printf(
+        "bench_scale: %-8s %5zu ops, %6.0f qps, p50/p95/p99 "
+        "%llu/%llu/%lluus%s\n",
+        profile.c_str(), report.ops_acked, report.qps,
+        static_cast<unsigned long long>(report.p50_us),
+        static_cast<unsigned long long>(report.p95_us),
+        static_cast<unsigned long long>(report.p99_us),
+        report.ok() ? "" : "  INVARIANT VIOLATIONS");
+    if (!report.ok()) {
+      for (const std::string& v : report.violations) {
+        std::fprintf(stderr, "bench_scale:   violation: %s\n", v.c_str());
+      }
+      failed = true;
+    }
+    results.push_back({profile, std::move(report)});
+  }
+  std::filesystem::remove_all(root);
+
+  std::ofstream json("BENCH_scale.json", std::ios::trunc);
+  json << "{\n"
+       << "  \"clients\": " << kClients << ",\n"
+       << "  \"rounds\": " << kRounds << ",\n"
+       << "  \"seed\": " << kSeed << ",\n"
+       << "  \"profiles\": {";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const herc::sim::SwarmReport& r = results[i].report;
+    json << (i == 0 ? "" : ",") << "\n    \"" << results[i].profile
+         << "\": {\"ops\": " << r.ops_acked << ", \"qps\": " << r.qps
+         << ", \"p50_us\": " << r.p50_us << ", \"p95_us\": " << r.p95_us
+         << ", \"p99_us\": " << r.p99_us
+         << ", \"wall_ms\": " << r.wall_ms << ", \"ok\": "
+         << (r.ok() ? "true" : "false") << "}";
+  }
+  json << "\n  }\n}\n";
+  json.close();
+
+  return failed ? 1 : 0;
+}

@@ -5,10 +5,20 @@
 //
 // The headline claims: queries scale with client count (shared lock, no
 // serialization), and pipelining amortizes the round trip.
+//
+// Methodology: every timed section runs over connections that were
+// established and warmed (one round-trip) *before* the clock starts —
+// connect cost and first-command cold paths are setup, not service time —
+// and multi-client sections release all clients through a barrier so the
+// measured window is pure steady state.  Latency is reported as p50/p95/
+// p99 from a `LatencyHistogram`, not just the mean: tail latency is what
+// a designer at a busy server actually feels.
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +26,7 @@
 #include "core/session.hpp"
 #include "schema/standard_schemas.hpp"
 #include "server/client.hpp"
+#include "server/latency.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -28,22 +39,62 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-/// `ops` synchronous `entities` round-trips per client, `clients` clients;
-/// returns aggregate queries per second.
+/// Releases all worker threads at once so the timed window starts with
+/// every connection warm and every thread running.
+class StartGate {
+ public:
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++arrived_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return arrived_ >= n; });
+  }
+  void open() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  bool open_ = false;
+};
+
+/// `ops` synchronous `entities` round-trips per client, `clients` clients,
+/// connections warmed before the clock starts; returns aggregate queries
+/// per second and records per-op latency into `latency`.
 double query_throughput(const server::Endpoint& endpoint, int clients,
-                        int ops, std::atomic<int>& errors) {
+                        int ops, std::atomic<int>& errors,
+                        server::LatencyHistogram& latency) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
-  const auto start = Clock::now();
+  StartGate gate;
+  Clock::time_point start{};
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&] {
       server::Client client = server::Client::connect(endpoint);
+      if (!client.call("entities").ok()) ++errors;  // warm, untimed
+      gate.arrive_and_wait();
       for (int i = 0; i < ops; ++i) {
+        const auto t0 = Clock::now();
         if (!client.call("entities").ok()) ++errors;
+        latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count()));
       }
       client.close();
     });
   }
+  gate.wait_for(static_cast<std::size_t>(clients));
+  start = Clock::now();
+  gate.open();
   for (std::thread& t : threads) t.join();
   const double elapsed = ms_since(start);
   return clients * ops / elapsed * 1000.0;
@@ -62,23 +113,31 @@ int main() {
   constexpr int kPipelined = 2000;
   std::atomic<int> errors{0};
 
-  // Round-trip latency, one quiet client.
+  // Round-trip latency, one quiet warmed client.
   double round_trip_us = 0;
+  server::LatencyHistogram round_trip_hist;
   {
     server::Client client = server::Client::connect(endpoint);
     for (int i = 0; i < 50; ++i) (void)client.call("echo warm");
     const auto start = Clock::now();
     for (int i = 0; i < kOps; ++i) {
+      const auto t0 = Clock::now();
       if (!client.call("echo x").ok()) ++errors;
+      round_trip_hist.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                t0)
+              .count()));
     }
     round_trip_us = ms_since(start) * 1000.0 / kOps;
     client.close();
   }
 
-  // Same command stream, pipelined: send everything, then drain.
+  // Same command stream, pipelined: send everything, then drain.  The
+  // connection is already warm from a throwaway round-trip.
   double pipelined_us = 0;
   {
     server::Client client = server::Client::connect(endpoint);
+    if (!client.call("echo warm").ok()) ++errors;
     const auto start = Clock::now();
     for (int i = 0; i < kPipelined; ++i) client.send("echo x");
     for (int i = 0; i < kPipelined; ++i) {
@@ -92,32 +151,47 @@ int main() {
   const std::vector<int> kClientCounts = {1, 2, 4, 8};
   std::vector<double> qps;
   qps.reserve(kClientCounts.size());
+  server::LatencyHistogram query_hist;  // the 8-client run's tails
   for (const int clients : kClientCounts) {
-    qps.push_back(query_throughput(endpoint, clients, kOps, errors));
+    server::LatencyHistogram scratch;
+    server::LatencyHistogram& hist = clients == 8 ? query_hist : scratch;
+    qps.push_back(query_throughput(endpoint, clients, kOps, errors, hist));
   }
 
-  // Mixed load: 8 clients, one import (exclusive lock) per 4 queries.
+  // Mixed load: 8 clients, one import (exclusive lock) per 4 queries,
+  // connections warmed and gate-released like the query runs.
   double mixed_ops_per_s = 0;
+  server::LatencyHistogram mixed_hist;
   {
     constexpr int kClients = 8;
     constexpr int kMixedOps = 200;
     std::vector<std::thread> threads;
-    const auto start = Clock::now();
+    StartGate gate;
     for (int c = 0; c < kClients; ++c) {
       threads.emplace_back([&, c] {
         server::Client client = server::Client::connect(endpoint);
+        if (!client.call("entities").ok()) ++errors;  // warm, untimed
+        gate.arrive_and_wait();
         for (int i = 0; i < kMixedOps; ++i) {
           const bool write = i % 4 == 0;
+          const auto t0 = Clock::now();
           const server::CallResult result =
               write ? client.call("import Stimuli m" + std::to_string(c) +
                                       "_" + std::to_string(i),
                                   "stimuli m\nwave in 0:0 100:1\n")
                     : client.call("entities");
+          mixed_hist.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - t0)
+                  .count()));
           if (!result.ok()) ++errors;
         }
         client.close();
       });
     }
+    gate.wait_for(kClients);
+    const auto start = Clock::now();
+    gate.open();
     for (std::thread& t : threads) t.join();
     mixed_ops_per_s = kClients * kMixedOps / ms_since(start) * 1000.0;
   }
@@ -132,6 +206,12 @@ int main() {
   std::ofstream json("BENCH_server.json", std::ios::trunc);
   json << "{\n"
        << "  \"round_trip_us\": " << round_trip_us << ",\n"
+       << "  \"round_trip_p50_us\": " << round_trip_hist.percentile(0.50)
+       << ",\n"
+       << "  \"round_trip_p95_us\": " << round_trip_hist.percentile(0.95)
+       << ",\n"
+       << "  \"round_trip_p99_us\": " << round_trip_hist.percentile(0.99)
+       << ",\n"
        << "  \"pipelined_us_per_cmd\": " << pipelined_us << ",\n"
        << "  \"pipelining_speedup\": " << round_trip_us / pipelined_us
        << ",\n";
@@ -139,15 +219,33 @@ int main() {
     json << "  \"query_qps_" << kClientCounts[i] << "_clients\": " << qps[i]
          << ",\n";
   }
-  json << "  \"mixed_rw_ops_per_s_8_clients\": " << mixed_ops_per_s << "\n"
+  json << "  \"query_p50_us_8_clients\": " << query_hist.percentile(0.50)
+       << ",\n"
+       << "  \"query_p95_us_8_clients\": " << query_hist.percentile(0.95)
+       << ",\n"
+       << "  \"query_p99_us_8_clients\": " << query_hist.percentile(0.99)
+       << ",\n"
+       << "  \"mixed_rw_ops_per_s_8_clients\": " << mixed_ops_per_s << ",\n"
+       << "  \"mixed_p95_us_8_clients\": " << mixed_hist.percentile(0.95)
+       << "\n"
        << "}\n";
   json.close();
 
-  std::printf("bench_server: round-trip %.1fus, pipelined %.1fus/cmd\n",
-              round_trip_us, pipelined_us);
+  std::printf(
+      "bench_server: round-trip %.1fus (p95 %lluus, p99 %lluus), "
+      "pipelined %.1fus/cmd\n",
+      round_trip_us,
+      static_cast<unsigned long long>(round_trip_hist.percentile(0.95)),
+      static_cast<unsigned long long>(round_trip_hist.percentile(0.99)),
+      pipelined_us);
   for (std::size_t i = 0; i < kClientCounts.size(); ++i) {
     std::printf("  %d client(s): %.0f queries/s\n", kClientCounts[i], qps[i]);
   }
-  std::printf("  mixed 8 clients: %.0f ops/s\n", mixed_ops_per_s);
+  std::printf("  8-client query p50/p95/p99: %llu/%llu/%lluus\n",
+              static_cast<unsigned long long>(query_hist.percentile(0.50)),
+              static_cast<unsigned long long>(query_hist.percentile(0.95)),
+              static_cast<unsigned long long>(query_hist.percentile(0.99)));
+  std::printf("  mixed 8 clients: %.0f ops/s (p95 %lluus)\n", mixed_ops_per_s,
+              static_cast<unsigned long long>(mixed_hist.percentile(0.95)));
   return 0;
 }

@@ -18,6 +18,18 @@
 //
 //   herc fsck <dir> [--repair]      offline store audit (exit 0/1/2)
 //   herc resume <store-dir>         finish every interrupted run
+//
+//   herc swarm <store-dir> [--profile P] [--clients N] [--rounds R]
+//              [--seed S] [--chaos N] [--no-kill] [--herc BIN]
+//              [--json [FILE]]
+//       Thousand-designer workload simulator and chaos harness: serves
+//       <store-dir> from a child `herc serve`, replays a deterministic
+//       multi-tenant trace (--profile design|queries|versions|faults|
+//       mixed) with N concurrent clients, injects chaos events (fault
+//       seeds, SIGTERM, SIGKILL) mid-load, and after every crash runs
+//       the invariant chain: fsck clean (or repaired clean), every
+//       interrupted run resumed, queries consistent with the trace.
+//       Exit 0 when every invariant held, 2 otherwise.
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -35,6 +47,8 @@
 #include "schema/standard_schemas.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
+#include "sim/swarm.hpp"
+#include "sim/trace.hpp"
 #include "storage/fsck.hpp"
 #include "storage/store.hpp"
 #include "support/error.hpp"
@@ -293,11 +307,84 @@ int cmd_resume(const std::vector<std::string>& args) {
   return exit;
 }
 
+/// This binary's own path, for spawning `herc serve` children.
+std::string self_binary(const char* argv0) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n > 0) return std::string(buffer, static_cast<std::size_t>(n));
+  return argv0;
+}
+
+int cmd_swarm(const std::vector<std::string>& args,
+              const std::string& self) {
+  const auto usage = [] {
+    std::cerr << "usage: herc swarm <store-dir> [--profile P] [--clients N]"
+                 " [--rounds R]\n"
+                 "                  [--seed S] [--chaos N] [--no-kill]"
+                 " [--herc BIN] [--json [FILE]]\n";
+    return 2;
+  };
+  if (args.empty()) return usage();
+  const std::string dir = args[0];
+  herc::sim::SwarmOptions options;
+  options.log = &std::cout;
+  std::string binary = self;
+  bool json = false;
+  std::string json_file;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool more = i + 1 < args.size();
+    if (arg == "--profile" && more) {
+      options.profile = args[++i];
+    } else if (arg == "--clients" && more) {
+      options.clients = std::stoul(args[++i]);
+    } else if (arg == "--rounds" && more) {
+      options.rounds = std::stoul(args[++i]);
+    } else if (arg == "--seed" && more) {
+      options.seed = std::stoull(args[++i]);
+    } else if (arg == "--chaos" && more) {
+      options.chaos = std::stoul(args[++i]);
+    } else if (arg == "--no-kill") {
+      options.allow_kill = false;
+    } else if (arg == "--herc" && more) {
+      binary = args[++i];
+    } else if (arg == "--json") {
+      json = true;
+      if (more && args[i + 1].rfind("--", 0) != 0) json_file = args[++i];
+    } else {
+      std::cerr << "swarm: unknown argument '" << arg << "'\n";
+      return usage();
+    }
+  }
+  // The harness owns its store outright: pre-existing data (swarm or
+  // otherwise) would fail the nothing-foreign invariant, so insist on a
+  // fresh path instead of touching anything already on disk.
+  if (::access(dir.c_str(), F_OK) == 0) {
+    std::cerr << "swarm: '" << dir
+              << "' already exists; pass a fresh store path\n";
+    return 2;
+  }
+
+  herc::sim::ChildProcessServer control(binary, dir);
+  const herc::sim::SwarmReport report = herc::sim::run_swarm(control, options);
+  std::cout << report.render_text();
+  if (json) {
+    if (json_file.empty()) {
+      std::cout << report.render_json();
+    } else {
+      std::ofstream out(json_file, std::ios::binary);
+      out << report.render_json();
+      std::cout << "report written to " << json_file << "\n";
+    }
+  }
+  return report.ok() ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: herc <serve|connect|fsck|resume> ...\n";
+    std::cerr << "usage: herc <serve|connect|fsck|resume|swarm> ...\n";
     return 2;
   }
   const std::string verb = argv[1];
@@ -307,6 +394,7 @@ int main(int argc, char** argv) {
     if (verb == "connect") return cmd_connect(args);
     if (verb == "fsck") return cmd_fsck(args);
     if (verb == "resume") return cmd_resume(args);
+    if (verb == "swarm") return cmd_swarm(args, self_binary(argv[0]));
   } catch (const std::exception& e) {
     std::cerr << "herc " << verb << ": " << e.what() << "\n";
     return 2;

@@ -722,7 +722,7 @@ void Interpreter::cmd_flow(const Args& args) {
 void Interpreter::cmd_run(const Args& args) {
   static const char* kUsage =
       "run <f> [parallel] [reuse] [continue|besteffort] [retries=N] "
-      "[timeout=MS] [backoff=MS] [latency=MS]";
+      "[timeout=MS] [backoff=MS] [latency=MS] [faults=SEED]";
   if (args.size() < 2) usage(kUsage);
   TaskGraph& flow = flow_ref(args[1]);
   exec::ExecOptions options;
@@ -756,6 +756,11 @@ void Interpreter::cmd_run(const Args& args) {
       // is how tests and the server smoke script hold a run in flight long
       // enough to interrupt it.
       options.task_latency = std::chrono::milliseconds(uint_arg(args[i], 8));
+    } else if (args[i].rfind("faults=", 0) == 0) {
+      // Deterministic pseudo-random tool failures for this run (the chaos
+      // harness's fault plan); 0 disables.  Pair with continue/besteffort
+      // and retries, or the first exhausted task aborts the run.
+      options.fault.seed = uint_arg(args[i], 7);
     } else {
       usage(kUsage);
     }
@@ -939,7 +944,8 @@ void Interpreter::cmd_help() {
       "flow bind <f> <node> <iN...> | unbind <f> <node>\n"
       "flow show|lisp|dot|bipartite|save-plan <f>\n"
       "run <f> [parallel] [reuse] [continue|besteffort] [retries=N]\n"
-      "    [timeout=MS] [backoff=MS] [latency=MS]   auto <Entity> [run]\n"
+      "    [timeout=MS] [backoff=MS] [latency=MS] [faults=SEED]\n"
+      "    auto <Entity> [run]\n"
       "browse <Entity> [keyword=..] [user=..] [uses=iN]\n"
       "find <Entity> [where <path> = iN|\"name\" [and ...]]\n"
       "failures   (failed/skipped/quarantined tasks, with their inputs)\n"

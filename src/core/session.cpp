@@ -3,12 +3,23 @@
 #include "schema/schema_io.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
+#include "tools/fault_injection.hpp"
 #include "tools/standard_tools.hpp"
 
 namespace herc::core {
 
 using graph::NodeId;
 using graph::TaskGraph;
+
+namespace {
+
+/// Per-invocation misbehavior probability when a run arms a fault seed
+/// (`run ... faults=SEED`).  With one retry a task fails only when two
+/// consecutive invocations both fault (~6%): plenty of failure records
+/// under load, but most runs still complete.
+constexpr double kSeededFaultProbability = 0.25;
+
+}  // namespace
 
 DesignSession::DesignSession(schema::TaskSchema schema, std::string user,
                              std::unique_ptr<support::Clock> clock)
@@ -55,16 +66,41 @@ void DesignSession::extend_schema(std::string_view fragment) {
 exec::ExecResult DesignSession::run(const TaskGraph& flow,
                                     exec::ExecOptions options) {
   if (options.user == "designer") options.user = user_;
+  if (options.fault.seed != 0) {
+    tools::FaultInjectingRegistry faulty(*registry_, options.fault.seed);
+    faulty.inject_random(kSeededFaultProbability, tools::FaultKind::kThrow);
+    exec::Executor faulted(db(), faulty);
+    faulted.set_cancel_flag(cancel_);
+    return faulted.run(flow, options);
+  }
   return executor_->run(flow, options);
 }
 
 exec::ExecResult DesignSession::run_goal(const TaskGraph& flow, NodeId goal,
                                          exec::ExecOptions options) {
   if (options.user == "designer") options.user = user_;
+  if (options.fault.seed != 0) {
+    tools::FaultInjectingRegistry faulty(*registry_, options.fault.seed);
+    faulty.inject_random(kSeededFaultProbability, tools::FaultKind::kThrow);
+    exec::Executor faulted(db(), faulty);
+    faulted.set_cancel_flag(cancel_);
+    return faulted.run_goal(flow, goal, options);
+  }
   return executor_->run_goal(flow, goal, options);
 }
 
 exec::ExecResult DesignSession::resume_run(std::uint64_t run_id) {
+  // A run that armed a fault seed resumes under the same plan (the seed is
+  // in the run record), so its failure semantics — not just its task list —
+  // replay deterministically.
+  const history::RunRecord* run = db().find_run(run_id);
+  if (run != nullptr && run->seed != 0) {
+    tools::FaultInjectingRegistry faulty(*registry_, run->seed);
+    faulty.inject_random(kSeededFaultProbability, tools::FaultKind::kThrow);
+    exec::Executor faulted(db(), faulty);
+    faulted.set_cancel_flag(cancel_);
+    return faulted.resume(run_id);
+  }
   return executor_->resume(run_id);
 }
 

@@ -74,7 +74,11 @@ class DesignSession {
   /// newly added standard tool names are registered.
   void extend_schema(std::string_view fragment);
 
-  /// Runs a flow with this session's user stamped on the products.
+  /// Runs a flow with this session's user stamped on the products.  When
+  /// `options.fault.seed` is nonzero the run executes through a seeded
+  /// `tools::FaultInjectingRegistry` (deterministic pseudo-random tool
+  /// failures — the chaos harness's per-run fault plan); the seed lands in
+  /// the run record, so `resume_run` replays the same plan.
   exec::ExecResult run(const graph::TaskGraph& flow,
                        exec::ExecOptions options = {});
   /// Runs only the sub-flow rooted at `goal`.

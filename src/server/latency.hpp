@@ -1,0 +1,84 @@
+// A lock-free log-bucketed latency histogram.
+//
+// The server's `stats` command, the swarm driver and the scale benchmark
+// all need per-request percentiles without a mutex on the hot path.  The
+// histogram keeps exact one-microsecond buckets up to 15us, then four
+// sub-buckets per power of two (~25% relative resolution), which spans a
+// 10us echo round-trip and a multi-second chaos-interrupted run in one
+// fixed-size table.  `record` is one relaxed fetch_add; `percentile`
+// walks a snapshot of the counters and reports the bucket's upper edge,
+// so a reported p99 never understates the observed latency by more than
+// the bucket width.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace herc::server {
+
+class LatencyHistogram {
+ public:
+  /// Exact buckets for values 0..kExact-1.
+  static constexpr std::size_t kExact = 16;
+  /// Sub-buckets per octave above the exact range.
+  static constexpr std::size_t kSubPerOctave = 4;
+  /// Octaves 4..63 (values 16 .. 2^64-1) each get kSubPerOctave buckets.
+  static constexpr std::size_t kBuckets = kExact + (64 - 4) * kSubPerOctave;
+
+  void record(std::uint64_t us) {
+    buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// The value below which a fraction `q` (0 < q <= 1) of the recorded
+  /// samples fall, rounded up to its bucket's upper edge.  0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    std::array<std::uint64_t, kBuckets> snap{};
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      snap[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += snap[i];
+    }
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (target == 0) target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += snap[i];
+      if (seen >= target) return upper_edge(i);
+    }
+    return upper_edge(kBuckets - 1);
+  }
+
+ private:
+  static std::size_t bucket_of(std::uint64_t us) {
+    if (us < kExact) return static_cast<std::size_t>(us);
+    const auto octave = static_cast<std::size_t>(std::bit_width(us)) - 1;
+    const auto sub =
+        static_cast<std::size_t>((us >> (octave - 2)) & (kSubPerOctave - 1));
+    return kExact + (octave - 4) * kSubPerOctave + sub;
+  }
+
+  static std::uint64_t upper_edge(std::size_t bucket) {
+    if (bucket < kExact) return bucket;
+    const std::size_t octave = 4 + (bucket - kExact) / kSubPerOctave;
+    const std::size_t sub = (bucket - kExact) % kSubPerOctave;
+    return ((static_cast<std::uint64_t>(sub) + kSubPerOctave + 1)
+            << (octave - 2)) -
+           1;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace herc::server

@@ -1,6 +1,7 @@
 #include "server/server.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <sstream>
@@ -191,8 +192,13 @@ void Server::worker_loop(Connection& conn) {
       stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
     } else {
       const CommandPayload cmd = split_command(frame.payload);
+      const auto begin = std::chrono::steady_clock::now();
       result = execute_command(conn, cmd.line, std::move(cmd.body), output,
                                quit);
+      stats_.command_latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count()));
     }
     conn.commands.fetch_add(1, std::memory_order_relaxed);
     try {
@@ -282,6 +288,10 @@ std::string Server::render_stats(const Connection& conn) const {
       << load(stats_.command_errors) << " error(s)\n"
       << "wire: " << load(stats_.bytes_in) << " bytes in, "
       << load(stats_.bytes_out) << " bytes out\n"
+      << "latency: p50 " << stats_.command_latency.percentile(0.50)
+      << "us, p95 " << stats_.command_latency.percentile(0.95)
+      << "us, p99 " << stats_.command_latency.percentile(0.99) << "us ("
+      << stats_.command_latency.count() << " sampled)\n"
       << "this connection: #" << conn.id << " (" << conn.peer << ") user '"
       << conn.user << "', "
       << conn.commands.load(std::memory_order_relaxed) << " command(s)\n";

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "server/latency.hpp"
 #include "server/socket.hpp"
 
 namespace herc::server {
@@ -56,6 +57,10 @@ struct ServerStats {
   std::atomic<std::uint64_t> command_errors{0};
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
+  /// Per-command wall time (queue wait excluded), microseconds.  The
+  /// `stats` command reports p50/p95/p99 from here; the scale benchmark
+  /// reads it for BENCH_scale.json.
+  LatencyHistogram command_latency;
 };
 
 class Server {

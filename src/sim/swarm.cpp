@@ -1,0 +1,895 @@
+#include "sim/swarm.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "schema/schema_io.hpp"
+#include "schema/standard_schemas.hpp"
+#include "server/client.hpp"
+#include "sim/trace.hpp"
+#include "storage/fsck.hpp"
+#include "storage/store.hpp"
+#include "support/error.hpp"
+
+namespace herc::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// An existing store dictates its schema; a fresh one gets the full
+/// standard schema (what `herc serve` defaults to).
+schema::TaskSchema store_schema(const std::string& dir) {
+  if (storage::DurableHistory::exists(dir)) {
+    return schema::parse_schema(slurp(dir + "/schema.herc"));
+  }
+  return schema::make_full_schema();
+}
+
+/// The entities swarm traces import into; the heal snapshot scans them.
+constexpr const char* kSourceEntities[] = {"EditedNetlist", "DeviceModels",
+                                           "Stimuli", "Simulator"};
+
+}  // namespace
+
+// ---- InProcessServer --------------------------------------------------------
+
+InProcessServer::InProcessServer(std::string store_dir)
+    : dir_(std::move(store_dir)) {
+  restart();
+}
+
+InProcessServer::~InProcessServer() {
+  if (running_) stop();
+}
+
+void InProcessServer::stop() {
+  if (!running_) return;
+  server_->stop();
+  server_.reset();
+  session_->close_storage();
+  session_.reset();
+  running_ = false;
+}
+
+void InProcessServer::restart() {
+  session_ = std::make_unique<core::DesignSession>(store_schema(dir_));
+  (void)session_->open_storage(dir_);
+  server_ = std::make_unique<server::Server>(*session_);
+  endpoint_ = server_->add_listener(server::Endpoint::parse("127.0.0.1:0"));
+  server_->start();
+  running_ = true;
+}
+
+// ---- ChildProcessServer -----------------------------------------------------
+
+ChildProcessServer::ChildProcessServer(std::string herc_binary,
+                                       std::string store_dir)
+    : binary_(std::move(herc_binary)), dir_(std::move(store_dir)) {
+  start();
+}
+
+ChildProcessServer::~ChildProcessServer() {
+  if (running_) reap(SIGKILL);
+}
+
+void ChildProcessServer::start() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    throw support::NetError("swarm: cannot create the serve pipe");
+  }
+  pid_ = ::fork();
+  if (pid_ < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw support::NetError("swarm: fork failed");
+  }
+  if (pid_ == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::execl(binary_.c_str(), binary_.c_str(), "serve", dir_.c_str(),
+            "--listen", "127.0.0.1:0", static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  out_fd_ = fds[0];
+
+  // The child's stdout stays pipe-buffered until `serve` flushes right
+  // after `Server::start()`, so once the address line is visible the
+  // server is accepting.
+  std::string banner;
+  std::string address;
+  char chunk[512];
+  while (address.empty() && banner.size() < (1u << 20)) {
+    const ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
+    if (n <= 0) break;
+    banner.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t pos = banner.find("listening on ");
+    if (pos == std::string::npos) continue;
+    const std::size_t eol = banner.find('\n', pos);
+    if (eol == std::string::npos) continue;
+    address = banner.substr(pos + 13, eol - pos - 13);
+  }
+  if (address.empty()) {
+    reap(SIGKILL);
+    throw support::NetError("swarm: '" + binary_ +
+                            " serve' never reported a listening address:\n" +
+                            banner);
+  }
+  endpoint_ = server::Endpoint::parse(address);
+  drain_ = std::thread([fd = out_fd_] {
+    char sink[4096];
+    while (::read(fd, sink, sizeof sink) > 0) {
+    }
+  });
+  running_ = true;
+}
+
+void ChildProcessServer::reap(int signal) {
+  if (pid_ > 0) {
+    if (signal != 0) ::kill(pid_, signal);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+  if (drain_.joinable()) drain_.join();
+  if (out_fd_ >= 0) {
+    ::close(out_fd_);
+    out_fd_ = -1;
+  }
+  running_ = false;
+}
+
+void ChildProcessServer::stop() {
+  if (running_) reap(SIGTERM);
+}
+
+bool ChildProcessServer::kill() {
+  if (running_) reap(SIGKILL);
+  return true;
+}
+
+void ChildProcessServer::restart() { start(); }
+
+// ---- heal_store -------------------------------------------------------------
+
+HealReport heal_store(const std::string& dir) {
+  HealReport report;
+  try {
+    const storage::FsckReport before = storage::fsck_store(dir);
+    report.fsck_before = before.exit_code();
+    if (report.fsck_before == 2) {
+      const storage::FsckReport fixed =
+          storage::fsck_store(dir, {.repair = true});
+      report.repaired = true;
+      if (fixed.exit_code() == 2) {
+        report.error = "fsck --repair left corruption:\n" + fixed.render();
+        return report;
+      }
+    }
+
+    {
+      core::DesignSession session(store_schema(dir));
+      (void)session.open_storage(dir);
+
+      std::vector<std::uint64_t> open_ids;
+      for (const history::RunRecord* run : session.db().open_runs()) {
+        open_ids.push_back(run->id);
+      }
+      for (const std::uint64_t id : open_ids) {
+        try {
+          const exec::ExecResult result = session.resume_run(id);
+          ++report.runs_resumed;
+          if (result.tasks_failed > 0 || result.tasks_skipped > 0) {
+            ++report.resumes_incomplete;
+          }
+        } catch (const std::exception& e) {
+          if (report.error.empty()) {
+            report.error =
+                "resume of run " + std::to_string(id) + " failed: " + e.what();
+          }
+        }
+      }
+      const std::size_t still_open = session.db().open_runs().size();
+      if (still_open != 0 && report.error.empty()) {
+        report.error =
+            std::to_string(still_open) + " run(s) still open after resume";
+      }
+
+      for (const char* entity : kSourceEntities) {
+        try {
+          for (const core::BrowserRow& row : session.browse(entity).rows()) {
+            if (is_swarm_name(row.name)) report.survivors.insert(row.name);
+          }
+        } catch (const std::exception&) {
+          // Entity absent from a custom schema: nothing to snapshot there.
+        }
+      }
+      session.close_storage();
+    }
+
+    const storage::FsckReport after = storage::fsck_store(dir);
+    report.fsck_after = after.exit_code();
+    if (report.fsck_after != 0 && report.error.empty()) {
+      report.error = "store not clean after heal:\n" + after.render();
+    }
+  } catch (const std::exception& e) {
+    if (report.error.empty()) report.error = e.what();
+  }
+  return report;
+}
+
+// ---- the driver -------------------------------------------------------------
+
+namespace {
+
+/// What the verifier knows about one simulated designer.
+struct ClientLog {
+  std::mutex mutex;
+  /// Tracked import names per round, in issue order (recorded *before*
+  /// the send, so it is a superset of what the server executed).
+  std::vector<std::vector<std::string>> issued;
+  /// Tracked imports whose ack arrived.  After a SIGKILL heal, names the
+  /// crash provably lost are reconciled away.
+  std::set<std::string> acked;
+};
+
+struct SwarmShared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t ready = 0;
+  bool go = false;
+  bool abort = false;
+  bool server_up = true;
+  server::Endpoint endpoint;
+
+  std::atomic<std::size_t> ops_acked{0};
+  std::atomic<std::size_t> errors_tolerated{0};
+  std::atomic<std::size_t> clients_done{0};
+  server::LatencyHistogram latency;
+
+  std::mutex violations_mutex;
+  std::vector<std::string> violations;
+
+  void violation(std::string what) {
+    const std::lock_guard<std::mutex> lock(violations_mutex);
+    if (violations.size() < 100) violations.push_back(std::move(what));
+  }
+};
+
+/// Expands `{iK}` placeholders from the round's acked import ids.  False
+/// when a referenced import never acked (its round is abandoned).
+bool substitute(const std::string& line, const std::vector<std::string>& ids,
+                std::string& out) {
+  out.clear();
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size();) {
+    if (line[i] == '{' && i + 2 < line.size() && line[i + 1] == 'i') {
+      std::size_t j = i + 2;
+      std::size_t k = 0;
+      bool digits = false;
+      while (j < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[j])) != 0) {
+        k = k * 10 + static_cast<std::size_t>(line[j] - '0');
+        ++j;
+        digits = true;
+      }
+      if (digits && j < line.size() && line[j] == '}') {
+        if (k >= ids.size()) return false;
+        out += ids[k];
+        i = j + 1;
+        continue;
+      }
+    }
+    out += line[i++];
+  }
+  return true;
+}
+
+/// The `iN` id out of an `imported iN (...)` ack; empty for other replies.
+std::string parse_import_id(const std::string& output) {
+  static constexpr char kPrefix[] = "imported i";
+  static constexpr std::size_t kPrefixLen = sizeof kPrefix - 1;
+  if (output.rfind(kPrefix, 0) != 0) return {};
+  std::string id = "i";
+  std::size_t j = kPrefixLen;
+  while (j < output.size() &&
+         std::isdigit(static_cast<unsigned char>(output[j])) != 0) {
+    id += output[j++];
+  }
+  return id.size() > 1 ? id : std::string{};
+}
+
+/// Errors any op may report when a stop lands on it: the queued-command
+/// refusal and the cooperative run cancellation.
+bool is_shutdown_error(const std::string& error) {
+  return error.find("shutting down") != std::string::npos ||
+         error.find("shutdown") != std::string::npos ||
+         error.find("cancelled") != std::string::npos;
+}
+
+void run_client(const TraceClient& tc, ClientLog& log, SwarmShared& shared) {
+  server::Client client;
+  bool connected = false;
+
+  auto ensure_connected = [&]() -> bool {
+    if (connected) return true;
+    const auto deadline = Clock::now() + std::chrono::seconds(120);
+    while (Clock::now() < deadline) {
+      server::Endpoint ep;
+      {
+        std::unique_lock<std::mutex> lock(shared.mutex);
+        shared.cv.wait_for(lock, std::chrono::milliseconds(100), [&] {
+          return shared.server_up || shared.abort;
+        });
+        if (shared.abort) return false;
+        if (!shared.server_up) continue;
+        ep = shared.endpoint;
+      }
+      try {
+        client = server::Client::connect(ep);
+        if (client.call("session user " + tc.user).ok()) {
+          connected = true;
+          return true;
+        }
+        client.close();
+      } catch (const support::NetError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    shared.violation("client " + tc.user + ": could not (re)connect in 120s");
+    return false;
+  };
+
+  // Warm the connection before the timed window opens: connect cost and
+  // first-command cold paths must not pollute the latency percentiles.
+  if (ensure_connected()) {
+    try {
+      (void)client.call("echo warm");
+    } catch (const support::NetError&) {
+      client.close();
+      connected = false;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    ++shared.ready;
+    shared.cv.notify_all();
+    shared.cv.wait(lock, [&] { return shared.go; });
+  }
+
+  for (std::size_t ri = 0; ri < tc.rounds.size(); ++ri) {
+    {
+      const std::lock_guard<std::mutex> lock(shared.mutex);
+      if (shared.abort) break;
+    }
+    if (!ensure_connected()) break;
+    const TraceRound& round = tc.rounds[ri];
+    std::vector<std::string> ids;
+    for (const TraceOp& op : round.ops) {
+      std::string line;
+      if (!substitute(op.line, ids, line)) break;
+      if (op.tracked_import) {
+        const std::lock_guard<std::mutex> lock(log.mutex);
+        log.issued[ri].push_back(op.import_name);
+      }
+      server::CallResult result;
+      const auto t0 = Clock::now();
+      try {
+        result = client.call(line, op.body);
+      } catch (const support::NetError&) {
+        // Torn connection: abandon the round, reconnect at the next one.
+        client.close();
+        connected = false;
+        break;
+      }
+      shared.latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                t0)
+              .count()));
+      if (result.ok()) {
+        shared.ops_acked.fetch_add(1, std::memory_order_relaxed);
+        const std::string id = parse_import_id(result.output);
+        if (!id.empty()) ids.push_back(id);
+        if (op.tracked_import) {
+          const std::lock_guard<std::mutex> lock(log.mutex);
+          log.acked.insert(op.import_name);
+        }
+      } else if (is_shutdown_error(result.error)) {
+        client.close();
+        connected = false;
+        break;
+      } else if (op.may_fail) {
+        shared.errors_tolerated.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shared.violation("client " + tc.user + " round " + std::to_string(ri) +
+                         ": '" + line + "' failed: " + result.error);
+        break;
+      }
+    }
+  }
+  if (connected) client.close();
+  shared.clients_done.fetch_add(1);
+  shared.cv.notify_all();
+}
+
+/// The in-memory half of the invariant chain, applied to every heal
+/// snapshot.  `graceful` distinguishes SIGTERM (every ack must survive)
+/// from SIGKILL (an unflushed tail may be lost — but only as a *suffix*
+/// of each round's issue order, and never anything a prior heal saw).
+void verify_history(const Trace& trace,
+                    std::vector<std::unique_ptr<ClientLog>>& logs,
+                    const std::set<std::string>& survivors, bool graceful,
+                    const std::set<std::string>& prev_survivors,
+                    SwarmShared& shared) {
+  for (const std::string& name : prev_survivors) {
+    if (survivors.count(name) == 0) {
+      shared.violation("import '" + name +
+                       "' survived an earlier heal but vanished from this one");
+    }
+  }
+  std::set<std::string> issued_all;
+  for (std::size_t ci = 0; ci < trace.clients.size(); ++ci) {
+    ClientLog& log = *logs[ci];
+    const std::lock_guard<std::mutex> lock(log.mutex);
+    for (const std::vector<std::string>& round : log.issued) {
+      bool cut = false;
+      for (const std::string& name : round) {
+        issued_all.insert(name);
+        const bool alive = survivors.count(name) != 0;
+        if (alive && cut) {
+          shared.violation(
+              "non-prefix survival: '" + name +
+              "' survives although an earlier import of its round was lost");
+        }
+        if (!alive) cut = true;
+      }
+    }
+    if (graceful) {
+      for (const std::string& name : log.acked) {
+        if (survivors.count(name) == 0) {
+          shared.violation("acked import '" + name +
+                           "' missing after a graceful stop");
+        }
+      }
+    } else {
+      // A SIGKILL may legitimately cut acked-but-unflushed imports;
+      // reconcile so later graceful checks reason from surviving facts.
+      for (auto it = log.acked.begin(); it != log.acked.end();) {
+        it = survivors.count(*it) == 0 ? log.acked.erase(it) : std::next(it);
+      }
+    }
+  }
+  for (const std::string& name : survivors) {
+    if (issued_all.count(name) == 0) {
+      shared.violation("survivor '" + name +
+                       "' was never issued by any client");
+    }
+  }
+}
+
+/// The wire half: after a restart, browse the store through a fresh
+/// connection and check the query results agree with the heal snapshot
+/// for a few sampled designers.
+void verify_queries(const Trace& trace, const std::set<std::string>& survivors,
+                    SwarmShared& shared) {
+  server::Endpoint ep;
+  {
+    const std::lock_guard<std::mutex> lock(shared.mutex);
+    ep = shared.endpoint;
+  }
+  try {
+    server::Client probe;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        probe = server::Client::connect(ep);
+        break;
+      } catch (const support::NetError&) {
+        if (attempt >= 20) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    std::size_t checked = 0;
+    for (std::size_t ci = 0; ci < trace.clients.size() && checked < 3; ++ci) {
+      std::vector<const std::string*> mine;
+      for (const std::string& name : survivors) {
+        if (swarm_name_client(name) == ci) mine.push_back(&name);
+      }
+      if (mine.empty()) continue;
+      ++checked;
+      const std::string& user = trace.clients[ci].user;
+      std::string view;
+      for (const char* entity : kSourceEntities) {
+        const server::CallResult r =
+            probe.call(std::string("browse ") + entity + " user=" + user);
+        if (!r.ok()) {
+          shared.violation("post-restart browse " + std::string(entity) +
+                           " failed for " + user + ": " + r.error);
+          continue;
+        }
+        view += r.output;
+      }
+      for (const std::string* name : mine) {
+        if (view.find(*name) == std::string::npos) {
+          shared.violation("surviving import '" + *name +
+                           "' missing from post-restart browse for " + user);
+        }
+      }
+      // Everything swarm-shaped the browser shows must be a known
+      // survivor — queries may not resurrect lost or foreign data.
+      for (std::size_t pos = view.find("sw_c"); pos != std::string::npos;
+           pos = view.find("sw_c", pos + 1)) {
+        std::size_t end = pos;
+        while (end < view.size() &&
+               (std::isalnum(static_cast<unsigned char>(view[end])) != 0 ||
+                view[end] == '_')) {
+          ++end;
+        }
+        const std::string token = view.substr(pos, end - pos);
+        if (is_swarm_name(token) && swarm_name_client(token) == ci &&
+            survivors.count(token) == 0) {
+          shared.violation("post-restart browse shows '" + token +
+                           "' which no heal observed");
+        }
+      }
+    }
+    probe.close();
+  } catch (const std::exception& e) {
+    shared.violation(std::string("post-restart query verification failed: ") +
+                     e.what());
+  }
+}
+
+/// A "fault" chaos event: a dedicated chaos client runs a fault-seeded
+/// flow mid-load and asserts the server absorbs it — the run's failure is
+/// tolerated, the failure records are queryable, the server stays
+/// responsive.  No stop, no heal: the store stays live.
+void fire_fault_event(std::size_t index, std::uint64_t fault_seed,
+                      SwarmShared& shared) {
+  server::Endpoint ep;
+  {
+    const std::lock_guard<std::mutex> lock(shared.mutex);
+    ep = shared.endpoint;
+  }
+  const std::string stem = "cz" + std::to_string(index);
+  const TraceRound round =
+      make_fault_round(stem, "fcz" + std::to_string(index), fault_seed | 1);
+  try {
+    server::Client chaos = server::Client::connect(ep);
+    (void)chaos.call("session user chaos");
+    std::vector<std::string> ids;
+    for (const TraceOp& op : round.ops) {
+      std::string line;
+      if (!substitute(op.line, ids, line)) break;
+      const server::CallResult r = chaos.call(line, op.body);
+      if (r.ok()) {
+        const std::string id = parse_import_id(r.output);
+        if (!id.empty()) ids.push_back(id);
+      } else if (!op.may_fail && !is_shutdown_error(r.error)) {
+        shared.violation("chaos fault client: '" + line +
+                         "' failed: " + r.error);
+      }
+    }
+    if (!chaos.call("echo alive").ok()) {
+      shared.violation("server unresponsive after a fault-seeded run");
+    }
+    chaos.close();
+  } catch (const std::exception& e) {
+    shared.violation(std::string("chaos fault event failed: ") + e.what());
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- SwarmReport ------------------------------------------------------------
+
+bool SwarmReport::ok() const {
+  if (!violations.empty()) return false;
+  for (const ChaosRecord& event : events) {
+    if (event.kind != "fault" && event.fsck_after != 0) return false;
+  }
+  return true;
+}
+
+std::string SwarmReport::render_text() const {
+  std::ostringstream out;
+  out << "swarm: profile=" << profile << " clients=" << clients
+      << " rounds=" << rounds << " seed=" << seed << "\n";
+  out << "  ops acked " << ops_acked << " in " << static_cast<long>(wall_ms)
+      << "ms (" << static_cast<long>(qps) << " qps), " << errors_tolerated
+      << " tolerated error(s)\n";
+  out << "  latency p50 " << p50_us << "us p95 " << p95_us << "us p99 "
+      << p99_us << "us\n";
+  out << "  chaos events " << events.size() << ", runs resumed "
+      << runs_resumed_total << ", final survivors " << final_survivors << "\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ChaosRecord& e = events[i];
+    out << "  event " << (i + 1) << ": " << e.kind << " at " << e.at_ops
+        << " ops";
+    if (e.kind != "fault") {
+      out << " (fsck " << e.fsck_before << (e.repaired ? " repaired" : "")
+          << " -> heal -> " << e.fsck_after << ", " << e.runs_resumed
+          << " resumed, " << e.survivors << " survivors)";
+    }
+    out << "\n";
+  }
+  if (violations.empty()) {
+    out << "  invariants: OK\n";
+  } else {
+    out << "  VIOLATIONS (" << violations.size() << "):\n";
+    for (const std::string& v : violations) out << "    - " << v << "\n";
+  }
+  return out.str();
+}
+
+std::string SwarmReport::render_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"profile\": \"" << json_escape(profile) << "\",\n";
+  out << "  \"clients\": " << clients << ",\n";
+  out << "  \"rounds\": " << rounds << ",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"ops_acked\": " << ops_acked << ",\n";
+  out << "  \"errors_tolerated\": " << errors_tolerated << ",\n";
+  out << "  \"wall_ms\": " << wall_ms << ",\n";
+  out << "  \"qps\": " << qps << ",\n";
+  out << "  \"p50_us\": " << p50_us << ",\n";
+  out << "  \"p95_us\": " << p95_us << ",\n";
+  out << "  \"p99_us\": " << p99_us << ",\n";
+  out << "  \"runs_resumed\": " << runs_resumed_total << ",\n";
+  out << "  \"final_survivors\": " << final_survivors << ",\n";
+  out << "  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ChaosRecord& e = events[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"kind\": \"" << e.kind
+        << "\", \"at_ops\": " << e.at_ops
+        << ", \"fsck_before\": " << e.fsck_before << ", \"repaired\": "
+        << (e.repaired ? "true" : "false")
+        << ", \"runs_resumed\": " << e.runs_resumed
+        << ", \"fsck_after\": " << e.fsck_after
+        << ", \"survivors\": " << e.survivors << "}";
+  }
+  out << (events.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    \"" << json_escape(violations[i])
+        << "\"";
+  }
+  out << (violations.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"ok\": " << (ok() ? "true" : "false") << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+// ---- run_swarm --------------------------------------------------------------
+
+SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
+  SwarmReport report;
+  report.profile = options.profile;
+  report.clients = options.clients;
+  report.rounds = options.rounds;
+  report.seed = options.seed;
+
+  const Trace trace =
+      make_trace(options.profile, options.clients, options.rounds,
+                 options.seed);
+  const std::size_t total = trace.total_ops();
+
+  SwarmShared shared;
+  shared.endpoint = control.endpoint();
+
+  std::vector<std::unique_ptr<ClientLog>> logs;
+  logs.reserve(trace.clients.size());
+  for (std::size_t ci = 0; ci < trace.clients.size(); ++ci) {
+    logs.push_back(std::make_unique<ClientLog>());
+    logs.back()->issued.resize(options.rounds);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(trace.clients.size());
+  for (std::size_t ci = 0; ci < trace.clients.size(); ++ci) {
+    threads.emplace_back(run_client, std::cref(trace.clients[ci]),
+                         std::ref(*logs[ci]), std::ref(shared));
+  }
+
+  // Warmup barrier: every client connected and warmed before the clock
+  // starts, so percentiles measure steady-state service time.
+  {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.cv.wait(lock,
+                   [&] { return shared.ready >= trace.clients.size(); });
+    shared.go = true;
+    shared.cv.notify_all();
+  }
+  if (options.log != nullptr) {
+    *options.log << "swarm: " << trace.clients.size() << " client(s) warm, "
+                 << total << " ops queued" << std::endl;
+  }
+  const auto t_start = Clock::now();
+
+  std::set<std::string> prev_survivors;
+  static constexpr const char* kKinds[] = {"fault", "sigterm", "sigkill"};
+  for (std::size_t e = 0; e < options.chaos; ++e) {
+    const std::size_t threshold = total * (e + 1) / (options.chaos + 1);
+    while (shared.ops_acked.load() < threshold &&
+           shared.clients_done.load() < trace.clients.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::string kind = kKinds[e % 3];
+    if (kind == std::string("sigkill") && !options.allow_kill) {
+      kind = "sigterm";
+    }
+    ChaosRecord record;
+    record.at_ops = shared.ops_acked.load();
+    if (options.log != nullptr) {
+      *options.log << "swarm: chaos " << (e + 1) << "/" << options.chaos
+                   << " (" << kind << ") at " << record.at_ops << " ops"
+                   << std::endl;
+    }
+    if (kind == "fault") {
+      record.kind = "fault";
+      fire_fault_event(e, options.seed + e, shared);
+    } else {
+      {
+        const std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.server_up = false;
+      }
+      if (kind == "sigkill" && !control.kill()) kind = "sigterm";
+      if (kind == "sigterm") control.stop();
+      record.kind = kind;
+
+      const HealReport heal = heal_store(control.store_dir());
+      record.fsck_before = heal.fsck_before;
+      record.repaired = heal.repaired;
+      record.runs_resumed = heal.runs_resumed;
+      record.fsck_after = heal.fsck_after;
+      record.survivors = heal.survivors.size();
+      report.runs_resumed_total += heal.runs_resumed;
+      if (!heal.error.empty()) {
+        shared.violation("chaos " + std::to_string(e + 1) + " (" + kind +
+                         ") heal: " + heal.error);
+      }
+      verify_history(trace, logs, heal.survivors,
+                     /*graceful=*/kind != std::string("sigkill"),
+                     prev_survivors, shared);
+      prev_survivors = heal.survivors;
+      if (options.log != nullptr) {
+        *options.log << "swarm:   fsck " << heal.fsck_before
+                     << (heal.repaired ? " (repaired)" : "") << " -> heal -> "
+                     << heal.fsck_after << ", " << heal.runs_resumed
+                     << " run(s) resumed, " << heal.survivors.size()
+                     << " survivor(s)" << std::endl;
+      }
+
+      try {
+        control.restart();
+        {
+          const std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.endpoint = control.endpoint();
+        }
+        // Check queries against the heal snapshot BEFORE releasing the
+        // clients: once they reconnect, fresh imports would legitimately
+        // diverge from the snapshot.
+        verify_queries(trace, prev_survivors, shared);
+        {
+          const std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.server_up = true;
+        }
+        shared.cv.notify_all();
+      } catch (const std::exception& ex) {
+        shared.violation("chaos " + std::to_string(e + 1) +
+                         ": restart failed: " + ex.what());
+        {
+          const std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.abort = true;
+        }
+        shared.cv.notify_all();
+        report.events.push_back(record);
+        break;
+      }
+    }
+    report.events.push_back(record);
+  }
+
+  for (std::thread& t : threads) t.join();
+  const auto t_end = Clock::now();
+
+  // Final graceful stop: the whole invariant chain one last time, with
+  // every client's full history on the table.
+  bool server_was_up = false;
+  {
+    const std::lock_guard<std::mutex> lock(shared.mutex);
+    server_was_up = shared.server_up;
+    shared.server_up = false;
+  }
+  if (server_was_up) control.stop();
+  const HealReport final_heal = heal_store(control.store_dir());
+  report.runs_resumed_total += final_heal.runs_resumed;
+  report.final_survivors = final_heal.survivors.size();
+  if (!final_heal.error.empty()) {
+    shared.violation("final heal: " + final_heal.error);
+  }
+  if (final_heal.fsck_after != 0) {
+    shared.violation("final fsck exit " +
+                     std::to_string(final_heal.fsck_after));
+  }
+  verify_history(trace, logs, final_heal.survivors, /*graceful=*/true,
+                 prev_survivors, shared);
+  if (options.log != nullptr) {
+    *options.log << "swarm: final heal fsck " << final_heal.fsck_before
+                 << " -> " << final_heal.fsck_after << ", "
+                 << final_heal.runs_resumed << " run(s) resumed, "
+                 << final_heal.survivors.size() << " survivor(s)" << std::endl;
+  }
+
+  report.ops_acked = shared.ops_acked.load();
+  report.errors_tolerated = shared.errors_tolerated.load();
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(t_end - t_start).count();
+  report.qps = report.wall_ms > 0.0
+                   ? 1000.0 * static_cast<double>(report.ops_acked) /
+                         report.wall_ms
+                   : 0.0;
+  report.p50_us = shared.latency.percentile(0.50);
+  report.p95_us = shared.latency.percentile(0.95);
+  report.p99_us = shared.latency.percentile(0.99);
+  {
+    const std::lock_guard<std::mutex> lock(shared.violations_mutex);
+    report.violations = shared.violations;
+  }
+  return report;
+}
+
+}  // namespace herc::sim

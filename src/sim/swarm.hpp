@@ -1,0 +1,186 @@
+// `herc swarm`: the workload simulator and chaos harness driver.
+//
+// Replays a generated trace (`sim::make_trace`) against a live `herc
+// serve` instance with one thread per simulated designer, injects chaos
+// events mid-load — fault-seeded runs, SIGTERM (graceful wind-down),
+// SIGKILL (torn-tail crash) — and after every crash asserts the invariant
+// chain end to end:
+//
+//   1. `fsck` exits 0, or `--repair` brings it to 0;
+//   2. recovery + `resume` completes every interrupted run and leaves the
+//      store fsck-clean again;
+//   3. post-recovery query results are consistent with the trace: per
+//      (client, round) the surviving imports form a prefix of the issue
+//      order (the journal is append-ordered, so a crash can only cut a
+//      tail), nothing survives that was never issued, every import acked
+//      before a *graceful* stop survives, and whatever one heal observed
+//      every later heal still observes (heals fsync).
+//
+// The server under test is reached through `ServerControl`, which has an
+// in-process implementation (unit tests, the scale benchmark — SIGKILL
+// unsupported) and a child-process one wrapping the real `herc serve`
+// binary (the CLI and CI smoke job — full kill support).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "server/server.hpp"
+#include "server/socket.hpp"
+
+namespace herc::sim {
+
+/// Start/stop/kill interface over the server under test.  All methods are
+/// called from the chaos controller only; clients learn the (possibly
+/// changed) endpoint through the driver after each restart.
+class ServerControl {
+ public:
+  virtual ~ServerControl() = default;
+  [[nodiscard]] virtual server::Endpoint endpoint() const = 0;
+  [[nodiscard]] virtual const std::string& store_dir() const = 0;
+  /// Graceful stop (SIGTERM / `Server::stop`): seals and syncs the store.
+  virtual void stop() = 0;
+  /// Hard kill (SIGKILL): no flush, a torn journal tail is fair game.
+  /// Returns false when unsupported (in-process server).
+  virtual bool kill() = 0;
+  /// Brings a stopped/killed server back up over the same store (the
+  /// endpoint may change — ephemeral ports).
+  virtual void restart() = 0;
+};
+
+/// Serves a durable store from this process.  `kill()` is unsupported —
+/// SIGKILL semantics need a process boundary.
+class InProcessServer final : public ServerControl {
+ public:
+  explicit InProcessServer(std::string store_dir);
+  ~InProcessServer() override;
+
+  [[nodiscard]] server::Endpoint endpoint() const override {
+    return endpoint_;
+  }
+  [[nodiscard]] const std::string& store_dir() const override { return dir_; }
+  void stop() override;
+  bool kill() override { return false; }
+  void restart() override;
+
+ private:
+  std::string dir_;
+  std::unique_ptr<core::DesignSession> session_;
+  std::unique_ptr<server::Server> server_;
+  server::Endpoint endpoint_;
+  bool running_ = false;
+};
+
+/// Runs the real `herc serve` binary as a child process — the chaos
+/// harness's production configuration, with true SIGKILL support.
+class ChildProcessServer final : public ServerControl {
+ public:
+  /// `herc_binary` is the front end to exec (`herc serve <store_dir>
+  /// --listen 127.0.0.1:0`).  Starts the child immediately; throws
+  /// `support::NetError` when it never reports a listening address.
+  ChildProcessServer(std::string herc_binary, std::string store_dir);
+  ~ChildProcessServer() override;
+
+  [[nodiscard]] server::Endpoint endpoint() const override {
+    return endpoint_;
+  }
+  [[nodiscard]] const std::string& store_dir() const override { return dir_; }
+  void stop() override;
+  bool kill() override;
+  void restart() override;
+
+ private:
+  void start();
+  void reap(int signal);
+
+  std::string binary_;
+  std::string dir_;
+  server::Endpoint endpoint_;
+  int pid_ = -1;
+  int out_fd_ = -1;
+  std::thread drain_;
+  bool running_ = false;
+};
+
+/// One offline heal pass over a store: fsck (repair if corrupt), recover,
+/// resume every interrupted run, seal, close, fsck again — plus the
+/// surviving swarm-import snapshot the verifier checks queries against.
+struct HealReport {
+  int fsck_before = 0;
+  bool repaired = false;
+  std::size_t runs_resumed = 0;
+  /// Resumed runs that ended incomplete (failed/skipped tasks remain —
+  /// expected for fault-seeded runs, still *closed*).
+  std::size_t resumes_incomplete = 0;
+  int fsck_after = 2;
+  /// Surviving instance names matching the swarm grammar (`is_swarm_name`).
+  std::set<std::string> survivors;
+  /// Non-empty when the heal itself failed; a swarm violation.
+  std::string error;
+};
+
+/// Heals the store in `dir`.  Never throws: failures land in `error`.
+[[nodiscard]] HealReport heal_store(const std::string& dir);
+
+struct SwarmOptions {
+  std::string profile = "mixed";
+  std::size_t clients = 64;
+  std::size_t rounds = 2;
+  std::uint64_t seed = 1;
+  /// Chaos events to inject, cycling fault -> sigterm -> sigkill.
+  std::size_t chaos = 0;
+  /// Permit SIGKILL events (they degrade to SIGTERM when the control
+  /// cannot kill, or when this is false).
+  bool allow_kill = true;
+  /// Progress narration (nullptr = silent).
+  std::ostream* log = nullptr;
+};
+
+struct ChaosRecord {
+  std::string kind;        ///< "fault" | "sigterm" | "sigkill"
+  std::size_t at_ops = 0;  ///< acked ops when the event fired
+  // Crash events only (-1 = not applicable):
+  int fsck_before = -1;
+  bool repaired = false;
+  std::size_t runs_resumed = 0;
+  int fsck_after = -1;  ///< must be 0 after every crash heal
+  std::size_t survivors = 0;
+};
+
+struct SwarmReport {
+  std::string profile;
+  std::size_t clients = 0;
+  std::size_t rounds = 0;
+  std::uint64_t seed = 0;
+  std::size_t ops_acked = 0;
+  std::size_t errors_tolerated = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::vector<ChaosRecord> events;
+  std::size_t runs_resumed_total = 0;
+  std::size_t final_survivors = 0;
+  /// Broken invariants; empty on a clean run.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::string render_text() const;
+  [[nodiscard]] std::string render_json() const;
+};
+
+/// Runs the whole harness: generate the trace, warm every client
+/// connection, replay under chaos, final graceful stop + heal + verify.
+/// The server behind `control` must be running on entry; it is stopped
+/// (and healed) on exit.
+[[nodiscard]] SwarmReport run_swarm(ServerControl& control,
+                                    const SwarmOptions& options);
+
+}  // namespace herc::sim

@@ -1,0 +1,97 @@
+// Seeded multi-tenant trace generation for the swarm harness.
+//
+// A trace is what a team of designers would type at `herc connect`,
+// synthesized deterministically from (profile, clients, rounds, seed):
+// per client a sequence of *rounds*, each round a short self-contained
+// script mixing the paper's §3.4 approaches — goal-based flow building
+// with expand/specialize, plan-based rebuilds, data-/history-side queries
+// (browse, history, uses, versions), concurrent version edits, runs with
+// fault seeds, and slow runs that hold the server mid-flight for the
+// chaos events to land on.
+//
+// Rounds are the unit of abandonment: when a chaos event tears the
+// connection mid-round, the driver drops the rest of the round and
+// reconnects at the next one.  Because imports carry round-scoped unique
+// names (`sw_c<client>_r<round>_<k>`) and the journal is strictly
+// append-ordered, the survivors of any round must form a *prefix* of the
+// round's issue order after any crash — the core checkable invariant the
+// verifier applies after every heal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace herc::sim {
+
+/// One wire command, plus what the verifier needs to know about it.
+struct TraceOp {
+  /// Interpreter command line; `{iK}` placeholders stand for the K-th
+  /// instance id acked by this round's imports (resolved by the driver).
+  std::string line;
+  /// Heredoc payload (empty for most commands).
+  std::string body;
+  /// True when the op is an `import` whose acked name participates in the
+  /// durability invariants (version re-imports of the same name do not).
+  bool tracked_import = false;
+  /// The swarm-wide unique instance name when `tracked_import`.
+  std::string import_name;
+  /// An error result is tolerated (fault-seeded runs, plan rebuilds that
+  /// race a restart) — anything else failing is a violation.
+  bool may_fail = false;
+};
+
+/// Ops between two reconnect points; abandoned wholesale on a torn
+/// connection.
+struct TraceRound {
+  std::vector<TraceOp> ops;
+};
+
+struct TraceClient {
+  /// `session user` for the connection; also the browse filter the
+  /// verifier uses for this client's surviving instances.
+  std::string user;
+  std::vector<TraceRound> rounds;
+};
+
+struct Trace {
+  std::string profile;
+  std::uint64_t seed = 0;
+  std::vector<TraceClient> clients;
+
+  [[nodiscard]] std::size_t total_ops() const;
+};
+
+/// The named workload mixes (`--profile`): "design" (import-heavy flow
+/// building and runs), "queries" (read-mostly history/browser load),
+/// "versions" (concurrent version edits and annotations), "faults"
+/// (fault-seeded runs exercising failure records), "mixed" (all of the
+/// above — the chaos-acceptance profile).
+[[nodiscard]] const std::vector<std::string>& profile_names();
+
+/// Synthesizes a trace.  Deterministic: the same four arguments always
+/// yield the same trace, which is what makes a chaos failure replayable.
+/// Throws `support::UsageError`-free `std::invalid_argument` on an
+/// unknown profile name.
+[[nodiscard]] Trace make_trace(const std::string& profile,
+                               std::size_t clients, std::size_t rounds,
+                               std::uint64_t seed);
+
+/// A standalone fault-seeded round for the chaos controller's own client:
+/// a simulate flow over imports named `<stem>_0..3` — a stem that must NOT
+/// match the swarm grammar, keeping chaos data out of the durability
+/// checks — run in continue mode under `fault_seed`.
+[[nodiscard]] TraceRound make_fault_round(const std::string& stem,
+                                          const std::string& flow,
+                                          std::uint64_t fault_seed);
+
+/// True when `name` matches the swarm import grammar
+/// `sw_c<digits>_r<digits>_<digits>` — the filter separating harness
+/// data from everything else in a shared store.
+[[nodiscard]] bool is_swarm_name(const std::string& name);
+
+/// The client index encoded in a swarm name (the `<digits>` after `sw_c`);
+/// call only when `is_swarm_name(name)`.
+[[nodiscard]] std::size_t swarm_name_client(const std::string& name);
+
+}  // namespace herc::sim

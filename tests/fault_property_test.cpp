@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "fault_test_util.hpp"
+#include "property_seed.hpp"
 
 namespace herc::faulttest {
 namespace {
@@ -40,8 +41,9 @@ ExecResult run_dag(World& w, const graph::TaskGraph& flow,
 TEST(FaultPropertyTest, SerialAndParallelProduceIdenticalHistories) {
   std::size_t total_failed = 0;
   std::size_t total_ok = 0;
-  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    SCOPED_TRACE("seed " + std::to_string(seed));
+  const std::uint64_t base = testprop::base_seed(1);
+  for (std::uint64_t seed = base; seed < base + 8; ++seed) {
+    SCOPED_TRACE(testprop::seed_note(seed));
     const FailureMode mode = (seed % 2 == 0) ? FailureMode::kBestEffort
                                              : FailureMode::kContinueBranches;
     World serial_world;
@@ -82,8 +84,9 @@ TEST(FaultPropertyTest, RepeatedRunsAreBitIdentical) {
         std::make_tuple(r.tasks_run, r.tasks_failed, r.tasks_skipped),
         history_signature(w.db));
   };
-  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
-    SCOPED_TRACE("seed " + std::to_string(seed));
+  const std::uint64_t base = testprop::base_seed(11);
+  for (std::uint64_t seed = base; seed < base + 4; ++seed) {
+    SCOPED_TRACE(testprop::seed_note(seed));
     const auto a = run_once(seed);
     const auto b = run_once(seed);
     EXPECT_EQ(a.first, b.first);
@@ -92,8 +95,9 @@ TEST(FaultPropertyTest, RepeatedRunsAreBitIdentical) {
 }
 
 TEST(FaultPropertyTest, FailureRecordCountsMatchRunAccounting) {
-  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
-    SCOPED_TRACE("seed " + std::to_string(seed));
+  const std::uint64_t base = testprop::base_seed(21);
+  for (std::uint64_t seed = base; seed < base + 4; ++seed) {
+    SCOPED_TRACE(testprop::seed_note(seed));
     World w;
     const graph::TaskGraph flow = make_random_dag(w, kTasks, seed);
     const auto faults = random_faults(kTasks, seed);

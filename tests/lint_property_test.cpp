@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analyze/flow_lint.hpp"
+#include "property_seed.hpp"
 #include "analyze/plan_check.hpp"
 #include "analyze/schema_lint.hpp"
 #include "exec/executor.hpp"
@@ -147,7 +148,9 @@ const std::vector<std::pair<std::string, std::string>>
 
 TEST_F(LintProperty, ErrorFreeFlowsSurviveCheckAndGrouping) {
   import_sources();
-  std::mt19937 rng(20260807);
+  const std::uint64_t seed = testprop::base_seed(20260807);
+  SCOPED_TRACE(testprop::seed_note(seed));
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
   int clean_flows = 0;
   for (int round = 0; round < 200; ++round) {
     const TaskGraph flow = random_flow(rng);
@@ -163,7 +166,9 @@ TEST_F(LintProperty, ErrorFreeFlowsSurviveCheckAndGrouping) {
 
 TEST_F(LintProperty, ErrorFreeFullyBoundFlowsExecute) {
   import_sources();
-  std::mt19937 rng(42);
+  const std::uint64_t seed = testprop::base_seed(42);
+  SCOPED_TRACE(testprop::seed_note(seed));
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
   int executed = 0;
   for (int round = 0; round < 60 && executed < 25; ++round) {
     const TaskGraph flow = random_flow(rng);

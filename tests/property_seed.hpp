@@ -1,0 +1,34 @@
+// Shared seeding for the property tests.
+//
+// Every randomized test derives its streams from `base_seed(fallback)`:
+// the compiled-in fallback normally, or the `HERC_TEST_SEED` environment
+// variable when set — so a seed printed by a failing CI run can be
+// replayed locally with
+//
+//   HERC_TEST_SEED=<n> ctest -R <test> ...
+//
+// Pair every derived seed with `SCOPED_TRACE(seed_note(seed))` so a
+// failure always names the seed that produced it.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace herc::testprop {
+
+/// `HERC_TEST_SEED` if set (decimal, or 0x-prefixed hex), else `fallback`.
+inline std::uint64_t base_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("HERC_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::stoull(env, nullptr, 0);
+}
+
+/// The trace line attached to every seeded scope: names the seed and how
+/// to replay it.
+inline std::string seed_note(std::uint64_t seed) {
+  return "seed " + std::to_string(seed) +
+         " (rerun with HERC_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace herc::testprop

@@ -26,6 +26,7 @@
 
 #include "exec/executor.hpp"
 #include "fault_test_util.hpp"
+#include "property_seed.hpp"
 #include "storage/fsck.hpp"
 #include "storage/store.hpp"
 #include "support/text.hpp"
@@ -41,7 +42,7 @@ using storage::StoreOptions;
 using storage::SyncPolicy;
 
 constexpr std::size_t kTasks = 20;
-constexpr std::uint64_t kSeed = 0xD1CEu;
+const std::uint64_t kSeed = testprop::base_seed(0xD1CEu);
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -59,6 +60,7 @@ std::vector<std::string> active_signature(const history::HistoryDb& db) {
 }
 
 TEST(ResumePropertyTest, EveryByteCrashPointResumesToTheSameHistory) {
+  SCOPED_TRACE(testprop::seed_note(kSeed));
   World w;
   const TaskGraph flow = faulttest::make_random_dag(w, kTasks, kSeed);
   const std::string dir =

@@ -223,5 +223,154 @@ TEST(ServerStressTest, StopMidRunLeavesAResumableFsckCleanStore) {
   fs::remove_all(dir);
 }
 
+// ---- stop() edge cases ------------------------------------------------------
+//
+// The two nastiest shutdown windows: a client mid-pipeline (replies and
+// refusals must stay strictly ordered, with no ok after the first
+// refusal), and a client whose bounded queue is full (its reader is
+// parked on backpressure when the stop lands).  Both run under the TSan
+// CI job, so a leaked connection thread or a lock order mistake in
+// `stop()` fails the suite, not just this process's exit code.
+
+TEST(ServerStressTest, StopMidPipelineDrainsOrRefusesInOrder) {
+  core::DesignSession session(schema::make_full_schema());
+  ServeOptions options;
+  options.queue_depth = 4;  // small queue: the reader parks early
+  Server server(session, options);
+  const Endpoint bound = server.add_listener(Endpoint::parse("127.0.0.1:0"));
+  server.start();
+
+  constexpr int kCommands = 200;
+  Client client = Client::connect(bound);
+  // Sends run in a second thread: once the queue is full the server stops
+  // draining the socket and a blocked send must not deadlock the test.
+  std::thread sender([&] {
+    try {
+      for (int i = 0; i < kCommands; ++i) {
+        client.send("echo " + std::to_string(i));
+      }
+    } catch (const support::NetError&) {
+      // Connection torn by stop() mid-send: expected.
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread stopper([&] { server.stop(); });
+
+  int acked = 0;
+  int refused = 0;
+  bool out_of_order = false;
+  try {
+    for (int i = 0; i < kCommands; ++i) {
+      const CallResult result = client.receive();
+      if (result.ok()) {
+        // Replies must arrive strictly in order, and an ok after the
+        // first refusal would mean a command overtook the shutdown.
+        if (refused > 0 || result.output != std::to_string(acked) + "\n") {
+          out_of_order = true;
+        }
+        ++acked;
+      } else {
+        EXPECT_NE(result.error.find("shutting down"), std::string::npos)
+            << result.error;
+        ++refused;
+      }
+    }
+  } catch (const support::NetError&) {
+    // Remaining commands never reached the server: the torn connection
+    // accounts for them.
+  }
+  stopper.join();
+  sender.join();
+  client.close();
+
+  EXPECT_FALSE(out_of_order);
+  EXPECT_LE(acked + refused, kCommands);
+  EXPECT_FALSE(server.running());
+  // The session survives the shutdown intact and is servable again.
+  Server second(session);
+  const Endpoint again = second.add_listener(Endpoint::parse("127.0.0.1:0"));
+  second.start();
+  Client probe = Client::connect(again);
+  EXPECT_TRUE(probe.call("entities").ok());
+  probe.close();
+  second.stop();
+}
+
+TEST(ServerStressTest, StopWithFullQueueSealsAResumableStore) {
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_server_stop_full_queue").string();
+  fs::remove_all(dir);
+  bool resumable = false;
+  {
+    core::DesignSession session(schema::make_full_schema());
+    session.open_storage(dir);
+    ServeOptions options;
+    options.queue_depth = 2;
+    Server server(session, options);
+    const Endpoint bound = server.add_listener(Endpoint::parse("127.0.0.1:0"));
+    server.start();
+
+    Client client = Client::connect(bound);
+    ASSERT_EQ(build_simulate_flow(client), 0);
+    // A slow run at the queue head plus a flood behind it: the worker is
+    // busy, the 2-slot queue fills, the reader parks on backpressure —
+    // exactly the state stop() must unwind without losing the store.
+    std::thread sender([&] {
+      try {
+        client.send("run f latency=400");
+        for (int i = 0; i < 64; ++i) client.send("entities");
+      } catch (const support::NetError&) {
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    server.stop();
+    sender.join();
+
+    // Whatever drained must still be well-formed: the run either finished
+    // or was cancelled; everything refused says so cleanly.
+    try {
+      const CallResult run_result = client.receive();
+      if (!run_result.ok()) {
+        EXPECT_TRUE(
+            run_result.error.find("cancelled") != std::string::npos ||
+            run_result.error.find("shutting down") != std::string::npos)
+            << run_result.error;
+      }
+      for (int i = 0; i < 64; ++i) {
+        const CallResult result = client.receive();
+        if (!result.ok()) {
+          EXPECT_NE(result.error.find("shutting down"), std::string::npos)
+              << result.error;
+        }
+      }
+    } catch (const support::NetError&) {
+      // Torn before every reply: fine, the store checks below are the
+      // real contract.
+    }
+    client.close();
+    resumable = !session.db().open_runs().empty();
+    session.close_storage();
+  }
+
+  // The store is fsck-clean; if the run was cut mid-flight it is sealed
+  // resumable and a fresh session finishes it.
+  const storage::FsckReport report = storage::fsck_store(dir);
+  EXPECT_EQ(report.exit_code(), 0) << report.render();
+  if (resumable) {
+    EXPECT_TRUE(report.has("resumable-run")) << report.render();
+    core::DesignSession session(schema::make_full_schema());
+    session.open_storage(dir);
+    const auto open = session.db().open_runs();
+    ASSERT_EQ(open.size(), 1u);
+    const exec::ExecResult result = session.resume_run(open.front()->id);
+    EXPECT_TRUE(result.complete());
+    EXPECT_TRUE(session.db().open_runs().empty());
+    session.close_storage();
+    const storage::FsckReport after = storage::fsck_store(dir);
+    EXPECT_EQ(after.exit_code(), 0) << after.render();
+  }
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace herc::server

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "history/history_db.hpp"
+#include "property_seed.hpp"
 #include "schema/standard_schemas.hpp"
 #include "storage/journal.hpp"
 #include "storage/store.hpp"
@@ -66,7 +67,7 @@ void mutate(HistoryDb& db, const schema::TaskSchema& schema) {
   const InstanceId editor =
       db.import_instance(schema.require("CircuitEditor"), "ed", "tool", "u");
   std::vector<InstanceId> netlists;
-  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t rng = testprop::base_seed(0x9e3779b97f4a7c15ULL);
   for (std::size_t i = 1; i < kMutations; ++i) {
     const std::uint64_t pick = next_rand(rng) % 10;
     if (pick < 3 || netlists.empty()) {
@@ -118,6 +119,7 @@ HistoryDb apply_records(const schema::TaskSchema& schema,
 }
 
 TEST(StoragePropertyTest, EveryByteTruncationRecoversAValidPrefix) {
+  SCOPED_TRACE(testprop::seed_note(testprop::base_seed(0x9e3779b97f4a7c15ULL)));
   const schema::TaskSchema schema = schema::make_fig1_schema();
   const std::string dir =
       (fs::temp_directory_path() / "herc_storage_property").string();

@@ -1,0 +1,185 @@
+// The swarm harness's own unit tests: trace generation is deterministic
+// and profile-shaped, the name grammar cleanly separates harness data
+// from everything else, the latency histogram reports sane percentiles,
+// and a small in-process swarm — chaos events included — runs the full
+// invariant chain clean end to end.  (SIGKILL semantics need a process
+// boundary, so the torn-tail path is covered by the `herc swarm` smoke
+// test over ChildProcessServer; in-process kill degrades to SIGTERM.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "server/latency.hpp"
+#include "sim/swarm.hpp"
+#include "sim/trace.hpp"
+#include "storage/fsck.hpp"
+
+namespace herc::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> flatten(const Trace& trace) {
+  std::vector<std::string> lines;
+  for (const TraceClient& client : trace.clients) {
+    lines.push_back("user " + client.user);
+    for (const TraceRound& round : client.rounds) {
+      for (const TraceOp& op : round.ops) {
+        lines.push_back(op.line + "|" + op.body + "|" +
+                        (op.tracked_import ? op.import_name : "-") +
+                        (op.may_fail ? "|mayfail" : ""));
+      }
+    }
+  }
+  return lines;
+}
+
+TEST(SwarmTraceTest, SameSeedYieldsTheSameTraceDifferentSeedDoesNot) {
+  for (const std::string& profile : profile_names()) {
+    const Trace a = make_trace(profile, 6, 2, 42);
+    const Trace b = make_trace(profile, 6, 2, 42);
+    const Trace c = make_trace(profile, 6, 2, 43);
+    EXPECT_EQ(flatten(a), flatten(b)) << profile;
+    EXPECT_NE(flatten(a), flatten(c)) << profile;
+    EXPECT_EQ(a.clients.size(), 6u);
+    EXPECT_GT(a.total_ops(), 0u);
+  }
+  EXPECT_THROW((void)make_trace("no-such-profile", 2, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(SwarmTraceTest, TrackedImportsFollowTheSwarmGrammar) {
+  const Trace trace = make_trace("mixed", 5, 3, 7);
+  std::size_t tracked = 0;
+  for (std::size_t c = 0; c < trace.clients.size(); ++c) {
+    for (const TraceRound& round : trace.clients[c].rounds) {
+      for (const TraceOp& op : round.ops) {
+        if (!op.tracked_import) continue;
+        ++tracked;
+        EXPECT_TRUE(is_swarm_name(op.import_name)) << op.import_name;
+        EXPECT_EQ(swarm_name_client(op.import_name), c) << op.import_name;
+      }
+    }
+  }
+  EXPECT_GT(tracked, 0u);
+}
+
+TEST(SwarmTraceTest, NameGrammarRejectsNearMisses) {
+  EXPECT_TRUE(is_swarm_name("sw_c0_r0_0"));
+  EXPECT_TRUE(is_swarm_name("sw_c12_r3_45"));
+  EXPECT_FALSE(is_swarm_name("sw_c_r0_0"));       // no client digits
+  EXPECT_FALSE(is_swarm_name("sw_c1_r_0"));       // no round digits
+  EXPECT_FALSE(is_swarm_name("sw_c1_r2"));        // missing ordinal
+  EXPECT_FALSE(is_swarm_name("sw_c1_r2_3x"));     // trailing junk
+  EXPECT_FALSE(is_swarm_name("xsw_c1_r2_3"));     // leading junk
+  EXPECT_FALSE(is_swarm_name("cz0_1"));           // chaos-client stem
+  EXPECT_FALSE(is_swarm_name(""));
+}
+
+TEST(SwarmTraceTest, FaultRoundsAreUntrackedAndOutsideTheGrammar) {
+  const TraceRound round = make_fault_round("cz3", "czf3", 99);
+  EXPECT_FALSE(round.ops.empty());
+  bool saw_run = false;
+  for (const TraceOp& op : round.ops) {
+    EXPECT_FALSE(op.tracked_import) << op.line;
+    EXPECT_TRUE(op.import_name.empty()) << op.line;
+    if (op.line.rfind("run ", 0) == 0) {
+      saw_run = true;
+      EXPECT_TRUE(op.may_fail) << op.line;
+    }
+  }
+  EXPECT_TRUE(saw_run);
+}
+
+TEST(SwarmLatencyTest, PercentilesAreOrderedAndNeverUnderstate) {
+  server::LatencyHistogram hist;
+  EXPECT_EQ(hist.percentile(0.5), 0u);  // empty
+  for (std::uint64_t us = 1; us <= 1000; ++us) hist.record(us);
+  EXPECT_EQ(hist.count(), 1000u);
+  const std::uint64_t p50 = hist.percentile(0.50);
+  const std::uint64_t p95 = hist.percentile(0.95);
+  const std::uint64_t p99 = hist.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Upper-edge reporting: never understates, and the ~25% bucket
+  // resolution bounds the overstatement.
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 640u);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 1280u);
+  // Exact range stays exact.
+  server::LatencyHistogram small;
+  for (int i = 0; i < 10; ++i) small.record(7);
+  EXPECT_EQ(small.percentile(0.5), 7u);
+  EXPECT_EQ(small.percentile(1.0), 7u);
+}
+
+TEST(SwarmDriverTest, InProcessSwarmRunsCleanUnderChaos) {
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_swarm_unit_store").string();
+  fs::remove_all(dir);
+  {
+    InProcessServer control(dir);
+    SwarmOptions options;
+    options.profile = "mixed";
+    options.clients = 8;
+    options.rounds = 2;
+    options.seed = 3;
+    options.chaos = 2;  // fault, then sigterm (in-process: no SIGKILL)
+    const SwarmReport report = run_swarm(control, options);
+    for (const std::string& violation : report.violations) {
+      ADD_FAILURE() << violation;
+    }
+    EXPECT_TRUE(report.ok());
+    EXPECT_GT(report.ops_acked, 0u);
+    ASSERT_EQ(report.events.size(), 2u);
+    EXPECT_EQ(report.events[0].kind, "fault");
+    EXPECT_EQ(report.events[1].kind, "sigterm");
+    // Every crash event healed to a clean store.
+    for (const ChaosRecord& event : report.events) {
+      if (event.kind == "fault") continue;
+      EXPECT_EQ(event.fsck_after, 0) << event.kind;
+    }
+    EXPECT_GT(report.final_survivors, 0u);
+    // The report renders in both shapes without blowing up.
+    EXPECT_NE(report.render_text().find("profile"), std::string::npos);
+    EXPECT_NE(report.render_json().find("\"violations\""), std::string::npos);
+  }
+  // After the harness's own final heal the store audits clean offline.
+  const storage::FsckReport fsck = storage::fsck_store(dir);
+  EXPECT_EQ(fsck.exit_code(), 0) << fsck.render();
+  fs::remove_all(dir);
+}
+
+TEST(SwarmDriverTest, HealOfAFreshlySealedStoreIsANoOp) {
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_swarm_heal_store").string();
+  fs::remove_all(dir);
+  {
+    InProcessServer control(dir);
+    SwarmOptions options;
+    options.profile = "queries";
+    options.clients = 2;
+    options.rounds = 1;
+    options.seed = 11;
+    const SwarmReport report = run_swarm(control, options);
+    EXPECT_TRUE(report.ok());
+  }
+  const HealReport heal = heal_store(dir);
+  EXPECT_EQ(heal.error, "");
+  EXPECT_EQ(heal.fsck_before, 0);
+  EXPECT_FALSE(heal.repaired);
+  EXPECT_EQ(heal.runs_resumed, 0u);
+  EXPECT_EQ(heal.fsck_after, 0);
+  for (const std::string& name : heal.survivors) {
+    EXPECT_TRUE(is_swarm_name(name)) << name;
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace herc::sim
