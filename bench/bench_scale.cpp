@@ -33,8 +33,10 @@ int main() {
   // The chaos-acceptance "faults" profile is excluded: fault-seeded runs
   // spend their time in injected failures and retries, which is chaos
   // coverage, not a throughput statement.
+  // "replicas" runs with a two-follower fleet: three readers in four are
+  // served off the leader's write path entirely.
   const std::vector<std::string> kProfiles = {"queries", "design", "versions",
-                                              "mixed"};
+                                              "mixed", "replicas"};
   constexpr std::size_t kClients = 8;
   constexpr std::size_t kRounds = 3;
   constexpr std::uint64_t kSeed = 20260808;
@@ -47,13 +49,15 @@ int main() {
   bool failed = false;
   for (const std::string& profile : kProfiles) {
     const std::filesystem::path dir = root / profile;
-    herc::sim::InProcessServer control(dir.string());
+    const bool replicate = profile == "replicas";
+    herc::sim::InProcessServer control(dir.string(), replicate);
     herc::sim::SwarmOptions options;
     options.profile = profile;
     options.clients = kClients;
     options.rounds = kRounds;
     options.seed = kSeed;
     options.chaos = 0;
+    options.followers = replicate ? 2 : 0;
     herc::sim::SwarmReport report = herc::sim::run_swarm(control, options);
     std::printf(
         "bench_scale: %-8s %5zu ops, %6.0f qps, p50/p95/p99 "

@@ -2,6 +2,7 @@
 // audit and resume its store.
 //
 //   herc serve <store-dir> [--listen <addr>]... [--schema <ref>]
+//             [--replicate-from <addr> [--retry N]]
 //       Owns the durable store and serves it to many clients.  <addr> is
 //       host:port (":0" = ephemeral localhost port, printed on stdout) or
 //       unix:/path; default 127.0.0.1:7117.  An existing store supplies
@@ -10,6 +11,23 @@
 //       are cancelled but stay open, partials are quarantined, runs are
 //       sealed, the journal synced — `herc fsck` then reports the store
 //       clean and `herc resume` finishes the work.
+//       With --replicate-from the server is a read-only follower: it
+//       bootstraps from the leader at <addr> (snapshot or local replica
+//       store), applies the leader's journal stream, and serves reads;
+//       write commands are refused with a pointer to the leader.  A
+//       leader always ships its journal — followers may subscribe at any
+//       time — and refuses to serve a directory still carrying a replica
+//       marker (promote it first).
+//
+//   herc replicas <addr> [--json]   follower positions and lag, from the
+//       leader at <addr>
+//
+//   herc promote <replica-dir>
+//       Turns a follower's store into a leader store: leader-style crash
+//       recovery (seal interrupted runs, quarantine partials), a
+//       checkpoint under the next storage epoch — the fence that keeps
+//       the demoted ex-leader's frames out forever — and removal of the
+//       replica marker.  `herc serve <dir>` then leads from it.
 //
 //   herc connect <addr> [--retry N] [-e <command>]... [script.hcl]
 //       Remote REPL / script runner over the wire protocol.  With -e or a
@@ -20,16 +38,19 @@
 //   herc resume <store-dir>         finish every interrupted run
 //
 //   herc swarm <store-dir> [--profile P] [--clients N] [--rounds R]
-//              [--seed S] [--chaos N] [--no-kill] [--herc BIN]
-//              [--json [FILE]]
+//              [--seed S] [--chaos N] [--no-kill] [--followers N]
+//              [--herc BIN] [--json [FILE]]
 //       Thousand-designer workload simulator and chaos harness: serves
 //       <store-dir> from a child `herc serve`, replays a deterministic
 //       multi-tenant trace (--profile design|queries|versions|faults|
-//       mixed) with N concurrent clients, injects chaos events (fault
-//       seeds, SIGTERM, SIGKILL) mid-load, and after every crash runs
-//       the invariant chain: fsck clean (or repaired clean), every
+//       mixed|replicas) with N concurrent clients, injects chaos events
+//       (fault seeds, SIGTERM, SIGKILL) mid-load, and after every crash
+//       runs the invariant chain: fsck clean (or repaired clean), every
 //       interrupted run resumed, queries consistent with the trace.
-//       Exit 0 when every invariant held, 2 otherwise.
+//       --followers (default 2 for --profile replicas) adds a read-
+//       replica fleet: read-only clients pin to the replicas and every
+//       heal must propagate the new epoch to all of them before readers
+//       reconnect.  Exit 0 when every invariant held, 2 otherwise.
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -43,6 +64,8 @@
 
 #include "cli/interpreter.hpp"
 #include "core/session.hpp"
+#include "replica/applier.hpp"
+#include "replica/shipper.hpp"
 #include "schema/schema_io.hpp"
 #include "schema/standard_schemas.hpp"
 #include "server/client.hpp"
@@ -98,20 +121,102 @@ std::unique_ptr<herc::core::DesignSession> open_session(
   return session;
 }
 
+/// Graceful stop on SIGTERM/SIGINT, delivered through a self-pipe so the
+/// handler does nothing signal-unsafe.
+bool install_signal_handlers() {
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "serve: cannot create the signal pipe\n";
+    return false;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  return true;
+}
+
+void wait_for_signal() {
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+/// `herc serve --replicate-from`: a read-only follower of the leader at
+/// `leader_spec`, serving the replicated history from `dir`.
+int serve_follower(const std::string& dir, const std::string& leader_spec,
+                   int retries, const std::vector<std::string>& listen_specs) {
+  const herc::server::Endpoint leader =
+      herc::server::Endpoint::parse(leader_spec);
+  herc::replica::ReplicaApplier applier(leader, dir);
+  std::cout << "replicating " << dir << " from " << leader.describe()
+            << std::endl;
+  if (!applier.bootstrap(retries)) {
+    std::cerr << "serve: cannot bootstrap from " << leader.describe() << ": "
+              << applier.last_error() << "\n";
+    return 2;
+  }
+  const herc::replica::StreamPosition start = applier.position();
+  std::cout << "bootstrapped at " << start.epoch << ":" << start.seq << " ("
+            << applier.db().size() << " instance(s))\n";
+
+  // The session copies the applier's schema but *reads* the applier's
+  // database — every mutation path throws, so history changes only
+  // through replicated frames.
+  herc::core::DesignSession session(applier.schema());
+  session.attach_replica(&applier.db());
+  herc::server::ServeOptions serve_options;
+  serve_options.read_only = true;
+  herc::server::Server server(session, serve_options);
+  server.set_position_source([&applier] {
+    const herc::replica::StreamPosition pos = applier.position();
+    return herc::server::JournalPosition{pos.epoch, pos.seq,
+                                         applier.journal_bytes()};
+  });
+  applier.set_gate([&server](const std::function<void()>& fn) {
+    server.with_exclusive_session(fn);
+  });
+  for (const std::string& spec : listen_specs) {
+    const herc::server::Endpoint bound =
+        server.add_listener(herc::server::Endpoint::parse(spec));
+    std::cout << "listening on " << bound.describe() << "\n";
+  }
+  if (!install_signal_handlers()) return 2;
+  server.start();
+  applier.start();
+  std::cout << "serving (read-only replica); SIGTERM or SIGINT stops"
+            << std::endl;
+  wait_for_signal();
+  std::cout << "shutting down..." << std::endl;
+  applier.stop();
+  server.stop();
+  const herc::replica::StreamPosition end = applier.position();
+  std::cout << "applied " << applier.frames_applied()
+            << " frame(s); final position " << end.epoch << ":" << end.seq
+            << "\n";
+  return 0;
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::cerr << "usage: herc serve <store-dir> [--listen <addr>]..."
-                 " [--schema <fig1|fig2|full|file>]\n";
+                 " [--schema <fig1|fig2|full|file>]\n"
+                 "                  [--replicate-from <addr> [--retry N]]\n";
     return 2;
   }
   const std::string dir = args[0];
   std::vector<std::string> listen_specs;
   std::string schema_ref = "full";
+  std::string replicate_from;
+  int retries = 25;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--listen" && i + 1 < args.size()) {
       listen_specs.push_back(args[++i]);
     } else if (args[i] == "--schema" && i + 1 < args.size()) {
       schema_ref = args[++i];
+    } else if (args[i] == "--replicate-from" && i + 1 < args.size()) {
+      replicate_from = args[++i];
+    } else if (args[i] == "--retry" && i + 1 < args.size()) {
+      retries = std::stoi(args[++i]);
     } else {
       std::cerr << "serve: unknown argument '" << args[i] << "'\n";
       return 2;
@@ -119,32 +224,34 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
   if (listen_specs.empty()) listen_specs.emplace_back("127.0.0.1:7117");
 
+  if (!replicate_from.empty()) {
+    return serve_follower(dir, replicate_from, retries, listen_specs);
+  }
+  if (herc::replica::ReplicaApplier::is_replica_store(dir)) {
+    std::cerr << "serve: '" << dir << "' is a replica store; run `herc"
+                 " promote " << dir << "` before leading from it, or serve"
+                 " it with --replicate-from\n";
+    return 2;
+  }
+
   const std::unique_ptr<herc::core::DesignSession> session =
       open_session(dir, schema_ref);
+  // A leader always ships its journal: followers subscribe at any time.
+  herc::replica::JournalShipper shipper(*session);
   herc::server::Server server(*session);
+  server.set_replication_hub(&shipper);
   for (const std::string& spec : listen_specs) {
     const herc::server::Endpoint bound =
         server.add_listener(herc::server::Endpoint::parse(spec));
     std::cout << "listening on " << bound.describe() << "\n";
   }
 
-  // Graceful stop on SIGTERM/SIGINT, delivered through a self-pipe so the
-  // handler does nothing signal-unsafe.
-  if (::pipe(g_signal_pipe) != 0) {
-    std::cerr << "serve: cannot create the signal pipe\n";
-    return 2;
-  }
-  struct sigaction sa {};
-  sa.sa_handler = on_signal;
-  ::sigaction(SIGTERM, &sa, nullptr);
-  ::sigaction(SIGINT, &sa, nullptr);
+  if (!install_signal_handlers()) return 2;
 
   server.start();
   std::cout << "serving; SIGTERM or SIGINT stops gracefully" << std::endl;
 
-  char byte = 0;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
-  }
+  wait_for_signal();
   std::cout << "shutting down..." << std::endl;
   server.stop();
   const auto& stats = server.stats();
@@ -152,6 +259,42 @@ int cmd_serve(const std::vector<std::string>& args) {
             << stats.connections_accepted.load() << " connection(s); "
             << session->db().open_runs().size()
             << " open run(s) sealed for resume\n";
+  return 0;
+}
+
+int cmd_replicas(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2 ||
+      (args.size() == 2 && args[1] != "--json")) {
+    std::cerr << "usage: herc replicas <addr> [--json]\n";
+    return 2;
+  }
+  const bool json = args.size() == 2;
+  herc::server::Client client =
+      herc::server::Client::connect(herc::server::Endpoint::parse(args[0]));
+  const herc::server::CallResult result =
+      client.call(json ? "replicas --json" : "replicas");
+  std::cout << result.output;
+  if (json && !result.output.empty() && result.output.back() != '\n') {
+    std::cout << "\n";
+  }
+  if (!result.ok()) std::cerr << "error: " << result.error << "\n";
+  return result.exit_code();
+}
+
+int cmd_promote(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::cerr << "usage: herc promote <replica-dir>\n";
+    return 2;
+  }
+  const herc::replica::PromoteReport report =
+      herc::replica::promote_store(args[0]);
+  std::cout << "promoted " << args[0] << " to leader at epoch "
+            << report.epoch << "\n";
+  if (report.recovery.interrupted_runs > 0) {
+    std::cout << "  " << report.recovery.interrupted_runs
+              << " interrupted run(s) sealed, " << report.recovery.quarantined
+              << " partial(s) quarantined (finish them with `herc resume`)\n";
+  }
   return 0;
 }
 
@@ -321,7 +464,8 @@ int cmd_swarm(const std::vector<std::string>& args,
     std::cerr << "usage: herc swarm <store-dir> [--profile P] [--clients N]"
                  " [--rounds R]\n"
                  "                  [--seed S] [--chaos N] [--no-kill]"
-                 " [--herc BIN] [--json [FILE]]\n";
+                 " [--followers N]\n"
+                 "                  [--herc BIN] [--json [FILE]]\n";
     return 2;
   };
   if (args.empty()) return usage();
@@ -330,6 +474,7 @@ int cmd_swarm(const std::vector<std::string>& args,
   options.log = &std::cout;
   std::string binary = self;
   bool json = false;
+  bool followers_set = false;
   std::string json_file;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -346,6 +491,9 @@ int cmd_swarm(const std::vector<std::string>& args,
       options.chaos = std::stoul(args[++i]);
     } else if (arg == "--no-kill") {
       options.allow_kill = false;
+    } else if (arg == "--followers" && more) {
+      options.followers = std::stoul(args[++i]);
+      followers_set = true;
     } else if (arg == "--herc" && more) {
       binary = args[++i];
     } else if (arg == "--json") {
@@ -356,6 +504,9 @@ int cmd_swarm(const std::vector<std::string>& args,
       return usage();
     }
   }
+  // The replicas profile runs a follower fleet by default; any profile
+  // accepts an explicit --followers.
+  if (!followers_set && options.profile == "replicas") options.followers = 2;
   // The harness owns its store outright: pre-existing data (swarm or
   // otherwise) would fail the nothing-foreign invariant, so insist on a
   // fresh path instead of touching anything already on disk.
@@ -384,7 +535,8 @@ int cmd_swarm(const std::vector<std::string>& args,
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: herc <serve|connect|fsck|resume|swarm> ...\n";
+    std::cerr << "usage: herc <serve|connect|replicas|promote|fsck|resume"
+                 "|swarm> ...\n";
     return 2;
   }
   const std::string verb = argv[1];
@@ -392,6 +544,8 @@ int main(int argc, char** argv) {
   try {
     if (verb == "serve") return cmd_serve(args);
     if (verb == "connect") return cmd_connect(args);
+    if (verb == "replicas") return cmd_replicas(args);
+    if (verb == "promote") return cmd_promote(args);
     if (verb == "fsck") return cmd_fsck(args);
     if (verb == "resume") return cmd_resume(args);
     if (verb == "swarm") return cmd_swarm(args, self_binary(argv[0]));

@@ -21,6 +21,14 @@ constexpr double kSeededFaultProbability = 0.25;
 
 }  // namespace
 
+void DesignSession::require_writable(std::string_view what) const {
+  if (replica_db_ != nullptr) {
+    throw support::HistoryError("read-only replica: '" + std::string(what) +
+                                "' mutates the design history; run it on "
+                                "the leader");
+  }
+}
+
 DesignSession::DesignSession(schema::TaskSchema schema, std::string user,
                              std::unique_ptr<support::Clock> clock)
     : schema_(std::move(schema)),
@@ -55,16 +63,19 @@ data::InstanceId DesignSession::import_data(std::string_view entity,
                                             std::string_view name,
                                             std::string_view payload,
                                             std::string_view comment) {
+  require_writable("import");
   return db().import_instance(schema_.require(entity), name, payload, user_,
                               comment);
 }
 
 void DesignSession::extend_schema(std::string_view fragment) {
+  require_writable("schema extend");
   schema::extend_schema(schema_, fragment);
 }
 
 exec::ExecResult DesignSession::run(const TaskGraph& flow,
                                     exec::ExecOptions options) {
+  require_writable("run");
   if (options.user == "designer") options.user = user_;
   if (options.fault.seed != 0) {
     tools::FaultInjectingRegistry faulty(*registry_, options.fault.seed);
@@ -78,6 +89,7 @@ exec::ExecResult DesignSession::run(const TaskGraph& flow,
 
 exec::ExecResult DesignSession::run_goal(const TaskGraph& flow, NodeId goal,
                                          exec::ExecOptions options) {
+  require_writable("run");
   if (options.user == "designer") options.user = user_;
   if (options.fault.seed != 0) {
     tools::FaultInjectingRegistry faulty(*registry_, options.fault.seed);
@@ -90,6 +102,7 @@ exec::ExecResult DesignSession::run_goal(const TaskGraph& flow, NodeId goal,
 }
 
 exec::ExecResult DesignSession::resume_run(std::uint64_t run_id) {
+  require_writable("resume");
   // A run that armed a fault seed resumes under the same plan (the seed is
   // in the run record), so its failure semantics — not just its task list —
   // replay deterministically.
@@ -111,6 +124,9 @@ void DesignSession::set_cancel_flag(const std::atomic<bool>* cancel) {
 
 history::HistoryDb::SealSweep DesignSession::seal_open_runs(
     std::string_view reason) {
+  // A replica's open runs mirror the leader's live runs; sealing them
+  // locally would diverge the replicated history.
+  if (replica_db_ != nullptr) return {};
   const history::HistoryDb::SealSweep sweep = db().seal_open_runs(reason);
   if (storage_) storage_->sync();
   return sweep;
@@ -122,6 +138,7 @@ InstanceBrowser DesignSession::browse(std::string_view entity) const {
 
 void DesignSession::annotate(data::InstanceId id, std::string_view name,
                              std::string_view comment) {
+  require_writable("annotate");
   db().annotate(id, name, comment);
 }
 
@@ -182,6 +199,7 @@ std::string DesignSession::save() const {
 
 storage::RecoveryReport DesignSession::open_storage(
     const std::string& dir, storage::StoreOptions options) {
+  require_writable("open");
   auto store = std::make_unique<storage::DurableHistory>(schema_, *clock_,
                                                          dir, options);
   history::HistoryDb& current = db();
@@ -200,6 +218,7 @@ storage::RecoveryReport DesignSession::open_storage(
 }
 
 void DesignSession::checkpoint_storage() {
+  require_writable("checkpoint");
   if (!storage_) {
     throw support::HistoryError("no durable store is open");
   }

@@ -40,9 +40,11 @@ class DesignSession {
   [[nodiscard]] schema::TaskSchema& schema() { return schema_; }
   [[nodiscard]] const schema::TaskSchema& schema() const { return schema_; }
   [[nodiscard]] history::HistoryDb& db() {
+    if (replica_db_ != nullptr) return *replica_db_;
     return storage_ ? storage_->db() : *db_;
   }
   [[nodiscard]] const history::HistoryDb& db() const {
+    if (replica_db_ != nullptr) return *replica_db_;
     return storage_ ? storage_->db() : *db_;
   }
   [[nodiscard]] tools::ToolRegistry& tools() { return *registry_; }
@@ -142,7 +144,21 @@ class DesignSession {
   /// The attached store, or nullptr.
   [[nodiscard]] storage::DurableHistory* storage() { return storage_.get(); }
 
+  // ---- replication (src/replica) ---------------------------------------------
+
+  /// Turns this session into a read-only replica view over `db` (owned by
+  /// a `ReplicaApplier`, which must outlive the session and keep the
+  /// address stable across resyncs).  Queries read `db`; every mutating
+  /// operation throws `HistoryError` — the follower's history changes only
+  /// through replicated journal frames.  `seal_open_runs` becomes a no-op:
+  /// open runs on a replica are the leader's live runs, not crashes.
+  void attach_replica(history::HistoryDb* db) { replica_db_ = db; }
+  [[nodiscard]] bool read_only() const { return replica_db_ != nullptr; }
+
  private:
+  /// Throws `HistoryError` when this session is a read-only replica.
+  void require_writable(std::string_view what) const;
+
   schema::TaskSchema schema_;
   std::string user_;
   std::unique_ptr<support::Clock> clock_;
@@ -153,6 +169,8 @@ class DesignSession {
   std::unique_ptr<exec::Executor> executor_;
   /// Re-applied whenever the executor is rebuilt (storage open/close).
   const std::atomic<bool>* cancel_ = nullptr;
+  /// Non-null when this session is a read-only replica view.
+  history::HistoryDb* replica_db_ = nullptr;
 };
 
 }  // namespace herc::core

@@ -39,6 +39,11 @@ class Client {
   [[nodiscard]] bool connected() const { return sock_.valid(); }
   /// The server's hello banner (after the magic).
   [[nodiscard]] const std::string& banner() const { return banner_; }
+  /// True when the hello banner identifies a read-only replica — callers
+  /// route write commands to the leader instead.
+  [[nodiscard]] bool is_replica() const {
+    return banner_.find("replica") != std::string::npos;
+  }
 
   /// Sends one command without waiting (pipelining).  `body` is the
   /// heredoc payload for commands that take one.

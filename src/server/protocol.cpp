@@ -40,7 +40,12 @@ bool known_type(unsigned char t) {
   return t == static_cast<unsigned char>(FrameType::kHello) ||
          t == static_cast<unsigned char>(FrameType::kCommand) ||
          t == static_cast<unsigned char>(FrameType::kOutput) ||
-         t == static_cast<unsigned char>(FrameType::kResult);
+         t == static_cast<unsigned char>(FrameType::kResult) ||
+         t == static_cast<unsigned char>(FrameType::kSubscribe) ||
+         t == static_cast<unsigned char>(FrameType::kSnapshot) ||
+         t == static_cast<unsigned char>(FrameType::kJournal) ||
+         t == static_cast<unsigned char>(FrameType::kCheckpoint) ||
+         t == static_cast<unsigned char>(FrameType::kAck);
 }
 
 void send_all(int fd, const char* data, std::size_t size) {

@@ -24,6 +24,19 @@
 //
 // Commands pipeline: a client may send any number of kCommand frames
 // before reading; the server answers strictly in order.
+//
+// Replication (PR 7) adds five frame types spoken only on a follower's
+// subscription connection — see src/replica/replication.hpp for the
+// payload formats:
+//
+//   kSubscribe  follower -> leader: "<epoch> <seq>" to resume, empty to
+//               bootstrap from scratch.  The connection then becomes a
+//               one-way journal stream; no further kCommand is accepted.
+//   kSnapshot   leader -> follower: full store image (bootstrap/resync).
+//   kJournal    leader -> follower: one checksummed journal frame.
+//   kCheckpoint leader -> follower: the leader compacted; epoch bumped.
+//   kAck        follower -> leader: highest contiguously applied position
+//               (feeds the per-follower lag numbers in `stats`).
 #pragma once
 
 #include <cstdint>
@@ -47,6 +60,11 @@ enum class FrameType : unsigned char {
   kCommand = 'C',
   kOutput = 'O',
   kResult = 'R',
+  kSubscribe = 'S',
+  kSnapshot = 'P',
+  kJournal = 'J',
+  kCheckpoint = 'K',
+  kAck = 'A',
 };
 
 struct Frame {

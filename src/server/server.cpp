@@ -83,6 +83,7 @@ void Server::start() {
   }
   stopping_.store(false);
   cancel_.store(false);
+  started_ = std::chrono::steady_clock::now();
   if (::pipe(wake_pipe_) != 0) {
     running_.store(false);
     throw NetError("start: cannot create the wake pipe");
@@ -118,7 +119,10 @@ void Server::accept_loop() {
       try {
         write_frame(conn->sock.fd(),
                     {FrameType::kHello,
-                     std::string(kMagic) + " herc design server"});
+                     std::string(kMagic) +
+                         (options_.read_only
+                              ? " herc replica (read-only)"
+                              : " herc design server")});
       } catch (const NetError&) {
         continue;  // the peer vanished between connect and hello
       }
@@ -145,6 +149,12 @@ void Server::reader_loop(Connection& conn) {
     while (read_frame(conn.sock.fd(), frame)) {
       stats_.bytes_in.fetch_add(frame.payload.size() + kFrameOverhead,
                                 std::memory_order_relaxed);
+      if (frame.type == FrameType::kAck) {
+        // Follower progress reports bypass the command queue: they never
+        // produce a reply and must not wait behind the stream pump.
+        if (hub_ != nullptr) hub_->ack(conn.id, frame.payload);
+        continue;
+      }
       std::unique_lock lock(conn.mutex);
       // Backpressure: a client that pipelines past the queue depth blocks
       // here, which stops draining the socket, which fills the kernel
@@ -160,6 +170,10 @@ void Server::reader_loop(Connection& conn) {
   } catch (const NetError&) {
     // A torn frame or dead peer ends the connection like an EOF would.
   }
+  // A follower that vanished must not leave its stream pump blocked in
+  // `next_frame` until the next mutation happens to wake it: dropping the
+  // subscription ends the pump now.  A no-op for plain command connections.
+  if (hub_ != nullptr) hub_->unsubscribe(conn.id);
   {
     std::scoped_lock lock(conn.mutex);
     conn.eof = true;
@@ -177,6 +191,18 @@ void Server::worker_loop(Connection& conn) {
       frame = std::move(conn.queue.front());
       conn.queue.pop_front();
       conn.cv.notify_all();  // release a backpressured reader
+    }
+    if (frame.type == FrameType::kSubscribe) {
+      // The connection becomes a one-way journal stream; this worker is
+      // its pump until the stream ends, then the connection closes.
+      serve_subscription(conn, frame);
+      {
+        std::scoped_lock lock(conn.mutex);
+        conn.closing = true;
+      }
+      conn.cv.notify_all();
+      conn.sock.shutdown_both();
+      break;
     }
     std::string output;
     std::string result;
@@ -228,6 +254,48 @@ void Server::worker_loop(Connection& conn) {
   conn.done.store(true);
 }
 
+void Server::serve_subscription(Connection& conn, const Frame& frame) {
+  if (hub_ == nullptr) {
+    try {
+      write_frame(conn.sock.fd(),
+                  {FrameType::kResult,
+                   encode_result(Severity::kError,
+                                 "replication is not enabled on this "
+                                 "server")});
+    } catch (const NetError&) {
+    }
+    return;
+  }
+  {
+    // The exclusive lock makes the bootstrap position-atomic: no mutation
+    // (and therefore no shipped frame) can interleave between capturing
+    // the position and queuing the bootstrap.
+    std::unique_lock lock(session_mutex_);
+    std::string error;
+    if (!hub_->subscribe(conn.id, conn.peer, frame.payload, &error)) {
+      lock.unlock();
+      try {
+        write_frame(conn.sock.fd(),
+                    {FrameType::kResult,
+                     encode_result(Severity::kError, error)});
+      } catch (const NetError&) {
+      }
+      return;
+    }
+  }
+  try {
+    Frame out;
+    while (hub_->next_frame(conn.id, out)) {
+      stats_.bytes_out.fetch_add(out.payload.size() + kFrameOverhead,
+                                 std::memory_order_relaxed);
+      write_frame(conn.sock.fd(), out);
+    }
+  } catch (const NetError&) {
+    // The follower vanished; it will reconnect and resync.
+  }
+  hub_->unsubscribe(conn.id);
+}
+
 std::string Server::execute_command(Connection& conn,
                                     const std::string& line,
                                     std::string body, std::string& output,
@@ -235,11 +303,23 @@ std::string Server::execute_command(Connection& conn,
   const std::vector<std::string> args =
       support::split_ws(support::trim(line));
 
-  // Connection-scoped interceptions: `stats` reads only counters;
-  // `session user` must not touch the shared session outside the
-  // exclusive lock, so it is recorded here and applied per write command.
-  if (args.size() == 1 && args[0] == "stats") {
-    output = render_stats(conn);
+  // Connection-scoped interceptions: `stats` and `replicas` read only
+  // counters; `session user` must not touch the shared session outside
+  // the exclusive lock, so it is recorded here and applied per write
+  // command.
+  if (!args.empty() && args[0] == "stats" &&
+      (args.size() == 1 || (args.size() == 2 && args[1] == "--json"))) {
+    output = render_stats(conn, args.size() == 2);
+    return encode_result(Severity::kClean, "");
+  }
+  if (!args.empty() && args[0] == "replicas" &&
+      (args.size() == 1 || (args.size() == 2 && args[1] == "--json"))) {
+    const bool json = args.size() == 2;
+    if (hub_ == nullptr) {
+      output = json ? "[]" : "replication is not enabled on this server\n";
+    } else {
+      output = hub_->render_followers(json);
+    }
     return encode_result(Severity::kClean, "");
   }
   if (args.size() == 3 && args[0] == "session" && args[1] == "user") {
@@ -249,6 +329,14 @@ std::string Server::execute_command(Connection& conn,
   }
 
   const cli::CommandAccess access = cli::command_access(line);
+  if (options_.read_only && access == cli::CommandAccess::kWrite) {
+    stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
+    return encode_result(Severity::kError,
+                         "read-only replica: '" + (args.empty()
+                              ? std::string()
+                              : args[0]) +
+                             "' is a write command; connect to the leader");
+  }
   conn.out.str(std::string());
   cli::CommandStatus status;
   if (access == cli::CommandAccess::kRead) {
@@ -274,25 +362,73 @@ std::string Server::execute_command(Connection& conn,
   return encode_result(conn.interp->last_severity(), "");
 }
 
-std::string Server::render_stats(const Connection& conn) const {
+JournalPosition Server::journal_position() const {
+  if (position_source_) return position_source_();
+  // Leader default: read the open store's position under the shared lock
+  // (a concurrent writer would otherwise race these plain counters).
+  std::shared_lock lock(session_mutex_);
+  storage::DurableHistory* store = session_.storage();
+  if (store == nullptr) return {};
+  JournalPosition pos;
+  pos.epoch = store->epoch();
+  pos.seq = store->journal_seq();
+  pos.bytes = store->journal_file_bytes();
+  return pos;
+}
+
+std::string Server::render_stats(const Connection& conn, bool json) const {
   const auto load = [](const std::atomic<std::uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
+  const std::uint64_t uptime =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - started_)
+              .count());
+  const JournalPosition pos = journal_position();
   std::ostringstream out;
+  if (json) {
+    out << "{\"uptime_seconds\":" << uptime
+        << ",\"read_only\":" << (options_.read_only ? "true" : "false")
+        << ",\"connections_active\":" << load(stats_.connections_active)
+        << ",\"connections_accepted\":" << load(stats_.connections_accepted)
+        << ",\"commands_executed\":" << load(stats_.commands_executed)
+        << ",\"read_commands\":" << load(stats_.read_commands)
+        << ",\"write_commands\":" << load(stats_.write_commands)
+        << ",\"command_errors\":" << load(stats_.command_errors)
+        << ",\"bytes_in\":" << load(stats_.bytes_in)
+        << ",\"bytes_out\":" << load(stats_.bytes_out)
+        << ",\"latency_us\":{\"p50\":"
+        << stats_.command_latency.percentile(0.50)
+        << ",\"p95\":" << stats_.command_latency.percentile(0.95)
+        << ",\"p99\":" << stats_.command_latency.percentile(0.99)
+        << ",\"count\":" << stats_.command_latency.count() << "}"
+        << ",\"journal_epoch\":" << pos.epoch
+        << ",\"journal_seq\":" << pos.seq
+        << ",\"journal_bytes\":" << pos.bytes;
+    if (hub_ != nullptr) {
+      out << ",\"followers\":" << hub_->render_followers(/*json=*/true);
+    }
+    out << "}\n";
+    return out.str();
+  }
   out << "server: " << load(stats_.connections_active)
       << " active connection(s), " << load(stats_.connections_accepted)
-      << " accepted\n"
+      << " accepted, up " << uptime << "s"
+      << (options_.read_only ? " (read-only replica)" : "") << "\n"
       << "commands: " << load(stats_.commands_executed) << " executed ("
       << load(stats_.read_commands) << " reads, "
       << load(stats_.write_commands) << " writes), "
       << load(stats_.command_errors) << " error(s)\n"
       << "wire: " << load(stats_.bytes_in) << " bytes in, "
       << load(stats_.bytes_out) << " bytes out\n"
+      << "journal: epoch " << pos.epoch << ", seq " << pos.seq << ", "
+      << pos.bytes << " bytes\n"
       << "latency: p50 " << stats_.command_latency.percentile(0.50)
       << "us, p95 " << stats_.command_latency.percentile(0.95)
       << "us, p99 " << stats_.command_latency.percentile(0.99) << "us ("
-      << stats_.command_latency.count() << " sampled)\n"
-      << "this connection: #" << conn.id << " (" << conn.peer << ") user '"
+      << stats_.command_latency.count() << " sampled)\n";
+  if (hub_ != nullptr) out << hub_->render_followers(/*json=*/false);
+  out << "this connection: #" << conn.id << " (" << conn.peer << ") user '"
       << conn.user << "', "
       << conn.commands.load(std::memory_order_relaxed) << " command(s)\n";
   return out.str();
@@ -339,7 +475,9 @@ void Server::stop() {
 
   // 3. Wind down every connection: no new bytes read (SHUT_RD -> the
   //    reader sees EOF), backpressured readers released, queued commands
-  //    answered with "server shutting down" by the worker.
+  //    answered with "server shutting down" by the worker.  Follower
+  //    streams end first so their pump workers can join.
+  if (hub_ != nullptr) hub_->close_all();
   {
     std::scoped_lock lock(connections_mutex_);
     for (const std::unique_ptr<Connection>& conn : connections_) {
@@ -361,11 +499,13 @@ void Server::stop() {
   // 4. Leave a clean, resumable store: quarantine the cancelled runs'
   //    partials, seal their sweep windows, sync the journal.  After this
   //    `herc fsck` reports the store clean and `herc resume` finishes the
-  //    interrupted work.
+  //    interrupted work.  A read-only replica skips the seal: its open
+  //    runs are the leader's live runs, and its history may only change
+  //    through replicated frames.
   {
     std::unique_lock lock(session_mutex_);
     session_.set_cancel_flag(nullptr);
-    session_.seal_open_runs(kShutdownSealReason);
+    if (!options_.read_only) session_.seal_open_runs(kShutdownSealReason);
   }
   cancel_.store(false);
   running_.store(false);

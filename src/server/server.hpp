@@ -25,7 +25,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -37,6 +39,7 @@
 
 #include "core/session.hpp"
 #include "server/latency.hpp"
+#include "server/protocol.hpp"
 #include "server/socket.hpp"
 
 namespace herc::server {
@@ -45,6 +48,52 @@ struct ServeOptions {
   /// Commands a connection may have in flight (queued + executing) before
   /// its reader stops draining the socket.
   std::size_t queue_depth = 32;
+  /// Serve a replica: write-classified commands are refused with a
+  /// structured error, the hello banner says so, and shutdown does not
+  /// seal open runs (they are the leader's live runs, not crashes).
+  bool read_only = false;
+};
+
+/// Leader-side replication service plugged into the server (implemented by
+/// `replica::JournalShipper` in src/replica — the server knows only this
+/// interface, so herc_server does not depend on herc_replica).
+///
+/// Lifecycle per follower connection: the worker thread calls `subscribe`
+/// under the *exclusive* session lock (no mutation can interleave, so the
+/// bootstrap is position-atomic), then becomes the connection's pump,
+/// draining `next_frame` to the socket until the stream ends.  The reader
+/// thread feeds `ack` as progress reports arrive.
+class ReplicationHub {
+ public:
+  virtual ~ReplicationHub() = default;
+  /// Registers follower `conn_id` at the position it announced (a
+  /// kSubscribe payload).  Queues the bootstrap frames (snapshot or
+  /// journal backlog).  Returns false — with `*error` explaining — when
+  /// the position is unusable (e.g. a fenced stale leader re-attaching).
+  [[nodiscard]] virtual bool subscribe(std::uint64_t conn_id,
+                                       const std::string& peer,
+                                       std::string_view position,
+                                       std::string* error) = 0;
+  /// Blocks until a frame is queued for `conn_id`; false = stream over
+  /// (unsubscribed, overflowed, or the hub is closing).
+  [[nodiscard]] virtual bool next_frame(std::uint64_t conn_id,
+                                        Frame& frame) = 0;
+  /// Progress report from the follower (a kAck payload).
+  virtual void ack(std::uint64_t conn_id, std::string_view payload) = 0;
+  /// Drops the follower (its connection is closing).
+  virtual void unsubscribe(std::uint64_t conn_id) = 0;
+  /// One line per follower: acked position and lag (for `replicas` and
+  /// `stats`).  When `json` the lines form a JSON array instead.
+  [[nodiscard]] virtual std::string render_followers(bool json) const = 0;
+  /// Ends every follower stream (server shutdown); wakes all pumps.
+  virtual void close_all() = 0;
+};
+
+/// Journal position shown in `stats` (and the source of the lag metric).
+struct JournalPosition {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Aggregate counters, readable while the server runs (`stats` command).
@@ -90,6 +139,25 @@ class Server {
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] core::DesignSession& session() { return session_; }
 
+  /// Attaches the leader-side replication service (before `start()`;
+  /// nullptr detaches).  Without one, kSubscribe frames are refused.
+  void set_replication_hub(ReplicationHub* hub) { hub_ = hub; }
+
+  /// Where `stats` reads the journal position.  A follower server sets
+  /// this to its applier's position; a leader defaults to the session's
+  /// open store (read under the shared session lock).
+  void set_position_source(std::function<JournalPosition()> source) {
+    position_source_ = std::move(source);
+  }
+
+  /// Runs `fn` under the exclusive session lock — the replica applier's
+  /// write gate: replicated frames mutate the session while reader
+  /// connections query it under the shared lock.
+  void with_exclusive_session(const std::function<void()>& fn) {
+    std::unique_lock lock(session_mutex_);
+    fn();
+  }
+
  private:
   struct Connection;
 
@@ -101,15 +169,26 @@ class Server {
   std::string execute_command(Connection& conn, const std::string& line,
                               std::string body, std::string& output,
                               bool& quit);
-  [[nodiscard]] std::string render_stats(const Connection& conn) const;
+  /// Handles a kSubscribe frame: registers with the hub and pumps the
+  /// journal stream to the socket until it ends.  The connection closes
+  /// after.
+  void serve_subscription(Connection& conn, const Frame& frame);
+  [[nodiscard]] std::string render_stats(const Connection& conn,
+                                         bool json) const;
+  [[nodiscard]] JournalPosition journal_position() const;
   void join_finished_connections();
 
   core::DesignSession& session_;
   ServeOptions options_;
   ServerStats stats_;
+  ReplicationHub* hub_ = nullptr;
+  std::function<JournalPosition()> position_source_;
+  std::chrono::steady_clock::time_point started_{};
 
   /// Readers share, writers exclude; guards every session access.
-  std::shared_mutex session_mutex_;
+  /// `mutable`: `stats` reads the journal position under the shared lock
+  /// from a const rendering path.
+  mutable std::shared_mutex session_mutex_;
   /// Raised by `stop()`; the session's executor polls it between task
   /// groups.
   std::atomic<bool> cancel_{false};

@@ -15,6 +15,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "replica/applier.hpp"
+#include "replica/shipper.hpp"
 #include "schema/schema_io.hpp"
 #include "schema/standard_schemas.hpp"
 #include "server/client.hpp"
@@ -54,8 +56,8 @@ constexpr const char* kSourceEntities[] = {"EditedNetlist", "DeviceModels",
 
 // ---- InProcessServer --------------------------------------------------------
 
-InProcessServer::InProcessServer(std::string store_dir)
-    : dir_(std::move(store_dir)) {
+InProcessServer::InProcessServer(std::string store_dir, bool replicate)
+    : dir_(std::move(store_dir)), replicate_(replicate) {
   restart();
 }
 
@@ -67,6 +69,9 @@ void InProcessServer::stop() {
   if (!running_) return;
   server_->stop();
   server_.reset();
+  // The shipper's journal tap points into the session's store: detach
+  // (destroy) it before the store goes away.
+  shipper_.reset();
   session_->close_storage();
   session_.reset();
   running_ = false;
@@ -76,6 +81,10 @@ void InProcessServer::restart() {
   session_ = std::make_unique<core::DesignSession>(store_schema(dir_));
   (void)session_->open_storage(dir_);
   server_ = std::make_unique<server::Server>(*session_);
+  if (replicate_) {
+    shipper_ = std::make_unique<replica::JournalShipper>(*session_);
+    server_->set_replication_hub(shipper_.get());
+  }
   endpoint_ = server_->add_listener(server::Endpoint::parse("127.0.0.1:0"));
   server_->start();
   running_ = true;
@@ -264,6 +273,9 @@ struct SwarmShared {
   bool abort = false;
   bool server_up = true;
   server::Endpoint endpoint;
+  /// Live follower endpoints; reader clients pin to index % size.  Empty
+  /// when no followers run (readers then fall back to the leader).
+  std::vector<server::Endpoint> follower_endpoints;
 
   std::atomic<std::size_t> ops_acked{0};
   std::atomic<std::size_t> errors_tolerated{0};
@@ -346,7 +358,14 @@ void run_client(const TraceClient& tc, ClientLog& log, SwarmShared& shared) {
         });
         if (shared.abort) return false;
         if (!shared.server_up) continue;
-        ep = shared.endpoint;
+        // Read-only clients pin to a follower replica when a fleet runs;
+        // everyone else (and readers without a fleet) talks to the leader.
+        if (tc.reader && !shared.follower_endpoints.empty()) {
+          ep = shared.follower_endpoints[tc.index %
+                                         shared.follower_endpoints.size()];
+        } else {
+          ep = shared.endpoint;
+        }
       }
       try {
         client = server::Client::connect(ep);
@@ -601,6 +620,214 @@ void fire_fault_event(std::size_t index, std::uint64_t fault_seed,
   }
 }
 
+// ---- the follower fleet (replicas profile) ----------------------------------
+
+/// The in-process read-replica fleet: each follower is `herc serve
+/// --replicate-from` in miniature — a `ReplicaApplier` over the store
+/// `<leader-dir>_f<i>` feeding a read-only `Server`.  Follower stores
+/// persist across fleet restarts, so every post-chaos `start` exercises
+/// the real local-recovery + resync path, including the epoch fence when
+/// a heal checkpointed the leader.
+class FollowerFleet {
+ public:
+  FollowerFleet(std::string leader_dir, std::size_t count)
+      : base_(std::move(leader_dir)), count_(count) {}
+  ~FollowerFleet() { stop(); }
+
+  /// Starts every follower against `leader`.  A follower that cannot
+  /// bootstrap is dropped with a violation; the fleet runs with whoever
+  /// made it up.
+  void start(const server::Endpoint& leader, SwarmShared& shared) {
+    stop();
+    for (std::size_t i = 0; i < count_; ++i) {
+      auto f = std::make_unique<Follower>();
+      f->dir = base_ + "_f" + std::to_string(i);
+      try {
+        f->applier =
+            std::make_unique<replica::ReplicaApplier>(leader, f->dir);
+        if (!f->applier->bootstrap(/*attempts=*/50)) {
+          shared.violation("follower " + std::to_string(i) +
+                           ": bootstrap failed: " +
+                           f->applier->last_error());
+          continue;
+        }
+        f->session =
+            std::make_unique<core::DesignSession>(f->applier->schema());
+        f->session->attach_replica(&f->applier->db());
+        server::ServeOptions serve_options;
+        serve_options.read_only = true;
+        f->server =
+            std::make_unique<server::Server>(*f->session, serve_options);
+        replica::ReplicaApplier& applier = *f->applier;
+        f->server->set_position_source([&applier] {
+          const replica::StreamPosition pos = applier.position();
+          return server::JournalPosition{pos.epoch, pos.seq,
+                                         applier.journal_bytes()};
+        });
+        server::Server& server = *f->server;
+        f->applier->set_gate([&server](const std::function<void()>& fn) {
+          server.with_exclusive_session(fn);
+        });
+        f->endpoint =
+            f->server->add_listener(server::Endpoint::parse("127.0.0.1:0"));
+        f->server->start();
+        f->applier->start();
+        fleet_.push_back(std::move(f));
+      } catch (const std::exception& e) {
+        shared.violation("follower " + std::to_string(i) +
+                         ": start failed: " + e.what());
+      }
+    }
+  }
+
+  /// Graceful wind-down (stream thread first, then the server), leaving
+  /// the replica stores on disk for fsck and the next start.
+  void stop() {
+    for (std::unique_ptr<Follower>& f : fleet_) {
+      if (f->applier != nullptr) f->applier->stop();
+      if (f->server != nullptr) f->server->stop();
+    }
+    fleet_.clear();
+  }
+
+  [[nodiscard]] std::vector<server::Endpoint> endpoints() const {
+    std::vector<server::Endpoint> eps;
+    for (const std::unique_ptr<Follower>& f : fleet_) {
+      eps.push_back(f->endpoint);
+    }
+    return eps;
+  }
+
+  [[nodiscard]] std::size_t size() const { return fleet_.size(); }
+
+  /// Offline fsck of every follower store (call with the fleet stopped):
+  /// a replica store must audit clean after any stop, `when` names the
+  /// moment for the violation message.
+  void fsck_stores(SwarmShared& shared, const std::string& when) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const std::string dir = base_ + "_f" + std::to_string(i);
+      if (::access(dir.c_str(), F_OK) != 0) continue;
+      try {
+        const storage::FsckReport report = storage::fsck_store(dir);
+        if (report.exit_code() != 0) {
+          shared.violation("follower store '" + dir + "' fsck exit " +
+                           std::to_string(report.exit_code()) + " " + when +
+                           ":\n" + report.render());
+        }
+      } catch (const std::exception& e) {
+        shared.violation("follower store '" + dir + "' fsck failed " + when +
+                         ": " + e.what());
+      }
+    }
+  }
+
+  /// The read-your-epoch check: imports a sentinel on the leader, then
+  /// requires every follower's read path to serve it.  Proves the
+  /// current leader epoch's frames cross the fence to every replica —
+  /// after a heal that checkpointed, that is exactly "reads reflect the
+  /// new epoch".  Returns elapsed ms, -1 on failure (violations filed).
+  double await_read_your_epoch(const server::Endpoint& leader,
+                               std::size_t event_index, SwarmShared& shared,
+                               const std::set<std::string>& survivors) {
+    const auto t0 = Clock::now();
+    const std::string sentinel = "rye_" + std::to_string(event_index);
+    try {
+      server::Client writer = server::Client::connect(leader);
+      (void)writer.call("session user chaos");
+      const server::CallResult r = writer.call(
+          "import Stimuli " + sentinel, "stimuli sw\nwave in 0:0 10:1 20:0\n");
+      if (!r.ok()) {
+        shared.violation("read-your-epoch: sentinel import '" + sentinel +
+                         "' failed: " + r.error);
+        writer.close();
+        return -1.0;
+      }
+      writer.close();
+    } catch (const std::exception& e) {
+      shared.violation(
+          std::string("read-your-epoch: cannot reach the leader: ") +
+          e.what());
+      return -1.0;
+    }
+
+    bool all_caught_up = true;
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      Follower& f = *fleet_[i];
+      const auto deadline = Clock::now() + std::chrono::seconds(30);
+      bool seen = false;
+      std::string view;
+      while (!seen && Clock::now() < deadline) {
+        try {
+          server::Client probe = server::Client::connect(f.endpoint);
+          const server::CallResult r = probe.call("browse Stimuli");
+          probe.close();
+          if (r.ok()) {
+            view = r.output;
+            seen = view.find(sentinel) != std::string::npos;
+          }
+        } catch (const support::NetError&) {
+        }
+        if (!seen) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      if (!seen) {
+        const replica::StreamPosition pos = f.applier->position();
+        shared.violation("follower " + std::to_string(i) +
+                         " never served sentinel '" + sentinel +
+                         "' within 30s (position " +
+                         std::to_string(pos.epoch) + ":" +
+                         std::to_string(pos.seq) + ")");
+        all_caught_up = false;
+        continue;
+      }
+      // Caught up: the survivors the heal certified must be readable
+      // through this replica too (sampled, same cap as verify_queries).
+      std::size_t checked = 0;
+      for (const std::string& name : survivors) {
+        if (checked >= 5) break;
+        ++checked;
+        try {
+          server::Client probe = server::Client::connect(f.endpoint);
+          bool found = false;
+          for (const char* entity : kSourceEntities) {
+            const server::CallResult r =
+                probe.call(std::string("browse ") + entity);
+            if (r.ok() && r.output.find(name) != std::string::npos) {
+              found = true;
+              break;
+            }
+          }
+          probe.close();
+          if (!found) {
+            shared.violation("surviving import '" + name +
+                             "' missing from follower " + std::to_string(i) +
+                             " after catch-up");
+          }
+        } catch (const std::exception& e) {
+          shared.violation("follower " + std::to_string(i) +
+                           " survivor check failed: " + e.what());
+          break;
+        }
+      }
+    }
+    if (!all_caught_up) return -1.0;
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  }
+
+ private:
+  struct Follower {
+    std::string dir;
+    std::unique_ptr<replica::ReplicaApplier> applier;
+    std::unique_ptr<core::DesignSession> session;
+    std::unique_ptr<server::Server> server;
+    server::Endpoint endpoint;
+  };
+
+  std::string base_;
+  std::size_t count_;
+  std::vector<std::unique_ptr<Follower>> fleet_;
+};
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -654,6 +881,7 @@ std::string SwarmReport::render_text() const {
       << p99_us << "us\n";
   out << "  chaos events " << events.size() << ", runs resumed "
       << runs_resumed_total << ", final survivors " << final_survivors << "\n";
+  if (followers > 0) out << "  followers " << followers << "\n";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const ChaosRecord& e = events[i];
     out << "  event " << (i + 1) << ": " << e.kind << " at " << e.at_ops
@@ -661,7 +889,12 @@ std::string SwarmReport::render_text() const {
     if (e.kind != "fault") {
       out << " (fsck " << e.fsck_before << (e.repaired ? " repaired" : "")
           << " -> heal -> " << e.fsck_after << ", " << e.runs_resumed
-          << " resumed, " << e.survivors << " survivors)";
+          << " resumed, " << e.survivors << " survivors";
+      if (e.catchup_ms >= 0.0) {
+        out << ", replicas caught up in " << static_cast<long>(e.catchup_ms)
+            << "ms";
+      }
+      out << ")";
     }
     out << "\n";
   }
@@ -690,6 +923,7 @@ std::string SwarmReport::render_json() const {
   out << "  \"p99_us\": " << p99_us << ",\n";
   out << "  \"runs_resumed\": " << runs_resumed_total << ",\n";
   out << "  \"final_survivors\": " << final_survivors << ",\n";
+  out << "  \"followers\": " << followers << ",\n";
   out << "  \"events\": [";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const ChaosRecord& e = events[i];
@@ -699,7 +933,8 @@ std::string SwarmReport::render_json() const {
         << (e.repaired ? "true" : "false")
         << ", \"runs_resumed\": " << e.runs_resumed
         << ", \"fsck_after\": " << e.fsck_after
-        << ", \"survivors\": " << e.survivors << "}";
+        << ", \"survivors\": " << e.survivors
+        << ", \"catchup_ms\": " << e.catchup_ms << "}";
   }
   out << (events.empty() ? "" : "\n  ") << "],\n";
   out << "  \"violations\": [";
@@ -729,6 +964,25 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
 
   SwarmShared shared;
   shared.endpoint = control.endpoint();
+
+  // The follower fleet (replicas profile) comes up before any client
+  // connects, so reader pinning is in place for the warmup barrier, and
+  // proves replication live (read-your-epoch) before the clock starts.
+  std::unique_ptr<FollowerFleet> fleet;
+  std::size_t sentinel = 0;
+  if (options.followers > 0) {
+    fleet = std::make_unique<FollowerFleet>(control.store_dir(),
+                                            options.followers);
+    fleet->start(control.endpoint(), shared);
+    shared.follower_endpoints = fleet->endpoints();
+    if (options.log != nullptr) {
+      *options.log << "swarm: " << fleet->size() << "/" << options.followers
+                   << " follower(s) up" << std::endl;
+    }
+    (void)fleet->await_read_your_epoch(control.endpoint(), sentinel++,
+                                       shared, {});
+  }
+  report.followers = fleet != nullptr ? fleet->size() : 0;
 
   std::vector<std::unique_ptr<ClientLog>> logs;
   logs.reserve(trace.clients.size());
@@ -790,6 +1044,18 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
       if (kind == "sigterm") control.stop();
       record.kind = kind;
 
+      // Wind the fleet down before the heal: the follower stores go
+      // quiescent (their own fsck must pass) and nobody streams from a
+      // store the heal is about to mutate.
+      if (fleet != nullptr) {
+        fleet->stop();
+        {
+          const std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.follower_endpoints.clear();
+        }
+        fleet->fsck_stores(shared, "after chaos " + std::to_string(e + 1));
+      }
+
       const HealReport heal = heal_store(control.store_dir());
       record.fsck_before = heal.fsck_before;
       record.repaired = heal.repaired;
@@ -823,6 +1089,24 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
         // clients: once they reconnect, fresh imports would legitimately
         // diverge from the snapshot.
         verify_queries(trace, prev_survivors, shared);
+        // Re-attach the fleet to the restarted leader and require
+        // read-your-epoch before any reader reconnects: a replica must
+        // never serve a pre-heal view once the new epoch is live.
+        if (fleet != nullptr) {
+          fleet->start(control.endpoint(), shared);
+          {
+            const std::lock_guard<std::mutex> lock(shared.mutex);
+            shared.follower_endpoints = fleet->endpoints();
+          }
+          record.catchup_ms = fleet->await_read_your_epoch(
+              control.endpoint(), sentinel++, shared, prev_survivors);
+          if (options.log != nullptr) {
+            *options.log << "swarm:   " << fleet->size()
+                         << " follower(s) reattached, read-your-epoch in "
+                         << static_cast<long>(record.catchup_ms) << "ms"
+                         << std::endl;
+          }
+        }
         {
           const std::lock_guard<std::mutex> lock(shared.mutex);
           shared.server_up = true;
@@ -853,6 +1137,20 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
     const std::lock_guard<std::mutex> lock(shared.mutex);
     server_was_up = shared.server_up;
     shared.server_up = false;
+  }
+  // One last read-your-epoch pass with the full load applied, then wind
+  // the fleet down and audit every replica store offline.
+  if (fleet != nullptr) {
+    if (server_was_up && fleet->size() > 0) {
+      (void)fleet->await_read_your_epoch(control.endpoint(), sentinel++,
+                                         shared, prev_survivors);
+    }
+    fleet->stop();
+    {
+      const std::lock_guard<std::mutex> lock(shared.mutex);
+      shared.follower_endpoints.clear();
+    }
+    fleet->fsck_stores(shared, "at the final stop");
   }
   if (server_was_up) control.stop();
   const HealReport final_heal = heal_store(control.store_dir());

@@ -20,6 +20,12 @@
 // in-process implementation (unit tests, the scale benchmark — SIGKILL
 // unsupported) and a child-process one wrapping the real `herc serve`
 // binary (the CLI and CI smoke job — full kill support).
+//
+// With `SwarmOptions::followers > 0` (the "replicas" profile) the driver
+// also runs an in-process read-replica fleet over `<dir>_f<i>` stores,
+// pins the trace's read-only clients to it, and after every crash heal
+// demands read-your-epoch: a sentinel write on the restarted leader must
+// become readable through every follower before any reader reconnects.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +39,10 @@
 #include "core/session.hpp"
 #include "server/server.hpp"
 #include "server/socket.hpp"
+
+namespace herc::replica {
+class JournalShipper;
+}  // namespace herc::replica
 
 namespace herc::sim {
 
@@ -58,7 +68,10 @@ class ServerControl {
 /// SIGKILL semantics need a process boundary.
 class InProcessServer final : public ServerControl {
  public:
-  explicit InProcessServer(std::string store_dir);
+  /// With `replicate` a `JournalShipper` is attached so followers can
+  /// subscribe (what `herc serve` always does; opt-in here so the plain
+  /// benchmark profiles pay nothing for it).
+  explicit InProcessServer(std::string store_dir, bool replicate = false);
   ~InProcessServer() override;
 
   [[nodiscard]] server::Endpoint endpoint() const override {
@@ -71,8 +84,10 @@ class InProcessServer final : public ServerControl {
 
  private:
   std::string dir_;
+  bool replicate_ = false;
   std::unique_ptr<core::DesignSession> session_;
   std::unique_ptr<server::Server> server_;
+  std::unique_ptr<replica::JournalShipper> shipper_;
   server::Endpoint endpoint_;
   bool running_ = false;
 };
@@ -138,6 +153,12 @@ struct SwarmOptions {
   /// Permit SIGKILL events (they degrade to SIGTERM when the control
   /// cannot kill, or when this is false).
   bool allow_kill = true;
+  /// Read replicas to run alongside the leader (in-process followers over
+  /// `<store-dir>_f<i>` replica stores).  Read-only trace clients
+  /// (`TraceClient::reader`, the "replicas" profile) are pinned to them;
+  /// after every crash heal the driver waits for the followers to catch
+  /// up past the new leader epoch and re-checks survivors through them.
+  std::size_t followers = 0;
   /// Progress narration (nullptr = silent).
   std::ostream* log = nullptr;
 };
@@ -151,6 +172,9 @@ struct ChaosRecord {
   std::size_t runs_resumed = 0;
   int fsck_after = -1;  ///< must be 0 after every crash heal
   std::size_t survivors = 0;
+  /// With followers: ms until every replica served the post-heal epoch
+  /// (the read-your-epoch fence check); -1 when no followers ran.
+  double catchup_ms = -1.0;
 };
 
 struct SwarmReport {
@@ -168,6 +192,8 @@ struct SwarmReport {
   std::vector<ChaosRecord> events;
   std::size_t runs_resumed_total = 0;
   std::size_t final_survivors = 0;
+  /// Read replicas that ran alongside the leader (0 = plain swarm).
+  std::size_t followers = 0;
   /// Broken invariants; empty on a clean run.
   std::vector<std::string> violations;
 

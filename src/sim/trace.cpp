@@ -78,13 +78,22 @@ const std::vector<Mix>& profile_mix(const std::string& profile) {
                                              {RoundKind::kPlans, 10},
                                              {RoundKind::kFaulty, 10},
                                              {RoundKind::kSlow, 5}};
+  // The writer quarter of the "replicas" profile: import-heavy, no fault
+  // seeds — replication lag, not failure records, is what it measures.
+  static const std::vector<Mix> kReplicasMix = {{RoundKind::kDesign, 50},
+                                                {RoundKind::kVersions, 20},
+                                                {RoundKind::kQueries, 15},
+                                                {RoundKind::kPlans, 10},
+                                                {RoundKind::kSlow, 5}};
   if (profile == "design") return kDesignMix;
   if (profile == "queries") return kQueriesMix;
   if (profile == "versions") return kVersionsMix;
   if (profile == "faults") return kFaultsMix;
   if (profile == "mixed") return kMixedMix;
-  throw std::invalid_argument("unknown trace profile '" + profile +
-                              "' (design|queries|versions|faults|mixed)");
+  if (profile == "replicas") return kReplicasMix;
+  throw std::invalid_argument(
+      "unknown trace profile '" + profile +
+      "' (design|queries|versions|faults|mixed|replicas)");
 }
 
 RoundKind pick_kind(const std::vector<Mix>& mix, std::uint64_t& rng) {
@@ -224,6 +233,30 @@ TraceRound faulty_round(const std::string& stem, const std::string& flow,
   return round;
 }
 
+/// A round for a read-only client (the "replicas" profile's follower-
+/// pinned readers): catalog, browser and history sweeps with no imports,
+/// so every op is read-classified and a replica will serve it.
+TraceRound reader_round(const std::string& user, std::uint64_t& rng) {
+  TraceRound round;
+  const std::vector<std::string> pool = {
+      "browse EditedNetlist",
+      "browse Stimuli",
+      "browse Performance",
+      "browse DeviceModels user=" + user,
+      "entities",
+      "plans",
+      "runs",
+      "failures",
+      "find Stimuli",
+      "find EditedNetlist",
+  };
+  const std::size_t n = 6 + next_rand(rng) % 6;
+  for (std::size_t i = 0; i < n; ++i) {
+    round.ops.push_back(op(pool[next_rand(rng) % pool.size()]));
+  }
+  return round;
+}
+
 TraceRound slow_round(const std::string& stem, const std::string& flow,
                       std::uint64_t& rng) {
   TraceRound round;
@@ -249,7 +282,7 @@ std::size_t Trace::total_ops() const {
 
 const std::vector<std::string>& profile_names() {
   static const std::vector<std::string> kNames = {
-      "design", "queries", "versions", "faults", "mixed"};
+      "design", "queries", "versions", "faults", "mixed", "replicas"};
   return kNames;
 }
 
@@ -263,10 +296,22 @@ Trace make_trace(const std::string& profile, std::size_t clients,
   for (std::size_t ci = 0; ci < clients; ++ci) {
     TraceClient client;
     client.user = "swarm_c" + std::to_string(ci);
+    client.index = ci;
+    // In the replicas profile three clients in four are read-only; the
+    // driver pins them to follower replicas while the writers (every
+    // fourth, including client 0) drive the leader.
+    client.reader = profile == "replicas" && ci % 4 != 0;
     // Per-client stream: independent of every other client's, so a trace
     // replays identically whatever the thread interleaving.
     std::uint64_t rng = seed * 0x9e3779b97f4a7c15ULL + ci * 0xbf58476d1ce4e5b9ULL + 1;
     next_rand(rng);
+    if (client.reader) {
+      for (std::size_t ri = 0; ri < rounds; ++ri) {
+        client.rounds.push_back(reader_round(client.user, rng));
+      }
+      trace.clients.push_back(std::move(client));
+      continue;
+    }
     for (std::size_t ri = 0; ri < rounds; ++ri) {
       const RoundKind kind = pick_kind(mix, rng);
       const std::string stem =

@@ -51,6 +51,11 @@ struct TraceClient {
   /// `session user` for the connection; also the browse filter the
   /// verifier uses for this client's surviving instances.
   std::string user;
+  /// Position in the trace (the `<client>` of the name grammar).
+  std::size_t index = 0;
+  /// A read-only client: every op is read-classified, so the driver may
+  /// pin it to a read replica instead of the leader ("replicas" profile).
+  bool reader = false;
   std::vector<TraceRound> rounds;
 };
 
@@ -66,7 +71,9 @@ struct Trace {
 /// building and runs), "queries" (read-mostly history/browser load),
 /// "versions" (concurrent version edits and annotations), "faults"
 /// (fault-seeded runs exercising failure records), "mixed" (all of the
-/// above — the chaos-acceptance profile).
+/// above — the chaos-acceptance profile), "replicas" (one writer in four
+/// driving the leader, the rest read-only clients the driver pins to
+/// follower replicas).
 [[nodiscard]] const std::vector<std::string>& profile_names();
 
 /// Synthesizes a trace.  Deterministic: the same four arguments always

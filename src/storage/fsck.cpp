@@ -303,7 +303,7 @@ void ingest_line(Audit& audit, FsckReport& report, const std::string& line,
 
 /// The reference/coverage audit passes over the ingested state.
 void audit_store(Audit& audit, FsckReport& report,
-                 const schema::TaskSchema* schema) {
+                 const schema::TaskSchema* schema, bool replica) {
   // Blob content hashes: a mismatched payload would be rejected by
   // `BlobStore::restore` on the next recovery, making the store unopenable.
   std::unordered_set<std::string> bad_blobs;
@@ -426,6 +426,14 @@ void audit_store(Audit& audit, FsckReport& report,
         "run #" + std::to_string(run.id) + " (flow '" + run.flow_name +
         "') never ended: " + std::to_string(finished) + "/" +
         std::to_string(run.tasks.size()) + " started tasks finished";
+    // On a replica, an open run is the *leader's* live run streaming in —
+    // expected mid-flight state, not an interruption.  Promotion is what
+    // turns it into a crash to recover from.
+    if (replica) {
+      note(report, "leader-open-run",
+           progress + "; the leader's live run, sealed on promote");
+      continue;
+    }
     // A sealed open run whose window holds no unquarantined partials is
     // the state an interruption sweep (crash recovery, graceful server
     // shutdown) deliberately leaves behind: consistent and resumable, not
@@ -612,6 +620,21 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
                        "schema.herc)");
   }
 
+  // A replica marker changes the audit's reading of open runs (they are
+  // the leader's live runs) and rules out repair: a repair checkpoint
+  // would bump the epoch out from under the replication stream.
+  const std::string marker_path = (fs::path(dir) / "replica.herc").string();
+  const bool replica = fs::exists(marker_path);
+  if (replica) {
+    std::string marker;
+    try {
+      marker = std::string(support::trim(read_file(marker_path)));
+    } catch (const std::exception&) {
+    }
+    note(report, "replica-store",
+         marker.empty() ? "this store is a read replica" : marker);
+  }
+
   // Schema: needed only for entity-name checks; a broken schema is itself
   // corruption but must not stop the audit.
   schema::TaskSchema schema;
@@ -696,7 +719,7 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
     }
   }
 
-  audit_store(audit, report, schema_ptr);
+  audit_store(audit, report, schema_ptr, replica);
 
   report.stats.instances = audit.instances.size();
   report.stats.blobs = audit.blobs.size();
@@ -708,7 +731,14 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
   // Clean-severity notes (a sealed resumable run) need no repair; rewriting
   // the snapshot for them would churn the epoch for nothing.
   if (options.repair && report.severity() != FsckSeverity::kClean) {
-    repair_store(audit, report, snapshot_path, journal_path);
+    if (replica) {
+      warn(report, "replica-no-repair",
+           "refusing --repair on a replica store: a repair checkpoint would"
+           " bump the epoch out from under the replication stream; resync"
+           " the replica or promote it first");
+    } else {
+      repair_store(audit, report, snapshot_path, journal_path);
+    }
   }
   return report;
 }

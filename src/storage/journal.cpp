@@ -116,6 +116,31 @@ Journal Journal::create(const std::string& path, std::uint64_t epoch,
 
 Journal Journal::open(const std::string& path, std::uint64_t epoch,
                       std::uint64_t size, JournalOptions options) {
+  // Appending under the wrong epoch would splice records into a journal
+  // that extends a different snapshot, so verify the on-disk header first.
+  {
+    std::FILE* head = std::fopen(path.c_str(), "rb");
+    if (head == nullptr) {
+      throw HistoryError("journal: cannot open '" + path +
+                         "': " + std::strerror(errno));
+    }
+    char buffer[kJournalHeaderBytes];
+    const std::size_t got = std::fread(buffer, 1, sizeof buffer, head);
+    std::fclose(head);
+    const std::string_view bytes(buffer, got);
+    if (got < kJournalHeaderBytes ||
+        bytes.substr(0, kJournalMagic.size()) != kJournalMagic) {
+      throw HistoryError("journal: '" + path +
+                         "' has no valid HERCWAL1 header");
+    }
+    const std::uint64_t disk_epoch = read_u64(bytes, kJournalMagic.size());
+    if (disk_epoch != epoch) {
+      throw HistoryError(
+          "journal: '" + path + "' is at epoch " +
+          std::to_string(disk_epoch) + " but the snapshot expects epoch " +
+          std::to_string(epoch) + "; it extends a different snapshot");
+    }
+  }
   // "ab" appends at the end of file on every write; the caller has already
   // truncated the file to `size` valid bytes.
   std::FILE* file = std::fopen(path.c_str(), "ab");

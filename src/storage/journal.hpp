@@ -78,7 +78,11 @@ class Journal {
                         JournalOptions options);
 
   /// Opens an existing journal for appending at `size` bytes.  The caller
-  /// has already scanned the file and truncated any torn tail.
+  /// has already scanned the file and truncated any torn tail.  Verifies
+  /// the on-disk header before appending and throws `HistoryError` — naming
+  /// both the journal's epoch and the expected (snapshot's) epoch — when
+  /// they differ: appending under the wrong epoch would silently splice
+  /// records into a journal that extends a different snapshot.
   static Journal open(const std::string& path, std::uint64_t epoch,
                       std::uint64_t size, JournalOptions options);
 

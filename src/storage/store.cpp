@@ -153,7 +153,18 @@ DurableHistory::DurableHistory(const schema::TaskSchema& schema,
       }
       journal_ = Journal::open(journal_path(), epoch_, scan.valid_bytes,
                                options_.journal);
+      journal_seq_ = scan.records.size();
       need_fresh_journal = false;
+    } else if (scan.header_valid && scan.epoch > epoch_) {
+      // A journal *ahead* of its snapshot cannot happen from a crash (the
+      // checkpoint orders snapshot-then-journal); the snapshot was replaced
+      // or rolled back out from under it.  Discarding would silently lose
+      // committed records, so refuse — naming both epochs.
+      throw HistoryError("store '" + dir_ + "': journal is at future epoch " +
+                         std::to_string(scan.epoch) +
+                         " but the snapshot is at epoch " +
+                         std::to_string(epoch_) +
+                         "; refusing to discard committed records");
     } else {
       // Wrong magic, or an epoch the snapshot has already absorbed.
       report_.journal_records_discarded = scan.records.size();
@@ -186,9 +197,11 @@ DurableHistory::~DurableHistory() {
 
 void DurableHistory::on_mutation(std::string_view lines) {
   journal_->append(lines);
+  const std::uint64_t seq = journal_seq_++;
   ++records_;
   bytes_ += lines.size();
   ++since_checkpoint_;
+  if (tap_ != nullptr) tap_->on_frame(epoch_, seq, lines);
   if (options_.checkpoint_every > 0 &&
       since_checkpoint_ >= options_.checkpoint_every) {
     checkpoint();
@@ -209,6 +222,8 @@ void DurableHistory::checkpoint() {
   journal_ = Journal::create(journal_path(), next, options_.journal);
   epoch_ = next;
   since_checkpoint_ = 0;
+  journal_seq_ = 0;
+  if (tap_ != nullptr) tap_->on_checkpoint(next);
 }
 
 void DurableHistory::sync() { journal_->sync(); }

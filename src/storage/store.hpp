@@ -61,6 +61,23 @@ struct RecoveryReport {
 /// checkpointing and fsck repair.
 void write_file_atomic(const std::string& path, std::string_view content);
 
+/// Observer of the journal frame stream — the replication shipping hook.
+/// Called synchronously from the mutation path, under whatever lock the
+/// caller already uses to serialize mutations; implementations must be
+/// fast (hand off, don't block) and must not re-enter the store.
+class JournalTap {
+ public:
+  virtual ~JournalTap() = default;
+  /// One frame was appended: `seq` is its 0-based position within the
+  /// current epoch's journal (replayed records count, so seq is stable
+  /// across reopen), `payload` the save-format mutation lines.
+  virtual void on_frame(std::uint64_t epoch, std::uint64_t seq,
+                        std::string_view payload) = 0;
+  /// The store checkpointed: the snapshot now carries `new_epoch` and the
+  /// journal restarted empty (the next frame is seq 0 of `new_epoch`).
+  virtual void on_checkpoint(std::uint64_t new_epoch) = 0;
+};
+
 /// A `HistoryDb` bound to a store directory.  Owns the database; attach it
 /// to a session (or use `db()` directly) and every mutation is journaled.
 /// Not internally synchronized — callers serialize mutations exactly as
@@ -97,12 +114,24 @@ class DurableHistory final : public history::MutationListener {
   /// buffered frames are flushed).  The `DurableHistory` is dead after.
   std::unique_ptr<history::HistoryDb> release();
 
+  /// Streams every journaled frame (and checkpoint) to `tap`; pass
+  /// `nullptr` to detach.  One tap at a time.
+  void attach_tap(JournalTap* tap) { tap_ = tap; }
+
   [[nodiscard]] const RecoveryReport& recovery() const { return report_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   /// Records / payload bytes appended to the journal since opening.
   [[nodiscard]] std::uint64_t records_journaled() const { return records_; }
   [[nodiscard]] std::uint64_t bytes_journaled() const { return bytes_; }
+  /// Frames in the current epoch's journal (the next frame's sequence
+  /// number) — counts records replayed on recovery, so it is stable
+  /// across reopen.
+  [[nodiscard]] std::uint64_t journal_seq() const { return journal_seq_; }
+  /// Size of the journal file itself (header + frames), in bytes.
+  [[nodiscard]] std::uint64_t journal_file_bytes() const {
+    return journal_.has_value() ? journal_->bytes() : 0;
+  }
 
   /// True when `dir` already holds a store (a schema file).
   [[nodiscard]] static bool exists(const std::string& dir);
@@ -120,10 +149,12 @@ class DurableHistory final : public history::MutationListener {
   std::unique_ptr<history::HistoryDb> db_;
   std::optional<Journal> journal_;
   RecoveryReport report_;
+  JournalTap* tap_ = nullptr;
   std::uint64_t epoch_ = 0;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t since_checkpoint_ = 0;
+  std::uint64_t journal_seq_ = 0;
 };
 
 }  // namespace herc::storage

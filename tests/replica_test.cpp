@@ -1,0 +1,496 @@
+// The replication subsystem end to end: leader-side shipping
+// (JournalShipper), follower-side apply (ReplicaApplier), and the epoch
+// fence between them.
+//
+//   - Wire bootstrap + live streaming: a follower snapshots off a live
+//     leader, then receives every subsequent mutation frame; a read-only
+//     server over the replica refuses write commands.
+//   - Restart catch-up: a follower that stops and comes back recovers
+//     its store locally and receives exactly the missed frames.
+//   - The apply-path outcome matrix: duplicate, gap, and — the failover
+//     guarantee — kFenced for any frame from a stale epoch, so a demoted
+//     ex-leader can never mutate a promoted replica.
+//   - Leader-side fencing: a subscriber claiming a future-epoch position
+//     is a fenced stale leader and is refused outright.
+//   - Promotion: `promote_store` runs leader recovery, bumps the epoch
+//     and removes the marker; the failover drill then rebuilds the whole
+//     chain (new leader, new follower) on top of the promoted store.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "replica/applier.hpp"
+#include "replica/replication.hpp"
+#include "replica/shipper.hpp"
+#include "schema/schema_io.hpp"
+#include "schema/standard_schemas.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "storage/fsck.hpp"
+#include "storage/store.hpp"
+#include "support/error.hpp"
+
+namespace herc::replica {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kWaveBody = "stimuli sw\nwave in 0:0 10:1 20:0\n";
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("herc_replica_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string sub(const std::string& name) const {
+    return (path / name).string();
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+};
+
+/// Captures the leader's raw journal frames — the ground truth the
+/// apply-path tests feed to a follower by hand.
+struct CaptureTap final : storage::JournalTap {
+  std::vector<JournalShipment> frames;
+  void on_frame(std::uint64_t epoch, std::uint64_t seq,
+                std::string_view payload) override {
+    frames.push_back({epoch, seq, std::string(payload)});
+  }
+  void on_checkpoint(std::uint64_t) override {}
+};
+
+bool wait_until(const std::function<bool()>& done, int timeout_ms = 10000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return done();
+}
+
+TEST(ReplicaTest, EndToEndStreamingAndReadOnlyServe) {
+  TempDir tmp;
+  const std::string leader_dir = tmp.sub("leader");
+  const std::string follower_dir = tmp.sub("follower");
+
+  core::DesignSession session(schema::make_full_schema());
+  (void)session.open_storage(leader_dir);
+  {
+    JournalShipper shipper(session);
+    server::Server server(session);
+    server.set_replication_hub(&shipper);
+    const server::Endpoint ep =
+        server.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+    server.start();
+
+    server::Client writer = server::Client::connect(ep);
+    ASSERT_TRUE(writer.call("import Stimuli before_boot", kWaveBody).ok());
+
+    // Bootstrap off the live leader: the snapshot already carries the
+    // pre-bootstrap import.
+    ReplicaApplier applier(ep, follower_dir);
+    ASSERT_TRUE(applier.bootstrap()) << applier.last_error();
+    EXPECT_TRUE(applier.bootstrapped());
+    // Leader-side size reads go through the server's session lock: the
+    // imports ran on its worker threads.
+    std::size_t leader_size = 0;
+    server.with_exclusive_session([&] { leader_size = session.db().size(); });
+    EXPECT_EQ(applier.db().size(), leader_size);
+
+    // A read-only server over the replica, gated exactly as `herc serve
+    // --replicate-from` wires it.
+    core::DesignSession replica_session(applier.schema());
+    replica_session.attach_replica(&applier.db());
+    server::ServeOptions read_only;
+    read_only.read_only = true;
+    server::Server replica_server(replica_session, read_only);
+    applier.set_gate([&replica_server](const std::function<void()>& fn) {
+      replica_server.with_exclusive_session(fn);
+    });
+    const server::Endpoint replica_ep =
+        replica_server.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+    replica_server.start();
+    applier.start();
+
+    ASSERT_TRUE(writer.call("import Stimuli live_one", kWaveBody).ok());
+    ASSERT_TRUE(writer.call("import Stimuli live_two", kWaveBody).ok());
+    ASSERT_TRUE(wait_until(
+        [&applier] { return applier.frames_applied() >= 2; }))
+        << "follower never saw the live frames; position "
+        << applier.position().epoch << ":" << applier.position().seq;
+    // Size comparisons under both servers' session locks: the leader's
+    // workers wrote, the applier's stream thread applies through the
+    // replica server's exclusive gate.
+    EXPECT_TRUE(wait_until([&] {
+      std::size_t replica_size = 0;
+      server.with_exclusive_session([&] { leader_size = session.db().size(); });
+      replica_server.with_exclusive_session(
+          [&] { replica_size = applier.db().size(); });
+      return replica_size == leader_size;
+    }));
+
+    // Reads flow, writes are refused with a pointer at the leader.
+    server::Client reader = server::Client::connect(replica_ep);
+    const server::CallResult browse = reader.call("browse Stimuli");
+    ASSERT_TRUE(browse.ok()) << browse.error;
+    EXPECT_NE(browse.output.find("live_two"), std::string::npos);
+    const server::CallResult refused =
+        reader.call("import Stimuli on_replica", kWaveBody);
+    EXPECT_FALSE(refused.ok());
+    EXPECT_NE(refused.error.find("read-only replica"), std::string::npos);
+    reader.close();
+    writer.close();
+
+    applier.stop();
+    replica_server.stop();
+    server.stop();
+  }
+  session.close_storage();
+
+  EXPECT_EQ(storage::fsck_store(leader_dir).exit_code(), 0);
+  EXPECT_EQ(storage::fsck_store(follower_dir).exit_code(), 0);
+  EXPECT_TRUE(ReplicaApplier::is_replica_store(follower_dir));
+  EXPECT_FALSE(ReplicaApplier::is_replica_store(leader_dir));
+}
+
+TEST(ReplicaTest, RestartCatchUpReceivesExactlyTheMissedFrames) {
+  TempDir tmp;
+  const std::string leader_dir = tmp.sub("leader");
+  const std::string follower_dir = tmp.sub("follower");
+
+  core::DesignSession session(schema::make_full_schema());
+  (void)session.open_storage(leader_dir);
+  {
+    JournalShipper shipper(session);
+    server::Server server(session);
+    server.set_replication_hub(&shipper);
+    const server::Endpoint ep =
+        server.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+    server.start();
+    server::Client writer = server::Client::connect(ep);
+    ASSERT_TRUE(writer.call("import Stimuli first", kWaveBody).ok());
+
+    StreamPosition parked;
+    {
+      ReplicaApplier applier(ep, follower_dir);
+      ASSERT_TRUE(applier.bootstrap()) << applier.last_error();
+      parked = applier.position();
+    }
+
+    // Two frames land while no follower is attached.
+    ASSERT_TRUE(writer.call("import Stimuli while_away_a", kWaveBody).ok());
+    ASSERT_TRUE(writer.call("import Stimuli while_away_b", kWaveBody).ok());
+    writer.close();
+
+    // The restarted follower recovers locally (no leader involved), then
+    // its subscribe position triggers the journal-file catch-up path.
+    ReplicaApplier applier(ep, follower_dir);
+    ASSERT_TRUE(applier.bootstrap()) << applier.last_error();
+    EXPECT_EQ(applier.position(), parked);
+    applier.start();
+    ASSERT_TRUE(wait_until([&applier, &parked] {
+      return applier.position().seq >= parked.seq + 2;
+    })) << applier.last_error();
+    EXPECT_EQ(applier.frames_applied(), 2u);
+    std::size_t leader_size = 0;
+    server.with_exclusive_session([&] { leader_size = session.db().size(); });
+    EXPECT_EQ(applier.db().size(), leader_size);
+    applier.stop();
+    server.stop();
+  }
+  session.close_storage();
+  EXPECT_EQ(storage::fsck_store(follower_dir).exit_code(), 0);
+}
+
+TEST(ReplicaTest, ApplyOutcomesDuplicateGapAndFence) {
+  TempDir tmp;
+  const std::string leader_dir = tmp.sub("leader");
+  const std::string follower_dir = tmp.sub("follower");
+
+  // Capture real journal frames from a tapped leader store.
+  CaptureTap tap;
+  core::DesignSession session(schema::make_full_schema());
+  (void)session.open_storage(leader_dir);
+  (void)session.import_data("Stimuli", "cap_0", kWaveBody);
+  const SnapshotShipment snap{session.storage()->epoch(),
+                              session.storage()->journal_seq(),
+                              schema::write_schema(session.schema()),
+                              session.db().save()};
+  // Tap attaches after the snapshot: every captured frame post-dates it.
+  session.storage()->attach_tap(&tap);
+  (void)session.import_data("Stimuli", "cap_1", kWaveBody);
+  (void)session.import_data("Stimuli", "cap_2", kWaveBody);
+  (void)session.import_data("Stimuli", "cap_3", kWaveBody);
+  session.storage()->attach_tap(nullptr);
+  session.close_storage();
+  ASSERT_GE(tap.frames.size(), 3u);
+  const std::uint64_t base = snap.seq;
+
+  // The applier never contacts this address: every call below is direct.
+  ReplicaApplier applier(server::Endpoint::parse("127.0.0.1:1"),
+                         follower_dir);
+  applier.install_snapshot(snap);
+  EXPECT_EQ(applier.position(), (StreamPosition{snap.epoch, base}));
+
+  EXPECT_EQ(applier.apply_frame(tap.frames[0]), ApplyOutcome::kApplied);
+  EXPECT_EQ(applier.position().seq, base + 1);
+  const std::uint64_t journal_bytes = applier.journal_bytes();
+
+  // Replay of an applied frame: harmless, nothing written.
+  EXPECT_EQ(applier.apply_frame(tap.frames[0]), ApplyOutcome::kDuplicate);
+  EXPECT_EQ(applier.journal_bytes(), journal_bytes);
+
+  // A frame from beyond our position: resync, nothing written.
+  EXPECT_EQ(applier.apply_frame(tap.frames[2]), ApplyOutcome::kGap);
+  EXPECT_EQ(applier.position().seq, base + 1);
+  EXPECT_EQ(applier.journal_bytes(), journal_bytes);
+
+  // A frame from a future epoch: also a gap (we missed a checkpoint).
+  JournalShipment future = tap.frames[1];
+  future.epoch = snap.epoch + 1;
+  future.seq = 0;
+  EXPECT_EQ(applier.apply_frame(future), ApplyOutcome::kGap);
+
+  // Cross the fence: after the checkpoint to epoch+1, any frame from the
+  // old epoch is a demoted ex-leader talking — rejected, counted.
+  applier.apply_checkpoint(snap.epoch + 1);
+  EXPECT_EQ(applier.position(), (StreamPosition{snap.epoch + 1, 0}));
+  EXPECT_EQ(applier.apply_frame(tap.frames[1]), ApplyOutcome::kFenced);
+  EXPECT_EQ(applier.fenced_frames(), 1u);
+  EXPECT_EQ(applier.position(), (StreamPosition{snap.epoch + 1, 0}));
+
+  EXPECT_EQ(storage::fsck_store(follower_dir).exit_code(), 0);
+}
+
+TEST(ReplicaTest, LeaderRefusesSubscriberFromAFutureEpoch) {
+  TempDir tmp;
+  core::DesignSession session(schema::make_full_schema());
+  (void)session.open_storage(tmp.sub("leader"));
+  {
+    JournalShipper shipper(session);
+    (void)session.import_data("Stimuli", "s0", kWaveBody);
+
+    // A follower claiming a position *ahead* of this leader's epoch has
+    // seen a promotion this leader missed: this leader is the stale one,
+    // and serving the subscriber would split-brain the store.
+    const std::uint64_t ahead = session.storage()->epoch() + 1;
+    std::string error;
+    EXPECT_FALSE(shipper.subscribe(
+        1, "test-peer", encode_subscribe(StreamPosition{ahead, 0}), &error));
+    EXPECT_NE(error.find("fenced"), std::string::npos) << error;
+    EXPECT_EQ(shipper.fenced_subscribes(), 1u);
+    EXPECT_EQ(shipper.follower_count(), 0u);
+
+    // A same-epoch subscriber is fine.
+    error.clear();
+    EXPECT_TRUE(shipper.subscribe(
+        2, "test-peer",
+        encode_subscribe(StreamPosition{session.storage()->epoch(), 0}),
+        &error))
+        << error;
+    EXPECT_EQ(shipper.follower_count(), 1u);
+    shipper.close_all();
+  }
+  session.close_storage();
+}
+
+TEST(ReplicaTest, SlowFollowerOverflowsWithoutBlockingTheLeader) {
+  TempDir tmp;
+  core::DesignSession session(schema::make_full_schema());
+  (void)session.open_storage(tmp.sub("leader"));
+  {
+    ShipperOptions options;
+    options.max_queued_frames = 2;
+    JournalShipper shipper(session, options);
+    std::string error;
+    ASSERT_TRUE(shipper.subscribe(7, "slowpoke", encode_subscribe({}),
+                                  &error))
+        << error;
+
+    // Nobody pumps follower 7; the mutation path must sail through and
+    // drop the follower at the bound.
+    (void)session.import_data("Stimuli", "q0", kWaveBody);
+    (void)session.import_data("Stimuli", "q1", kWaveBody);
+    (void)session.import_data("Stimuli", "q2", kWaveBody);
+    (void)session.import_data("Stimuli", "q3", kWaveBody);
+    EXPECT_EQ(shipper.overflows(), 1u);
+    // The frames queued before the overflow still drain — the bootstrap
+    // snapshot first, then journal frames — and then the pump learns the
+    // follower was dropped (it reconnects and resyncs).
+    server::Frame frame;
+    bool first = true;
+    while (shipper.next_frame(7, frame)) {
+      EXPECT_EQ(frame.type, first ? server::FrameType::kSnapshot
+                                  : server::FrameType::kJournal);
+      first = false;
+    }
+    EXPECT_FALSE(first) << "the bootstrap snapshot never drained";
+    EXPECT_FALSE(shipper.next_frame(7, frame));
+    shipper.unsubscribe(7);
+    EXPECT_EQ(shipper.follower_count(), 0u);
+  }
+  session.close_storage();
+}
+
+TEST(ReplicaTest, PromoteBumpsTheEpochAndRemovesTheMarker) {
+  TempDir tmp;
+  const std::string leader_dir = tmp.sub("leader");
+  const std::string replica_dir = tmp.sub("replica");
+
+  CaptureTap tap;
+  core::DesignSession session(schema::make_full_schema());
+  (void)session.open_storage(leader_dir);
+  (void)session.import_data("Stimuli", "p0", kWaveBody);
+  const SnapshotShipment snap{session.storage()->epoch(),
+                              session.storage()->journal_seq(),
+                              schema::write_schema(session.schema()),
+                              session.db().save()};
+  session.storage()->attach_tap(&tap);
+  (void)session.import_data("Stimuli", "p1", kWaveBody);
+  session.storage()->attach_tap(nullptr);
+  const std::size_t leader_size = session.db().size();
+  session.close_storage();
+
+  {
+    ReplicaApplier applier(server::Endpoint::parse("127.0.0.1:1"),
+                           replica_dir);
+    applier.install_snapshot(snap);
+    for (const JournalShipment& frame : tap.frames) {
+      ASSERT_EQ(applier.apply_frame(frame), ApplyOutcome::kApplied);
+    }
+  }
+  ASSERT_TRUE(ReplicaApplier::is_replica_store(replica_dir));
+
+  const PromoteReport report = promote_store(replica_dir);
+  EXPECT_EQ(report.epoch, snap.epoch + 1);
+  EXPECT_FALSE(ReplicaApplier::is_replica_store(replica_dir));
+  EXPECT_EQ(storage::fsck_store(replica_dir).exit_code(), 0);
+
+  // The promoted store is a leader store: it opens and serves the full
+  // replicated history.
+  core::DesignSession promoted(schema::make_full_schema());
+  (void)promoted.open_storage(replica_dir);
+  EXPECT_EQ(promoted.db().size(), leader_size);
+  EXPECT_EQ(promoted.storage()->epoch(), report.epoch);
+  promoted.close_storage();
+
+  // A second promote must refuse: the marker is gone.
+  EXPECT_THROW((void)promote_store(replica_dir), support::HistoryError);
+}
+
+TEST(ReplicaTest, FailoverDrillPromotedFollowerLeadsAndFencesTheOldEpoch) {
+  TempDir tmp;
+  const std::string a_dir = tmp.sub("a");  // original leader
+  const std::string b_dir = tmp.sub("b");  // follower -> promoted leader
+  const std::string c_dir = tmp.sub("c");  // follower of the new leader
+
+  CaptureTap old_epoch_tap;
+  std::size_t size_before_failover = 0;
+
+  // Epoch 0: A leads, B follows, frames flow.
+  {
+    core::DesignSession session_a(schema::make_full_schema());
+    (void)session_a.open_storage(a_dir);
+    {
+      JournalShipper shipper_a(session_a);
+      server::Server server_a(session_a);
+      server_a.set_replication_hub(&shipper_a);
+      const server::Endpoint ep_a =
+          server_a.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+      server_a.start();
+
+      ReplicaApplier applier_b(ep_a, b_dir);
+      ASSERT_TRUE(applier_b.bootstrap()) << applier_b.last_error();
+      applier_b.start();
+
+      server::Client writer = server::Client::connect(ep_a);
+      ASSERT_TRUE(writer.call("import Stimuli wave_one", kWaveBody).ok());
+      ASSERT_TRUE(writer.call("import Stimuli wave_two", kWaveBody).ok());
+      writer.close();
+      ASSERT_TRUE(wait_until(
+          [&applier_b] { return applier_b.frames_applied() >= 2; }));
+      size_before_failover = session_a.db().size();
+      EXPECT_EQ(applier_b.db().size(), size_before_failover);
+
+      // Capture one old-epoch frame for the fence assertion below.
+      session_a.storage()->attach_tap(&old_epoch_tap);
+      (void)session_a.import_data("Stimuli", "straggler", kWaveBody);
+      session_a.storage()->attach_tap(nullptr);
+
+      // A "dies" (hard stop; its store keeps the straggler frame B never
+      // saw — exactly the divergence failover must fence off).
+      applier_b.stop();
+      server_a.stop();
+    }
+    session_a.close_storage();
+  }
+  ASSERT_EQ(old_epoch_tap.frames.size(), 1u);
+
+  // Promote B: epoch 0 -> 1.
+  const PromoteReport promotion = promote_store(b_dir);
+  EXPECT_EQ(promotion.epoch, 1u);
+
+  // Epoch 1: B leads, C follows and sees everything B replicated.
+  core::DesignSession session_b(schema::make_full_schema());
+  (void)session_b.open_storage(b_dir);
+  ASSERT_EQ(session_b.storage()->epoch(), 1u);
+  {
+    JournalShipper shipper_b(session_b);
+    server::Server server_b(session_b);
+    server_b.set_replication_hub(&shipper_b);
+    const server::Endpoint ep_b =
+        server_b.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+    server_b.start();
+
+    server::Client writer = server::Client::connect(ep_b);
+    ASSERT_TRUE(writer.call("import Stimuli after_failover", kWaveBody).ok());
+    writer.close();
+
+    ReplicaApplier applier_c(ep_b, c_dir);
+    ASSERT_TRUE(applier_c.bootstrap()) << applier_c.last_error();
+    EXPECT_EQ(applier_c.position().epoch, 1u);
+    EXPECT_EQ(applier_c.db().size(), size_before_failover + 1);
+
+    // The fence, both directions: the ex-leader's epoch-0 frame is
+    // rejected by the promoted world...
+    EXPECT_EQ(applier_c.apply_frame(old_epoch_tap.frames[0]),
+              ApplyOutcome::kFenced);
+    EXPECT_EQ(applier_c.fenced_frames(), 1u);
+    // ...and an epoch-1 subscriber would be refused by the ex-leader
+    // (its epoch is 0 — the future-epoch refusal of
+    // LeaderRefusesSubscriberFromAFutureEpoch, exercised here against
+    // the promoted position).
+    std::string error;
+    core::DesignSession stale(schema::make_full_schema());
+    (void)stale.open_storage(a_dir);
+    {
+      JournalShipper stale_shipper(stale);
+      EXPECT_FALSE(stale_shipper.subscribe(
+          9, "c", encode_subscribe(applier_c.position()), &error));
+      EXPECT_NE(error.find("fenced"), std::string::npos) << error;
+    }
+    stale.close_storage();
+
+    server_b.stop();
+  }
+  session_b.close_storage();
+  EXPECT_EQ(storage::fsck_store(b_dir).exit_code(), 0);
+  EXPECT_EQ(storage::fsck_store(c_dir).exit_code(), 0);
+}
+
+}  // namespace
+}  // namespace herc::replica
