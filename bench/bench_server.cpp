@@ -27,6 +27,7 @@
 #include "schema/standard_schemas.hpp"
 #include "server/client.hpp"
 #include "server/latency.hpp"
+#include "server/resilient.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -196,6 +197,78 @@ int main() {
     mixed_ops_per_s = kClients * kMixedOps / ms_since(start) * 1000.0;
   }
 
+  // Idempotency-token overhead: the same warmed synchronous stream as the
+  // round-trip section, but through a ResilientClient so every command
+  // wears a token the server must parse and (for writes) dedup-track.
+  // The delta against `round_trip_us` is the price of exactly-once.
+  double tokened_us = 0;
+  {
+    server::ResilientClient client(endpoint);
+    for (int i = 0; i < 50; ++i) (void)client.call("echo warm");
+    const auto start = Clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      if (!client.call("echo x").ok()) ++errors;
+    }
+    tokened_us = ms_since(start) * 1000.0 / kOps;
+    client.close();
+  }
+
+  // The cached-reply path: one applied mutation, then the same token
+  // replayed over and over — every reply comes from the dedup window,
+  // not the interpreter.  This is what a retry after a torn connection
+  // costs the server.
+  double replay_us = 0;
+  {
+    server::Client client = server::Client::connect(endpoint);
+    client.send_token("bench-replayer", 1, "import Stimuli replay_probe",
+                      "stimuli r\nwave in 0:0 100:1\n");
+    if (!client.receive().ok()) ++errors;
+    const auto start = Clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      client.send_token("bench-replayer", 1, "import Stimuli replay_probe",
+                        "stimuli r\nwave in 0:0 100:1\n");
+      if (!client.receive().ok()) ++errors;
+    }
+    replay_us = ms_since(start) * 1000.0 / kOps;
+    client.close();
+  }
+
+  // Reconnect storm: every operation pays a full connect + hello + token
+  // on a fresh connection — the worst case of a flapping network where
+  // clients reconnect for every command.  Throughput here bounds how
+  // fast a resilient fleet can recover after a partition heals.
+  double storm_conn_per_s = 0;
+  server::LatencyHistogram storm_hist;
+  {
+    constexpr int kStormClients = 8;
+    constexpr int kCycles = 50;
+    std::vector<std::thread> threads;
+    StartGate gate;
+    for (int c = 0; c < kStormClients; ++c) {
+      threads.emplace_back([&, c] {
+        gate.arrive_and_wait();
+        for (int i = 0; i < kCycles; ++i) {
+          const auto t0 = Clock::now();
+          server::ResilientOptions options;
+          options.client_id =
+              "storm" + std::to_string(c) + "_" + std::to_string(i);
+          server::ResilientClient client(endpoint, options);
+          if (!client.call("echo x").ok()) ++errors;
+          client.close();
+          storm_hist.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - t0)
+                  .count()));
+        }
+      });
+    }
+    gate.wait_for(kStormClients);
+    const auto start = Clock::now();
+    gate.open();
+    for (std::thread& t : threads) t.join();
+    storm_conn_per_s = kStormClients * kCycles / ms_since(start) * 1000.0;
+  }
+
   server.stop();
   if (errors.load() != 0) {
     std::fprintf(stderr, "bench_server: %d command(s) failed\n",
@@ -227,6 +300,12 @@ int main() {
        << ",\n"
        << "  \"mixed_rw_ops_per_s_8_clients\": " << mixed_ops_per_s << ",\n"
        << "  \"mixed_p95_us_8_clients\": " << mixed_hist.percentile(0.95)
+       << ",\n"
+       << "  \"tokened_round_trip_us\": " << tokened_us << ",\n"
+       << "  \"token_overhead_us\": " << tokened_us - round_trip_us << ",\n"
+       << "  \"dedup_replay_us\": " << replay_us << ",\n"
+       << "  \"reconnect_storm_conn_per_s\": " << storm_conn_per_s << ",\n"
+       << "  \"reconnect_storm_p95_us\": " << storm_hist.percentile(0.95)
        << "\n"
        << "}\n";
   json.close();
@@ -247,5 +326,10 @@ int main() {
               static_cast<unsigned long long>(query_hist.percentile(0.99)));
   std::printf("  mixed 8 clients: %.0f ops/s (p95 %lluus)\n", mixed_ops_per_s,
               static_cast<unsigned long long>(mixed_hist.percentile(0.95)));
+  std::printf(
+      "  tokened %.1fus/cmd (+%.1fus), dedup replay %.1fus, "
+      "reconnect storm %.0f conn/s (p95 %lluus)\n",
+      tokened_us, tokened_us - round_trip_us, replay_us, storm_conn_per_s,
+      static_cast<unsigned long long>(storm_hist.percentile(0.95)));
   return 0;
 }

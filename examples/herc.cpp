@@ -39,6 +39,7 @@
 //
 //   herc swarm <store-dir> [--profile P] [--clients N] [--rounds R]
 //              [--seed S] [--chaos N] [--no-kill] [--followers N]
+//              [--net-chaos]
 //              [--herc BIN] [--json [FILE]]
 //       Thousand-designer workload simulator and chaos harness: serves
 //       <store-dir> from a child `herc serve`, replays a deterministic
@@ -50,7 +51,12 @@
 //       --followers (default 2 for --profile replicas) adds a read-
 //       replica fleet: read-only clients pin to the replicas and every
 //       heal must propagate the new epoch to all of them before readers
-//       reconnect.  Exit 0 when every invariant held, 2 otherwise.
+//       reconnect.  --net-chaos routes all traffic through a fault
+//       proxy and mixes network events into the cycle (connections cut
+//       mid-frame, latency, partitions, half-closes); clients retry
+//       idempotently and the verifier additionally asserts exactly-once
+//       (no retried command ever applies twice).  Exit 0 when every
+//       invariant held, 2 otherwise.
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -465,7 +471,8 @@ int cmd_swarm(const std::vector<std::string>& args,
                  " [--rounds R]\n"
                  "                  [--seed S] [--chaos N] [--no-kill]"
                  " [--followers N]\n"
-                 "                  [--herc BIN] [--json [FILE]]\n";
+                 "                  [--net-chaos] [--herc BIN]"
+                 " [--json [FILE]]\n";
     return 2;
   };
   if (args.empty()) return usage();
@@ -491,6 +498,8 @@ int cmd_swarm(const std::vector<std::string>& args,
       options.chaos = std::stoul(args[++i]);
     } else if (arg == "--no-kill") {
       options.allow_kill = false;
+    } else if (arg == "--net-chaos") {
+      options.net_chaos = true;
     } else if (arg == "--followers" && more) {
       options.followers = std::stoul(args[++i]);
       followers_set = true;

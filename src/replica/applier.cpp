@@ -8,6 +8,7 @@
 
 #include "schema/schema_io.hpp"
 #include "server/protocol.hpp"
+#include "support/backoff.hpp"
 #include "support/error.hpp"
 #include "support/record.hpp"
 #include "support/text.hpp"
@@ -30,6 +31,15 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+std::uint64_t seed_from(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash | 1;
+}
+
 std::optional<std::uint64_t> parse_u64(std::string_view token) {
   if (token.empty()) return std::nullopt;
   std::uint64_t value = 0;
@@ -49,6 +59,10 @@ ReplicaApplier::ReplicaApplier(server::Endpoint leader, std::string dir,
     : leader_(std::move(leader)), dir_(std::move(dir)),
       options_(std::move(options)) {
   if (options_.reconnect_delay_ms < 1) options_.reconnect_delay_ms = 1;
+  if (options_.reconnect_cap_ms < options_.reconnect_delay_ms) {
+    options_.reconnect_cap_ms = options_.reconnect_delay_ms;
+  }
+  if (options_.backoff_seed == 0) options_.backoff_seed = seed_from(dir_);
 }
 
 ReplicaApplier::~ReplicaApplier() { stop(); }
@@ -170,6 +184,7 @@ bool ReplicaApplier::recover_local() {
   journal_.reset();
   std::uint64_t replayed = 0;
   bool need_fresh_journal = true;
+  has_tail_ = false;
   if (fs::exists(journal_path())) {
     const storage::ScanResult scan =
         storage::scan_journal(read_file(journal_path()));
@@ -180,6 +195,10 @@ bool ReplicaApplier::recover_local() {
         }
       }
       replayed = scan.records.size();
+      if (!scan.records.empty()) {
+        tail_checksum_ = storage::frame_checksum(scan.records.back());
+        has_tail_ = true;
+      }
       if (scan.torn) {
         std::error_code ec;
         fs::resize_file(journal_path(), scan.valid_bytes, ec);
@@ -248,6 +267,7 @@ void ReplicaApplier::install_snapshot(const SnapshotShipment& snapshot) {
   write_marker(snapshot.epoch, snapshot.seq);
   base_seq_ = snapshot.seq;
   need_snapshot_ = false;
+  has_tail_ = false;  // local journal is empty: nothing to vouch for
   publish_position(snapshot.epoch, snapshot.seq);
 }
 
@@ -270,6 +290,8 @@ ApplyOutcome ReplicaApplier::apply_frame(const JournalShipment& shipment) {
     db_->apply_saved_line(line);
   }
   applied_.fetch_add(1, std::memory_order_relaxed);
+  tail_checksum_ = storage::frame_checksum(shipment.lines);
+  has_tail_ = true;
   publish_position(epoch, seq + 1);
   return ApplyOutcome::kApplied;
 }
@@ -288,6 +310,7 @@ void ReplicaApplier::apply_checkpoint(std::uint64_t new_epoch) {
       storage::Journal::create(journal_path(), new_epoch, options_.journal);
   write_marker(new_epoch, 0);
   base_seq_ = 0;
+  has_tail_ = false;  // the compacted journal starts empty
   publish_position(new_epoch, 0);
 }
 
@@ -299,12 +322,11 @@ bool ReplicaApplier::bootstrap(int attempts) {
   } catch (const std::exception& e) {
     set_error(e.what());
   }
+  support::Backoff backoff(options_.reconnect_delay_ms,
+                           options_.reconnect_cap_ms, options_.backoff_seed);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (stopping_.load()) return false;
-    if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.reconnect_delay_ms));
-    }
+    if (attempt > 0) backoff.sleep(&stopping_);
     try {
       if (fetch_snapshot()) return true;
     } catch (const std::exception& e) {
@@ -315,9 +337,10 @@ bool ReplicaApplier::bootstrap(int attempts) {
 }
 
 bool ReplicaApplier::fetch_snapshot() {
-  server::Socket sock = server::connect_to(leader_);
+  server::Socket sock =
+      server::connect_to(leader_, options_.connect_timeout_ms);
   server::Frame frame;
-  if (!server::read_frame(sock.fd(), frame) ||
+  if (read_hello(sock.fd(), frame) != server::ReadOutcome::kFrame ||
       frame.type != server::FrameType::kHello ||
       frame.payload.rfind(server::kMagic, 0) != 0) {
     throw NetError("replica: '" + leader_.describe() +
@@ -325,7 +348,12 @@ bool ReplicaApplier::fetch_snapshot() {
   }
   server::write_frame(sock.fd(),
                       {server::FrameType::kSubscribe, encode_subscribe({})});
-  while (server::read_frame(sock.fd(), frame)) {
+  // Idle-bounded only: the snapshot may be large, so once its first byte
+  // arrives the transfer is given unlimited time — but a leader that goes
+  // silent before sending anything is shed.
+  const server::ReadDeadline snapshot_deadline{options_.hello_timeout_ms, 0};
+  while (server::read_frame(sock.fd(), frame, snapshot_deadline) ==
+         server::ReadOutcome::kFrame) {
     if (frame.type == server::FrameType::kSnapshot) {
       const SnapshotShipment snapshot = decode_snapshot(frame.payload);
       gated([&] { install_snapshot(snapshot); });
@@ -359,7 +387,12 @@ void ReplicaApplier::stop() {
 }
 
 void ReplicaApplier::stream_loop() {
+  support::Backoff backoff(options_.reconnect_delay_ms,
+                           options_.reconnect_cap_ms,
+                           options_.backoff_seed ^ 0x5cddULL);
   while (!stopping_.load()) {
+    const std::uint64_t applied_before = applied_;
+    const StreamPosition before = position();
     try {
       stream_once();
     } catch (const std::exception& e) {
@@ -370,34 +403,86 @@ void ReplicaApplier::stream_loop() {
       sock_.close();
     }
     if (stopping_.load()) break;
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(options_.reconnect_delay_ms));
+    const StreamPosition after = position();
+    if (applied_ != applied_before || after.epoch != before.epoch ||
+        after.seq != before.seq) {
+      // The stream moved before it broke: the leader is (or was) healthy,
+      // so retry fast instead of escalating the pause.
+      backoff.reset();
+    }
+    state_.store("backoff", std::memory_order_relaxed);
+    backoff.sleep(&stopping_);
   }
+  state_.store("stopped", std::memory_order_relaxed);
+}
+
+server::ReadOutcome ReplicaApplier::read_hello(int fd, server::Frame& frame) {
+  const server::ReadDeadline deadline{options_.hello_timeout_ms,
+                                      options_.hello_timeout_ms};
+  const server::ReadOutcome outcome = server::read_frame(fd, frame, deadline);
+  if (outcome == server::ReadOutcome::kIdle) {
+    throw NetError("replica: '" + leader_.describe() +
+                   "' accepted the connection but sent no hello within " +
+                   std::to_string(options_.hello_timeout_ms) + "ms");
+  }
+  return outcome;
 }
 
 void ReplicaApplier::stream_once() {
+  state_.store("connecting", std::memory_order_relaxed);
   {
-    server::Socket sock = server::connect_to(leader_);
+    server::Socket sock =
+        server::connect_to(leader_, options_.connect_timeout_ms);
     std::scoped_lock lock(sock_mutex_);
     if (stopping_.load()) return;
     sock_ = std::move(sock);
   }
   const int fd = sock_.fd();
   server::Frame frame;
-  if (!server::read_frame(fd, frame) ||
+  state_.store("awaiting-hello", std::memory_order_relaxed);
+  if (read_hello(fd, frame) != server::ReadOutcome::kFrame ||
       frame.type != server::FrameType::kHello ||
       frame.payload.rfind(server::kMagic, 0) != 0) {
     throw NetError("replica: '" + leader_.describe() +
                    "' is not a herc server");
   }
   const std::string position =
-      need_snapshot_ ? encode_subscribe({})
-                     : encode_subscribe(StreamPosition{
-                           epoch_.load(std::memory_order_relaxed),
-                           seq_.load(std::memory_order_relaxed)});
+      need_snapshot_
+          ? encode_subscribe({})
+          : encode_subscribe(
+                StreamPosition{epoch_.load(std::memory_order_relaxed),
+                               seq_.load(std::memory_order_relaxed)},
+                has_tail_ ? std::optional<std::uint64_t>(tail_checksum_)
+                          : std::nullopt);
   server::write_frame(fd, {server::FrameType::kSubscribe, position});
 
-  while (server::read_frame(fd, frame)) {
+  state_.store("streaming", std::memory_order_relaxed);
+  // Idle-bounded stream reads: a caught-up subscription is legitimately
+  // quiet, so the first quiet period sends a keepalive ack (cheap, and it
+  // refreshes the leader's lag view); a second consecutive quiet period
+  // means even that provoked nothing — the socket may be silently dead
+  // (black-holed route, wedged proxy), so re-dial.  `frame_ms` bounds a
+  // peer that stalls mid-frame.
+  const server::ReadDeadline deadline{options_.idle_probe_ms,
+                                      options_.hello_timeout_ms};
+  int quiet_periods = 0;
+  while (true) {
+    const server::ReadOutcome outcome =
+        server::read_frame(fd, frame, deadline);
+    if (outcome == server::ReadOutcome::kEof) break;
+    if (outcome == server::ReadOutcome::kIdle) {
+      if (stopping_.load()) return;
+      if (++quiet_periods >= 2) {
+        throw NetError("replica: stream from '" + leader_.describe() +
+                       "' went silent past the liveness probe; re-dialing");
+      }
+      server::write_frame(
+          fd, {server::FrameType::kAck,
+               encode_ack({epoch_.load(std::memory_order_relaxed),
+                           seq_.load(std::memory_order_relaxed)})});
+      continue;
+    }
+    quiet_periods = 0;
     if (stopping_.load()) return;
     switch (frame.type) {
       case server::FrameType::kSnapshot: {

@@ -39,6 +39,7 @@
 #include "history/history_db.hpp"
 #include "replica/replication.hpp"
 #include "schema/task_schema.hpp"
+#include "server/protocol.hpp"
 #include "server/socket.hpp"
 #include "storage/journal.hpp"
 #include "storage/store.hpp"
@@ -48,8 +49,30 @@ namespace herc::replica {
 
 struct ApplierOptions {
   storage::JournalOptions journal;
-  /// Pause between reconnection attempts to the leader.
+  /// Base pause between reconnection attempts to the leader.  Attempts
+  /// back off exponentially (jittered ±25%) up to `reconnect_cap_ms`,
+  /// resetting whenever the stream makes progress — so a brief leader
+  /// bounce retries fast while a long outage stops hammering the network.
   int reconnect_delay_ms = 200;
+  int reconnect_cap_ms = 5'000;
+  /// Jitter seed (0 = derived from the store directory) so a fleet of
+  /// followers does not reconnect in lockstep after a leader restart.
+  std::uint64_t backoff_seed = 0;
+  /// Dial timeout for every connection to the leader.  Unbounded connects
+  /// are how a follower wedges forever behind a black-holed network path;
+  /// expiring just reconnects through the normal backoff.
+  int connect_timeout_ms = 5'000;
+  /// Max ms to wait for the leader's hello (and for the rest of any frame
+  /// once its first byte arrived).  A connection that opens but never
+  /// speaks is dead-but-open: shed it and re-dial.
+  int hello_timeout_ms = 5'000;
+  /// Liveness probe period on an idle subscription.  A caught-up follower
+  /// legitimately hears nothing for long stretches, so the first quiet
+  /// period sends a keepalive ack; a second consecutive quiet period means
+  /// even the probe provoked nothing — re-dial rather than trust a socket
+  /// that may be silently dead (a proxy wedge, a vanished peer, a dropped
+  /// route).  Re-subscribing when caught up is one empty bootstrap.
+  int idle_probe_ms = 5'000;
   /// Wraps every database mutation (snapshot install, frame apply,
   /// checkpoint).  The server installs its exclusive-session-lock taker
   /// here so replication applies never race live reads; when empty the
@@ -130,6 +153,11 @@ class ReplicaApplier {
   /// Times the stream fell out of sync and reconnected for a resync.
   [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
   [[nodiscard]] std::string last_error() const;
+  /// Where the stream thread is right now ("connecting", "awaiting-hello",
+  /// "streaming", "backoff", ...) — names the wedge when a follower stalls.
+  [[nodiscard]] const char* stream_state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
 
   /// True when `dir` carries the replica marker.
   [[nodiscard]] static bool is_replica_store(const std::string& dir);
@@ -146,6 +174,9 @@ class ReplicaApplier {
   [[nodiscard]] bool recover_local();
   /// One connect + subscribe-from-nothing + snapshot install.
   [[nodiscard]] bool fetch_snapshot();
+  /// Reads the leader's hello under `hello_timeout_ms`; throws NetError
+  /// when the leader opens the connection but never speaks.
+  [[nodiscard]] server::ReadOutcome read_hello(int fd, server::Frame& frame);
   /// One connect + subscribe + apply-until-disconnect.
   void stream_once();
   void stream_loop();
@@ -170,6 +201,13 @@ class ReplicaApplier {
   /// When true the next subscribe asks for a full snapshot (the local
   /// database can no longer be trusted to extend).
   bool need_snapshot_ = true;
+  /// `storage::frame_checksum` of the last frame in the local journal
+  /// (valid when `has_tail_`).  Sent with every subscribe so the leader
+  /// can tell a caught-up follower from one whose history diverged at the
+  /// same sequence number (a torn leader tail the follower streamed
+  /// complete) and answer the latter with a snapshot resync.
+  std::uint64_t tail_checksum_ = 0;
+  bool has_tail_ = false;
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> seq_{0};
@@ -186,6 +224,8 @@ class ReplicaApplier {
   server::Socket sock_;
   mutable std::mutex error_mutex_;
   std::string last_error_;
+  /// Stream-thread phase, for diagnostics (points at string literals).
+  std::atomic<const char*> state_{"idle"};
 };
 
 /// What `promote_store` found and did.

@@ -46,24 +46,38 @@ std::pair<std::string_view, std::string_view> split_header(
 
 }  // namespace
 
-std::string encode_subscribe(const std::optional<StreamPosition>& position) {
+std::string encode_subscribe(const std::optional<StreamPosition>& position,
+                             std::optional<std::uint64_t> tail_checksum) {
   if (!position.has_value()) return {};
-  return std::to_string(position->epoch) + " " +
-         std::to_string(position->seq);
+  std::string out =
+      std::to_string(position->epoch) + " " + std::to_string(position->seq);
+  if (tail_checksum.has_value()) {
+    out += " " + std::to_string(*tail_checksum);
+  }
+  return out;
 }
 
 std::optional<StreamPosition> decode_subscribe(std::string_view payload) {
-  if (support::trim(payload).empty()) return std::nullopt;
+  return decode_subscribe_info(payload).position;
+}
+
+SubscribeInfo decode_subscribe_info(std::string_view payload) {
+  SubscribeInfo info;
+  if (support::trim(payload).empty()) return info;
   const std::vector<std::string> parts =
       support::split_ws(support::trim(payload));
-  if (parts.size() != 2) {
+  if (parts.size() != 2 && parts.size() != 3) {
     throw NetError("replication: malformed subscribe position '" +
                    std::string(payload) + "'");
   }
   StreamPosition pos;
   pos.epoch = parse_u64(parts[0], "subscribe epoch");
   pos.seq = parse_u64(parts[1], "subscribe seq");
-  return pos;
+  info.position = pos;
+  if (parts.size() == 3) {
+    info.tail_checksum = parse_u64(parts[2], "subscribe tail checksum");
+  }
+  return info;
 }
 
 std::string encode_journal(std::uint64_t epoch, std::uint64_t seq,

@@ -31,12 +31,30 @@ struct StreamPosition {
   }
 };
 
-/// kSubscribe payload: "" to bootstrap from nothing, else "<epoch> <seq>".
+/// kSubscribe payload: "" to bootstrap from nothing, else
+/// "<epoch> <seq>[ <tail-checksum>]".  The optional third field is
+/// `storage::frame_checksum` of the follower's LAST applied frame
+/// (`seq-1`): seq equality alone cannot prove the follower's history is a
+/// prefix of the leader's — after a crash tore the leader's journal tail,
+/// a follower that streamed the torn frame complete holds a different
+/// frame under the same sequence number.  The leader compares the tail
+/// checksum against its own record and answers a mismatch with a snapshot
+/// resync instead of silently registering a diverged follower as caught
+/// up.
 [[nodiscard]] std::string encode_subscribe(
-    const std::optional<StreamPosition>& position);
+    const std::optional<StreamPosition>& position,
+    std::optional<std::uint64_t> tail_checksum = std::nullopt);
 /// Throws `support::NetError` on a malformed payload.
 [[nodiscard]] std::optional<StreamPosition> decode_subscribe(
     std::string_view payload);
+
+/// A fully parsed kSubscribe payload (position + optional tail checksum).
+struct SubscribeInfo {
+  std::optional<StreamPosition> position;
+  std::optional<std::uint64_t> tail_checksum;
+};
+/// Throws `support::NetError` on a malformed payload.
+[[nodiscard]] SubscribeInfo decode_subscribe_info(std::string_view payload);
 
 /// One shipped journal frame (kJournal): the leader's journal payload for
 /// sequence `seq` of `epoch`, verbatim.

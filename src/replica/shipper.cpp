@@ -63,13 +63,14 @@ bool JournalShipper::subscribe(std::uint64_t conn_id, const std::string& peer,
     *error = "replication: the leader has no open store";
     return false;
   }
-  std::optional<StreamPosition> pos;
+  SubscribeInfo info;
   try {
-    pos = decode_subscribe(position);
+    info = decode_subscribe_info(position);
   } catch (const std::exception& e) {
     *error = e.what();
     return false;
   }
+  const std::optional<StreamPosition>& pos = info.position;
   const std::uint64_t cur_epoch = store->epoch();
   const std::uint64_t cur_seq = store->journal_seq();
 
@@ -97,12 +98,30 @@ bool JournalShipper::subscribe(std::uint64_t conn_id, const std::string& peer,
           read_file((fs::path(store->dir()) / "journal.wal").string()));
       if (scan.header_valid && scan.epoch == cur_epoch &&
           scan.records.size() >= cur_seq) {
-        for (std::uint64_t seq = pos->seq; seq < cur_seq; ++seq) {
-          bootstrap.push_back(
-              {FrameType::kJournal,
-               encode_journal(cur_epoch, seq, scan.records[seq])});
+        // Seq equality alone cannot prove the follower's history is a
+        // prefix of ours: after a crash tore our journal tail, a follower
+        // that streamed the torn frame complete sits at the same seq on a
+        // different history — a backlog would silently diverge it forever.
+        // The follower's tail checksum (of its last applied frame) must
+        // match our record at seq-1; a mismatch earns a snapshot resync.
+        bool tail_matches = true;
+        if (info.tail_checksum.has_value() && pos->seq > 0) {
+          tail_matches =
+              pos->seq <= scan.records.size() &&
+              storage::frame_checksum(scan.records[pos->seq - 1]) ==
+                  *info.tail_checksum;
+          if (!tail_matches) {
+            divergent_.fetch_add(1, std::memory_order_relaxed);
+          }
         }
-        backlog_ok = true;
+        if (tail_matches) {
+          for (std::uint64_t seq = pos->seq; seq < cur_seq; ++seq) {
+            bootstrap.push_back(
+                {FrameType::kJournal,
+                 encode_journal(cur_epoch, seq, scan.records[seq])});
+          }
+          backlog_ok = true;
+        }
       }
     } catch (const std::exception&) {
       backlog_ok = false;  // fall through to a snapshot

@@ -79,6 +79,13 @@ class JournalShipper final : public server::ReplicationHub,
   [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
   /// Subscriptions refused for claiming a future epoch (fenced leaders).
   [[nodiscard]] std::uint64_t fenced_subscribes() const { return fenced_; }
+  /// Subscribes whose tail checksum disproved prefix equality (the
+  /// follower held a frame this leader's journal never kept — a torn tail
+  /// it streamed complete before the crash) and were answered with a
+  /// snapshot resync instead of a backlog.
+  [[nodiscard]] std::uint64_t divergent_subscribes() const {
+    return divergent_;
+  }
 
  private:
   struct Follower {
@@ -102,6 +109,7 @@ class JournalShipper final : public server::ReplicationHub,
   std::atomic<std::uint64_t> leader_seq_{0};
   std::atomic<std::uint64_t> overflows_{0};
   std::atomic<std::uint64_t> fenced_{0};
+  std::atomic<std::uint64_t> divergent_{0};
 };
 
 }  // namespace herc::replica

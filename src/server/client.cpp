@@ -6,29 +6,61 @@ namespace herc::server {
 
 using support::NetError;
 
-Client Client::connect(const Endpoint& endpoint) {
+Client Client::connect(const Endpoint& endpoint, int connect_timeout_ms) {
   Client client;
-  client.sock_ = connect_to(endpoint);
+  client.sock_ = connect_to(endpoint, connect_timeout_ms);
   Frame hello;
-  if (!read_frame(client.sock_.fd(), hello) ||
-      hello.type != FrameType::kHello ||
-      hello.payload.rfind(kMagic, 0) != 0) {
+  bool got = false;
+  if (connect_timeout_ms > 0) {
+    ReadDeadline deadline;
+    deadline.idle_ms = connect_timeout_ms;
+    deadline.frame_ms = connect_timeout_ms;
+    got = read_frame(client.sock_.fd(), hello, deadline) ==
+          ReadOutcome::kFrame;
+  } else {
+    got = read_frame(client.sock_.fd(), hello);
+  }
+  if (!got || hello.type != FrameType::kHello) {
     throw NetError("'" + endpoint.describe() +
                    "' did not answer with a herc server hello");
   }
-  client.banner_ = hello.payload.substr(kMagic.size());
+  HelloInfo info;
+  try {
+    info = decode_hello(hello.payload);
+  } catch (const NetError&) {
+    throw NetError("'" + endpoint.describe() +
+                   "' did not answer with a herc server hello");
+  }
+  client.banner_ = info.banner;
+  client.role_ = info.role;
+  client.boot_id_ = info.boot_id;
   return client;
+}
+
+std::string Client::command_payload(std::string_view command,
+                                    std::string_view body) {
+  std::string payload(command);
+  if (!body.empty()) {
+    payload.push_back('\n');
+    payload += body;
+  }
+  return payload;
 }
 
 void Client::send(std::string_view command, std::string_view body) {
   if (!sock_.valid()) throw NetError("send: not connected");
   Frame frame;
   frame.type = FrameType::kCommand;
-  frame.payload.assign(command);
-  if (!body.empty()) {
-    frame.payload.push_back('\n');
-    frame.payload += body;
-  }
+  frame.payload = command_payload(command, body);
+  write_frame(sock_.fd(), frame);
+}
+
+void Client::send_token(std::string_view client_id, std::uint64_t seq,
+                        std::string_view command, std::string_view body) {
+  if (!sock_.valid()) throw NetError("send: not connected");
+  Frame frame;
+  frame.type = FrameType::kTokenCommand;
+  frame.payload = encode_token(client_id, seq, command_payload(command, body));
   write_frame(sock_.fd(), frame);
 }
 
@@ -37,7 +69,21 @@ CallResult Client::receive() {
   CallResult result;
   Frame frame;
   while (true) {
-    if (!read_frame(sock_.fd(), frame)) {
+    bool got = false;
+    if (read_timeout_ms_ > 0) {
+      ReadDeadline deadline;
+      deadline.idle_ms = read_timeout_ms_;
+      deadline.frame_ms = read_timeout_ms_;
+      const ReadOutcome outcome = read_frame(sock_.fd(), frame, deadline);
+      if (outcome == ReadOutcome::kIdle) {
+        throw NetError("no reply within " + std::to_string(read_timeout_ms_) +
+                       "ms");
+      }
+      got = outcome == ReadOutcome::kFrame;
+    } else {
+      got = read_frame(sock_.fd(), frame);
+    }
+    if (!got) {
       throw NetError("server closed the connection before the result");
     }
     if (frame.type == FrameType::kOutput) {

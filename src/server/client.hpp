@@ -28,29 +28,47 @@ struct CallResult {
 
 class Client {
  public:
-  /// Connects and verifies the server's hello.  Throws
-  /// `support::NetError` on refusal or a non-herc peer.
-  [[nodiscard]] static Client connect(const Endpoint& endpoint);
+  /// Connects and verifies the server's hello.  `connect_timeout_ms`
+  /// bounds the TCP connect and the hello read (0 = block).  Throws
+  /// `support::NetError` on refusal, timeout, or a non-herc peer.
+  [[nodiscard]] static Client connect(const Endpoint& endpoint,
+                                      int connect_timeout_ms = 0);
 
   Client() = default;
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
   [[nodiscard]] bool connected() const { return sock_.valid(); }
-  /// The server's hello banner (after the magic).
+  /// The server's hello banner (the human part after the fields).
   [[nodiscard]] const std::string& banner() const { return banner_; }
-  /// True when the hello banner identifies a read-only replica — callers
-  /// route write commands to the leader instead.
-  [[nodiscard]] bool is_replica() const {
-    return banner_.find("replica") != std::string::npos;
-  }
+  /// The structured `role=` hello field ("leader" | "replica").  The
+  /// banner prose is NOT consulted: a leader serving a store path that
+  /// merely contains "replica" must not be misrouted.
+  [[nodiscard]] const std::string& role() const { return role_; }
+  [[nodiscard]] bool is_replica() const { return role_ == "replica"; }
+  /// The server incarnation id from the hello (`boot=`); a different
+  /// value after a reconnect means the server restarted and its
+  /// idempotency window is gone.
+  [[nodiscard]] std::uint64_t server_boot() const { return boot_id_; }
+
+  /// Bounds every `receive` (0 = wait forever).  A reply that does not
+  /// finish within the bound throws `support::NetError`.
+  void set_read_timeout(int ms) { read_timeout_ms_ = ms; }
 
   /// Sends one command without waiting (pipelining).  `body` is the
   /// heredoc payload for commands that take one.
   void send(std::string_view command, std::string_view body = "");
 
+  /// Sends one command wearing an idempotency token: if the connection
+  /// dies before the reply, re-sending the same (client_id, seq) over a
+  /// new connection to the same server incarnation yields the original
+  /// reply instead of a second execution.
+  void send_token(std::string_view client_id, std::uint64_t seq,
+                  std::string_view command, std::string_view body = "");
+
   /// Reads one command's reply (output frames + the result frame).
-  /// Throws `support::NetError` when the server vanishes mid-reply.
+  /// Throws `support::NetError` when the server vanishes mid-reply or
+  /// the read timeout expires.
   [[nodiscard]] CallResult receive();
 
   /// send + receive.
@@ -60,8 +78,14 @@ class Client {
   void close() { sock_.close(); }
 
  private:
+  [[nodiscard]] static std::string command_payload(std::string_view command,
+                                                   std::string_view body);
+
   Socket sock_;
   std::string banner_;
+  std::string role_ = "leader";
+  std::uint64_t boot_id_ = 0;
+  int read_timeout_ms_ = 0;
 };
 
 }  // namespace herc::server

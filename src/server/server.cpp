@@ -1,9 +1,12 @@
 #include "server/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include <poll.h>
@@ -27,6 +30,10 @@ constexpr std::size_t kFrameOverhead = 5;  // wire header per frame
 constexpr std::string_view kShutdownSealReason =
     "server shutdown: the run was cancelled mid-flight";
 
+/// Distinguishes server incarnations within one process (in-process
+/// restarts in tests and the swarm harness reuse the pid).
+std::atomic<std::uint64_t> g_boot_counter{0};
+
 }  // namespace
 
 struct Server::Connection {
@@ -44,15 +51,45 @@ struct Server::Connection {
   std::deque<Frame> queue;
   bool eof = false;      ///< reader saw end-of-stream (or a wire error)
   bool closing = false;  ///< worker decided to close (quit, dead peer)
+  /// Worker is executing a command (or pumping a subscription): the idle
+  /// reaper must not cut a connection that is merely waiting on a long
+  /// run's reply.
+  bool busy = false;
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> commands{0};
   std::thread reader;
   std::thread worker;
 };
 
+/// The per-client idempotency dedup window: replies of recently applied
+/// tokened mutations, plus the tokens currently executing (a retry that
+/// races its own original waits for the reply instead of re-executing).
+struct Server::ClientWindow {
+  struct CachedReply {
+    std::string output;
+    std::string result;
+  };
+  std::map<std::uint64_t, CachedReply> done;
+  std::deque<std::uint64_t> order;  ///< insertion order, for eviction
+  std::set<std::uint64_t> in_flight;
+  /// Highest evicted seq: anything at or below without a cached reply is
+  /// outside the window ("whether it ran is unknowable" error).
+  std::uint64_t floor = 0;
+  std::uint64_t last_used = 0;  ///< LRU tick for client eviction
+};
+
 Server::Server(core::DesignSession& session, ServeOptions options)
     : session_(session), options_(options) {
   if (options_.queue_depth == 0) options_.queue_depth = 1;
+  if (options_.dedup_window == 0) options_.dedup_window = 1;
+  if (options_.dedup_clients == 0) options_.dedup_clients = 1;
+  boot_id_ =
+      (static_cast<std::uint64_t>(::getpid()) << 48) ^
+      (g_boot_counter.fetch_add(1, std::memory_order_relaxed) + 1) ^
+      (static_cast<std::uint64_t>(
+           std::chrono::system_clock::now().time_since_epoch().count())
+       << 16);
+  if (boot_id_ == 0) boot_id_ = 1;  // 0 means "unknown" on the wire
 }
 
 Server::~Server() {
@@ -119,10 +156,11 @@ void Server::accept_loop() {
       try {
         write_frame(conn->sock.fd(),
                     {FrameType::kHello,
-                     std::string(kMagic) +
-                         (options_.read_only
-                              ? " herc replica (read-only)"
-                              : " herc design server")});
+                     encode_hello(options_.read_only ? "replica" : "leader",
+                                  boot_id_,
+                                  options_.read_only
+                                      ? "herc replica (read-only)"
+                                      : "herc design server")});
       } catch (const NetError&) {
         continue;  // the peer vanished between connect and hello
       }
@@ -144,9 +182,33 @@ void Server::accept_loop() {
 }
 
 void Server::reader_loop(Connection& conn) {
+  bool reaped = false;
   try {
     Frame frame;
-    while (read_frame(conn.sock.fd(), frame)) {
+    const ReadDeadline deadline{options_.idle_timeout_ms,
+                                options_.frame_timeout_ms};
+    const bool bounded = deadline.idle_ms > 0 || deadline.frame_ms > 0;
+    while (true) {
+      ReadOutcome outcome;
+      if (bounded) {
+        outcome = read_frame(conn.sock.fd(), frame, deadline);
+      } else {
+        outcome = read_frame(conn.sock.fd(), frame) ? ReadOutcome::kFrame
+                                                    : ReadOutcome::kEof;
+      }
+      if (outcome == ReadOutcome::kEof) break;
+      if (outcome == ReadOutcome::kIdle) {
+        // Reap only a connection with nothing queued or executing: a
+        // client quietly waiting on a long run's reply is not half-open.
+        bool busy;
+        {
+          std::scoped_lock lock(conn.mutex);
+          busy = conn.busy || !conn.queue.empty() || conn.closing;
+        }
+        if (busy || stopping_.load()) continue;
+        reaped = true;
+        break;
+      }
       stats_.bytes_in.fetch_add(frame.payload.size() + kFrameOverhead,
                                 std::memory_order_relaxed);
       if (frame.type == FrameType::kAck) {
@@ -167,8 +229,16 @@ void Server::reader_loop(Connection& conn) {
       conn.queue.push_back(std::move(frame));
       conn.cv.notify_all();
     }
+  } catch (const FrameStallError&) {
+    // A half-open peer held mid-frame past the deadline: the server shed
+    // it — that is a reap, unlike a peer that died on its own below.
+    reaped = true;
   } catch (const NetError&) {
-    // A torn frame or dead peer ends the connection like an EOF would.
+    // A torn frame or a dead peer ends the connection like an EOF would.
+  }
+  if (reaped) {
+    stats_.connections_reaped.fetch_add(1, std::memory_order_relaxed);
+    conn.sock.shutdown_both();
   }
   // A follower that vanished must not leave its stream pump blocked in
   // `next_frame` until the next mutation happens to wake it: dropping the
@@ -190,6 +260,7 @@ void Server::worker_loop(Connection& conn) {
       if (conn.queue.empty()) break;  // eof and fully drained
       frame = std::move(conn.queue.front());
       conn.queue.pop_front();
+      conn.busy = true;  // the idle reaper leaves executing connections be
       conn.cv.notify_all();  // release a backpressured reader
     }
     if (frame.type == FrameType::kSubscribe) {
@@ -207,7 +278,8 @@ void Server::worker_loop(Connection& conn) {
     std::string output;
     std::string result;
     bool quit = false;
-    if (frame.type != FrameType::kCommand) {
+    if (frame.type != FrameType::kCommand &&
+        frame.type != FrameType::kTokenCommand) {
       result = encode_result(Severity::kError,
                              "protocol error: expected a command frame");
       stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
@@ -217,10 +289,14 @@ void Server::worker_loop(Connection& conn) {
       result = encode_result(Severity::kError, "server shutting down");
       stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
     } else {
-      const CommandPayload cmd = split_command(frame.payload);
       const auto begin = std::chrono::steady_clock::now();
-      result = execute_command(conn, cmd.line, std::move(cmd.body), output,
-                               quit);
+      if (frame.type == FrameType::kTokenCommand) {
+        result = execute_tokened(conn, frame.payload, output, quit);
+      } else {
+        CommandPayload cmd = split_command(frame.payload);
+        result = execute_command(conn, cmd.line, std::move(cmd.body), output,
+                                 quit);
+      }
       stats_.command_latency.record(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - begin)
@@ -238,6 +314,10 @@ void Server::worker_loop(Connection& conn) {
       write_frame(conn.sock.fd(), {FrameType::kResult, std::move(result)});
     } catch (const NetError&) {
       quit = true;  // the peer is gone; no point executing its backlog
+    }
+    {
+      std::scoped_lock lock(conn.mutex);
+      conn.busy = false;
     }
     if (quit) {
       {
@@ -362,6 +442,125 @@ std::string Server::execute_command(Connection& conn,
   return encode_result(conn.interp->last_severity(), "");
 }
 
+Server::ClientWindow& Server::touch_window(const std::string& client_id) {
+  auto it = dedup_.find(client_id);
+  if (it == dedup_.end()) {
+    if (dedup_.size() >= options_.dedup_clients) {
+      // Evict the least recently active client that has nothing
+      // executing (a window with in-flight tokens is referenced by a
+      // worker and by any waiters).
+      auto victim = dedup_.end();
+      for (auto w = dedup_.begin(); w != dedup_.end(); ++w) {
+        if (!w->second->in_flight.empty()) continue;
+        if (victim == dedup_.end() ||
+            w->second->last_used < victim->second->last_used) {
+          victim = w;
+        }
+      }
+      if (victim != dedup_.end()) dedup_.erase(victim);
+    }
+    it = dedup_.emplace(client_id, std::make_unique<ClientWindow>()).first;
+  }
+  it->second->last_used = ++dedup_clock_;
+  return *it->second;
+}
+
+std::string Server::execute_tokened(Connection& conn,
+                                    const std::string& payload,
+                                    std::string& output, bool& quit) {
+  TokenInfo token;
+  try {
+    token = split_token(payload);
+  } catch (const NetError& e) {
+    stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
+    return encode_result(Severity::kError, e.what());
+  }
+  CommandPayload cmd = split_command(token.command);
+  const std::vector<std::string> args =
+      support::split_ws(support::trim(cmd.line));
+  // Connection-scoped commands (`session user`, `stats`, `replicas`) must
+  // re-execute on the connection that carries them — serving a cached
+  // reply would skip their per-connection side effect.  Reads are
+  // harmless to repeat.  A read-only server refuses writes before they
+  // touch anything, so its refusals need no dedup either.
+  const bool connection_scoped =
+      !args.empty() && (args[0] == "session" || args[0] == "stats" ||
+                        args[0] == "replicas");
+  const cli::CommandAccess access = cli::command_access(cmd.line);
+  if (connection_scoped || access == cli::CommandAccess::kRead ||
+      options_.read_only) {
+    return execute_command(conn, cmd.line, std::move(cmd.body), output, quit);
+  }
+
+  std::unique_lock<std::mutex> lock(dedup_mutex_);
+  ClientWindow& win = touch_window(token.client_id);
+  if (const auto it = win.done.find(token.seq); it != win.done.end()) {
+    // The ambiguous-retry case the token exists for: the command already
+    // ran, the reply never reached the client.  Serve the original.
+    stats_.dedup_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.replays_served.fetch_add(1, std::memory_order_relaxed);
+    output = it->second.output;
+    return it->second.result;
+  }
+  if (win.in_flight.count(token.seq) != 0) {
+    // The retry raced its own original mid-execution.  Wait for the
+    // reply and serve the cached copy — running it twice is the one
+    // forbidden outcome.
+    stats_.dedup_hits.fetch_add(1, std::memory_order_relaxed);
+    dedup_cv_.wait(lock, [&] {
+      return win.in_flight.count(token.seq) == 0 || stopping_.load();
+    });
+    if (const auto it = win.done.find(token.seq); it != win.done.end()) {
+      stats_.replays_served.fetch_add(1, std::memory_order_relaxed);
+      output = it->second.output;
+      return it->second.result;
+    }
+    stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
+    return encode_result(Severity::kError,
+                         "duplicate token: the original attempt recorded no "
+                         "reply (server shutting down)");
+  }
+  if (token.seq <= win.floor) {
+    // Too old: the reply was evicted, so whether the command ran is
+    // unknowable.  A structured refusal beats a silent second apply.
+    stats_.dedup_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.command_errors.fetch_add(1, std::memory_order_relaxed);
+    return encode_result(
+        Severity::kError,
+        "token " + token.client_id + ":" + std::to_string(token.seq) +
+            " is outside the dedup window; whether it was applied is "
+            "unknown");
+  }
+  win.in_flight.insert(token.seq);
+  lock.unlock();
+
+  std::string result;
+  try {
+    result = execute_command(conn, cmd.line, std::move(cmd.body), output,
+                             quit);
+  } catch (...) {
+    lock.lock();
+    win.in_flight.erase(token.seq);
+    dedup_cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  win.in_flight.erase(token.seq);
+  ClientWindow::CachedReply& slot = win.done[token.seq];
+  slot.output = output;
+  slot.result = result;
+  win.order.push_back(token.seq);
+  while (win.order.size() > options_.dedup_window) {
+    const std::uint64_t old = win.order.front();
+    win.order.pop_front();
+    win.floor = std::max(win.floor, old);
+    win.done.erase(old);
+  }
+  dedup_cv_.notify_all();
+  return result;
+}
+
 JournalPosition Server::journal_position() const {
   if (position_source_) return position_source_();
   // Leader default: read the open store's position under the shared lock
@@ -397,6 +596,9 @@ std::string Server::render_stats(const Connection& conn, bool json) const {
         << ",\"command_errors\":" << load(stats_.command_errors)
         << ",\"bytes_in\":" << load(stats_.bytes_in)
         << ",\"bytes_out\":" << load(stats_.bytes_out)
+        << ",\"dedup_hits\":" << load(stats_.dedup_hits)
+        << ",\"replays_served\":" << load(stats_.replays_served)
+        << ",\"connections_reaped\":" << load(stats_.connections_reaped)
         << ",\"latency_us\":{\"p50\":"
         << stats_.command_latency.percentile(0.50)
         << ",\"p95\":" << stats_.command_latency.percentile(0.95)
@@ -421,6 +623,9 @@ std::string Server::render_stats(const Connection& conn, bool json) const {
       << load(stats_.command_errors) << " error(s)\n"
       << "wire: " << load(stats_.bytes_in) << " bytes in, "
       << load(stats_.bytes_out) << " bytes out\n"
+      << "resilience: " << load(stats_.dedup_hits) << " dedup hit(s), "
+      << load(stats_.replays_served) << " replay(s) served, "
+      << load(stats_.connections_reaped) << " connection(s) reaped\n"
       << "journal: epoch " << pos.epoch << ", seq " << pos.seq << ", "
       << pos.bytes << " bytes\n"
       << "latency: p50 " << stats_.command_latency.percentile(0.50)
@@ -453,8 +658,12 @@ void Server::stop() {
 
   // 1. Cooperative cancel: an in-flight `run` stops launching task groups
   //    and reports `RunCancelled` to its client; its run record stays
-  //    open.
+  //    open.  Wake any dedup waiter parked on an in-flight token too.
   cancel_.store(true);
+  {
+    std::scoped_lock lock(dedup_mutex_);
+  }
+  dedup_cv_.notify_all();
 
   // 2. Stop accepting: wake the poll, join the accept loop, drop the
   //    listeners (unlinking unix socket files).

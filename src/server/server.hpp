@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -35,6 +36,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/session.hpp"
@@ -52,6 +54,19 @@ struct ServeOptions {
   /// structured error, the hello banner says so, and shutdown does not
   /// seal open runs (they are the leader's live runs, not crashes).
   bool read_only = false;
+  /// Reap a connection that sends nothing for this long while it has no
+  /// command queued or executing (a half-open peer must not pin its
+  /// reader+worker threads forever).  0 disables the reaper.
+  int idle_timeout_ms = 600'000;
+  /// A peer that starts a frame must finish it within this (half-open
+  /// mid-frame, or a hostile trickler).  0 disables the deadline.
+  int frame_timeout_ms = 30'000;
+  /// Replies cached per client id for idempotent replay (the dedup
+  /// window).  A replayed token older than the window gets a structured
+  /// "outside the dedup window" error instead of a cached reply.
+  std::size_t dedup_window = 128;
+  /// Client ids tracked at once; the least recently active is evicted.
+  std::size_t dedup_clients = 1024;
 };
 
 /// Leader-side replication service plugged into the server (implemented by
@@ -106,6 +121,14 @@ struct ServerStats {
   std::atomic<std::uint64_t> command_errors{0};
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
+  /// Tokened mutations recognized as duplicates (replays and
+  /// outside-the-window retries both count).
+  std::atomic<std::uint64_t> dedup_hits{0};
+  /// Duplicates answered with the cached original reply (the exactly-once
+  /// path; <= dedup_hits).
+  std::atomic<std::uint64_t> replays_served{0};
+  /// Connections closed by the idle/mid-frame deadline reaper.
+  std::atomic<std::uint64_t> connections_reaped{0};
   /// Per-command wall time (queue wait excluded), microseconds.  The
   /// `stats` command reports p50/p95/p99 from here; the scale benchmark
   /// reads it for BENCH_scale.json.
@@ -138,6 +161,8 @@ class Server {
   [[nodiscard]] bool running() const { return running_.load(); }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] core::DesignSession& session() { return session_; }
+  /// This incarnation's id (sent in the hello `boot=` field).
+  [[nodiscard]] std::uint64_t boot_id() const { return boot_id_; }
 
   /// Attaches the leader-side replication service (before `start()`;
   /// nullptr detaches).  Without one, kSubscribe frames are refused.
@@ -160,6 +185,7 @@ class Server {
 
  private:
   struct Connection;
+  struct ClientWindow;
 
   void accept_loop();
   void reader_loop(Connection& conn);
@@ -169,6 +195,13 @@ class Server {
   std::string execute_command(Connection& conn, const std::string& line,
                               std::string body, std::string& output,
                               bool& quit);
+  /// The kTokenCommand path: dedup window consult/record around
+  /// `execute_command` for mutating commands.
+  std::string execute_tokened(Connection& conn, const std::string& payload,
+                              std::string& output, bool& quit);
+  /// Finds/creates the client's dedup window (dedup_mutex_ held), bumping
+  /// its LRU tick; evicts the least recently active idle client at cap.
+  ClientWindow& touch_window(const std::string& client_id);
   /// Handles a kSubscribe frame: registers with the hub and pumps the
   /// journal stream to the socket until it ends.  The connection closes
   /// after.
@@ -207,6 +240,19 @@ class Server {
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
   std::uint64_t next_connection_id_ = 1;
+
+  /// Unique per Server instance (process id + construction counter), so a
+  /// reconnecting client can tell "same server, replay is safe" from "the
+  /// server restarted and its dedup window is gone".
+  std::uint64_t boot_id_ = 0;
+
+  /// The idempotency dedup state, keyed by client id.  One mutex + cv for
+  /// all clients: dedup traffic is rare (only duplicate or in-flight
+  /// tokens ever wait here).
+  std::mutex dedup_mutex_;
+  std::condition_variable_any dedup_cv_;
+  std::unordered_map<std::string, std::unique_ptr<ClientWindow>> dedup_;
+  std::uint64_t dedup_clock_ = 0;  ///< LRU tick for client eviction
 };
 
 }  // namespace herc::server

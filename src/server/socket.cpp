@@ -4,9 +4,12 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -90,13 +93,43 @@ void Socket::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+namespace {
+
+/// A unix socket path that already exists is either a live server, the
+/// corpse of one, or something else entirely.  Probe-connect to tell the
+/// first two apart; never unlink a path that answers (clobbering a live
+/// server's socket silently splits its clients), and never unlink a
+/// non-socket (the operator pointed us at the wrong path).
+void clear_stale_unix_path(const std::string& path) {
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) != 0) return;  // nothing there
+  if (!S_ISSOCK(st.st_mode)) {
+    throw NetError("'" + path +
+                   "' exists and is not a socket; refusing to replace it");
+  }
+  Socket probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!probe.valid()) fail("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(probe.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    throw NetError("'" + path +
+                   "' already has a live server listening; refusing to "
+                   "replace it");
+  }
+  // ECONNREFUSED: a dead server's leftover file.  Anything else
+  // (permissions, ...) will surface as a bind failure with its own errno.
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+
 Socket listen_on(Endpoint& endpoint) {
   if (endpoint.kind == Endpoint::Kind::kUnix) {
     Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!sock.valid()) fail("socket(AF_UNIX)");
-    // A previous server that died without cleanup leaves the file behind;
-    // bind would fail forever on it.
-    ::unlink(endpoint.path.c_str());
+    clear_stale_unix_path(endpoint.path);
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, endpoint.path.c_str(),
@@ -170,6 +203,66 @@ Socket connect_to(const Endpoint& endpoint) {
   // to every synchronous round trip.
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket connect_to(const Endpoint& endpoint, int timeout_ms) {
+  if (timeout_ms <= 0) return connect_to(endpoint);
+
+  Socket sock(::socket(
+      endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET,
+      SOCK_STREAM, 0));
+  if (!sock.valid()) fail("socket");
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail("fcntl(O_NONBLOCK)");
+  }
+
+  int rc = 0;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+      throw NetError("bad address: '" + endpoint.host +
+                     "' is not an IPv4 address");
+    }
+    rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      fail("connect " + endpoint.describe());
+    }
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) fail("poll");
+    if (ready == 0) {
+      throw NetError("connect " + endpoint.describe() + " timed out after " +
+                     std::to_string(timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      fail("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw NetError("connect " + endpoint.describe() + ": " +
+                     std::strerror(err));
+    }
+  }
+  if (::fcntl(sock.fd(), F_SETFL, flags) != 0) fail("fcntl(restore)");
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
   return sock;
 }
 

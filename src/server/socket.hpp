@@ -56,12 +56,19 @@ class Socket {
 };
 
 /// Binds and listens on `endpoint`.  For port 0 the kernel-assigned port
-/// is written back into `endpoint`; a Unix endpoint unlinks a stale socket
-/// file first.  Throws `support::NetError` on failure.
+/// is written back into `endpoint`.  A Unix endpoint whose path exists is
+/// probe-connected first: a live server there is refused (NetError), only
+/// a genuinely stale socket file is removed; a non-socket file is never
+/// touched.  Throws `support::NetError` on failure.
 [[nodiscard]] Socket listen_on(Endpoint& endpoint);
 
 /// Connects to `endpoint`.  Throws `support::NetError` on failure.
 [[nodiscard]] Socket connect_to(const Endpoint& endpoint);
+
+/// `connect_to` bounded by `timeout_ms` (non-blocking connect + poll;
+/// 0 = block indefinitely).  Throws `support::NetError` on failure or
+/// timeout.
+[[nodiscard]] Socket connect_to(const Endpoint& endpoint, int timeout_ms);
 
 /// Accepts one connection (blocking).  Returns an invalid socket when the
 /// listener was closed or shut down.  `peer` receives a printable peer

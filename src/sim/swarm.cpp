@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -20,6 +21,8 @@
 #include "schema/schema_io.hpp"
 #include "schema/standard_schemas.hpp"
 #include "server/client.hpp"
+#include "server/resilient.hpp"
+#include "sim/netfault.hpp"
 #include "sim/trace.hpp"
 #include "storage/fsck.hpp"
 #include "storage/store.hpp"
@@ -230,7 +233,10 @@ HealReport heal_store(const std::string& dir) {
       for (const char* entity : kSourceEntities) {
         try {
           for (const core::BrowserRow& row : session.browse(entity).rows()) {
-            if (is_swarm_name(row.name)) report.survivors.insert(row.name);
+            if (is_swarm_name(row.name)) {
+              report.survivors.insert(row.name);
+              ++report.survivor_counts[row.name];
+            }
           }
         } catch (const std::exception&) {
           // Entity absent from a custom schema: nothing to snapshot there.
@@ -263,6 +269,13 @@ struct ClientLog {
   /// Tracked imports whose ack arrived.  After a SIGKILL heal, names the
   /// crash provably lost are reconciled away.
   std::set<std::string> acked;
+  /// Issue/ack counts per import *name* (version re-imports issue the
+  /// same name again).  A retry inside the resilient client reuses its
+  /// token and is NOT a second issue — so `survivor_counts[name] >
+  /// issued_counts[name]` can only mean a duplicate apply: the
+  /// exactly-once invariant broke.
+  std::map<std::string, std::size_t> issued_counts;
+  std::map<std::string, std::size_t> acked_counts;
 };
 
 struct SwarmShared {
@@ -270,8 +283,13 @@ struct SwarmShared {
   std::condition_variable cv;
   std::size_t ready = 0;
   bool go = false;
-  bool abort = false;
+  /// Atomic so the resilient clients' backoff sleeps can poll it without
+  /// the mutex; always *written* under the mutex before notifying.
+  std::atomic<bool> abort{false};
   bool server_up = true;
+  /// The swarm seed (jitter seeds for the resilient clients derive from
+  /// it so runs stay reproducible).
+  std::uint64_t seed = 0;
   server::Endpoint endpoint;
   /// Live follower endpoints; reader clients pin to index % size.  Empty
   /// when no followers run (readers then fall back to the leader).
@@ -343,38 +361,57 @@ bool is_shutdown_error(const std::string& error) {
 }
 
 void run_client(const TraceClient& tc, ClientLog& log, SwarmShared& shared) {
-  server::Client client;
-  bool connected = false;
+  // One resilient client per designer for the whole run: the idempotency
+  // identity (client id + monotone seq) must persist across rounds and
+  // reconnects, or a retry could not be recognized as a duplicate.
+  server::ResilientOptions ropts;
+  ropts.client_id = "swc" + std::to_string(tc.index);
+  ropts.seed = shared.seed * 2654435761ULL + tc.index + 1;
+  ropts.connect_timeout_ms = 2'000;
+  ropts.read_timeout_ms = 60'000;
+  ropts.max_attempts = 6;
+  ropts.backoff_base_ms = 25;
+  ropts.backoff_cap_ms = 1'000;
+  server::Endpoint initial;
+  {
+    const std::lock_guard<std::mutex> lock(shared.mutex);
+    initial = shared.endpoint;
+  }
+  server::ResilientClient client(initial, ropts);
+  client.set_abort(&shared.abort);
 
   auto ensure_connected = [&]() -> bool {
-    if (connected) return true;
+    if (client.connected()) return true;
     const auto deadline = Clock::now() + std::chrono::seconds(120);
     while (Clock::now() < deadline) {
       server::Endpoint ep;
+      std::vector<server::Endpoint> failover;
       {
         std::unique_lock<std::mutex> lock(shared.mutex);
         shared.cv.wait_for(lock, std::chrono::milliseconds(100), [&] {
-          return shared.server_up || shared.abort;
+          return shared.server_up || shared.abort.load();
         });
-        if (shared.abort) return false;
+        if (shared.abort.load()) return false;
         if (!shared.server_up) continue;
-        // Read-only clients pin to a follower replica when a fleet runs;
-        // everyone else (and readers without a fleet) talks to the leader.
+        // Read-only clients pin to a follower replica when a fleet runs,
+        // with the rest of the fleet (and the leader, last) as read
+        // failover; everyone else talks to the leader only — a write must
+        // never be answered by anyone without the dedup window.
         if (tc.reader && !shared.follower_endpoints.empty()) {
           ep = shared.follower_endpoints[tc.index %
                                          shared.follower_endpoints.size()];
+          failover = shared.follower_endpoints;
+          failover.push_back(shared.endpoint);
         } else {
           ep = shared.endpoint;
         }
       }
+      client.set_endpoints(ep, std::move(failover));
       try {
-        client = server::Client::connect(ep);
-        if (client.call("session user " + tc.user).ok()) {
-          connected = true;
-          return true;
-        }
+        if (client.call("session user " + tc.user).ok()) return true;
         client.close();
       } catch (const support::NetError&) {
+        client.abandon_pending();
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
       }
     }
@@ -388,8 +425,7 @@ void run_client(const TraceClient& tc, ClientLog& log, SwarmShared& shared) {
     try {
       (void)client.call("echo warm");
     } catch (const support::NetError&) {
-      client.close();
-      connected = false;
+      client.abandon_pending();
     }
   }
   {
@@ -400,45 +436,55 @@ void run_client(const TraceClient& tc, ClientLog& log, SwarmShared& shared) {
   }
 
   for (std::size_t ri = 0; ri < tc.rounds.size(); ++ri) {
-    {
-      const std::lock_guard<std::mutex> lock(shared.mutex);
-      if (shared.abort) break;
-    }
+    if (shared.abort.load()) break;
     if (!ensure_connected()) break;
     const TraceRound& round = tc.rounds[ri];
+    // The round's workspace (flows, plans) lives on this connection: if
+    // the generation moves, a reconnect replaced it and the rest of the
+    // round is abandoned, exactly like a torn connection used to be.
+    const std::uint64_t round_generation = client.generation();
     std::vector<std::string> ids;
     for (const TraceOp& op : round.ops) {
       std::string line;
       if (!substitute(op.line, ids, line)) break;
-      if (op.tracked_import) {
+      if (!op.import_name.empty()) {
         const std::lock_guard<std::mutex> lock(log.mutex);
-        log.issued[ri].push_back(op.import_name);
+        if (op.tracked_import) log.issued[ri].push_back(op.import_name);
+        ++log.issued_counts[op.import_name];
       }
       server::CallResult result;
       const auto t0 = Clock::now();
       try {
         result = client.call(line, op.body);
       } catch (const support::NetError&) {
-        // Torn connection: abandon the round, reconnect at the next one.
-        client.close();
-        connected = false;
+        // Retries exhausted or the outcome became unknown (restart):
+        // abandon the round; the next one reconnects.
+        client.abandon_pending();
         break;
       }
       shared.latency.record(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                                 t0)
               .count()));
+      // A moved generation means the call crossed a reconnect: the
+      // round's workspace died with the old connection, so the rest of
+      // the round is abandoned — and an error from this op (e.g. a flow
+      // that no longer exists) is that loss, not a violation.
+      const bool reconnected = client.generation() != round_generation;
       if (result.ok()) {
         shared.ops_acked.fetch_add(1, std::memory_order_relaxed);
         const std::string id = parse_import_id(result.output);
         if (!id.empty()) ids.push_back(id);
-        if (op.tracked_import) {
+        if (!op.import_name.empty()) {
           const std::lock_guard<std::mutex> lock(log.mutex);
-          log.acked.insert(op.import_name);
+          if (op.tracked_import) log.acked.insert(op.import_name);
+          ++log.acked_counts[op.import_name];
         }
+        if (reconnected) break;
+      } else if (reconnected) {
+        break;  // the workspace died with the old connection
       } else if (is_shutdown_error(result.error)) {
         client.close();
-        connected = false;
         break;
       } else if (op.may_fail) {
         shared.errors_tolerated.fetch_add(1, std::memory_order_relaxed);
@@ -449,7 +495,7 @@ void run_client(const TraceClient& tc, ClientLog& log, SwarmShared& shared) {
       }
     }
   }
-  if (connected) client.close();
+  client.close();
   shared.clients_done.fetch_add(1);
   shared.cv.notify_all();
 }
@@ -460,9 +506,10 @@ void run_client(const TraceClient& tc, ClientLog& log, SwarmShared& shared) {
 /// of each round's issue order, and never anything a prior heal saw).
 void verify_history(const Trace& trace,
                     std::vector<std::unique_ptr<ClientLog>>& logs,
-                    const std::set<std::string>& survivors, bool graceful,
+                    const HealReport& heal, bool graceful,
                     const std::set<std::string>& prev_survivors,
                     SwarmShared& shared) {
+  const std::set<std::string>& survivors = heal.survivors;
   for (const std::string& name : prev_survivors) {
     if (survivors.count(name) == 0) {
       shared.violation("import '" + name +
@@ -498,6 +545,34 @@ void verify_history(const Trace& trace,
       // reconcile so later graceful checks reason from surviving facts.
       for (auto it = log.acked.begin(); it != log.acked.end();) {
         it = survivors.count(*it) == 0 ? log.acked.erase(it) : std::next(it);
+      }
+    }
+    // Exactly-once, per name and per *instance count*: retried commands
+    // are deduplicated by token, so the store can never hold more
+    // instances of a name than the client issued import commands — a
+    // surplus is a duplicate apply, the invariant --net-chaos exists to
+    // break.  Gracefully stopped, every acked issue must also be there.
+    for (const auto& [name, issued_n] : log.issued_counts) {
+      const auto found = heal.survivor_counts.find(name);
+      const std::size_t alive_n =
+          found == heal.survivor_counts.end() ? 0 : found->second;
+      if (alive_n > issued_n) {
+        shared.violation("exactly-once broken: '" + name + "' has " +
+                         std::to_string(alive_n) + " instance(s) but only " +
+                         std::to_string(issued_n) +
+                         " import(s) were ever issued");
+      }
+      const auto acked_it = log.acked_counts.find(name);
+      if (acked_it == log.acked_counts.end()) continue;
+      if (graceful) {
+        if (alive_n < acked_it->second) {
+          shared.violation("'" + name + "' acked " +
+                           std::to_string(acked_it->second) +
+                           " time(s) but only " + std::to_string(alive_n) +
+                           " instance(s) survive a graceful stop");
+        }
+      } else if (acked_it->second > alive_n) {
+        acked_it->second = alive_n;  // the crash provably cut the rest
       }
     }
   }
@@ -771,11 +846,26 @@ class FollowerFleet {
       }
       if (!seen) {
         const replica::StreamPosition pos = f.applier->position();
-        shared.violation("follower " + std::to_string(i) +
-                         " never served sentinel '" + sentinel +
-                         "' within 30s (position " +
-                         std::to_string(pos.epoch) + ":" +
-                         std::to_string(pos.seq) + ")");
+        const std::string stream_error = f.applier->last_error();
+        // The leader's own follower table places the stall: a follower
+        // missing there never (re)subscribed; one present with lag shows
+        // a shipped frame that vanished in transit.
+        std::string leader_view = "unreachable";
+        try {
+          server::Client peek = server::Client::connect(leader);
+          const server::CallResult r = peek.call("replicas");
+          if (r.ok()) leader_view = r.output;
+          peek.close();
+        } catch (const std::exception&) {
+        }
+        shared.violation(
+            "follower " + std::to_string(i) + " never served sentinel '" +
+            sentinel + "' within 30s (position " + std::to_string(pos.epoch) +
+            ":" + std::to_string(pos.seq) + ", stream " +
+            f.applier->stream_state() +
+            (stream_error.empty() ? std::string("")
+                                  : "; last stream error: " + stream_error) +
+            "; leader view: " + leader_view + ")");
         all_caught_up = false;
         continue;
       }
@@ -865,7 +955,10 @@ std::string json_escape(const std::string& s) {
 bool SwarmReport::ok() const {
   if (!violations.empty()) return false;
   for (const ChaosRecord& event : events) {
-    if (event.kind != "fault" && event.fsck_after != 0) return false;
+    // Only crash events heal the store; fault and net-* events leave the
+    // server running, so their fsck fields stay at the -1 sentinel.
+    if (event.kind == "fault" || event.kind.rfind("net-", 0) == 0) continue;
+    if (event.fsck_after != 0) return false;
   }
   return true;
 }
@@ -886,7 +979,7 @@ std::string SwarmReport::render_text() const {
     const ChaosRecord& e = events[i];
     out << "  event " << (i + 1) << ": " << e.kind << " at " << e.at_ops
         << " ops";
-    if (e.kind != "fault") {
+    if (e.kind != "fault" && e.kind.rfind("net-", 0) != 0) {
       out << " (fsck " << e.fsck_before << (e.repaired ? " repaired" : "")
           << " -> heal -> " << e.fsck_after << ", " << e.runs_resumed
           << " resumed, " << e.survivors << " survivors";
@@ -963,7 +1056,25 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
   const std::size_t total = trace.total_ops();
 
   SwarmShared shared;
-  shared.endpoint = control.endpoint();
+  shared.seed = options.seed;
+
+  // Net chaos: every connection — clients AND follower appliers — goes
+  // through the fault proxy, so a network event hits the whole topology.
+  // The proxy's front endpoint is stable across server restarts; only
+  // its target moves.
+  std::unique_ptr<FaultProxy> proxy;
+  if (options.net_chaos) {
+    proxy = std::make_unique<FaultProxy>(control.endpoint());
+    if (options.log != nullptr) {
+      *options.log << "swarm: net chaos proxy on "
+                   << proxy->endpoint().describe() << " -> "
+                   << control.endpoint().describe() << std::endl;
+    }
+  }
+  const auto effective_endpoint = [&]() -> server::Endpoint {
+    return proxy != nullptr ? proxy->endpoint() : control.endpoint();
+  };
+  shared.endpoint = effective_endpoint();
 
   // The follower fleet (replicas profile) comes up before any client
   // connects, so reader pinning is in place for the warmup barrier, and
@@ -973,13 +1084,13 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
   if (options.followers > 0) {
     fleet = std::make_unique<FollowerFleet>(control.store_dir(),
                                             options.followers);
-    fleet->start(control.endpoint(), shared);
+    fleet->start(effective_endpoint(), shared);
     shared.follower_endpoints = fleet->endpoints();
     if (options.log != nullptr) {
       *options.log << "swarm: " << fleet->size() << "/" << options.followers
                    << " follower(s) up" << std::endl;
     }
-    (void)fleet->await_read_your_epoch(control.endpoint(), sentinel++,
+    (void)fleet->await_read_your_epoch(effective_endpoint(), sentinel++,
                                        shared, {});
   }
   report.followers = fleet != nullptr ? fleet->size() : 0;
@@ -1014,14 +1125,20 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
   const auto t_start = Clock::now();
 
   std::set<std::string> prev_survivors;
+  // With net chaos the cycle interleaves network faults between the
+  // process-level events, so reconnect/replay paths are exercised both
+  // against a live server (pure network failure) and across restarts.
   static constexpr const char* kKinds[] = {"fault", "sigterm", "sigkill"};
+  static constexpr const char* kNetKinds[] = {
+      "net-drop",      "sigkill", "net-delay",     "sigterm",
+      "net-partition", "fault",   "net-halfclose", "sigkill"};
   for (std::size_t e = 0; e < options.chaos; ++e) {
     const std::size_t threshold = total * (e + 1) / (options.chaos + 1);
     while (shared.ops_acked.load() < threshold &&
            shared.clients_done.load() < trace.clients.size()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    std::string kind = kKinds[e % 3];
+    std::string kind = options.net_chaos ? kNetKinds[e % 8] : kKinds[e % 3];
     if (kind == std::string("sigkill") && !options.allow_kill) {
       kind = "sigterm";
     }
@@ -1035,6 +1152,46 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
     if (kind == "fault") {
       record.kind = "fault";
       fire_fault_event(e, options.seed + e, shared);
+    } else if (kind.rfind("net-", 0) == 0) {
+      // Network event: the server stays up and the store stays live — no
+      // heal, no fsck.  Inject, let the load grind against it, heal the
+      // network, then demand the service is still reachable end to end.
+      record.kind = kind;
+      if (kind == "net-delay") {
+        proxy->set_delay_ms(25);
+        std::this_thread::sleep_for(std::chrono::milliseconds(800));
+      } else if (kind == "net-drop") {
+        proxy->set_drop_after(1'024 + (options.seed + e * 977) % 4'096);
+        std::this_thread::sleep_for(std::chrono::milliseconds(800));
+      } else if (kind == "net-halfclose") {
+        proxy->half_close_live();
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      } else {  // net-partition
+        proxy->partition();
+        std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      }
+      proxy->heal();
+      try {
+        server::ResilientOptions popts;
+        popts.client_id = "swprobe" + std::to_string(e);
+        popts.seed = options.seed + e + 1;
+        popts.max_attempts = 10;
+        server::ResilientClient probe(effective_endpoint(), popts);
+        probe.set_abort(&shared.abort);
+        if (!probe.call("echo alive").ok()) {
+          shared.violation("server unresponsive after " + kind);
+        }
+        probe.close();
+      } catch (const std::exception& ex) {
+        shared.violation("server unreachable after " + kind + ": " +
+                         ex.what());
+      }
+      if (options.log != nullptr) {
+        *options.log << "swarm:   network healed, "
+                     << proxy->connections_cut() << " connection(s) cut, "
+                     << proxy->connections_proxied() << " proxied so far"
+                     << std::endl;
+      }
     } else {
       {
         const std::lock_guard<std::mutex> lock(shared.mutex);
@@ -1067,7 +1224,7 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
         shared.violation("chaos " + std::to_string(e + 1) + " (" + kind +
                          ") heal: " + heal.error);
       }
-      verify_history(trace, logs, heal.survivors,
+      verify_history(trace, logs, heal,
                      /*graceful=*/kind != std::string("sigkill"),
                      prev_survivors, shared);
       prev_survivors = heal.survivors;
@@ -1081,9 +1238,12 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
 
       try {
         control.restart();
+        // The restarted server rebinds (ephemeral port): repoint the
+        // proxy; its own front endpoint — what everyone dials — stays.
+        if (proxy != nullptr) proxy->set_target(control.endpoint());
         {
           const std::lock_guard<std::mutex> lock(shared.mutex);
-          shared.endpoint = control.endpoint();
+          shared.endpoint = effective_endpoint();
         }
         // Check queries against the heal snapshot BEFORE releasing the
         // clients: once they reconnect, fresh imports would legitimately
@@ -1093,13 +1253,13 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
         // read-your-epoch before any reader reconnects: a replica must
         // never serve a pre-heal view once the new epoch is live.
         if (fleet != nullptr) {
-          fleet->start(control.endpoint(), shared);
+          fleet->start(effective_endpoint(), shared);
           {
             const std::lock_guard<std::mutex> lock(shared.mutex);
             shared.follower_endpoints = fleet->endpoints();
           }
           record.catchup_ms = fleet->await_read_your_epoch(
-              control.endpoint(), sentinel++, shared, prev_survivors);
+              effective_endpoint(), sentinel++, shared, prev_survivors);
           if (options.log != nullptr) {
             *options.log << "swarm:   " << fleet->size()
                          << " follower(s) reattached, read-your-epoch in "
@@ -1142,7 +1302,7 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
   // the fleet down and audit every replica store offline.
   if (fleet != nullptr) {
     if (server_was_up && fleet->size() > 0) {
-      (void)fleet->await_read_your_epoch(control.endpoint(), sentinel++,
+      (void)fleet->await_read_your_epoch(effective_endpoint(), sentinel++,
                                          shared, prev_survivors);
     }
     fleet->stop();
@@ -1163,8 +1323,8 @@ SwarmReport run_swarm(ServerControl& control, const SwarmOptions& options) {
     shared.violation("final fsck exit " +
                      std::to_string(final_heal.fsck_after));
   }
-  verify_history(trace, logs, final_heal.survivors, /*graceful=*/true,
-                 prev_survivors, shared);
+  verify_history(trace, logs, final_heal, /*graceful=*/true, prev_survivors,
+                 shared);
   if (options.log != nullptr) {
     *options.log << "swarm: final heal fsck " << final_heal.fsck_before
                  << " -> " << final_heal.fsck_after << ", "

@@ -14,7 +14,16 @@
 //      order (the journal is append-ordered, so a crash can only cut a
 //      tail), nothing survives that was never issued, every import acked
 //      before a *graceful* stop survives, and whatever one heal observed
-//      every later heal still observes (heals fsync).
+//      every later heal still observes (heals fsync);
+//   4. exactly-once: no import name ever has more store instances than
+//      its client issued commands — a retried-but-deduplicated command
+//      applied once, never twice (the teeth of `--net-chaos`, where
+//      clients retry through `server::ResilientClient`).
+//
+// With `SwarmOptions::net_chaos` all traffic crosses a `sim::FaultProxy`
+// and the chaos cycle gains network events — connections cut mid-frame,
+// added latency, silent partitions, half-closes — mixed in with the
+// process-level kills.
 //
 // The server under test is reached through `ServerControl`, which has an
 // in-process implementation (unit tests, the scale benchmark — SIGKILL
@@ -29,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <set>
@@ -136,6 +146,10 @@ struct HealReport {
   int fsck_after = 2;
   /// Surviving instance names matching the swarm grammar (`is_swarm_name`).
   std::set<std::string> survivors;
+  /// Browse rows per surviving name (superseded versions included): the
+  /// store-side half of the exactly-once check — a name can never have
+  /// more instances than its client issued import commands.
+  std::map<std::string, std::size_t> survivor_counts;
   /// Non-empty when the heal itself failed; a swarm violation.
   std::string error;
 };
@@ -159,12 +173,21 @@ struct SwarmOptions {
   /// after every crash heal the driver waits for the followers to catch
   /// up past the new leader epoch and re-checks survivors through them.
   std::size_t followers = 0;
+  /// Route all traffic (clients and followers) through a fault-injecting
+  /// proxy (`sim::FaultProxy`) and widen the chaos cycle with network
+  /// events — net-drop (cut connections mid-frame), net-delay, net-partition
+  /// (silent black hole), net-halfclose.  Clients then run over
+  /// `server::ResilientClient`, and the verifier additionally asserts
+  /// exactly-once: retried commands never apply twice.
+  bool net_chaos = false;
   /// Progress narration (nullptr = silent).
   std::ostream* log = nullptr;
 };
 
 struct ChaosRecord {
-  std::string kind;        ///< "fault" | "sigterm" | "sigkill"
+  /// "fault" | "sigterm" | "sigkill" | "net-drop" | "net-delay" |
+  /// "net-partition" | "net-halfclose"
+  std::string kind;
   std::size_t at_ops = 0;  ///< acked ops when the event fired
   // Crash events only (-1 = not applicable):
   int fsck_before = -1;

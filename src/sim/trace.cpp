@@ -120,7 +120,10 @@ TraceOp import_op(const std::string& entity, const std::string& name,
   o.line = "import " + entity + " " + name + (body.empty() ? " \"\"" : "");
   o.body = std::move(body);
   o.tracked_import = tracked;
-  if (tracked) o.import_name = name;
+  // Always record the name: version re-imports are untracked for the
+  // durability invariants but still count toward the exactly-once
+  // instance-count check (each issue adds one browse row).
+  o.import_name = name;
   return o;
 }
 

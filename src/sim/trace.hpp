@@ -34,7 +34,8 @@ struct TraceOp {
   /// True when the op is an `import` whose acked name participates in the
   /// durability invariants (version re-imports of the same name do not).
   bool tracked_import = false;
-  /// The swarm-wide unique instance name when `tracked_import`.
+  /// The instance name for any `import` op (set even when untracked, for
+  /// the exactly-once instance-count accounting); empty otherwise.
   std::string import_name;
   /// An error result is tolerated (fault-seeded runs, plan rebuilds that
   /// race a restart) — anything else failing is a violation.

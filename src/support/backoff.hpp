@@ -1,0 +1,70 @@
+// Capped exponential backoff with seeded jitter.
+//
+// Shared by every reconnecting component — `server::ResilientClient`,
+// the follower-side `replica::ReplicaApplier` — so the whole stack
+// retries with one policy: delays grow base, 2*base, 4*base ... up to a
+// cap, each smeared by +-25% jitter drawn from a seeded xorshift so a
+// fleet of retriers recovering from the same outage never thunders back
+// in lockstep, yet a given seed replays the exact same schedule (the
+// swarm harness depends on that determinism).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace herc::support {
+
+class Backoff {
+ public:
+  /// `base_ms` is the first delay, `cap_ms` the ceiling; `seed` drives
+  /// the jitter stream (any value, scrambled internally).
+  Backoff(int base_ms, int cap_ms, std::uint64_t seed)
+      : base_ms_(std::max(base_ms, 1)),
+        cap_ms_(std::max(cap_ms, std::max(base_ms, 1))),
+        state_((seed ^ 0x9e3779b97f4a7c15ULL) | 1) {}
+
+  /// The delay before the next attempt: min(cap, base * 2^attempt),
+  /// jittered into [3/4, 5/4] of that. Advances the attempt counter.
+  [[nodiscard]] int next_delay_ms() {
+    const int shift = std::min(attempt_, 20);
+    ++attempt_;
+    std::uint64_t ceiling = static_cast<std::uint64_t>(base_ms_) << shift;
+    ceiling = std::min(ceiling, static_cast<std::uint64_t>(cap_ms_));
+    // xorshift64*: cheap, seeded, good enough to decorrelate retriers.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t r = state_ * 0x2545f4914f6cdd1dULL;
+    const std::uint64_t span = ceiling / 2 + 1;  // jitter window width
+    const std::uint64_t delay = ceiling - ceiling / 4 + r % span;
+    return static_cast<int>(std::max<std::uint64_t>(delay, 1));
+  }
+
+  /// Blocks for the next delay in small slices, bailing early when
+  /// `*abort` turns true (keeps stop() responsive mid-backoff).
+  void sleep(const std::atomic<bool>* abort = nullptr) {
+    int remaining = next_delay_ms();
+    while (remaining > 0) {
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) return;
+      const int slice = std::min(remaining, 20);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      remaining -= slice;
+    }
+  }
+
+  /// Back to the base delay (call after a successful attempt).
+  void reset() { attempt_ = 0; }
+
+  [[nodiscard]] int attempts() const { return attempt_; }
+
+ private:
+  int base_ms_;
+  int cap_ms_;
+  int attempt_ = 0;
+  std::uint64_t state_;
+};
+
+}  // namespace herc::support

@@ -18,6 +18,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -227,6 +228,161 @@ TEST(ProtocolPropertyTest, CommandPayloadsSplit) {
   const CommandPayload heredoc = split_command("import Stimuli s\nwave\n");
   EXPECT_EQ(heredoc.line, "import Stimuli s");
   EXPECT_EQ(heredoc.body, "wave\n");
+}
+
+TEST(ProtocolPropertyTest, TokenPayloadsRoundTrip) {
+  std::uint64_t rng = testprop::base_seed(0x70CE17u);
+  SCOPED_TRACE(testprop::seed_note(rng));
+  for (int i = 0; i < 200; ++i) {
+    std::string id = "c";
+    for (std::uint64_t n = next_rand(rng) % 12; n > 0; --n) {
+      id += static_cast<char>('a' + next_rand(rng) % 26);
+    }
+    const std::uint64_t seq = next_rand(rng);
+    // Commands with heredoc bodies carry embedded newlines: the token
+    // line must split on the FIRST newline only.
+    std::string command = "import Stimuli s\n";
+    for (std::uint64_t n = next_rand(rng) % 64; n > 0; --n) {
+      command += static_cast<char>(next_rand(rng) & 0xFF);
+    }
+    const TokenInfo info = split_token(encode_token(id, seq, command));
+    EXPECT_EQ(info.client_id, id);
+    EXPECT_EQ(info.seq, seq);
+    EXPECT_EQ(info.command, command);
+  }
+  // Extremes round-trip too.
+  const TokenInfo zero = split_token(encode_token("x", 0, ""));
+  EXPECT_EQ(zero.seq, 0u);
+  EXPECT_EQ(zero.command, "");
+  const std::uint64_t max = ~std::uint64_t{0};
+  EXPECT_EQ(split_token(encode_token("x", max, "entities")).seq, max);
+}
+
+TEST(ProtocolPropertyTest, MalformedTokensAreRejected) {
+  // The encoder refuses ids that would corrupt the token line...
+  EXPECT_THROW((void)encode_token("", 1, "entities"), support::NetError);
+  EXPECT_THROW((void)encode_token("a b", 1, "entities"), support::NetError);
+  EXPECT_THROW((void)encode_token("a\nb", 1, "entities"), support::NetError);
+  // ...and the decoder refuses every malformed shape a hostile or
+  // desynchronized peer could send.
+  EXPECT_THROW((void)split_token(""), support::NetError);
+  EXPECT_THROW((void)split_token("no-newline"), support::NetError);
+  EXPECT_THROW((void)split_token("noseq\nentities"), support::NetError);
+  EXPECT_THROW((void)split_token("id notanumber\nentities"),
+               support::NetError);
+  EXPECT_THROW((void)split_token(" 7\nentities"), support::NetError);
+  EXPECT_THROW((void)split_token("id \nentities"), support::NetError);
+}
+
+TEST(ProtocolPropertyTest, HelloFieldsRoundTripAndUnknownKeysAreSkipped) {
+  for (const std::string role : {"leader", "replica"}) {
+    for (const std::uint64_t boot : {std::uint64_t{1}, std::uint64_t{12345},
+                                     ~std::uint64_t{0}}) {
+      const HelloInfo info =
+          decode_hello(encode_hello(role, boot, "herc 1.0 at /tmp/store"));
+      EXPECT_EQ(info.role, role);
+      EXPECT_EQ(info.boot_id, boot);
+      EXPECT_EQ(info.banner, "herc 1.0 at /tmp/store");
+    }
+  }
+  // Forward compatibility: a newer server may add fields; an older
+  // client skips what it does not know and still finds the banner.
+  const HelloInfo newer = decode_hello(
+      "HERCNET1 role=replica shards=4 boot=9 zone=eu banner text here");
+  EXPECT_EQ(newer.role, "replica");
+  EXPECT_EQ(newer.boot_id, 9u);
+  EXPECT_EQ(newer.banner, "banner text here");
+  // Absent fields keep safe defaults (an old server's plain hello).
+  const HelloInfo old = decode_hello("HERCNET1 herc server ready");
+  EXPECT_EQ(old.role, "leader");
+  EXPECT_EQ(old.boot_id, 0u);
+  EXPECT_EQ(old.banner, "herc server ready");
+  // The banner itself may contain '=' without being eaten as a field:
+  // field parsing stops at the first non key=value word.
+  const HelloInfo tricky = decode_hello("HERCNET1 role=leader at path=x");
+  EXPECT_EQ(tricky.banner, "at path=x");
+  EXPECT_THROW((void)decode_hello("HTTP/1.1 200 OK"), support::NetError);
+  EXPECT_THROW((void)decode_hello(""), support::NetError);
+}
+
+// ---- deadline reads ---------------------------------------------------------
+
+TEST(ProtocolPropertyTest, DeadlineReadReportsIdleWithoutConsuming) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Frame frame;
+  ReadDeadline deadline;
+  deadline.idle_ms = 60;
+  deadline.frame_ms = 2'000;
+  // Quiet peer: kIdle after ~idle_ms, repeatable — idling is not an
+  // error and consumes nothing.
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_EQ(read_frame(fds[0], frame, deadline), ReadOutcome::kIdle);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  EXPECT_GE(waited.count(), 50);
+  EXPECT_LT(waited.count(), 1'500);
+  // A frame that then arrives whole is read normally...
+  Frame sent;
+  sent.type = FrameType::kCommand;
+  sent.payload = "entities";
+  const std::string bytes = encode_frame(sent);
+  ASSERT_EQ(::send(fds[1], bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  EXPECT_EQ(read_frame(fds[0], frame, deadline), ReadOutcome::kFrame);
+  EXPECT_EQ(frame.payload, "entities");
+  // ...and a closed peer is a clean kEof at the boundary.
+  ::close(fds[1]);
+  EXPECT_EQ(read_frame(fds[0], frame, deadline), ReadOutcome::kEof);
+  ::close(fds[0]);
+}
+
+TEST(ProtocolPropertyTest, DeadlineReadThrowsOnAMidFrameStall) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Frame sent;
+  sent.type = FrameType::kCommand;
+  sent.payload = "entities";
+  const std::string bytes = encode_frame(sent);
+  // Deliver everything but the last byte, then go silent without
+  // closing: a half-open peer the idle deadline can never catch.
+  ASSERT_EQ(::send(fds[1], bytes.data(), bytes.size() - 1, MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size() - 1));
+  Frame frame;
+  ReadDeadline deadline;
+  deadline.idle_ms = 2'000;
+  deadline.frame_ms = 80;
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)read_frame(fds[0], frame, deadline), support::NetError);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  // The frame deadline fired, not the (much longer) idle deadline.
+  EXPECT_LT(waited.count(), 1'500);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolPropertyTest, ZeroDeadlinesMeanUnbounded) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Frame sent;
+  sent.type = FrameType::kOutput;
+  sent.payload = "hello";
+  const std::string bytes = encode_frame(sent);
+  // A writer that trickles one byte every few ms: only the disabled
+  // deadlines accept this; the read completes when the frame does.
+  std::thread trickler([&bytes, fd = fds[1]] {
+    for (const char c : bytes) {
+      (void)::send(fd, &c, 1, MSG_NOSIGNAL);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  Frame frame;
+  EXPECT_EQ(read_frame(fds[0], frame, ReadDeadline{}), ReadOutcome::kFrame);
+  EXPECT_EQ(frame.payload, "hello");
+  trickler.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace

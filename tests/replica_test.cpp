@@ -19,6 +19,8 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -490,6 +492,107 @@ TEST(ReplicaTest, FailoverDrillPromotedFollowerLeadsAndFencesTheOldEpoch) {
   session_b.close_storage();
   EXPECT_EQ(storage::fsck_store(b_dir).exit_code(), 0);
   EXPECT_EQ(storage::fsck_store(c_dir).exit_code(), 0);
+}
+
+// The torn-tail divergence: the leader crashes mid-journal-write AFTER the
+// tap shipped the final frame complete, so the follower holds a frame the
+// healed leader's journal never kept.  Once the restarted leader writes a
+// replacement frame, both sides sit at the same (epoch, seq) on different
+// histories — seq equality alone would register the follower as caught up
+// and it would silently diverge forever.  The follower's subscribe tail
+// checksum is what disproves prefix equality; the leader must answer with
+// a snapshot resync.
+TEST(ReplicaTest, TornTailDivergenceForcesASnapshotResync) {
+  TempDir tmp;
+  const std::string leader_dir = tmp.sub("leader");
+  const std::string follower_dir = tmp.sub("follower");
+
+  // Phase 1: a follower streams the frame that is about to be torn.
+  {
+    core::DesignSession session(schema::make_full_schema());
+    (void)session.open_storage(leader_dir);
+    JournalShipper shipper(session);
+    server::Server server(session);
+    server.set_replication_hub(&shipper);
+    const server::Endpoint ep =
+        server.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+    server.start();
+    server::Client writer = server::Client::connect(ep);
+    ASSERT_TRUE(writer.call("import Stimuli first", kWaveBody).ok());
+
+    ReplicaApplier applier(ep, follower_dir);
+    ASSERT_TRUE(applier.bootstrap()) << applier.last_error();
+    applier.start();
+    ASSERT_TRUE(writer.call("import Stimuli torn_tail", kWaveBody).ok());
+    ASSERT_TRUE(wait_until(
+        [&applier] { return applier.frames_applied() >= 1; }))
+        << applier.last_error();
+    applier.stop();
+    writer.close();
+    server.stop();
+    session.close_storage();
+  }
+
+  // Phase 2: the crash.  Chop one byte off the leader's journal so its
+  // final frame — the one the follower already applied — is torn; the
+  // restart heals by truncating it away.
+  const std::string journal_path =
+      (fs::path(leader_dir) / "journal.wal").string();
+  {
+    std::ifstream in(journal_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    const storage::ScanResult before = storage::scan_journal(bytes);
+    ASSERT_EQ(before.records.size(), 2u);
+    fs::resize_file(journal_path, before.valid_bytes - 1);
+  }
+
+  // Phase 3: the healed leader replaces the lost frame with different
+  // content, landing back on the follower's (epoch, seq).
+  core::DesignSession session(schema::make_full_schema());
+  const storage::RecoveryReport recovery = session.open_storage(leader_dir);
+  EXPECT_TRUE(recovery.torn_tail);
+  ASSERT_EQ(session.storage()->journal_seq(), 1u);
+  {
+    JournalShipper shipper(session);
+    server::Server server(session);
+    server.set_replication_hub(&shipper);
+    const server::Endpoint ep =
+        server.add_listener(server::Endpoint::parse("127.0.0.1:0"));
+    server.start();
+    server::Client writer = server::Client::connect(ep);
+    ASSERT_TRUE(writer.call("import Stimuli replacement", kWaveBody).ok());
+    ASSERT_EQ(session.storage()->journal_seq(), 2u);
+
+    // Phase 4: the follower returns at the same position on the divergent
+    // history.  The tail checksum must out it; the snapshot resync must
+    // replace its torn frame with the leader's replacement, after which it
+    // streams live again.
+    ReplicaApplier applier(ep, follower_dir);
+    ASSERT_TRUE(applier.bootstrap()) << applier.last_error();
+    EXPECT_EQ(applier.position().seq, 2u);
+    applier.start();
+    ASSERT_TRUE(wait_until(
+        [&shipper] { return shipper.divergent_subscribes() >= 1; }))
+        << "the leader accepted the diverged follower as caught up";
+    ASSERT_TRUE(writer.call("import Stimuli after_heal", kWaveBody).ok());
+    ASSERT_TRUE(wait_until(
+        [&applier] { return applier.position().seq >= 3; }))
+        << applier.last_error();
+    applier.stop();
+
+    const std::string replica_image = applier.db().save();
+    EXPECT_NE(replica_image.find("replacement"), std::string::npos);
+    EXPECT_NE(replica_image.find("after_heal"), std::string::npos);
+    EXPECT_EQ(replica_image.find("torn_tail"), std::string::npos);
+
+    writer.close();
+    server.stop();
+  }
+  session.close_storage();
+  EXPECT_EQ(storage::fsck_store(leader_dir).exit_code(), 0);
+  EXPECT_EQ(storage::fsck_store(follower_dir).exit_code(), 0);
 }
 
 }  // namespace

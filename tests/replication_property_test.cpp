@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -230,6 +231,41 @@ TEST(ReplicationPropertyTest, SnapshotCorruptionNeverInstalls) {
       // Detected: the follower would disconnect and resync.
     }
   }
+}
+
+TEST(ReplicationPropertyTest, SubscribePayloadRoundTripsWithAndWithoutTail) {
+  const std::uint64_t seed = testprop::base_seed(0x5ab5c81b);
+  SCOPED_TRACE(testprop::seed_note(seed));
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    const StreamPosition pos{rng(), rng()};
+    // Legacy two-field form: the checksum is optional on the wire, so a
+    // follower that cannot vouch for a tail still subscribes.
+    {
+      const SubscribeInfo info = decode_subscribe_info(encode_subscribe(pos));
+      ASSERT_TRUE(info.position.has_value());
+      EXPECT_EQ(*info.position, pos);
+      EXPECT_FALSE(info.tail_checksum.has_value());
+    }
+    // Three-field form round-trips the checksum exactly.
+    {
+      const std::uint64_t tail = rng();
+      const SubscribeInfo info =
+          decode_subscribe_info(encode_subscribe(pos, tail));
+      ASSERT_TRUE(info.position.has_value());
+      EXPECT_EQ(*info.position, pos);
+      ASSERT_TRUE(info.tail_checksum.has_value());
+      EXPECT_EQ(*info.tail_checksum, tail);
+    }
+  }
+  // Bootstrap stays empty regardless of a requested checksum: nothing to
+  // vouch for when asking for a snapshot.
+  EXPECT_TRUE(encode_subscribe({}, 42).empty());
+  EXPECT_FALSE(decode_subscribe_info("").position.has_value());
+  // Malformed shapes are protocol errors, not guesses.
+  EXPECT_THROW((void)decode_subscribe_info("1"), support::NetError);
+  EXPECT_THROW((void)decode_subscribe_info("1 2 3 4"), support::NetError);
+  EXPECT_THROW((void)decode_subscribe_info("1 2 x"), support::NetError);
 }
 
 }  // namespace

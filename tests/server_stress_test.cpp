@@ -6,6 +6,8 @@
 // the shared DesignSession is the contract being checked.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -19,8 +21,11 @@
 #include "core/session.hpp"
 #include "schema/standard_schemas.hpp"
 #include "server/client.hpp"
+#include "server/protocol.hpp"
 #include "server/server.hpp"
+#include "server/socket.hpp"
 #include "storage/fsck.hpp"
+#include "support/error.hpp"
 
 namespace herc::server {
 namespace {
@@ -370,6 +375,106 @@ TEST(ServerStressTest, StopWithFullQueueSealsAResumableStore) {
     EXPECT_EQ(after.exit_code(), 0) << after.render();
   }
   fs::remove_all(dir);
+}
+
+// ---- half-open and dying clients --------------------------------------------
+//
+// A client that dies mid-frame (or goes silent holding a connection)
+// must cost the server one reaped connection, not a wedged worker: the
+// deadline reads in the reader loop are the contract.
+
+TEST(ServerStressTest, MidFrameClientDeathDoesNotWedgeTheServer) {
+  ServedSession served;
+  // A frame header promising 4096 bytes, followed by a fraction of them
+  // and an abrupt close: the reader is mid-frame when the peer vanishes.
+  std::string torn;
+  torn.push_back(static_cast<char>(0x00));
+  torn.push_back(static_cast<char>(0x10));
+  torn.push_back(static_cast<char>(0x00));
+  torn.push_back(static_cast<char>(0x00));
+  torn.push_back(static_cast<char>(FrameType::kCommand));
+  torn += std::string(64, 'x');
+  {
+    Socket dying = connect_to(served.bound, 2'000);
+    Frame hello;
+    ASSERT_TRUE(read_frame(dying.fd(), hello));
+    ASSERT_EQ(::send(dying.fd(), torn.data(), torn.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(torn.size()));
+    dying.close();
+  }
+  // The server sheds the torn connection and keeps serving new ones with
+  // replies intact and in order.
+  Client survivor = Client::connect(served.bound);
+  for (int i = 0; i < 8; ++i) {
+    const CallResult result = survivor.call("echo after-" + std::to_string(i));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.output, "after-" + std::to_string(i) + "\n");
+  }
+  survivor.close();
+  served.server.stop();
+}
+
+TEST(ServerStressTest, MidFrameStallIsReapedByTheFrameDeadline) {
+  core::DesignSession session(schema::make_full_schema());
+  ServeOptions options;
+  options.frame_timeout_ms = 150;
+  Server server(session, options);
+  const Endpoint bound = server.add_listener(Endpoint::parse("127.0.0.1:0"));
+  server.start();
+
+  // Half-open: the frame starts, then the peer goes silent WITHOUT
+  // closing — only the frame deadline can unpin the reader.
+  Socket stalled = connect_to(bound, 2'000);
+  Frame hello;
+  ASSERT_TRUE(read_frame(stalled.fd(), hello));
+  const char header[5] = {0x00, 0x04, 0x00, 0x00,
+                          static_cast<char>(FrameType::kCommand)};
+  ASSERT_EQ(::send(stalled.fd(), header, sizeof(header), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(header)));
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.stats().connections_reaped.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.stats().connections_reaped.load(), 1u);
+  stalled.close();
+
+  Client survivor = Client::connect(bound);
+  EXPECT_TRUE(survivor.call("entities").ok());
+  survivor.close();
+  server.stop();
+}
+
+TEST(ServerStressTest, IdleConnectionsAreReapedAndNewOnesStillServed) {
+  core::DesignSession session(schema::make_full_schema());
+  ServeOptions options;
+  options.idle_timeout_ms = 120;
+  Server server(session, options);
+  const Endpoint bound = server.add_listener(Endpoint::parse("127.0.0.1:0"));
+  server.start();
+
+  Client idler = Client::connect(bound);
+  ASSERT_TRUE(idler.call("entities").ok());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.stats().connections_reaped.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.stats().connections_reaped.load(), 1u);
+  // The reaped socket is dead from the client's side...
+  EXPECT_THROW((void)idler.call("entities"), support::NetError);
+  idler.close();
+  // ...and an active client is never reaped while it keeps talking.
+  Client active = Client::connect(bound);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(active.call("entities").ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  active.close();
+  server.stop();
 }
 
 }  // namespace

@@ -155,6 +155,41 @@ TEST(SwarmDriverTest, InProcessSwarmRunsCleanUnderChaos) {
   fs::remove_all(dir);
 }
 
+TEST(SwarmDriverTest, NetChaosSwarmRunsCleanAndExactlyOnce) {
+  const std::string dir =
+      (fs::temp_directory_path() / "herc_swarm_netchaos_store").string();
+  fs::remove_all(dir);
+  {
+    InProcessServer control(dir);
+    SwarmOptions options;
+    options.profile = "mixed";
+    options.clients = 8;
+    options.rounds = 2;
+    options.seed = 5;
+    options.chaos = 4;  // net-drop, sigkill->sigterm, net-delay, sigterm
+    options.net_chaos = true;
+    const SwarmReport report = run_swarm(control, options);
+    for (const std::string& violation : report.violations) {
+      ADD_FAILURE() << violation;
+    }
+    EXPECT_TRUE(report.ok());
+    EXPECT_GT(report.ops_acked, 0u);
+    ASSERT_EQ(report.events.size(), 4u);
+    // The net-chaos cycle interleaves network faults with crashes.
+    std::size_t net_events = 0;
+    for (const ChaosRecord& event : report.events) {
+      if (event.kind.rfind("net-", 0) == 0) ++net_events;
+    }
+    EXPECT_GE(net_events, 2u);
+    EXPECT_GT(report.final_survivors, 0u);
+    EXPECT_NE(report.render_text().find("net-"), std::string::npos);
+  }
+  // Exactly-once held all the way down: the store audits clean offline.
+  const storage::FsckReport fsck = storage::fsck_store(dir);
+  EXPECT_EQ(fsck.exit_code(), 0) << fsck.render();
+  fs::remove_all(dir);
+}
+
 TEST(SwarmDriverTest, HealOfAFreshlySealedStoreIsANoOp) {
   const std::string dir =
       (fs::temp_directory_path() / "herc_swarm_heal_store").string();
