@@ -36,7 +36,7 @@ int main() {
   // "replicas" runs with a two-follower fleet: three readers in four are
   // served off the leader's write path entirely.
   const std::vector<std::string> kProfiles = {"queries", "design", "versions",
-                                              "mixed", "replicas"};
+                                              "mixed", "replicas", "browse"};
   constexpr std::size_t kClients = 8;
   constexpr std::size_t kRounds = 3;
   constexpr std::uint64_t kSeed = 20260808;

@@ -34,7 +34,10 @@
 //       script the exit code is the worst result severity (0 clean,
 //       1 warnings, 2 error) — same convention as fsck and lint.
 //
-//   herc fsck <dir> [--repair]      offline store audit (exit 0/1/2)
+//   herc fsck <dir> [--repair] [--json]
+//       Offline store audit (exit 0/1/2); --repair rewrites what it can
+//       (including a fresh secondary-index image), --json emits the
+//       machine-readable report instead of text.
 //   herc resume <store-dir>         finish every interrupted run
 //
 //   herc swarm <store-dir> [--profile P] [--clients N] [--rounds R]
@@ -417,16 +420,25 @@ int cmd_connect(const std::vector<std::string>& args) {
 }
 
 int cmd_fsck(const std::vector<std::string>& args) {
-  if (args.empty() || args.size() > 2 ||
-      (args.size() == 2 && args[1] != "--repair")) {
-    std::cerr << "usage: herc fsck <dir> [--repair]\n";
+  herc::storage::FsckOptions options;
+  bool json = false;
+  bool ok = !args.empty();
+  for (std::size_t i = 1; ok && i < args.size(); ++i) {
+    if (args[i] == "--repair") {
+      options.repair = true;
+    } else if (args[i] == "--json") {
+      json = true;
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::cerr << "usage: herc fsck <dir> [--repair] [--json]\n";
     return 2;
   }
-  herc::storage::FsckOptions options;
-  options.repair = args.size() == 2;
   const herc::storage::FsckReport report =
       herc::storage::fsck_store(args[0], options);
-  std::cout << report.render();
+  std::cout << (json ? report.render_json() : report.render());
   return report.exit_code();
 }
 

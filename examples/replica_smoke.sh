@@ -151,8 +151,12 @@ done
 
 # Reads match: the new leader and the re-attached follower agree on the
 # full survivor surface (the promoted store carries everything the dead
-# leader acked).
-for Q in "browse Stimuli" "browse EditedNetlist" "entities" "plans"; do
+# leader acked).  The filtered/paginated forms go through each side's own
+# secondary indexes, so agreement also proves the follower's index kept up
+# with the applied stream.
+for Q in "browse Stimuli" "browse EditedNetlist" "entities" "plans" \
+         "browse Stimuli keyword=failover limit=5" \
+         "browse Stimuli limit=2"; do
   L=$("$HERC" connect "$NEWADDR" -e "$Q")
   R=$("$HERC" connect "$F2ADDR" -e "$Q")
   [ "$L" = "$R" ] || {

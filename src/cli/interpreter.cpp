@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -226,7 +227,8 @@ void Interpreter::dispatch(const Args& args, const std::string& payload) {
       if (!query.empty()) query += ' ';
       query += token;
     }
-    for (const InstanceId id : history::run_query(session_->db(), query)) {
+    for (const InstanceId id :
+         history::run_query(session_->db(), query, session_->indexes())) {
       *out_ << "  ";
       print_instance_line(id);
     }
@@ -422,13 +424,22 @@ void Interpreter::cmd_resume(const Args& args) {
 }
 
 void Interpreter::cmd_fsck(const Args& args) {
-  static const char* kUsage = "fsck <dir> [--repair]";
-  if (args.size() < 2 || args.size() > 3) usage(kUsage);
+  static const char* kUsage = "fsck <dir> [--repair] [--json]";
   storage::FsckOptions options;
-  if (args.size() == 3) {
-    if (args[2] != "--repair") usage(kUsage);
-    options.repair = true;
+  bool json = false;
+  std::string dir;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--repair") {
+      options.repair = true;
+    } else if (args[i] == "--json") {
+      json = true;
+    } else if (dir.empty()) {
+      dir = args[i];
+    } else {
+      usage(kUsage);
+    }
   }
+  if (dir.empty()) usage(kUsage);
   // fsck reads the on-disk state; when auditing the store this session has
   // open, flush its journal buffer first so the audit sees every record.
   // Repair, however, rewrites the snapshot and replaces the journal — doing
@@ -437,21 +448,20 @@ void Interpreter::cmd_fsck(const Args& args) {
   // append or checkpoint.
   if (session_->storage() != nullptr) {
     std::error_code ec;
-    if (std::filesystem::equivalent(session_->storage()->dir(), args[1],
-                                    ec)) {
+    if (std::filesystem::equivalent(session_->storage()->dir(), dir, ec)) {
       if (options.repair) {
         throw support::HistoryError(
-            "fsck --repair: '" + args[1] +
+            "fsck --repair: '" + dir +
             "' is the store this session has open; run 'store close' "
             "first, then repair and reopen");
       }
       session_->storage()->sync();
     }
   }
-  const storage::FsckReport report = storage::fsck_store(args[1], options);
-  *out_ << report.render();
+  const storage::FsckReport report = storage::fsck_store(dir, options);
+  *out_ << (json ? report.render_json() : report.render());
   if (report.severity() == storage::FsckSeverity::kCorruption) {
-    throw support::HistoryError("fsck: corruption detected in '" + args[1] +
+    throw support::HistoryError("fsck: corruption detected in '" + dir +
                                 "' (see report above)");
   }
   if (report.severity() == storage::FsckSeverity::kWarning) {
@@ -818,9 +828,12 @@ void Interpreter::cmd_auto(const Args& args) {
 
 void Interpreter::cmd_browse(const Args& args) {
   if (args.size() < 2) {
-    usage("browse <Entity> [keyword=..] [user=..] [uses=iN]");
+    usage("browse <Entity> [keyword=..] [user=..] [uses=iN] [from=MICROS]"
+          " [to=MICROS] [limit=N] [after=CURSOR]");
   }
   core::BrowserFilter filter;
+  std::optional<std::size_t> limit;
+  std::optional<history::PageCursor> after;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::size_t eq = args[i].find('=');
     if (eq == std::string::npos) {
@@ -834,11 +847,28 @@ void Interpreter::cmd_browse(const Args& args) {
       filter.user = value;
     } else if (key == "uses") {
       filter.uses = instance_ref(value);
+    } else if (key == "from") {
+      filter.from = support::Timestamp(std::stoll(value));
+    } else if (key == "to") {
+      filter.to = support::Timestamp(std::stoll(value));
+    } else if (key == "limit") {
+      limit = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "after") {
+      after = history::PageCursor::decode(value);
     } else {
       usage("unknown browse filter '" + key + "'");
     }
   }
-  *out_ << session_->browse(args[1]).render(filter);
+  const core::InstanceBrowser browser = session_->browse(args[1]);
+  if (limit || after) {
+    // Paged mode: the header names the access path the planner chose and
+    // a trailing "next:" cursor resumes the listing where it stopped.
+    const core::BrowserPage page =
+        browser.page(filter, limit.value_or(50), after);
+    *out_ << browser.render_page(page);
+  } else {
+    *out_ << browser.render(filter);
+  }
 }
 
 void Interpreter::print_instance_line(InstanceId id) {
@@ -932,8 +962,10 @@ void Interpreter::cmd_help() {
       "checkpoint   (snapshot compaction)    store [close|sync]\n"
       "runs   (execution log)    resume [<run#>]   (re-run interrupted run;\n"
       "    finished tasks are skipped via memoization)\n"
-      "fsck <dir> [--repair]   (offline history audit: exit 0 clean,\n"
-      "    1 warnings, 2 corruption; --repair quarantines/tombstones)\n"
+      "fsck <dir> [--repair] [--json]   (offline history audit: exit 0\n"
+      "    clean, 1 warnings, 2 corruption; clean-severity notes, e.g.\n"
+      "    replica-store on a read replica, never raise the exit code;\n"
+      "    --repair quarantines/tombstones and rebuilds indexes)\n"
       "lint schema | flow <f> [goal <node>] [parallel] [continue|besteffort]\n"
       "    | store <dir>   [--json]   (static analysis: HLxxx diagnostics,\n"
       "    same 0/1/2 severity convention as fsck)\n"
@@ -946,7 +978,9 @@ void Interpreter::cmd_help() {
       "run <f> [parallel] [reuse] [continue|besteffort] [retries=N]\n"
       "    [timeout=MS] [backoff=MS] [latency=MS] [faults=SEED]\n"
       "    auto <Entity> [run]\n"
-      "browse <Entity> [keyword=..] [user=..] [uses=iN]\n"
+      "browse <Entity> [keyword=..] [user=..] [uses=iN] [from=MICROS]\n"
+      "    [to=MICROS] [limit=N] [after=CURSOR]   (limit/after page through\n"
+      "    the listing via the secondary indexes when a store is open)\n"
       "find <Entity> [where <path> = iN|\"name\" [and ...]]\n"
       "failures   (failed/skipped/quarantined tasks, with their inputs)\n"
       "history|uses|versions|payload|stale|retrace|decompose <iN>\n"

@@ -13,7 +13,7 @@
 //   session save <file>                     session load <file>
 //   open <dir> [sync=..] [every=N]          checkpoint
 //   store [close|sync]                      runs
-//   resume [<run#>]                         fsck <dir> [--repair]
+//   resume [<run#>]                         fsck <dir> [--repair] [--json]
 //   lint schema | flow <f> [goal <node>] [parallel] [continue] | store <dir>
 //   import <Entity> <name> <<END ... END    import <Entity> <name> ""
 //   flow new <f> goal <Entity> | plan <name>

@@ -1,6 +1,11 @@
 #include "core/session.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "schema/schema_io.hpp"
+#include "storage/journal.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 #include "tools/fault_injection.hpp"
@@ -132,8 +137,20 @@ history::HistoryDb::SealSweep DesignSession::seal_open_runs(
   return sweep;
 }
 
+DesignSession::~DesignSession() {
+  // Best-effort index save for teardown paths that skip `close_storage`
+  // (a serving process exiting): a failure just costs a rebuild next open.
+  if (storage_ && indexes_) {
+    try {
+      indexes_->save(storage_->dir(), storage_->epoch(),
+                     storage_->journal_seq());
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+}
+
 InstanceBrowser DesignSession::browse(std::string_view entity) const {
-  return InstanceBrowser(db(), schema_.require(entity));
+  return InstanceBrowser(db(), schema_.require(entity), indexes_.get());
 }
 
 void DesignSession::annotate(data::InstanceId id, std::string_view name,
@@ -197,9 +214,30 @@ std::string DesignSession::save() const {
   return out;
 }
 
+namespace {
+
+/// The current journal's record payloads, for index catch-up.  Any problem
+/// (no file, foreign epoch) reads as "no records": the index then rebuilds
+/// or, if its seq claims otherwise, falls back to a rebuild too.
+std::vector<std::string> journal_records_for(const std::string& dir,
+                                             std::uint64_t epoch) {
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / "journal.wal";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const storage::ScanResult scan = storage::scan_journal(buffer.str());
+  if (!scan.header_valid || scan.epoch != epoch) return {};
+  return scan.records;
+}
+
+}  // namespace
+
 storage::RecoveryReport DesignSession::open_storage(
     const std::string& dir, storage::StoreOptions options) {
   require_writable("open");
+  indexes_.reset();  // detach from the database we are about to replace
   auto store = std::make_unique<storage::DurableHistory>(schema_, *clock_,
                                                          dir, options);
   history::HistoryDb& current = db();
@@ -214,6 +252,10 @@ storage::RecoveryReport DesignSession::open_storage(
   db_.reset();
   executor_ = std::make_unique<exec::Executor>(storage_->db(), *registry_);
   executor_->set_cancel_flag(cancel_);
+  indexes_ = std::make_unique<index::HistoryIndexes>(storage_->db());
+  indexes_->open(dir, storage_->epoch(),
+                 journal_records_for(dir, storage_->epoch()));
+  indexes_->attach();
   return storage_->recovery();
 }
 
@@ -223,14 +265,38 @@ void DesignSession::checkpoint_storage() {
     throw support::HistoryError("no durable store is open");
   }
   storage_->checkpoint();
+  if (indexes_) {
+    indexes_->save(storage_->dir(), storage_->epoch(),
+                   storage_->journal_seq());
+  }
 }
 
 void DesignSession::close_storage() {
   if (!storage_) return;
+  if (indexes_) {
+    try {
+      indexes_->save(storage_->dir(), storage_->epoch(),
+                     storage_->journal_seq());
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Closing must not fail for an unsaveable index; next open rebuilds.
+    }
+  }
+  // `release` hands back the same HistoryDb object the store owned, so the
+  // indexes' observer registration stays valid across the detach.
   db_ = storage_->release();
   storage_.reset();
   executor_ = std::make_unique<exec::Executor>(*db_, *registry_);
   executor_->set_cancel_flag(cancel_);
+}
+
+void DesignSession::attach_replica(history::HistoryDb* db) {
+  indexes_.reset();
+  replica_db_ = db;
+  if (db != nullptr) {
+    indexes_ = std::make_unique<index::HistoryIndexes>(*db);
+    indexes_->rebuild();
+    indexes_->attach();
+  }
 }
 
 std::unique_ptr<DesignSession> DesignSession::load(

@@ -17,6 +17,7 @@
 #include "exec/executor.hpp"
 #include "graph/task_graph.hpp"
 #include "history/history_db.hpp"
+#include "index/indexes.hpp"
 #include "schema/task_schema.hpp"
 #include "storage/store.hpp"
 #include "support/clock.hpp"
@@ -34,6 +35,8 @@ class DesignSession {
 
   DesignSession(const DesignSession&) = delete;
   DesignSession& operator=(const DesignSession&) = delete;
+
+  ~DesignSession();
 
   // ---- components -----------------------------------------------------------
 
@@ -144,6 +147,16 @@ class DesignSession {
   /// The attached store, or nullptr.
   [[nodiscard]] storage::DurableHistory* storage() { return storage_.get(); }
 
+  // ---- secondary indexes (src/index) -----------------------------------------
+
+  /// The secondary indexes maintained alongside the attached store or
+  /// replica view, or nullptr for a plain in-memory session (whose
+  /// listings stay verified table scans).
+  [[nodiscard]] index::HistoryIndexes* indexes() { return indexes_.get(); }
+  [[nodiscard]] const index::HistoryIndexes* indexes() const {
+    return indexes_.get();
+  }
+
   // ---- replication (src/replica) ---------------------------------------------
 
   /// Turns this session into a read-only replica view over `db` (owned by
@@ -152,7 +165,11 @@ class DesignSession {
   /// operation throws `HistoryError` — the follower's history changes only
   /// through replicated journal frames.  `seal_open_runs` becomes a no-op:
   /// open runs on a replica are the leader's live runs, not crashes.
-  void attach_replica(history::HistoryDb* db) { replica_db_ = db; }
+  /// Also builds and attaches in-memory secondary indexes over `db`: they
+  /// follow the applied frame stream, and a resync's move-assignment fires
+  /// their rebuild.  Followers never persist indexes — the leader owns the
+  /// store directory.
+  void attach_replica(history::HistoryDb* db);
   [[nodiscard]] bool read_only() const { return replica_db_ != nullptr; }
 
  private:
@@ -171,6 +188,9 @@ class DesignSession {
   const std::atomic<bool>* cancel_ = nullptr;
   /// Non-null when this session is a read-only replica view.
   history::HistoryDb* replica_db_ = nullptr;
+  /// Declared last: destroyed first, so it detaches from the database
+  /// while the database (storage_/db_/replica view) is still alive.
+  std::unique_ptr<index::HistoryIndexes> indexes_;
 };
 
 }  // namespace herc::core

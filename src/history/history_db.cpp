@@ -25,6 +25,44 @@ std::size_t RunRecord::tasks_finished() const {
 HistoryDb::HistoryDb(const schema::TaskSchema& schema, support::Clock& clock)
     : schema_(&schema), clock_(&clock) {}
 
+HistoryDb& HistoryDb::operator=(HistoryDb&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  clock_ = other.clock_;
+  blobs_ = std::move(other.blobs_);
+  instances_ = std::move(other.instances_);
+  used_by_ = std::move(other.used_by_);
+  runs_ = std::move(other.runs_);
+  listener_ = other.listener_;
+  // observers_ deliberately kept: the assignment swaps the image out from
+  // under whoever is watching this object (a replica resync), and they need
+  // to know their derived state is now stale.
+  for (HistoryObserver* obs : observers_) obs->on_reset();
+  return *this;
+}
+
+void HistoryDb::add_observer(HistoryObserver* observer) {
+  if (observer == nullptr) {
+    throw HistoryError("add_observer: null observer");
+  }
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    throw HistoryError("add_observer: observer already attached");
+  }
+  observers_.push_back(observer);
+}
+
+void HistoryDb::remove_observer(HistoryObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+void HistoryDb::emit(std::string_view lines) {
+  if (listener_ != nullptr) listener_->on_mutation(lines);
+  for (HistoryObserver* obs : observers_) obs->on_lines(lines);
+}
+
 void HistoryDb::check_id(InstanceId id) const {
   if (!id.valid() || id.index() >= instances_.size()) {
     throw HistoryError("unknown instance id");
@@ -104,7 +142,7 @@ InstanceId HistoryDb::record(const RecordRequest& request) {
   }
 
   instances_.push_back(std::move(inst));
-  if (listener_ != nullptr) {
+  if (observed()) {
     // One mutation = one journal entry: the (possibly new) blob plus the
     // instance line, applied atomically on recovery.
     std::string lines;
@@ -114,7 +152,7 @@ InstanceId HistoryDb::record(const RecordRequest& request) {
     }
     lines += instance_line(instances_.back());
     lines += '\n';
-    listener_->on_mutation(lines);
+    emit(lines);
   }
   return instances_.back().id;
 }
@@ -124,22 +162,22 @@ void HistoryDb::annotate(InstanceId id, std::string_view name,
   check_id(id);
   instances_[id.index()].name = std::string(name);
   instances_[id.index()].comment = std::string(comment);
-  if (listener_ != nullptr) {
+  if (observed()) {
     support::RecordWriter w("annot");
     w.field(id.value());
     w.field(name);
     w.field(comment);
-    listener_->on_mutation(w.str() + "\n");
+    emit(w.str() + "\n");
   }
 }
 
 void HistoryDb::quarantine(InstanceId id, std::string_view reason) {
   apply_quarantine(id, reason);
-  if (listener_ != nullptr) {
+  if (observed()) {
     support::RecordWriter w("quar");
     w.field(id.value());
     w.field(reason);
-    listener_->on_mutation(w.str() + "\n");
+    emit(w.str() + "\n");
   }
 }
 
@@ -237,7 +275,7 @@ std::uint64_t HistoryDb::begin_run(RunRecord run) {
   const std::string line = run_begin_line(run);
   const std::uint64_t id = run.id;
   apply_run_begin(std::move(run));
-  if (listener_ != nullptr) listener_->on_mutation(line + "\n");
+  if (observed()) emit(line + "\n");
   return id;
 }
 
@@ -250,11 +288,11 @@ void HistoryDb::apply_run_begin(RunRecord run) {
 
 void HistoryDb::run_task_started(std::uint64_t run, std::string_view key) {
   apply_task_started(run, key);
-  if (listener_ != nullptr) {
+  if (observed()) {
     support::RecordWriter w("tstart");
     w.field(static_cast<std::int64_t>(run));
     w.field(key);
-    listener_->on_mutation(w.str() + "\n");
+    emit(w.str() + "\n");
   }
 }
 
@@ -265,12 +303,12 @@ void HistoryDb::apply_task_started(std::uint64_t run, std::string_view key) {
 void HistoryDb::run_task_covered(
     std::uint64_t run, const std::vector<InstanceId>& produced) {
   apply_task_covered(run, produced);
-  if (listener_ != nullptr) {
+  if (observed()) {
     support::RecordWriter w("tcover");
     w.field(static_cast<std::int64_t>(run));
     w.field(static_cast<std::uint32_t>(produced.size()));
     for (const InstanceId id : produced) w.field(id.value());
-    listener_->on_mutation(w.str() + "\n");
+    emit(w.str() + "\n");
   }
 }
 
@@ -286,12 +324,12 @@ void HistoryDb::apply_task_covered(
 void HistoryDb::run_task_finished(std::uint64_t run, std::string_view key,
                                   std::string_view status) {
   apply_task_finished(run, key, status);
-  if (listener_ != nullptr) {
+  if (observed()) {
     support::RecordWriter w("tfin");
     w.field(static_cast<std::int64_t>(run));
     w.field(key);
     w.field(status);
-    listener_->on_mutation(w.str() + "\n");
+    emit(w.str() + "\n");
   }
 }
 
@@ -312,11 +350,11 @@ void HistoryDb::seal_run(std::uint64_t run) {
   if (run_ref(run).sealed()) return;
   const auto sweep_end = static_cast<std::uint32_t>(instances_.size());
   apply_run_seal(run, sweep_end);
-  if (listener_ != nullptr) {
+  if (observed()) {
     support::RecordWriter w("runseal");
     w.field(static_cast<std::int64_t>(run));
     w.field(sweep_end);
-    listener_->on_mutation(w.str() + "\n");
+    emit(w.str() + "\n");
   }
 }
 
@@ -349,11 +387,11 @@ HistoryDb::SealSweep HistoryDb::seal_open_runs(std::string_view reason) {
 
 void HistoryDb::end_run(std::uint64_t run, std::string_view outcome) {
   apply_run_end(run, outcome);
-  if (listener_ != nullptr) {
+  if (observed()) {
     support::RecordWriter w("rune");
     w.field(static_cast<std::int64_t>(run));
     w.field(outcome);
-    listener_->on_mutation(w.str() + "\n");
+    emit(w.str() + "\n");
   }
 }
 
@@ -712,6 +750,14 @@ void HistoryDb::apply_saved_line(std::string_view line) {
     apply_quarantine(id, rec.next_string());
   } else {
     throw HistoryError("history file: unknown record '" + rec.kind() + "'");
+  }
+  // Observers see replayed records too (a throw above skips this, so only
+  // applied records are observed).  The listener is never notified here:
+  // it owns the journal these lines came from.
+  if (!observers_.empty()) {
+    std::string terminated(line);
+    terminated += '\n';
+    for (HistoryObserver* obs : observers_) obs->on_lines(terminated);
   }
 }
 

@@ -98,10 +98,36 @@ class MutationListener {
   virtual void on_mutation(std::string_view lines) = 0;
 };
 
+/// Secondary observer of the record stream.  Unlike `MutationListener`
+/// (the single durable-storage slot, which sees only locally originated
+/// mutations and therefore *defines* the journal), observers also see
+/// records arriving through `apply_saved_line` — the path journal recovery
+/// and replica streaming feed — so derived structures (the secondary
+/// indexes of src/index) stay current no matter how the database is fed.
+/// A record is never observed twice: the public mutators fire observers
+/// directly and never route through `apply_saved_line`.
+class HistoryObserver {
+ public:
+  virtual ~HistoryObserver() = default;
+  /// One mutation's save()-format record lines ('\n'-terminated), fired
+  /// after the state change has been applied.
+  virtual void on_lines(std::string_view lines) = 0;
+  /// The database's contents were replaced wholesale (a replica resync's
+  /// move-assignment); derived state must be rebuilt from the new image.
+  virtual void on_reset() = 0;
+};
+
 class HistoryDb {
  public:
   /// `schema` and `clock` must outlive the database.
   HistoryDb(const schema::TaskSchema& schema, support::Clock& clock);
+
+  HistoryDb(HistoryDb&&) noexcept = default;
+  /// Move-assignment replaces the *contents* but keeps the target's
+  /// observers attached, firing `on_reset` on each: a replica resync
+  /// installs a fresh image underneath the secondary indexes without any
+  /// re-registration.  The source's observers are dropped with it.
+  HistoryDb& operator=(HistoryDb&& other) noexcept;
 
   [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
   [[nodiscard]] data::BlobStore& blobs() { return blobs_; }
@@ -283,7 +309,8 @@ class HistoryDb {
   /// "quar"),
   /// verifying content hashes and id ordering.  `load` is a loop over this;
   /// journal recovery (src/storage) replays incremental mutations through
-  /// the same path.  Never notifies the attached listener.
+  /// the same path.  Never notifies the attached listener; observers *are*
+  /// notified, after the line has been applied.
   void apply_saved_line(std::string_view line);
 
   /// Attaches (or detaches, with nullptr) a mutation observer.  Every
@@ -292,6 +319,13 @@ class HistoryDb {
   /// the attachment.
   void attach_listener(MutationListener* listener) { listener_ = listener; }
   [[nodiscard]] MutationListener* listener() const { return listener_; }
+
+  /// Registers a secondary observer (see `HistoryObserver`).  Unlike the
+  /// listener slot, any number may be attached, and they also see records
+  /// applied through `apply_saved_line`.  The observer must stay alive
+  /// until removed.  Adding an observer twice is an error.
+  void add_observer(HistoryObserver* observer);
+  void remove_observer(HistoryObserver* observer);
 
  private:
   void check_id(data::InstanceId id) const;
@@ -312,6 +346,14 @@ class HistoryDb {
   void apply_run_end(std::uint64_t run, std::string_view outcome);
   void apply_quarantine(data::InstanceId id, std::string_view reason);
 
+  /// True when some consumer wants mutation lines built at all.
+  [[nodiscard]] bool observed() const {
+    return listener_ != nullptr || !observers_.empty();
+  }
+  /// Sends `lines` to the listener (journal first — WAL discipline), then
+  /// to every observer.
+  void emit(std::string_view lines);
+
   const schema::TaskSchema* schema_;
   support::Clock* clock_;
   data::BlobStore blobs_;
@@ -320,6 +362,7 @@ class HistoryDb {
   std::vector<std::vector<data::InstanceId>> used_by_;
   std::vector<RunRecord> runs_;
   MutationListener* listener_ = nullptr;
+  std::vector<HistoryObserver*> observers_;
 };
 
 }  // namespace herc::history

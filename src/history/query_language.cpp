@@ -58,19 +58,30 @@ std::vector<std::string> tokenize(std::string_view text) {
   return out;
 }
 
-/// Resolves `iN` or a `"quoted name"` token to an instance.
-InstanceId resolve_instance(const HistoryDb& db, const std::string& token) {
+/// Resolves `iN` or a `"quoted name"` token to an instance.  With an
+/// index, name lookup checks only the index's candidate set (a superset
+/// of the exact matches); every candidate is verified against the stored
+/// name, so answers match the scan exactly.
+InstanceId resolve_instance(const HistoryDb& db, const std::string& token,
+                            const SecondaryIndex* index) {
   if (!token.empty() && token[0] == '"') {
     const std::string name = token.substr(1);
     InstanceId found;
-    for (const InstanceId id : db.all()) {
-      if (db.instance(id).name == name) {
+    std::optional<std::vector<InstanceId>> narrowed;
+    if (index != nullptr) narrowed = index->name_candidates(name);
+    const auto consider = [&](const InstanceId id) {
+      if (db.contains(id) && db.instance(id).name == name) {
         if (found.valid()) {
           throw HistoryError("query: instance name '" + name +
                              "' is ambiguous");
         }
         found = id;
       }
+    };
+    if (narrowed) {
+      for (const InstanceId id : *narrowed) consider(id);
+    } else {
+      for (const InstanceId id : db.all()) consider(id);
     }
     if (!found.valid()) {
       throw HistoryError("query: no instance named '" + name + "'");
@@ -151,7 +162,8 @@ NodeId descend(const HistoryDb& db, TaskGraph& pattern, NodeId node,
 
 }  // namespace
 
-CompiledQuery compile_query(const HistoryDb& db, std::string_view text) {
+CompiledQuery compile_query(const HistoryDb& db, std::string_view text,
+                            const SecondaryIndex* index) {
   const std::vector<std::string> tokens = tokenize(text);
   if (tokens.size() < 2 || tokens[0] != "find") {
     throw ParseError("query: expected 'find <Entity> [where ...]'");
@@ -172,7 +184,8 @@ CompiledQuery compile_query(const HistoryDb& db, std::string_view text) {
         throw ParseError("query: expected '<path> = <instance>'");
       }
       const std::string& path = tokens[i];
-      const InstanceId instance = resolve_instance(db, tokens[i + 2]);
+      const InstanceId instance =
+          resolve_instance(db, tokens[i + 2], index);
       NodeId node = target;
       for (const std::string& step : support::split(path, '.')) {
         if (step.empty()) {
@@ -193,9 +206,9 @@ CompiledQuery compile_query(const HistoryDb& db, std::string_view text) {
   return CompiledQuery{std::move(pattern), target};
 }
 
-std::vector<InstanceId> run_query(const HistoryDb& db,
-                                  std::string_view text) {
-  const CompiledQuery query = compile_query(db, text);
+std::vector<InstanceId> run_query(const HistoryDb& db, std::string_view text,
+                                  const SecondaryIndex* index) {
+  const CompiledQuery query = compile_query(db, text, index);
   return query_template(db, query.pattern, query.target);
 }
 

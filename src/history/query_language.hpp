@@ -25,6 +25,7 @@
 
 #include "graph/task_graph.hpp"
 #include "history/history_db.hpp"
+#include "history/query_planner.hpp"
 
 namespace herc::history {
 
@@ -37,12 +38,18 @@ struct CompiledQuery {
 /// Compiles `text` against `db` (instance names are resolved at compile
 /// time).  Throws `ParseError` on bad syntax, `HistoryError` on unknown
 /// or ambiguous instance names, `SchemaError`/`FlowError` when a path
-/// step does not exist in the schema.
+/// step does not exist in the schema.  When `index` is non-null, quoted
+/// instance names resolve through the index's name postings instead of a
+/// full scan (every candidate is still verified by exact comparison).
 [[nodiscard]] CompiledQuery compile_query(const HistoryDb& db,
-                                          std::string_view text);
+                                          std::string_view text,
+                                          const SecondaryIndex* index =
+                                              nullptr);
 
 /// Compiles and runs in one step.
 [[nodiscard]] std::vector<data::InstanceId> run_query(const HistoryDb& db,
-                                                      std::string_view text);
+                                                      std::string_view text,
+                                                      const SecondaryIndex*
+                                                          index = nullptr);
 
 }  // namespace herc::history

@@ -46,6 +46,7 @@ enum class RoundKind {
   kPlans,     // build a flow, publish it as a plan, rebuild from the plan
   kFaulty,    // a design round whose run arms a fault seed
   kSlow,      // a design round run with artificial task latency
+  kBrowse,    // Fig. 9 listing load: filtered/paginated browses, chaining
 };
 
 struct Mix {
@@ -85,15 +86,24 @@ const std::vector<Mix>& profile_mix(const std::string& profile) {
                                                 {RoundKind::kQueries, 15},
                                                 {RoundKind::kPlans, 10},
                                                 {RoundKind::kSlow, 5}};
+  // The "browse" profile hammers the Fig. 9 listing path the secondary
+  // indexes serve: keyword/date/user filters, limit-paginated pages and
+  // one-hop chaining, against data a design minority keeps growing.
+  static const std::vector<Mix> kBrowseMix = {{RoundKind::kBrowse, 55},
+                                              {RoundKind::kQueries, 15},
+                                              {RoundKind::kDesign, 15},
+                                              {RoundKind::kVersions, 10},
+                                              {RoundKind::kPlans, 5}};
   if (profile == "design") return kDesignMix;
   if (profile == "queries") return kQueriesMix;
   if (profile == "versions") return kVersionsMix;
   if (profile == "faults") return kFaultsMix;
   if (profile == "mixed") return kMixedMix;
   if (profile == "replicas") return kReplicasMix;
+  if (profile == "browse") return kBrowseMix;
   throw std::invalid_argument(
       "unknown trace profile '" + profile +
-      "' (design|queries|versions|faults|mixed|replicas)");
+      "' (design|queries|versions|faults|mixed|replicas|browse)");
 }
 
 RoundKind pick_kind(const std::vector<Mix>& mix, std::uint64_t& rng) {
@@ -260,6 +270,36 @@ TraceRound reader_round(const std::string& user, std::uint64_t& rng) {
   return round;
 }
 
+/// A Fig. 9 listing round: two imports to keep the browsers non-empty,
+/// then filtered, date-limited and limit-paginated listings plus one-hop
+/// chaining ("which Performances used this netlist").  Exercises every
+/// planner access path — keyword (the round stem is one indexable token),
+/// user, date, type — and the paged cursor protocol over the wire.
+TraceRound browse_round(const std::string& stem, const std::string& user,
+                        std::uint64_t& rng) {
+  TraceRound round;
+  round.ops.push_back(import_op("Stimuli", stem + "_0", waves_body(rng), true));
+  round.ops.push_back(
+      import_op("EditedNetlist", stem + "_1", kNetlistBody, true));
+  const std::vector<std::string> pool = {
+      "browse Stimuli keyword=" + stem,
+      "browse Stimuli user=" + user + " limit=5",
+      "browse EditedNetlist keyword=" + stem + " limit=3",
+      "browse EditedNetlist limit=4",
+      "browse Performance from=1 limit=8",
+      "browse Stimuli from=0 limit=6",
+      "browse Performance user=" + user + " limit=8",
+      "browse Performance uses={i1}",
+      "uses {i0}",
+      "history {i1}",
+  };
+  const std::size_t n = 5 + next_rand(rng) % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    round.ops.push_back(op(pool[next_rand(rng) % pool.size()]));
+  }
+  return round;
+}
+
 TraceRound slow_round(const std::string& stem, const std::string& flow,
                       std::uint64_t& rng) {
   TraceRound round;
@@ -285,7 +325,8 @@ std::size_t Trace::total_ops() const {
 
 const std::vector<std::string>& profile_names() {
   static const std::vector<std::string> kNames = {
-      "design", "queries", "versions", "faults", "mixed", "replicas"};
+      "design", "queries", "versions", "faults",
+      "mixed",  "replicas", "browse"};
   return kNames;
 }
 
@@ -340,6 +381,9 @@ Trace make_trace(const std::string& profile, std::size_t clients,
           break;
         case RoundKind::kSlow:
           client.rounds.push_back(slow_round(stem, flow, rng));
+          break;
+        case RoundKind::kBrowse:
+          client.rounds.push_back(browse_round(stem, client.user, rng));
           break;
       }
     }

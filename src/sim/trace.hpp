@@ -74,7 +74,9 @@ struct Trace {
 /// (fault-seeded runs exercising failure records), "mixed" (all of the
 /// above — the chaos-acceptance profile), "replicas" (one writer in four
 /// driving the leader, the rest read-only clients the driver pins to
-/// follower replicas).
+/// follower replicas), "browse" (Fig. 9 listing load: keyword/date/user
+/// filtered and limit-paginated browses plus one-hop chaining — the
+/// workload the secondary indexes serve).
 [[nodiscard]] const std::vector<std::string>& profile_names();
 
 /// Synthesizes a trace.  Deterministic: the same four arguments always

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "data/blob_store.hpp"
+#include "index/indexes.hpp"
 #include "schema/schema_io.hpp"
 #include "schema/task_schema.hpp"
 #include "storage/journal.hpp"
@@ -20,6 +21,44 @@ namespace herc::storage {
 
 namespace fs = std::filesystem;
 using support::HistoryError;
+
+namespace {
+
+/// Minimal JSON string escaping (findings carry free-text details).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const char* severity_label(FsckSeverity s) {
+  return s == FsckSeverity::kCorruption ? "corruption"
+         : s == FsckSeverity::kWarning  ? "warning"
+                                        : "note";
+}
+
+}  // namespace
 
 FsckSeverity FsckReport::severity() const {
   FsckSeverity worst = FsckSeverity::kClean;
@@ -59,6 +98,38 @@ std::string FsckReport::render() const {
           : worst == FsckSeverity::kWarning    ? "warnings"
                                                : "CORRUPTION")
       << " (exit " << exit_code() << ")\n";
+  return out.str();
+}
+
+std::string FsckReport::render_json() const {
+  std::ostringstream out;
+  out << "{\"dir\":\"" << json_escape(dir) << "\",\"stats\":{\"epoch\":"
+      << stats.epoch << ",\"snapshot_records\":" << stats.snapshot_records
+      << ",\"journal_records\":" << stats.journal_records
+      << ",\"instances\":" << stats.instances << ",\"blobs\":" << stats.blobs
+      << ",\"runs\":" << stats.runs << ",\"open_runs\":" << stats.open_runs
+      << "},\"findings\":[";
+  bool first = true;
+  for (const FsckFinding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"severity\":\"" << severity_label(f.severity)
+        << "\",\"code\":\"" << json_escape(f.code) << "\",\"detail\":\""
+        << json_escape(f.detail) << "\"}";
+  }
+  out << "],\"repairs\":[";
+  first = true;
+  for (const std::string& action : repairs) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(action) << "\"";
+  }
+  const FsckSeverity worst = severity();
+  out << "],\"verdict\":\""
+      << (worst == FsckSeverity::kClean     ? "clean"
+          : worst == FsckSeverity::kWarning ? "warnings"
+                                            : "corruption")
+      << "\",\"exit_code\":" << exit_code() << "}\n";
   return out.str();
 }
 
@@ -448,6 +519,135 @@ void audit_store(Audit& audit, FsckReport& report,
   }
 }
 
+/// The index a rebuild over `instances` would produce — the *minimal*
+/// contents any valid index file must contain for that table.
+index::IndexImage index_from_instances(
+    const std::vector<AuditInstance>& instances) {
+  index::IndexImage img;
+  for (const AuditInstance& inst : instances) {
+    std::vector<std::uint32_t> inputs;
+    for (const auto& [in, role] : inst.inputs) {
+      if (in >= 0) inputs.push_back(static_cast<std::uint32_t>(in));
+    }
+    img.add_instance(inst.id, inst.type, inst.name, inst.user, inst.created,
+                     inst.comment, inst.tool, inputs);
+  }
+  return img;
+}
+
+/// Cross-checks the persisted index (`file`, stamped at some journal seq)
+/// against the ingested history, in both directions: every posting a
+/// rebuild at that seq would produce must be present ("missing-posting" —
+/// a lossy index silently drops rows from listings), and every posting in
+/// the file must be justified by *some* history record ("orphan-index" —
+/// fabricated entries).  `at_seq` is the instance table as of the file's
+/// seq; `all` accumulates every posting that was ever legitimate, because
+/// annotation replacement intentionally leaves once-valid postings behind
+/// (the planner re-verifies candidates, so supersets are correct).
+void audit_index(const index::IndexImage& file, const index::IndexImage& all,
+                 const std::vector<AuditInstance>& at_seq,
+                 FsckReport& report) {
+  const index::IndexImage minimal = index_from_instances(at_seq);
+  constexpr std::size_t kMaxDetails = 5;
+
+  std::size_t missing = 0;
+  const auto miss = [&](const std::string& detail) {
+    if (missing++ < kMaxDetails) warn(report, "missing-posting", detail);
+  };
+  for (std::uint32_t tid = 0; tid < minimal.tokens.size(); ++tid) {
+    const std::string& token = minimal.tokens[tid];
+    const auto it = file.token_ids.find(token);
+    for (const std::uint32_t id : minimal.postings[tid]) {
+      if (it == file.token_ids.end() ||
+          !std::binary_search(file.postings[it->second].begin(),
+                              file.postings[it->second].end(), id)) {
+        miss("keyword token '" + token + "' lacks i" + std::to_string(id));
+      }
+    }
+  }
+  for (const auto& [user, ids] : minimal.users) {
+    const auto it = file.users.find(user);
+    for (const std::uint32_t id : ids) {
+      if (it == file.users.end() ||
+          !std::binary_search(it->second.begin(), it->second.end(), id)) {
+        miss("user '" + user + "' posting lacks i" + std::to_string(id));
+      }
+    }
+  }
+  for (const auto& [type, entries] : minimal.by_type) {
+    const auto it = file.by_type.find(type);
+    for (const auto& entry : entries) {
+      if (it == file.by_type.end() ||
+          !std::binary_search(it->second.begin(), it->second.end(), entry)) {
+        miss("type '" + type + "' creation list lacks i" +
+             std::to_string(entry.second));
+      }
+    }
+  }
+  if (missing > kMaxDetails) {
+    warn(report, "missing-posting",
+         std::to_string(missing) + " postings missing in total");
+  }
+
+  std::size_t orphan = 0;
+  const auto stray = [&](const std::string& detail) {
+    if (orphan++ < kMaxDetails) warn(report, "orphan-index", detail);
+  };
+  for (std::uint32_t tid = 0;
+       tid < static_cast<std::uint32_t>(file.tokens.size()); ++tid) {
+    const std::string& token = file.tokens[tid];
+    const auto it = all.token_ids.find(token);
+    for (const std::uint32_t id : file.postings[tid]) {
+      if (it == all.token_ids.end() ||
+          !std::binary_search(all.postings[it->second].begin(),
+                              all.postings[it->second].end(), id)) {
+        stray("keyword token '" + token + "' posts i" + std::to_string(id) +
+              ", which no history record justifies");
+      }
+    }
+  }
+  for (const auto& [user, ids] : file.users) {
+    const auto it = all.users.find(user);
+    for (const std::uint32_t id : ids) {
+      if (it == all.users.end() ||
+          !std::binary_search(it->second.begin(), it->second.end(), id)) {
+        stray("user '" + user + "' posts i" + std::to_string(id) +
+              ", which no history record justifies");
+      }
+    }
+  }
+  for (const auto& [type, entries] : file.by_type) {
+    const auto it = all.by_type.find(type);
+    for (const auto& entry : entries) {
+      if (it == all.by_type.end() ||
+          !std::binary_search(it->second.begin(), it->second.end(), entry)) {
+        stray("type '" + type + "' lists i" + std::to_string(entry.second) +
+              ", which no history record justifies");
+      }
+    }
+  }
+  if (orphan > kMaxDetails) {
+    warn(report, "orphan-index",
+         std::to_string(orphan) + " orphan postings in total");
+  }
+
+  if (file.instances != minimal.instances) {
+    warn(report, "stale-index-epoch",
+         "indexes.herc describes " + std::to_string(file.instances) +
+             " instances but the store held " +
+             std::to_string(minimal.instances) + " at journal seq " +
+             std::to_string(file.seq) + "; recovery rebuilds the index");
+  }
+  if (file.edges != minimal.edges ||
+      file.adjacency_digest != minimal.adjacency_digest) {
+    warn(report, "index-adjacency-mismatch",
+         "derivation-adjacency digest differs (file holds " +
+             std::to_string(file.edges) + " edge(s), the history implies " +
+             std::to_string(minimal.edges) +
+             "); recovery rebuilds the index");
+  }
+}
+
 /// Serializes the (possibly repaired) audit state back into a
 /// `HistoryDb::save`-compatible image.
 std::string serialize_image(const Audit& audit,
@@ -649,6 +849,33 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
 
   Audit audit;
 
+  // Secondary indexes: parse `indexes.herc` up front — its journal seq
+  // decides where the point-in-time comparison image is captured during
+  // ingest below.  A file that fails its own checksum is only a warning:
+  // recovery never trusts a skewed index, it rebuilds.
+  const std::string index_path = index::HistoryIndexes::file_path(dir);
+  index::IndexImage index_file;
+  bool index_usable = false;
+  if (fs::exists(index_path)) {
+    std::string error;
+    if (index::IndexImage::parse(read_file(index_path), index_file, error)) {
+      index_usable = true;
+    } else {
+      warn(report, "index-unreadable",
+           "indexes.herc: " + error + "; recovery rebuilds the index");
+    }
+  }
+  index::IndexImage index_all;  // every posting ever legitimate
+  std::vector<AuditInstance> at_index_seq;
+  bool at_index_seq_valid = false;
+  const auto fold_index_line = [&](const std::string& line) {
+    try {
+      index_all.apply_line(line);
+    } catch (const std::exception&) {
+      // Unparseable lines are already "bad-record" findings.
+    }
+  };
+
   // Snapshot: "snap" meta line, then a full save() image.
   if (fs::exists(snapshot_path)) {
     const std::string text = read_file(snapshot_path);
@@ -675,6 +902,7 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
         }
       }
       ingest_line(audit, report, line, "snapshot");
+      fold_index_line(line);
       ++report.stats.snapshot_records;
     }
     if (declared_count >= 0 &&
@@ -684,6 +912,13 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
                   " instances but holds " +
                   std::to_string(audit.instances.size()));
     }
+  }
+
+  const bool index_epoch_ok =
+      index_usable && index_file.epoch == report.stats.epoch;
+  if (index_epoch_ok && index_file.seq == 0) {
+    at_index_seq = audit.instances;
+    at_index_seq_valid = true;
   }
 
   // Journal: epoch-matched frames on top of the snapshot.
@@ -705,10 +940,17 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
                   std::to_string(report.stats.epoch) +
                   "; the snapshot those records extend is gone");
     } else {
+      std::size_t applied = 0;
       for (const std::string& record : scan.records) {
         for (const std::string& line : support::split(record, '\n')) {
           if (support::trim(line).empty()) continue;
           ingest_line(audit, report, line, "journal");
+          fold_index_line(line);
+        }
+        ++applied;
+        if (index_epoch_ok && index_file.seq == applied) {
+          at_index_seq = audit.instances;
+          at_index_seq_valid = true;
         }
       }
       report.stats.journal_records = scan.records.size();
@@ -720,6 +962,26 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
   }
 
   audit_store(audit, report, schema_ptr, replica);
+
+  if (index_usable) {
+    if (!index_epoch_ok) {
+      warn(report, "stale-index-epoch",
+           "indexes.herc is stamped epoch " +
+               std::to_string(index_file.epoch) +
+               " but the store is at epoch " +
+               std::to_string(report.stats.epoch) +
+               "; recovery rebuilds the index");
+    } else if (!at_index_seq_valid) {
+      warn(report, "stale-index-epoch",
+           "indexes.herc is stamped journal seq " +
+               std::to_string(index_file.seq) +
+               " but the journal holds only " +
+               std::to_string(report.stats.journal_records) +
+               " record(s); recovery rebuilds the index");
+    } else {
+      audit_index(index_file, index_all, at_index_seq, report);
+    }
+  }
 
   report.stats.instances = audit.instances.size();
   report.stats.blobs = audit.blobs.size();
@@ -738,6 +1000,15 @@ FsckReport fsck_store(const std::string& dir, const FsckOptions& options) {
            " the replica or promote it first");
     } else {
       repair_store(audit, report, snapshot_path, journal_path);
+      // The repair checkpoint bumped the epoch; rewrite the index from the
+      // repaired image so the next open loads warm instead of detecting
+      // skew and rebuilding cold.
+      index::IndexImage fresh = index_from_instances(audit.instances);
+      fresh.epoch = report.stats.epoch + 1;
+      fresh.seq = 0;
+      write_file_atomic(index_path, fresh.serialize());
+      report.repairs.push_back("rebuilt secondary indexes at epoch " +
+                               std::to_string(report.stats.epoch + 1));
     }
   }
   return report;

@@ -7,11 +7,20 @@
 // going through `HistoryDb` (whose replay throws at the first defect and
 // hides the rest).  It classifies every defect by severity:
 //
-//   kClean      (exit 0)  nothing to report
+//   kClean      (exit 0)  nothing to report, or informational *notes*:
+//                         clean-severity findings ("replica-store" on a
+//                         read replica, "resumable-run", "leader-open-run")
+//                         that render — and carry severity "note" in the
+//                         --json output — but never raise the exit code
 //   kWarning    (exit 1)  survivable states recovery handles or tolerates:
 //                         orphaned blobs, interrupted runs, unquarantined
 //                         partial products, a discarded pre-checkpoint
-//                         journal, a torn journal tail
+//                         journal, a torn journal tail, and secondary-index
+//                         defects ("index-unreadable", "stale-index-epoch",
+//                         "missing-posting", "orphan-index",
+//                         "index-adjacency-mismatch" — the index is
+//                         reconstructible, so recovery rebuilds rather than
+//                         trusts it)
 //   kCorruption (exit 2)  defects that make recovery refuse the store or
 //                         silently lose data: unparseable records,
 //                         dangling derivation references, missing blobs,
@@ -21,8 +30,11 @@
 // With `repair` set, the repairable defects are fixed in place: corrupt
 // instances are tombstoned (quarantined, payload dropped, derivation
 // cleared — their id slot is preserved so later references stay valid),
-// partial products are quarantined, orphan blobs are swept, and the
-// cleaned image is checkpointed under the next epoch with a fresh journal.
+// partial products are quarantined, orphan blobs are swept, the cleaned
+// image is checkpointed under the next epoch with a fresh journal, and the
+// secondary indexes are rebuilt from the repaired image at that epoch.
+// Repair refuses replica stores ("replica-no-repair"): a repair checkpoint
+// would bump the epoch out from under the replication stream.
 #pragma once
 
 #include <cstdint>
@@ -78,6 +90,11 @@ struct FsckReport {
   [[nodiscard]] bool has(std::string_view code) const;
   /// Multi-line human rendering (stats, findings, repairs, verdict).
   [[nodiscard]] std::string render() const;
+  /// One-object JSON rendering: {"dir", "stats", "findings", "repairs",
+  /// "verdict", "exit_code"}.  Every finding carries its severity label
+  /// ("note" / "warning" / "corruption"); clean-severity notes such as
+  /// "replica-store" are included but do not affect "exit_code".
+  [[nodiscard]] std::string render_json() const;
 };
 
 /// Audits the store in `dir`.  Tolerates any corruption inside the store

@@ -11,7 +11,9 @@
 #include "data/blob_store.hpp"
 #include "exec/executor.hpp"
 #include "fault_test_util.hpp"
+#include "index/indexes.hpp"
 #include "schema/schema_io.hpp"
+#include "schema/standard_schemas.hpp"
 #include "storage/fsck.hpp"
 #include "storage/journal.hpp"
 #include "storage/store.hpp"
@@ -419,6 +421,154 @@ TEST(FsckTest, RepairProducesAStoreThatRecoversAndAuditsClean) {
   EXPECT_FALSE(store.db().instance(data::InstanceId(3)).ok());
   EXPECT_TRUE(store.db().instance(data::InstanceId(1)).ok());
   EXPECT_EQ(store.epoch(), 1u) << "repair checkpoints under the next epoch";
+}
+
+/// A real journaled store (fig1 schema, three imports) with its secondary
+/// index saved at the store's exact (epoch, seq) — the baseline the index
+/// audit tests then perturb.
+struct IndexedStore {
+  schema::TaskSchema schema = schema::make_fig1_schema();
+  std::string dir;
+  std::uint64_t epoch = 0;
+  index::IndexImage image;  // the correct image, stamped (epoch, seq)
+
+  explicit IndexedStore(const std::string& name) : dir(scratch(name)) {
+    support::ManualClock clock(100, 10);
+    DurableHistory store(schema, clock, dir, {});
+    store.db().import_instance(schema.require("EditedNetlist"), "low pass",
+                               "aa", "alice");
+    store.db().import_instance(schema.require("Stimuli"), "waves", "bb",
+                               "bob");
+    store.db().import_instance(schema.require("EditedNetlist"), "high pass",
+                               "cc", "alice");
+    index::HistoryIndexes idx(store.db());
+    idx.rebuild();
+    idx.save(dir, store.epoch(), store.journal_seq());
+    epoch = store.epoch();
+    image = idx.image();
+    image.epoch = store.epoch();
+    image.seq = store.journal_seq();
+  }
+
+  void write_index(const index::IndexImage& img) const {
+    std::ofstream out(index::HistoryIndexes::file_path(dir),
+                      std::ios::binary | std::ios::trunc);
+    out << img.serialize();
+  }
+};
+
+TEST(FsckTest, CleanStoreWithIndexAuditsClean) {
+  IndexedStore s("herc_fsck_idx_clean");
+  const FsckReport report = fsck_store(s.dir);
+  EXPECT_TRUE(report.findings.empty()) << report.render();
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(FsckTest, StaleIndexEpochIsAWarning) {
+  IndexedStore s("herc_fsck_idx_epoch");
+  index::IndexImage img = s.image;
+  img.epoch += 1;  // index from a future the store never reached
+  s.write_index(img);
+  const FsckReport report = fsck_store(s.dir);
+  EXPECT_TRUE(report.has("stale-index-epoch")) << report.render();
+  EXPECT_EQ(report.exit_code(), 1);
+
+  // A seq the journal never reached is the same verdict.
+  img = s.image;
+  img.seq += 5;
+  s.write_index(img);
+  const FsckReport ahead = fsck_store(s.dir);
+  EXPECT_TRUE(ahead.has("stale-index-epoch")) << ahead.render();
+  EXPECT_EQ(ahead.exit_code(), 1);
+}
+
+TEST(FsckTest, MissingPostingAndOrphanIndexAreWarnings) {
+  IndexedStore s("herc_fsck_idx_postings");
+  index::IndexImage img = s.image;
+  img.users.erase("alice");  // the index forgot a user's instances
+  s.write_index(img);
+  const FsckReport missing = fsck_store(s.dir);
+  EXPECT_TRUE(missing.has("missing-posting")) << missing.render();
+  EXPECT_EQ(missing.exit_code(), 1);
+
+  img = s.image;
+  img.users["ghost"] = {0};  // a posting no journal record legitimizes
+  s.write_index(img);
+  const FsckReport orphan = fsck_store(s.dir);
+  EXPECT_TRUE(orphan.has("orphan-index")) << orphan.render();
+  EXPECT_EQ(orphan.exit_code(), 1);
+}
+
+TEST(FsckTest, AdjacencyMismatchAndUnreadableIndexAreWarnings) {
+  IndexedStore s("herc_fsck_idx_adj");
+  index::IndexImage img = s.image;
+  img.edges += 1;  // claims a derivation edge the history never recorded
+  s.write_index(img);
+  const FsckReport adj = fsck_store(s.dir);
+  EXPECT_TRUE(adj.has("index-adjacency-mismatch")) << adj.render();
+  EXPECT_EQ(adj.exit_code(), 1);
+
+  put(s.dir, std::string(index::kIndexFileName), "not an index file");
+  const FsckReport bad = fsck_store(s.dir);
+  EXPECT_TRUE(bad.has("index-unreadable")) << bad.render();
+  EXPECT_EQ(bad.exit_code(), 1);
+}
+
+TEST(FsckTest, RepairRebuildsTheIndexAtTheNewEpoch) {
+  IndexedStore s("herc_fsck_idx_repair");
+  put(s.dir, std::string(index::kIndexFileName), "shredded");
+  FsckOptions repair;
+  repair.repair = true;
+  const FsckReport before = fsck_store(s.dir, repair);
+  EXPECT_TRUE(before.has("index-unreadable")) << before.render();
+  EXPECT_FALSE(before.repairs.empty());
+
+  // The repaired store audits clean and carries a warm index stamped at
+  // the repair checkpoint's epoch with an empty journal.
+  const FsckReport after = fsck_store(s.dir);
+  EXPECT_EQ(after.exit_code(), 0) << after.render();
+  std::ifstream in(index::HistoryIndexes::file_path(s.dir),
+                   std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  index::IndexImage rebuilt;
+  std::string error;
+  ASSERT_TRUE(index::IndexImage::parse(text, rebuilt, error)) << error;
+  EXPECT_EQ(rebuilt.epoch, s.epoch + 1);
+  EXPECT_EQ(rebuilt.seq, 0u);
+  EXPECT_EQ(rebuilt.instances, 3u);
+}
+
+TEST(FsckTest, JsonRenderingLabelsSeveritiesAndNotesStayClean) {
+  // A warning store: orphan blob -> severity "warning", exit 1.
+  Forge w("herc_fsck_json_warn");
+  w.blob("seed");
+  w.blob("orphaned");
+  w.inst(0, "S", "seed");
+  w.commit();
+  const std::string warn_json = fsck_store(w.dir).render_json();
+  EXPECT_NE(warn_json.find("\"severity\":\"warning\""), std::string::npos)
+      << warn_json;
+  EXPECT_NE(warn_json.find("\"code\":\"orphan-blob\""), std::string::npos);
+  EXPECT_NE(warn_json.find("\"verdict\":\"warnings\""), std::string::npos);
+  EXPECT_NE(warn_json.find("\"exit_code\":1"), std::string::npos);
+
+  // A replica marker is a clean-severity note: rendered with severity
+  // "note", verdict and exit code unchanged.
+  Forge r("herc_fsck_json_note");
+  r.blob("seed");
+  r.inst(0, "S", "seed");
+  r.commit();
+  put(r.dir, "replica.herc", "follower of /tmp/leader");
+  const FsckReport note_report = fsck_store(r.dir);
+  EXPECT_EQ(note_report.exit_code(), 0) << note_report.render();
+  const std::string note_json = note_report.render_json();
+  EXPECT_NE(note_json.find("\"severity\":\"note\""), std::string::npos)
+      << note_json;
+  EXPECT_NE(note_json.find("\"code\":\"replica-store\""), std::string::npos);
+  EXPECT_NE(note_json.find("\"verdict\":\"clean\""), std::string::npos);
+  EXPECT_NE(note_json.find("\"exit_code\":0"), std::string::npos);
 }
 
 TEST(FsckTest, RealExecutedStoreAuditsCleanEndToEnd) {
